@@ -1,0 +1,284 @@
+//! Adaptive-step block-pulse functions (paper §III-B, Eqs. 16–17, 25).
+//!
+//! With steps `h_0, …, h_{m−1}` summing to `T`, the operational matrices
+//! become
+//!
+//! ```text
+//! H̃ = diag(h_i) · (½I + N)            (N = strictly-upper all-ones)
+//! D̃ = H̃^{-1} = 2·A·diag(1/h_j)        (A = alternating Toeplitz pattern)
+//! ```
+//!
+//! with `A[i][i] = 1`, `A[i][j] = 2·(−1)^{j−i}` for `j > i` — the same
+//! alternating pattern as the uniform case, column-scaled by `1/h_j`
+//! (Eq. 17 / the matrix inside Eq. 25).
+//!
+//! Fractional powers `D̃^α` exist via eigendecomposition when all steps are
+//! distinct (paper's observation); we compute them with the numerically
+//! preferable Parlett recurrence, including an *incremental* form that
+//! appends one step at a time for on-the-fly adaptive simulation.
+
+use crate::traits::Basis;
+use opm_linalg::triangular::{
+    fn_of_upper_triangular, IncrementalTriangularFn, TriangularFnError,
+};
+use opm_linalg::DMatrix;
+
+/// Block-pulse basis on a non-uniform grid.
+#[derive(Clone, Debug)]
+pub struct AdaptiveBpf {
+    steps: Vec<f64>,
+    /// Cumulative boundaries: `bounds[i]` = start of interval `i`;
+    /// `bounds[m]` = `T`.
+    bounds: Vec<f64>,
+}
+
+impl AdaptiveBpf {
+    /// Creates the basis from explicit steps.
+    ///
+    /// # Panics
+    /// Panics when `steps` is empty or any step is non-positive.
+    pub fn new(steps: Vec<f64>) -> Self {
+        assert!(!steps.is_empty(), "need at least one step");
+        assert!(
+            steps.iter().all(|&h| h > 0.0 && h.is_finite()),
+            "steps must be positive and finite"
+        );
+        let mut bounds = Vec::with_capacity(steps.len() + 1);
+        let mut acc = 0.0;
+        bounds.push(0.0);
+        for &h in &steps {
+            acc += h;
+            bounds.push(acc);
+        }
+        AdaptiveBpf { steps, bounds }
+    }
+
+    /// The step sequence.
+    pub fn steps(&self) -> &[f64] {
+        &self.steps
+    }
+
+    /// Interval boundaries (length `m + 1`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Midpoints of the intervals.
+    pub fn midpoints(&self) -> Vec<f64> {
+        (0..self.steps.len())
+            .map(|i| 0.5 * (self.bounds[i] + self.bounds[i + 1]))
+            .collect()
+    }
+
+    /// Column `j` of `D̃` above and including the diagonal
+    /// (`len = j + 1`), cheap enough to generate on the fly.
+    pub fn diff_column(&self, j: usize) -> Vec<f64> {
+        let hj = self.steps[j];
+        (0..=j)
+            .map(|i| {
+                if i == j {
+                    2.0 / hj
+                } else if (j - i) % 2 == 1 {
+                    -4.0 / hj
+                } else {
+                    4.0 / hj
+                }
+            })
+            .collect()
+    }
+
+    /// Dense `D̃` (Eq. 17).
+    pub fn differentiation_matrix(&self) -> DMatrix {
+        let m = self.steps.len();
+        let mut d = DMatrix::zeros(m, m);
+        for j in 0..m {
+            for (i, v) in self.diff_column(j).into_iter().enumerate() {
+                d.set(i, j, v);
+            }
+        }
+        d
+    }
+
+    /// Dense `D̃^α` by the Parlett recurrence (Eq. 25 prescribes
+    /// eigendecomposition; Parlett is its stable equivalent).
+    ///
+    /// # Errors
+    /// [`TriangularFnError::ConfluentDiagonal`] when two steps coincide to
+    /// within `1e-10` relative — perturb the offending step (the paper
+    /// makes the same "no two steps exactly equal" assumption).
+    pub fn frac_diff_matrix(&self, alpha: f64) -> Result<DMatrix, TriangularFnError> {
+        fn_of_upper_triangular(&self.differentiation_matrix(), |x| x.powf(alpha))
+    }
+
+    /// Incremental evaluator for `D̃^α` that grows with the step sequence;
+    /// used by on-the-fly adaptive fractional OPM.
+    pub fn incremental_frac_diff(
+        alpha: f64,
+        capacity: usize,
+    ) -> IncrementalTriangularFn<impl Fn(f64) -> f64> {
+        IncrementalTriangularFn::new(move |x: f64| x.powf(alpha), capacity)
+    }
+}
+
+impl Basis for AdaptiveBpf {
+    fn dim(&self) -> usize {
+        self.steps.len()
+    }
+
+    fn t_end(&self) -> f64 {
+        *self.bounds.last().unwrap()
+    }
+
+    fn eval(&self, i: usize, t: f64) -> f64 {
+        assert!(i < self.steps.len(), "basis index out of range");
+        if t >= self.bounds[i] && t < self.bounds[i + 1] {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn project(&self, f: &dyn Fn(f64) -> f64) -> Vec<f64> {
+        (0..self.steps.len())
+            .map(|i| {
+                let (a, b) = (self.bounds[i], self.bounds[i + 1]);
+                crate::quadrature::integrate_adaptive(f, a, b, 1e-13 * (b - a))
+                    / (b - a)
+            })
+            .collect()
+    }
+
+    fn integration_matrix(&self) -> DMatrix {
+        // H̃[i][j] = h_i/2 on the diagonal, h_i for j > i (Eq. 16).
+        let m = self.steps.len();
+        DMatrix::from_fn(m, m, |i, j| {
+            if j == i {
+                self.steps[i] / 2.0
+            } else if j > i {
+                self.steps[i]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn differentiation_matrix_opt(&self) -> Option<DMatrix> {
+        Some(self.differentiation_matrix())
+    }
+
+    fn one_coeffs(&self) -> Vec<f64> {
+        vec![1.0; self.steps.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpf::BpfBasis;
+
+    fn sample() -> AdaptiveBpf {
+        AdaptiveBpf::new(vec![0.1, 0.25, 0.05, 0.4])
+    }
+
+    #[test]
+    fn bounds_accumulate() {
+        let b = sample();
+        let want = [0.0, 0.1, 0.35, 0.4, 0.8];
+        for (x, y) in b.bounds().iter().zip(&want) {
+            assert!((x - y).abs() < 1e-14);
+        }
+        assert!((b.t_end() - 0.8).abs() < 1e-14);
+    }
+
+    #[test]
+    fn d_tilde_is_inverse_of_h_tilde() {
+        let b = sample();
+        let prod = b
+            .differentiation_matrix()
+            .mul_mat(&b.integration_matrix());
+        assert!(prod.sub(&DMatrix::identity(4)).norm_max() < 1e-11);
+        let prod2 = b
+            .integration_matrix()
+            .mul_mat(&b.differentiation_matrix());
+        assert!(prod2.sub(&DMatrix::identity(4)).norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn uniform_steps_reduce_to_bpf_matrices() {
+        let ada = AdaptiveBpf::new(vec![0.25; 8]);
+        let uni = BpfBasis::new(8, 2.0);
+        assert!(ada
+            .differentiation_matrix()
+            .sub(&uni.differentiation_matrix())
+            .norm_max()
+            < 1e-12);
+        assert!(ada
+            .integration_matrix()
+            .sub(&uni.integration_matrix())
+            .norm_max()
+            < 1e-12);
+    }
+
+    #[test]
+    fn diff_column_matches_dense() {
+        let b = sample();
+        let d = b.differentiation_matrix();
+        for j in 0..4 {
+            let col = b.diff_column(j);
+            for (i, &v) in col.iter().enumerate() {
+                assert!((d.get(i, j) - v).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_power_squares_to_order_one() {
+        let b = sample();
+        let half = b.frac_diff_matrix(0.5).unwrap();
+        let d = b.differentiation_matrix();
+        let err = half.mul_mat(&half).sub(&d).norm_max();
+        assert!(err < 1e-8 * d.norm_max(), "err={err}");
+    }
+
+    #[test]
+    fn fractional_semigroup_adaptive() {
+        let b = AdaptiveBpf::new(vec![0.2, 0.33, 0.11, 0.47, 0.29]);
+        let a = b.frac_diff_matrix(0.3).unwrap();
+        let c = b.frac_diff_matrix(0.7).unwrap();
+        let d = b.differentiation_matrix();
+        assert!(a.mul_mat(&c).sub(&d).norm_max() < 1e-8 * d.norm_max());
+    }
+
+    #[test]
+    fn equal_steps_rejected_for_fractional() {
+        let b = AdaptiveBpf::new(vec![0.1, 0.2, 0.1]);
+        assert!(b.frac_diff_matrix(0.5).is_err());
+    }
+
+    #[test]
+    fn incremental_matches_batch_fractional() {
+        let b = AdaptiveBpf::new(vec![0.13, 0.29, 0.07, 0.41]);
+        let batch = b.frac_diff_matrix(0.5).unwrap();
+        let mut inc = AdaptiveBpf::incremental_frac_diff(0.5, 4);
+        for j in 0..4 {
+            inc.append_column(&b.diff_column(j)).unwrap();
+        }
+        assert!(inc.to_matrix().sub(&batch).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn projection_on_nonuniform_grid() {
+        let b = sample();
+        let c = b.project(&|t| t);
+        let mids = b.midpoints();
+        for (ci, mi) in c.iter().zip(&mids) {
+            assert!((ci - mi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn nonpositive_step_rejected() {
+        AdaptiveBpf::new(vec![0.1, 0.0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! Haar wavelet basis with its operational matrix (Chen–Hsiao style).
+//!
+//! Haar functions are the localized counterpart to Walsh functions: the
+//! first function is constant, and function `(j, k)` is supported on the
+//! dyadic interval `[k·2^{1−j}, (k+1)·2^{1−j})·T`, positive on its first
+//! half and negative on the second, scaled by `2^{(j−1)/2}` so that every
+//! basis vector has the same energy as a BPF row (`‖row‖² = m`).
+//!
+//! Like Walsh functions, Haar functions on `m = 2^k` subintervals are
+//! exact BPF combinations, so operational matrices conjugate over:
+//! `P_H = Ha·H_bpf·Haᵀ/m`.
+
+use crate::bpf::BpfBasis;
+use crate::traits::Basis;
+use opm_linalg::DMatrix;
+
+/// The Haar basis on `[0, T)` with `m = 2^k` functions.
+#[derive(Clone, Debug)]
+pub struct HaarBasis {
+    bpf: BpfBasis,
+}
+
+impl HaarBasis {
+    /// Creates the basis.
+    ///
+    /// # Panics
+    /// Panics when `m` is not a power of two or `t_end <= 0`.
+    pub fn new(m: usize, t_end: f64) -> Self {
+        assert!(m.is_power_of_two(), "Haar basis needs m = 2^k");
+        HaarBasis {
+            bpf: BpfBasis::new(m, t_end),
+        }
+    }
+
+    /// Value of Haar function `i` on subinterval `j` (constant there).
+    fn value_on_subinterval(&self, i: usize, j: usize) -> f64 {
+        let m = self.dim();
+        debug_assert!(i < m && j < m);
+        if i == 0 {
+            return 1.0;
+        }
+        // Decompose i = 2^{level−1} + pos  (level ≥ 1, pos ∈ [0, 2^{level−1})).
+        let level = usize::BITS - i.leading_zeros(); // floor(log2(i)) + 1
+        let half_count = 1usize << (level - 1);
+        let pos = i - half_count;
+        // Support covers m / half_count subintervals starting at
+        // pos * (m / half_count).
+        let width = m / half_count;
+        let start = pos * width;
+        if j < start || j >= start + width {
+            return 0.0;
+        }
+        let scale = (half_count as f64).sqrt();
+        if j < start + width / 2 {
+            scale
+        } else {
+            -scale
+        }
+    }
+
+    /// The Haar value matrix `Ha` (row `i` = values on subintervals).
+    pub fn value_matrix(&self) -> DMatrix {
+        let m = self.dim();
+        DMatrix::from_fn(m, m, |i, j| self.value_on_subinterval(i, j))
+    }
+
+    /// Converts BPF coefficients to Haar coefficients (`c_H = Ha·c_B/m`).
+    pub fn from_bpf_coeffs(&self, bpf_coeffs: &[f64]) -> Vec<f64> {
+        let m = self.dim();
+        assert_eq!(bpf_coeffs.len(), m, "coefficient length mismatch");
+        let ha = self.value_matrix();
+        (0..m)
+            .map(|i| {
+                let mut s = 0.0;
+                for j in 0..m {
+                    s += ha.get(i, j) * bpf_coeffs[j];
+                }
+                s / m as f64
+            })
+            .collect()
+    }
+
+    /// Converts Haar coefficients back to BPF coefficients (`c_B = Haᵀ·c_H`).
+    pub fn to_bpf_coeffs(&self, haar_coeffs: &[f64]) -> Vec<f64> {
+        let m = self.dim();
+        assert_eq!(haar_coeffs.len(), m, "coefficient length mismatch");
+        let ha = self.value_matrix();
+        (0..m)
+            .map(|j| {
+                let mut s = 0.0;
+                for i in 0..m {
+                    s += ha.get(i, j) * haar_coeffs[i];
+                }
+                s
+            })
+            .collect()
+    }
+}
+
+impl Basis for HaarBasis {
+    fn dim(&self) -> usize {
+        self.bpf.dim()
+    }
+
+    fn t_end(&self) -> f64 {
+        self.bpf.t_end()
+    }
+
+    fn eval(&self, i: usize, t: f64) -> f64 {
+        let m = self.dim();
+        assert!(i < m, "basis index out of range");
+        if !(0.0..self.t_end()).contains(&t) {
+            return 0.0;
+        }
+        let j = ((t / self.t_end() * m as f64) as usize).min(m - 1);
+        self.value_on_subinterval(i, j)
+    }
+
+    fn project(&self, f: &dyn Fn(f64) -> f64) -> Vec<f64> {
+        self.from_bpf_coeffs(&self.bpf.project(f))
+    }
+
+    fn integration_matrix(&self) -> DMatrix {
+        let ha = self.value_matrix();
+        let m = self.dim() as f64;
+        ha.mul_mat(&self.bpf.integration_matrix())
+            .mul_mat(&ha.transpose())
+            .scale(1.0 / m)
+    }
+
+    fn one_coeffs(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.dim()];
+        c[0] = 1.0;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_have_uniform_energy() {
+        let b = HaarBasis::new(8, 1.0);
+        let ha = b.value_matrix();
+        let g = ha.mul_mat(&ha.transpose());
+        assert!(g.sub(&DMatrix::identity(8).scale(8.0)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn first_rows_match_known_haar_4() {
+        let b = HaarBasis::new(4, 1.0);
+        let ha = b.value_matrix();
+        let s2 = 2.0f64.sqrt();
+        let want = DMatrix::from_rows(&[
+            &[1.0, 1.0, 1.0, 1.0],
+            &[1.0, 1.0, -1.0, -1.0],
+            &[s2, -s2, 0.0, 0.0],
+            &[0.0, 0.0, s2, -s2],
+        ]);
+        assert!(ha.sub(&want).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn coefficient_roundtrip() {
+        let b = HaarBasis::new(16, 3.0);
+        let c: Vec<f64> = (0..16).map(|i| ((i * i) as f64 * 0.11).cos()).collect();
+        let back = b.to_bpf_coeffs(&b.from_bpf_coeffs(&c));
+        for (x, y) in back.iter().zip(&c) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_localizes_spikes() {
+        // A spike in the last quarter excites only wavelets supported there
+        // (plus the global rows 0 and 1).
+        let b = HaarBasis::new(8, 1.0);
+        let c = b.project(&|t| if t >= 0.875 { 1.0 } else { 0.0 });
+        // Wavelet (level 2, pos 0) covers [0, 0.25): must be silent.
+        assert!(c[2].abs() < 1e-10);
+        // The finest wavelet over [0.75, 1.0) is row 7 and must fire.
+        assert!(c[7].abs() > 1e-3);
+    }
+
+    #[test]
+    fn integration_matrix_integrates_ramp() {
+        // Project f = 1, integrate via Pᵀ, compare against projection of t.
+        let m = 32;
+        let b = HaarBasis::new(m, 1.0);
+        let one = b.project(&|_| 1.0);
+        let p = b.integration_matrix();
+        let ramp_coeffs: Vec<f64> = {
+            let pt = p.transpose();
+            (0..m)
+                .map(|i| (0..m).map(|j| pt.get(i, j) * one[j]).sum())
+                .collect()
+        };
+        let want = b.project(&|t| t);
+        for (x, y) in ramp_coeffs.iter().zip(&want) {
+            assert!((x - y).abs() < 2e-2, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn walsh_and_haar_integrate_identically_in_bpf_domain() {
+        // Both conjugate the same H_bpf, so mapping back to BPF must agree.
+        use crate::walsh::WalshBasis;
+        let m = 8;
+        let hb = HaarBasis::new(m, 1.0);
+        let wb = WalshBasis::new(m, 1.0);
+        let f = |t: f64| (2.0 * t).sin() + 0.3;
+        let via_haar = {
+            let c = hb.project(&f);
+            let p = hb.integration_matrix().transpose();
+            let ic: Vec<f64> = (0..m)
+                .map(|i| (0..m).map(|j| p.get(i, j) * c[j]).sum())
+                .collect();
+            hb.to_bpf_coeffs(&ic)
+        };
+        let via_walsh = {
+            let c = wb.project(&f);
+            let p = wb.integration_matrix().transpose();
+            let ic: Vec<f64> = (0..m)
+                .map(|i| (0..m).map(|j| p.get(i, j) * c[j]).sum())
+                .collect();
+            wb.to_bpf_coeffs(&ic)
+        };
+        for (x, y) in via_haar.iter().zip(&via_walsh) {
+            assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m = 2^k")]
+    fn non_power_of_two_rejected() {
+        HaarBasis::new(12, 1.0);
+    }
+}

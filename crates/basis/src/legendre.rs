@@ -1,0 +1,222 @@
+//! Shifted Legendre polynomial basis with operational matrices.
+//!
+//! Polynomial bases trade the locality of BPFs for spectral accuracy on
+//! smooth responses. On `[0, T)` we use `P̃_n(t) = P_n(2t/T − 1)`; the
+//! classical integration operational matrix follows from
+//!
+//! ```text
+//! ∫₀ᵗ P̃_0 = (T/2)(P̃_1 + P̃_0)
+//! ∫₀ᵗ P̃_n = (T/2)·(P̃_{n+1} − P̃_{n−1})/(2n+1),   n ≥ 1
+//! ```
+//!
+//! and differentiation from `P'_n = Σ_{k=n−1, n−3, …} (2k+1)·P_k`.
+
+use crate::quadrature::gauss_legendre;
+use crate::traits::Basis;
+use opm_linalg::DMatrix;
+
+/// The shifted Legendre basis `{P̃_0, …, P̃_{m−1}}` on `[0, T)`.
+#[derive(Clone, Debug)]
+pub struct LegendreBasis {
+    m: usize,
+    t_end: f64,
+}
+
+impl LegendreBasis {
+    /// Creates the basis.
+    ///
+    /// # Panics
+    /// Panics when `m == 0` or `t_end <= 0`.
+    pub fn new(m: usize, t_end: f64) -> Self {
+        assert!(m > 0, "need at least one polynomial");
+        assert!(t_end > 0.0, "time span must be positive");
+        LegendreBasis { m, t_end }
+    }
+
+    /// Evaluates the (unshifted) Legendre polynomial `P_n(x)`.
+    fn legendre(n: usize, x: f64) -> f64 {
+        match n {
+            0 => 1.0,
+            1 => x,
+            _ => {
+                let mut p0 = 1.0;
+                let mut p1 = x;
+                for k in 1..n {
+                    let p2 = ((2 * k + 1) as f64 * x * p1 - k as f64 * p0) / (k + 1) as f64;
+                    p0 = p1;
+                    p1 = p2;
+                }
+                p1
+            }
+        }
+    }
+
+    /// The differentiation operational matrix `D_L` with
+    /// `fʹ ≈ (D_Lᵀ c)ᵀ φ` for `f ≈ cᵀφ`.
+    ///
+    /// Exact on the polynomial span (degree ≤ m−1): differentiating drops
+    /// the degree, so no truncation error occurs — unlike integration,
+    /// which spills into degree `m`.
+    pub fn differentiation_matrix(&self) -> DMatrix {
+        // ∂ coefficient flow: P̃'_n = (2/T)·Σ_{k=n−1,n−3,...} (2k+1) P̃_k.
+        // As an operational matrix acting like ∫φ = Hφ, we need D with
+        // φ' = D φ: row n of D holds the expansion of P̃'_n.
+        let mut d = DMatrix::zeros(self.m, self.m);
+        for n in 1..self.m {
+            let mut k = n as isize - 1;
+            while k >= 0 {
+                d.set(n, k as usize, (2.0 * k as f64 + 1.0) * 2.0 / self.t_end);
+                k -= 2;
+            }
+        }
+        d
+    }
+}
+
+impl Basis for LegendreBasis {
+    fn dim(&self) -> usize {
+        self.m
+    }
+
+    fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    fn eval(&self, i: usize, t: f64) -> f64 {
+        assert!(i < self.m, "basis index out of range");
+        if !(0.0..self.t_end).contains(&t) {
+            return 0.0;
+        }
+        Self::legendre(i, 2.0 * t / self.t_end - 1.0)
+    }
+
+    fn project(&self, f: &dyn Fn(f64) -> f64) -> Vec<f64> {
+        // c_n = (2n+1)/T · ∫₀ᵀ f·P̃_n, by Gauss–Legendre with enough nodes
+        // to integrate f·P̃_{m−1} accurately for smooth f.
+        let nq = (2 * self.m + 8).min(200);
+        let (x, w) = gauss_legendre(nq);
+        let half = 0.5 * self.t_end;
+        let mut coeffs = vec![0.0; self.m];
+        for (xi, wi) in x.iter().zip(&w) {
+            let t = half * (xi + 1.0);
+            let ft = f(t);
+            for (n, c) in coeffs.iter_mut().enumerate() {
+                *c += wi * ft * Self::legendre(n, *xi);
+            }
+        }
+        for (n, c) in coeffs.iter_mut().enumerate() {
+            // ∫ over t = half·∫ over x; normalization (2n+1)/T.
+            *c *= half * (2.0 * n as f64 + 1.0) / self.t_end;
+        }
+        coeffs
+    }
+
+    fn integration_matrix(&self) -> DMatrix {
+        let mut p = DMatrix::zeros(self.m, self.m);
+        let half = 0.5 * self.t_end;
+        // Row 0: ∫P̃_0 = half·(P̃_0 + P̃_1)   (truncate P̃_1 when m = 1).
+        p.set(0, 0, half);
+        if self.m > 1 {
+            p.set(0, 1, half);
+        }
+        for n in 1..self.m {
+            let denom = 2.0 * n as f64 + 1.0;
+            if n + 1 < self.m {
+                p.set(n, n + 1, half / denom);
+            }
+            p.set(n, n - 1, -half / denom);
+        }
+        p
+    }
+
+    fn differentiation_matrix_opt(&self) -> Option<DMatrix> {
+        Some(self.differentiation_matrix())
+    }
+
+    fn one_coeffs(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.m];
+        c[0] = 1.0;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_linalg::DVector;
+
+    #[test]
+    fn orthogonality_via_projection() {
+        // Projecting P̃_k returns e_k.
+        let b = LegendreBasis::new(6, 2.0);
+        for k in 0..6 {
+            let c = b.project(&|t| b.eval(k, t.min(1.999_999)));
+            for (i, &ci) in c.iter().enumerate() {
+                let want = if i == k { 1.0 } else { 0.0 };
+                assert!((ci - want).abs() < 1e-9, "k={k}, i={i}: {ci}");
+            }
+        }
+    }
+
+    #[test]
+    fn projection_reconstructs_polynomials_exactly() {
+        let b = LegendreBasis::new(5, 1.5);
+        let f = |t: f64| 2.0 * t * t * t - t + 0.25;
+        let c = b.project(&f);
+        for i in 0..20 {
+            let t = 1.5 * (i as f64 + 0.5) / 20.0;
+            assert!((b.reconstruct(&c, t) - f(t)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn integration_matrix_integrates_polynomials() {
+        // coeffs(∫f) = Pᵀ·coeffs(f) for f of degree < m−1.
+        let b = LegendreBasis::new(6, 1.0);
+        let cf = DVector::from(b.project(&|t| 3.0 * t * t));
+        let ci = b.integration_matrix().transpose().mul_vec(&cf);
+        let want = DVector::from(b.project(&|t| t * t * t));
+        assert!(ci.sub(&want).norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn differentiation_matrix_differentiates_polynomials() {
+        let b = LegendreBasis::new(6, 2.0);
+        let cf = DVector::from(b.project(&|t| t * t * t - 0.5 * t));
+        let cd = b.differentiation_matrix().transpose().mul_vec(&cf);
+        let want = DVector::from(b.project(&|t| 3.0 * t * t - 0.5));
+        assert!(cd.sub(&want).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn diff_after_int_is_identity_on_low_degrees() {
+        // D·(integration of f) = f for polynomials of degree < m−1.
+        let b = LegendreBasis::new(7, 1.0);
+        let cf = DVector::from(b.project(&|t| 1.0 - 2.0 * t + t * t));
+        let ci = b.integration_matrix().transpose().mul_vec(&cf);
+        let back = b.differentiation_matrix().transpose().mul_vec(&ci);
+        assert!(back.sub(&cf).norm_inf() < 1e-9);
+    }
+
+    #[test]
+    fn spectral_accuracy_beats_bpf_on_smooth_function() {
+        use crate::bpf::BpfBasis;
+        let m = 12;
+        let f = |t: f64| (3.0 * t).sin();
+        let leg = LegendreBasis::new(m, 1.0);
+        let bpf = BpfBasis::new(m, 1.0);
+        let cl = leg.project(&f);
+        let cb = bpf.project(&f);
+        let mut err_l = 0.0f64;
+        let mut err_b = 0.0f64;
+        for i in 0..200 {
+            let t = (i as f64 + 0.5) / 200.0;
+            err_l = err_l.max((leg.reconstruct(&cl, t) - f(t)).abs());
+            err_b = err_b.max((bpf.reconstruct(&cb, t) - f(t)).abs());
+        }
+        assert!(
+            err_l < 1e-8 && err_b > 1e-3,
+            "legendre {err_l} vs bpf {err_b}"
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Operational-matrix bases for OPM time-domain simulation.
+//!
+//! The paper builds its simulator on block-pulse functions (BPFs) and notes
+//! that "there exist various other basis functions, such as the Walsh
+//! functions, the Laguerre functions, the Legendre functions, the Haar
+//! functions" (§I). This crate implements the machinery:
+//!
+//! - [`series`] — power-series-in-nilpotent utilities; the fractional
+//!   Tustin coefficients of `((1−q)/(1+q))^α` (paper Eq. 21–23).
+//! - [`bpf`] — uniform block-pulse basis: integration matrix `H` (Eq. 4),
+//!   differentiation matrix `D` (Eq. 7), fractional `D^α` (Eq. 22),
+//!   projection/reconstruction.
+//! - [`adaptive`] — adaptive-step BPFs: `H̃`, `D̃` (Eqs. 16–17) and `D̃^α`
+//!   (Eq. 25) via incremental Parlett recurrences.
+//! - [`walsh`], [`haar`], [`legendre`] — alternative bases with their own
+//!   operational matrices, demonstrating the generality claim.
+//! - [`quadrature`] — Gauss–Legendre and adaptive Simpson projection
+//!   helpers.
+//! - [`traits::Basis`] — the common interface consumed by the
+//!   general-basis OPM solver in `opm-core`.
+//!
+//! # Example: the differentiation matrix is the inverse of integration
+//!
+//! ```
+//! use opm_basis::{bpf::BpfBasis, Basis};
+//! let basis = BpfBasis::new(8, 1.0);
+//! let product = basis.differentiation_matrix().mul_mat(&basis.integration_matrix());
+//! let err = product.sub(&opm_linalg::DMatrix::identity(8)).norm_max();
+//! assert!(err < 1e-12);
+//! ```
+
+pub mod adaptive;
+pub mod bpf;
+pub mod haar;
+pub mod legendre;
+pub mod quadrature;
+pub mod series;
+pub mod traits;
+pub mod walsh;
+
+pub use adaptive::AdaptiveBpf;
+pub use bpf::BpfBasis;
+pub use haar::HaarBasis;
+pub use legendre::LegendreBasis;
+pub use traits::Basis;
+pub use walsh::WalshBasis;

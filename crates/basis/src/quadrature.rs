@@ -1,0 +1,165 @@
+//! Quadrature helpers for basis projections.
+//!
+//! BPF coefficients are interval averages (paper Eq. 2); polynomial bases
+//! project through weighted inner products. Both need solid quadrature:
+//! Gauss–Legendre for smooth integrands and adaptive Simpson as a fallback
+//! oracle.
+
+/// Gauss–Legendre nodes and weights on `[-1, 1]` for `n` points.
+///
+/// Newton iteration on the Legendre polynomial from the Chebyshev initial
+/// guess; accurate to machine precision for `n ≤ 200`.
+///
+/// ```
+/// use opm_basis::quadrature::gauss_legendre;
+/// let (x, w) = gauss_legendre(3);
+/// assert!((w.iter().sum::<f64>() - 2.0).abs() < 1e-14);
+/// assert!((x[1]).abs() < 1e-15); // middle node at 0
+/// ```
+pub fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    assert!(n >= 1, "need at least one node");
+    let mut x = vec![0.0; n];
+    let mut w = vec![0.0; n];
+    let m = n.div_ceil(2);
+    for i in 0..m {
+        // Chebyshev-based initial guess for the i-th root.
+        let mut z = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        let mut pp = 0.0;
+        for _ in 0..100 {
+            // Evaluate P_n(z) and its derivative by upward recurrence.
+            let mut p1 = 1.0;
+            let mut p2 = 0.0;
+            for j in 0..n {
+                let p3 = p2;
+                p2 = p1;
+                p1 = ((2.0 * j as f64 + 1.0) * z * p2 - j as f64 * p3) / (j as f64 + 1.0);
+            }
+            pp = n as f64 * (z * p1 - p2) / (z * z - 1.0);
+            let dz = p1 / pp;
+            z -= dz;
+            if dz.abs() < 1e-15 {
+                break;
+            }
+        }
+        x[i] = -z;
+        x[n - 1 - i] = z;
+        let wi = 2.0 / ((1.0 - z * z) * pp * pp);
+        w[i] = wi;
+        w[n - 1 - i] = wi;
+    }
+    (x, w)
+}
+
+/// Integrates `f` over `[a, b]` with `n`-point Gauss–Legendre.
+pub fn integrate_gl(f: &dyn Fn(f64) -> f64, a: f64, b: f64, n: usize) -> f64 {
+    let (x, w) = gauss_legendre(n);
+    let half = 0.5 * (b - a);
+    let mid = 0.5 * (a + b);
+    let mut s = 0.0;
+    for (xi, wi) in x.iter().zip(&w) {
+        s += wi * f(mid + half * xi);
+    }
+    s * half
+}
+
+/// Adaptive Simpson quadrature with absolute tolerance `tol`.
+///
+/// Robust for integrands with kinks (pulse edges, PWL corners) where a
+/// fixed Gauss rule would lose accuracy.
+pub fn integrate_adaptive(f: &dyn Fn(f64) -> f64, a: f64, b: f64, tol: f64) -> f64 {
+    fn simpson(fa: f64, fm: f64, fb: f64, a: f64, b: f64) -> f64 {
+        (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        f: &dyn Fn(f64) -> f64,
+        a: f64,
+        b: f64,
+        fa: f64,
+        fm: f64,
+        fb: f64,
+        whole: f64,
+        tol: f64,
+        depth: u32,
+    ) -> f64 {
+        let m = 0.5 * (a + b);
+        let lm = 0.5 * (a + m);
+        let rm = 0.5 * (m + b);
+        let flm = f(lm);
+        let frm = f(rm);
+        let left = simpson(fa, flm, fm, a, m);
+        let right = simpson(fm, frm, fb, m, b);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            left + right + delta / 15.0
+        } else {
+            recurse(f, a, m, fa, flm, fm, left, 0.5 * tol, depth - 1)
+                + recurse(f, m, b, fm, frm, fb, right, 0.5 * tol, depth - 1)
+        }
+    }
+    if a == b {
+        return 0.0;
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = simpson(fa, fm, fb, a, b);
+    recurse(f, a, b, fa, fm, fb, whole, tol, 40)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gl_exact_for_polynomials() {
+        // n-point GL is exact for degree 2n−1.
+        let f = |x: f64| 3.0 * x.powi(5) - x.powi(4) + 2.0 * x - 7.0;
+        let exact = -2.0 / 5.0 - 14.0; // ∫_{-1}^{1}: odd terms vanish; −2/5 from x⁴; −14 from const
+        let got = integrate_gl(&f, -1.0, 1.0, 3);
+        assert!((got - exact).abs() < 1e-13, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn gl_weights_positive_and_sum_to_interval() {
+        for n in [1, 2, 5, 16, 33, 64] {
+            let (x, w) = gauss_legendre(n);
+            assert!(w.iter().all(|&wi| wi > 0.0));
+            assert!((w.iter().sum::<f64>() - 2.0).abs() < 1e-12, "n={n}");
+            // Nodes sorted and inside (−1, 1).
+            for p in x.windows(2) {
+                assert!(p[0] < p[1]);
+            }
+            assert!(x[0] > -1.0 && x[n - 1] < 1.0);
+        }
+    }
+
+    #[test]
+    fn gl_transcendental_accuracy() {
+        let got = integrate_gl(&|x: f64| x.exp(), 0.0, 1.0, 12);
+        assert!((got - (std::f64::consts::E - 1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn adaptive_handles_kink() {
+        // |x − 1/3| has a kink; adaptive Simpson nails it anyway.
+        let f = |x: f64| (x - 1.0 / 3.0).abs();
+        let exact = (1.0f64 / 3.0).powi(2) / 2.0 + (2.0f64 / 3.0).powi(2) / 2.0;
+        let got = integrate_adaptive(&f, 0.0, 1.0, 1e-12);
+        assert!((got - exact).abs() < 1e-9, "{got} vs {exact}");
+    }
+
+    #[test]
+    fn adaptive_zero_width() {
+        assert_eq!(integrate_adaptive(&|x: f64| x, 2.0, 2.0, 1e-10), 0.0);
+    }
+
+    #[test]
+    fn adaptive_matches_gl_on_smooth() {
+        let f = |x: f64| (3.0 * x).sin() * (-x).exp();
+        let a = integrate_adaptive(&f, 0.0, 2.0, 1e-12);
+        let g = integrate_gl(&f, 0.0, 2.0, 40);
+        assert!((a - g).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,57 @@
+//! The common interface of operational-matrix bases.
+
+use opm_linalg::DMatrix;
+
+/// An `m`-dimensional function basis on `[0, T)` equipped with an
+/// integration operational matrix.
+///
+/// The defining property (paper Eq. 3 for BPFs) is
+///
+/// ```text
+/// ∫₀ᵗ φ(τ) dτ ≈ H·φ(t)     (componentwise, inside the span)
+/// ```
+///
+/// so that if `f ≈ cᵀφ` then `∫f ≈ (Hᵀc)ᵀφ`. Bases whose members are
+/// differentiable (or whose integration matrix is invertible, like BPFs)
+/// also expose a differentiation matrix `D` with `fʹ ≈ (Dᵀc)ᵀφ`.
+pub trait Basis {
+    /// Number of basis functions `m`.
+    fn dim(&self) -> usize;
+
+    /// End of the time span `[0, T)`.
+    fn t_end(&self) -> f64;
+
+    /// Value of basis function `i` at time `t` (zero outside `[0, T)`).
+    fn eval(&self, i: usize, t: f64) -> f64;
+
+    /// Projects a function onto the basis, returning its coefficient
+    /// vector of length [`dim`](Self::dim).
+    fn project(&self, f: &dyn Fn(f64) -> f64) -> Vec<f64>;
+
+    /// Reconstructs `Σ c_i·φ_i(t)`.
+    ///
+    /// # Panics
+    /// Panics when `coeffs.len() != self.dim()`.
+    fn reconstruct(&self, coeffs: &[f64], t: f64) -> f64 {
+        assert_eq!(coeffs.len(), self.dim(), "coefficient length mismatch");
+        coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c * self.eval(i, t))
+            .sum()
+    }
+
+    /// The integration operational matrix `H`.
+    fn integration_matrix(&self) -> DMatrix;
+
+    /// The differentiation operational matrix `D`, when the basis admits
+    /// one (`None` for bases of discontinuous functions without an
+    /// invertible `H`-based surrogate).
+    fn differentiation_matrix_opt(&self) -> Option<DMatrix> {
+        None
+    }
+
+    /// Coefficient vector of the constant function `1` in this basis —
+    /// needed by the integral-form OPM solver to inject initial conditions.
+    fn one_coeffs(&self) -> Vec<f64>;
+}

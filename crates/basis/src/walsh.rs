@@ -1,0 +1,278 @@
+//! Walsh functions in sequency order with their operational matrix.
+//!
+//! The paper singles Walsh functions out: "a set of low- to high-frequency
+//! basis functions", useful when only the overall trend of the response is
+//! of interest (§I). On `m = 2^k` subintervals every Walsh function is a
+//! `±1` combination of BPFs, so the Walsh value matrix `W` conjugates the
+//! BPF operational matrices into the Walsh domain:
+//!
+//! ```text
+//! P_W = W · H_bpf · Wᵀ / m           (W·Wᵀ = m·I)
+//! ```
+//!
+//! Transforms run in `O(m log m)` via the fast Walsh–Hadamard transform;
+//! the sequency (Walsh) ordering is obtained by sorting Hadamard rows by
+//! their sign-change count.
+
+use crate::bpf::BpfBasis;
+use crate::traits::Basis;
+use opm_linalg::DMatrix;
+
+/// In-place fast Walsh–Hadamard transform in natural (Hadamard) order.
+///
+/// Unnormalized: applying it twice multiplies by `len`.
+///
+/// # Panics
+/// Panics when the length is not a power of two.
+pub fn fwht(data: &mut [f64]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FWHT length must be a power of two");
+    let mut half = 1;
+    while half < n {
+        for block in (0..n).step_by(half * 2) {
+            for i in block..block + half {
+                let (a, b) = (data[i], data[i + half]);
+                data[i] = a + b;
+                data[i + half] = a - b;
+            }
+        }
+        half *= 2;
+    }
+}
+
+/// The Walsh basis on `[0, T)` with `m = 2^k` functions, sequency-ordered
+/// (function `i` has exactly `i` sign changes).
+#[derive(Clone, Debug)]
+pub struct WalshBasis {
+    bpf: BpfBasis,
+    /// `seq_to_nat[s]` = Hadamard row index realizing sequency `s`.
+    seq_to_nat: Vec<usize>,
+}
+
+impl WalshBasis {
+    /// Creates the basis.
+    ///
+    /// # Panics
+    /// Panics when `m` is not a power of two or `t_end <= 0`.
+    pub fn new(m: usize, t_end: f64) -> Self {
+        assert!(m.is_power_of_two(), "Walsh basis needs m = 2^k");
+        let bpf = BpfBasis::new(m, t_end);
+        // Row i of the natural Hadamard matrix: H[i][j] = (−1)^{popcount(i&j)}.
+        // Sequency of a row = number of adjacent sign flips.
+        let mut with_seq: Vec<(usize, usize)> = (0..m)
+            .map(|i| {
+                let mut changes = 0usize;
+                let mut prev = hadamard_entry(i, 0);
+                for j in 1..m {
+                    let cur = hadamard_entry(i, j);
+                    if cur != prev {
+                        changes += 1;
+                    }
+                    prev = cur;
+                }
+                (changes, i)
+            })
+            .collect();
+        with_seq.sort_unstable();
+        let seq_to_nat = with_seq.into_iter().map(|(_, i)| i).collect();
+        WalshBasis { bpf, seq_to_nat }
+    }
+
+    /// The Walsh value matrix `W` (row `s` = sequency-`s` function's values
+    /// on the `m` subintervals).
+    pub fn value_matrix(&self) -> DMatrix {
+        let m = self.dim();
+        DMatrix::from_fn(m, m, |s, j| {
+            if hadamard_entry(self.seq_to_nat[s], j) {
+                -1.0
+            } else {
+                1.0
+            }
+        })
+    }
+
+    /// Converts BPF (interval-average) coefficients to Walsh coefficients:
+    /// `c_W = W·c_B / m` (fast transform + reorder).
+    pub fn from_bpf_coeffs(&self, bpf_coeffs: &[f64]) -> Vec<f64> {
+        let m = self.dim();
+        assert_eq!(bpf_coeffs.len(), m, "coefficient length mismatch");
+        let mut work = bpf_coeffs.to_vec();
+        fwht(&mut work);
+        // FWHT computes natural-order sums Σ_j (−1)^{popcount(i&j)} c_j = (W_nat c)_i.
+        (0..m)
+            .map(|s| work[self.seq_to_nat[s]] / m as f64)
+            .collect()
+    }
+
+    /// Converts Walsh coefficients back to BPF coefficients: `c_B = Wᵀ·c_W`.
+    pub fn to_bpf_coeffs(&self, walsh_coeffs: &[f64]) -> Vec<f64> {
+        let m = self.dim();
+        assert_eq!(walsh_coeffs.len(), m, "coefficient length mismatch");
+        let mut natural = vec![0.0; m];
+        for (s, &c) in walsh_coeffs.iter().enumerate() {
+            natural[self.seq_to_nat[s]] = c;
+        }
+        // Wᵀ = W in natural order (symmetric), so one more FWHT suffices.
+        fwht(&mut natural);
+        natural
+    }
+}
+
+#[inline]
+fn hadamard_entry(i: usize, j: usize) -> bool {
+    // true ⇔ entry is −1.
+    (i & j).count_ones() % 2 == 1
+}
+
+impl Basis for WalshBasis {
+    fn dim(&self) -> usize {
+        self.bpf.dim()
+    }
+
+    fn t_end(&self) -> f64 {
+        self.bpf.t_end()
+    }
+
+    fn eval(&self, i: usize, t: f64) -> f64 {
+        let m = self.dim();
+        assert!(i < m, "basis index out of range");
+        if !(0.0..self.t_end()).contains(&t) {
+            return 0.0;
+        }
+        let j = ((t / self.t_end() * m as f64) as usize).min(m - 1);
+        if hadamard_entry(self.seq_to_nat[i], j) {
+            -1.0
+        } else {
+            1.0
+        }
+    }
+
+    fn project(&self, f: &dyn Fn(f64) -> f64) -> Vec<f64> {
+        self.from_bpf_coeffs(&self.bpf.project(f))
+    }
+
+    fn integration_matrix(&self) -> DMatrix {
+        // P_W = W·H_B·Wᵀ/m.
+        let w = self.value_matrix();
+        let m = self.dim() as f64;
+        w.mul_mat(&self.bpf.integration_matrix())
+            .mul_mat(&w.transpose())
+            .scale(1.0 / m)
+    }
+
+    fn one_coeffs(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.dim()];
+        c[0] = 1.0; // sequency-0 Walsh function is the constant 1
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::integrate_adaptive;
+
+    #[test]
+    fn rows_are_orthogonal() {
+        let b = WalshBasis::new(8, 1.0);
+        let w = b.value_matrix();
+        let g = w.mul_mat(&w.transpose());
+        assert!(g.sub(&DMatrix::identity(8).scale(8.0)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn sequency_ordering_counts_sign_changes() {
+        let b = WalshBasis::new(16, 1.0);
+        let w = b.value_matrix();
+        for s in 0..16 {
+            let mut changes = 0;
+            for j in 1..16 {
+                if w.get(s, j) != w.get(s, j - 1) {
+                    changes += 1;
+                }
+            }
+            assert_eq!(changes, s, "row {s} has wrong sequency");
+        }
+    }
+
+    #[test]
+    fn fwht_involution_up_to_scale() {
+        let mut v = vec![3.0, -1.0, 0.5, 2.0, -4.0, 1.0, 0.0, 7.0];
+        let orig = v.clone();
+        fwht(&mut v);
+        fwht(&mut v);
+        for (a, b) in v.iter().zip(&orig) {
+            assert!((a - 8.0 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn coefficient_roundtrip() {
+        let b = WalshBasis::new(16, 2.0);
+        let bpf: Vec<f64> = (0..16).map(|i| (i as f64 * 0.7).sin()).collect();
+        let back = b.to_bpf_coeffs(&b.from_bpf_coeffs(&bpf));
+        for (x, y) in back.iter().zip(&bpf) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn projection_of_constant_is_e0() {
+        let b = WalshBasis::new(8, 1.0);
+        let c = b.project(&|_| 3.5);
+        assert!((c[0] - 3.5).abs() < 1e-10);
+        for &ci in &c[1..] {
+            assert!(ci.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn integration_matrix_integrates_walsh_functions() {
+        // For each basis function, coefficients of its running integral
+        // must match a direct projection of ∫₀ᵗ w_s.
+        let m = 8;
+        let b = WalshBasis::new(m, 1.0);
+        let p = b.integration_matrix();
+        for s in 0..m {
+            // Direct: project t ↦ ∫₀ᵗ w_s numerically.
+            let ints: Vec<f64> = b.project(&|t| {
+                integrate_adaptive(&|tau| b.eval(s, tau), 0.0, t, 1e-12)
+            });
+            // Operational: row s of P (since ∫φ = Pφ ⇒ coefficients of
+            // ∫w_s in the Walsh basis are P[s, :]).
+            for j in 0..m {
+                assert!(
+                    (p.get(s, j) - ints[j]).abs() < 1e-8,
+                    "s={s}, j={j}: {} vs {}",
+                    p.get(s, j),
+                    ints[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn low_sequency_reconstruction_captures_trend() {
+        // Truncating to the lowest 4 of 16 sequencies approximates a slow
+        // ramp far better than it approximates its high-frequency ripple.
+        let b = WalshBasis::new(16, 1.0);
+        let slow = |t: f64| t;
+        let mut c = b.project(&slow);
+        for ci in c.iter_mut().skip(4) {
+            *ci = 0.0;
+        }
+        let err_slow: f64 = (0..16)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / 16.0;
+                (b.reconstruct(&c, t) - slow(t)).abs()
+            })
+            .fold(0.0, f64::max);
+        assert!(err_slow < 0.2, "trend error {err_slow}");
+    }
+
+    #[test]
+    #[should_panic(expected = "m = 2^k")]
+    fn non_power_of_two_rejected() {
+        WalshBasis::new(6, 1.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for operational-matrix bases.
+
+use opm_basis::adaptive::AdaptiveBpf;
+use opm_basis::bpf::BpfBasis;
+use opm_basis::series::{series_mul, tustin_frac_coeffs};
+use opm_basis::walsh::fwht;
+use opm_basis::{Basis, WalshBasis};
+use opm_linalg::DMatrix;
+use proptest::prelude::*;
+
+proptest! {
+    /// D·H = I for every m and span.
+    #[test]
+    fn bpf_diff_inverts_integration(m in 1usize..24, t_end in 0.1..10.0f64) {
+        let b = BpfBasis::new(m, t_end);
+        let prod = b.differentiation_matrix().mul_mat(&b.integration_matrix());
+        prop_assert!(prod.sub(&DMatrix::identity(m)).norm_max() < 1e-8);
+    }
+
+    /// The fractional Tustin series satisfies the semigroup property.
+    #[test]
+    fn tustin_semigroup(a in 0.05..1.95f64, bb in 0.05..1.95f64) {
+        let m = 16;
+        let lhs = series_mul(&tustin_frac_coeffs(a, m), &tustin_frac_coeffs(bb, m));
+        let rhs = tustin_frac_coeffs(a + bb, m);
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() < 1e-9 * y.abs().max(1.0));
+        }
+    }
+
+    /// D^α·D^{−α} = I as matrices (fractional differentiation inverts
+    /// fractional integration).
+    #[test]
+    fn fractional_power_inverse(alpha in 0.1..1.9f64, m in 1usize..12) {
+        let b = BpfBasis::new(m, 1.0);
+        let d = b.frac_diff_matrix(alpha);
+        let di = b.frac_diff_matrix(-alpha);
+        let prod = d.mul_upper_triangular(&di);
+        prop_assert!(prod.sub(&DMatrix::identity(m)).norm_max() < 1e-7);
+    }
+
+    /// Adaptive D̃·H̃ = I for random positive steps.
+    #[test]
+    fn adaptive_diff_inverts_integration(steps in prop::collection::vec(0.01..2.0f64, 1..12)) {
+        let b = AdaptiveBpf::new(steps);
+        let m = b.dim();
+        let prod = b.differentiation_matrix().mul_mat(&b.integration_matrix());
+        prop_assert!(prod.sub(&DMatrix::identity(m)).norm_max() < 1e-7);
+    }
+
+    /// FWHT is an involution up to the length factor.
+    #[test]
+    fn fwht_involution(v in prop::collection::vec(-10.0..10.0f64, 8)) {
+        let mut w = v.clone();
+        fwht(&mut w);
+        fwht(&mut w);
+        for (a, b) in w.iter().zip(&v) {
+            prop_assert!((a - 8.0 * b).abs() < 1e-10);
+        }
+    }
+
+    /// Walsh coefficient conversion is a bijection on the BPF span.
+    #[test]
+    fn walsh_roundtrip(v in prop::collection::vec(-5.0..5.0f64, 16)) {
+        let b = WalshBasis::new(16, 1.0);
+        let back = b.to_bpf_coeffs(&b.from_bpf_coeffs(&v));
+        for (x, y) in back.iter().zip(&v) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    /// Projecting a constant returns that constant in every basis.
+    #[test]
+    fn constants_project_exactly(c in -10.0..10.0f64, m_pow in 1u32..5) {
+        let m = 1usize << m_pow;
+        let bases: Vec<Box<dyn Basis>> = vec![
+            Box::new(BpfBasis::new(m, 1.0)),
+            Box::new(WalshBasis::new(m, 1.0)),
+        ];
+        for basis in &bases {
+            let coeffs = basis.project(&|_| c);
+            for i in 0..40 {
+                let t = (i as f64 + 0.5) / 40.0;
+                prop_assert!((basis.reconstruct(&coeffs, t) - c).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// Integration through Hᵀ matches analytic integrals of ramps.
+    #[test]
+    fn integration_matrix_integrates_ramps(slope in -3.0..3.0f64) {
+        let m = 64;
+        let b = BpfBasis::new(m, 1.0);
+        let cf: Vec<f64> = b.project(&|t| slope * t);
+        let h = b.integration_matrix();
+        // coeffs(∫f) = Hᵀ·coeffs(f)
+        for j in (0..m).step_by(13) {
+            let mut s = 0.0;
+            for i in 0..m {
+                s += h.get(i, j) * cf[i];
+            }
+            let t_mid = (j as f64 + 0.5) / m as f64;
+            let want = 0.5 * slope * t_mid * t_mid;
+            prop_assert!((s - want).abs() < 3.0 * slope.abs().max(1.0) / (m as f64 * m as f64) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Criterion bench behind E3: basis-machinery kernels — fractional Tustin
+//! coefficient generation, FWHT, operational-matrix assembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opm_basis::series::tustin_frac_coeffs;
+use opm_basis::walsh::fwht;
+use opm_basis::{Basis, BpfBasis, WalshBasis};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("basis");
+    for &m in &[256usize, 4096] {
+        g.bench_with_input(BenchmarkId::new("tustin_frac_coeffs", m), &m, |b, &m| {
+            b.iter(|| black_box(tustin_frac_coeffs(black_box(0.5), m)))
+        });
+    }
+    for &m in &[1024usize, 16384] {
+        let data: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("fwht", m), &m, |b, _| {
+            b.iter(|| {
+                let mut v = data.clone();
+                fwht(&mut v);
+                black_box(v)
+            })
+        });
+    }
+    g.bench_function("walsh_integration_matrix_64", |b| {
+        let basis = WalshBasis::new(64, 1.0);
+        b.iter(|| black_box(basis.integration_matrix()))
+    });
+    g.bench_function("bpf_frac_diff_matrix_256", |b| {
+        let basis = BpfBasis::new(256, 1.0);
+        b.iter(|| black_box(basis.frac_diff_matrix(0.5)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! **Experiment E2** — the paper's §IV complexity claim
+//! `O(n^β m + n m²)`:
+//!
+//! 1. m-sweep at fixed n — linear OPM should scale ~O(m) (one LU,
+//!    m solves) while fractional OPM bends toward O(m²) (history
+//!    convolution).
+//! 2. n-sweep at fixed m — both scale with the sparse-solve cost `n^β`,
+//!    `1 < β < 2`.
+//!
+//! `cargo run --release -p opm-bench --bin complexity`
+
+use opm_bench::{fmt_time, row, rule, timed};
+use opm_circuits::grid::PowerGridSpec;
+use opm_circuits::mna::assemble_mna;
+use opm_core::fractional::solve_fractional;
+use opm_core::linear::solve_linear;
+use opm_sparse::{CooMatrix, CsrMatrix};
+use opm_system::{DescriptorSystem, FractionalSystem};
+use opm_waveform::{InputSet, Waveform};
+
+/// Fractional RC-style chain of order n (diagonal E, tridiagonal A).
+fn chain(n: usize) -> DescriptorSystem {
+    let mut a = CooMatrix::new(n, n);
+    for i in 0..n {
+        a.push(i, i, -2.0);
+        if i + 1 < n {
+            a.push(i, i + 1, 1.0);
+            a.push(i + 1, i, 1.0);
+        }
+    }
+    let mut b = CooMatrix::new(n, 1);
+    b.push(0, 0, 1.0);
+    DescriptorSystem::new(CsrMatrix::identity(n), a.to_csr(), b.to_csr(), None).unwrap()
+}
+
+fn main() {
+    let inputs = InputSet::new(vec![Waveform::pulse(0.0, 1.0, 0.0, 0.05, 0.3, 0.05, 1.0)]);
+
+    println!("E2a — m-sweep at n = 400 (chain): linear ~O(m), fractional ~O(m²)\n");
+    let sys = chain(400);
+    let fsys = FractionalSystem::new(0.5, chain(400)).unwrap();
+    let widths = [8usize, 14, 14, 10];
+    row(
+        &[
+            "m".into(),
+            "linear".into(),
+            "fractional".into(),
+            "frac/lin".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    let mut series = Vec::new();
+    for &m in &[128usize, 256, 512, 1024, 2048] {
+        let u = inputs.bpf_matrix(m, 4.0);
+        let (_, t_lin) = timed(|| solve_linear(&sys, &u, 4.0, &vec![0.0; 400]).unwrap());
+        let (_, t_frac) = timed(|| solve_fractional(&fsys, &u, 4.0).unwrap());
+        row(
+            &[
+                format!("{m}"),
+                fmt_time(t_lin),
+                fmt_time(t_frac),
+                format!("{:.1}×", t_frac / t_lin),
+            ],
+            &widths,
+        );
+        series.push((m as f64, t_lin, t_frac));
+    }
+    let scaling = |a: (f64, f64), b: (f64, f64)| (b.1 / a.1).ln() / (b.0 / a.0).ln();
+    let lin_order = scaling(
+        (series[1].0, series[1].1),
+        (series[series.len() - 1].0, series[series.len() - 1].1),
+    );
+    let frac_order = scaling(
+        (series[1].0, series[1].2),
+        (series[series.len() - 1].0, series[series.len() - 1].2),
+    );
+    println!("\nfitted exponents in m: linear ≈ m^{lin_order:.2}, fractional ≈ m^{frac_order:.2}");
+
+    println!("\nE2b — n-sweep at m = 200 (power-grid MNA): sparse-solve scaling n^β\n");
+    let widths = [10usize, 10, 14, 16];
+    row(
+        &[
+            "grid".into(),
+            "n".into(),
+            "runtime".into(),
+            "per-column".into(),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    let mut pts = Vec::new();
+    for &g in &[6usize, 9, 13, 19, 27] {
+        let spec = PowerGridSpec {
+            layers: 2,
+            rows: g,
+            cols: g,
+            num_loads: 4,
+            ..Default::default()
+        };
+        let model = assemble_mna(&spec.build(), &[]).unwrap();
+        let n = model.system.order();
+        let m = 200;
+        let u = model.inputs.bpf_matrix(m, 10e-9);
+        let x0 = vec![0.0; n];
+        let (_, secs) = timed(|| solve_linear(&model.system, &u, 10e-9, &x0).unwrap());
+        row(
+            &[
+                format!("2×{g}×{g}"),
+                format!("{n}"),
+                fmt_time(secs),
+                fmt_time(secs / m as f64),
+            ],
+            &widths,
+        );
+        pts.push((n as f64, secs));
+    }
+    let beta = (pts[pts.len() - 1].1 / pts[1].1).ln() / (pts[pts.len() - 1].0 / pts[1].0).ln();
+    println!("\nfitted exponent in n: runtime ≈ n^{beta:.2} (paper: 1 < β < 2)");
+}

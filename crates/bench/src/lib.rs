@@ -1,0 +1,50 @@
+//! Shared plumbing for the experiment harness.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and the
+//! extension experiments listed in `DESIGN.md`; the Criterion benches in
+//! `benches/` measure the same kernels under a statistics harness.
+
+use std::time::Instant;
+
+/// Times a closure, returning (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Formats seconds human-readably (µs/ms/s).
+pub fn fmt_time(sec: f64) -> String {
+    if sec < 1e-3 {
+        format!("{:.2} µs", sec * 1e6)
+    } else if sec < 1.0 {
+        format!("{:.2} ms", sec * 1e3)
+    } else {
+        format!("{sec:.2} s")
+    }
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+/// Prints a rule line matching the given widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    println!("{}", "-".repeat(total));
+}
+
+/// Reads a scale factor from the environment (`OPM_SCALE`), defaulting to
+/// 1 — the Table II harness uses it to grow the grid toward paper scale.
+pub fn env_scale() -> usize {
+    std::env::var("OPM_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1)
+}

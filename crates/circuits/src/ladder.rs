@@ -1,0 +1,120 @@
+//! Ladder-network generators for convergence and scaling studies.
+
+use crate::netlist::{Circuit, Element};
+use opm_waveform::Waveform;
+
+/// Builds an `n`-section RC ladder driven by a voltage source:
+///
+/// ```text
+/// V ──ₙ₁─ R ─ₙ₂─ R ─ … ─ₙ_{k+1}
+///         │      │        │
+///         C      C        C
+///         ⏚      ⏚        ⏚
+/// ```
+///
+/// Returns the circuit; the interesting output is the far-end node
+/// `n_sections + 1` (the ladder has `n_sections + 1` nodes, node 1 driven).
+pub fn rc_ladder(n_sections: usize, r: f64, c: f64, drive: Waveform) -> Circuit {
+    assert!(n_sections >= 1, "need at least one section");
+    let mut ckt = Circuit::new();
+    let first = ckt.add_node();
+    ckt.add(Element::VoltageSource {
+        n1: first,
+        n2: 0,
+        waveform: drive,
+    })
+    .unwrap();
+    let mut prev = first;
+    for _ in 0..n_sections {
+        let next = ckt.add_node();
+        ckt.add(Element::Resistor {
+            n1: prev,
+            n2: next,
+            ohms: r,
+        })
+        .unwrap();
+        ckt.add(Element::Capacitor {
+            n1: next,
+            n2: 0,
+            farads: c,
+        })
+        .unwrap();
+        prev = next;
+    }
+    ckt
+}
+
+/// Builds an `n`-section RLC ladder (series R–L per rung, shunt C),
+/// a lumped transmission-line proxy with oscillatory transients.
+pub fn rlc_ladder(n_sections: usize, r: f64, l: f64, c: f64, drive: Waveform) -> Circuit {
+    assert!(n_sections >= 1, "need at least one section");
+    let mut ckt = Circuit::new();
+    let first = ckt.add_node();
+    ckt.add(Element::VoltageSource {
+        n1: first,
+        n2: 0,
+        waveform: drive,
+    })
+    .unwrap();
+    let mut prev = first;
+    for _ in 0..n_sections {
+        let mid = ckt.add_node();
+        let next = ckt.add_node();
+        ckt.add(Element::Resistor {
+            n1: prev,
+            n2: mid,
+            ohms: r,
+        })
+        .unwrap();
+        ckt.add(Element::Inductor {
+            n1: mid,
+            n2: next,
+            henries: l,
+        })
+        .unwrap();
+        ckt.add(Element::Capacitor {
+            n1: next,
+            n2: 0,
+            farads: c,
+        })
+        .unwrap();
+        prev = next;
+    }
+    ckt
+}
+
+/// Single-pole RC low-pass driven by a step — the canonical analytic
+/// oracle (`v_out(t) = V·(1 − e^{−t/RC})`). Output node is 2.
+pub fn single_rc(r: f64, c: f64, v: f64) -> Circuit {
+    rc_ladder(1, r, c, Waveform::step(0.0, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mna::assemble_mna;
+
+    #[test]
+    fn rc_ladder_dimensions() {
+        let ckt = rc_ladder(10, 100.0, 1e-9, Waveform::Dc(1.0));
+        // 11 nodes + 1 source current.
+        let m = assemble_mna(&ckt, &[]).unwrap();
+        assert_eq!(m.system.order(), 12);
+        assert_eq!(ckt.census(), (10, 0, 0, 1, 0));
+    }
+
+    #[test]
+    fn rlc_ladder_dimensions() {
+        let ckt = rlc_ladder(4, 1.0, 1e-9, 1e-12, Waveform::Dc(1.0));
+        // Nodes: 1 + 2·4 = 9; unknowns: 9 + 4 L + 1 V = 14.
+        let m = assemble_mna(&ckt, &[]).unwrap();
+        assert_eq!(m.system.order(), 14);
+    }
+
+    #[test]
+    fn single_rc_is_one_section() {
+        let ckt = single_rc(1e3, 1e-6, 5.0);
+        assert_eq!(ckt.num_nodes(), 2);
+        assert_eq!(ckt.census(), (1, 0, 0, 1, 0));
+    }
+}

@@ -1,0 +1,60 @@
+//! Circuit substrate: netlists, stamping, and workload generators.
+//!
+//! Everything between a circuit description and the system models OPM
+//! simulates:
+//!
+//! - [`netlist`] — elements (R, L, C, V/I sources, and the CPE
+//!   *constant-phase element*, the lumped fractional capacitor behind the
+//!   paper's transmission-line FDE model) and the [`Circuit`] container.
+//! - [`mna`] — modified nodal analysis: `Circuit` → [`DescriptorSystem`]
+//!   (first-order DAE) or, for all-CPE circuits, → `FractionalSystem`.
+//! - [`na`] — nodal analysis of RLC+I circuits → second-order
+//!   `C v̈ + G v̇ + Γ v = B u̇` (paper Table II's "NA model").
+//! - [`parser`] — a SPICE-flavoured netlist text format.
+//! - [`grid`] — parameterized 3-D RLC power-grid generator (Table II's
+//!   workload family).
+//! - [`tline`] — the fractional transmission line of Table I: a resistive
+//!   ladder with CPE shunts, 7 MNA unknowns, 2 ports, order ½.
+//! - [`ladder`] — RC/RLC ladders for convergence studies.
+//!
+//! [`Circuit`]: netlist::Circuit
+//! [`DescriptorSystem`]: opm_system::DescriptorSystem
+
+pub mod grid;
+pub mod ladder;
+pub mod mna;
+pub mod na;
+pub mod netlist;
+pub mod parser;
+pub mod tline;
+
+pub use grid::PowerGridSpec;
+pub use netlist::{Circuit, Element};
+pub use tline::FractionalLineSpec;
+
+/// Errors raised while assembling circuit equations.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CircuitError {
+    /// The circuit references a node beyond the declared range.
+    BadNode(usize),
+    /// An element value is non-physical (≤ 0 for R/L/C/CPE magnitudes).
+    BadValue(String),
+    /// The requested formulation cannot represent the circuit (e.g.
+    /// fractional assembly with inductors present).
+    Unsupported(String),
+    /// Netlist text could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CircuitError::BadNode(n) => write!(f, "node {n} out of range"),
+            CircuitError::BadValue(s) => write!(f, "bad element value: {s}"),
+            CircuitError::Unsupported(s) => write!(f, "unsupported formulation: {s}"),
+            CircuitError::Parse(s) => write!(f, "parse error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}

@@ -1,0 +1,269 @@
+//! Circuit elements and the netlist container.
+//!
+//! Nodes are dense indices with `0` = ground; elements reference nodes by
+//! index. The [`Circuit`] is a passive container — formulations live in
+//! [`mna`](crate::mna) and [`na`](crate::na).
+
+use crate::CircuitError;
+use opm_waveform::Waveform;
+
+/// A circuit element.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Element {
+    /// Resistor of `ohms` between `n1` and `n2`.
+    Resistor {
+        /// Positive terminal node.
+        n1: usize,
+        /// Negative terminal node.
+        n2: usize,
+        /// Resistance in ohms (> 0).
+        ohms: f64,
+    },
+    /// Capacitor of `farads` between `n1` and `n2`.
+    Capacitor {
+        /// Positive terminal node.
+        n1: usize,
+        /// Negative terminal node.
+        n2: usize,
+        /// Capacitance in farads (> 0).
+        farads: f64,
+    },
+    /// Inductor of `henries` between `n1` and `n2` (adds one MNA unknown).
+    Inductor {
+        /// Positive terminal node.
+        n1: usize,
+        /// Negative terminal node.
+        n2: usize,
+        /// Inductance in henries (> 0).
+        henries: f64,
+    },
+    /// Constant-phase element: `i = q·d^α(v₁ − v₂)/dt^α` — the lumped
+    /// fractional capacitor (α = 1 recovers a capacitor, α = 0 a
+    /// conductance). Used to build fractional transmission-line models.
+    Cpe {
+        /// Positive terminal node.
+        n1: usize,
+        /// Negative terminal node.
+        n2: usize,
+        /// Pseudo-capacitance `q` in F·s^{α−1} (> 0).
+        q: f64,
+        /// Fractional order `0 < α ≤ 1`.
+        alpha: f64,
+    },
+    /// Independent voltage source `v(n1) − v(n2) = w(t)` (adds one MNA
+    /// unknown: its current).
+    VoltageSource {
+        /// Positive terminal node.
+        n1: usize,
+        /// Negative terminal node.
+        n2: usize,
+        /// Source waveform.
+        waveform: Waveform,
+    },
+    /// Independent current source driving `w(t)` amperes from `n1`
+    /// through the source to `n2` (SPICE convention: positive current
+    /// leaves `n1`).
+    CurrentSource {
+        /// Terminal the current leaves.
+        n1: usize,
+        /// Terminal the current enters.
+        n2: usize,
+        /// Source waveform.
+        waveform: Waveform,
+    },
+}
+
+impl Element {
+    /// The two terminal nodes.
+    pub fn nodes(&self) -> (usize, usize) {
+        match *self {
+            Element::Resistor { n1, n2, .. }
+            | Element::Capacitor { n1, n2, .. }
+            | Element::Inductor { n1, n2, .. }
+            | Element::Cpe { n1, n2, .. }
+            | Element::VoltageSource { n1, n2, .. }
+            | Element::CurrentSource { n1, n2, .. } => (n1, n2),
+        }
+    }
+}
+
+/// A flat netlist.
+///
+/// ```
+/// use opm_circuits::{Circuit, Element};
+/// use opm_waveform::Waveform;
+/// let mut ckt = Circuit::new();
+/// let n1 = ckt.add_node();
+/// ckt.add(Element::VoltageSource { n1, n2: 0, waveform: Waveform::Dc(1.0) }).unwrap();
+/// let n2 = ckt.add_node();
+/// ckt.add(Element::Resistor { n1, n2, ohms: 1e3 }).unwrap();
+/// ckt.add(Element::Capacitor { n1: n2, n2: 0, farads: 1e-9 }).unwrap();
+/// assert_eq!(ckt.num_nodes(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    num_nodes: usize,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit (ground only).
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Allocates a fresh node, returning its index (1-based; 0 = ground).
+    pub fn add_node(&mut self) -> usize {
+        self.num_nodes += 1;
+        self.num_nodes
+    }
+
+    /// Ensures nodes up to `n` exist (for externally numbered netlists).
+    pub fn ensure_node(&mut self, n: usize) {
+        self.num_nodes = self.num_nodes.max(n);
+    }
+
+    /// Number of non-ground nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Adds an element after validating nodes and values.
+    ///
+    /// # Errors
+    /// [`CircuitError::BadNode`] for out-of-range nodes;
+    /// [`CircuitError::BadValue`] for non-positive R/L/C/CPE magnitudes or
+    /// CPE order outside `(0, 1]`.
+    pub fn add(&mut self, e: Element) -> Result<(), CircuitError> {
+        let (n1, n2) = e.nodes();
+        for n in [n1, n2] {
+            if n > self.num_nodes {
+                return Err(CircuitError::BadNode(n));
+            }
+        }
+        match &e {
+            Element::Resistor { ohms: v, .. } if *v <= 0.0 => {
+                return Err(CircuitError::BadValue(format!("R = {v}")))
+            }
+            Element::Capacitor { farads: v, .. } if *v <= 0.0 => {
+                return Err(CircuitError::BadValue(format!("C = {v}")))
+            }
+            Element::Inductor { henries: v, .. } if *v <= 0.0 => {
+                return Err(CircuitError::BadValue(format!("L = {v}")))
+            }
+            Element::Cpe { q, alpha, .. } => {
+                if *q <= 0.0 {
+                    return Err(CircuitError::BadValue(format!("CPE q = {q}")));
+                }
+                if !(*alpha > 0.0 && *alpha <= 1.0) {
+                    return Err(CircuitError::BadValue(format!("CPE α = {alpha}")));
+                }
+            }
+            _ => {}
+        }
+        self.elements.push(e);
+        Ok(())
+    }
+
+    /// Counts elements of each dynamic kind: `(capacitors, inductors,
+    /// CPEs, vsrcs, isrcs)`.
+    pub fn census(&self) -> (usize, usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0, 0);
+        for e in &self.elements {
+            match e {
+                Element::Capacitor { .. } => c.0 += 1,
+                Element::Inductor { .. } => c.1 += 1,
+                Element::Cpe { .. } => c.2 += 1,
+                Element::VoltageSource { .. } => c.3 += 1,
+                Element::CurrentSource { .. } => c.4 += 1,
+                Element::Resistor { .. } => {}
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_allocation() {
+        let mut c = Circuit::new();
+        assert_eq!(c.add_node(), 1);
+        assert_eq!(c.add_node(), 2);
+        c.ensure_node(10);
+        assert_eq!(c.num_nodes(), 10);
+        c.ensure_node(3); // no shrink
+        assert_eq!(c.num_nodes(), 10);
+    }
+
+    #[test]
+    fn add_validates_nodes_and_values() {
+        let mut c = Circuit::new();
+        let n1 = c.add_node();
+        assert_eq!(
+            c.add(Element::Resistor {
+                n1,
+                n2: 5,
+                ohms: 1.0
+            }),
+            Err(CircuitError::BadNode(5))
+        );
+        assert!(matches!(
+            c.add(Element::Resistor {
+                n1,
+                n2: 0,
+                ohms: -1.0
+            }),
+            Err(CircuitError::BadValue(_))
+        ));
+        assert!(matches!(
+            c.add(Element::Cpe {
+                n1,
+                n2: 0,
+                q: 1.0,
+                alpha: 1.5
+            }),
+            Err(CircuitError::BadValue(_))
+        ));
+        assert!(c
+            .add(Element::Cpe {
+                n1,
+                n2: 0,
+                q: 1.0,
+                alpha: 1.0
+            })
+            .is_ok());
+    }
+
+    #[test]
+    fn census_counts() {
+        let mut c = Circuit::new();
+        let n1 = c.add_node();
+        c.add(Element::Resistor {
+            n1,
+            n2: 0,
+            ohms: 1.0,
+        })
+        .unwrap();
+        c.add(Element::Capacitor {
+            n1,
+            n2: 0,
+            farads: 1.0,
+        })
+        .unwrap();
+        c.add(Element::CurrentSource {
+            n1,
+            n2: 0,
+            waveform: Waveform::Dc(1.0),
+        })
+        .unwrap();
+        assert_eq!(c.census(), (1, 0, 0, 0, 1));
+    }
+}

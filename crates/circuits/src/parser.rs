@@ -1,0 +1,372 @@
+//! A SPICE-flavoured netlist text parser.
+//!
+//! Supported element cards (case-insensitive, `*` comments, `.end` stops):
+//!
+//! ```text
+//! R<name> n1 n2 <value>
+//! C<name> n1 n2 <value>
+//! L<name> n1 n2 <value>
+//! P<name> n1 n2 CPE <q> <alpha>
+//! V<name> n1 n2 DC <v> | PULSE(v1 v2 delay rise width fall period)
+//!                      | SIN(offset ampl freq [delay [damp]])
+//!                      | PWL(t1 v1 t2 v2 …)
+//! I<name> n1 n2 <same source syntax>
+//! ```
+//!
+//! Values accept SPICE suffixes (`f p n u m k meg g t`). Node `0`, `gnd`
+//! and `GND` are ground; other node names are assigned dense indices in
+//! first-appearance order.
+
+use crate::netlist::{Circuit, Element};
+use crate::CircuitError;
+use opm_waveform::Waveform;
+use std::collections::HashMap;
+
+/// Result of parsing: the circuit plus the node-name table.
+#[derive(Clone, Debug)]
+pub struct ParsedCircuit {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// Maps node names to indices (ground not included).
+    pub node_names: HashMap<String, usize>,
+}
+
+impl ParsedCircuit {
+    /// Looks up a node index by name.
+    pub fn node(&self, name: &str) -> Option<usize> {
+        if is_ground(name) {
+            Some(0)
+        } else {
+            self.node_names.get(name).copied()
+        }
+    }
+}
+
+fn is_ground(name: &str) -> bool {
+    name == "0" || name.eq_ignore_ascii_case("gnd")
+}
+
+/// Parses a SPICE value with magnitude suffix.
+///
+/// ```
+/// use opm_circuits::parser::parse_value;
+/// assert_eq!(parse_value("1k").unwrap(), 1e3);
+/// assert_eq!(parse_value("2.5n").unwrap(), 2.5e-9);
+/// assert_eq!(parse_value("3meg").unwrap(), 3e6);
+/// ```
+///
+/// # Errors
+/// [`CircuitError::Parse`] on malformed input.
+pub fn parse_value(s: &str) -> Result<f64, CircuitError> {
+    let lower = s.to_ascii_lowercase();
+    let (num_part, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
+        (stripped, 1e6)
+    } else if let Some(stripped) = lower.strip_suffix('f') {
+        (stripped, 1e-15)
+    } else if let Some(stripped) = lower.strip_suffix('p') {
+        (stripped, 1e-12)
+    } else if let Some(stripped) = lower.strip_suffix('n') {
+        (stripped, 1e-9)
+    } else if let Some(stripped) = lower.strip_suffix('u') {
+        (stripped, 1e-6)
+    } else if let Some(stripped) = lower.strip_suffix('m') {
+        (stripped, 1e-3)
+    } else if let Some(stripped) = lower.strip_suffix('k') {
+        (stripped, 1e3)
+    } else if let Some(stripped) = lower.strip_suffix('g') {
+        (stripped, 1e9)
+    } else if let Some(stripped) = lower.strip_suffix('t') {
+        (stripped, 1e12)
+    } else {
+        (lower.as_str(), 1.0)
+    };
+    num_part
+        .parse::<f64>()
+        .map(|v| v * mult)
+        .map_err(|_| CircuitError::Parse(format!("bad value '{s}'")))
+}
+
+/// Parses a netlist text into a circuit.
+///
+/// # Errors
+/// [`CircuitError::Parse`] describing the offending line.
+pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
+    let mut circuit = Circuit::new();
+    let mut node_names: HashMap<String, usize> = HashMap::new();
+
+    // Normalize source continuations like "PULSE(0 1" split across tokens:
+    // we tokenize per line, joining parenthesized groups.
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if line.eq_ignore_ascii_case(".end") {
+            break;
+        }
+        if line.starts_with('.') {
+            continue; // other dot-cards ignored
+        }
+        let tokens = tokenize(line);
+        if tokens.len() < 4 {
+            return Err(CircuitError::Parse(format!(
+                "line {}: too few fields: '{line}'",
+                lineno + 1
+            )));
+        }
+        let kind = tokens[0]
+            .chars()
+            .next()
+            .unwrap()
+            .to_ascii_uppercase();
+        let mut node = |name: &str, circuit: &mut Circuit| -> usize {
+            if is_ground(name) {
+                0
+            } else if let Some(&idx) = node_names.get(name) {
+                idx
+            } else {
+                let idx = circuit.add_node();
+                node_names.insert(name.to_string(), idx);
+                idx
+            }
+        };
+        let n1 = node(&tokens[1], &mut circuit);
+        let n2 = node(&tokens[2], &mut circuit);
+        let err_line = |msg: String| CircuitError::Parse(format!("line {}: {msg}", lineno + 1));
+
+        let element = match kind {
+            'R' => Element::Resistor {
+                n1,
+                n2,
+                ohms: parse_value(&tokens[3])?,
+            },
+            'C' => Element::Capacitor {
+                n1,
+                n2,
+                farads: parse_value(&tokens[3])?,
+            },
+            'L' => Element::Inductor {
+                n1,
+                n2,
+                henries: parse_value(&tokens[3])?,
+            },
+            'P' => {
+                if !tokens[3].eq_ignore_ascii_case("cpe") || tokens.len() < 6 {
+                    return Err(err_line("CPE card needs: P n1 n2 CPE q alpha".into()));
+                }
+                Element::Cpe {
+                    n1,
+                    n2,
+                    q: parse_value(&tokens[4])?,
+                    alpha: parse_value(&tokens[5])?,
+                }
+            }
+            'V' | 'I' => {
+                let w = parse_source(&tokens[3..]).map_err(|e| match e {
+                    CircuitError::Parse(m) => err_line(m),
+                    other => other,
+                })?;
+                if kind == 'V' {
+                    Element::VoltageSource {
+                        n1,
+                        n2,
+                        waveform: w,
+                    }
+                } else {
+                    Element::CurrentSource {
+                        n1,
+                        n2,
+                        waveform: w,
+                    }
+                }
+            }
+            other => {
+                return Err(err_line(format!("unknown element type '{other}'")));
+            }
+        };
+        circuit
+            .add(element)
+            .map_err(|e| err_line(format!("{e}")))?;
+    }
+    Ok(ParsedCircuit {
+        circuit,
+        node_names,
+    })
+}
+
+/// Splits a line into tokens, treating `NAME(a b c)` groups as
+/// `NAME ( a b c )` so sources parse uniformly.
+fn tokenize(line: &str) -> Vec<String> {
+    let spaced = line.replace('(', " ( ").replace(')', " ) ");
+    spaced
+        .split_whitespace()
+        .map(str::to_string)
+        .collect()
+}
+
+fn parse_source(tokens: &[String]) -> Result<Waveform, CircuitError> {
+    let bad = |m: &str| CircuitError::Parse(m.to_string());
+    if tokens.is_empty() {
+        return Err(bad("missing source specification"));
+    }
+    let head = tokens[0].to_ascii_uppercase();
+    // Bare value ⇒ DC.
+    if head != "DC" && head != "PULSE" && head != "SIN" && head != "PWL" && head != "EXP" {
+        return Ok(Waveform::Dc(parse_value(&tokens[0])?));
+    }
+    match head.as_str() {
+        "DC" => {
+            let v = tokens.get(1).ok_or_else(|| bad("DC needs a value"))?;
+            Ok(Waveform::Dc(parse_value(v)?))
+        }
+        "PULSE" | "SIN" | "PWL" | "EXP" => {
+            let args: Vec<f64> = tokens[1..]
+                .iter()
+                .filter(|t| *t != "(" && *t != ")")
+                .map(|t| parse_value(t))
+                .collect::<Result<_, _>>()?;
+            match head.as_str() {
+                "PULSE" => {
+                    if args.len() != 7 {
+                        return Err(bad("PULSE needs 7 arguments"));
+                    }
+                    Ok(Waveform::pulse(
+                        args[0], args[1], args[2], args[3], args[4], args[5], args[6],
+                    ))
+                }
+                "SIN" => {
+                    if args.len() < 3 {
+                        return Err(bad("SIN needs at least offset, ampl, freq"));
+                    }
+                    Ok(Waveform::sine(
+                        args[0],
+                        args[1],
+                        args[2],
+                        args.get(3).copied().unwrap_or(0.0),
+                        args.get(4).copied().unwrap_or(0.0),
+                    ))
+                }
+                "EXP" => {
+                    if args.len() != 6 {
+                        return Err(bad("EXP needs 6 arguments"));
+                    }
+                    Ok(Waveform::exp(
+                        args[0], args[1], args[2], args[3], args[4], args[5],
+                    ))
+                }
+                _ => {
+                    if args.len() < 2 || args.len() % 2 != 0 {
+                        return Err(bad("PWL needs t/v pairs"));
+                    }
+                    let pts = args.chunks(2).map(|c| (c[0], c[1])).collect();
+                    Ok(Waveform::pwl(pts))
+                }
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RC: &str = "\
+* simple RC low-pass
+V1 in 0 PULSE(0 1 0 1n 5n 1n 20n)
+R1 in out 1k
+C1 out 0 1n
+.end
+ignored after end
+";
+
+    #[test]
+    fn parses_rc_netlist() {
+        let parsed = parse_netlist(RC).unwrap();
+        assert_eq!(parsed.circuit.num_nodes(), 2);
+        assert_eq!(parsed.circuit.elements().len(), 3);
+        assert_eq!(parsed.node("in"), Some(1));
+        assert_eq!(parsed.node("out"), Some(2));
+        assert_eq!(parsed.node("0"), Some(0));
+        assert_eq!(parsed.node("gnd"), Some(0));
+    }
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("100").unwrap(), 100.0);
+        assert_eq!(parse_value("1.5k").unwrap(), 1500.0);
+        assert_eq!(parse_value("2u").unwrap(), 2e-6);
+        assert_eq!(parse_value("3p").unwrap(), 3e-12);
+        assert_eq!(parse_value("4f").unwrap(), 4e-15);
+        assert_eq!(parse_value("1meg").unwrap(), 1e6);
+        assert_eq!(parse_value("1M").unwrap(), 1e-3); // SPICE: m = milli!
+        assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn parses_sources() {
+        let text = "\
+V1 a 0 DC 5
+I1 a 0 SIN(0 1m 1meg)
+V2 b 0 PWL(0 0 1n 1 2n 0)
+R1 a b 1k
+";
+        let parsed = parse_netlist(text).unwrap();
+        let (c, l, p, v, i) = parsed.circuit.census();
+        assert_eq!((c, l, p, v, i), (0, 0, 0, 2, 1));
+        match &parsed.circuit.elements()[0] {
+            Element::VoltageSource { waveform, .. } => {
+                assert_eq!(waveform.eval(1.0), 5.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_exp_source() {
+        let text = "V1 a 0 EXP(0 1 1n 2n 10n 3n)\nR1 a 0 1k\n";
+        let parsed = parse_netlist(text).unwrap();
+        match &parsed.circuit.elements()[0] {
+            Element::VoltageSource { waveform, .. } => {
+                assert_eq!(waveform.eval(0.0), 0.0);
+                assert!(waveform.eval(9e-9) > 0.9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_cpe_card() {
+        let text = "P1 n1 0 CPE 1u 0.5\nR1 n1 0 50\n";
+        let parsed = parse_netlist(text).unwrap();
+        match &parsed.circuit.elements()[0] {
+            Element::Cpe { q, alpha, .. } => {
+                assert_eq!(*q, 1e-6);
+                assert_eq!(*alpha, 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_reporting_includes_line() {
+        let err = parse_netlist("R1 a b\n").unwrap_err();
+        match err {
+            CircuitError::Parse(m) => assert!(m.contains("line 1"), "{m}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        let err = parse_netlist("X1 a b 5\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse(_)));
+    }
+
+    #[test]
+    fn parsed_rc_assembles() {
+        let parsed = parse_netlist(RC).unwrap();
+        let model = crate::mna::assemble_mna(
+            &parsed.circuit,
+            &[crate::mna::Output::NodeVoltage(parsed.node("out").unwrap())],
+        )
+        .unwrap();
+        assert_eq!(model.system.order(), 3);
+    }
+}

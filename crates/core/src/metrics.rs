@@ -1,0 +1,91 @@
+//! Error metrics used by the experiment harness.
+
+/// The paper's Eq. (30) relative error in dB:
+/// `err = 20·log₁₀(‖y_test − y_ref‖₂ / ‖y_ref‖₂)`.
+///
+/// Note the paper normalizes by the *OPM* waveform and measures the FFT
+/// baselines against it; pass OPM as `reference` to reproduce Table I.
+///
+/// # Panics
+/// Panics on length mismatch or an all-zero reference.
+pub fn relative_error_db(test: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(test.len(), reference.len(), "series length mismatch");
+    let diff: f64 = test
+        .iter()
+        .zip(reference)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum();
+    let norm: f64 = reference.iter().map(|b| b * b).sum();
+    assert!(norm > 0.0, "reference norm is zero");
+    20.0 * (diff.sqrt() / norm.sqrt()).log10()
+}
+
+/// Stacked multi-channel version of [`relative_error_db`] (concatenates
+/// all channels into one vector, as the paper's `‖y‖₂` over `y ∈ R²`).
+pub fn relative_error_db_multi(test: &[Vec<f64>], reference: &[Vec<f64>]) -> f64 {
+    assert_eq!(test.len(), reference.len(), "channel count mismatch");
+    let mut diff = 0.0;
+    let mut norm = 0.0;
+    for (t, r) in test.iter().zip(reference) {
+        assert_eq!(t.len(), r.len(), "series length mismatch");
+        for (a, b) in t.iter().zip(r) {
+            diff += (a - b) * (a - b);
+            norm += b * b;
+        }
+    }
+    assert!(norm > 0.0, "reference norm is zero");
+    20.0 * (diff.sqrt() / norm.sqrt()).log10()
+}
+
+/// Maximum absolute deviation.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square deviation.
+pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    let s: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (s / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_scale_sanity() {
+        let reference = vec![1.0, 0.0, 0.0];
+        // 10% error ⇒ −20 dB.
+        let test = vec![1.1, 0.0, 0.0];
+        assert!((relative_error_db(&test, &reference) + 20.0).abs() < 1e-12);
+        // 1% ⇒ −40 dB.
+        let test = vec![1.01, 0.0, 0.0];
+        assert!((relative_error_db(&test, &reference) + 40.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn multi_channel_stacks() {
+        let r = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let t = vec![vec![1.0, 0.1], vec![0.0, 1.0]];
+        // ‖diff‖ = 0.1, ‖ref‖ = √2 ⇒ 20·log10(0.1/√2).
+        let want = 20.0 * (0.1f64 / 2.0f64.sqrt()).log10();
+        assert!((relative_error_db_multi(&t, &r) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_diffs() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0], &[0.5, 2.5]), 0.5);
+        assert!((rms_diff(&[1.0, 1.0], &[0.0, 0.0]) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        relative_error_db(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! The discrete Fourier transform by definition — `O(N²)`, any length.
+//!
+//! Kept as the oracle the fast transforms are tested against, and as the
+//! fallback for tiny transforms where setup costs dominate.
+
+use opm_linalg::Complex64;
+
+/// Forward DFT (`X_k = Σ_n x_n e^{−2πikn/N}`).
+pub fn dft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut s = Complex64::ZERO;
+        for (idx, &x) in input.iter().enumerate() {
+            let ang = -2.0 * std::f64::consts::PI * (k * idx % n) as f64 / n as f64;
+            s += x * Complex64::from_polar(1.0, ang);
+        }
+        *o = s;
+    }
+    out
+}
+
+/// Inverse DFT.
+pub fn idft(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    let conj: Vec<Complex64> = input.iter().map(|z| z.conj()).collect();
+    dft(&conj)
+        .into_iter()
+        .map(|z| z.conj().scale(1.0 / n as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Complex64::ZERO; 7];
+        x[0] = Complex64::ONE;
+        for z in dft(&x) {
+            assert!((z - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn idft_inverts_dft_odd_length() {
+        let x: Vec<Complex64> = (0..9)
+            .map(|i| Complex64::new(i as f64, -(i as f64) * 0.3))
+            .collect();
+        let back = idft(&dft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            assert!((*a - *b).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let x: Vec<Complex64> = (0..5).map(|i| Complex64::new(i as f64, 1.0)).collect();
+        let y: Vec<Complex64> = (0..5).map(|i| Complex64::new(1.0, -(i as f64))).collect();
+        let sum: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        let lhs = dft(&sum);
+        let fx = dft(&x);
+        let fy = dft(&y);
+        for k in 0..5 {
+            assert!((lhs[k] - (fx[k] + fy[k])).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Generalized binomial coefficients `C(α, k)` for real `α`.
+//!
+//! These drive both the Grünwald–Letnikov weights and the binomial-series
+//! expansions behind the fractional Tustin coefficients of the paper's
+//! Eq. (21).
+
+/// Generalized binomial coefficient
+/// `C(α, k) = α·(α−1)⋯(α−k+1) / k!` for real `α` and integer `k ≥ 0`.
+///
+/// Computed by the stable product recurrence (no gamma-function
+/// cancellation).
+///
+/// ```
+/// use opm_fracnum::binomial_alpha;
+/// assert_eq!(binomial_alpha(5.0, 2), 10.0);
+/// // C(1/2, 2) = (1/2)(−1/2)/2 = −1/8
+/// assert!((binomial_alpha(0.5, 2) + 0.125).abs() < 1e-15);
+/// ```
+pub fn binomial_alpha(alpha: f64, k: usize) -> f64 {
+    let mut c = 1.0;
+    for i in 0..k {
+        c *= (alpha - i as f64) / (i as f64 + 1.0);
+    }
+    c
+}
+
+/// First `n` coefficients of the binomial series `(1 + q)^α = Σ C(α,k) q^k`.
+pub fn binomial_series(alpha: f64, n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut c = 1.0;
+    for k in 0..n {
+        out.push(c);
+        c *= (alpha - k as f64) / (k as f64 + 1.0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_alpha_matches_pascal() {
+        let pascal5 = [1.0, 5.0, 10.0, 10.0, 5.0, 1.0];
+        for (k, &want) in pascal5.iter().enumerate() {
+            assert_eq!(binomial_alpha(5.0, k), want);
+        }
+        // Beyond the top of the triangle the coefficients vanish.
+        assert_eq!(binomial_alpha(5.0, 6), 0.0);
+        assert_eq!(binomial_alpha(5.0, 9), 0.0);
+    }
+
+    #[test]
+    fn negative_alpha_alternating() {
+        // C(−1, k) = (−1)^k.
+        for k in 0..8 {
+            assert_eq!(binomial_alpha(-1.0, k), if k % 2 == 0 { 1.0 } else { -1.0 });
+        }
+    }
+
+    #[test]
+    fn series_matches_pointwise() {
+        let s = binomial_series(0.7, 10);
+        for (k, &v) in s.iter().enumerate() {
+            assert!((v - binomial_alpha(0.7, k)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn series_sums_to_power_of_two() {
+        // Σ_k C(α,k) x^k at x=1 converges to 2^α for α > −1.
+        let alpha = 0.5;
+        let s = binomial_series(alpha, 2000);
+        let total: f64 = s.iter().sum();
+        assert!((total - 2f64.powf(alpha)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn vandermonde_identity_spot_check() {
+        // Σ_j C(a,j)·C(b,k−j) = C(a+b,k)
+        let (a, b, k) = (0.5, 1.5, 6);
+        let mut sum = 0.0;
+        for j in 0..=k {
+            sum += binomial_alpha(a, j) * binomial_alpha(b, k - j);
+        }
+        assert!((sum - binomial_alpha(a + b, k)).abs() < 1e-12);
+    }
+}

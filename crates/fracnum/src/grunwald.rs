@@ -1,0 +1,156 @@
+//! Grünwald–Letnikov fractional differentiation.
+//!
+//! The GL definition
+//! `D^α f(t) = lim_{h→0} h^{−α} Σ_k (−1)^k C(α,k) f(t − kh)`
+//! is the classical finite-difference route to fractional derivatives —
+//! the "traditional transient analysis" the paper contrasts OPM against is
+//! extended to FDEs exactly this way. The coefficients also power the GL
+//! baseline time-stepper in `opm-transient`.
+
+
+/// Precomputed Grünwald–Letnikov weights `w_k = (−1)^k·C(α, k)`.
+///
+/// Satisfy the recurrence `w_0 = 1`, `w_k = w_{k−1}·(k − 1 − α)/k`, which is
+/// how they are generated (numerically stable, O(n)).
+///
+/// ```
+/// use opm_fracnum::GrunwaldCoefficients;
+/// let g = GrunwaldCoefficients::new(1.0, 4);
+/// // Order 1: finite difference weights [1, −1, 0, 0].
+/// assert_eq!(g.as_slice(), &[1.0, -1.0, 0.0, 0.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GrunwaldCoefficients {
+    alpha: f64,
+    w: Vec<f64>,
+}
+
+impl GrunwaldCoefficients {
+    /// Generates the first `n` weights for order `α`.
+    pub fn new(alpha: f64, n: usize) -> Self {
+        let mut w = Vec::with_capacity(n);
+        if n > 0 {
+            w.push(1.0);
+            for k in 1..n {
+                let prev = w[k - 1];
+                w.push(prev * ((k as f64 - 1.0 - alpha) / k as f64));
+            }
+        }
+        GrunwaldCoefficients { alpha, w }
+    }
+
+    /// The differentiation order.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of generated weights.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True when no weights were generated.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Borrows the weights.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// `w_k`.
+    ///
+    /// # Panics
+    /// Panics when `k` is out of range.
+    pub fn weight(&self, k: usize) -> f64 {
+        self.w[k]
+    }
+
+    /// Applies the GL derivative to uniformly sampled values
+    /// (`samples[i] = f(i·h)`, zero history before `t = 0`), returning the
+    /// derivative estimate at each sample point.
+    pub fn derivative(&self, samples: &[f64], h: f64) -> Vec<f64> {
+        let scale = h.powf(-self.alpha);
+        let n = samples.len();
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for k in 0..=i.min(self.w.len() - 1) {
+                s += self.w[k] * samples[i - k];
+            }
+            *o = scale * s;
+        }
+        out
+    }
+}
+
+/// GL weights of the *shifted* Grünwald formula are not provided: the plain
+/// formula is first-order accurate, which is all the baseline claims.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binomial::binomial_alpha;
+    use crate::gamma::gamma_fn;
+
+    #[test]
+    fn integer_order_weights_are_binomial() {
+        let g = GrunwaldCoefficients::new(2.0, 5);
+        assert_eq!(g.as_slice(), &[1.0, -2.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn recurrence_matches_binomial_formula() {
+        let alpha = 0.5;
+        let g = GrunwaldCoefficients::new(alpha, 20);
+        for k in 0..20 {
+            let direct = if k % 2 == 0 { 1.0 } else { -1.0 } * binomial_alpha(alpha, k);
+            assert!((g.weight(k) - direct).abs() < 1e-14, "k={k}");
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_zero_for_positive_order() {
+        // Σ_{k=0}^{∞} w_k = (1−1)^α = 0; partial sums decay like k^{−α}.
+        let g = GrunwaldCoefficients::new(0.5, 20000);
+        let s: f64 = g.as_slice().iter().sum();
+        assert!(s.abs() < 1e-2, "partial sum {s}");
+    }
+
+    #[test]
+    fn derivative_of_power_function() {
+        // D^α t^1 = t^{1−α} / Γ(2−α) for GL/RL with zero history.
+        let alpha = 0.5;
+        let h = 1e-4;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|i| i as f64 * h).collect();
+        let g = GrunwaldCoefficients::new(alpha, n);
+        let d = g.derivative(&samples, h);
+        let t = (n - 1) as f64 * h;
+        let want = t.powf(1.0 - alpha) / gamma_fn(2.0 - alpha);
+        let got = d[n - 1];
+        assert!(
+            (got - want).abs() < 5e-3 * want,
+            "GL derivative {got} vs analytic {want}"
+        );
+    }
+
+    #[test]
+    fn order_one_reduces_to_backward_difference() {
+        let g = GrunwaldCoefficients::new(1.0, 100);
+        let h = 0.01;
+        let samples: Vec<f64> = (0..100).map(|i| (i as f64 * h).powi(2)).collect();
+        let d = g.derivative(&samples, h);
+        // Backward difference of t² at t: (t² − (t−h)²)/h = 2t − h.
+        let t = 99.0 * h;
+        assert!((d[99] - (2.0 * t - h)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let g = GrunwaldCoefficients::new(0.7, 0);
+        assert!(g.is_empty());
+        let g1 = GrunwaldCoefficients::new(0.7, 1);
+        assert_eq!(g1.as_slice(), &[1.0]);
+    }
+}

@@ -1,0 +1,372 @@
+//! A self-contained double-precision complex number.
+//!
+//! The FFT baseline of the paper (Section V-A) requires complex arithmetic;
+//! rather than pulling in `num-complex` we provide the small surface the
+//! workspace needs: field arithmetic, conjugation, modulus/argument,
+//! exponential, powers with real exponents (for `(jω)^α`), and square roots.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use opm_linalg::Complex64;
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    ///
+    /// ```
+    /// use opm_linalg::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`, computed with `hypot` for overflow safety.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|²` (cheaper than [`abs`](Self::abs) when only
+    /// comparisons are needed).
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Principal argument in `(−π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns infinities when `z == 0`, mirroring `f64` division semantics.
+    #[inline]
+    pub fn inv(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Complex64::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Complex64::new(self.abs().ln(), self.arg())
+    }
+
+    /// Principal square root.
+    ///
+    /// ```
+    /// use opm_linalg::Complex64;
+    /// let z = Complex64::new(-1.0, 0.0).sqrt();
+    /// assert!((z - Complex64::I).abs() < 1e-15);
+    /// ```
+    pub fn sqrt(self) -> Self {
+        Complex64::from_polar(self.abs().sqrt(), 0.5 * self.arg())
+    }
+
+    /// Principal power with a real exponent, `z^α = e^{α ln z}`.
+    ///
+    /// This is the branch the paper's FFT baseline needs for `(jω)^α`.
+    pub fn powf(self, alpha: f64) -> Self {
+        if self == Complex64::ZERO {
+            return if alpha == 0.0 { Complex64::ONE } else { Complex64::ZERO };
+        }
+        (self.ln() * Complex64::from_real(alpha)).exp()
+    }
+
+    /// Integer power by repeated squaring.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Complex64::ONE;
+        }
+        let mut base = if n < 0 { self.inv() } else { self };
+        if n < 0 {
+            n = -n;
+        }
+        let mut acc = Complex64::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+
+    /// True when either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::from_real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        // Smith's algorithm: avoids overflow for widely scaled components.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Complex64::new(1.5, -2.0);
+        let b = Complex64::new(-0.25, 3.0);
+        let c = Complex64::new(4.0, 0.5);
+        assert!(close(a + b, b + a, 0.0));
+        assert!(close(a * b, b * a, 0.0));
+        assert!(close(a * (b + c), a * b + a * c, 1e-14));
+        assert!(close(a * a.inv(), Complex64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn division_matches_inverse_multiplication() {
+        let a = Complex64::new(2.0, -7.0);
+        let b = Complex64::new(-3.0, 0.4);
+        assert!(close(a / b, a * b.inv(), 1e-13));
+    }
+
+    #[test]
+    fn division_extreme_scales() {
+        // Smith's algorithm keeps widely scaled divisions finite where the
+        // naive formula would overflow the intermediate |b|^2.
+        let a = Complex64::new(1e300, 1e300);
+        let b = Complex64::new(1e300, 1e-300);
+        let q = a / b;
+        assert!(q.is_finite());
+        assert!(close(q, Complex64::new(1.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Complex64::I * PI).exp();
+        assert!(close(z, Complex64::new(-1.0, 0.0), 1e-15));
+    }
+
+    #[test]
+    fn ln_inverts_exp_principal() {
+        let z = Complex64::new(0.3, 1.2);
+        assert!(close(z.exp().ln(), z, 1e-14));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (-1.0, 0.0), (3.0, -4.0), (0.0, 2.0)] {
+            let z = Complex64::new(re, im);
+            let s = z.sqrt();
+            assert!(close(s * s, z, 1e-13), "sqrt failed for {z}");
+        }
+    }
+
+    #[test]
+    fn powf_half_order_branch() {
+        // (jω)^{1/2} for ω>0 must have argument π/4.
+        let z = (Complex64::I * 5.0).powf(0.5);
+        assert!((z.arg() - PI / 4.0).abs() < 1e-14);
+        assert!((z.abs() - 5.0f64.sqrt()).abs() < 1e-14);
+        // ω<0 branch: argument −π/4.
+        let w = (Complex64::new(0.0, -5.0)).powf(0.5);
+        assert!((w.arg() + PI / 4.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex64::new(0.9, 0.2);
+        let mut acc = Complex64::ONE;
+        for k in 0..=8 {
+            assert!(close(z.powi(k), acc, 1e-12));
+            acc *= z;
+        }
+        assert!(close(z.powi(-3), (z * z * z).inv(), 1e-12));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::new(-2.0, 1.0);
+        let w = Complex64::from_polar(z.abs(), z.arg());
+        assert!(close(z, w, 1e-14));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let s: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert!(close(s, Complex64::new(6.0, 4.0), 0.0));
+    }
+}

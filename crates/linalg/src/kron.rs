@@ -1,0 +1,119 @@
+//! Kronecker products and the `vec` operator.
+//!
+//! The paper formulates OPM as `(Dᵀ ⊗ E − I_m ⊗ A) vec(X) = (I_m ⊗ B) vec(U)`
+//! (Eqs. 15, 18, 27). Production solves go column-by-column instead, but the
+//! explicit Kronecker form is retained as a brute-force *oracle*: tests
+//! assert that the fast path reproduces it exactly on small systems.
+
+use crate::dense::{DMatrix, DVector};
+
+/// Kronecker product `a ⊗ b`.
+///
+/// The result has dimensions `(a.nrows·b.nrows) × (a.ncols·b.ncols)` — keep
+/// operands small; this is an oracle, not a production kernel.
+///
+/// ```
+/// use opm_linalg::{DMatrix, kron::kron};
+/// let i2 = DMatrix::identity(2);
+/// let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let k = kron(&i2, &a);
+/// assert_eq!(k.nrows(), 4);
+/// assert_eq!(k.get(2, 2), 1.0);
+/// assert_eq!(k.get(0, 2), 0.0);
+/// ```
+pub fn kron(a: &DMatrix, b: &DMatrix) -> DMatrix {
+    let (ar, ac) = (a.nrows(), a.ncols());
+    let (br, bc) = (b.nrows(), b.ncols());
+    let mut out = DMatrix::zeros(ar * br, ac * bc);
+    for i in 0..ar {
+        for j in 0..ac {
+            let aij = a.get(i, j);
+            if aij == 0.0 {
+                continue;
+            }
+            for p in 0..br {
+                for q in 0..bc {
+                    out.set(i * br + p, j * bc + q, aij * b.get(p, q));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Column-stacking `vec` operator: stacks the columns of `a` into one long
+/// vector (the convention used by the identity `vec(AXB) = (Bᵀ⊗A)vec(X)`).
+pub fn vec_of(a: &DMatrix) -> DVector {
+    let mut out = DVector::zeros(a.nrows() * a.ncols());
+    let mut k = 0;
+    for j in 0..a.ncols() {
+        for i in 0..a.nrows() {
+            out[k] = a.get(i, j);
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Inverse of [`vec_of`]: reshapes a stacked vector back into an
+/// `nrows × ncols` matrix.
+///
+/// # Panics
+/// Panics when `v.len() != nrows·ncols`.
+pub fn unvec(v: &DVector, nrows: usize, ncols: usize) -> DMatrix {
+    assert_eq!(v.len(), nrows * ncols, "unvec: size mismatch");
+    DMatrix::from_fn(nrows, ncols, |i, j| v[j * nrows + i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kron_identity_is_block_diag() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let k = kron(&DMatrix::identity(3), &a);
+        assert_eq!(k.nrows(), 6);
+        for blk in 0..3 {
+            for i in 0..2 {
+                for j in 0..2 {
+                    assert_eq!(k.get(blk * 2 + i, blk * 2 + j), a.get(i, j));
+                }
+            }
+        }
+        // Off-block entries vanish.
+        assert_eq!(k.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn vec_unvec_roundtrip() {
+        let a = DMatrix::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        let v = vec_of(&a);
+        assert_eq!(unvec(&v, 3, 4), a);
+        // Column-major ordering: first block of 3 entries is column 0.
+        assert_eq!(v.as_slice()[..3], [0.0, 10.0, 20.0]);
+    }
+
+    #[test]
+    fn vec_identity_axb() {
+        // vec(A·X·B) = (Bᵀ ⊗ A)·vec(X) — the identity OPM's Eq. (15) uses.
+        let a = DMatrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.5]]);
+        let x = DMatrix::from_rows(&[&[0.3, 1.0, 2.0], &[-0.7, 0.1, 0.4]]);
+        let b = DMatrix::from_rows(&[&[1.0, 0.0], &[0.5, -2.0], &[0.25, 3.0]]);
+        let lhs = vec_of(&a.mul_mat(&x).mul_mat(&b));
+        let rhs = kron(&b.transpose(), &a).mul_vec(&vec_of(&x));
+        assert!(lhs.sub(&rhs).norm_inf() < 1e-13);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0]]);
+        let b = DMatrix::from_rows(&[&[3.0, 0.0], &[1.0, 1.0]]);
+        let c = DMatrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.0]]);
+        let d = DMatrix::from_rows(&[&[0.5, 0.0], &[0.0, 2.0]]);
+        let lhs = kron(&a, &b).mul_mat(&kron(&c, &d));
+        let rhs = kron(&a.mul_mat(&c), &b.mul_mat(&d));
+        assert!(lhs.sub(&rhs).norm_max() < 1e-13);
+    }
+}

@@ -1,0 +1,230 @@
+//! Dense LU factorization with partial pivoting.
+//!
+//! This is the dense `O(n³)` workhorse used for small systems (the paper's
+//! Table I model has n = 7) and for validating the sparse solver in
+//! `opm-sparse`. The factorization is stored packed (L below the diagonal
+//! with unit diagonal implied, U on and above it) together with the row
+//! permutation.
+
+use crate::dense::{DMatrix, DVector};
+
+/// Packed LU factors `P·A = L·U` of a square matrix.
+///
+/// ```
+/// use opm_linalg::{DMatrix, DVector};
+/// let a = DMatrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]); // needs pivoting
+/// let f = a.factor_lu().unwrap();
+/// let x = f.solve(&DVector::from_slice(&[2.0, 2.0]));
+/// assert!((x[0] - 1.0).abs() < 1e-14 && (x[1] - 1.0).abs() < 1e-14);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LuFactors {
+    lu: DMatrix,
+    /// `perm[i]` = original row now sitting in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    perm_sign: f64,
+}
+
+impl LuFactors {
+    /// Factorizes `a` with partial (row) pivoting.
+    ///
+    /// Returns `None` when `a` is singular to working precision (a pivot
+    /// smaller than `n·‖a‖_max·ε` is encountered).
+    ///
+    /// # Panics
+    /// Panics when `a` is not square.
+    pub fn new(a: &DMatrix) -> Option<Self> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        let tiny = (n as f64) * a.norm_max() * f64::EPSILON;
+
+        for k in 0..n {
+            // Pivot search over column k, rows k..n.
+            let mut piv = k;
+            let mut best = lu.get(k, k).abs();
+            for i in k + 1..n {
+                let v = lu.get(i, k).abs();
+                if v > best {
+                    best = v;
+                    piv = i;
+                }
+            }
+            if best <= tiny || !best.is_finite() {
+                return None;
+            }
+            if piv != k {
+                for j in 0..n {
+                    let t = lu.get(k, j);
+                    lu.set(k, j, lu.get(piv, j));
+                    lu.set(piv, j, t);
+                }
+                perm.swap(k, piv);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in k + 1..n {
+                let m = lu.get(i, k) / pivot;
+                lu.set(i, k, m);
+                if m != 0.0 {
+                    for j in k + 1..n {
+                        let v = lu.get(i, j) - m * lu.get(k, j);
+                        lu.set(i, j, v);
+                    }
+                }
+            }
+        }
+        Some(LuFactors {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Panics
+    /// Panics when `b.len() != self.dim()`.
+    pub fn solve(&self, b: &DVector) -> DVector {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "solve: rhs length mismatch");
+        // Apply permutation: y = P·b.
+        let mut x = DVector::from_fn(n, |i| b[self.perm[i]]);
+        // Forward substitution with unit-diagonal L.
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        x
+    }
+
+    /// Solves `A·X = B` column-wise for a dense right-hand-side matrix.
+    pub fn solve_mat(&self, b: &DMatrix) -> DMatrix {
+        assert_eq!(b.nrows(), self.dim(), "solve_mat: dimension mismatch");
+        let mut out = DMatrix::zeros(b.nrows(), b.ncols());
+        for j in 0..b.ncols() {
+            out.set_col(j, &self.solve(&b.col(j)));
+        }
+        out
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal times
+    /// the permutation sign).
+    pub fn det(&self) -> f64 {
+        let mut d = self.perm_sign;
+        for i in 0..self.dim() {
+            d *= self.lu.get(i, i);
+        }
+        d
+    }
+
+    /// Explicit inverse; prefer [`solve`](Self::solve) in numerical code.
+    pub fn inverse(&self) -> DMatrix {
+        self.solve_mat(&DMatrix::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DMatrix, x: &DVector, b: &DVector) -> f64 {
+        a.mul_vec(x).sub(b).norm_inf()
+    }
+
+    #[test]
+    fn solves_well_conditioned_system() {
+        let a = DMatrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ]);
+        let b = DVector::from_slice(&[11.0, -16.0, 17.0]);
+        let x = a.factor_lu().unwrap().solve(&b);
+        assert!(residual(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let f = a.factor_lu().expect("permutation matrix is nonsingular");
+        let x = f.solve(&DVector::from_slice(&[2.0, 3.0]));
+        assert_eq!(x.as_slice(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.factor_lu().is_none());
+        let z = DMatrix::zeros(3, 3);
+        assert!(z.factor_lu().is_none());
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        let a = DMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!((a.factor_lu().unwrap().det() + 2.0).abs() < 1e-14);
+        let i = DMatrix::identity(5);
+        assert!((i.factor_lu().unwrap().det() - 1.0).abs() < 1e-15);
+        // Permutation flips the sign.
+        let p = DMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((p.factor_lu().unwrap().det() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = DMatrix::from_rows(&[&[2.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
+        let inv = a.factor_lu().unwrap().inverse();
+        let err = a.mul_mat(&inv).sub(&DMatrix::identity(3)).norm_max();
+        assert!(err < 1e-13);
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solve() {
+        let a = DMatrix::from_rows(&[&[3.0, 1.0], &[1.0, 2.0]]);
+        let b = DMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let f = a.factor_lu().unwrap();
+        let x = f.solve_mat(&b);
+        for j in 0..2 {
+            let xi = f.solve(&b.col(j));
+            assert!(x.col(j).sub(&xi).norm_inf() == 0.0);
+        }
+    }
+
+    #[test]
+    fn random_systems_solve_to_small_residual() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 20, 50] {
+            // Diagonally dominant => well conditioned.
+            let mut a = DMatrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+            for i in 0..n {
+                let s: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+                a.add_at(i, i, s + 1.0);
+            }
+            let xt = DVector::from_fn(n, |_| rng.random_range(-1.0..1.0));
+            let b = a.mul_vec(&xt);
+            let x = a.factor_lu().unwrap().solve(&b);
+            assert!(x.sub(&xt).norm_inf() < 1e-10, "n={n}");
+        }
+    }
+}

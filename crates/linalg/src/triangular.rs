@@ -1,0 +1,315 @@
+//! Functions of upper-triangular matrices via the Parlett recurrence.
+//!
+//! The paper computes the adaptive-step fractional operator `D̃^α` (Eq. 25)
+//! by eigendecomposition, noting it exists when no two steps are equal. The
+//! Parlett recurrence is the numerically preferable equivalent: for an
+//! upper-triangular `T` with distinct diagonal, `F = f(T)` satisfies
+//!
+//! ```text
+//! F[i,i] = f(T[i,i])
+//! F[i,j] = ( T[i,j]·(F[i,i] − F[j,j])
+//!          + Σ_{k=i+1}^{j−1} (F[i,k]·T[k,j] − T[i,k]·F[k,j]) )
+//!          / (T[i,i] − T[j,j])
+//! ```
+//!
+//! Crucially the recurrence is *column-local*: column `j` of `F` depends only
+//! on `T[0..=j, 0..=j]` and earlier columns of `F`. [`IncrementalTriangularFn`]
+//! exploits this so adaptive OPM can grow the operator one time-step at a
+//! time in `O(m²)` per step instead of refactoring from scratch.
+
+use crate::dense::DMatrix;
+
+/// Error returned when the Parlett recurrence is not applicable.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TriangularFnError {
+    /// The input matrix is not square.
+    NotSquare,
+    /// The input has entries below the diagonal above tolerance.
+    NotUpperTriangular,
+    /// Two diagonal entries coincide to working precision; the scalar
+    /// Parlett recurrence would divide by ≈ 0. The caller should fall back
+    /// to a series/block method (constant-step OPM does).
+    ConfluentDiagonal {
+        /// First of the two (near-)equal diagonal positions.
+        i: usize,
+        /// Second of the two (near-)equal diagonal positions.
+        j: usize,
+    },
+}
+
+impl std::fmt::Display for TriangularFnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TriangularFnError::NotSquare => write!(f, "matrix is not square"),
+            TriangularFnError::NotUpperTriangular => {
+                write!(f, "matrix is not upper triangular")
+            }
+            TriangularFnError::ConfluentDiagonal { i, j } => write!(
+                f,
+                "diagonal entries {i} and {j} coincide; Parlett recurrence undefined"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TriangularFnError {}
+
+/// Relative separation below which two diagonal entries are considered
+/// confluent.
+const CONFLUENCE_RTOL: f64 = 1e-10;
+
+fn check_confluence(diag: &[f64]) -> Result<(), TriangularFnError> {
+    for i in 0..diag.len() {
+        for j in i + 1..diag.len() {
+            let sep = (diag[i] - diag[j]).abs();
+            let scale = diag[i].abs().max(diag[j].abs()).max(1.0);
+            if sep <= CONFLUENCE_RTOL * scale {
+                return Err(TriangularFnError::ConfluentDiagonal { i, j });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Computes `f(T)` for an upper-triangular `T` with distinct diagonal.
+///
+/// # Errors
+/// See [`TriangularFnError`]. Confluent diagonals (e.g. a constant-step
+/// operational matrix, whose diagonal is all `2/h`) are rejected — use the
+/// nilpotent series expansion for that case, as the paper prescribes.
+///
+/// ```
+/// use opm_linalg::{DMatrix, triangular::fn_of_upper_triangular};
+/// let t = DMatrix::from_rows(&[&[1.0, 1.0], &[0.0, 4.0]]);
+/// let s = fn_of_upper_triangular(&t, f64::sqrt).unwrap();
+/// // s·s == t
+/// assert!(s.mul_mat(&s).sub(&t).norm_max() < 1e-12);
+/// ```
+pub fn fn_of_upper_triangular(
+    t: &DMatrix,
+    f: impl Fn(f64) -> f64,
+) -> Result<DMatrix, TriangularFnError> {
+    if !t.is_square() {
+        return Err(TriangularFnError::NotSquare);
+    }
+    let n = t.nrows();
+    let tol = 1e-12 * t.norm_max().max(1.0);
+    if !t.is_upper_triangular(tol) {
+        return Err(TriangularFnError::NotUpperTriangular);
+    }
+    let diag: Vec<f64> = (0..n).map(|i| t.get(i, i)).collect();
+    check_confluence(&diag)?;
+
+    let mut fm = DMatrix::zeros(n, n);
+    for j in 0..n {
+        fm.set(j, j, f(diag[j]));
+        for i in (0..j).rev() {
+            let mut num = t.get(i, j) * (fm.get(i, i) - fm.get(j, j));
+            for k in i + 1..j {
+                num += fm.get(i, k) * t.get(k, j) - t.get(i, k) * fm.get(k, j);
+            }
+            fm.set(i, j, num / (diag[i] - diag[j]));
+        }
+    }
+    Ok(fm)
+}
+
+/// Computes the real matrix power `T^α` of an upper-triangular matrix with
+/// distinct positive diagonal.
+///
+/// # Errors
+/// Propagates [`fn_of_upper_triangular`] errors; additionally all diagonal
+/// entries must be positive so the principal real power is defined.
+pub fn triangular_real_power(t: &DMatrix, alpha: f64) -> Result<DMatrix, TriangularFnError> {
+    for i in 0..t.nrows() {
+        assert!(
+            t.get(i, i) > 0.0,
+            "triangular_real_power requires positive diagonal (entry {i} = {})",
+            t.get(i, i)
+        );
+    }
+    fn_of_upper_triangular(t, |x| x.powf(alpha))
+}
+
+/// Incrementally computed `f(T)` for a growing upper-triangular matrix.
+///
+/// Adaptive OPM appends one time step at a time; each append extends both
+/// `T` (the adaptive differentiation matrix `D̃`) and `F = f(T)` by one
+/// column in `O(m)`–`O(m²)` work, keeping the cumulative cost at `O(m³)` —
+/// the same as one full Parlett pass — while making every prefix available
+/// on the fly.
+#[derive(Clone, Debug)]
+pub struct IncrementalTriangularFn<F: Fn(f64) -> f64> {
+    f: F,
+    t: DMatrix,
+    fm: DMatrix,
+    dim: usize,
+}
+
+impl<F: Fn(f64) -> f64> IncrementalTriangularFn<F> {
+    /// Creates an empty incremental evaluator with capacity for `max_dim`
+    /// columns.
+    pub fn new(f: F, max_dim: usize) -> Self {
+        IncrementalTriangularFn {
+            f,
+            t: DMatrix::zeros(max_dim, max_dim),
+            fm: DMatrix::zeros(max_dim, max_dim),
+            dim: 0,
+        }
+    }
+
+    /// Current dimension (number of appended columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Appends column `j = dim()` of `T`: `col[i]` for `i ≤ j` (entries
+    /// above and on the diagonal).
+    ///
+    /// # Errors
+    /// [`TriangularFnError::ConfluentDiagonal`] when the new diagonal entry
+    /// collides with an existing one; the evaluator is left unchanged.
+    ///
+    /// # Panics
+    /// Panics when `col.len() != dim() + 1` or capacity is exceeded.
+    pub fn append_column(&mut self, col: &[f64]) -> Result<(), TriangularFnError> {
+        let j = self.dim;
+        assert!(j < self.t.nrows(), "capacity exceeded");
+        assert_eq!(col.len(), j + 1, "append_column: expected {} entries", j + 1);
+        let new_diag = col[j];
+        for i in 0..j {
+            let sep = (self.t.get(i, i) - new_diag).abs();
+            let scale = self.t.get(i, i).abs().max(new_diag.abs()).max(1.0);
+            if sep <= CONFLUENCE_RTOL * scale {
+                return Err(TriangularFnError::ConfluentDiagonal { i, j });
+            }
+        }
+        for (i, &v) in col.iter().enumerate() {
+            self.t.set(i, j, v);
+        }
+        self.fm.set(j, j, (self.f)(new_diag));
+        for i in (0..j).rev() {
+            let mut num = self.t.get(i, j) * (self.fm.get(i, i) - self.fm.get(j, j));
+            for k in i + 1..j {
+                num += self.fm.get(i, k) * self.t.get(k, j) - self.t.get(i, k) * self.fm.get(k, j);
+            }
+            self.fm.set(i, j, num / (self.t.get(i, i) - self.t.get(j, j)));
+        }
+        self.dim += 1;
+        Ok(())
+    }
+
+    /// Reads `F[i, j]` of the function matrix computed so far.
+    ///
+    /// # Panics
+    /// Panics when indices exceed the current dimension.
+    pub fn value(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.dim && j < self.dim);
+        self.fm.get(i, j)
+    }
+
+    /// Copies the current `dim × dim` function matrix.
+    pub fn to_matrix(&self) -> DMatrix {
+        let d = self.dim;
+        DMatrix::from_fn(d, d, |i, j| self.fm.get(i, j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_t() -> DMatrix {
+        DMatrix::from_rows(&[
+            &[1.0, 0.5, -0.3, 0.2],
+            &[0.0, 2.0, 0.7, -0.1],
+            &[0.0, 0.0, 3.5, 0.4],
+            &[0.0, 0.0, 0.0, 5.0],
+        ])
+    }
+
+    #[test]
+    fn identity_function_returns_input() {
+        let t = sample_t();
+        let f = fn_of_upper_triangular(&t, |x| x).unwrap();
+        assert!(f.sub(&t).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn square_function_matches_matmul() {
+        let t = sample_t();
+        let f = fn_of_upper_triangular(&t, |x| x * x).unwrap();
+        assert!(f.sub(&t.mul_mat(&t)).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_power_squares_back() {
+        let t = sample_t();
+        let s = triangular_real_power(&t, 0.5).unwrap();
+        assert!(s.mul_mat(&s).sub(&t).norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn power_semigroup() {
+        let t = sample_t();
+        let a = triangular_real_power(&t, 0.3).unwrap();
+        let b = triangular_real_power(&t, 0.7).unwrap();
+        assert!(a.mul_mat(&b).sub(&t).norm_max() < 1e-11);
+    }
+
+    #[test]
+    fn rejects_confluent_diagonal() {
+        let t = DMatrix::from_rows(&[&[2.0, 1.0], &[0.0, 2.0]]);
+        match fn_of_upper_triangular(&t, |x| x) {
+            Err(TriangularFnError::ConfluentDiagonal { i: 0, j: 1 }) => {}
+            other => panic!("expected confluence error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_triangular() {
+        let t = DMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        assert_eq!(
+            fn_of_upper_triangular(&t, |x| x).unwrap_err(),
+            TriangularFnError::NotUpperTriangular
+        );
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let t = sample_t();
+        let batch = fn_of_upper_triangular(&t, |x| x.powf(0.5)).unwrap();
+        let mut inc = IncrementalTriangularFn::new(|x: f64| x.powf(0.5), 4);
+        for j in 0..4 {
+            let col: Vec<f64> = (0..=j).map(|i| t.get(i, j)).collect();
+            inc.append_column(&col).unwrap();
+            assert_eq!(inc.dim(), j + 1);
+        }
+        assert!(inc.to_matrix().sub(&batch).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn incremental_prefix_is_function_of_leading_block() {
+        // After appending k columns the result equals f() of the k×k block.
+        let t = sample_t();
+        let mut inc = IncrementalTriangularFn::new(|x: f64| x.ln(), 4);
+        for j in 0..3 {
+            let col: Vec<f64> = (0..=j).map(|i| t.get(i, j)).collect();
+            inc.append_column(&col).unwrap();
+        }
+        let block = DMatrix::from_fn(3, 3, |i, j| t.get(i, j));
+        let expect = fn_of_upper_triangular(&block, |x| x.ln()).unwrap();
+        assert!(inc.to_matrix().sub(&expect).norm_max() < 1e-13);
+    }
+
+    #[test]
+    fn incremental_rejects_duplicate_step() {
+        let mut inc = IncrementalTriangularFn::new(|x: f64| x, 3);
+        inc.append_column(&[1.0]).unwrap();
+        inc.append_column(&[0.1, 2.0]).unwrap();
+        let err = inc.append_column(&[0.0, 0.0, 2.0]).unwrap_err();
+        assert_eq!(err, TriangularFnError::ConfluentDiagonal { i: 1, j: 2 });
+        // Evaluator unchanged after rejection.
+        assert_eq!(inc.dim(), 2);
+    }
+}

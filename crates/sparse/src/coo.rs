@@ -1,0 +1,166 @@
+//! Triplet (coordinate) sparse format — the assembly format.
+//!
+//! Circuit stamping naturally generates `(row, col, value)` triplets with
+//! repeats (each element stamps into shared nodes); [`CooMatrix::to_csr`]
+//! sorts and sums duplicates, exactly what MNA assembly needs.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+
+/// A sparse matrix under construction, stored as unsorted triplets.
+///
+/// ```
+/// use opm_sparse::CooMatrix;
+/// let mut m = CooMatrix::new(2, 2);
+/// m.push(0, 0, 1.0);
+/// m.push(0, 0, 2.0); // duplicate — summed on conversion
+/// let csr = m.to_csr();
+/// assert_eq!(csr.get(0, 0), 3.0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CooMatrix {
+    /// Creates an empty `nrows × ncols` builder.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an empty builder with space reserved for `cap` triplets.
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Row count.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Column count.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of raw triplets pushed so far (duplicates not collapsed).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no triplets have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a triplet. Zero values are kept (they may pin structure).
+    ///
+    /// # Panics
+    /// Panics when the indices are out of bounds.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "coo push out of bounds: ({row},{col}) in {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col, value));
+    }
+
+    /// Converts to CSR, sorting triplets and summing duplicates.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut indptr = Vec::with_capacity(self.nrows + 1);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut data = Vec::with_capacity(sorted.len());
+        indptr.push(0);
+
+        let mut row = 0usize;
+        let mut it = sorted.into_iter().peekable();
+        while let Some((r, c, mut v)) = it.next() {
+            while row < r {
+                indptr.push(indices.len());
+                row += 1;
+            }
+            while let Some(&(r2, c2, v2)) = it.peek() {
+                if r2 == r && c2 == c {
+                    v += v2;
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            indices.push(c);
+            data.push(v);
+        }
+        while row < self.nrows {
+            indptr.push(indices.len());
+            row += 1;
+        }
+
+        CsrMatrix::from_raw(self.nrows, self.ncols, indptr, indices, data)
+    }
+
+    /// Converts to CSC (via CSR transpose plumbing).
+    pub fn to_csc(&self) -> CscMatrix {
+        self.to_csr().to_csc()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(1, 1, 2.0);
+        m.push(1, 1, 3.0);
+        m.push(0, 2, -1.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.get(0, 2), -1.0);
+        assert_eq!(csr.get(2, 2), 0.0);
+        assert_eq!(csr.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_rows_have_empty_ranges() {
+        let mut m = CooMatrix::new(4, 4);
+        m.push(3, 0, 1.0);
+        let csr = m.to_csr();
+        for r in 0..3 {
+            assert_eq!(csr.row(r).count(), 0);
+        }
+        assert_eq!(csr.row(3).count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn empty_matrix_converts() {
+        let m = CooMatrix::new(3, 2);
+        assert!(m.is_empty());
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.nrows(), 3);
+        assert_eq!(csr.ncols(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Descriptor state-space systems `E·ẋ = A·x + B·u`, `y = C·x`.
+
+use crate::SystemError;
+use opm_linalg::DMatrix;
+use opm_sparse::CsrMatrix;
+
+/// A linear time-invariant descriptor system (paper Eq. 9).
+///
+/// `E` may be singular (a DAE); the only solvability requirement OPM and
+/// the implicit baselines place on it is that the pencil `σE − A` is
+/// regular for the shifts σ they use.
+///
+/// ```
+/// use opm_sparse::CooMatrix;
+/// use opm_system::DescriptorSystem;
+/// // ẋ = −x + u
+/// let mut e = CooMatrix::new(1, 1); e.push(0, 0, 1.0);
+/// let mut a = CooMatrix::new(1, 1); a.push(0, 0, -1.0);
+/// let mut b = CooMatrix::new(1, 1); b.push(0, 0, 1.0);
+/// let sys = DescriptorSystem::new(e.to_csr(), a.to_csr(), b.to_csr(), None).unwrap();
+/// assert_eq!(sys.order(), 1);
+/// assert_eq!(sys.num_inputs(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DescriptorSystem {
+    e: CsrMatrix,
+    a: CsrMatrix,
+    b: CsrMatrix,
+    /// Output selector; `None` means `y = x` (full state observed).
+    c: Option<CsrMatrix>,
+}
+
+impl DescriptorSystem {
+    /// Builds and validates a descriptor system.
+    ///
+    /// # Errors
+    /// [`SystemError::DimensionMismatch`] when shapes are inconsistent.
+    pub fn new(
+        e: CsrMatrix,
+        a: CsrMatrix,
+        b: CsrMatrix,
+        c: Option<CsrMatrix>,
+    ) -> Result<Self, SystemError> {
+        let n = e.nrows();
+        if e.ncols() != n {
+            return Err(SystemError::DimensionMismatch(format!(
+                "E must be square, got {}x{}",
+                e.nrows(),
+                e.ncols()
+            )));
+        }
+        if a.nrows() != n || a.ncols() != n {
+            return Err(SystemError::DimensionMismatch(format!(
+                "A must be {n}x{n}, got {}x{}",
+                a.nrows(),
+                a.ncols()
+            )));
+        }
+        if b.nrows() != n {
+            return Err(SystemError::DimensionMismatch(format!(
+                "B must have {n} rows, got {}",
+                b.nrows()
+            )));
+        }
+        if let Some(ref c) = c {
+            if c.ncols() != n {
+                return Err(SystemError::DimensionMismatch(format!(
+                    "C must have {n} columns, got {}",
+                    c.ncols()
+                )));
+            }
+        }
+        Ok(DescriptorSystem { e, a, b, c })
+    }
+
+    /// Number of state variables `n`.
+    pub fn order(&self) -> usize {
+        self.e.nrows()
+    }
+
+    /// Number of inputs `p`.
+    pub fn num_inputs(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Number of outputs `q` (equals `n` when no `C` is attached).
+    pub fn num_outputs(&self) -> usize {
+        self.c.as_ref().map_or(self.order(), CsrMatrix::nrows)
+    }
+
+    /// The descriptor matrix `E`.
+    pub fn e(&self) -> &CsrMatrix {
+        &self.e
+    }
+
+    /// The state matrix `A`.
+    pub fn a(&self) -> &CsrMatrix {
+        &self.a
+    }
+
+    /// The input matrix `B`.
+    pub fn b(&self) -> &CsrMatrix {
+        &self.b
+    }
+
+    /// The output matrix `C`, if any.
+    pub fn c(&self) -> Option<&CsrMatrix> {
+        self.c.as_ref()
+    }
+
+    /// Applies the output map: `y = C·x` (or a copy of `x`).
+    pub fn output(&self, x: &[f64]) -> Vec<f64> {
+        match &self.c {
+            Some(c) => c.mul_vec(x),
+            None => x.to_vec(),
+        }
+    }
+
+    /// Dense `(E, A, B)` views for small-system oracles.
+    ///
+    /// # Panics
+    /// Panics when `order() > 2048` (guard against accidental
+    /// densification of grid-scale systems).
+    pub fn to_dense(&self) -> (DMatrix, DMatrix, DMatrix) {
+        assert!(
+            self.order() <= 2048,
+            "refusing to densify a system of order {}",
+            self.order()
+        );
+        (self.e.to_dense(), self.a.to_dense(), self.b.to_dense())
+    }
+
+    /// True when `E` is the identity (a plain ODE system).
+    pub fn is_ode(&self) -> bool {
+        let n = self.order();
+        if self.e.nnz() != n {
+            return false;
+        }
+        (0..n).all(|i| {
+            let mut it = self.e.row(i);
+            matches!(it.next(), Some((j, v)) if j == i && v == 1.0) && it.next().is_none()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_sparse::CooMatrix;
+
+    fn eye(n: usize) -> CsrMatrix {
+        CsrMatrix::identity(n)
+    }
+
+    fn mat(n: usize, m: usize, entries: &[(usize, usize, f64)]) -> CsrMatrix {
+        let mut c = CooMatrix::new(n, m);
+        for &(i, j, v) in entries {
+            c.push(i, j, v);
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let sys = DescriptorSystem::new(
+            eye(2),
+            mat(2, 2, &[(0, 0, -1.0), (1, 1, -2.0)]),
+            mat(2, 1, &[(0, 0, 1.0)]),
+            Some(mat(1, 2, &[(0, 1, 1.0)])),
+        )
+        .unwrap();
+        assert_eq!(sys.order(), 2);
+        assert_eq!(sys.num_inputs(), 1);
+        assert_eq!(sys.num_outputs(), 1);
+        assert!(sys.is_ode());
+        assert_eq!(sys.output(&[3.0, 4.0]), vec![4.0]);
+    }
+
+    #[test]
+    fn output_defaults_to_state() {
+        let sys =
+            DescriptorSystem::new(eye(2), eye(2), mat(2, 1, &[(0, 0, 1.0)]), None).unwrap();
+        assert_eq!(sys.num_outputs(), 2);
+        assert_eq!(sys.output(&[1.0, 2.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dae_is_not_ode() {
+        // Singular E.
+        let sys = DescriptorSystem::new(
+            mat(2, 2, &[(0, 0, 1.0)]),
+            eye(2),
+            mat(2, 1, &[(1, 0, 1.0)]),
+            None,
+        )
+        .unwrap();
+        assert!(!sys.is_ode());
+    }
+
+    #[test]
+    fn dimension_validation() {
+        assert!(DescriptorSystem::new(
+            mat(2, 3, &[]),
+            eye(2),
+            mat(2, 1, &[]),
+            None
+        )
+        .is_err());
+        assert!(DescriptorSystem::new(eye(2), eye(3), mat(2, 1, &[]), None).is_err());
+        assert!(DescriptorSystem::new(eye(2), eye(2), mat(3, 1, &[]), None).is_err());
+        assert!(DescriptorSystem::new(
+            eye(2),
+            eye(2),
+            mat(2, 1, &[]),
+            Some(mat(1, 3, &[]))
+        )
+        .is_err());
+    }
+}

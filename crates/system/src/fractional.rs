@@ -1,0 +1,104 @@
+//! Fractional descriptor systems `E·d^α x/dt^α = A·x + B·u` (paper Eq. 19).
+
+use crate::{DescriptorSystem, SystemError};
+
+/// A commensurate fractional-order descriptor system.
+///
+/// The single order `α > 0` applies to every state (the paper's Eq. 19);
+/// incommensurate mixtures are expressed as [`MultiTermSystem`]s.
+///
+/// Initial conditions are zero in the Caputo sense, matching the paper's
+/// assumption ("for ease of notation a zero initial condition is assumed").
+///
+/// [`MultiTermSystem`]: crate::MultiTermSystem
+#[derive(Clone, Debug)]
+pub struct FractionalSystem {
+    alpha: f64,
+    sys: DescriptorSystem,
+}
+
+impl FractionalSystem {
+    /// Wraps a descriptor system with a fractional order.
+    ///
+    /// # Errors
+    /// [`SystemError::InvalidOrder`] unless `0 < α` and `α` is finite.
+    pub fn new(alpha: f64, sys: DescriptorSystem) -> Result<Self, SystemError> {
+        if !(alpha > 0.0 && alpha.is_finite()) {
+            return Err(SystemError::InvalidOrder(alpha));
+        }
+        Ok(FractionalSystem { alpha, sys })
+    }
+
+    /// The differentiation order `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The underlying matrices.
+    pub fn system(&self) -> &DescriptorSystem {
+        &self.sys
+    }
+
+    /// Number of state variables.
+    pub fn order(&self) -> usize {
+        self.sys.order()
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.sys.num_inputs()
+    }
+
+    /// Number of outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.sys.num_outputs()
+    }
+
+    /// True when `α` is a positive integer — the "high-order differential
+    /// system" special case of paper §IV.
+    pub fn is_integer_order(&self) -> bool {
+        self.alpha.fract() == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_sparse::{CooMatrix, CsrMatrix};
+
+    fn trivial() -> DescriptorSystem {
+        let mut b = CooMatrix::new(1, 1);
+        b.push(0, 0, 1.0);
+        DescriptorSystem::new(
+            CsrMatrix::identity(1),
+            CsrMatrix::identity(1).scale(-1.0),
+            b.to_csr(),
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accepts_valid_orders() {
+        for &a in &[0.5, 1.0, 1.5, 2.0, 3.0] {
+            let f = FractionalSystem::new(a, trivial()).unwrap();
+            assert_eq!(f.alpha(), a);
+            assert_eq!(f.is_integer_order(), a.fract() == 0.0);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_orders() {
+        for &a in &[0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(FractionalSystem::new(a, trivial()).is_err(), "α={a}");
+        }
+    }
+
+    #[test]
+    fn delegating_accessors() {
+        let f = FractionalSystem::new(0.5, trivial()).unwrap();
+        assert_eq!(f.order(), 1);
+        assert_eq!(f.num_inputs(), 1);
+        assert_eq!(f.num_outputs(), 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! System-model types shared across the OPM workspace.
+//!
+//! Producers (`opm-circuits` assembly) and consumers (`opm-core` OPM
+//! solvers, `opm-transient` baselines, `opm-fft` frequency-domain baseline)
+//! meet at these types:
+//!
+//! - [`DescriptorSystem`] — `E·ẋ = A·x + B·u`, `y = C·x` (paper Eq. 9),
+//!   the DAE/ODE form of MNA.
+//! - [`FractionalSystem`] — `E·d^α x/dt^α = A·x + B·u` (paper Eq. 19).
+//! - [`MultiTermSystem`] — `Σ_k M_k·d^{α_k} x = B·u`, the generalization
+//!   covering high-order systems (paper §IV) *with* lower-order damping
+//!   terms, e.g. the second-order power-grid model `C ẍ + G ẋ + Γ x = B u`.
+//! - [`SecondOrderSystem`] — the named second-order special case.
+//!
+//! All matrices are sparse ([`opm_sparse::CsrMatrix`]); dense views exist
+//! for small-system oracles.
+
+pub mod descriptor;
+pub mod fractional;
+pub mod multiterm;
+pub mod second_order;
+
+pub use descriptor::DescriptorSystem;
+pub use fractional::FractionalSystem;
+pub use multiterm::{MultiTermSystem, Term};
+pub use second_order::SecondOrderSystem;
+
+/// Errors for system construction and validation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SystemError {
+    /// A matrix has dimensions inconsistent with the state/input/output
+    /// counts.
+    DimensionMismatch(String),
+    /// A differentiation order is invalid (negative, NaN).
+    InvalidOrder(f64),
+    /// The system has no terms.
+    Empty,
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::DimensionMismatch(what) => write!(f, "dimension mismatch: {what}"),
+            SystemError::InvalidOrder(a) => write!(f, "invalid differentiation order {a}"),
+            SystemError::Empty => write!(f, "system has no terms"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}

@@ -1,0 +1,214 @@
+//! Second-order systems `M₂·ẍ + M₁·ẋ + M₀·x = B·u` (nodal-analysis form).
+//!
+//! RLC power grids produce this shape under nodal analysis (the paper's
+//! Table II: "a second-order differential model can be generated using
+//! nodal analysis due to the existence of inductors"). OPM simulates it
+//! directly through the multi-term column solve; the classical baselines
+//! require the larger first-order MNA companion form instead.
+
+use crate::multiterm::{MultiTermSystem, Term};
+use crate::{DescriptorSystem, SystemError};
+use opm_sparse::{CooMatrix, CsrMatrix};
+
+/// A second-order differential system.
+#[derive(Clone, Debug)]
+pub struct SecondOrderSystem {
+    m2: CsrMatrix,
+    m1: CsrMatrix,
+    m0: CsrMatrix,
+    b: CsrMatrix,
+    c: Option<CsrMatrix>,
+}
+
+impl SecondOrderSystem {
+    /// Builds and validates a second-order system.
+    ///
+    /// # Errors
+    /// [`SystemError::DimensionMismatch`] for inconsistent shapes.
+    pub fn new(
+        m2: CsrMatrix,
+        m1: CsrMatrix,
+        m0: CsrMatrix,
+        b: CsrMatrix,
+        c: Option<CsrMatrix>,
+    ) -> Result<Self, SystemError> {
+        let n = m2.nrows();
+        for (name, m) in [("M2", &m2), ("M1", &m1), ("M0", &m0)] {
+            if m.nrows() != n || m.ncols() != n {
+                return Err(SystemError::DimensionMismatch(format!(
+                    "{name} must be {n}x{n}, got {}x{}",
+                    m.nrows(),
+                    m.ncols()
+                )));
+            }
+        }
+        if b.nrows() != n {
+            return Err(SystemError::DimensionMismatch(format!(
+                "B must have {n} rows, got {}",
+                b.nrows()
+            )));
+        }
+        if let Some(ref c) = c {
+            if c.ncols() != n {
+                return Err(SystemError::DimensionMismatch(format!(
+                    "C must have {n} columns, got {}",
+                    c.ncols()
+                )));
+            }
+        }
+        Ok(SecondOrderSystem { m2, m1, m0, b, c })
+    }
+
+    /// Number of (second-order) state variables.
+    pub fn order(&self) -> usize {
+        self.m2.nrows()
+    }
+
+    /// Number of inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Mass/capacitance matrix `M₂`.
+    pub fn m2(&self) -> &CsrMatrix {
+        &self.m2
+    }
+
+    /// Damping/conductance matrix `M₁`.
+    pub fn m1(&self) -> &CsrMatrix {
+        &self.m1
+    }
+
+    /// Stiffness matrix `M₀`.
+    pub fn m0(&self) -> &CsrMatrix {
+        &self.m0
+    }
+
+    /// Input matrix `B`.
+    pub fn b(&self) -> &CsrMatrix {
+        &self.b
+    }
+
+    /// Output matrix, if any.
+    pub fn c(&self) -> Option<&CsrMatrix> {
+        self.c.as_ref()
+    }
+
+    /// Views the system as a three-term [`MultiTermSystem`] for the OPM
+    /// solver.
+    pub fn to_multiterm(&self) -> MultiTermSystem {
+        MultiTermSystem::new(
+            vec![
+                Term {
+                    alpha: 2.0,
+                    matrix: self.m2.clone(),
+                },
+                Term {
+                    alpha: 1.0,
+                    matrix: self.m1.clone(),
+                },
+                Term {
+                    alpha: 0.0,
+                    matrix: self.m0.clone(),
+                },
+            ],
+            self.b.clone(),
+            self.c.clone(),
+        )
+        .expect("validated at construction")
+    }
+
+    /// Companion first-order form with state `z = [x; ẋ]`:
+    ///
+    /// ```text
+    /// [I  0 ] d [x]   [ 0    I ] [x]   [0]
+    /// [0  M₂]---[ẋ] = [−M₀  −M₁] [ẋ] + [B]·u
+    /// ```
+    ///
+    /// Used to cross-check the multi-term OPM path against first-order
+    /// integrators on the *same* physics (at twice the state count).
+    pub fn to_companion(&self) -> DescriptorSystem {
+        let n = self.order();
+        let p = self.num_inputs();
+        let mut e = CooMatrix::new(2 * n, 2 * n);
+        let mut a = CooMatrix::new(2 * n, 2 * n);
+        let mut b = CooMatrix::new(2 * n, p);
+        for i in 0..n {
+            e.push(i, i, 1.0);
+            a.push(i, n + i, 1.0);
+        }
+        for i in 0..n {
+            for (j, v) in self.m2.row(i) {
+                e.push(n + i, n + j, v);
+            }
+            for (j, v) in self.m1.row(i) {
+                a.push(n + i, n + j, -v);
+            }
+            for (j, v) in self.m0.row(i) {
+                a.push(n + i, j, -v);
+            }
+            for (j, v) in self.b.row(i) {
+                b.push(n + i, j, v);
+            }
+        }
+        let c = self.c.as_ref().map(|c| {
+            let mut cc = CooMatrix::new(c.nrows(), 2 * n);
+            for i in 0..c.nrows() {
+                for (j, v) in c.row(i) {
+                    cc.push(i, j, v);
+                }
+            }
+            cc.to_csr()
+        });
+        DescriptorSystem::new(e.to_csr(), a.to_csr(), b.to_csr(), c)
+            .expect("companion dimensions are consistent by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eye(n: usize) -> CsrMatrix {
+        CsrMatrix::identity(n)
+    }
+
+    #[test]
+    fn construction_and_multiterm_view() {
+        let s = SecondOrderSystem::new(eye(3), eye(3).scale(0.5), eye(3).scale(2.0), eye(3), None)
+            .unwrap();
+        let mt = s.to_multiterm();
+        assert_eq!(mt.terms().len(), 3);
+        assert_eq!(mt.max_order(), 2.0);
+        assert_eq!(mt.order(), 3);
+    }
+
+    #[test]
+    fn companion_structure() {
+        // ẍ + 3ẋ + 2x = u  (scalar)
+        let s = SecondOrderSystem::new(
+            eye(1),
+            eye(1).scale(3.0),
+            eye(1).scale(2.0),
+            eye(1),
+            None,
+        )
+        .unwrap();
+        let comp = s.to_companion();
+        assert_eq!(comp.order(), 2);
+        let (e, a, b) = comp.to_dense();
+        // E = I₂ here since M₂ = I.
+        assert!(e.sub(&opm_linalg::DMatrix::identity(2)).norm_max() < 1e-15);
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.get(1, 0), -2.0);
+        assert_eq!(a.get(1, 1), -3.0);
+        assert_eq!(b.get(1, 0), 1.0);
+        assert_eq!(b.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn dimension_validation() {
+        assert!(SecondOrderSystem::new(eye(2), eye(3), eye(2), eye(2), None).is_err());
+        assert!(SecondOrderSystem::new(eye(2), eye(2), eye(2), eye(3), None).is_err());
+    }
+}

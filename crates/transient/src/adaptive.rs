@@ -1,0 +1,224 @@
+//! LTE-controlled adaptive trapezoidal integration.
+//!
+//! Step-doubling error control: advance by `h` once and by `h/2` twice;
+//! the difference estimates the local truncation error (`LTE ≈ Δ/3` for a
+//! second-order method). Steps halve on rejection and may double after a
+//! run of accepted steps. Step sizes stay on a power-of-two lattice so
+//! the integrator reuses at most `log₂(h_max/h_min)` factorizations —
+//! refactoring on every step change would dominate the runtime.
+
+use crate::result::TransientResult;
+use crate::util::{add_b_u, factor_shifted, validate};
+use crate::TransientError;
+use opm_sparse::SparseLu;
+use opm_system::DescriptorSystem;
+use opm_waveform::InputSet;
+use std::collections::HashMap;
+
+/// Options for [`adaptive_trapezoidal`].
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveOptions {
+    /// Absolute LTE tolerance per step.
+    pub tol: f64,
+    /// Initial step.
+    pub h0: f64,
+    /// Smallest step allowed before giving up refining.
+    pub h_min: f64,
+    /// Largest step allowed.
+    pub h_max: f64,
+}
+
+impl Default for AdaptiveOptions {
+    fn default() -> Self {
+        AdaptiveOptions {
+            tol: 1e-6,
+            h0: 1e-3,
+            h_min: 1e-9,
+            h_max: 0.25,
+        }
+    }
+}
+
+/// Integrates with adaptive trapezoidal steps; returns the accepted grid.
+///
+/// # Errors
+/// [`TransientError`] on invalid arguments or singular iteration
+/// matrices.
+pub fn adaptive_trapezoidal(
+    sys: &DescriptorSystem,
+    inputs: &InputSet,
+    t_end: f64,
+    x0: &[f64],
+    opts: AdaptiveOptions,
+) -> Result<TransientResult, TransientError> {
+    validate(sys, inputs.len(), t_end, 1, x0)?;
+    if !(opts.h0 > 0.0 && opts.h_min > 0.0 && opts.h_max >= opts.h0) {
+        return Err(TransientError::BadArguments(
+            "need 0 < h_min, 0 < h0 <= h_max".into(),
+        ));
+    }
+
+    // Factor cache keyed by the step's power-of-two exponent.
+    let mut factors: HashMap<i32, SparseLu> = HashMap::new();
+    let mut num_solves = 0usize;
+
+    let step_once = |x: &[f64], t: f64, h: f64, factors: &mut HashMap<i32, SparseLu>, num_solves: &mut usize| -> Result<Vec<f64>, TransientError> {
+        let exp = h.log2().round() as i32;
+        let h_q = 2.0f64.powi(exp);
+        if !factors.contains_key(&exp) {
+            factors.insert(exp, factor_shifted(sys, 2.0 / h_q)?);
+        }
+        let lu = factors.get(&exp).unwrap();
+        let n = sys.order();
+        let mut rhs = vec![0.0; n];
+        sys.e().mul_vec_into(x, &mut rhs);
+        rhs.iter_mut().for_each(|v| *v *= 2.0 / h_q);
+        let mut ax = vec![0.0; n];
+        sys.a().mul_vec_into(x, &mut ax);
+        for (r, a) in rhs.iter_mut().zip(&ax) {
+            *r += a;
+        }
+        let u0 = inputs.eval(t);
+        let u1 = inputs.eval(t + h_q);
+        add_b_u(sys.b(), 1.0, &u0, &mut rhs);
+        add_b_u(sys.b(), 1.0, &u1, &mut rhs);
+        *num_solves += 1;
+        Ok(lu.solve(&rhs))
+    };
+
+    let mut t = 0.0;
+    let mut h = quantize(opts.h0);
+    let mut x = x0.to_vec();
+    let mut times = Vec::new();
+    let mut outputs: Vec<Vec<f64>> = vec![Vec::new(); sys.num_outputs()];
+    let mut accepted_run = 0usize;
+
+    while t < t_end - 1e-15 * t_end {
+        h = h.min(quantize(opts.h_max));
+        // Don't overshoot: shrink to a lattice step that fits.
+        while t + h > t_end + 1e-15 && h > opts.h_min {
+            h *= 0.5;
+        }
+        let full = step_once(&x, t, h, &mut factors, &mut num_solves)?;
+        let half1 = step_once(&x, t, h * 0.5, &mut factors, &mut num_solves)?;
+        let half2 = step_once(&half1, t + h * 0.5, h * 0.5, &mut factors, &mut num_solves)?;
+        let err = full
+            .iter()
+            .zip(&half2)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+            / 3.0;
+
+        if err <= opts.tol || h * 0.5 < opts.h_min {
+            // Accept the more accurate two-half-step result.
+            t += h;
+            x = half2;
+            times.push(t);
+            for (o, val) in sys.output(&x).into_iter().enumerate() {
+                outputs[o].push(val);
+            }
+            accepted_run += 1;
+            if err < 0.25 * opts.tol && accepted_run >= 2 && h * 2.0 <= opts.h_max {
+                h *= 2.0;
+                accepted_run = 0;
+            }
+        } else {
+            h *= 0.5;
+            accepted_run = 0;
+        }
+    }
+    Ok(TransientResult {
+        times,
+        outputs,
+        states: None,
+        num_solves,
+    })
+}
+
+fn quantize(h: f64) -> f64 {
+    2.0f64.powi(h.log2().round() as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_sparse::CooMatrix;
+    use opm_waveform::Waveform;
+
+    fn scalar_decay(a: f64) -> DescriptorSystem {
+        let mut e = CooMatrix::new(1, 1);
+        e.push(0, 0, 1.0);
+        let mut am = CooMatrix::new(1, 1);
+        am.push(0, 0, -a);
+        let mut b = CooMatrix::new(1, 1);
+        b.push(0, 0, 1.0);
+        DescriptorSystem::new(e.to_csr(), am.to_csr(), b.to_csr(), None).unwrap()
+    }
+
+    #[test]
+    fn meets_tolerance_on_smooth_problem() {
+        let sys = scalar_decay(1.0);
+        let u = InputSet::new(vec![Waveform::Dc(0.0)]);
+        let r = adaptive_trapezoidal(
+            &sys,
+            &u,
+            1.0,
+            &[1.0],
+            AdaptiveOptions {
+                tol: 1e-8,
+                h0: 0.125,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let t_last = *r.times.last().unwrap();
+        let got = *r.outputs[0].last().unwrap();
+        assert!((t_last - 1.0).abs() < 1e-9);
+        assert!((got - (-1.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn uses_fewer_steps_after_transient_dies() {
+        // Pulse at the start, then quiet: steps should grow afterwards.
+        let sys = scalar_decay(50.0);
+        let u = InputSet::new(vec![Waveform::pulse(0.0, 1.0, 0.0, 0.005, 0.05, 0.005, 0.0)]);
+        let r = adaptive_trapezoidal(
+            &sys,
+            &u,
+            2.0,
+            &[0.0],
+            AdaptiveOptions {
+                tol: 1e-5,
+                h0: 0.01,
+                h_min: 1e-6,
+                h_max: 0.5,
+            },
+        )
+        .unwrap();
+        // Average step in the first tenth vs the last half.
+        let first: Vec<f64> = r.times.iter().copied().filter(|&t| t < 0.2).collect();
+        let early = first.len();
+        let late = r.times.iter().filter(|&&t| t > 1.0).count();
+        assert!(
+            early > 2 * late,
+            "early {early} steps vs late {late} — no adaptation visible"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        let sys = scalar_decay(1.0);
+        let u = InputSet::new(vec![Waveform::Dc(0.0)]);
+        assert!(adaptive_trapezoidal(
+            &sys,
+            &u,
+            1.0,
+            &[1.0],
+            AdaptiveOptions {
+                h0: -1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Time-series results of transient integration.
+
+/// A transient simulation result on the grid `t_k = k·h`, `k = 1..=m`
+/// (the initial state at `t = 0` is the caller's `x0` and not repeated).
+#[derive(Clone, Debug)]
+pub struct TransientResult {
+    /// Sample times.
+    pub times: Vec<f64>,
+    /// Output channels: `outputs[o][k]` = output `o` at `times[k]`.
+    pub outputs: Vec<Vec<f64>>,
+    /// Full states (only when requested; `states[k]` = state at
+    /// `times[k]`).
+    pub states: Option<Vec<Vec<f64>>>,
+    /// Number of sparse solves performed (cost accounting for the
+    /// complexity experiments).
+    pub num_solves: usize,
+}
+
+impl TransientResult {
+    /// Output channel `o` as a slice.
+    ///
+    /// # Panics
+    /// Panics when the channel is out of range.
+    pub fn output(&self, o: usize) -> &[f64] {
+        &self.outputs[o]
+    }
+
+    /// Number of time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Root-mean-square deviation between an output channel and a
+    /// reference series (used by Table II's "average relative error").
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn rms_error(&self, o: usize, reference: &[f64]) -> f64 {
+        let ours = self.output(o);
+        assert_eq!(ours.len(), reference.len(), "series length mismatch");
+        let num: f64 = ours
+            .iter()
+            .zip(reference)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (num / ours.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = TransientResult {
+            times: vec![0.1, 0.2],
+            outputs: vec![vec![1.0, 2.0]],
+            states: None,
+            num_solves: 2,
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.output(0), &[1.0, 2.0]);
+        assert!((r.rms_error(0, &[1.0, 2.0])).abs() < 1e-15);
+        assert!((r.rms_error(0, &[0.0, 2.0]) - (0.5f64).sqrt()).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,59 @@
+//! Shared plumbing for the fixed-step integrators.
+
+use crate::TransientError;
+use opm_sparse::ordering::rcm;
+use opm_sparse::{CsrMatrix, SparseLu};
+use opm_system::DescriptorSystem;
+
+/// Factors the iteration matrix `σ·E − A` with an RCM pre-ordering.
+pub(crate) fn factor_shifted(
+    sys: &DescriptorSystem,
+    sigma: f64,
+) -> Result<SparseLu, TransientError> {
+    let m = sys.e().lin_comb(sigma, -1.0, sys.a());
+    let order = rcm(&m);
+    SparseLu::factor(&m.to_csc(), Some(&order))
+        .map_err(|e| TransientError::SingularIteration(format!("σ = {sigma}: {e}")))
+}
+
+/// Accumulates `y += k·B·u` for the sparse input matrix.
+pub(crate) fn add_b_u(b: &CsrMatrix, k: f64, u: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(b.ncols(), u.len());
+    for i in 0..b.nrows() {
+        let mut s = 0.0;
+        for (j, v) in b.row(i) {
+            s += v * u[j];
+        }
+        y[i] += k * s;
+    }
+}
+
+/// Validates common stepper arguments.
+pub(crate) fn validate(
+    sys: &DescriptorSystem,
+    num_channels: usize,
+    t_end: f64,
+    m: usize,
+    x0: &[f64],
+) -> Result<(), TransientError> {
+    if m == 0 {
+        return Err(TransientError::BadArguments("zero steps".into()));
+    }
+    if !(t_end > 0.0) {
+        return Err(TransientError::BadArguments(format!("t_end = {t_end}")));
+    }
+    if num_channels != sys.num_inputs() {
+        return Err(TransientError::BadArguments(format!(
+            "{num_channels} input channels for {} B columns",
+            sys.num_inputs()
+        )));
+    }
+    if x0.len() != sys.order() {
+        return Err(TransientError::BadArguments(format!(
+            "x0 length {} for order {}",
+            x0.len(),
+            sys.order()
+        )));
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! Input stimuli with exact antiderivatives.
+//!
+//! BPF projection coefficients are *interval averages* (paper Eq. 2):
+//! `u_i = (1/h)∫ u(t) dt` over interval `i`. Every waveform here knows its
+//! antiderivative in closed form, so projections are exact to roundoff —
+//! no quadrature error enters the OPM pipeline through the inputs.
+//!
+//! The SPICE-flavoured shapes (`PULSE`, `SIN`, `EXP`, `PWL`) cover the
+//! experiments; [`Waveform::derivative`] exists because the second-order
+//! nodal form differentiates its current excitation.
+
+pub mod waveform;
+
+pub use waveform::{InputSet, Waveform};

@@ -1,0 +1,41 @@
+//! Quickstart: simulate an RC low-pass with OPM and check it against the
+//! analytic solution.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use opm::circuits::ladder::single_rc;
+use opm::circuits::mna::{assemble_mna, Output};
+use opm::core::linear::solve_linear;
+
+fn main() {
+    // 1 kΩ / 1 µF low-pass driven by a 5 V step at t = 0.
+    let r = 1e3;
+    let c = 1e-6;
+    let tau = r * c;
+    let ckt = single_rc(r, c, 5.0);
+    let model = assemble_mna(&ckt, &[Output::NodeVoltage(2)]).expect("assembles");
+
+    let t_end = 5.0 * tau;
+    let m = 200;
+    let u = model.inputs.bpf_matrix(m, t_end);
+    let x0 = vec![0.0; model.system.order()];
+    let result = solve_linear(&model.system, &u, t_end, &x0).expect("solves");
+
+    println!("RC step response (τ = {:.1e} s), OPM with m = {m} intervals", tau);
+    println!("{:>12} {:>12} {:>12} {:>10}", "t [s]", "OPM [V]", "exact [V]", "err");
+    let mut worst: f64 = 0.0;
+    for (j, &t) in result.midpoints().iter().enumerate() {
+        let got = result.output_row(0)[j];
+        let want = 5.0 * (1.0 - (-t / tau).exp());
+        worst = worst.max((got - want).abs());
+        if j % 25 == 0 || j == m - 1 {
+            println!(
+                "{t:>12.4e} {got:>12.6} {want:>12.6} {:>10.2e}",
+                (got - want).abs()
+            );
+        }
+    }
+    println!("\nmax |error| over all {m} intervals: {worst:.2e} V");
+    assert!(worst < 1e-3, "unexpectedly large error");
+    println!("OK — OPM matches the analytic charge curve.");
+}

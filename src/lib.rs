@@ -1,0 +1,51 @@
+//! **opm** — operational-matrix simulation of linear, high-order and
+//! fractional differential circuits.
+//!
+//! This is the facade crate of the OPM workspace, a from-scratch Rust
+//! reproduction of *"An Operational Matrix-Based Algorithm for Simulating
+//! Linear and Fractional Differential Circuits"* (Wang, Liu, Pang, Wong —
+//! DATE 2012). It re-exports every subsystem:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `opm-core` | the OPM solvers (linear, fractional, multi-term, adaptive, general-basis) |
+//! | [`basis`] | `opm-basis` | block-pulse / Walsh / Haar / Legendre operational matrices |
+//! | [`circuits`] | `opm-circuits` | netlists, SPICE-ish parser, MNA/NA, power-grid & fractional-line generators |
+//! | [`system`] | `opm-system` | descriptor / fractional / multi-term / second-order models |
+//! | [`waveform`] | `opm-waveform` | stimuli with exact interval averages |
+//! | [`transient`] | `opm-transient` | backward Euler, trapezoidal, Gear/BDF, GL, adaptive, references |
+//! | [`fft`] | `opm-fft` | radix-2 + Bluestein FFT and the frequency-domain FDE baseline |
+//! | [`fracnum`] | `opm-fracnum` | Γ, Mittag-Leffler, Grünwald–Letnikov, Riemann–Liouville |
+//! | [`sparse`] | `opm-sparse` | CSR/CSC, sparse LU (Gilbert–Peierls), Cholesky, orderings |
+//! | [`linalg`] | `opm-linalg` | dense real/complex kernels, expm, Kronecker, Parlett |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use opm::circuits::ladder::single_rc;
+//! use opm::circuits::mna::{assemble_mna, Output};
+//! use opm::core::linear::solve_linear;
+//!
+//! // 1 kΩ / 1 µF low-pass driven by a 5 V step; observe the output node.
+//! let ckt = single_rc(1e3, 1e-6, 5.0);
+//! let model = assemble_mna(&ckt, &[Output::NodeVoltage(2)]).unwrap();
+//! let (m, t_end) = (512, 5e-3);
+//! let u = model.inputs.bpf_matrix(m, t_end);
+//! let x0 = vec![0.0; model.system.order()];
+//! let result = solve_linear(&model.system, &u, t_end, &x0).unwrap();
+//! // v_out(t) = 5(1 − e^{−t/RC});
+//! let t = result.midpoints()[m - 1];
+//! let want = 5.0 * (1.0 - (-t / 1e-3_f64).exp());
+//! assert!((result.output_row(0)[m - 1] - want).abs() < 1e-3);
+//! ```
+
+pub use opm_basis as basis;
+pub use opm_circuits as circuits;
+pub use opm_core as core;
+pub use opm_fft as fft;
+pub use opm_fracnum as fracnum;
+pub use opm_linalg as linalg;
+pub use opm_sparse as sparse;
+pub use opm_system as system;
+pub use opm_transient as transient;
+pub use opm_waveform as waveform;
