@@ -18,9 +18,7 @@
 //! appends one step at a time for on-the-fly adaptive simulation.
 
 use crate::traits::Basis;
-use opm_linalg::triangular::{
-    fn_of_upper_triangular, IncrementalTriangularFn, TriangularFnError,
-};
+use opm_linalg::triangular::{fn_of_upper_triangular, IncrementalTriangularFn, TriangularFnError};
 use opm_linalg::DMatrix;
 
 /// Block-pulse basis on a non-uniform grid.
@@ -142,8 +140,7 @@ impl Basis for AdaptiveBpf {
         (0..self.steps.len())
             .map(|i| {
                 let (a, b) = (self.bounds[i], self.bounds[i + 1]);
-                crate::quadrature::integrate_adaptive(f, a, b, 1e-13 * (b - a))
-                    / (b - a)
+                crate::quadrature::integrate_adaptive(f, a, b, 1e-13 * (b - a)) / (b - a)
             })
             .collect()
     }
@@ -193,13 +190,9 @@ mod tests {
     #[test]
     fn d_tilde_is_inverse_of_h_tilde() {
         let b = sample();
-        let prod = b
-            .differentiation_matrix()
-            .mul_mat(&b.integration_matrix());
+        let prod = b.differentiation_matrix().mul_mat(&b.integration_matrix());
         assert!(prod.sub(&DMatrix::identity(4)).norm_max() < 1e-11);
-        let prod2 = b
-            .integration_matrix()
-            .mul_mat(&b.differentiation_matrix());
+        let prod2 = b.integration_matrix().mul_mat(&b.differentiation_matrix());
         assert!(prod2.sub(&DMatrix::identity(4)).norm_max() < 1e-11);
     }
 
@@ -207,16 +200,18 @@ mod tests {
     fn uniform_steps_reduce_to_bpf_matrices() {
         let ada = AdaptiveBpf::new(vec![0.25; 8]);
         let uni = BpfBasis::new(8, 2.0);
-        assert!(ada
-            .differentiation_matrix()
-            .sub(&uni.differentiation_matrix())
-            .norm_max()
-            < 1e-12);
-        assert!(ada
-            .integration_matrix()
-            .sub(&uni.integration_matrix())
-            .norm_max()
-            < 1e-12);
+        assert!(
+            ada.differentiation_matrix()
+                .sub(&uni.differentiation_matrix())
+                .norm_max()
+                < 1e-12
+        );
+        assert!(
+            ada.integration_matrix()
+                .sub(&uni.integration_matrix())
+                .norm_max()
+                < 1e-12
+        );
     }
 
     #[test]

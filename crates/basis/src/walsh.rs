@@ -235,9 +235,8 @@ mod tests {
         let p = b.integration_matrix();
         for s in 0..m {
             // Direct: project t ↦ ∫₀ᵗ w_s numerically.
-            let ints: Vec<f64> = b.project(&|t| {
-                integrate_adaptive(&|tau| b.eval(s, tau), 0.0, t, 1e-12)
-            });
+            let ints: Vec<f64> =
+                b.project(&|t| integrate_adaptive(&|tau| b.eval(s, tau), 0.0, t, 1e-12));
             // Operational: row s of P (since ∫φ = Pφ ⇒ coefficients of
             // ∫w_s in the Walsh basis are P[s, :]).
             for j in 0..m {

@@ -1,4 +1,7 @@
 //! Property-based tests for operational-matrix bases.
+//!
+//! Randomized cases are drawn from a fixed-seed [`StdRng`] so every CI
+//! run exercises the identical sample set — failures reproduce exactly.
 
 use opm_basis::adaptive::AdaptiveBpf;
 use opm_basis::bpf::BpfBasis;
@@ -6,73 +9,111 @@ use opm_basis::series::{series_mul, tustin_frac_coeffs};
 use opm_basis::walsh::fwht;
 use opm_basis::{Basis, WalshBasis};
 use opm_linalg::DMatrix;
-use proptest::prelude::*;
+use opm_rng::StdRng;
 
-proptest! {
-    /// D·H = I for every m and span.
-    #[test]
-    fn bpf_diff_inverts_integration(m in 1usize..24, t_end in 0.1..10.0f64) {
+const CASES: usize = 32;
+
+/// D·H = I for every m and span.
+#[test]
+fn bpf_diff_inverts_integration() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0001);
+    for _ in 0..CASES {
+        let m = rng.random_range(1usize..24);
+        let t_end = rng.random_range(0.1..10.0);
         let b = BpfBasis::new(m, t_end);
         let prod = b.differentiation_matrix().mul_mat(&b.integration_matrix());
-        prop_assert!(prod.sub(&DMatrix::identity(m)).norm_max() < 1e-8);
+        assert!(
+            prod.sub(&DMatrix::identity(m)).norm_max() < 1e-8,
+            "m={m}, t_end={t_end}"
+        );
     }
+}
 
-    /// The fractional Tustin series satisfies the semigroup property.
-    #[test]
-    fn tustin_semigroup(a in 0.05..1.95f64, bb in 0.05..1.95f64) {
+/// The fractional Tustin series satisfies the semigroup property.
+#[test]
+fn tustin_semigroup() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0002);
+    for _ in 0..CASES {
+        let a = rng.random_range(0.05..1.95);
+        let bb = rng.random_range(0.05..1.95);
         let m = 16;
         let lhs = series_mul(&tustin_frac_coeffs(a, m), &tustin_frac_coeffs(bb, m));
         let rhs = tustin_frac_coeffs(a + bb, m);
         for (x, y) in lhs.iter().zip(&rhs) {
-            prop_assert!((x - y).abs() < 1e-9 * y.abs().max(1.0));
+            assert!((x - y).abs() < 1e-9 * y.abs().max(1.0), "a={a}, b={bb}");
         }
     }
+}
 
-    /// D^α·D^{−α} = I as matrices (fractional differentiation inverts
-    /// fractional integration).
-    #[test]
-    fn fractional_power_inverse(alpha in 0.1..1.9f64, m in 1usize..12) {
+/// D^α·D^{−α} = I as matrices (fractional differentiation inverts
+/// fractional integration).
+#[test]
+fn fractional_power_inverse() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0003);
+    for _ in 0..CASES {
+        let alpha = rng.random_range(0.1..1.9);
+        let m = rng.random_range(1usize..12);
         let b = BpfBasis::new(m, 1.0);
         let d = b.frac_diff_matrix(alpha);
         let di = b.frac_diff_matrix(-alpha);
         let prod = d.mul_upper_triangular(&di);
-        prop_assert!(prod.sub(&DMatrix::identity(m)).norm_max() < 1e-7);
+        assert!(
+            prod.sub(&DMatrix::identity(m)).norm_max() < 1e-7,
+            "alpha={alpha}, m={m}"
+        );
     }
+}
 
-    /// Adaptive D̃·H̃ = I for random positive steps.
-    #[test]
-    fn adaptive_diff_inverts_integration(steps in prop::collection::vec(0.01..2.0f64, 1..12)) {
+/// Adaptive D̃·H̃ = I for random positive steps.
+#[test]
+fn adaptive_diff_inverts_integration() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0004);
+    for _ in 0..CASES {
+        let len = rng.random_range(1usize..12);
+        let steps = rng.vec_in(0.01..2.0, len);
         let b = AdaptiveBpf::new(steps);
         let m = b.dim();
         let prod = b.differentiation_matrix().mul_mat(&b.integration_matrix());
-        prop_assert!(prod.sub(&DMatrix::identity(m)).norm_max() < 1e-7);
+        assert!(prod.sub(&DMatrix::identity(m)).norm_max() < 1e-7, "m={m}");
     }
+}
 
-    /// FWHT is an involution up to the length factor.
-    #[test]
-    fn fwht_involution(v in prop::collection::vec(-10.0..10.0f64, 8)) {
+/// FWHT is an involution up to the length factor.
+#[test]
+fn fwht_involution() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0005);
+    for _ in 0..CASES {
+        let v = rng.vec_in(-10.0..10.0, 8);
         let mut w = v.clone();
         fwht(&mut w);
         fwht(&mut w);
         for (a, b) in w.iter().zip(&v) {
-            prop_assert!((a - 8.0 * b).abs() < 1e-10);
+            assert!((a - 8.0 * b).abs() < 1e-10);
         }
     }
+}
 
-    /// Walsh coefficient conversion is a bijection on the BPF span.
-    #[test]
-    fn walsh_roundtrip(v in prop::collection::vec(-5.0..5.0f64, 16)) {
+/// Walsh coefficient conversion is a bijection on the BPF span.
+#[test]
+fn walsh_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0006);
+    for _ in 0..CASES {
+        let v = rng.vec_in(-5.0..5.0, 16);
         let b = WalshBasis::new(16, 1.0);
         let back = b.to_bpf_coeffs(&b.from_bpf_coeffs(&v));
         for (x, y) in back.iter().zip(&v) {
-            prop_assert!((x - y).abs() < 1e-10);
+            assert!((x - y).abs() < 1e-10);
         }
     }
+}
 
-    /// Projecting a constant returns that constant in every basis.
-    #[test]
-    fn constants_project_exactly(c in -10.0..10.0f64, m_pow in 1u32..5) {
-        let m = 1usize << m_pow;
+/// Projecting a constant returns that constant in every basis.
+#[test]
+fn constants_project_exactly() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0007);
+    for _ in 0..CASES {
+        let c = rng.random_range(-10.0..10.0);
+        let m = 1usize << rng.random_range(1usize..5);
         let bases: Vec<Box<dyn Basis>> = vec![
             Box::new(BpfBasis::new(m, 1.0)),
             Box::new(WalshBasis::new(m, 1.0)),
@@ -81,14 +122,21 @@ proptest! {
             let coeffs = basis.project(&|_| c);
             for i in 0..40 {
                 let t = (i as f64 + 0.5) / 40.0;
-                prop_assert!((basis.reconstruct(&coeffs, t) - c).abs() < 1e-8);
+                assert!(
+                    (basis.reconstruct(&coeffs, t) - c).abs() < 1e-8,
+                    "c={c}, m={m}, t={t}"
+                );
             }
         }
     }
+}
 
-    /// Integration through Hᵀ matches analytic integrals of ramps.
-    #[test]
-    fn integration_matrix_integrates_ramps(slope in -3.0..3.0f64) {
+/// Integration through Hᵀ matches analytic integrals of ramps.
+#[test]
+fn integration_matrix_integrates_ramps() {
+    let mut rng = StdRng::seed_from_u64(0xBA5_0008);
+    for _ in 0..CASES {
+        let slope = rng.random_range(-3.0..3.0);
         let m = 64;
         let b = BpfBasis::new(m, 1.0);
         let cf: Vec<f64> = b.project(&|t| slope * t);
@@ -101,7 +149,10 @@ proptest! {
             }
             let t_mid = (j as f64 + 0.5) / m as f64;
             let want = 0.5 * slope * t_mid * t_mid;
-            prop_assert!((s - want).abs() < 3.0 * slope.abs().max(1.0) / (m as f64 * m as f64) + 1e-9);
+            assert!(
+                (s - want).abs() < 3.0 * slope.abs().max(1.0) / (m as f64 * m as f64) + 1e-9,
+                "slope={slope}, j={j}"
+            );
         }
     }
 }

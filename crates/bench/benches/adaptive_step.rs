@@ -1,7 +1,7 @@
 //! Criterion bench behind E1: adaptive vs fixed-step OPM on the
 //! pulse-then-quiet workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use opm_bench::criterion::{criterion_group, criterion_main, Criterion};
 use opm_circuits::ladder::rc_ladder;
 use opm_circuits::mna::{assemble_mna, Output};
 use opm_core::adaptive::{solve_linear_adaptive, AdaptiveOpmOptions};

@@ -1,10 +1,10 @@
 //! Criterion bench behind E3: basis-machinery kernels — fractional Tustin
 //! coefficient generation, FWHT, operational-matrix assembly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use opm_basis::series::tustin_frac_coeffs;
 use opm_basis::walsh::fwht;
 use opm_basis::{Basis, BpfBasis, WalshBasis};
+use opm_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

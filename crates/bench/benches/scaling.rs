@@ -1,7 +1,7 @@
 //! Criterion bench behind E2: OPM cost vs interval count m (linear vs
 //! fractional paths) and vs system size n.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use opm_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use opm_core::fractional::solve_fractional;
 use opm_core::linear::solve_linear;
 use opm_sparse::{CooMatrix, CsrMatrix};

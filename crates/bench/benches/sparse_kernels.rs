@@ -1,7 +1,7 @@
 //! Criterion bench for the sparse substrate: LU factorization/solve and
 //! SpMV on power-grid matrices, with and without fill-reducing orderings.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use opm_bench::criterion::{criterion_group, criterion_main, Criterion};
 use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::assemble_mna;
 use opm_sparse::ordering::{min_degree, rcm};
@@ -19,7 +19,10 @@ fn bench(c: &mut Criterion) {
     let model = assemble_mna(&spec.build(), &[]).unwrap();
     let n = model.system.order();
     // OPM pencil at h = 10 ps.
-    let pencil = model.system.e().lin_comb(2.0 / 10e-12, -1.0, model.system.a());
+    let pencil = model
+        .system
+        .e()
+        .lin_comb(2.0 / 10e-12, -1.0, model.system.a());
     let csc = pencil.to_csc();
     let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
 

@@ -1,7 +1,7 @@
 //! Criterion bench behind Table I: OPM vs FFT-1 vs FFT-2 on the
 //! fractional transmission line (n = 7, α = ½, T = 2.7 ns, m = 8).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use opm_bench::criterion::{criterion_group, criterion_main, Criterion};
 use opm_circuits::tline::FractionalLineSpec;
 use opm_core::fractional::solve_fractional;
 use opm_fft::FftSimulator;

@@ -1,7 +1,7 @@
 //! Criterion bench behind Table II: per-method runtimes on the power
 //! grid at harness scale (same step h = 10 ps for all).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use opm_bench::criterion::{criterion_group, criterion_main, Criterion};
 use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::assemble_mna;
 use opm_circuits::na::assemble_na;

@@ -22,11 +22,10 @@ fn main() {
     a.push(0, 0, -1.0);
     let mut b = CooMatrix::new(1, 1);
     b.push(0, 0, 1.0);
-    let sys =
-        DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
+    let sys = DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
     let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
     let t_end = 2.0;
-    let exact = |t: f64| 1.0 - (-t as f64).exp();
+    let exact = |t: f64| 1.0 - (-t).exp();
 
     println!("E3 — max reconstruction error of ẋ = −x + 1 in four bases\n");
     let widths = [6usize, 12, 12, 12, 12];

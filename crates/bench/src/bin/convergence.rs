@@ -49,9 +49,15 @@ fn main() {
         let opm = solve_linear(&sys, &u, 1.0, &[0.0]).unwrap();
         // Endpoint recovery for a like-for-like endpoint comparison.
         let opm_end = opm.endpoint_series(0, 0.0)[m - 1];
-        let tr = trapezoidal(&sys, &inputs, 1.0, m, &[0.0], false).unwrap().outputs[0][m - 1];
-        let ge = bdf(&sys, &inputs, 1.0, m, 2, &[0.0], false).unwrap().outputs[0][m - 1];
-        let be = backward_euler(&sys, &inputs, 1.0, m, &[0.0], false).unwrap().outputs[0][m - 1];
+        let tr = trapezoidal(&sys, &inputs, 1.0, m, &[0.0], false)
+            .unwrap()
+            .outputs[0][m - 1];
+        let ge = bdf(&sys, &inputs, 1.0, m, 2, &[0.0], false)
+            .unwrap()
+            .outputs[0][m - 1];
+        let be = backward_euler(&sys, &inputs, 1.0, m, &[0.0], false)
+            .unwrap()
+            .outputs[0][m - 1];
         let errs = [
             (opm_end - exact_end).abs(),
             (tr - exact_end).abs(),
@@ -79,10 +85,15 @@ fn main() {
         "\nobserved orders (last refinement): OPM {:.2}, trap {:.2}, Gear-2 {:.2}, b-Euler {:.2}",
         rates[0], rates[1], rates[2], rates[3]
     );
-    assert!(rates[0] > 1.7 && rates[1] > 1.7 && rates[2] > 1.7, "2nd-order cluster");
+    assert!(
+        rates[0] > 1.7 && rates[1] > 1.7 && rates[2] > 1.7,
+        "2nd-order cluster"
+    );
     assert!(rates[3] > 0.7 && rates[3] < 1.4, "b-Euler is 1st order");
 
-    println!("\nE4b — fractional convergence: d^½x = −x + 1 vs Mittag-Leffler, RMS over (0.2, 2]\n");
+    println!(
+        "\nE4b — fractional convergence: d^½x = −x + 1 vs Mittag-Leffler, RMS over (0.2, 2]\n"
+    );
     let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
     let widths = [8usize, 14, 14];
     row(&["m".into(), "OPM".into(), "GL".into()], &widths);

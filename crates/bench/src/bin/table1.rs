@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p opm-bench --bin table1`
 
-use opm_bench::{fmt_time, row, rule, timed};
+use opm_bench::{emit_json_record, fmt_time, row, rule, timed};
 use opm_circuits::tline::FractionalLineSpec;
 use opm_core::fractional::solve_fractional;
 use opm_core::metrics::relative_error_db_multi;
@@ -67,6 +67,10 @@ fn main() {
     }
     results.push(("OPM", t_opm / REPS as f64, None));
 
+    for (name, secs, err) in &results {
+        emit_json_record(&format!("table1/{name}"), *secs, *err);
+    }
+
     let widths = [8usize, 14, 18];
     row(
         &["Method".into(), "CPU time".into(), "Rel. error (dB)".into()],
@@ -85,7 +89,9 @@ fn main() {
     }
     println!();
     println!("paper reported: FFT-1 6.09 ms / −29.2 dB · FFT-2 40.7 ms / −46.5 dB · OPM 3.56 ms");
-    println!("reproduction criteria: err(FFT-2) < err(FFT-1); time(OPM) < time(FFT-1) < time(FFT-2)");
+    println!(
+        "reproduction criteria: err(FFT-2) < err(FFT-1); time(OPM) < time(FFT-1) < time(FFT-2)"
+    );
 
     let e1 = results[0].2.unwrap();
     let e2 = results[1].2.unwrap();

@@ -11,7 +11,7 @@
 //!
 //! `cargo run --release -p opm-bench --bin table2` (optionally `OPM_SCALE=4`)
 
-use opm_bench::{env_scale, fmt_time, row, rule, timed};
+use opm_bench::{emit_json_record, env_scale, fmt_time, row, rule, timed};
 use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::assemble_mna;
 use opm_circuits::na::assemble_na;
@@ -98,9 +98,13 @@ fn main() {
         ("b-Euler", 2 * m, 2),
         ("b-Euler", 10 * m, 10),
     ] {
-        let (r, secs) = timed(|| {
-            backward_euler(&mna.system, &mna.inputs, t_end, mm, &x0, false).unwrap()
-        });
+        let (r, secs) =
+            timed(|| backward_euler(&mna.system, &mna.inputs, t_end, mm, &x0, false).unwrap());
+        emit_json_record(
+            &format!("table2/b_euler_{}ps", 10 * m / mm),
+            secs,
+            Some(err_db(&r.outputs, stride)),
+        );
         row(
             &[
                 label.into(),
@@ -113,6 +117,11 @@ fn main() {
     }
     let (gear, secs_gear) =
         timed(|| bdf(&mna.system, &mna.inputs, t_end, m, 2, &x0, false).unwrap());
+    emit_json_record(
+        "table2/gear2_10ps",
+        secs_gear,
+        Some(err_db(&gear.outputs, 1)),
+    );
     row(
         &[
             "Gear".into(),
@@ -124,6 +133,11 @@ fn main() {
     );
     let (trap, secs_trap) =
         timed(|| trapezoidal(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap());
+    emit_json_record(
+        "table2/trapezoidal_10ps",
+        secs_trap,
+        Some(err_db(&trap.outputs, 1)),
+    );
     row(
         &[
             "Trapezoidal".into(),
@@ -154,6 +168,7 @@ fn main() {
         }
         20.0 * ((s / count as f64).sqrt() / signal_rms).log10()
     };
+    emit_json_record("table2/opm_na_10ps", secs_opm, Some(opm_err));
     row(
         &[
             "OPM".into(),
@@ -167,7 +182,11 @@ fn main() {
     println!();
     println!("paper reported (75 K/110 K nodes, CPU seconds):");
     println!("  b-Euler 10 ps 334.7 s / −91 dB · 5 ps 691.7 s / −92 dB · 1 ps 3198 s / −127 dB");
-    println!("  Gear 10 ps 359.1 s / −134 dB · Trapezoidal 10 ps 347.2 s / −137 dB · OPM 10 ps 314.6 s");
-    println!("reproduction criteria: same-step runtimes within ~20 %; OPM no slower than trapezoidal;");
+    println!(
+        "  Gear 10 ps 359.1 s / −134 dB · Trapezoidal 10 ps 347.2 s / −137 dB · OPM 10 ps 314.6 s"
+    );
+    println!(
+        "reproduction criteria: same-step runtimes within ~20 %; OPM no slower than trapezoidal;"
+    );
     println!("  err(b-Euler,h) worst; Gear ≈ trapezoidal cluster best; finer b-Euler improves.");
 }

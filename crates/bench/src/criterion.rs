@@ -1,0 +1,247 @@
+//! A drop-in subset of the Criterion benchmarking API.
+//!
+//! The workspace builds hermetically (no crates.io), so the `benches/`
+//! targets run on this shim instead of the real `criterion` crate. It
+//! keeps the same surface — [`Criterion`], [`BenchmarkId`], benchmark
+//! groups, `criterion_group!`/`criterion_main!` — with a plain
+//! wall-clock measurement loop: calibrate a batch size, take
+//! `sample_size` timed samples, report min/median/mean per iteration.
+//!
+//! Set `OPM_BENCH_JSON=<path>` to additionally append one JSON record
+//! per benchmark (used to produce `BENCH_baseline.json`).
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(5);
+/// Cap on total calibration + measurement time per benchmark.
+const BENCH_BUDGET: Duration = Duration::from_secs(3);
+
+/// Top-level handle, mirroring `criterion::Criterion`.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone (group-less) benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named parameterized benchmark id, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, as Criterion renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{id}", self.name), self.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f(b, input)` under `<group>/<id.name>/<id.param>`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label),
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement handle, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = t0.elapsed();
+    }
+}
+
+fn run_once(f: &mut impl FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let budget_start = Instant::now();
+    // Calibrate: grow the batch until one sample takes SAMPLE_TARGET.
+    let mut iters = 1u64;
+    loop {
+        let t = run_once(&mut f, iters);
+        if t >= SAMPLE_TARGET || budget_start.elapsed() > BENCH_BUDGET / 4 {
+            break;
+        }
+        let grow = if t.is_zero() {
+            16
+        } else {
+            (SAMPLE_TARGET.as_secs_f64() / t.as_secs_f64())
+                .ceil()
+                .min(16.0) as u64
+        };
+        iters = iters.saturating_mul(grow.max(2)).min(1 << 30);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let t = run_once(&mut f, iters);
+        per_iter.push(t.as_secs_f64() / iters as f64);
+        if budget_start.elapsed() > BENCH_BUDGET {
+            break;
+        }
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+
+    println!(
+        "{label:<48} time: [{} {} {}]  ({} samples × {iters} iters)",
+        fmt(min),
+        fmt(median),
+        fmt(mean),
+        per_iter.len(),
+    );
+
+    if let Ok(path) = std::env::var("OPM_BENCH_JSON") {
+        let record = format!(
+            "{{\"id\":\"{label}\",\"min_s\":{min:e},\"median_s\":{median:e},\"mean_s\":{mean:e},\"samples\":{},\"iters\":{iters}}}",
+            per_iter.len()
+        );
+        if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+            let _ = writeln!(file, "{record}");
+        }
+    }
+}
+
+fn fmt(sec: f64) -> String {
+    if sec < 1e-6 {
+        format!("{:.3} ns", sec * 1e9)
+    } else if sec < 1e-3 {
+        format!("{:.3} µs", sec * 1e6)
+    } else if sec < 1.0 {
+        format!("{:.3} ms", sec * 1e3)
+    } else {
+        format!("{sec:.3} s")
+    }
+}
+
+pub use crate::{criterion_group, criterion_main};
+
+/// Mirrors `criterion::criterion_group!` (both the simple and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::criterion::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("shim");
+        let mut hits = 0u64;
+        g.bench_function("noop", |b| b.iter(|| hits += 1));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2))
+        });
+        g.finish();
+        assert!(hits > 0);
+    }
+}

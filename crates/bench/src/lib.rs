@@ -1,8 +1,12 @@
 //! Shared plumbing for the experiment harness.
 //!
 //! The binaries in `src/bin/` regenerate the paper's tables and the
-//! extension experiments listed in `DESIGN.md`; the Criterion benches in
-//! `benches/` measure the same kernels under a statistics harness.
+//! extension experiments listed in `DESIGN.md`; the benches in
+//! `benches/` measure the same kernels under the statistics harness in
+//! [`criterion`] (an offline drop-in subset of the crates.io crate of
+//! the same name).
+
+pub mod criterion;
 
 use std::time::Instant;
 
@@ -47,4 +51,24 @@ pub fn env_scale() -> usize {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1)
+}
+
+/// Appends one benchmark record to the NDJSON file named by the
+/// `OPM_BENCH_JSON` environment variable (no-op when unset). The table
+/// binaries and the [`criterion`] shim share this format; see the README
+/// for how `BENCH_baseline.json` is assembled from it.
+pub fn emit_json_record(id: &str, seconds: f64, err_db: Option<f64>) {
+    use std::io::Write as _;
+    let Ok(path) = std::env::var("OPM_BENCH_JSON") else {
+        return;
+    };
+    let err = err_db.map_or("null".into(), |e| format!("{e:.3}"));
+    let record = format!("{{\"id\":\"{id}\",\"seconds\":{seconds:e},\"err_db\":{err}}}");
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(file, "{record}");
+    }
 }

@@ -13,9 +13,8 @@
 //! 75 K vs 110 K model-size split at any scale.
 
 use crate::netlist::{Circuit, Element};
+use opm_rng::prelude::*;
 use opm_waveform::Waveform;
-use rand::prelude::*;
-use rand::rngs::StdRng;
 
 /// Power-grid generation parameters.
 #[derive(Clone, Debug)]
@@ -166,10 +165,7 @@ impl PowerGridSpec {
             ckt.add(Element::CurrentSource {
                 n1: 0,
                 n2: node,
-                waveform: Waveform::pwl(vec![
-                    (0.0, 0.0),
-                    (self.pad_ramp, self.vdd / self.r_pad),
-                ]),
+                waveform: Waveform::pwl(vec![(0.0, 0.0), (self.pad_ramp, self.vdd / self.r_pad)]),
             })
             .unwrap();
         }

@@ -284,8 +284,7 @@ pub fn assemble_fractional_mna(
     let c = build_outputs(&lay, outputs, n)?;
     let system = DescriptorSystem::new(e.to_csr(), a.to_csr(), b.to_csr(), c)
         .expect("fractional MNA assembly produces consistent dimensions");
-    let system = FractionalSystem::new(alpha, system)
-        .expect("alpha validated by circuit elements");
+    let system = FractionalSystem::new(alpha, system).expect("alpha validated by circuit elements");
     Ok(FractionalMnaModel {
         system,
         inputs: InputSet::new(waveforms),
@@ -483,12 +482,7 @@ mod tests {
             waveform: Waveform::step(0.0, 1.0),
         })
         .unwrap();
-        ckt.add(Element::Resistor {
-            n1,
-            n2,
-            ohms: 10.0,
-        })
-        .unwrap();
+        ckt.add(Element::Resistor { n1, n2, ohms: 10.0 }).unwrap();
         ckt.add(Element::Cpe {
             n1: n2,
             n2: 0,

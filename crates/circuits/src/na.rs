@@ -204,12 +204,7 @@ mod tests {
         let mut ckt = Circuit::new();
         let n1 = ckt.add_node();
         let n2 = ckt.add_node();
-        ckt.add(Element::Resistor {
-            n1,
-            n2,
-            ohms: 2.0,
-        })
-        .unwrap();
+        ckt.add(Element::Resistor { n1, n2, ohms: 2.0 }).unwrap();
         ckt.add(Element::Capacitor {
             n1,
             n2: 0,

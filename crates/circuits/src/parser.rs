@@ -114,11 +114,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
                 lineno + 1
             )));
         }
-        let kind = tokens[0]
-            .chars()
-            .next()
-            .unwrap()
-            .to_ascii_uppercase();
+        let kind = tokens[0].chars().next().unwrap().to_ascii_uppercase();
         let mut node = |name: &str, circuit: &mut Circuit| -> usize {
             if is_ground(name) {
                 0
@@ -184,9 +180,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
                 return Err(err_line(format!("unknown element type '{other}'")));
             }
         };
-        circuit
-            .add(element)
-            .map_err(|e| err_line(format!("{e}")))?;
+        circuit.add(element).map_err(|e| err_line(format!("{e}")))?;
     }
     Ok(ParsedCircuit {
         circuit,
@@ -198,10 +192,7 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
 /// `NAME ( a b c )` so sources parse uniformly.
 fn tokenize(line: &str) -> Vec<String> {
     let spaced = line.replace('(', " ( ").replace(')', " ) ");
-    spaced
-        .split_whitespace()
-        .map(str::to_string)
-        .collect()
+    spaced.split_whitespace().map(str::to_string).collect()
 }
 
 fn parse_source(tokens: &[String]) -> Result<Waveform, CircuitError> {
@@ -255,7 +246,7 @@ fn parse_source(tokens: &[String]) -> Result<Waveform, CircuitError> {
                     ))
                 }
                 _ => {
-                    if args.len() < 2 || args.len() % 2 != 0 {
+                    if args.len() < 2 || !args.len().is_multiple_of(2) {
                         return Err(bad("PWL needs t/v pairs"));
                     }
                     let pts = args.chunks(2).map(|c| (c[0], c[1])).collect();

@@ -15,16 +15,15 @@
 //! diagonal `(2/h_j)^α`, hence its own factorization — the
 //! eigendecomposition route of the paper has the same property.
 
-use crate::linear::make_outputs;
+use crate::engine::{
+    apply_b, apply_b_column, factor_shifted_pencil, reconstruct_outputs, FactorCache,
+};
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::adaptive::AdaptiveBpf;
 use opm_basis::traits::Basis;
-use opm_sparse::ordering::rcm;
-use opm_sparse::SparseLu;
 use opm_system::{DescriptorSystem, FractionalSystem};
 use opm_waveform::InputSet;
-use std::collections::HashMap;
 
 /// Options for [`solve_linear_adaptive`].
 #[derive(Clone, Copy, Debug)]
@@ -77,30 +76,23 @@ pub fn solve_linear_adaptive(
         return Err(OpmError::BadArguments("inconsistent step options".into()));
     }
 
-    let mut factors: HashMap<i32, SparseLu> = HashMap::new();
-    let mut num_fact = 0usize;
+    let mut factors = FactorCache::new(sys.e(), sys.a());
     let mut num_solves = 0usize;
     let shift = x0.iter().any(|&v| v != 0.0);
-    let c_force = if shift { sys.a().mul_vec(x0) } else { vec![0.0; n] };
+    let c_force = if shift {
+        sys.a().mul_vec(x0)
+    } else {
+        vec![0.0; n]
+    };
 
     let solve_column = |h: f64,
-                            t0: f64,
-                            g: &[f64],
-                            factors: &mut HashMap<i32, SparseLu>,
-                            num_fact: &mut usize,
-                            num_solves: &mut usize|
+                        t0: f64,
+                        g: &[f64],
+                        factors: &mut FactorCache,
+                        num_solves: &mut usize|
      -> Result<Vec<f64>, OpmError> {
         let exp = h.log2().round() as i32;
-        if !factors.contains_key(&exp) {
-            let hq = 2.0f64.powi(exp);
-            let pencil = sys.e().lin_comb(2.0 / hq, -1.0, sys.a());
-            let ordering = rcm(&pencil);
-            let lu = SparseLu::factor(&pencil.to_csc(), Some(&ordering))
-                .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
-            factors.insert(exp, lu);
-            *num_fact += 1;
-        }
-        let lu = factors.get(&exp).unwrap();
+        let lu = factors.get(exp)?;
         let hq = 2.0f64.powi(exp);
         let mut rhs = vec![0.0; n];
         // B·ū over [t0, t0+h] + c − (4/h)·E·g.
@@ -109,13 +101,7 @@ pub fn solve_linear_adaptive(
             .iter()
             .map(|w| w.average(t0, t0 + hq))
             .collect();
-        for i in 0..sys.b().nrows() {
-            let mut s = 0.0;
-            for (ch, v) in sys.b().row(i) {
-                s += v * u_avg[ch];
-            }
-            rhs[i] += s;
-        }
+        apply_b_column(sys.b(), &u_avg, 1.0, &mut rhs);
         if shift {
             for (r, c) in rhs.iter_mut().zip(&c_force) {
                 *r += c;
@@ -143,7 +129,7 @@ pub fn solve_linear_adaptive(
         while t + h > t_end * (1.0 + 1e-12) && h > opts.h_min {
             h *= 0.5;
         }
-        let z = solve_column(h, t, &g, &mut factors, &mut num_fact, &mut num_solves)?;
+        let z = solve_column(h, t, &g, &mut factors, &mut num_solves)?;
         // Predictor: linear extrapolation of the last column pair.
         let est = match (&prev, columns.len()) {
             (Some((z1, h1)), len) if len >= 2 => {
@@ -193,13 +179,13 @@ pub fn solve_linear_adaptive(
         }
     }
 
-    let outputs = make_outputs(sys, &columns);
+    let outputs = reconstruct_outputs(sys, &columns);
     Ok(OpmResult {
         bounds,
         columns,
         outputs,
         num_solves,
-        num_factorizations: num_fact,
+        num_factorizations: factors.num_factorizations(),
     })
 }
 
@@ -264,10 +250,10 @@ pub fn solve_fractional_adaptive(
         }
         // (F[j,j]·E − A)·x_j = B·u_j − E·Σ_{i<j} F[i,j]·x_i.
         let djj = inc.value(j, j);
-        let pencil = sys.e().lin_comb(djj, -1.0, sys.a());
-        let ordering = rcm(&pencil);
-        let lu = SparseLu::factor(&pencil.to_csc(), Some(&ordering))
-            .map_err(|e| OpmError::SingularPencil(format!("column {j}: {e}")))?;
+        let lu = factor_shifted_pencil(sys.e(), sys.a(), djj).map_err(|e| match e {
+            OpmError::SingularPencil(s) => OpmError::SingularPencil(format!("column {j}: {s}")),
+            other => other,
+        })?;
         num_fact += 1;
 
         let mut acc = vec![0.0; n];
@@ -280,13 +266,7 @@ pub fn solve_fractional_adaptive(
             }
         }
         let mut rhs = vec![0.0; n];
-        for r in 0..sys.b().nrows() {
-            let mut s = 0.0;
-            for (ch, v) in sys.b().row(r) {
-                s += v * u[ch][j];
-            }
-            rhs[r] += s;
-        }
+        apply_b(sys.b(), &u, j, 1.0, &mut rhs);
         let mut ea = vec![0.0; n];
         sys.e().mul_vec_into(&acc, &mut ea);
         for (r, w) in rhs.iter_mut().zip(&ea) {
@@ -295,7 +275,7 @@ pub fn solve_fractional_adaptive(
         columns.push(lu.solve(&rhs));
     }
 
-    let outputs = make_outputs(sys, &columns);
+    let outputs = reconstruct_outputs(sys, &columns);
     Ok(OpmResult {
         bounds: grid.bounds().to_vec(),
         columns,

@@ -1,0 +1,968 @@
+//! The shared OPM solver engine.
+//!
+//! Every OPM variant in this crate solves the same matrix equation
+//! `Σ_k A_k X Sym_k = B U` column by column: build a pencil from the
+//! leading symbol coefficients, factor it **once** (or once per distinct
+//! step on adaptive grids), then sweep columns left to right, each
+//! column's right-hand side mixing the inputs with a history term over
+//! already-solved columns. The five public solvers — linear, fractional,
+//! multi-term, adaptive, general-basis — plus the Kronecker oracle are
+//! thin *strategies* over the primitives in this module:
+//!
+//! - [`validate_coeff_inputs`] / [`validate_horizon`] — argument checks;
+//! - [`factor_pencil`] — RCM-ordered sparse LU with error mapping;
+//! - [`FactorCache`] — memoized factorizations for step-lattice sweeps;
+//! - [`apply_b`] — accumulate `scale·B·u_j` into a right-hand side;
+//! - [`ColumnSweep`] — the cached-factorization column solve loop, with
+//!   read access to all previously solved columns (the history term);
+//! - [`reconstruct_outputs`] / [`uniform_result`] — output projection
+//!   through `C` and [`OpmResult`] assembly.
+//!
+//! On top of the primitives sits a declarative front door: describe the
+//! task with a [`Problem`], pick resolution/method with [`SolveOptions`],
+//! and let [`Problem::solve`] dispatch to the right strategy:
+//!
+//! ```
+//! use opm_core::engine::{Problem, SolveOptions};
+//! use opm_sparse::{CooMatrix, CsrMatrix};
+//! use opm_system::DescriptorSystem;
+//! use opm_waveform::{InputSet, Waveform};
+//!
+//! // ẋ = −x + u, step input, zero IC.
+//! let mut a = CooMatrix::new(1, 1);
+//! a.push(0, 0, -1.0);
+//! let mut b = CooMatrix::new(1, 1);
+//! b.push(0, 0, 1.0);
+//! let sys = DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
+//! let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+//! let r = Problem::linear(&sys)
+//!     .waveforms(&inputs)
+//!     .horizon(1.0)
+//!     .solve(&SolveOptions::new().resolution(256))
+//!     .unwrap();
+//! let t = r.midpoints()[255];
+//! assert!((r.state_coeff(0, 255) - (1.0 - (-t).exp())).abs() < 1e-4);
+//! ```
+
+use crate::adaptive::AdaptiveOpmOptions;
+use crate::result::OpmResult;
+use crate::OpmError;
+use opm_basis::adaptive::AdaptiveBpf;
+use opm_sparse::ordering::rcm;
+use opm_sparse::{CsrMatrix, SparseLu};
+use opm_system::{DescriptorSystem, FractionalSystem, MultiTermSystem, SecondOrderSystem};
+use opm_waveform::InputSet;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Validation
+// ---------------------------------------------------------------------------
+
+/// Validates a BPF coefficient matrix (`u_coeffs[ch][j]`) against the
+/// expected channel count; returns the interval count `m`.
+///
+/// # Errors
+/// [`OpmError::BadArguments`] on channel mismatch, zero intervals, or
+/// ragged rows.
+pub fn validate_coeff_inputs(num_inputs: usize, u_coeffs: &[Vec<f64>]) -> Result<usize, OpmError> {
+    if u_coeffs.len() != num_inputs {
+        return Err(OpmError::BadArguments(format!(
+            "{} input rows for {} B columns",
+            u_coeffs.len(),
+            num_inputs
+        )));
+    }
+    let m = u_coeffs.first().map_or(0, Vec::len);
+    if m == 0 {
+        return Err(OpmError::BadArguments("zero intervals".into()));
+    }
+    if u_coeffs.iter().any(|r| r.len() != m) {
+        return Err(OpmError::BadArguments("ragged input rows".into()));
+    }
+    Ok(m)
+}
+
+/// Validates the simulation horizon.
+///
+/// # Errors
+/// [`OpmError::BadArguments`] unless `t_end > 0` (NaN rejected too).
+pub fn validate_horizon(t_end: f64) -> Result<(), OpmError> {
+    if t_end > 0.0 {
+        Ok(())
+    } else {
+        Err(OpmError::BadArguments(format!("t_end = {t_end}")))
+    }
+}
+
+/// Validates an initial-condition vector against the system order.
+///
+/// # Errors
+/// [`OpmError::BadArguments`] on length mismatch.
+pub fn validate_x0(n: usize, x0: &[f64]) -> Result<(), OpmError> {
+    if x0.len() != n {
+        return Err(OpmError::BadArguments(format!(
+            "x0 length {} for order {n}",
+            x0.len()
+        )));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Pencil factorization
+// ---------------------------------------------------------------------------
+
+/// Factors an OPM pencil with the RCM fill-reducing ordering, mapping
+/// failures onto [`OpmError::SingularPencil`].
+///
+/// # Errors
+/// [`OpmError::SingularPencil`] when the pencil is numerically singular.
+pub fn factor_pencil(pencil: &CsrMatrix) -> Result<SparseLu, OpmError> {
+    let order = rcm(pencil);
+    SparseLu::factor(&pencil.to_csc(), Some(&order))
+        .map_err(|e| OpmError::SingularPencil(format!("{e}")))
+}
+
+/// Builds and factors the two-matrix pencil `σ·E − A`.
+///
+/// # Errors
+/// As [`factor_pencil`].
+pub fn factor_shifted_pencil(
+    e: &CsrMatrix,
+    a: &CsrMatrix,
+    sigma: f64,
+) -> Result<SparseLu, OpmError> {
+    factor_pencil(&e.lin_comb(sigma, -1.0, a))
+}
+
+/// Builds the multi-term pencil `Σ_k w_k·A_k` from per-term leading
+/// weights.
+///
+/// # Errors
+/// [`OpmError::BadArguments`] when `terms` is empty.
+pub fn weighted_pencil(
+    terms: &[opm_system::Term],
+    weights: impl Fn(usize) -> f64,
+) -> Result<CsrMatrix, OpmError> {
+    let mut pencil: Option<CsrMatrix> = None;
+    for (k, term) in terms.iter().enumerate() {
+        let w = weights(k);
+        pencil = Some(match pencil {
+            None => term.matrix.scale(w),
+            Some(acc) => acc.lin_comb(1.0, w, &term.matrix),
+        });
+    }
+    pencil.ok_or(OpmError::BadArguments("no terms".into()))
+}
+
+/// Memoized pencil factorizations keyed by the power-of-two step
+/// exponent — the adaptive linear sweep's factorization cache.
+pub struct FactorCache<'a> {
+    e: &'a CsrMatrix,
+    a: &'a CsrMatrix,
+    factors: HashMap<i32, SparseLu>,
+    num_factorizations: usize,
+}
+
+impl<'a> FactorCache<'a> {
+    /// A cache for pencils `(2/h)·E − A` over the step lattice `h = 2^k`.
+    pub fn new(e: &'a CsrMatrix, a: &'a CsrMatrix) -> Self {
+        FactorCache {
+            e,
+            a,
+            factors: HashMap::new(),
+            num_factorizations: 0,
+        }
+    }
+
+    /// The factorization for lattice exponent `exp` (step `h = 2^exp`),
+    /// computing it at most once.
+    ///
+    /// # Errors
+    /// As [`factor_pencil`].
+    pub fn get(&mut self, exp: i32) -> Result<&SparseLu, OpmError> {
+        if !self.factors.contains_key(&exp) {
+            let h = 2.0f64.powi(exp);
+            let lu = factor_shifted_pencil(self.e, self.a, 2.0 / h)?;
+            self.factors.insert(exp, lu);
+            self.num_factorizations += 1;
+        }
+        Ok(&self.factors[&exp])
+    }
+
+    /// Number of distinct factorizations performed so far.
+    pub fn num_factorizations(&self) -> usize {
+        self.num_factorizations
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Right-hand-side assembly
+// ---------------------------------------------------------------------------
+
+/// Accumulates `scale·B·u_j` into `out`, reading input column `j` from a
+/// BPF coefficient matrix.
+pub fn apply_b(b: &CsrMatrix, u_coeffs: &[Vec<f64>], j: usize, scale: f64, out: &mut [f64]) {
+    for i in 0..b.nrows() {
+        let mut s = 0.0;
+        for (ch, v) in b.row(i) {
+            s += v * u_coeffs[ch][j];
+        }
+        out[i] += scale * s;
+    }
+}
+
+/// Accumulates `scale·B·u` for an explicit per-channel column `u`.
+pub fn apply_b_column(b: &CsrMatrix, u: &[f64], scale: f64, out: &mut [f64]) {
+    for i in 0..b.nrows() {
+        let mut s = 0.0;
+        for (ch, v) in b.row(i) {
+            s += v * u[ch];
+        }
+        out[i] += scale * s;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The column sweep
+// ---------------------------------------------------------------------------
+
+/// The cached-factorization column sweep at the heart of every OPM
+/// solver: for `j = 0..m`, assemble a right-hand side (with read access
+/// to every previously solved column — the history/convolution term) and
+/// solve it against one shared factorization.
+pub struct ColumnSweep {
+    n: usize,
+    m: usize,
+    columns: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    /// Scratch vector sized `n`, for matrix–vector products inside RHS
+    /// builders (avoids per-column allocation in every strategy).
+    pub work: Vec<f64>,
+    num_solves: usize,
+}
+
+impl ColumnSweep {
+    /// A sweep over `m` columns of an order-`n` system.
+    pub fn new(n: usize, m: usize) -> Self {
+        ColumnSweep {
+            n,
+            m,
+            columns: Vec::with_capacity(m),
+            rhs: vec![0.0; n],
+            work: vec![0.0; n],
+            num_solves: 0,
+        }
+    }
+
+    /// Columns solved so far (the history the RHS builder may read).
+    pub fn history(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// Runs one column: zeroes the RHS, lets `build` fill it (reading
+    /// the history), solves against `lu`, appends and returns the new
+    /// column.
+    pub fn step(
+        &mut self,
+        lu: &SparseLu,
+        build: impl FnOnce(&[Vec<f64>], &mut [f64], &mut [f64]),
+    ) -> &[f64] {
+        self.rhs.iter_mut().for_each(|v| *v = 0.0);
+        build(&self.columns, &mut self.rhs, &mut self.work);
+        let mut x = vec![0.0; self.n];
+        lu.solve_into(&self.rhs, &mut x);
+        self.num_solves += 1;
+        self.columns.push(x);
+        self.columns.last().unwrap()
+    }
+
+    /// Runs the full sweep: the `m` columns fixed at construction
+    /// against one factorization, the per-column RHS built by
+    /// `build(j, history, rhs, work)`.
+    pub fn run(
+        mut self,
+        lu: &SparseLu,
+        mut build: impl FnMut(usize, &[Vec<f64>], &mut [f64], &mut [f64]),
+    ) -> SweepOutcome {
+        for j in 0..self.m {
+            self.step(lu, |history, rhs, work| build(j, history, rhs, work));
+        }
+        self.into_outcome(1)
+    }
+
+    /// Finishes a manually-stepped sweep.
+    pub fn into_outcome(self, num_factorizations: usize) -> SweepOutcome {
+        SweepOutcome {
+            columns: self.columns,
+            num_solves: self.num_solves,
+            num_factorizations,
+        }
+    }
+}
+
+/// Raw sweep output: solved columns plus complexity counters.
+pub struct SweepOutcome {
+    /// Solved coefficient columns, one per interval.
+    pub columns: Vec<Vec<f64>>,
+    /// Sparse solves performed.
+    pub num_solves: usize,
+    /// Sparse factorizations performed.
+    pub num_factorizations: usize,
+}
+
+impl SweepOutcome {
+    /// Adds `x0` to every column (undoes the `z = x − x₀` state shift).
+    #[must_use]
+    pub fn shifted_by(mut self, x0: &[f64]) -> Self {
+        for col in &mut self.columns {
+            for (c, v) in col.iter_mut().zip(x0) {
+                *c += v;
+            }
+        }
+        self
+    }
+
+    /// Assembles an [`OpmResult`] on the uniform grid `m × h`.
+    pub fn uniform_result(self, out: &impl OutputMap, t_end: f64) -> OpmResult {
+        let m = self.columns.len();
+        let h = if m == 0 { 0.0 } else { t_end / m as f64 };
+        let outputs = reconstruct_outputs(out, &self.columns);
+        OpmResult {
+            bounds: (0..=m).map(|k| k as f64 * h).collect(),
+            columns: self.columns,
+            outputs,
+            num_solves: self.num_solves,
+            num_factorizations: self.num_factorizations,
+        }
+    }
+
+    /// Assembles an [`OpmResult`] on an explicit boundary grid.
+    pub fn grid_result(self, out: &impl OutputMap, bounds: Vec<f64>) -> OpmResult {
+        let outputs = reconstruct_outputs(out, &self.columns);
+        OpmResult {
+            bounds,
+            columns: self.columns,
+            outputs,
+            num_solves: self.num_solves,
+            num_factorizations: self.num_factorizations,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Output reconstruction
+// ---------------------------------------------------------------------------
+
+/// A system that can project a state column onto output channels —
+/// implemented by every model type the engine solves.
+pub trait OutputMap {
+    /// Number of output channels.
+    fn num_outputs(&self) -> usize;
+    /// Projects one state column through the output selector `C` (or the
+    /// identity when the model has none).
+    fn output(&self, x: &[f64]) -> Vec<f64>;
+}
+
+impl OutputMap for DescriptorSystem {
+    fn num_outputs(&self) -> usize {
+        DescriptorSystem::num_outputs(self)
+    }
+    fn output(&self, x: &[f64]) -> Vec<f64> {
+        DescriptorSystem::output(self, x)
+    }
+}
+
+impl OutputMap for MultiTermSystem {
+    fn num_outputs(&self) -> usize {
+        MultiTermSystem::num_outputs(self)
+    }
+    fn output(&self, x: &[f64]) -> Vec<f64> {
+        MultiTermSystem::output(self, x)
+    }
+}
+
+/// Projects every solved column onto the output channels:
+/// `outputs[o][j]`.
+pub fn reconstruct_outputs(out: &impl OutputMap, columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let q = out.num_outputs();
+    let mut outputs = vec![Vec::with_capacity(columns.len()); q];
+    for col in columns {
+        for (o, val) in out.output(col).into_iter().enumerate() {
+            outputs[o].push(val);
+        }
+    }
+    outputs
+}
+
+// ---------------------------------------------------------------------------
+// Problem / SolveOptions: the declarative front door
+// ---------------------------------------------------------------------------
+
+/// The model being simulated (borrowed, cheap to construct).
+#[derive(Clone, Copy)]
+enum Model<'a> {
+    Linear(&'a DescriptorSystem),
+    Fractional(&'a FractionalSystem),
+    MultiTerm(&'a MultiTermSystem),
+    SecondOrder(&'a SecondOrderSystem),
+}
+
+/// How the stimulus is supplied.
+#[derive(Clone, Copy)]
+enum Inputs<'a> {
+    /// Nothing supplied yet (an error at solve time).
+    Missing,
+    /// Precomputed BPF coefficient matrix `u[ch][j]`.
+    Coeffs(&'a [Vec<f64>]),
+    /// Waveforms, projected by the engine at the chosen resolution.
+    Waveforms(&'a InputSet),
+}
+
+/// A complete OPM problem description: model + stimulus + horizon + ICs.
+///
+/// Build one with [`Problem::linear`] / [`Problem::fractional`] /
+/// [`Problem::multiterm`] / [`Problem::second_order`], chain the
+/// setters, then call [`Problem::solve`].
+#[derive(Clone, Copy)]
+pub struct Problem<'a> {
+    model: Model<'a>,
+    inputs: Inputs<'a>,
+    t_end: f64,
+    x0: Option<&'a [f64]>,
+}
+
+impl<'a> Problem<'a> {
+    fn new(model: Model<'a>) -> Self {
+        Problem {
+            model,
+            inputs: Inputs::Missing,
+            t_end: 0.0,
+            x0: None,
+        }
+    }
+
+    /// A linear descriptor problem `E ẋ = A x + B u`.
+    pub fn linear(sys: &'a DescriptorSystem) -> Self {
+        Problem::new(Model::Linear(sys))
+    }
+
+    /// A fractional problem `E d^α x = A x + B u`.
+    pub fn fractional(fsys: &'a FractionalSystem) -> Self {
+        Problem::new(Model::Fractional(fsys))
+    }
+
+    /// A multi-term problem `Σ_k A_k d^{α_k} x = B u`.
+    pub fn multiterm(mt: &'a MultiTermSystem) -> Self {
+        Problem::new(Model::MultiTerm(mt))
+    }
+
+    /// A second-order nodal problem `M₂ ẍ + M₁ ẋ + M₀ x = B u̇` (the
+    /// engine differentiates the supplied waveforms exactly).
+    pub fn second_order(so: &'a SecondOrderSystem) -> Self {
+        Problem::new(Model::SecondOrder(so))
+    }
+
+    /// Supplies the stimulus as a precomputed BPF coefficient matrix
+    /// (`u[ch][j]`, one row per input channel).
+    #[must_use]
+    pub fn coeffs(mut self, u: &'a [Vec<f64>]) -> Self {
+        self.inputs = Inputs::Coeffs(u);
+        self
+    }
+
+    /// Supplies the stimulus as waveforms; the engine projects them at
+    /// the resolution chosen in [`SolveOptions`].
+    #[must_use]
+    pub fn waveforms(mut self, u: &'a InputSet) -> Self {
+        self.inputs = Inputs::Waveforms(u);
+        self
+    }
+
+    /// Sets the simulation horizon `[0, t_end)`.
+    #[must_use]
+    pub fn horizon(mut self, t_end: f64) -> Self {
+        self.t_end = t_end;
+        self
+    }
+
+    /// Sets a nonzero initial state (linear problems only; fractional
+    /// and multi-term OPM assume zero Caputo initial conditions).
+    #[must_use]
+    pub fn initial_state(mut self, x0: &'a [f64]) -> Self {
+        self.x0 = Some(x0);
+        self
+    }
+
+    /// Solves the problem with the given options, dispatching to the
+    /// matching strategy.
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] for inconsistent descriptions (missing
+    /// inputs, nonzero ICs on fractional problems, waveform-only
+    /// strategies fed coefficients, options that do not apply to the
+    /// model, …) and any strategy error.
+    pub fn solve(&self, opts: &SolveOptions) -> Result<OpmResult, OpmError> {
+        self.validate_options(opts)?;
+        match self.model {
+            Model::Linear(sys) => self.solve_linear(sys, opts),
+            Model::Fractional(fsys) => self.solve_fractional(fsys, opts),
+            Model::MultiTerm(mt) => self.solve_multiterm(mt, opts),
+            Model::SecondOrder(so) => self.solve_second_order(so, opts),
+        }
+    }
+
+    /// Rejects option combinations that no strategy honors — silently
+    /// ignoring them would hand back a result the caller did not ask
+    /// for.
+    fn validate_options(&self, opts: &SolveOptions) -> Result<(), OpmError> {
+        let bad = |msg: &str| Err(OpmError::BadArguments(msg.into()));
+        if opts.adaptive.is_some() && opts.step_grid.is_some() {
+            return bad("choose one of adaptive (on-the-fly) or step_grid (explicit steps)");
+        }
+        if (opts.adaptive.is_some() || opts.step_grid.is_some()) && opts.method != Method::Auto {
+            return bad("method overrides do not apply to adaptive/step-grid solves");
+        }
+        if (opts.adaptive.is_some() || opts.step_grid.is_some()) && opts.resolution.is_some() {
+            return bad(
+                "resolution does not apply to adaptive/step-grid solves (the step \
+                 controller or the grid determines the column count)",
+            );
+        }
+        if let Some(steps) = &opts.step_grid {
+            let total: f64 = steps.iter().sum();
+            let spans_horizon =
+                total > 0.0 && (total - self.t_end).abs() <= 1e-9 * self.t_end.abs();
+            if !spans_horizon {
+                return Err(OpmError::BadArguments(format!(
+                    "step grid sums to {total:e} but the declared horizon is {:e}",
+                    self.t_end
+                )));
+            }
+        }
+        match self.model {
+            Model::Linear(_) => {
+                if opts.step_grid.is_some() {
+                    return bad(
+                        "step_grid applies to fractional problems; linear problems adapt \
+                         on the fly via SolveOptions::adaptive",
+                    );
+                }
+            }
+            Model::Fractional(_) => {
+                if opts.adaptive.is_some() {
+                    return bad("on-the-fly adaptive stepping applies to linear problems; \
+                         fractional problems take an explicit SolveOptions::step_grid");
+                }
+            }
+            Model::MultiTerm(_) | Model::SecondOrder(_) => {
+                if opts.adaptive.is_some() || opts.step_grid.is_some() {
+                    return bad(
+                        "adaptive/step-grid solving is not available for multi-term or \
+                         second-order problems",
+                    );
+                }
+            }
+        }
+        if let (Some(r), Inputs::Coeffs(u)) = (opts.resolution, self.inputs) {
+            let m = u.first().map_or(0, Vec::len);
+            if m != r {
+                return Err(OpmError::BadArguments(format!(
+                    "resolution {r} conflicts with the {m}-column coefficient input"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn zero_x0(&self, n: usize) -> Result<Vec<f64>, OpmError> {
+        match self.x0 {
+            None => Ok(vec![0.0; n]),
+            Some(x0) if x0.iter().all(|&v| v == 0.0) => Ok(x0.to_vec()),
+            Some(_) => Err(OpmError::BadArguments(
+                "nonzero initial conditions are only supported for linear problems".into(),
+            )),
+        }
+    }
+
+    /// Materializes a coefficient matrix: passthrough for
+    /// [`Problem::coeffs`], BPF projection for [`Problem::waveforms`].
+    fn coeff_matrix(
+        &self,
+        num_inputs: usize,
+        opts: &SolveOptions,
+    ) -> Result<std::borrow::Cow<'a, [Vec<f64>]>, OpmError> {
+        match self.inputs {
+            Inputs::Missing => Err(OpmError::BadArguments(
+                "no stimulus: call .coeffs(..) or .waveforms(..)".into(),
+            )),
+            Inputs::Coeffs(u) => Ok(std::borrow::Cow::Borrowed(u)),
+            Inputs::Waveforms(ws) => {
+                if ws.len() != num_inputs {
+                    return Err(OpmError::BadArguments(format!(
+                        "{} input channels for {} B columns",
+                        ws.len(),
+                        num_inputs
+                    )));
+                }
+                let m = opts.resolution.ok_or_else(|| {
+                    OpmError::BadArguments("waveform inputs need SolveOptions::resolution".into())
+                })?;
+                validate_horizon(self.t_end)?;
+                Ok(std::borrow::Cow::Owned(ws.bpf_matrix(m, self.t_end)))
+            }
+        }
+    }
+
+    fn solve_linear(
+        &self,
+        sys: &DescriptorSystem,
+        opts: &SolveOptions,
+    ) -> Result<OpmResult, OpmError> {
+        let default_x0 = vec![0.0; sys.order()];
+        let x0 = self.x0.unwrap_or(&default_x0);
+        if let Some(adapt) = opts.adaptive {
+            let ws = match self.inputs {
+                Inputs::Waveforms(ws) => ws,
+                _ => {
+                    return Err(OpmError::BadArguments(
+                        "adaptive stepping needs waveform inputs (exact interval averages)".into(),
+                    ))
+                }
+            };
+            return crate::adaptive::solve_linear_adaptive(sys, ws, self.t_end, x0, adapt);
+        }
+        let u = self.coeff_matrix(sys.num_inputs(), opts)?;
+        match opts.method {
+            Method::Auto | Method::Recurrence => {
+                crate::linear::solve_linear(sys, &u, self.t_end, x0)
+            }
+            Method::Accumulator => crate::linear::solve_linear_accumulator(sys, &u, self.t_end, x0),
+            // The multi-term and Kronecker strategies assume zero ICs;
+            // silently dropping x0 would return the wrong trajectory.
+            Method::Convolution | Method::Kronecker => {
+                if x0.iter().any(|&v| v != 0.0) {
+                    return Err(OpmError::BadArguments(
+                        "nonzero initial conditions require the Recurrence or Accumulator \
+                         method (Convolution/Kronecker assume x(0) = 0)"
+                            .into(),
+                    ));
+                }
+                if opts.method == Method::Convolution {
+                    crate::multiterm::solve_descriptor_as_multiterm(sys, &u, self.t_end)
+                } else {
+                    crate::kron_solve::kron_solve_linear(sys, &u, self.t_end)
+                }
+            }
+        }
+    }
+
+    fn solve_fractional(
+        &self,
+        fsys: &FractionalSystem,
+        opts: &SolveOptions,
+    ) -> Result<OpmResult, OpmError> {
+        self.zero_x0(fsys.order())?;
+        if let Some(steps) = &opts.step_grid {
+            let ws = match self.inputs {
+                Inputs::Waveforms(ws) => ws,
+                _ => {
+                    return Err(OpmError::BadArguments(
+                        "step-grid solving needs waveform inputs".into(),
+                    ))
+                }
+            };
+            let grid = AdaptiveBpf::new(steps.clone());
+            return crate::adaptive::solve_fractional_adaptive(fsys, &grid, ws);
+        }
+        let u = self.coeff_matrix(fsys.num_inputs(), opts)?;
+        match opts.method {
+            Method::Auto | Method::Recurrence | Method::Convolution => {
+                crate::fractional::solve_fractional(fsys, &u, self.t_end)
+            }
+            Method::Accumulator => Err(OpmError::BadArguments(
+                "the accumulator form exists only for linear problems".into(),
+            )),
+            Method::Kronecker => crate::kron_solve::kron_solve_fractional(fsys, &u, self.t_end),
+        }
+    }
+
+    fn solve_multiterm(
+        &self,
+        mt: &MultiTermSystem,
+        opts: &SolveOptions,
+    ) -> Result<OpmResult, OpmError> {
+        self.zero_x0(mt.order())?;
+        let u = self.coeff_matrix(mt.num_inputs(), opts)?;
+        match opts.method {
+            Method::Auto => crate::multiterm::solve_multiterm(mt, &u, self.t_end),
+            Method::Recurrence => crate::multiterm::solve_multiterm_recurrence(mt, &u, self.t_end),
+            Method::Convolution => {
+                crate::multiterm::solve_multiterm_convolution(mt, &u, self.t_end)
+            }
+            Method::Accumulator => Err(OpmError::BadArguments(
+                "the accumulator form exists only for linear problems".into(),
+            )),
+            Method::Kronecker => crate::kron_solve::kron_solve_multiterm(mt, &u, self.t_end),
+        }
+    }
+
+    fn solve_second_order(
+        &self,
+        so: &SecondOrderSystem,
+        opts: &SolveOptions,
+    ) -> Result<OpmResult, OpmError> {
+        self.zero_x0(so.order())?;
+        let ws = match self.inputs {
+            Inputs::Waveforms(ws) => ws,
+            Inputs::Coeffs(_) => {
+                return Err(OpmError::BadArguments(
+                    "second-order problems need waveform inputs (the engine \
+                     differentiates them exactly)"
+                        .into(),
+                ))
+            }
+            Inputs::Missing => {
+                return Err(OpmError::BadArguments(
+                    "no stimulus: call .waveforms(..)".into(),
+                ))
+            }
+        };
+        let m = opts.resolution.ok_or_else(|| {
+            OpmError::BadArguments("second-order problems need SolveOptions::resolution".into())
+        })?;
+        crate::second_order::solve_second_order(so, ws, self.t_end, m)
+    }
+}
+
+/// Strategy selector for [`SolveOptions::method`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Method {
+    /// Pick the fastest correct path (integer orders → finite
+    /// recurrence, fractional → convolution).
+    #[default]
+    Auto,
+    /// The finite-history recurrence fast path.
+    Recurrence,
+    /// The paper's literal alternating-accumulator algorithm (linear
+    /// only; kept for cross-validation).
+    Accumulator,
+    /// The full nilpotent-series convolution path.
+    Convolution,
+    /// The dense `(Dᵀ⊗E − I⊗A)·vec X` oracle (small problems only).
+    Kronecker,
+}
+
+/// Solver configuration: resolution, strategy, adaptivity.
+#[derive(Clone, Debug, Default)]
+pub struct SolveOptions {
+    resolution: Option<usize>,
+    method: Method,
+    adaptive: Option<AdaptiveOpmOptions>,
+    step_grid: Option<Vec<f64>>,
+}
+
+impl SolveOptions {
+    /// Default options: uniform grid, automatic strategy.
+    pub fn new() -> Self {
+        SolveOptions::default()
+    }
+
+    /// Number of uniform intervals `m` (required when the stimulus is
+    /// supplied as waveforms).
+    #[must_use]
+    pub fn resolution(mut self, m: usize) -> Self {
+        self.resolution = Some(m);
+        self
+    }
+
+    /// Forces a particular strategy.
+    #[must_use]
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Enables on-the-fly adaptive stepping (linear problems).
+    #[must_use]
+    pub fn adaptive(mut self, opts: AdaptiveOpmOptions) -> Self {
+        self.adaptive = Some(opts);
+        self
+    }
+
+    /// Solves on an explicit non-uniform step grid (fractional
+    /// problems; steps must be pairwise distinct).
+    #[must_use]
+    pub fn step_grid(mut self, steps: Vec<f64>) -> Self {
+        self.step_grid = Some(steps);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_sparse::CooMatrix;
+    use opm_waveform::Waveform;
+
+    fn scalar(a: f64) -> DescriptorSystem {
+        let mut am = CooMatrix::new(1, 1);
+        am.push(0, 0, a);
+        let mut b = CooMatrix::new(1, 1);
+        b.push(0, 0, 1.0);
+        DescriptorSystem::new(CsrMatrix::identity(1), am.to_csr(), b.to_csr(), None).unwrap()
+    }
+
+    #[test]
+    fn problem_linear_equals_direct_call() {
+        let sys = scalar(-1.0);
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let m = 64;
+        let u = inputs.bpf_matrix(m, 2.0);
+        let direct = crate::linear::solve_linear(&sys, &u, 2.0, &[0.0]).unwrap();
+        let via_problem = Problem::linear(&sys)
+            .waveforms(&inputs)
+            .horizon(2.0)
+            .solve(&SolveOptions::new().resolution(m))
+            .unwrap();
+        for j in 0..m {
+            assert_eq!(direct.state_coeff(0, j), via_problem.state_coeff(0, j));
+        }
+    }
+
+    #[test]
+    fn all_linear_methods_agree() {
+        let sys = scalar(-2.0);
+        let inputs = InputSet::new(vec![Waveform::sine(0.0, 1.0, 1.0, 0.0, 0.0)]);
+        let m = 16;
+        let p = Problem::linear(&sys).waveforms(&inputs).horizon(1.0);
+        let base = p.solve(&SolveOptions::new().resolution(m)).unwrap();
+        for method in [Method::Accumulator, Method::Convolution, Method::Kronecker] {
+            let r = p
+                .solve(&SolveOptions::new().resolution(m).method(method))
+                .unwrap();
+            for j in 0..m {
+                assert!(
+                    (r.state_coeff(0, j) - base.state_coeff(0, j)).abs() < 1e-9,
+                    "{method:?}, column {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fractional_dispatch_and_grid() {
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let p = Problem::fractional(&fsys).waveforms(&inputs).horizon(1.0);
+        let uniform = p.solve(&SolveOptions::new().resolution(32)).unwrap();
+        assert_eq!(uniform.num_intervals(), 32);
+        let steps = crate::adaptive::geometric_grid(1.0, 16, 1.2);
+        let graded = p.solve(&SolveOptions::new().step_grid(steps)).unwrap();
+        assert_eq!(graded.num_intervals(), 16);
+    }
+
+    #[test]
+    fn descriptive_errors() {
+        let sys = scalar(-1.0);
+        // Missing stimulus.
+        assert!(Problem::linear(&sys)
+            .horizon(1.0)
+            .solve(&SolveOptions::new().resolution(8))
+            .is_err());
+        // Waveforms without resolution.
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        assert!(Problem::linear(&sys)
+            .waveforms(&inputs)
+            .horizon(1.0)
+            .solve(&SolveOptions::new())
+            .is_err());
+        // Nonzero ICs on a fractional problem.
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        assert!(Problem::fractional(&fsys)
+            .waveforms(&inputs)
+            .horizon(1.0)
+            .initial_state(&[1.0])
+            .solve(&SolveOptions::new().resolution(8))
+            .is_err());
+    }
+
+    #[test]
+    fn inapplicable_options_are_rejected_not_ignored() {
+        let sys = scalar(-1.0);
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        // Nonzero ICs cannot ride the zero-IC strategies.
+        for method in [Method::Convolution, Method::Kronecker] {
+            assert!(
+                Problem::linear(&sys)
+                    .waveforms(&inputs)
+                    .horizon(1.0)
+                    .initial_state(&[2.0])
+                    .solve(&SolveOptions::new().resolution(8).method(method))
+                    .is_err(),
+                "{method:?} must reject nonzero x0"
+            );
+        }
+        // Adaptive stepping is linear-only; step grids are fractional-only.
+        assert!(Problem::fractional(&fsys)
+            .waveforms(&inputs)
+            .horizon(1.0)
+            .solve(
+                &SolveOptions::new()
+                    .resolution(8)
+                    .adaptive(AdaptiveOpmOptions::default())
+            )
+            .is_err());
+        assert!(Problem::linear(&sys)
+            .waveforms(&inputs)
+            .horizon(1.0)
+            .solve(&SolveOptions::new().step_grid(vec![0.5, 0.3, 0.2]))
+            .is_err());
+        // Method overrides cannot combine with adaptive solving.
+        assert!(Problem::linear(&sys)
+            .waveforms(&inputs)
+            .horizon(1.0)
+            .solve(
+                &SolveOptions::new()
+                    .adaptive(AdaptiveOpmOptions::default())
+                    .method(Method::Kronecker)
+            )
+            .is_err());
+        // A resolution that contradicts the supplied coefficient matrix.
+        let u = vec![vec![1.0; 8]];
+        assert!(Problem::linear(&sys)
+            .coeffs(&u)
+            .horizon(1.0)
+            .solve(&SolveOptions::new().resolution(16))
+            .is_err());
+        // …but a matching or omitted resolution is fine.
+        assert!(Problem::linear(&sys)
+            .coeffs(&u)
+            .horizon(1.0)
+            .solve(&SolveOptions::new().resolution(8))
+            .is_ok());
+    }
+
+    #[test]
+    fn factor_cache_memoizes() {
+        let sys = scalar(-1.0);
+        let mut cache = FactorCache::new(sys.e(), sys.a());
+        cache.get(-3).unwrap();
+        cache.get(-3).unwrap();
+        cache.get(-4).unwrap();
+        assert_eq!(cache.num_factorizations(), 2);
+    }
+
+    #[test]
+    fn sweep_counts_and_history() {
+        let sys = scalar(-1.0);
+        let lu = factor_shifted_pencil(sys.e(), sys.a(), 2.0).unwrap();
+        let outcome = ColumnSweep::new(1, 4).run(&lu, |j, history, rhs, _| {
+            assert_eq!(history.len(), j);
+            rhs[0] = 1.0;
+        });
+        assert_eq!(outcome.columns.len(), 4);
+        assert_eq!(outcome.num_solves, 4);
+    }
+}

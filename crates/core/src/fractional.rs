@@ -13,16 +13,18 @@
 //! `O(n^β m + n m²)` total, the paper's §IV complexity. Initial
 //! conditions are zero (Caputo sense), as the paper assumes.
 
-use crate::linear::{add_b_times, make_outputs, validate_inputs};
+use crate::engine::{
+    apply_b, factor_shifted_pencil, validate_coeff_inputs, validate_horizon, ColumnSweep,
+};
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::bpf::BpfBasis;
-use opm_sparse::ordering::rcm;
-use opm_sparse::SparseLu;
 use opm_system::FractionalSystem;
 
 /// Solves the fractional system by OPM over `[0, t_end)` with `m`
-/// uniform intervals (`m` = columns of `u_coeffs`).
+/// uniform intervals (`m` = columns of `u_coeffs`). A thin strategy over
+/// [`crate::engine`]: the per-column right-hand side is
+/// `B·u_j − E·Σ_{k=1}^{j} ρ_k·x_{j−k}`.
 ///
 /// # Errors
 /// [`OpmError::SingularPencil`] when `ρ₀E − A` is singular;
@@ -33,24 +35,16 @@ pub fn solve_fractional(
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
     let sys = fsys.system();
-    let m = validate_inputs(sys, u_coeffs)?;
-    if !(t_end > 0.0) {
-        return Err(OpmError::BadArguments(format!("t_end = {t_end}")));
-    }
+    let m = validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
+    validate_horizon(t_end)?;
     let n = sys.order();
     let basis = BpfBasis::new(m, t_end);
     let rho = basis.frac_diff_coeffs(fsys.alpha());
 
-    let pencil = sys.e().lin_comb(rho[0], -1.0, sys.a());
-    let order = rcm(&pencil);
-    let lu = SparseLu::factor(&pencil.to_csc(), Some(&order))
-        .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+    let lu = factor_shifted_pencil(sys.e(), sys.a(), rho[0])?;
 
-    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut conv = vec![0.0; n];
-    let mut ew = vec![0.0; n];
-    let mut rhs = vec![0.0; n];
-    for j in 0..m {
+    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
         // conv = Σ_{k=1}^{j} ρ_k·x_{j−k}
         conv.iter_mut().for_each(|v| *v = 0.0);
         for k in 1..=j {
@@ -58,30 +52,17 @@ pub fn solve_fractional(
             if r == 0.0 {
                 continue;
             }
-            for (c, x) in conv.iter_mut().zip(&columns[j - k]) {
+            for (c, x) in conv.iter_mut().zip(&history[j - k]) {
                 *c += r * x;
             }
         }
-        sys.e().mul_vec_into(&conv, &mut ew);
-        rhs.iter_mut().for_each(|v| *v = 0.0);
-        add_b_times(sys, u_coeffs, j, 1.0, &mut rhs);
-        for (r, w) in rhs.iter_mut().zip(&ew) {
+        sys.e().mul_vec_into(&conv, work);
+        apply_b(sys.b(), u_coeffs, j, 1.0, rhs);
+        for (r, w) in rhs.iter_mut().zip(work.iter()) {
             *r -= w;
         }
-        let mut x = vec![0.0; n];
-        lu.solve_into(&rhs, &mut x);
-        columns.push(x);
-    }
-
-    let outputs = make_outputs(sys, &columns);
-    let h = t_end / m as f64;
-    Ok(OpmResult {
-        bounds: (0..=m).map(|k| k as f64 * h).collect(),
-        columns,
-        outputs,
-        num_solves: m,
-        num_factorizations: 1,
-    })
+    });
+    Ok(outcome.uniform_result(sys, t_end))
 }
 
 #[cfg(test)]
@@ -100,8 +81,7 @@ mod tests {
         b.push(0, 0, 1.0);
         FractionalSystem::new(
             alpha,
-            DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None)
-                .unwrap(),
+            DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap(),
         )
         .unwrap()
     }
@@ -215,10 +195,7 @@ mod tests {
                 .map(|j| {
                     // Average the fine coefficients inside each coarse cell.
                     let lo = j * stride;
-                    (lo..lo + stride)
-                        .map(|k| r.state_coeff(0, k))
-                        .sum::<f64>()
-                        / stride as f64
+                    (lo..lo + stride).map(|k| r.state_coeff(0, k)).sum::<f64>() / stride as f64
                 })
                 .collect();
             // Skip the first coarse cell: the √t derivative singularity at

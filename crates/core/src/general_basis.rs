@@ -14,6 +14,7 @@
 //! solved densely — adequate for the moderate `m` these bases need, and
 //! exactly how the classical operational-matrix literature did it.
 
+use crate::engine::validate_x0;
 use crate::OpmError;
 use opm_basis::traits::Basis;
 use opm_linalg::kron::{kron, unvec, vec_of};
@@ -74,12 +75,7 @@ pub fn solve_general_basis(
             sys.num_inputs()
         )));
     }
-    if x0.len() != n {
-        return Err(OpmError::BadArguments(format!(
-            "x0 length {} for order {n}",
-            x0.len()
-        )));
-    }
+    validate_x0(n, x0)?;
     if n * m > MAX_DENSE {
         return Err(OpmError::BadArguments(format!(
             "n·m = {} exceeds the dense general-basis guard",

@@ -5,6 +5,7 @@
 //! — strictly an *oracle*: every fast path in this crate is tested for
 //! exact (roundoff-level) agreement against it on small systems.
 
+use crate::engine::{reconstruct_outputs, OutputMap};
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::bpf::BpfBasis;
@@ -18,24 +19,14 @@ fn u_matrix(u_coeffs: &[Vec<f64>], m: usize) -> DMatrix {
     DMatrix::from_fn(u_coeffs.len(), m, |i, j| u_coeffs[i][j])
 }
 
-fn finish(
-    columns_mat: DMatrix,
-    outputs_of: impl Fn(&[f64]) -> Vec<f64>,
-    q: usize,
-    t_end: f64,
-) -> OpmResult {
+fn finish(columns_mat: DMatrix, out: &impl OutputMap, t_end: f64) -> OpmResult {
     let m = columns_mat.ncols();
     let n = columns_mat.nrows();
     let h = t_end / m as f64;
     let columns: Vec<Vec<f64>> = (0..m)
         .map(|j| (0..n).map(|i| columns_mat.get(i, j)).collect())
         .collect();
-    let mut outputs = vec![Vec::with_capacity(m); q];
-    for col in &columns {
-        for (o, val) in outputs_of(col).into_iter().enumerate() {
-            outputs[o].push(val);
-        }
-    }
+    let outputs = reconstruct_outputs(out, &columns);
     OpmResult {
         bounds: (0..=m).map(|k| k as f64 * h).collect(),
         columns,
@@ -82,7 +73,7 @@ pub fn kron_solve_multiterm(
         .ok_or_else(|| OpmError::SingularPencil("vec-form matrix singular".into()))?;
     let x = lu.solve(&DVector::from(rhs.as_slice().to_vec()));
     let xm = unvec(&x, n, m);
-    Ok(finish(xm, |col| mt.output(col), mt.num_outputs(), t_end))
+    Ok(finish(xm, mt, t_end))
 }
 
 /// Oracle solve of `E X D = A X + B U` (paper Eq. 15).

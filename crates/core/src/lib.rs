@@ -7,6 +7,10 @@
 //! systems), turning `E ẋ = A x + B u` into the matrix equation
 //! `E X D = A X + B U` solved *column by column* with one sparse LU:
 //!
+//! - [`engine`] — the shared solver engine: [`engine::Problem`] /
+//!   [`engine::SolveOptions`] as the declarative front door, plus the
+//!   validation, pencil-factorization, cached-factorization column-sweep
+//!   and output-reconstruction primitives every strategy below builds on.
 //! - [`linear`] — linear ODE/DAE systems (paper §III). Implements the
 //!   stable two-term recurrence this library derives from the OPM column
 //!   equations (algebraically identical to the trapezoidal rule) plus the
@@ -51,6 +55,7 @@
 //! ```
 
 pub mod adaptive;
+pub mod engine;
 pub mod fractional;
 pub mod general_basis;
 pub mod kron_solve;
@@ -60,6 +65,7 @@ pub mod multiterm;
 pub mod result;
 pub mod second_order;
 
+pub use engine::{Method, Problem, SolveOptions};
 pub use result::OpmResult;
 
 /// Errors from OPM solvers.

@@ -18,62 +18,18 @@
 //! Nonzero initial conditions use the state shift `z = x − x₀` (the
 //! constant `A·x₀` joins the input), since the BPF derivative expansion
 //! assumes `x(0⁻) = 0`.
+//!
+//! Both entry points are thin strategies over [`crate::engine`]: the
+//! engine validates, factors the pencil once, and runs the column sweep;
+//! this module only states the per-column right-hand side.
 
+use crate::engine::{
+    apply_b, factor_shifted_pencil, validate_coeff_inputs, validate_horizon, validate_x0,
+    ColumnSweep,
+};
 use crate::result::OpmResult;
 use crate::OpmError;
-use opm_sparse::ordering::rcm;
-use opm_sparse::SparseLu;
 use opm_system::DescriptorSystem;
-
-/// Validates coefficient-input shape against the system.
-pub(crate) fn validate_inputs(
-    sys: &DescriptorSystem,
-    u_coeffs: &[Vec<f64>],
-) -> Result<usize, OpmError> {
-    if u_coeffs.len() != sys.num_inputs() {
-        return Err(OpmError::BadArguments(format!(
-            "{} input rows for {} B columns",
-            u_coeffs.len(),
-            sys.num_inputs()
-        )));
-    }
-    let m = u_coeffs.first().map_or(0, Vec::len);
-    if m == 0 {
-        return Err(OpmError::BadArguments("zero intervals".into()));
-    }
-    if u_coeffs.iter().any(|r| r.len() != m) {
-        return Err(OpmError::BadArguments("ragged input rows".into()));
-    }
-    Ok(m)
-}
-
-pub(crate) fn add_b_times(
-    sys: &DescriptorSystem,
-    u_coeffs: &[Vec<f64>],
-    j: usize,
-    scale: f64,
-    out: &mut [f64],
-) {
-    let b = sys.b();
-    for i in 0..b.nrows() {
-        let mut s = 0.0;
-        for (ch, v) in b.row(i) {
-            s += v * u_coeffs[ch][j];
-        }
-        out[i] += scale * s;
-    }
-}
-
-pub(crate) fn make_outputs(sys: &DescriptorSystem, columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let q = sys.num_outputs();
-    let mut outputs = vec![Vec::with_capacity(columns.len()); q];
-    for col in columns {
-        for (o, val) in sys.output(col).into_iter().enumerate() {
-            outputs[o].push(val);
-        }
-    }
-    outputs
-}
 
 /// Solves `E ẋ = A x + B u` by OPM over `[0, t_end)` with `m` uniform
 /// intervals (`m` = number of columns of `u_coeffs`).
@@ -91,38 +47,28 @@ pub fn solve_linear(
     t_end: f64,
     x0: &[f64],
 ) -> Result<OpmResult, OpmError> {
-    let m = validate_inputs(sys, u_coeffs)?;
+    let m = validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
     let n = sys.order();
-    if x0.len() != n {
-        return Err(OpmError::BadArguments(format!(
-            "x0 length {} for order {n}",
-            x0.len()
-        )));
-    }
-    if !(t_end > 0.0) {
-        return Err(OpmError::BadArguments(format!("t_end = {t_end}")));
-    }
+    validate_x0(n, x0)?;
+    validate_horizon(t_end)?;
     let h = t_end / m as f64;
     let sigma = 2.0 / h;
 
-    let pencil = sys.e().lin_comb(sigma, -1.0, sys.a());
-    let order = rcm(&pencil);
-    let lu = SparseLu::factor(&pencil.to_csc(), Some(&order))
-        .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+    let lu = factor_shifted_pencil(sys.e(), sys.a(), sigma)?;
 
     // Shift: z = x − x₀; constant forcing c = A·x₀.
     let shift = x0.iter().any(|&v| v != 0.0);
-    let c_force = if shift { sys.a().mul_vec(x0) } else { vec![0.0; n] };
+    let c_force = if shift {
+        sys.a().mul_vec(x0)
+    } else {
+        vec![0.0; n]
+    };
 
-    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut rhs = vec![0.0; n];
-    let mut work = vec![0.0; n];
-    let mut z_prev = vec![0.0; n];
-    for j in 0..m {
-        rhs.iter_mut().for_each(|v| *v = 0.0);
+    // Sweep in the shifted variable z; columns are un-shifted afterwards.
+    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
         if j == 0 {
             // Column 0: (σE − A)·z₀ = B·u₀ + c.
-            add_b_times(sys, u_coeffs, 0, 1.0, &mut rhs);
+            apply_b(sys.b(), u_coeffs, 0, 1.0, rhs);
             if shift {
                 for (r, c) in rhs.iter_mut().zip(&c_force) {
                     *r += c;
@@ -130,41 +76,31 @@ pub fn solve_linear(
             }
         } else {
             // (σE − A)·z_j = (σE + A)·z_{j−1} + B(u_j + u_{j−1}) + 2c.
-            sys.e().mul_vec_into(&z_prev, &mut work);
-            for (r, w) in rhs.iter_mut().zip(&work) {
+            let z_prev = &history[j - 1];
+            sys.e().mul_vec_into(z_prev, work);
+            for (r, w) in rhs.iter_mut().zip(work.iter()) {
                 *r += sigma * w;
             }
-            sys.a().mul_vec_into(&z_prev, &mut work);
-            for (r, w) in rhs.iter_mut().zip(&work) {
+            sys.a().mul_vec_into(z_prev, work);
+            for (r, w) in rhs.iter_mut().zip(work.iter()) {
                 *r += w;
             }
-            add_b_times(sys, u_coeffs, j, 1.0, &mut rhs);
-            add_b_times(sys, u_coeffs, j - 1, 1.0, &mut rhs);
+            apply_b(sys.b(), u_coeffs, j, 1.0, rhs);
+            apply_b(sys.b(), u_coeffs, j - 1, 1.0, rhs);
             if shift {
                 for (r, c) in rhs.iter_mut().zip(&c_force) {
                     *r += 2.0 * c;
                 }
             }
         }
-        let mut z = vec![0.0; n];
-        lu.solve_into(&rhs, &mut z);
-        z_prev.copy_from_slice(&z);
-        if shift {
-            for (zi, x0i) in z.iter_mut().zip(x0) {
-                *zi += x0i;
-            }
-        }
-        columns.push(z);
-    }
+    });
 
-    let outputs = make_outputs(sys, &columns);
-    Ok(OpmResult {
-        bounds: (0..=m).map(|k| k as f64 * h).collect(),
-        columns,
-        outputs,
-        num_solves: m,
-        num_factorizations: 1,
-    })
+    let outcome = if shift {
+        outcome.shifted_by(x0)
+    } else {
+        outcome
+    };
+    Ok(outcome.uniform_result(sys, t_end))
 }
 
 /// The paper's literal column algorithm: keep the alternating accumulator
@@ -182,63 +118,49 @@ pub fn solve_linear_accumulator(
     t_end: f64,
     x0: &[f64],
 ) -> Result<OpmResult, OpmError> {
-    let m = validate_inputs(sys, u_coeffs)?;
+    let m = validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
     let n = sys.order();
-    if x0.len() != n {
-        return Err(OpmError::BadArguments(format!(
-            "x0 length {} for order {n}",
-            x0.len()
-        )));
-    }
+    validate_x0(n, x0)?;
+    validate_horizon(t_end)?;
     let h = t_end / m as f64;
     let sigma = 2.0 / h;
-    let pencil = sys.e().lin_comb(sigma, -1.0, sys.a());
-    let order = rcm(&pencil);
-    let lu = SparseLu::factor(&pencil.to_csc(), Some(&order))
-        .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+    let lu = factor_shifted_pencil(sys.e(), sys.a(), sigma)?;
 
     let shift = x0.iter().any(|&v| v != 0.0);
-    let c_force = if shift { sys.a().mul_vec(x0) } else { vec![0.0; n] };
+    let c_force = if shift {
+        sys.a().mul_vec(x0)
+    } else {
+        vec![0.0; n]
+    };
 
     let mut g = vec![0.0; n];
-    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut rhs = vec![0.0; n];
-    let mut work = vec![0.0; n];
-    for j in 0..m {
-        rhs.iter_mut().for_each(|v| *v = 0.0);
-        add_b_times(sys, u_coeffs, j, 1.0, &mut rhs);
+    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
+        // g_j = −(g_{j−1} + z_{j−1}), folded in lazily from the history.
+        if j > 0 {
+            for (gi, zi) in g.iter_mut().zip(&history[j - 1]) {
+                *gi = -(*gi + zi);
+            }
+        }
+        apply_b(sys.b(), u_coeffs, j, 1.0, rhs);
         if shift {
             for (r, c) in rhs.iter_mut().zip(&c_force) {
                 *r += c;
             }
         }
         if j > 0 {
-            sys.e().mul_vec_into(&g, &mut work);
-            for (r, w) in rhs.iter_mut().zip(&work) {
+            sys.e().mul_vec_into(&g, work);
+            for (r, w) in rhs.iter_mut().zip(work.iter()) {
                 *r -= 2.0 * sigma * w;
             }
         }
-        let mut z = vec![0.0; n];
-        lu.solve_into(&rhs, &mut z);
-        // g_{j+1} = −(g_j + z_j)
-        for (gi, zi) in g.iter_mut().zip(&z) {
-            *gi = -(*gi + zi);
-        }
-        if shift {
-            for (zi, x0i) in z.iter_mut().zip(x0) {
-                *zi += x0i;
-            }
-        }
-        columns.push(z);
-    }
-    let outputs = make_outputs(sys, &columns);
-    Ok(OpmResult {
-        bounds: (0..=m).map(|k| k as f64 * h).collect(),
-        columns,
-        outputs,
-        num_solves: m,
-        num_factorizations: 1,
-    })
+    });
+
+    let outcome = if shift {
+        outcome.shifted_by(x0)
+    } else {
+        outcome
+    };
+    Ok(outcome.uniform_result(sys, t_end))
 }
 
 #[cfg(test)]
@@ -292,16 +214,14 @@ mod tests {
         let sys = scalar(-1.0);
         let exact_avg = |a: f64, b: f64| {
             // average of 1 − e^{−t} over [a, b]
-            1.0 - ((-a as f64).exp() - (-b as f64).exp()) / (b - a)
+            1.0 - ((-a).exp() - (-b).exp()) / (b - a)
         };
         let err = |m: usize| {
             let u = InputSet::new(vec![Waveform::Dc(1.0)]).bpf_matrix(m, 1.0);
             let r = solve_linear(&sys, &u, 1.0, &[0.0]).unwrap();
             let h = 1.0 / m as f64;
             (0..m)
-                .map(|j| {
-                    (r.state_coeff(0, j) - exact_avg(j as f64 * h, (j + 1) as f64 * h)).abs()
-                })
+                .map(|j| (r.state_coeff(0, j) - exact_avg(j as f64 * h, (j + 1) as f64 * h)).abs())
                 .fold(0.0, f64::max)
         };
         let e1 = err(64);

@@ -16,55 +16,14 @@
 //! - **Fractional orders** (general path): per-term series convolution,
 //!   `O(n^β m + n m²)`, the paper's fractional complexity.
 
-use crate::linear::validate_inputs as validate_linear;
+use crate::engine::{
+    apply_b, factor_pencil, validate_coeff_inputs, validate_horizon, weighted_pencil, ColumnSweep,
+};
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::series::tustin_frac_coeffs;
 use opm_fracnum::binomial::binomial_series;
-use opm_sparse::ordering::rcm;
-use opm_sparse::{CsrMatrix, SparseLu};
 use opm_system::{DescriptorSystem, MultiTermSystem};
-
-fn validate_inputs(mt: &MultiTermSystem, u_coeffs: &[Vec<f64>]) -> Result<usize, OpmError> {
-    // Reuse the descriptor-side validation through a thin shim.
-    if u_coeffs.len() != mt.num_inputs() {
-        return Err(OpmError::BadArguments(format!(
-            "{} input rows for {} B columns",
-            u_coeffs.len(),
-            mt.num_inputs()
-        )));
-    }
-    let m = u_coeffs.first().map_or(0, Vec::len);
-    if m == 0 {
-        return Err(OpmError::BadArguments("zero intervals".into()));
-    }
-    if u_coeffs.iter().any(|r| r.len() != m) {
-        return Err(OpmError::BadArguments("ragged input rows".into()));
-    }
-    Ok(m)
-}
-
-fn add_b(mt: &MultiTermSystem, u_coeffs: &[Vec<f64>], j: usize, scale: f64, out: &mut [f64]) {
-    let b = mt.b();
-    for i in 0..b.nrows() {
-        let mut s = 0.0;
-        for (ch, v) in b.row(i) {
-            s += v * u_coeffs[ch][j];
-        }
-        out[i] += scale * s;
-    }
-}
-
-fn mt_outputs(mt: &MultiTermSystem, columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
-    let q = mt.num_outputs();
-    let mut outputs = vec![Vec::with_capacity(columns.len()); q];
-    for col in columns {
-        for (o, val) in mt.output(col).into_iter().enumerate() {
-            outputs[o].push(val);
-        }
-    }
-    outputs
-}
 
 /// Solves the multi-term system over `[0, t_end)` (zero initial
 /// conditions), dispatching to the integer fast path when possible.
@@ -97,10 +56,8 @@ pub fn solve_multiterm_recurrence(
     u_coeffs: &[Vec<f64>],
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
-    let m = validate_inputs(mt, u_coeffs)?;
-    if !(t_end > 0.0) {
-        return Err(OpmError::BadArguments(format!("t_end = {t_end}")));
-    }
+    let m = validate_coeff_inputs(mt.num_inputs(), u_coeffs)?;
+    validate_horizon(t_end)?;
     for t in mt.terms() {
         if t.alpha.fract() != 0.0 {
             return Err(OpmError::BadArguments(format!(
@@ -137,27 +94,14 @@ pub fn solve_multiterm_recurrence(
     let bw = binomial_series(kmax as f64, kmax + 1);
 
     // Pencil: Σ_k p^{(k)}₀·A_k.
-    let mut pencil: Option<CsrMatrix> = None;
-    for (term, p) in mt.terms().iter().zip(&polys) {
-        pencil = Some(match pencil {
-            None => term.matrix.scale(p[0]),
-            Some(acc) => acc.lin_comb(1.0, p[0], &term.matrix),
-        });
-    }
-    let pencil = pencil.ok_or(OpmError::BadArguments("no terms".into()))?;
-    let order = rcm(&pencil);
-    let lu = SparseLu::factor(&pencil.to_csc(), Some(&order))
-        .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+    let pencil = weighted_pencil(mt.terms(), |k| polys[k][0])?;
+    let lu = factor_pencil(&pencil)?;
 
-    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut rhs = vec![0.0; n];
     let mut acc = vec![0.0; n];
-    let mut work = vec![0.0; n];
-    for j in 0..m {
-        rhs.iter_mut().for_each(|v| *v = 0.0);
+    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
         for (i, &w) in bw.iter().enumerate() {
             if i <= j {
-                add_b(mt, u_coeffs, j - i, w, &mut rhs);
+                apply_b(mt.b(), u_coeffs, j - i, w, rhs);
             }
         }
         for (term, p) in mt.terms().iter().zip(&polys) {
@@ -166,30 +110,20 @@ pub fn solve_multiterm_recurrence(
             for (i, &pi) in p.iter().enumerate().skip(1) {
                 if pi != 0.0 && i <= j {
                     any = true;
-                    for (a, x) in acc.iter_mut().zip(&columns[j - i]) {
+                    for (a, x) in acc.iter_mut().zip(&history[j - i]) {
                         *a += pi * x;
                     }
                 }
             }
             if any {
-                term.matrix.mul_vec_into(&acc, &mut work);
-                for (r, w) in rhs.iter_mut().zip(&work) {
+                term.matrix.mul_vec_into(&acc, work);
+                for (r, w) in rhs.iter_mut().zip(work.iter()) {
                     *r -= w;
                 }
             }
         }
-        let mut x = vec![0.0; n];
-        lu.solve_into(&rhs, &mut x);
-        columns.push(x);
-    }
-    let outputs = mt_outputs(mt, &columns);
-    Ok(OpmResult {
-        bounds: (0..=m).map(|k| k as f64 * h).collect(),
-        columns,
-        outputs,
-        num_solves: m,
-        num_factorizations: 1,
-    })
+    });
+    Ok(outcome.uniform_result(mt, t_end))
 }
 
 /// General path: per-term nilpotent-series convolution. Works for any
@@ -202,10 +136,8 @@ pub fn solve_multiterm_convolution(
     u_coeffs: &[Vec<f64>],
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
-    let m = validate_inputs(mt, u_coeffs)?;
-    if !(t_end > 0.0) {
-        return Err(OpmError::BadArguments(format!("t_end = {t_end}")));
-    }
+    let m = validate_coeff_inputs(mt.num_inputs(), u_coeffs)?;
+    validate_horizon(t_end)?;
     let n = mt.order();
     let h = t_end / m as f64;
 
@@ -222,25 +154,12 @@ pub fn solve_multiterm_convolution(
         })
         .collect();
 
-    let mut pencil: Option<CsrMatrix> = None;
-    for (term, rho) in mt.terms().iter().zip(&series) {
-        pencil = Some(match pencil {
-            None => term.matrix.scale(rho[0]),
-            Some(acc) => acc.lin_comb(1.0, rho[0], &term.matrix),
-        });
-    }
-    let pencil = pencil.ok_or(OpmError::BadArguments("no terms".into()))?;
-    let order = rcm(&pencil);
-    let lu = SparseLu::factor(&pencil.to_csc(), Some(&order))
-        .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+    let pencil = weighted_pencil(mt.terms(), |k| series[k][0])?;
+    let lu = factor_pencil(&pencil)?;
 
-    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(m);
     let mut conv = vec![0.0; n];
-    let mut work = vec![0.0; n];
-    let mut rhs = vec![0.0; n];
-    for j in 0..m {
-        rhs.iter_mut().for_each(|v| *v = 0.0);
-        add_b(mt, u_coeffs, j, 1.0, &mut rhs);
+    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
+        apply_b(mt.b(), u_coeffs, j, 1.0, rhs);
         for (term, rho) in mt.terms().iter().zip(&series) {
             if term.alpha == 0.0 {
                 continue; // ρ = e₀: no history contribution
@@ -251,27 +170,17 @@ pub fn solve_multiterm_convolution(
                 if r == 0.0 {
                     continue;
                 }
-                for (c, x) in conv.iter_mut().zip(&columns[j - k]) {
+                for (c, x) in conv.iter_mut().zip(&history[j - k]) {
                     *c += r * x;
                 }
             }
-            term.matrix.mul_vec_into(&conv, &mut work);
-            for (r, w) in rhs.iter_mut().zip(&work) {
+            term.matrix.mul_vec_into(&conv, work);
+            for (r, w) in rhs.iter_mut().zip(work.iter()) {
                 *r -= w;
             }
         }
-        let mut x = vec![0.0; n];
-        lu.solve_into(&rhs, &mut x);
-        columns.push(x);
-    }
-    let outputs = mt_outputs(mt, &columns);
-    Ok(OpmResult {
-        bounds: (0..=m).map(|k| k as f64 * h).collect(),
-        columns,
-        outputs,
-        num_solves: m,
-        num_factorizations: 1,
-    })
+    });
+    Ok(outcome.uniform_result(mt, t_end))
 }
 
 /// Convenience: runs a plain descriptor system through the multi-term
@@ -282,7 +191,7 @@ pub fn solve_descriptor_as_multiterm(
     u_coeffs: &[Vec<f64>],
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
-    validate_linear(sys, u_coeffs)?;
+    validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
     solve_multiterm(&MultiTermSystem::from_descriptor(sys), u_coeffs, t_end)
 }
 
@@ -313,8 +222,8 @@ mod tests {
         a.push(0, 0, -1.7);
         let mut b = CooMatrix::new(1, 1);
         b.push(0, 0, 1.0);
-        let sys = DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None)
-            .unwrap();
+        let sys =
+            DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
         let m = 64;
         let u = InputSet::new(vec![Waveform::sine(0.2, 1.0, 1.0, 0.0, 0.0)]).bpf_matrix(m, 2.0);
         let via_mt = solve_descriptor_as_multiterm(&sys, &u, 2.0).unwrap();
@@ -396,8 +305,7 @@ mod tests {
         b.push(0, 0, 1.0);
         let fsys = FractionalSystem::new(
             0.5,
-            DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None)
-                .unwrap(),
+            DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap(),
         )
         .unwrap();
         let m = 128;

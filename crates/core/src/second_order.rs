@@ -33,9 +33,7 @@ pub fn solve_second_order(
     if m == 0 {
         return Err(OpmError::BadArguments("zero intervals".into()));
     }
-    if !(t_end > 0.0) {
-        return Err(OpmError::BadArguments(format!("t_end = {t_end}")));
-    }
+    crate::engine::validate_horizon(t_end)?;
     if inputs.len() != sys.num_inputs() {
         return Err(OpmError::BadArguments(format!(
             "{} input channels for {} B columns",

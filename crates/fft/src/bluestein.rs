@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn matches_dft_on_awkward_lengths() {
-        use rand::prelude::*;
+        use opm_rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(11);
         for &n in &[3usize, 5, 7, 12, 100, 127] {
             let x: Vec<Complex64> = (0..n)

@@ -9,7 +9,10 @@ use opm_linalg::Complex64;
 /// [`bluestein`](crate::bluestein) for arbitrary lengths).
 pub fn fft_in_place(data: &mut [Complex64]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "radix-2 FFT needs a power-of-two length");
+    assert!(
+        n.is_power_of_two(),
+        "radix-2 FFT needs a power-of-two length"
+    );
     if n <= 1 {
         return;
     }
@@ -54,7 +57,8 @@ pub fn ifft(input: &[Complex64]) -> Vec<Complex64> {
     let n = input.len();
     let mut data: Vec<Complex64> = input.iter().map(|z| z.conj()).collect();
     fft_in_place(&mut data);
-    data.iter_mut().for_each(|z| *z = z.conj().scale(1.0 / n as f64));
+    data.iter_mut()
+        .for_each(|z| *z = z.conj().scale(1.0 / n as f64));
     data
 }
 
@@ -80,7 +84,7 @@ mod tests {
 
     #[test]
     fn matches_dft_on_random_data() {
-        use rand::prelude::*;
+        use opm_rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(3);
         for &n in &[1usize, 2, 8, 64, 256] {
             let x: Vec<Complex64> = (0..n)

@@ -70,12 +70,7 @@ impl FftSimulator {
     /// Panics when `(jω)^α E − A` is singular at some sampled frequency
     /// (including DC: `A` must be nonsingular) or when input channel count
     /// mismatches `B`.
-    pub fn simulate(
-        &self,
-        sys: &FractionalSystem,
-        inputs: &InputSet,
-        t_end: f64,
-    ) -> FreqResult {
+    pub fn simulate(&self, sys: &FractionalSystem, inputs: &InputSet, t_end: f64) -> FreqResult {
         let n = sys.order();
         let p = sys.num_inputs();
         assert_eq!(inputs.len(), p, "input channel count mismatch");
@@ -127,7 +122,7 @@ impl FftSimulator {
             for i in 0..n {
                 x_hat[i][k] = xk[i];
                 // Mirror bin (skip DC and Nyquist self-mirrors).
-                if k != 0 && (big_n % 2 != 0 || k != half) {
+                if k != 0 && (!big_n.is_multiple_of(2) || k != half) {
                     x_hat[i][big_n - k] = xk[i].conj();
                 }
             }
@@ -138,10 +133,7 @@ impl FftSimulator {
         let mut max_imag = 0.0f64;
         for row in &x_hat {
             let time = bluestein_ifft(row);
-            max_imag = max_imag.max(
-                time.iter()
-                    .fold(0.0f64, |m, z| m.max(z.im.abs())),
-            );
+            max_imag = max_imag.max(time.iter().fold(0.0f64, |m, z| m.max(z.im.abs())));
             states.push(time.iter().map(|z| z.re).collect::<Vec<f64>>());
         }
 

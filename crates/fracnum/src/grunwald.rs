@@ -7,7 +7,6 @@
 //! extended to FDEs exactly this way. The coefficients also power the GL
 //! baseline time-stepper in `opm-transient`.
 
-
 /// Precomputed Grünwald–Letnikov weights `w_k = (−1)^k·C(α, k)`.
 ///
 /// Satisfy the recurrence `w_0 = 1`, `w_k = w_{k−1}·(k − 1 − α)/k`, which is

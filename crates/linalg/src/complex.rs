@@ -119,7 +119,11 @@ impl Complex64 {
     /// This is the branch the paper's FFT baseline needs for `(jω)^α`.
     pub fn powf(self, alpha: f64) -> Self {
         if self == Complex64::ZERO {
-            return if alpha == 0.0 { Complex64::ONE } else { Complex64::ZERO };
+            return if alpha == 0.0 {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            };
         }
         (self.ln() * Complex64::from_real(alpha)).exp()
     }

@@ -34,9 +34,9 @@ impl DVector {
     }
 
     /// Creates a vector from a closure over indices.
-    pub fn from_fn(n: usize, mut f: impl FnMut(usize) -> f64) -> Self {
+    pub fn from_fn(n: usize, f: impl FnMut(usize) -> f64) -> Self {
         DVector {
-            data: (0..n).map(|i| f(i)).collect(),
+            data: (0..n).map(f).collect(),
         }
     }
 
@@ -85,11 +85,7 @@ impl DVector {
     /// Panics if lengths differ.
     pub fn dot(&self, other: &DVector) -> f64 {
         assert_eq!(self.len(), other.len(), "dot: length mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// Returns `self + other`.

@@ -153,11 +153,7 @@ mod tests {
 
     #[test]
     fn solves_well_conditioned_system() {
-        let a = DMatrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = DMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let b = DVector::from_slice(&[11.0, -16.0, 17.0]);
         let x = a.factor_lu().unwrap().solve(&b);
         assert!(residual(&a, &x, &b) < 1e-12);
@@ -212,7 +208,7 @@ mod tests {
 
     #[test]
     fn random_systems_solve_to_small_residual() {
-        use rand::prelude::*;
+        use opm_rng::prelude::*;
         let mut rng = StdRng::seed_from_u64(7);
         for n in [1usize, 2, 5, 20, 50] {
             // Diagonally dominant => well conditioned.

@@ -175,7 +175,12 @@ impl<F: Fn(f64) -> f64> IncrementalTriangularFn<F> {
     pub fn append_column(&mut self, col: &[f64]) -> Result<(), TriangularFnError> {
         let j = self.dim;
         assert!(j < self.t.nrows(), "capacity exceeded");
-        assert_eq!(col.len(), j + 1, "append_column: expected {} entries", j + 1);
+        assert_eq!(
+            col.len(),
+            j + 1,
+            "append_column: expected {} entries",
+            j + 1
+        );
         let new_diag = col[j];
         for i in 0..j {
             let sep = (self.t.get(i, i) - new_diag).abs();
@@ -193,7 +198,8 @@ impl<F: Fn(f64) -> f64> IncrementalTriangularFn<F> {
             for k in i + 1..j {
                 num += self.fm.get(i, k) * self.t.get(k, j) - self.t.get(i, k) * self.fm.get(k, j);
             }
-            self.fm.set(i, j, num / (self.t.get(i, i) - self.t.get(j, j)));
+            self.fm
+                .set(i, j, num / (self.t.get(i, i) - self.t.get(j, j)));
         }
         self.dim += 1;
         Ok(())

@@ -129,7 +129,11 @@ impl ZMatrix {
         ZMatrix {
             nrows: a.nrows(),
             ncols: a.ncols(),
-            data: a.as_slice().iter().map(|&x| Complex64::from_real(x)).collect(),
+            data: a
+                .as_slice()
+                .iter()
+                .map(|&x| Complex64::from_real(x))
+                .collect(),
         }
     }
 
@@ -271,9 +275,7 @@ impl ZLuFactors {
     pub fn solve(&self, b: &ZVector) -> ZVector {
         let n = self.dim();
         assert_eq!(b.len(), n, "solve: rhs length mismatch");
-        let mut x = ZVector::from(
-            (0..n).map(|i| b[self.perm[i]]).collect::<Vec<_>>(),
-        );
+        let mut x = ZVector::from((0..n).map(|i| b[self.perm[i]]).collect::<Vec<_>>());
         for i in 1..n {
             let mut s = x[i];
             for j in 0..i {

@@ -1,117 +1,175 @@
 //! Property-based tests for the dense linear-algebra substrate.
+//!
+//! Randomized cases are drawn from a fixed-seed [`StdRng`] so every CI
+//! run exercises the identical sample set — failures reproduce exactly.
 
 use opm_linalg::kron::{kron, unvec, vec_of};
 use opm_linalg::triangular::fn_of_upper_triangular;
 use opm_linalg::{Complex64, DMatrix, DVector};
-use proptest::prelude::*;
+use opm_rng::StdRng;
 
-fn small_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![(-10.0..10.0f64), (-0.01..0.01f64)]
+const CASES: usize = 32;
+
+/// Mix of O(10) and O(0.01) magnitudes, like the old proptest strategy.
+fn small_f64(rng: &mut StdRng) -> f64 {
+    if rng.random() < 0.5 {
+        rng.random_range(-10.0..10.0)
+    } else {
+        rng.random_range(-0.01..0.01)
+    }
 }
 
-fn vec_strategy(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(small_f64(), n)
+fn small_vec(rng: &mut StdRng, n: usize) -> Vec<f64> {
+    (0..n).map(|_| small_f64(rng)).collect()
 }
 
-fn matrix_strategy(n: usize, m: usize) -> impl Strategy<Value = DMatrix> {
-    prop::collection::vec(small_f64(), n * m)
-        .prop_map(move |v| DMatrix::from_fn(n, m, |i, j| v[i * m + j]))
+fn small_matrix(rng: &mut StdRng, n: usize, m: usize) -> DMatrix {
+    let v = small_vec(rng, n * m);
+    DMatrix::from_fn(n, m, |i, j| v[i * m + j])
 }
 
 /// Random diagonally dominant square matrix — always comfortably nonsingular.
-fn dd_matrix(n: usize) -> impl Strategy<Value = DMatrix> {
-    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |v| {
-        let mut a = DMatrix::from_fn(n, n, |i, j| v[i * n + j]);
-        for i in 0..n {
-            let s: f64 = a.row(i).iter().map(|x| x.abs()).sum();
-            a.add_at(i, i, s + 1.0);
-        }
-        a
-    })
+fn dd_matrix(rng: &mut StdRng, n: usize) -> DMatrix {
+    let mut a = DMatrix::from_fn(n, n, |_, _| rng.random_range(-1.0..1.0));
+    for i in 0..n {
+        let s: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+        a.add_at(i, i, s + 1.0);
+    }
+    a
 }
 
-proptest! {
-    #[test]
-    fn dot_is_symmetric(a in vec_strategy(8), b in vec_strategy(8)) {
-        let u = DVector::from_slice(&a);
-        let v = DVector::from_slice(&b);
-        prop_assert!((u.dot(&v) - v.dot(&u)).abs() < 1e-9);
+#[test]
+fn dot_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0001);
+    for _ in 0..CASES {
+        let u = DVector::from(small_vec(&mut rng, 8));
+        let v = DVector::from(small_vec(&mut rng, 8));
+        assert!((u.dot(&v) - v.dot(&u)).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn triangle_inequality(a in vec_strategy(6), b in vec_strategy(6)) {
-        let u = DVector::from_slice(&a);
-        let v = DVector::from_slice(&b);
-        prop_assert!(u.add(&v).norm2() <= u.norm2() + v.norm2() + 1e-9);
+#[test]
+fn triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0002);
+    for _ in 0..CASES {
+        let u = DVector::from(small_vec(&mut rng, 6));
+        let v = DVector::from(small_vec(&mut rng, 6));
+        assert!(u.add(&v).norm2() <= u.norm2() + v.norm2() + 1e-9);
     }
+}
 
-    #[test]
-    fn matmul_associative(a in matrix_strategy(4, 3), b in matrix_strategy(3, 5), c in matrix_strategy(5, 2)) {
+#[test]
+fn matmul_associative() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0003);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut rng, 4, 3);
+        let b = small_matrix(&mut rng, 3, 5);
+        let c = small_matrix(&mut rng, 5, 2);
         let lhs = a.mul_mat(&b).mul_mat(&c);
         let rhs = a.mul_mat(&b.mul_mat(&c));
-        prop_assert!(lhs.sub(&rhs).norm_max() < 1e-7);
+        assert!(lhs.sub(&rhs).norm_max() < 1e-7);
     }
+}
 
-    #[test]
-    fn transpose_of_product(a in matrix_strategy(4, 3), b in matrix_strategy(3, 4)) {
+#[test]
+fn transpose_of_product() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0004);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut rng, 4, 3);
+        let b = small_matrix(&mut rng, 3, 4);
         let lhs = a.mul_mat(&b).transpose();
         let rhs = b.transpose().mul_mat(&a.transpose());
-        prop_assert!(lhs.sub(&rhs).norm_max() < 1e-8);
+        assert!(lhs.sub(&rhs).norm_max() < 1e-8);
     }
+}
 
-    #[test]
-    fn lu_solves_dd_systems(a in dd_matrix(6), x in vec_strategy(6)) {
-        let xt = DVector::from_slice(&x);
+#[test]
+fn lu_solves_dd_systems() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0005);
+    for _ in 0..CASES {
+        let a = dd_matrix(&mut rng, 6);
+        let xt = DVector::from(small_vec(&mut rng, 6));
         let b = a.mul_vec(&xt);
-        let sol = a.factor_lu().expect("dd matrices are nonsingular").solve(&b);
-        prop_assert!(sol.sub(&xt).norm_inf() < 1e-8);
+        let sol = a
+            .factor_lu()
+            .expect("dd matrices are nonsingular")
+            .solve(&b);
+        assert!(sol.sub(&xt).norm_inf() < 1e-8);
     }
+}
 
-    #[test]
-    fn det_of_product_is_product_of_dets(a in dd_matrix(4), b in dd_matrix(4)) {
+#[test]
+fn det_of_product_is_product_of_dets() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0006);
+    for _ in 0..CASES {
+        let a = dd_matrix(&mut rng, 4);
+        let b = dd_matrix(&mut rng, 4);
         let da = a.factor_lu().unwrap().det();
         let db = b.factor_lu().unwrap().det();
         let dab = a.mul_mat(&b).factor_lu().unwrap().det();
-        prop_assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
+        assert!((dab - da * db).abs() < 1e-6 * dab.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn vec_kron_identity(a in matrix_strategy(3, 3), x in matrix_strategy(3, 4), b in matrix_strategy(4, 4)) {
+#[test]
+fn vec_kron_identity() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0007);
+    for _ in 0..CASES {
+        let a = small_matrix(&mut rng, 3, 3);
+        let x = small_matrix(&mut rng, 3, 4);
+        let b = small_matrix(&mut rng, 4, 4);
         // vec(AXB) = (Bᵀ ⊗ A) vec(X)
         let lhs = vec_of(&a.mul_mat(&x).mul_mat(&b));
         let rhs = kron(&b.transpose(), &a).mul_vec(&vec_of(&x));
-        prop_assert!(lhs.sub(&rhs).norm_inf() < 1e-6);
+        assert!(lhs.sub(&rhs).norm_inf() < 1e-6);
     }
+}
 
-    #[test]
-    fn unvec_inverts_vec(x in matrix_strategy(5, 3)) {
-        prop_assert_eq!(unvec(&vec_of(&x), 5, 3), x);
+#[test]
+fn unvec_inverts_vec() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0008);
+    for _ in 0..CASES {
+        let x = small_matrix(&mut rng, 5, 3);
+        assert_eq!(unvec(&vec_of(&x), 5, 3), x);
     }
+}
 
-    #[test]
-    fn complex_mul_modulus_multiplicative(ar in -5.0..5.0f64, ai in -5.0..5.0f64, br in -5.0..5.0f64, bi in -5.0..5.0f64) {
-        let a = Complex64::new(ar, ai);
-        let b = Complex64::new(br, bi);
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+#[test]
+fn complex_mul_modulus_multiplicative() {
+    let mut rng = StdRng::seed_from_u64(0x11A_0009);
+    for _ in 0..CASES {
+        let a = Complex64::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0));
+        let b = Complex64::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0));
+        assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn complex_powf_adds_exponents(r in 0.1..3.0f64, th in -3.0..3.0f64, p in 0.1..1.5f64, q in 0.1..1.5f64) {
-        let z = Complex64::from_polar(r, th);
+#[test]
+fn complex_powf_adds_exponents() {
+    let mut rng = StdRng::seed_from_u64(0x11A_000A);
+    for _ in 0..CASES {
+        let z = Complex64::from_polar(rng.random_range(0.1..3.0), rng.random_range(-3.0..3.0));
+        let p = rng.random_range(0.1..1.5);
+        let q = rng.random_range(0.1..1.5);
         let lhs = z.powf(p) * z.powf(q);
         let rhs = z.powf(p + q);
-        prop_assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() < 1e-9 * rhs.abs().max(1.0));
     }
+}
 
-    #[test]
-    fn parlett_reproduces_square(d in prop::collection::vec(0.5..8.0f64, 5), u in prop::collection::vec(-1.0..1.0f64, 10)) {
+#[test]
+fn parlett_reproduces_square() {
+    let mut rng = StdRng::seed_from_u64(0x11A_000B);
+    for _ in 0..CASES {
+        let d = rng.vec_in(0.5..8.0, 5);
+        let u = rng.vec_in(-1.0..1.0, 10);
         // Build an upper-triangular T with well-separated diagonal entries.
         let mut diag = d.clone();
         diag.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for i in 1..diag.len() {
             // enforce separation
             if diag[i] - diag[i - 1] < 0.05 {
-                diag[i] = diag[i - 1] + 0.05 + diag[i];
+                diag[i] += diag[i - 1] + 0.05;
             }
         }
         let n = diag.len();
@@ -125,6 +183,6 @@ proptest! {
             }
         }
         let f = fn_of_upper_triangular(&t, |x| x * x).unwrap();
-        prop_assert!(f.sub(&t.mul_mat(&t)).norm_max() < 1e-6 * t.norm_max().powi(2).max(1.0));
+        assert!(f.sub(&t.mul_mat(&t)).norm_max() < 1e-6 * t.norm_max().powi(2).max(1.0));
     }
 }

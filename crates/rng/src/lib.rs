@@ -1,0 +1,178 @@
+//! Minimal deterministic PRNG for the OPM workspace.
+//!
+//! The workspace builds in hermetic environments with no access to
+//! crates.io, so this crate stands in for the tiny slice of `rand` the
+//! tree actually uses: a seedable generator ([`StdRng`]), uniform
+//! sampling over ranges ([`StdRng::random_range`]), and Fisher–Yates
+//! shuffling ([`SliceRandom::shuffle`]). The generator is xoshiro256++
+//! seeded through SplitMix64 — deterministic across platforms, which is
+//! exactly what the seeded property tests and the power-grid load
+//! placement need.
+
+use std::ops::Range;
+
+/// xoshiro256++ generator, seedable from a single `u64`.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Seeds the full 256-bit state from `seed` via SplitMix64, so
+    /// nearby seeds still yield uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53-bit resolution).
+    pub fn random(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform sample from a half-open range; see [`SampleRange`] for the
+    /// supported range types.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `len` i.i.d. uniform samples from `range` — the workhorse of the
+    /// seeded property tests.
+    pub fn vec_in(&mut self, range: Range<f64>, len: usize) -> Vec<f64> {
+        (0..len).map(|_| self.random_range(range.clone())).collect()
+    }
+}
+
+/// Range types [`StdRng::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + (self.end - self.start) * rng.random()
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        // Rejection sampling to stay exactly uniform.
+        let zone = u64::MAX - u64::MAX % span;
+        loop {
+            let v = rng.next_u64();
+            if v < zone {
+                return self.start + (v % span) as usize;
+            }
+        }
+    }
+}
+
+/// In-place shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Fisher–Yates shuffle driven by `rng`.
+    fn shuffle(&mut self, rng: &mut StdRng);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..i + 1);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// One-stop import, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{SampleRange, SliceRandom, StdRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = StdRng::seed_from_u64(0);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_interval_and_ranges() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..2000 {
+            let v = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        assert!(
+            (sum / 2000.0 - 0.5).abs() < 0.05,
+            "mean off: {}",
+            sum / 2000.0
+        );
+        for _ in 0..1000 {
+            let v = rng.random_range(-3.0..5.0);
+            assert!((-3.0..5.0).contains(&v));
+            let k = rng.random_range(2usize..9);
+            assert!((2..9).contains(&k));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left order intact");
+    }
+}

@@ -127,7 +127,13 @@ mod tests {
 
     fn sample_csc() -> CscMatrix {
         let mut c = CooMatrix::new(3, 3);
-        for &(i, j, v) in &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 3.0), (2, 0, 4.0), (2, 2, 5.0)] {
+        for &(i, j, v) in &[
+            (0, 0, 1.0),
+            (0, 2, 2.0),
+            (1, 1, 3.0),
+            (2, 0, 4.0),
+            (2, 2, 5.0),
+        ] {
             c.push(i, j, v);
         }
         c.to_csc()

@@ -313,7 +313,7 @@ fn perm_sign(p: &[usize]) -> f64 {
             j = p[j];
             len += 1;
         }
-        if len % 2 == 0 {
+        if len.is_multiple_of(2) {
             sign = -sign;
         }
     }

@@ -1,121 +1,162 @@
 //! Property-based tests for sparse formats and solvers.
+//!
+//! Randomized cases are drawn from a fixed-seed [`StdRng`] so every CI
+//! run exercises the identical sample set — failures reproduce exactly.
 
+use opm_rng::StdRng;
 use opm_sparse::lu::SparseLu;
 use opm_sparse::ordering::{min_degree, rcm};
 use opm_sparse::{CooMatrix, CsrMatrix, SparseCholesky};
-use proptest::prelude::*;
 
-/// Strategy: random sparse square matrix as triplets, made diagonally
-/// dominant so it is comfortably nonsingular (and SPD when symmetrized).
-fn dd_sparse(n: usize, extra: usize) -> impl Strategy<Value = CsrMatrix> {
-    let entry = (0..n, 0..n, -1.0..1.0f64);
-    prop::collection::vec(entry, 0..extra).prop_map(move |tris| {
-        let mut c = CooMatrix::new(n, n);
-        for (i, j, v) in tris {
-            if i != j {
-                c.push(i, j, v);
-            }
+const CASES: usize = 32;
+
+/// Random sparse square matrix with up to `extra` off-diagonal triplets,
+/// made diagonally dominant so it is comfortably nonsingular (and SPD
+/// when symmetrized).
+fn dd_sparse(rng: &mut StdRng, n: usize, extra: usize) -> CsrMatrix {
+    let mut c = CooMatrix::new(n, n);
+    for _ in 0..rng.random_range(0..extra) {
+        let i = rng.random_range(0..n);
+        let j = rng.random_range(0..n);
+        if i != j {
+            c.push(i, j, rng.random_range(-1.0..1.0));
         }
-        let partial = c.to_csr();
-        let mut full = CooMatrix::new(n, n);
-        for i in 0..n {
-            let mut rowsum = 0.0;
-            for (j, v) in partial.row(i) {
-                full.push(i, j, v);
-                rowsum += v.abs();
-            }
-            // Column entries also contribute to the column sums; bounding by
-            // the max possible keeps things dominant without bookkeeping.
-            full.push(i, i, rowsum + (extra as f64) + 1.0);
+    }
+    let partial = c.to_csr();
+    let mut full = CooMatrix::new(n, n);
+    for i in 0..n {
+        let mut rowsum = 0.0;
+        for (j, v) in partial.row(i) {
+            full.push(i, j, v);
+            rowsum += v.abs();
         }
-        full.to_csr()
-    })
+        // Column entries also contribute to the column sums; bounding by
+        // the max possible keeps things dominant without bookkeeping.
+        full.push(i, i, rowsum + (extra as f64) + 1.0);
+    }
+    full.to_csr()
 }
 
-fn dense_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-5.0..5.0f64, n)
-}
-
-proptest! {
-    #[test]
-    fn coo_to_csr_matches_dense_accumulation(
-        tris in prop::collection::vec((0usize..6, 0usize..6, -3.0..3.0f64), 0..40)
-    ) {
+#[test]
+fn coo_to_csr_matches_dense_accumulation() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0001);
+    for _ in 0..CASES {
         let mut c = CooMatrix::new(6, 6);
         let mut dense = [[0.0f64; 6]; 6];
-        for (i, j, v) in tris {
+        for _ in 0..rng.random_range(0..40usize) {
+            let (i, j) = (rng.random_range(0..6usize), rng.random_range(0..6usize));
+            let v = rng.random_range(-3.0..3.0);
             c.push(i, j, v);
             dense[i][j] += v;
         }
         let csr = c.to_csr();
-        for i in 0..6 {
-            for j in 0..6 {
-                prop_assert!((csr.get(i, j) - dense[i][j]).abs() < 1e-12);
+        for (i, row) in dense.iter().enumerate() {
+            for (j, want) in row.iter().enumerate() {
+                assert!((csr.get(i, j) - want).abs() < 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn spmv_is_linear(a in dd_sparse(8, 30), x in dense_vec(8), y in dense_vec(8), k in -3.0..3.0f64) {
-        let lhs: Vec<f64> = {
-            let combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + k * q).collect();
-            a.mul_vec(&combo)
-        };
+#[test]
+fn spmv_is_linear() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0002);
+    for _ in 0..CASES {
+        let a = dd_sparse(&mut rng, 8, 30);
+        let x = rng.vec_in(-5.0..5.0, 8);
+        let y = rng.vec_in(-5.0..5.0, 8);
+        let k = rng.random_range(-3.0..3.0);
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(p, q)| p + k * q).collect();
+        let lhs = a.mul_vec(&combo);
         let ax = a.mul_vec(&x);
         let ay = a.mul_vec(&y);
         for i in 0..8 {
-            prop_assert!((lhs[i] - (ax[i] + k * ay[i])).abs() < 1e-9);
+            assert!((lhs[i] - (ax[i] + k * ay[i])).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn transpose_involution(a in dd_sparse(7, 25)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+#[test]
+fn transpose_involution() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0003);
+    for _ in 0..CASES {
+        let a = dd_sparse(&mut rng, 7, 25);
+        assert_eq!(a.transpose().transpose(), a);
     }
+}
 
-    #[test]
-    fn lin_comb_matches_dense(a in dd_sparse(6, 20), b in dd_sparse(6, 20), al in -2.0..2.0f64, be in -2.0..2.0f64) {
+#[test]
+fn lin_comb_matches_dense() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0004);
+    for _ in 0..CASES {
+        let a = dd_sparse(&mut rng, 6, 20);
+        let b = dd_sparse(&mut rng, 6, 20);
+        let al = rng.random_range(-2.0..2.0);
+        let be = rng.random_range(-2.0..2.0);
         let c = a.lin_comb(al, be, &b);
         let cd = a.to_dense().scale(al).add(&b.to_dense().scale(be));
-        prop_assert!(c.to_dense().sub(&cd).norm_max() < 1e-12);
+        assert!(c.to_dense().sub(&cd).norm_max() < 1e-12);
     }
+}
 
-    #[test]
-    fn sparse_lu_solves(a in dd_sparse(10, 50), b in dense_vec(10)) {
+#[test]
+fn sparse_lu_solves() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0005);
+    for _ in 0..CASES {
+        let a = dd_sparse(&mut rng, 10, 50);
+        let b = rng.vec_in(-5.0..5.0, 10);
         let lu = SparseLu::factor(&a.to_csc(), None).expect("dd is nonsingular");
         let x = lu.solve(&b);
         let r = a.mul_vec(&x);
         for i in 0..10 {
-            prop_assert!((r[i] - b[i]).abs() < 1e-8);
+            assert!((r[i] - b[i]).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn sparse_lu_with_orderings_agree(a in dd_sparse(9, 40), b in dense_vec(9)) {
+#[test]
+fn sparse_lu_with_orderings_agree() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0006);
+    for _ in 0..CASES {
+        let a = dd_sparse(&mut rng, 9, 40);
+        let b = rng.vec_in(-5.0..5.0, 9);
         let x0 = SparseLu::factor(&a.to_csc(), None).unwrap().solve(&b);
-        let x1 = SparseLu::factor(&a.to_csc(), Some(&rcm(&a))).unwrap().solve(&b);
-        let x2 = SparseLu::factor(&a.to_csc(), Some(&min_degree(&a))).unwrap().solve(&b);
+        let x1 = SparseLu::factor(&a.to_csc(), Some(&rcm(&a)))
+            .unwrap()
+            .solve(&b);
+        let x2 = SparseLu::factor(&a.to_csc(), Some(&min_degree(&a)))
+            .unwrap()
+            .solve(&b);
         for i in 0..9 {
-            prop_assert!((x0[i] - x1[i]).abs() < 1e-8);
-            prop_assert!((x0[i] - x2[i]).abs() < 1e-8);
+            assert!((x0[i] - x1[i]).abs() < 1e-8);
+            assert!((x0[i] - x2[i]).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn cholesky_matches_lu_on_spd(a in dd_sparse(8, 30), b in dense_vec(8)) {
+#[test]
+fn cholesky_matches_lu_on_spd() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0007);
+    for _ in 0..CASES {
+        let a = dd_sparse(&mut rng, 8, 30);
+        let b = rng.vec_in(-5.0..5.0, 8);
         // Symmetrize: S = (A + Aᵀ)/2 stays diagonally dominant => SPD.
         let s = a.lin_comb(0.5, 0.5, &a.transpose());
         let xc = SparseCholesky::factor(&s.to_csc(), None).unwrap().solve(&b);
         let xl = SparseLu::factor(&s.to_csc(), None).unwrap().solve(&b);
         for i in 0..8 {
-            prop_assert!((xc[i] - xl[i]).abs() < 1e-8);
+            assert!((xc[i] - xl[i]).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn lu_det_sign_consistent_with_dense(a in dd_sparse(5, 15)) {
+#[test]
+fn lu_det_sign_consistent_with_dense() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0008);
+    for _ in 0..CASES {
+        let a = dd_sparse(&mut rng, 5, 15);
         let ds = SparseLu::factor(&a.to_csc(), None).unwrap().det();
         let dd = a.to_dense().factor_lu().unwrap().det();
-        prop_assert!((ds - dd).abs() < 1e-8 * dd.abs().max(1.0));
+        assert!((ds - dd).abs() < 1e-8 * dd.abs().max(1.0));
     }
 }

@@ -178,8 +178,7 @@ mod tests {
 
     #[test]
     fn output_defaults_to_state() {
-        let sys =
-            DescriptorSystem::new(eye(2), eye(2), mat(2, 1, &[(0, 0, 1.0)]), None).unwrap();
+        let sys = DescriptorSystem::new(eye(2), eye(2), mat(2, 1, &[(0, 0, 1.0)]), None).unwrap();
         assert_eq!(sys.num_outputs(), 2);
         assert_eq!(sys.output(&[1.0, 2.0]), vec![1.0, 2.0]);
     }
@@ -199,21 +198,11 @@ mod tests {
 
     #[test]
     fn dimension_validation() {
-        assert!(DescriptorSystem::new(
-            mat(2, 3, &[]),
-            eye(2),
-            mat(2, 1, &[]),
-            None
-        )
-        .is_err());
+        assert!(DescriptorSystem::new(mat(2, 3, &[]), eye(2), mat(2, 1, &[]), None).is_err());
         assert!(DescriptorSystem::new(eye(2), eye(3), mat(2, 1, &[]), None).is_err());
         assert!(DescriptorSystem::new(eye(2), eye(2), mat(3, 1, &[]), None).is_err());
-        assert!(DescriptorSystem::new(
-            eye(2),
-            eye(2),
-            mat(2, 1, &[]),
-            Some(mat(1, 3, &[]))
-        )
-        .is_err());
+        assert!(
+            DescriptorSystem::new(eye(2), eye(2), mat(2, 1, &[]), Some(mat(1, 3, &[]))).is_err()
+        );
     }
 }

@@ -186,14 +186,8 @@ mod tests {
     #[test]
     fn companion_structure() {
         // ẍ + 3ẋ + 2x = u  (scalar)
-        let s = SecondOrderSystem::new(
-            eye(1),
-            eye(1).scale(3.0),
-            eye(1).scale(2.0),
-            eye(1),
-            None,
-        )
-        .unwrap();
+        let s = SecondOrderSystem::new(eye(1), eye(1).scale(3.0), eye(1).scale(2.0), eye(1), None)
+            .unwrap();
         let comp = s.to_companion();
         assert_eq!(comp.order(), 2);
         let (e, a, b) = comp.to_dense();

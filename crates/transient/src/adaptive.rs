@@ -62,11 +62,16 @@ pub fn adaptive_trapezoidal(
     let mut factors: HashMap<i32, SparseLu> = HashMap::new();
     let mut num_solves = 0usize;
 
-    let step_once = |x: &[f64], t: f64, h: f64, factors: &mut HashMap<i32, SparseLu>, num_solves: &mut usize| -> Result<Vec<f64>, TransientError> {
+    let step_once = |x: &[f64],
+                     t: f64,
+                     h: f64,
+                     factors: &mut HashMap<i32, SparseLu>,
+                     num_solves: &mut usize|
+     -> Result<Vec<f64>, TransientError> {
         let exp = h.log2().round() as i32;
         let h_q = 2.0f64.powi(exp);
-        if !factors.contains_key(&exp) {
-            factors.insert(exp, factor_shifted(sys, 2.0 / h_q)?);
+        if let std::collections::hash_map::Entry::Vacant(slot) = factors.entry(exp) {
+            slot.insert(factor_shifted(sys, 2.0 / h_q)?);
         }
         let lu = factors.get(&exp).unwrap();
         let n = sys.order();
@@ -181,7 +186,9 @@ mod tests {
     fn uses_fewer_steps_after_transient_dies() {
         // Pulse at the start, then quiet: steps should grow afterwards.
         let sys = scalar_decay(50.0);
-        let u = InputSet::new(vec![Waveform::pulse(0.0, 1.0, 0.0, 0.005, 0.05, 0.005, 0.0)]);
+        let u = InputSet::new(vec![Waveform::pulse(
+            0.0, 1.0, 0.0, 0.005, 0.05, 0.005, 0.0,
+        )]);
         let r = adaptive_trapezoidal(
             &sys,
             &u,

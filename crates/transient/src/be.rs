@@ -33,7 +33,11 @@ pub fn backward_euler(
     let mut scratch = vec![0.0; n];
     let mut times = Vec::with_capacity(m);
     let mut outputs: Vec<Vec<f64>> = vec![Vec::with_capacity(m); sys.num_outputs()];
-    let mut states = if store_states { Some(Vec::with_capacity(m)) } else { None };
+    let mut states = if store_states {
+        Some(Vec::with_capacity(m))
+    } else {
+        None
+    };
 
     for k in 1..=m {
         let t = k as f64 * h;

@@ -127,15 +127,7 @@ mod tests {
         let sys = scalar_fractional(1.0, -2.0);
         let u = InputSet::new(vec![Waveform::Dc(1.0)]);
         let r = gl_fractional(&sys, &u, 1.0, 50, false).unwrap();
-        let be = crate::be::backward_euler(
-            sys.system(),
-            &u,
-            1.0,
-            50,
-            &[0.0],
-            false,
-        )
-        .unwrap();
+        let be = crate::be::backward_euler(sys.system(), &u, 1.0, 50, &[0.0], false).unwrap();
         for (a, b) in r.outputs[0].iter().zip(&be.outputs[0]) {
             assert!((a - b).abs() < 1e-10, "{a} vs {b}");
         }

@@ -36,7 +36,11 @@ pub fn trapezoidal(
     let mut scratch = vec![0.0; n];
     let mut times = Vec::with_capacity(m);
     let mut outputs: Vec<Vec<f64>> = vec![Vec::with_capacity(m); sys.num_outputs()];
-    let mut states = if store_states { Some(Vec::with_capacity(m)) } else { None };
+    let mut states = if store_states {
+        Some(Vec::with_capacity(m))
+    } else {
+        None
+    };
 
     for k in 1..=m {
         let t = k as f64 * h;
@@ -107,8 +111,7 @@ mod tests {
         let u = InputSet::new(vec![Waveform::sine(0.0, 1.0, 1.0, 0.0, 0.0)]);
         let fine = trapezoidal(&sys, &u, 2.0, 8192, &[0.0], false).unwrap();
         let t_run = trapezoidal(&sys, &u, 2.0, 64, &[0.0], false).unwrap();
-        let be_run =
-            crate::be::backward_euler(&sys, &u, 2.0, 64, &[0.0], false).unwrap();
+        let be_run = crate::be::backward_euler(&sys, &u, 2.0, 64, &[0.0], false).unwrap();
         let sub = |r: &TransientResult| -> f64 {
             let stride = 8192 / 64;
             r.outputs[0]
@@ -134,8 +137,7 @@ mod tests {
         am.push(0, 0, -1.0);
         let mut b = CooMatrix::new(1, 1);
         b.push(0, 0, 1.0);
-        let sys =
-            DescriptorSystem::new(e.to_csr(), am.to_csr(), b.to_csr(), None).unwrap();
+        let sys = DescriptorSystem::new(e.to_csr(), am.to_csr(), b.to_csr(), None).unwrap();
         let u = InputSet::new(vec![Waveform::Ramp { slope: 2.0 }]);
         let r = trapezoidal(&sys, &u, 1.0, 10, &[0.0], false).unwrap();
         for (k, &t) in r.times.iter().enumerate() {
@@ -160,8 +162,7 @@ mod tests {
         am.push(0, 1, 1.0);
         am.push(1, 0, -1.0);
         let b = CooMatrix::new(2, 1);
-        let sys =
-            DescriptorSystem::new(e.to_csr(), am.to_csr(), b.to_csr(), None).unwrap();
+        let sys = DescriptorSystem::new(e.to_csr(), am.to_csr(), b.to_csr(), None).unwrap();
         let u = InputSet::new(vec![Waveform::Dc(0.0)]);
         let r = trapezoidal(&sys, &u, 50.0, 2000, &[1.0, 0.0], true).unwrap();
         let states = r.states.unwrap();

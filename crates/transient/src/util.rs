@@ -39,7 +39,7 @@ pub(crate) fn validate(
     if m == 0 {
         return Err(TransientError::BadArguments("zero steps".into()));
     }
-    if !(t_end > 0.0) {
+    if t_end.is_nan() || t_end <= 0.0 {
         return Err(TransientError::BadArguments(format!("t_end = {t_end}")));
     }
     if num_channels != sys.num_inputs() {

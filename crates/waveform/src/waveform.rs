@@ -90,7 +90,15 @@ impl Waveform {
     }
 
     /// Convenience constructor for a periodic trapezoidal pulse.
-    pub fn pulse(v1: f64, v2: f64, delay: f64, rise: f64, width: f64, fall: f64, period: f64) -> Self {
+    pub fn pulse(
+        v1: f64,
+        v2: f64,
+        delay: f64,
+        rise: f64,
+        width: f64,
+        fall: f64,
+        period: f64,
+    ) -> Self {
         assert!(rise > 0.0 && fall > 0.0, "rise/fall must be positive");
         assert!(
             period == 0.0 || period >= rise + width + fall,
@@ -643,7 +651,10 @@ mod tests {
             check_integral(&w, t, 1e-8);
             let eps = 1e-7;
             let fd = (w.eval(t + eps) - w.eval(t - eps)) / (2.0 * eps);
-            assert!((fd - w.derivative(t)).abs() < 1e-4 * fd.abs().max(1.0), "t={t}");
+            assert!(
+                (fd - w.derivative(t)).abs() < 1e-4 * fd.abs().max(1.0),
+                "t={t}"
+            );
         }
     }
 

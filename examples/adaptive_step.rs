@@ -5,8 +5,8 @@
 
 use opm::circuits::ladder::rc_ladder;
 use opm::circuits::mna::{assemble_mna, Output};
-use opm::core::adaptive::{solve_linear_adaptive, AdaptiveOpmOptions};
-use opm::core::linear::solve_linear;
+use opm::core::adaptive::AdaptiveOpmOptions;
+use opm::core::{Problem, SolveOptions};
 use opm::waveform::Waveform;
 
 fn main() {
@@ -18,19 +18,18 @@ fn main() {
     let t_end = 2e-3;
     let x0 = vec![0.0; model.system.order()];
 
-    let adaptive = solve_linear_adaptive(
-        &model.system,
-        &model.inputs,
-        t_end,
-        &x0,
-        AdaptiveOpmOptions {
+    let problem = Problem::linear(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .initial_state(&x0);
+    let adaptive = problem
+        .solve(&SolveOptions::new().adaptive(AdaptiveOpmOptions {
             tol: 1e-6,
             h0: 1e-6,
             h_min: 1e-9,
             h_max: 1e-4,
-        },
-    )
-    .expect("adaptive solves");
+        }))
+        .expect("adaptive solves");
 
     // Uniform run with the same *smallest* step the pulse required.
     let h_min_used = adaptive
@@ -40,7 +39,11 @@ fn main() {
         .fold(f64::INFINITY, f64::min);
     let m_uniform = (t_end / h_min_used).ceil() as usize;
 
-    println!("adaptive OPM: {} columns, {} factorizations", adaptive.num_intervals(), adaptive.num_factorizations);
+    println!(
+        "adaptive OPM: {} columns, {} factorizations",
+        adaptive.num_intervals(),
+        adaptive.num_factorizations
+    );
     println!("uniform OPM at the same finest step would need {m_uniform} columns");
     let ratio = m_uniform as f64 / adaptive.num_intervals() as f64;
     println!("column savings: {ratio:.1}×");
@@ -48,8 +51,9 @@ fn main() {
     // Sanity: the adaptive run still matches a (moderately) fine uniform
     // run at the probe output.
     let m_check = 4000;
-    let u = model.inputs.bpf_matrix(m_check, t_end);
-    let uniform = solve_linear(&model.system, &u, t_end, &x0).expect("uniform solves");
+    let uniform = problem
+        .solve(&SolveOptions::new().resolution(m_check))
+        .expect("uniform solves");
     // Compare interval averages against interval averages: average the
     // uniform cells covered by each adaptive interval.
     let mut worst = 0.0f64;
@@ -63,7 +67,10 @@ fn main() {
         worst = worst.max((adaptive.output_row(0)[j] - avg).abs());
     }
     println!("max deviation vs fine uniform run (average-vs-average): {worst:.2e} V");
-    assert!(ratio > 3.0, "adaptivity should save columns on this workload");
+    assert!(
+        ratio > 3.0,
+        "adaptivity should save columns on this workload"
+    );
     assert!(worst < 2e-2, "accuracy must be preserved");
     println!("OK — adaptive OPM is cheaper at matched accuracy.");
 }

@@ -16,12 +16,11 @@ fn main() {
     a.push(0, 0, -1.0);
     let mut b = CooMatrix::new(1, 1);
     b.push(0, 0, 1.0);
-    let sys =
-        DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
+    let sys = DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
     let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
     let t_end = 2.0;
     let m = 16;
-    let exact = |t: f64| 1.0 - (-t as f64).exp();
+    let exact = |t: f64| 1.0 - (-t).exp();
 
     println!("ẋ = −x + 1 solved in four bases, m = {m}, T = {t_end}");
     println!("{:>10} {:>14}", "basis", "max |error|");

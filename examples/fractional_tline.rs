@@ -5,12 +5,15 @@
 //! Run with `cargo run --example fractional_tline`.
 
 use opm::circuits::tline::FractionalLineSpec;
-use opm::core::fractional::solve_fractional;
 use opm::core::metrics::relative_error_db_multi;
+use opm::core::{Problem, SolveOptions};
 use opm::fft::FftSimulator;
 
 fn ascii_plot(series: &[f64], label: &str) {
-    let max = series.iter().fold(0.0f64, |m, &v| m.max(v.abs())).max(1e-30);
+    let max = series
+        .iter()
+        .fold(0.0f64, |m, &v| m.max(v.abs()))
+        .max(1e-30);
     println!("  {label} (peak {:.3e} A)", max);
     for (k, &v) in series.iter().enumerate() {
         let cols = 48;
@@ -35,9 +38,13 @@ fn main() {
 
     // The paper's window: [0, 2.7 ns), m = 8 — plus a finer rerun.
     let t_end = 2.7e-9;
+    let problem = Problem::fractional(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end);
     for m in [8usize, 64] {
-        let u = model.inputs.bpf_matrix(m, t_end);
-        let r = solve_fractional(&model.system, &u, t_end).expect("solves");
+        let r = problem
+            .solve(&SolveOptions::new().resolution(m))
+            .expect("solves");
         println!("\nOPM with m = {m}: port-1 current waveform");
         if m == 8 {
             ascii_plot(r.output_row(0), "i_port1");
@@ -50,8 +57,9 @@ fn main() {
     // FFT baseline at 8 and 100 sampling points (the paper's FFT-1/FFT-2),
     // compared on the m = 8 OPM grid per Eq. (30).
     let m = 8;
-    let u = model.inputs.bpf_matrix(m, t_end);
-    let opm = solve_fractional(&model.system, &u, t_end).expect("solves");
+    let opm = problem
+        .solve(&SolveOptions::new().resolution(m))
+        .expect("solves");
     let opm_outputs: Vec<Vec<f64>> = (0..2).map(|o| opm.output_row(o).to_vec()).collect();
     for n_samples in [8usize, 100] {
         let fft = FftSimulator::new(n_samples).simulate(&model.system, &model.inputs, t_end);

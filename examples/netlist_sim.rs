@@ -5,8 +5,7 @@
 
 use opm::circuits::mna::{assemble_fractional_mna, assemble_mna, Output};
 use opm::circuits::parser::parse_netlist;
-use opm::core::fractional::solve_fractional;
-use opm::core::linear::solve_linear;
+use opm::core::{Problem, SolveOptions};
 
 const RC_NETLIST: &str = "\
 * two-section RC low-pass
@@ -32,27 +31,33 @@ fn main() {
     let out = parsed.node("out").expect("node exists");
     let model = assemble_mna(&parsed.circuit, &[Output::NodeVoltage(out)]).expect("assembles");
     let (m, t_end) = (400, 20e-6);
-    let u = model.inputs.bpf_matrix(m, t_end);
-    let x0 = vec![0.0; model.system.order()];
-    let r = solve_linear(&model.system, &u, t_end, &x0).expect("solves");
+    let r = Problem::linear(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .expect("solves");
     let peak = r.output_row(0).iter().cloned().fold(0.0f64, f64::max);
-    println!("RC netlist: n = {} unknowns, peak v(out) = {peak:.4} V", model.system.order());
+    println!(
+        "RC netlist: n = {} unknowns, peak v(out) = {peak:.4} V",
+        model.system.order()
+    );
     assert!(peak > 0.5 && peak < 1.0, "plausible low-pass response");
 
     // --- Fractional netlist through the fractional OPM solver. ---
     let parsed = parse_netlist(CPE_NETLIST).expect("parses");
-    let model =
-        assemble_fractional_mna(&parsed.circuit, 0.5, &[Output::SourceCurrent(0)]).expect("assembles");
+    let model = assemble_fractional_mna(&parsed.circuit, 0.5, &[Output::SourceCurrent(0)])
+        .expect("assembles");
     let (m, t_end) = (300, 1e-6);
-    let u = model.inputs.bpf_matrix(m, t_end);
-    let r = solve_fractional(&model.system, &u, t_end).expect("solves");
+    let r = Problem::fractional(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .expect("solves");
     // The source current magnitude must decay (CPE charges) but with the
     // heavy tail characteristic of half-order dynamics.
     let i0 = r.output_row(0)[2].abs();
     let i_end = r.output_row(0)[m - 1].abs();
-    println!(
-        "CPE netlist: |i(0⁺)| = {i0:.4e} A → |i(T)| = {i_end:.4e} A (α = ½ heavy-tail decay)"
-    );
+    println!("CPE netlist: |i(0⁺)| = {i0:.4e} A → |i(T)| = {i_end:.4e} A (α = ½ heavy-tail decay)");
     assert!(i_end < i0, "current must decay as the CPE charges");
     println!("OK — both netlists simulate.");
 }

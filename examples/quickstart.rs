@@ -5,7 +5,7 @@
 
 use opm::circuits::ladder::single_rc;
 use opm::circuits::mna::{assemble_mna, Output};
-use opm::core::linear::solve_linear;
+use opm::core::{Problem, SolveOptions};
 
 fn main() {
     // 1 kΩ / 1 µF low-pass driven by a 5 V step at t = 0.
@@ -17,12 +17,20 @@ fn main() {
 
     let t_end = 5.0 * tau;
     let m = 200;
-    let u = model.inputs.bpf_matrix(m, t_end);
-    let x0 = vec![0.0; model.system.order()];
-    let result = solve_linear(&model.system, &u, t_end, &x0).expect("solves");
+    let result = Problem::linear(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .expect("solves");
 
-    println!("RC step response (τ = {:.1e} s), OPM with m = {m} intervals", tau);
-    println!("{:>12} {:>12} {:>12} {:>10}", "t [s]", "OPM [V]", "exact [V]", "err");
+    println!(
+        "RC step response (τ = {:.1e} s), OPM with m = {m} intervals",
+        tau
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>10}",
+        "t [s]", "OPM [V]", "exact [V]", "err"
+    );
     let mut worst: f64 = 0.0;
     for (j, &t) in result.midpoints().iter().enumerate() {
         let got = result.output_row(0)[j];

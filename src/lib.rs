@@ -8,7 +8,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`core`] | `opm-core` | the OPM solvers (linear, fractional, multi-term, adaptive, general-basis) |
+//! | [`core`] | `opm-core` | the OPM solver engine ([`core::Problem`] / [`core::SolveOptions`]) and its strategies (linear, fractional, multi-term, adaptive, general-basis) |
 //! | [`basis`] | `opm-basis` | block-pulse / Walsh / Haar / Legendre operational matrices |
 //! | [`circuits`] | `opm-circuits` | netlists, SPICE-ish parser, MNA/NA, power-grid & fractional-line generators |
 //! | [`system`] | `opm-system` | descriptor / fractional / multi-term / second-order models |
@@ -24,19 +24,24 @@
 //! ```
 //! use opm::circuits::ladder::single_rc;
 //! use opm::circuits::mna::{assemble_mna, Output};
-//! use opm::core::linear::solve_linear;
+//! use opm::core::{Problem, SolveOptions};
 //!
 //! // 1 kΩ / 1 µF low-pass driven by a 5 V step; observe the output node.
 //! let ckt = single_rc(1e3, 1e-6, 5.0);
 //! let model = assemble_mna(&ckt, &[Output::NodeVoltage(2)]).unwrap();
 //! let (m, t_end) = (512, 5e-3);
-//! let u = model.inputs.bpf_matrix(m, t_end);
-//! let x0 = vec![0.0; model.system.order()];
-//! let result = solve_linear(&model.system, &u, t_end, &x0).unwrap();
+//! let result = Problem::linear(&model.system)
+//!     .waveforms(&model.inputs)
+//!     .horizon(t_end)
+//!     .solve(&SolveOptions::new().resolution(m))
+//!     .unwrap();
 //! // v_out(t) = 5(1 − e^{−t/RC});
 //! let t = result.midpoints()[m - 1];
 //! let want = 5.0 * (1.0 - (-t / 1e-3_f64).exp());
 //! assert!((result.output_row(0)[m - 1] - want).abs() < 1e-3);
+//!
+//! // The same engine solves fractional, multi-term, second-order and
+//! // adaptive problems — see `opm::core::engine`.
 //! ```
 
 pub use opm_basis as basis;

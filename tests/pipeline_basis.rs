@@ -3,15 +3,15 @@
 
 use opm::basis::adaptive::AdaptiveBpf;
 use opm::basis::{Basis, BpfBasis, WalshBasis};
+use opm::circuits::grid::PowerGridSpec;
 use opm::circuits::ladder::rc_ladder;
 use opm::circuits::mna::{assemble_mna, Output};
+use opm::circuits::na::assemble_na;
+use opm::circuits::tline::FractionalLineSpec;
 use opm::core::adaptive::{geometric_grid, solve_fractional_adaptive};
 use opm::core::general_basis::solve_general_basis;
 use opm::core::linear::solve_linear;
 use opm::core::second_order::solve_second_order;
-use opm::circuits::grid::PowerGridSpec;
-use opm::circuits::na::assemble_na;
-use opm::circuits::tline::FractionalLineSpec;
 use opm::waveform::Waveform;
 
 /// The Walsh-basis solve of an assembled circuit equals the BPF solve of
@@ -65,8 +65,8 @@ fn adaptive_fractional_on_tline_consistent_with_uniform() {
     for (j, w) in grid.bounds().windows(2).enumerate().skip(2) {
         let k0 = ((w[0] / t_end) * m as f64).floor() as usize;
         let k1 = (((w[1] / t_end) * m as f64).ceil() as usize).min(m);
-        let avg: f64 = (k0..k1).map(|k| uniform.output_row(0)[k]).sum::<f64>()
-            / (k1 - k0).max(1) as f64;
+        let avg: f64 =
+            (k0..k1).map(|k| uniform.output_row(0)[k]).sum::<f64>() / (k1 - k0).max(1) as f64;
         let dev = (adaptive.output_row(0)[j] - avg).abs();
         assert!(
             dev < 0.2 * peak,
@@ -96,8 +96,7 @@ fn second_order_frontend_end_to_end() {
 
     let opm_run = solve_second_order(&na.system, &na.inputs, t_end, m).unwrap();
     let x0 = vec![0.0; mna.system.order()];
-    let trap =
-        opm::transient::trapezoidal(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap();
+    let trap = opm::transient::trapezoidal(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap();
     for node in 0..spec.num_nodes() {
         for j in 1..m {
             let mid = 0.5 * (trap.outputs[node][j - 1] + trap.outputs[node][j]);

@@ -1,0 +1,128 @@
+//! Integration: the engine front door ([`Problem`] / [`SolveOptions`])
+//! must dispatch every model class to the same numbers as the direct
+//! strategy entry points, end to end through the facade crate.
+
+use opm::circuits::grid::PowerGridSpec;
+use opm::circuits::ladder::rc_ladder;
+use opm::circuits::mna::{assemble_mna, Output};
+use opm::circuits::na::assemble_na;
+use opm::circuits::tline::FractionalLineSpec;
+use opm::core::adaptive::AdaptiveOpmOptions;
+use opm::core::{Method, Problem, SolveOptions};
+use opm::waveform::Waveform;
+
+#[test]
+fn linear_problem_matches_direct_strategy_on_rc_ladder() {
+    let ckt = rc_ladder(4, 1e3, 1e-9, Waveform::step(1e-7, 1.0));
+    let model = assemble_mna(&ckt, &[Output::NodeVoltage(5)]).unwrap();
+    let (m, t_end) = (128, 2e-6);
+    let u = model.inputs.bpf_matrix(m, t_end);
+    let x0 = vec![0.0; model.system.order()];
+    let direct = opm::core::linear::solve_linear(&model.system, &u, t_end, &x0).unwrap();
+    let engine = Problem::linear(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .unwrap();
+    for j in 0..m {
+        assert_eq!(
+            direct.output_row(0)[j],
+            engine.output_row(0)[j],
+            "column {j}"
+        );
+    }
+}
+
+#[test]
+fn method_override_routes_to_the_kron_oracle() {
+    let ckt = rc_ladder(2, 1e3, 1e-9, Waveform::step(0.0, 1.0));
+    let model = assemble_mna(&ckt, &[Output::NodeVoltage(3)]).unwrap();
+    let (m, t_end) = (16, 1e-6);
+    let p = Problem::linear(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end);
+    let fast = p.solve(&SolveOptions::new().resolution(m)).unwrap();
+    let oracle = p
+        .solve(&SolveOptions::new().resolution(m).method(Method::Kronecker))
+        .unwrap();
+    assert_eq!(oracle.num_solves, 1);
+    for j in 0..m {
+        assert!(
+            (fast.output_row(0)[j] - oracle.output_row(0)[j]).abs() < 1e-9,
+            "column {j}"
+        );
+    }
+}
+
+#[test]
+fn fractional_problem_solves_the_table1_line() {
+    let model = FractionalLineSpec::default().assemble();
+    let (m, t_end) = (64, 2.7e-9);
+    let u = model.inputs.bpf_matrix(m, t_end);
+    let direct = opm::core::fractional::solve_fractional(&model.system, &u, t_end).unwrap();
+    let engine = Problem::fractional(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .unwrap();
+    for j in 0..m {
+        for o in 0..2 {
+            assert_eq!(
+                direct.output_row(o)[j],
+                engine.output_row(o)[j],
+                "output {o}, column {j}"
+            );
+        }
+    }
+}
+
+#[test]
+fn second_order_problem_solves_the_power_grid() {
+    let spec = PowerGridSpec {
+        layers: 2,
+        rows: 3,
+        cols: 3,
+        num_loads: 2,
+        ..Default::default()
+    };
+    let na = assemble_na(&spec.build(), &[]).unwrap();
+    let (m, t_end) = (64, 5e-9);
+    let direct =
+        opm::core::second_order::solve_second_order(&na.system, &na.inputs, t_end, m).unwrap();
+    let engine = Problem::second_order(&na.system)
+        .waveforms(&na.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .unwrap();
+    for j in 0..m {
+        for i in 0..na.system.order() {
+            assert_eq!(direct.state_coeff(i, j), engine.state_coeff(i, j));
+        }
+    }
+}
+
+#[test]
+fn adaptive_option_reuses_factorizations() {
+    let ckt = rc_ladder(
+        3,
+        1e3,
+        1e-9,
+        Waveform::pulse(0.0, 1.0, 1e-5, 1e-6, 2e-5, 1e-6, 0.0),
+    );
+    let model = assemble_mna(&ckt, &[Output::NodeVoltage(4)]).unwrap();
+    let r = Problem::linear(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(2e-3)
+        .solve(&SolveOptions::new().adaptive(AdaptiveOpmOptions {
+            tol: 1e-5,
+            h0: 1e-6,
+            h_min: 1e-9,
+            h_max: 1e-4,
+        }))
+        .unwrap();
+    // The power-of-two step lattice bounds the factorization count far
+    // below the column count.
+    assert!(r.num_factorizations < r.num_intervals() / 2);
+    // The power-of-two lattice reaches t_end to within one minimum step.
+    assert!((r.bounds.last().unwrap() - 2e-3).abs() < 2e-9);
+}

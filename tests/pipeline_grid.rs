@@ -85,8 +85,7 @@ fn table2_error_ordering_on_small_grid() {
     };
 
     let be_h = backward_euler(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap();
-    let be_h10 =
-        backward_euler(&mna.system, &mna.inputs, t_end, m * 10, &x0, false).unwrap();
+    let be_h10 = backward_euler(&mna.system, &mna.inputs, t_end, m * 10, &x0, false).unwrap();
     let gear = bdf(&mna.system, &mna.inputs, t_end, m, 2, &x0, false).unwrap();
     let trap = trapezoidal(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap();
 

@@ -6,6 +6,7 @@ use opm::circuits::mna::{assemble_mna, Output};
 use opm::circuits::parser::parse_netlist;
 use opm::core::linear::solve_linear;
 use opm::core::metrics::max_abs_diff;
+use opm::core::{Problem, SolveOptions};
 use opm::transient::{backward_euler, bdf, fine_reference, trapezoidal};
 use opm::waveform::Waveform;
 
@@ -14,7 +15,12 @@ use opm::waveform::Waveform;
 /// a real circuit through the full assembly pipeline.
 #[test]
 fn opm_is_algebraically_trapezoidal_on_rc_ladder() {
-    let ckt = rc_ladder(6, 500.0, 2e-9, Waveform::pulse(0.0, 1.0, 1e-7, 2e-8, 3e-7, 2e-8, 0.0));
+    let ckt = rc_ladder(
+        6,
+        500.0,
+        2e-9,
+        Waveform::pulse(0.0, 1.0, 1e-7, 2e-8, 3e-7, 2e-8, 0.0),
+    );
     let model = assemble_mna(&ckt, &[Output::NodeVoltage(7)]).unwrap();
     let t_end = 2e-6;
     let m = 256;
@@ -87,17 +93,30 @@ C2 n2 0 2n
     let out = parsed.node("n2").unwrap();
     let via_parser = assemble_mna(&parsed.circuit, &[Output::NodeVoltage(out)]).unwrap();
 
-    let built = rc_ladder(2, 500.0, 2e-9, Waveform::pulse(0.0, 1.0, 0.0, 1e-8, 1e-7, 1e-8, 4e-7));
+    let built = rc_ladder(
+        2,
+        500.0,
+        2e-9,
+        Waveform::pulse(0.0, 1.0, 0.0, 1e-8, 1e-7, 1e-8, 4e-7),
+    );
     let via_builder = assemble_mna(&built, &[Output::NodeVoltage(3)]).unwrap();
 
     let t_end = 1e-6;
     let m = 128;
-    let u1 = via_parser.inputs.bpf_matrix(m, t_end);
-    let u2 = via_builder.inputs.bpf_matrix(m, t_end);
-    let x0a = vec![0.0; via_parser.system.order()];
-    let x0b = vec![0.0; via_builder.system.order()];
-    let r1 = solve_linear(&via_parser.system, &u1, t_end, &x0a).unwrap();
-    let r2 = solve_linear(&via_builder.system, &u2, t_end, &x0b).unwrap();
+    let opts = SolveOptions::new().resolution(m);
+    let r1 = Problem::linear(&via_parser.system)
+        .waveforms(&via_parser.inputs)
+        .horizon(t_end)
+        .solve(&opts)
+        .unwrap();
+    let r2 = Problem::linear(&via_builder.system)
+        .waveforms(&via_builder.inputs)
+        .horizon(t_end)
+        .solve(&opts)
+        .unwrap();
     let dev = max_abs_diff(r1.output_row(0), r2.output_row(0));
-    assert!(dev < 1e-12, "parser and builder circuits must be identical: {dev}");
+    assert!(
+        dev < 1e-12,
+        "parser and builder circuits must be identical: {dev}"
+    );
 }
