@@ -1,0 +1,150 @@
+//! **Plan-reuse sweep benchmark** — the `SimPlan` session economy on the
+//! Table II power-grid circuit: 100 load-current scenarios solved (a)
+//! naively, one `Problem::solve` each (re-validate, re-order, re-factor
+//! per scenario), and (b) through one `Simulation::plan` whose single
+//! factorization serves the whole batch in one interleaved pass.
+//!
+//! Emits `BENCH_sweep.json` (path override: `OPM_SWEEP_JSON`) with both
+//! timings, the factorization counts and the speedup.
+//!
+//! `cargo run --release -p opm-bench --bin sweep`
+
+use std::io::Write as _;
+
+use opm_bench::{fmt_time, timed};
+use opm_circuits::grid::PowerGridSpec;
+use opm_circuits::na::assemble_na;
+use opm_core::{Problem, Simulation, SolveOptions};
+use opm_waveform::{InputSet, Waveform};
+
+const SCENARIOS: usize = 100;
+
+fn main() {
+    // The Table II workload family at CI scale (same topology the table2
+    // binary reproduces the paper with).
+    let spec = PowerGridSpec {
+        layers: 3,
+        rows: 8,
+        cols: 8,
+        num_loads: 8,
+        l_via: 2e-10,
+        c_node: 2e-11,
+        r_segment: 0.2,
+        period: 4e-9,
+        ..Default::default()
+    };
+    let ckt = spec.build();
+    // Probe the bottom-layer corner nodes: keeps the result payload small
+    // while still exercising output reconstruction.
+    let probes: Vec<usize> = vec![1, spec.cols, spec.rows * spec.cols];
+    let na = assemble_na(&ckt, &probes).unwrap();
+    let t_end = 10e-9;
+    let m = 256;
+    let opts = SolveOptions::new().resolution(m);
+    let num_loads = na.inputs.len();
+
+    // 100 load patterns: every load current pulse gets a scenario-specific
+    // amplitude and delay (a supply-noise corner study).
+    let scenario = |s: usize| -> InputSet {
+        InputSet::new(
+            (0..num_loads)
+                .map(|ch| {
+                    let amp = 1e-3 * (1.0 + 0.05 * ((s * 7 + ch * 3) % 20) as f64);
+                    let delay = 0.5e-9 + 0.02e-9 * ((s + ch) % 10) as f64;
+                    Waveform::pulse(0.0, amp, delay, 0.2e-9, 1.0e-9, 0.2e-9, 4e-9)
+                })
+                .collect(),
+        )
+    };
+    let sets: Vec<InputSet> = (0..SCENARIOS).map(scenario).collect();
+
+    println!(
+        "plan-reuse sweep — Table II grid {}×{}×{}: n = {} unknowns, m = {m} columns, {SCENARIOS} scenarios",
+        spec.layers,
+        spec.rows,
+        spec.cols,
+        na.system.order()
+    );
+
+    // (a) Naive: independent Problem::solve per scenario.
+    let (naive, naive_s) = timed(|| {
+        sets.iter()
+            .map(|ws| {
+                Problem::second_order(&na.system)
+                    .waveforms(ws)
+                    .horizon(t_end)
+                    .solve(&opts)
+                    .unwrap()
+            })
+            .collect::<Vec<_>>()
+    });
+    let naive_factorizations: usize = naive.iter().map(|r| r.num_factorizations).sum();
+
+    // (b) Planned: factor once, sweep the batch.
+    let sim = Simulation::from_second_order(na.system.clone()).horizon(t_end);
+    let ((plan, planned), plan_s) = timed(|| {
+        let plan = sim.plan(&opts).unwrap();
+        let runs = plan.solve_batch(&sets).unwrap();
+        (plan, runs)
+    });
+    let plan_factorizations = plan.num_factorizations();
+
+    // The batch must reproduce the naive loop to roundoff.
+    let mut worst = 0.0f64;
+    for (a, b) in naive.iter().zip(&planned) {
+        for (ra, rb) in a.outputs.iter().zip(&b.outputs) {
+            for (va, vb) in ra.iter().zip(rb) {
+                worst = worst.max((va - vb).abs());
+            }
+        }
+    }
+    let speedup = naive_s / plan_s;
+
+    println!(
+        "naive loop : {}  ({naive_factorizations} factorizations)",
+        fmt_time(naive_s)
+    );
+    println!(
+        "plan batch : {}  ({plan_factorizations} factorization)",
+        fmt_time(plan_s)
+    );
+    println!("speedup    : {speedup:.2}×   max |Δ| = {worst:.2e}");
+
+    assert_eq!(
+        plan_factorizations, 1,
+        "the plan must factor the pencil exactly once"
+    );
+    assert!(
+        worst < 1e-12,
+        "batch and naive results must agree to 1e-12 (got {worst:.2e})"
+    );
+    // Quiet machines comfortably clear 3×; shared CI runners get a
+    // relaxed floor via OPM_SWEEP_MIN_SPEEDUP so noisy neighbors cannot
+    // flake the build (factor count and Δ stay hard either way).
+    let min_speedup = std::env::var("OPM_SWEEP_MIN_SPEEDUP")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(3.0);
+    assert!(
+        speedup >= min_speedup,
+        "plan reuse must be ≥ {min_speedup}× faster than naive re-solving (got {speedup:.2}×)"
+    );
+
+    let path = std::env::var("OPM_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
+    let json = format!(
+        "{{\n  \"schema\": \"opm-bench-sweep/v1\",\n  \
+         \"note\": \"100-scenario load sweep on the Table II power grid (NA model, n = {n}, m = {m}): \
+         independent Problem::solve per scenario vs one Simulation::plan + SimPlan::solve_batch. \
+         Regenerate: cargo run --release -p opm-bench --bin sweep\",\n  \
+         \"records\": [\n    \
+         {{\"id\": \"sweep/naive_loop_100\", \"seconds\": {naive_s:e}, \"num_factorizations\": {naive_factorizations}}},\n    \
+         {{\"id\": \"sweep/plan_batch_100\", \"seconds\": {plan_s:e}, \"num_factorizations\": {plan_factorizations}}},\n    \
+         {{\"id\": \"sweep/speedup\", \"value\": {speedup:.3}}},\n    \
+         {{\"id\": \"sweep/max_abs_delta\", \"value\": {worst:e}}}\n  ]\n}}\n",
+        n = na.system.order(),
+    );
+    let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}

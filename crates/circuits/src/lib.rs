@@ -17,6 +17,12 @@
 //!   ladder with CPE shunts, 7 MNA unknowns, 2 ports, order ½.
 //! - [`ladder`] — RC/RLC ladders for convergence studies.
 //!
+//! Most callers no longer drive these stages by hand: the solver layer's
+//! `opm_core::Simulation::from_netlist` / `from_circuit` runs
+//! parse → MNA → model in one call (auto-selecting the fractional
+//! formulation when CPEs are present), and [`CircuitError`] converts
+//! into `opm_core::OpmError` so the whole pipeline composes with `?`.
+//!
 //! [`Circuit`]: netlist::Circuit
 //! [`DescriptorSystem`]: opm_system::DescriptorSystem
 

@@ -22,6 +22,7 @@ use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::adaptive::AdaptiveBpf;
 use opm_basis::traits::Basis;
+use opm_sparse::SparseLu;
 use opm_system::{DescriptorSystem, FractionalSystem};
 use opm_waveform::InputSet;
 
@@ -65,7 +66,29 @@ pub fn solve_linear_adaptive(
     x0: &[f64],
     opts: AdaptiveOpmOptions,
 ) -> Result<OpmResult, OpmError> {
+    let mut factors = FactorCache::new(sys.e(), sys.a());
+    solve_linear_adaptive_with(sys, inputs, t_end, x0, opts, &mut factors)
+}
+
+/// [`solve_linear_adaptive`] with a caller-owned [`FactorCache`]: the
+/// power-of-two step-lattice factorizations persist in `factors`, so a
+/// batch of scenarios solved against the same system (the plan layer's
+/// [`crate::SimPlan`]) reuses every pencil the earlier scenarios already
+/// factored. The returned result counts only the factorizations *this*
+/// call added.
+///
+/// # Errors
+/// As [`solve_linear_adaptive`].
+pub fn solve_linear_adaptive_with(
+    sys: &DescriptorSystem,
+    inputs: &InputSet,
+    t_end: f64,
+    x0: &[f64],
+    opts: AdaptiveOpmOptions,
+    factors: &mut FactorCache,
+) -> Result<OpmResult, OpmError> {
     let n = sys.order();
+    let factorizations_before = factors.num_factorizations();
     if inputs.len() != sys.num_inputs() {
         return Err(OpmError::BadArguments("input channel mismatch".into()));
     }
@@ -76,7 +99,6 @@ pub fn solve_linear_adaptive(
         return Err(OpmError::BadArguments("inconsistent step options".into()));
     }
 
-    let mut factors = FactorCache::new(sys.e(), sys.a());
     let mut num_solves = 0usize;
     let shift = x0.iter().any(|&v| v != 0.0);
     let c_force = if shift {
@@ -129,7 +151,7 @@ pub fn solve_linear_adaptive(
         while t + h > t_end * (1.0 + 1e-12) && h > opts.h_min {
             h *= 0.5;
         }
-        let z = solve_column(h, t, &g, &mut factors, &mut num_solves)?;
+        let z = solve_column(h, t, &g, factors, &mut num_solves)?;
         // Predictor: linear extrapolation of the last column pair.
         let est = match (&prev, columns.len()) {
             (Some((z1, h1)), len) if len >= 2 => {
@@ -185,7 +207,7 @@ pub fn solve_linear_adaptive(
         columns,
         outputs,
         num_solves,
-        num_factorizations: factors.num_factorizations(),
+        num_factorizations: factors.num_factorizations() - factorizations_before,
     })
 }
 
@@ -215,13 +237,39 @@ pub fn solve_fractional_adaptive(
     grid: &AdaptiveBpf,
     inputs: &InputSet,
 ) -> Result<OpmResult, OpmError> {
-    let sys = fsys.system();
-    let n = sys.order();
-    if inputs.len() != sys.num_inputs() {
-        return Err(OpmError::BadArguments("input channel mismatch".into()));
+    let factors = prepare_step_grid(fsys, grid)?;
+    sweep_step_grid(fsys, grid, &factors, inputs)
+}
+
+/// Stimulus-independent data of a distinct-step fractional solve: the
+/// upper-triangular columns of `D̃^α` plus one pencil factorization per
+/// column. Built once by [`prepare_step_grid`] (the plan layer caches it
+/// across scenarios), consumed by [`sweep_step_grid`].
+pub(crate) struct StepGridFactors {
+    /// `f_cols[j][i] = D̃^α[i, j]` for `i ≤ j`.
+    f_cols: Vec<Vec<f64>>,
+    /// Factorization of `(D̃^α[j,j]·E − A)` per column.
+    lus: Vec<SparseLu>,
+}
+
+impl StepGridFactors {
+    pub(crate) fn num_factorizations(&self) -> usize {
+        self.lus.len()
     }
+}
+
+/// Builds and factors every per-column pencil of a distinct-step grid —
+/// the expensive half of [`solve_fractional_adaptive`], independent of
+/// the stimulus.
+///
+/// # Errors
+/// As [`solve_fractional_adaptive`].
+pub(crate) fn prepare_step_grid(
+    fsys: &FractionalSystem,
+    grid: &AdaptiveBpf,
+) -> Result<StepGridFactors, OpmError> {
+    let sys = fsys.system();
     let m = grid.dim();
-    let u = inputs.averages_on_grid(grid.bounds());
 
     // The scalar Parlett recurrence (like the paper's eigendecomposition)
     // loses accuracy when many steps are nearly equal: divided differences
@@ -231,8 +279,8 @@ pub fn solve_fractional_adaptive(
     const CONDITION_LIMIT: f64 = 1e8;
 
     let mut inc = AdaptiveBpf::incremental_frac_diff(fsys.alpha(), m);
-    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut num_fact = 0usize;
+    let mut f_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut lus: Vec<SparseLu> = Vec::with_capacity(m);
     for j in 0..m {
         inc.append_column(&grid.diff_column(j))
             .map_err(|e| OpmError::ConfluentSteps(format!("{e}")))?;
@@ -248,17 +296,43 @@ pub fn solve_fractional_adaptive(
                 )));
             }
         }
+        f_cols.push((0..=j).map(|i| inc.value(i, j)).collect());
         // (F[j,j]·E − A)·x_j = B·u_j − E·Σ_{i<j} F[i,j]·x_i.
         let djj = inc.value(j, j);
         let lu = factor_shifted_pencil(sys.e(), sys.a(), djj).map_err(|e| match e {
             OpmError::SingularPencil(s) => OpmError::SingularPencil(format!("column {j}: {s}")),
             other => other,
         })?;
-        num_fact += 1;
+        lus.push(lu);
+    }
+    Ok(StepGridFactors { f_cols, lus })
+}
 
+/// Runs the distinct-step column sweep against prefactored pencils — the
+/// cheap, per-stimulus half of [`solve_fractional_adaptive`].
+///
+/// # Errors
+/// [`OpmError::BadArguments`] on channel mismatches.
+pub(crate) fn sweep_step_grid(
+    fsys: &FractionalSystem,
+    grid: &AdaptiveBpf,
+    factors: &StepGridFactors,
+    inputs: &InputSet,
+) -> Result<OpmResult, OpmError> {
+    let sys = fsys.system();
+    let n = sys.order();
+    if inputs.len() != sys.num_inputs() {
+        return Err(OpmError::BadArguments("input channel mismatch".into()));
+    }
+    let m = grid.dim();
+    let u = inputs.averages_on_grid(grid.bounds());
+
+    let mut columns: Vec<Vec<f64>> = Vec::with_capacity(m);
+    for j in 0..m {
+        let fc = &factors.f_cols[j];
         let mut acc = vec![0.0; n];
         for (i, xi) in columns.iter().enumerate() {
-            let f = inc.value(i, j);
+            let f = fc[i];
             if f != 0.0 {
                 for (a, x) in acc.iter_mut().zip(xi) {
                     *a += f * x;
@@ -272,7 +346,7 @@ pub fn solve_fractional_adaptive(
         for (r, w) in rhs.iter_mut().zip(&ea) {
             *r -= w;
         }
-        columns.push(lu.solve(&rhs));
+        columns.push(factors.lus[j].solve(&rhs));
     }
 
     let outputs = reconstruct_outputs(sys, &columns);
@@ -281,7 +355,7 @@ pub fn solve_fractional_adaptive(
         columns,
         outputs,
         num_solves: m,
-        num_factorizations: num_fact,
+        num_factorizations: factors.num_factorizations(),
     })
 }
 

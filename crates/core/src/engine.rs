@@ -12,15 +12,21 @@
 //! - [`validate_coeff_inputs`] / [`validate_horizon`] — argument checks;
 //! - [`factor_pencil`] — RCM-ordered sparse LU with error mapping;
 //! - [`FactorCache`] — memoized factorizations for step-lattice sweeps;
-//! - [`apply_b`] — accumulate `scale·B·u_j` into a right-hand side;
-//! - [`ColumnSweep`] — the cached-factorization column solve loop, with
-//!   read access to all previously solved columns (the history term);
+//! - [`apply_b`] / [`apply_b_block`] — accumulate `scale·B·u_j` into a
+//!   right-hand side (single scenario or an interleaved lane block);
+//! - [`BlockColumnSweep`] — the cached-factorization column solve loop,
+//!   `lanes` scenarios wide, with read access to all previously solved
+//!   columns (the history term); [`ColumnSweep`] is its single-scenario
+//!   view;
 //! - [`reconstruct_outputs`] / [`uniform_result`] — output projection
 //!   through `C` and [`OpmResult`] assembly.
 //!
-//! On top of the primitives sits a declarative front door: describe the
-//! task with a [`Problem`], pick resolution/method with [`SolveOptions`],
-//! and let [`Problem::solve`] dispatch to the right strategy:
+//! On top of the primitives sits the plan layer
+//! ([`crate::session`]): [`crate::Simulation`] → [`crate::SimPlan`]
+//! factors once and solves many scenarios. The declarative front door
+//! kept here — describe the task with a [`Problem`], pick
+//! resolution/method with [`SolveOptions`], call [`Problem::solve`] —
+//! is a thin one-shot wrapper over that layer:
 //!
 //! ```
 //! use opm_core::engine::{Problem, SolveOptions};
@@ -47,7 +53,6 @@
 use crate::adaptive::AdaptiveOpmOptions;
 use crate::result::OpmResult;
 use crate::OpmError;
-use opm_basis::adaptive::AdaptiveBpf;
 use opm_sparse::ordering::rcm;
 use opm_sparse::{CsrMatrix, SparseLu};
 use opm_system::{DescriptorSystem, FractionalSystem, MultiTermSystem, SecondOrderSystem};
@@ -223,41 +228,185 @@ pub fn apply_b_column(b: &CsrMatrix, u: &[f64], scale: f64, out: &mut [f64]) {
     }
 }
 
+/// Block form of [`apply_b`]: accumulates `scale·B·u` for `lanes`
+/// scenarios at once. `u_block[ch*lanes + l]` is channel `ch` of lane
+/// `l`; `out` is a row-major `n × lanes` block. One pass over `B`'s
+/// sparse structure serves every lane.
+pub fn apply_b_block(b: &CsrMatrix, u_block: &[f64], lanes: usize, scale: f64, out: &mut [f64]) {
+    for i in 0..b.nrows() {
+        let row = &mut out[i * lanes..(i + 1) * lanes];
+        for (ch, v) in b.row(i) {
+            let sv = scale * v;
+            for (o, u) in row.iter_mut().zip(&u_block[ch * lanes..(ch + 1) * lanes]) {
+                *o += sv * u;
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The column sweep
 // ---------------------------------------------------------------------------
+
+/// The multi-RHS generalization of the column sweep: `lanes` scenarios
+/// are swept through **one** factorization in a single pass over the
+/// columns.
+///
+/// Storage is lane-interleaved: every column (and the RHS/work scratch)
+/// is a row-major `n × lanes` block with the lane values of state `i` at
+/// `i*lanes..(i+1)*lanes`. RHS builders assemble all lanes of a column
+/// at once, so sparse matrix–vector products ([`CsrMatrix::mul_block_into`]),
+/// stimulus application ([`apply_b_block`]) and the triangular solves
+/// ([`SparseLu::solve_block_into`]) each traverse their structure once
+/// per column instead of once per scenario.
+///
+/// [`ColumnSweep`] is the `lanes == 1` special case.
+pub struct BlockColumnSweep {
+    n: usize,
+    m: usize,
+    lanes: usize,
+    columns: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    /// Scratch block sized `n·lanes`, for matrix–block products inside
+    /// RHS builders (avoids per-column allocation in every strategy).
+    pub work: Vec<f64>,
+    num_solves: usize,
+}
+
+impl BlockColumnSweep {
+    /// A sweep over `m` columns of an order-`n` system, `lanes`
+    /// scenarios wide.
+    ///
+    /// # Panics
+    /// Panics when `lanes == 0`.
+    pub fn new(n: usize, m: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "block sweep needs at least one lane");
+        BlockColumnSweep {
+            n,
+            m,
+            lanes,
+            columns: Vec::with_capacity(m),
+            rhs: vec![0.0; n * lanes],
+            work: vec![0.0; n * lanes],
+            num_solves: 0,
+        }
+    }
+
+    /// Scenario width of the sweep.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Columns solved so far (interleaved blocks — the history the RHS
+    /// builder may read).
+    pub fn history(&self) -> &[Vec<f64>] {
+        &self.columns
+    }
+
+    /// Runs one column: zeroes the RHS block, lets `build` fill it
+    /// (reading the history), block-solves against `lu`, appends and
+    /// returns the new interleaved column.
+    pub fn step(
+        &mut self,
+        lu: &SparseLu,
+        build: impl FnOnce(&[Vec<f64>], &mut [f64], &mut [f64]),
+    ) -> &[f64] {
+        self.rhs.iter_mut().for_each(|v| *v = 0.0);
+        build(&self.columns, &mut self.rhs, &mut self.work);
+        let mut x = vec![0.0; self.n * self.lanes];
+        lu.solve_block_into(&self.rhs, &mut x, self.lanes);
+        self.num_solves += self.lanes;
+        self.columns.push(x);
+        self.columns.last().unwrap()
+    }
+
+    /// Runs the full sweep: the `m` columns fixed at construction
+    /// against one factorization, the per-column RHS block built by
+    /// `build(j, history, rhs, work)`.
+    pub fn run(
+        mut self,
+        lu: &SparseLu,
+        mut build: impl FnMut(usize, &[Vec<f64>], &mut [f64], &mut [f64]),
+    ) -> BlockOutcome {
+        for j in 0..self.m {
+            self.step(lu, |history, rhs, work| build(j, history, rhs, work));
+        }
+        self.into_outcome(1)
+    }
+
+    /// Finishes a manually-stepped sweep.
+    pub fn into_outcome(self, num_factorizations: usize) -> BlockOutcome {
+        BlockOutcome {
+            columns: self.columns,
+            lanes: self.lanes,
+            num_solves: self.num_solves,
+            num_factorizations,
+        }
+    }
+}
+
+/// Raw multi-lane sweep output: interleaved columns plus counters.
+pub struct BlockOutcome {
+    /// Solved columns, one interleaved `n × lanes` block per interval.
+    pub columns: Vec<Vec<f64>>,
+    /// Scenario width.
+    pub lanes: usize,
+    /// Sparse solves performed (one per lane per column).
+    pub num_solves: usize,
+    /// Sparse factorizations performed.
+    pub num_factorizations: usize,
+}
+
+impl BlockOutcome {
+    /// De-interleaves into one [`SweepOutcome`] per lane.
+    pub fn into_lane_outcomes(self) -> Vec<SweepOutcome> {
+        let lanes = self.lanes;
+        if lanes == 1 {
+            // The interleaved layout degenerates to plain columns: move
+            // them instead of element-copying (the one-shot solve path).
+            return vec![SweepOutcome {
+                columns: self.columns,
+                num_solves: self.num_solves,
+                num_factorizations: self.num_factorizations,
+            }];
+        }
+        let n = self.columns.first().map_or(0, |c| c.len() / lanes);
+        (0..lanes)
+            .map(|l| SweepOutcome {
+                columns: self
+                    .columns
+                    .iter()
+                    .map(|blk| (0..n).map(|i| blk[i * lanes + l]).collect())
+                    .collect(),
+                num_solves: self.num_solves / lanes,
+                num_factorizations: self.num_factorizations,
+            })
+            .collect()
+    }
+}
 
 /// The cached-factorization column sweep at the heart of every OPM
 /// solver: for `j = 0..m`, assemble a right-hand side (with read access
 /// to every previously solved column — the history/convolution term) and
 /// solve it against one shared factorization.
+///
+/// This is the single-scenario view of [`BlockColumnSweep`]; the engine
+/// itself always runs the block form.
 pub struct ColumnSweep {
-    n: usize,
-    m: usize,
-    columns: Vec<Vec<f64>>,
-    rhs: Vec<f64>,
-    /// Scratch vector sized `n`, for matrix–vector products inside RHS
-    /// builders (avoids per-column allocation in every strategy).
-    pub work: Vec<f64>,
-    num_solves: usize,
+    inner: BlockColumnSweep,
 }
 
 impl ColumnSweep {
     /// A sweep over `m` columns of an order-`n` system.
     pub fn new(n: usize, m: usize) -> Self {
         ColumnSweep {
-            n,
-            m,
-            columns: Vec::with_capacity(m),
-            rhs: vec![0.0; n],
-            work: vec![0.0; n],
-            num_solves: 0,
+            inner: BlockColumnSweep::new(n, m, 1),
         }
     }
 
     /// Columns solved so far (the history the RHS builder may read).
     pub fn history(&self) -> &[Vec<f64>] {
-        &self.columns
+        self.inner.history()
     }
 
     /// Runs one column: zeroes the RHS, lets `build` fill it (reading
@@ -268,36 +417,28 @@ impl ColumnSweep {
         lu: &SparseLu,
         build: impl FnOnce(&[Vec<f64>], &mut [f64], &mut [f64]),
     ) -> &[f64] {
-        self.rhs.iter_mut().for_each(|v| *v = 0.0);
-        build(&self.columns, &mut self.rhs, &mut self.work);
-        let mut x = vec![0.0; self.n];
-        lu.solve_into(&self.rhs, &mut x);
-        self.num_solves += 1;
-        self.columns.push(x);
-        self.columns.last().unwrap()
+        self.inner.step(lu, build)
     }
 
     /// Runs the full sweep: the `m` columns fixed at construction
     /// against one factorization, the per-column RHS built by
     /// `build(j, history, rhs, work)`.
     pub fn run(
-        mut self,
+        self,
         lu: &SparseLu,
-        mut build: impl FnMut(usize, &[Vec<f64>], &mut [f64], &mut [f64]),
+        build: impl FnMut(usize, &[Vec<f64>], &mut [f64], &mut [f64]),
     ) -> SweepOutcome {
-        for j in 0..self.m {
-            self.step(lu, |history, rhs, work| build(j, history, rhs, work));
-        }
-        self.into_outcome(1)
+        let mut outcomes = self.inner.run(lu, build).into_lane_outcomes();
+        outcomes.pop().expect("one lane by construction")
     }
 
     /// Finishes a manually-stepped sweep.
     pub fn into_outcome(self, num_factorizations: usize) -> SweepOutcome {
-        SweepOutcome {
-            columns: self.columns,
-            num_solves: self.num_solves,
-            num_factorizations,
-        }
+        let mut outcomes = self
+            .inner
+            .into_outcome(num_factorizations)
+            .into_lane_outcomes();
+        outcomes.pop().expect("one lane by construction")
     }
 }
 
@@ -494,8 +635,11 @@ impl<'a> Problem<'a> {
         self
     }
 
-    /// Solves the problem with the given options, dispatching to the
-    /// matching strategy.
+    /// Solves the problem with the given options: builds a one-shot
+    /// [`crate::SimPlan`] (validate, order, factor) and runs the single
+    /// scenario through it. For many scenarios against one system, build
+    /// the plan yourself via [`crate::Simulation`] and amortize the
+    /// factorization.
     ///
     /// # Errors
     /// [`OpmError::BadArguments`] for inconsistent descriptions (missing
@@ -503,235 +647,48 @@ impl<'a> Problem<'a> {
     /// strategies fed coefficients, options that do not apply to the
     /// model, …) and any strategy error.
     pub fn solve(&self, opts: &SolveOptions) -> Result<OpmResult, OpmError> {
-        self.validate_options(opts)?;
-        match self.model {
-            Model::Linear(sys) => self.solve_linear(sys, opts),
-            Model::Fractional(fsys) => self.solve_fractional(fsys, opts),
-            Model::MultiTerm(mt) => self.solve_multiterm(mt, opts),
-            Model::SecondOrder(so) => self.solve_second_order(so, opts),
-        }
-    }
-
-    /// Rejects option combinations that no strategy honors — silently
-    /// ignoring them would hand back a result the caller did not ask
-    /// for.
-    fn validate_options(&self, opts: &SolveOptions) -> Result<(), OpmError> {
-        let bad = |msg: &str| Err(OpmError::BadArguments(msg.into()));
-        if opts.adaptive.is_some() && opts.step_grid.is_some() {
-            return bad("choose one of adaptive (on-the-fly) or step_grid (explicit steps)");
-        }
-        if (opts.adaptive.is_some() || opts.step_grid.is_some()) && opts.method != Method::Auto {
-            return bad("method overrides do not apply to adaptive/step-grid solves");
-        }
-        if (opts.adaptive.is_some() || opts.step_grid.is_some()) && opts.resolution.is_some() {
-            return bad(
-                "resolution does not apply to adaptive/step-grid solves (the step \
-                 controller or the grid determines the column count)",
-            );
-        }
-        if let Some(steps) = &opts.step_grid {
-            let total: f64 = steps.iter().sum();
-            let spans_horizon =
-                total > 0.0 && (total - self.t_end).abs() <= 1e-9 * self.t_end.abs();
-            if !spans_horizon {
-                return Err(OpmError::BadArguments(format!(
-                    "step grid sums to {total:e} but the declared horizon is {:e}",
-                    self.t_end
-                )));
-            }
-        }
-        match self.model {
-            Model::Linear(_) => {
-                if opts.step_grid.is_some() {
-                    return bad(
-                        "step_grid applies to fractional problems; linear problems adapt \
-                         on the fly via SolveOptions::adaptive",
-                    );
-                }
-            }
-            Model::Fractional(_) => {
-                if opts.adaptive.is_some() {
-                    return bad("on-the-fly adaptive stepping applies to linear problems; \
-                         fractional problems take an explicit SolveOptions::step_grid");
-                }
-            }
-            Model::MultiTerm(_) | Model::SecondOrder(_) => {
-                if opts.adaptive.is_some() || opts.step_grid.is_some() {
-                    return bad(
-                        "adaptive/step-grid solving is not available for multi-term or \
-                         second-order problems",
-                    );
-                }
-            }
-        }
-        if let (Some(r), Inputs::Coeffs(u)) = (opts.resolution, self.inputs) {
-            let m = u.first().map_or(0, Vec::len);
-            if m != r {
-                return Err(OpmError::BadArguments(format!(
-                    "resolution {r} conflicts with the {m}-column coefficient input"
-                )));
-            }
-        }
-        Ok(())
-    }
-
-    fn zero_x0(&self, n: usize) -> Result<Vec<f64>, OpmError> {
-        match self.x0 {
-            None => Ok(vec![0.0; n]),
-            Some(x0) if x0.iter().all(|&v| v == 0.0) => Ok(x0.to_vec()),
-            Some(_) => Err(OpmError::BadArguments(
-                "nonzero initial conditions are only supported for linear problems".into(),
-            )),
-        }
-    }
-
-    /// Materializes a coefficient matrix: passthrough for
-    /// [`Problem::coeffs`], BPF projection for [`Problem::waveforms`].
-    fn coeff_matrix(
-        &self,
-        num_inputs: usize,
-        opts: &SolveOptions,
-    ) -> Result<std::borrow::Cow<'a, [Vec<f64>]>, OpmError> {
-        match self.inputs {
-            Inputs::Missing => Err(OpmError::BadArguments(
+        let model = self.model_ref();
+        if matches!(self.inputs, Inputs::Missing) {
+            return Err(OpmError::BadArguments(
                 "no stimulus: call .coeffs(..) or .waveforms(..)".into(),
-            )),
-            Inputs::Coeffs(u) => Ok(std::borrow::Cow::Borrowed(u)),
-            Inputs::Waveforms(ws) => {
-                if ws.len() != num_inputs {
-                    return Err(OpmError::BadArguments(format!(
-                        "{} input channels for {} B columns",
-                        ws.len(),
-                        num_inputs
-                    )));
-                }
-                let m = opts.resolution.ok_or_else(|| {
-                    OpmError::BadArguments("waveform inputs need SolveOptions::resolution".into())
-                })?;
-                validate_horizon(self.t_end)?;
-                Ok(std::borrow::Cow::Owned(ws.bpf_matrix(m, self.t_end)))
+            ));
+        }
+        // Coefficients carry their own column count; a contradicting
+        // `resolution` is a description error, not something to ignore.
+        if let (Some(r), Inputs::Coeffs(u)) = (opts.resolution, self.inputs) {
+            let mu = u.first().map_or(0, Vec::len);
+            if mu != r {
+                return Err(OpmError::BadArguments(format!(
+                    "option `resolution` ({r}) conflicts with the {mu}-column coefficient \
+                     stimulus on the `{}` strategy",
+                    model.strategy_name()
+                )));
             }
         }
-    }
-
-    fn solve_linear(
-        &self,
-        sys: &DescriptorSystem,
-        opts: &SolveOptions,
-    ) -> Result<OpmResult, OpmError> {
-        let default_x0 = vec![0.0; sys.order()];
-        let x0 = self.x0.unwrap_or(&default_x0);
-        if let Some(adapt) = opts.adaptive {
-            let ws = match self.inputs {
-                Inputs::Waveforms(ws) => ws,
-                _ => {
-                    return Err(OpmError::BadArguments(
-                        "adaptive stepping needs waveform inputs (exact interval averages)".into(),
-                    ))
-                }
-            };
-            return crate::adaptive::solve_linear_adaptive(sys, ws, self.t_end, x0, adapt);
-        }
-        let u = self.coeff_matrix(sys.num_inputs(), opts)?;
-        match opts.method {
-            Method::Auto | Method::Recurrence => {
-                crate::linear::solve_linear(sys, &u, self.t_end, x0)
-            }
-            Method::Accumulator => crate::linear::solve_linear_accumulator(sys, &u, self.t_end, x0),
-            // The multi-term and Kronecker strategies assume zero ICs;
-            // silently dropping x0 would return the wrong trajectory.
-            Method::Convolution | Method::Kronecker => {
-                if x0.iter().any(|&v| v != 0.0) {
-                    return Err(OpmError::BadArguments(
-                        "nonzero initial conditions require the Recurrence or Accumulator \
-                         method (Convolution/Kronecker assume x(0) = 0)"
-                            .into(),
-                    ));
-                }
-                if opts.method == Method::Convolution {
-                    crate::multiterm::solve_descriptor_as_multiterm(sys, &u, self.t_end)
-                } else {
-                    crate::kron_solve::kron_solve_linear(sys, &u, self.t_end)
-                }
-            }
-        }
-    }
-
-    fn solve_fractional(
-        &self,
-        fsys: &FractionalSystem,
-        opts: &SolveOptions,
-    ) -> Result<OpmResult, OpmError> {
-        self.zero_x0(fsys.order())?;
-        if let Some(steps) = &opts.step_grid {
-            let ws = match self.inputs {
-                Inputs::Waveforms(ws) => ws,
-                _ => {
-                    return Err(OpmError::BadArguments(
-                        "step-grid solving needs waveform inputs".into(),
-                    ))
-                }
-            };
-            let grid = AdaptiveBpf::new(steps.clone());
-            return crate::adaptive::solve_fractional_adaptive(fsys, &grid, ws);
-        }
-        let u = self.coeff_matrix(fsys.num_inputs(), opts)?;
-        match opts.method {
-            Method::Auto | Method::Recurrence | Method::Convolution => {
-                crate::fractional::solve_fractional(fsys, &u, self.t_end)
-            }
-            Method::Accumulator => Err(OpmError::BadArguments(
-                "the accumulator form exists only for linear problems".into(),
-            )),
-            Method::Kronecker => crate::kron_solve::kron_solve_fractional(fsys, &u, self.t_end),
-        }
-    }
-
-    fn solve_multiterm(
-        &self,
-        mt: &MultiTermSystem,
-        opts: &SolveOptions,
-    ) -> Result<OpmResult, OpmError> {
-        self.zero_x0(mt.order())?;
-        let u = self.coeff_matrix(mt.num_inputs(), opts)?;
-        match opts.method {
-            Method::Auto => crate::multiterm::solve_multiterm(mt, &u, self.t_end),
-            Method::Recurrence => crate::multiterm::solve_multiterm_recurrence(mt, &u, self.t_end),
-            Method::Convolution => {
-                crate::multiterm::solve_multiterm_convolution(mt, &u, self.t_end)
-            }
-            Method::Accumulator => Err(OpmError::BadArguments(
-                "the accumulator form exists only for linear problems".into(),
-            )),
-            Method::Kronecker => crate::kron_solve::kron_solve_multiterm(mt, &u, self.t_end),
-        }
-    }
-
-    fn solve_second_order(
-        &self,
-        so: &SecondOrderSystem,
-        opts: &SolveOptions,
-    ) -> Result<OpmResult, OpmError> {
-        self.zero_x0(so.order())?;
-        let ws = match self.inputs {
-            Inputs::Waveforms(ws) => ws,
-            Inputs::Coeffs(_) => {
-                return Err(OpmError::BadArguments(
-                    "second-order problems need waveform inputs (the engine \
-                     differentiates them exactly)"
-                        .into(),
-                ))
-            }
-            Inputs::Missing => {
-                return Err(OpmError::BadArguments(
-                    "no stimulus: call .waveforms(..)".into(),
-                ))
-            }
+        let m = match crate::session::plan_resolution(&model, opts) {
+            Ok(m) => m,
+            // No explicit resolution: a coefficient stimulus carries its
+            // own column count; waveforms cannot.
+            Err(needs_resolution) => match self.inputs {
+                Inputs::Coeffs(u) => u.first().map_or(0, Vec::len),
+                _ => return Err(needs_resolution),
+            },
         };
-        let m = opts.resolution.ok_or_else(|| {
-            OpmError::BadArguments("second-order problems need SolveOptions::resolution".into())
-        })?;
-        crate::second_order::solve_second_order(so, ws, self.t_end, m)
+        let plan = crate::session::SimPlan::prepare(model, opts, m, self.t_end, self.x0)?;
+        match self.inputs {
+            Inputs::Coeffs(u) => plan.solve_coeffs(u),
+            Inputs::Waveforms(ws) => plan.solve(ws),
+            Inputs::Missing => unreachable!("rejected above"),
+        }
+    }
+
+    fn model_ref(&self) -> crate::session::ModelRef<'a> {
+        match self.model {
+            Model::Linear(sys) => crate::session::ModelRef::Linear(sys),
+            Model::Fractional(fsys) => crate::session::ModelRef::Fractional(fsys),
+            Model::MultiTerm(mt) => crate::session::ModelRef::MultiTerm(mt),
+            Model::SecondOrder(so) => crate::session::ModelRef::SecondOrder(so),
+        }
     }
 }
 
@@ -756,10 +713,10 @@ pub enum Method {
 /// Solver configuration: resolution, strategy, adaptivity.
 #[derive(Clone, Debug, Default)]
 pub struct SolveOptions {
-    resolution: Option<usize>,
-    method: Method,
-    adaptive: Option<AdaptiveOpmOptions>,
-    step_grid: Option<Vec<f64>>,
+    pub(crate) resolution: Option<usize>,
+    pub(crate) method: Method,
+    pub(crate) adaptive: Option<AdaptiveOpmOptions>,
+    pub(crate) step_grid: Option<Vec<f64>>,
 }
 
 impl SolveOptions {

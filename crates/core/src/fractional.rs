@@ -13,18 +13,18 @@
 //! `O(n^β m + n m²)` total, the paper's §IV complexity. Initial
 //! conditions are zero (Caputo sense), as the paper assumes.
 
-use crate::engine::{
-    apply_b, factor_shifted_pencil, validate_coeff_inputs, validate_horizon, ColumnSweep,
-};
+use crate::engine::validate_coeff_inputs;
 use crate::result::OpmResult;
+use crate::session::SimPlan;
 use crate::OpmError;
-use opm_basis::bpf::BpfBasis;
 use opm_system::FractionalSystem;
 
 /// Solves the fractional system by OPM over `[0, t_end)` with `m`
-/// uniform intervals (`m` = columns of `u_coeffs`). A thin strategy over
-/// [`crate::engine`]: the per-column right-hand side is
-/// `B·u_j − E·Σ_{k=1}^{j} ρ_k·x_{j−k}`.
+/// uniform intervals (`m` = columns of `u_coeffs`). A thin one-shot
+/// wrapper over the plan layer ([`crate::session`]): the per-column
+/// right-hand side is `B·u_j − E·Σ_{k=1}^{j} ρ_k·x_{j−k}`. For repeated
+/// solves, build a [`crate::Simulation`] plan and reuse its
+/// factorization.
 ///
 /// # Errors
 /// [`OpmError::SingularPencil`] when `ρ₀E − A` is singular;
@@ -34,35 +34,8 @@ pub fn solve_fractional(
     u_coeffs: &[Vec<f64>],
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
-    let sys = fsys.system();
-    let m = validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
-    validate_horizon(t_end)?;
-    let n = sys.order();
-    let basis = BpfBasis::new(m, t_end);
-    let rho = basis.frac_diff_coeffs(fsys.alpha());
-
-    let lu = factor_shifted_pencil(sys.e(), sys.a(), rho[0])?;
-
-    let mut conv = vec![0.0; n];
-    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
-        // conv = Σ_{k=1}^{j} ρ_k·x_{j−k}
-        conv.iter_mut().for_each(|v| *v = 0.0);
-        for k in 1..=j {
-            let r = rho[k];
-            if r == 0.0 {
-                continue;
-            }
-            for (c, x) in conv.iter_mut().zip(&history[j - k]) {
-                *c += r * x;
-            }
-        }
-        sys.e().mul_vec_into(&conv, work);
-        apply_b(sys.b(), u_coeffs, j, 1.0, rhs);
-        for (r, w) in rhs.iter_mut().zip(work.iter()) {
-            *r -= w;
-        }
-    });
-    Ok(outcome.uniform_result(sys, t_end))
+    let m = validate_coeff_inputs(fsys.num_inputs(), u_coeffs)?;
+    SimPlan::for_fractional(fsys, m, t_end)?.solve_coeffs(u_coeffs)
 }
 
 #[cfg(test)]

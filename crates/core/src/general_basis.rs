@@ -54,7 +54,126 @@ impl GeneralBasisResult {
     }
 }
 
-/// Solves `E ẋ = A x + B u` in the given basis by the integral form.
+/// A reusable general-basis session: the factored integral-form matrix
+/// `(I_m ⊗ E − Hᵀ ⊗ A)` plus the basis-side constants, amortized over
+/// many stimuli — the plan layer's ([`crate::session`]) factor-once
+/// economy for the non-BPF bases.
+pub struct GeneralBasisPlan<'a> {
+    sys: &'a DescriptorSystem,
+    basis: &'a dyn Basis,
+    x0: Vec<f64>,
+    lu: opm_linalg::LuFactors,
+    h: DMatrix,
+    c1: Vec<f64>,
+    ax0: DVector,
+    b_d: DMatrix,
+}
+
+impl<'a> GeneralBasisPlan<'a> {
+    /// Validates shapes and factors the integral-form matrix **once**.
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] when `n·m` exceeds the dense guard or
+    /// shapes mismatch; [`OpmError::SingularPencil`] when the Kronecker
+    /// matrix is singular.
+    pub fn new(
+        sys: &'a DescriptorSystem,
+        basis: &'a dyn Basis,
+        x0: &[f64],
+    ) -> Result<Self, OpmError> {
+        let n = sys.order();
+        let m = basis.dim();
+        validate_x0(n, x0)?;
+        if n * m > MAX_DENSE {
+            return Err(OpmError::BadArguments(format!(
+                "n·m = {} exceeds the dense general-basis guard",
+                n * m
+            )));
+        }
+        let (e_d, a_d, b_d) = sys.to_dense();
+        let h = basis.integration_matrix();
+        let big = kron(&DMatrix::identity(m), &e_d).sub(&kron(&h.transpose(), &a_d));
+        let lu = big
+            .factor_lu()
+            .ok_or_else(|| OpmError::SingularPencil("integral-form matrix singular".into()))?;
+        let ax0 = a_d.mul_vec(&DVector::from_slice(x0));
+        Ok(GeneralBasisPlan {
+            sys,
+            basis,
+            x0: x0.to_vec(),
+            lu,
+            h,
+            c1: basis.one_coeffs(),
+            ax0,
+            b_d,
+        })
+    }
+
+    /// Solves one stimulus against the cached factorization.
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] on channel mismatches.
+    pub fn solve(&self, inputs: &InputSet) -> Result<GeneralBasisResult, OpmError> {
+        let sys = self.sys;
+        let n = sys.order();
+        let m = self.basis.dim();
+        if inputs.len() != sys.num_inputs() {
+            return Err(OpmError::BadArguments(format!(
+                "{} input channels for {} B columns",
+                inputs.len(),
+                sys.num_inputs()
+            )));
+        }
+        // Project inputs.
+        let mut u = DMatrix::zeros(inputs.len(), m);
+        for (ch, w) in inputs.channels().iter().enumerate() {
+            let coeffs = self.basis.project(&|t| w.eval(t));
+            for (j, c) in coeffs.into_iter().enumerate() {
+                u.set(ch, j, c);
+            }
+        }
+
+        // RHS: A·x₀·c₁ᵀ + B·U.
+        let mut rhs_mat = self.b_d.mul_mat(&u);
+        for i in 0..n {
+            for (j, &c) in self.c1.iter().enumerate() {
+                rhs_mat.add_at(i, j, self.ax0[i] * c);
+            }
+        }
+        let rhs = vec_of(&rhs_mat);
+        let y = unvec(&self.lu.solve(&rhs), n, m);
+
+        // X = Y·H + x₀·c₁ᵀ.
+        let mut x = y.mul_mat(&self.h);
+        for i in 0..n {
+            for (j, &c) in self.c1.iter().enumerate() {
+                x.add_at(i, j, self.x0[i] * c);
+            }
+        }
+
+        let output_coeffs = match sys.c() {
+            Some(c) => c.to_dense().mul_mat(&x),
+            None => x.clone(),
+        };
+
+        Ok(GeneralBasisResult {
+            x_coeffs: x,
+            y_coeffs: y,
+            output_coeffs,
+        })
+    }
+
+    /// Solves many stimuli against the one cached factorization.
+    ///
+    /// # Errors
+    /// As [`GeneralBasisPlan::solve`].
+    pub fn solve_batch(&self, inputs: &[InputSet]) -> Result<Vec<GeneralBasisResult>, OpmError> {
+        inputs.iter().map(|ws| self.solve(ws)).collect()
+    }
+}
+
+/// Solves `E ẋ = A x + B u` in the given basis by the integral form — a
+/// thin one-shot wrapper over [`GeneralBasisPlan`].
 ///
 /// # Errors
 /// [`OpmError::BadArguments`] when `n·m` exceeds the dense guard or
@@ -66,69 +185,7 @@ pub fn solve_general_basis(
     inputs: &InputSet,
     x0: &[f64],
 ) -> Result<GeneralBasisResult, OpmError> {
-    let n = sys.order();
-    let m = basis.dim();
-    if inputs.len() != sys.num_inputs() {
-        return Err(OpmError::BadArguments(format!(
-            "{} input channels for {} B columns",
-            inputs.len(),
-            sys.num_inputs()
-        )));
-    }
-    validate_x0(n, x0)?;
-    if n * m > MAX_DENSE {
-        return Err(OpmError::BadArguments(format!(
-            "n·m = {} exceeds the dense general-basis guard",
-            n * m
-        )));
-    }
-
-    // Project inputs.
-    let mut u = DMatrix::zeros(inputs.len(), m);
-    for (ch, w) in inputs.channels().iter().enumerate() {
-        let coeffs = basis.project(&|t| w.eval(t));
-        for (j, c) in coeffs.into_iter().enumerate() {
-            u.set(ch, j, c);
-        }
-    }
-
-    let (e_d, a_d, b_d) = sys.to_dense();
-    let h = basis.integration_matrix();
-    let big = kron(&DMatrix::identity(m), &e_d).sub(&kron(&h.transpose(), &a_d));
-
-    // RHS: A·x₀·c₁ᵀ + B·U.
-    let c1 = basis.one_coeffs();
-    let ax0 = a_d.mul_vec(&DVector::from_slice(x0));
-    let mut rhs_mat = b_d.mul_mat(&u);
-    for i in 0..n {
-        for (j, &c) in c1.iter().enumerate() {
-            rhs_mat.add_at(i, j, ax0[i] * c);
-        }
-    }
-    let rhs = vec_of(&rhs_mat);
-    let lu = big
-        .factor_lu()
-        .ok_or_else(|| OpmError::SingularPencil("integral-form matrix singular".into()))?;
-    let y = unvec(&lu.solve(&rhs), n, m);
-
-    // X = Y·H + x₀·c₁ᵀ.
-    let mut x = y.mul_mat(&h);
-    for i in 0..n {
-        for (j, &c) in c1.iter().enumerate() {
-            x.add_at(i, j, x0[i] * c);
-        }
-    }
-
-    let output_coeffs = match sys.c() {
-        Some(c) => c.to_dense().mul_mat(&x),
-        None => x.clone(),
-    };
-
-    Ok(GeneralBasisResult {
-        x_coeffs: x,
-        y_coeffs: y,
-        output_coeffs,
-    })
+    GeneralBasisPlan::new(sys, basis, x0)?.solve(inputs)
 }
 
 #[cfg(test)]
@@ -253,6 +310,31 @@ mod tests {
         // Output must equal state row 1.
         for j in 0..8 {
             assert!((r.output_coeffs.get(0, j) - r.x_coeffs.get(1, j)).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn plan_reuses_one_factorization_across_stimuli() {
+        let sys = scalar(-1.0);
+        let basis = LegendreBasis::new(10, 1.0);
+        let plan = GeneralBasisPlan::new(&sys, &basis, &[0.0]).unwrap();
+        let drives = [0.5, 1.0, 2.0];
+        let runs = plan
+            .solve_batch(
+                &drives
+                    .iter()
+                    .map(|&a| InputSet::new(vec![Waveform::Dc(a)]))
+                    .collect::<Vec<_>>(),
+            )
+            .unwrap();
+        // Linearity through one shared factorization.
+        for (r, &a) in runs.iter().zip(&drives) {
+            let one_shot =
+                solve_general_basis(&sys, &basis, &InputSet::new(vec![Waveform::Dc(a)]), &[0.0])
+                    .unwrap();
+            for j in 0..10 {
+                assert!((r.x_coeffs.get(0, j) - one_shot.x_coeffs.get(0, j)).abs() < 1e-14);
+            }
         }
     }
 

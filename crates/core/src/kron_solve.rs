@@ -36,20 +36,26 @@ fn finish(columns_mat: DMatrix, out: &impl OutputMap, t_end: f64) -> OpmResult {
     }
 }
 
-/// Oracle solve of a multi-term system via the dense vec formulation.
+/// The dense oracle's stimulus-independent half: the factored Kronecker
+/// matrix `Σ_k (D^{α_k})ᵀ ⊗ A_k`, cached by the plan layer so a whole
+/// scenario batch pays the `O((nm)³)` factorization once.
+pub(crate) struct KronFactors {
+    lu: opm_linalg::LuFactors,
+    m: usize,
+}
+
+/// Assembles and factors the dense vec-form matrix.
 ///
 /// # Errors
-/// [`OpmError::BadArguments`] when `n·m` exceeds the dense guard
-/// (4096) or shapes mismatch; [`OpmError::SingularPencil`] when the big
-/// matrix is singular.
-pub fn kron_solve_multiterm(
+/// [`OpmError::BadArguments`] when `n·m` exceeds the dense guard (4096);
+/// [`OpmError::SingularPencil`] when the big matrix is singular.
+pub(crate) fn kron_prepare(
     mt: &MultiTermSystem,
-    u_coeffs: &[Vec<f64>],
+    m: usize,
     t_end: f64,
-) -> Result<OpmResult, OpmError> {
-    let m = u_coeffs.first().map_or(0, Vec::len);
+) -> Result<KronFactors, OpmError> {
     let n = mt.order();
-    if m == 0 || u_coeffs.len() != mt.num_inputs() {
+    if m == 0 {
         return Err(OpmError::BadArguments("input shape mismatch".into()));
     }
     if n * m > MAX_DENSE {
@@ -65,15 +71,74 @@ pub fn kron_solve_multiterm(
         let d_alpha = basis.frac_diff_matrix(term.alpha);
         big = big.add(&kron(&d_alpha.transpose(), &term.matrix.to_dense()));
     }
-    // RHS: vec(B·U).
-    let bu = mt.b().to_dense().mul_mat(&u_matrix(u_coeffs, m));
-    let rhs = vec_of(&bu);
     let lu = big
         .factor_lu()
         .ok_or_else(|| OpmError::SingularPencil("vec-form matrix singular".into()))?;
-    let x = lu.solve(&DVector::from(rhs.as_slice().to_vec()));
+    Ok(KronFactors { lu, m })
+}
+
+/// Applies a prefactored oracle to one stimulus.
+///
+/// # Errors
+/// [`OpmError::BadArguments`] on shape mismatches.
+pub(crate) fn kron_solve_prepared(
+    mt: &MultiTermSystem,
+    factors: &KronFactors,
+    u_coeffs: &[Vec<f64>],
+    t_end: f64,
+) -> Result<OpmResult, OpmError> {
+    let m = u_coeffs.first().map_or(0, Vec::len);
+    let n = mt.order();
+    if m != factors.m || u_coeffs.len() != mt.num_inputs() {
+        return Err(OpmError::BadArguments("input shape mismatch".into()));
+    }
+    // RHS: vec(B·U).
+    let bu = mt.b().to_dense().mul_mat(&u_matrix(u_coeffs, m));
+    let rhs = vec_of(&bu);
+    let x = factors.lu.solve(&DVector::from(rhs.as_slice().to_vec()));
     let xm = unvec(&x, n, m);
     Ok(finish(xm, mt, t_end))
+}
+
+/// The fractional equation as a two-term system (shared by the oracle
+/// entry point and the plan layer).
+pub(crate) fn fractional_as_multiterm(fsys: &FractionalSystem) -> MultiTermSystem {
+    use opm_system::Term;
+    let sys = fsys.system();
+    MultiTermSystem::new(
+        vec![
+            Term {
+                alpha: fsys.alpha(),
+                matrix: sys.e().clone(),
+            },
+            Term {
+                alpha: 0.0,
+                matrix: sys.a().scale(-1.0),
+            },
+        ],
+        sys.b().clone(),
+        sys.c().cloned(),
+    )
+    .expect("valid by construction")
+}
+
+/// Oracle solve of a multi-term system via the dense vec formulation.
+///
+/// # Errors
+/// [`OpmError::BadArguments`] when `n·m` exceeds the dense guard
+/// (4096) or shapes mismatch; [`OpmError::SingularPencil`] when the big
+/// matrix is singular.
+pub fn kron_solve_multiterm(
+    mt: &MultiTermSystem,
+    u_coeffs: &[Vec<f64>],
+    t_end: f64,
+) -> Result<OpmResult, OpmError> {
+    let m = u_coeffs.first().map_or(0, Vec::len);
+    if m == 0 || u_coeffs.len() != mt.num_inputs() {
+        return Err(OpmError::BadArguments("input shape mismatch".into()));
+    }
+    let factors = kron_prepare(mt, m, t_end)?;
+    kron_solve_prepared(mt, &factors, u_coeffs, t_end)
 }
 
 /// Oracle solve of `E X D = A X + B U` (paper Eq. 15).
@@ -97,24 +162,7 @@ pub fn kron_solve_fractional(
     u_coeffs: &[Vec<f64>],
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
-    use opm_system::Term;
-    let sys = fsys.system();
-    let mt = MultiTermSystem::new(
-        vec![
-            Term {
-                alpha: fsys.alpha(),
-                matrix: sys.e().clone(),
-            },
-            Term {
-                alpha: 0.0,
-                matrix: sys.a().scale(-1.0),
-            },
-        ],
-        sys.b().clone(),
-        sys.c().cloned(),
-    )
-    .expect("valid by construction");
-    kron_solve_multiterm(&mt, u_coeffs, t_end)
+    kron_solve_multiterm(&fractional_as_multiterm(fsys), u_coeffs, t_end)
 }
 
 #[cfg(test)]

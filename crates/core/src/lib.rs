@@ -7,10 +7,17 @@
 //! systems), turning `E ẋ = A x + B u` into the matrix equation
 //! `E X D = A X + B U` solved *column by column* with one sparse LU:
 //!
+//! - [`session`] — the two-phase session API: [`Simulation`] (owns a
+//!   model, or assembles one straight from a netlist) →
+//!   [`Simulation::plan`] → [`SimPlan`] (validated shape + factored
+//!   pencil), whose `solve` / `solve_batch` / `sweep` amortize **one
+//!   factorization over many scenarios** via the engine's multi-RHS
+//!   block sweep.
 //! - [`engine`] — the shared solver engine: [`engine::Problem`] /
-//!   [`engine::SolveOptions`] as the declarative front door, plus the
-//!   validation, pencil-factorization, cached-factorization column-sweep
-//!   and output-reconstruction primitives every strategy below builds on.
+//!   [`engine::SolveOptions`] as the declarative one-shot front door,
+//!   plus the validation, pencil-factorization, cached-factorization
+//!   (block) column-sweep and output-reconstruction primitives every
+//!   strategy below builds on.
 //! - [`linear`] — linear ODE/DAE systems (paper §III). Implements the
 //!   stable two-term recurrence this library derives from the OPM column
 //!   equations (algebraically identical to the trapezoidal rule) plus the
@@ -64,9 +71,11 @@ pub mod metrics;
 pub mod multiterm;
 pub mod result;
 pub mod second_order;
+pub mod session;
 
 pub use engine::{Method, Problem, SolveOptions};
 pub use result::OpmResult;
+pub use session::{SimModel, SimPlan, Simulation};
 
 /// Errors from OPM solvers.
 #[derive(Clone, Debug, PartialEq)]
@@ -77,6 +86,9 @@ pub enum OpmError {
     BadArguments(String),
     /// Adaptive fractional solving requires pairwise-distinct steps.
     ConfluentSteps(String),
+    /// Circuit assembly failed before any solving started (netlist
+    /// parsing, MNA stamping, output selection).
+    Circuit(opm_circuits::CircuitError),
 }
 
 impl std::fmt::Display for OpmError {
@@ -85,8 +97,17 @@ impl std::fmt::Display for OpmError {
             OpmError::SingularPencil(s) => write!(f, "singular OPM pencil: {s}"),
             OpmError::BadArguments(s) => write!(f, "bad arguments: {s}"),
             OpmError::ConfluentSteps(s) => write!(f, "confluent adaptive steps: {s}"),
+            OpmError::Circuit(e) => write!(f, "circuit assembly: {e}"),
         }
     }
 }
 
 impl std::error::Error for OpmError {}
+
+/// Netlist → simulate pipelines compose with `?`: every circuit-side
+/// failure converts into [`OpmError::Circuit`].
+impl From<opm_circuits::CircuitError> for OpmError {
+    fn from(e: opm_circuits::CircuitError) -> Self {
+        OpmError::Circuit(e)
+    }
+}

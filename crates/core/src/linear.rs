@@ -19,15 +19,16 @@
 //! constant `A·x₀` joins the input), since the BPF derivative expansion
 //! assumes `x(0⁻) = 0`.
 //!
-//! Both entry points are thin strategies over [`crate::engine`]: the
-//! engine validates, factors the pencil once, and runs the column sweep;
-//! this module only states the per-column right-hand side.
+//! Both entry points are thin one-shot wrappers over the plan layer
+//! ([`crate::session`]): a [`crate::SimPlan`] validates, factors the
+//! pencil once and runs the (block) column sweep; for repeated solves
+//! against the same system, build the plan yourself via
+//! [`crate::Simulation`] and amortize the factorization across every
+//! scenario.
 
-use crate::engine::{
-    apply_b, factor_shifted_pencil, validate_coeff_inputs, validate_horizon, validate_x0,
-    ColumnSweep,
-};
+use crate::engine::validate_coeff_inputs;
 use crate::result::OpmResult;
+use crate::session::SimPlan;
 use crate::OpmError;
 use opm_system::DescriptorSystem;
 
@@ -48,59 +49,7 @@ pub fn solve_linear(
     x0: &[f64],
 ) -> Result<OpmResult, OpmError> {
     let m = validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
-    let n = sys.order();
-    validate_x0(n, x0)?;
-    validate_horizon(t_end)?;
-    let h = t_end / m as f64;
-    let sigma = 2.0 / h;
-
-    let lu = factor_shifted_pencil(sys.e(), sys.a(), sigma)?;
-
-    // Shift: z = x − x₀; constant forcing c = A·x₀.
-    let shift = x0.iter().any(|&v| v != 0.0);
-    let c_force = if shift {
-        sys.a().mul_vec(x0)
-    } else {
-        vec![0.0; n]
-    };
-
-    // Sweep in the shifted variable z; columns are un-shifted afterwards.
-    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
-        if j == 0 {
-            // Column 0: (σE − A)·z₀ = B·u₀ + c.
-            apply_b(sys.b(), u_coeffs, 0, 1.0, rhs);
-            if shift {
-                for (r, c) in rhs.iter_mut().zip(&c_force) {
-                    *r += c;
-                }
-            }
-        } else {
-            // (σE − A)·z_j = (σE + A)·z_{j−1} + B(u_j + u_{j−1}) + 2c.
-            let z_prev = &history[j - 1];
-            sys.e().mul_vec_into(z_prev, work);
-            for (r, w) in rhs.iter_mut().zip(work.iter()) {
-                *r += sigma * w;
-            }
-            sys.a().mul_vec_into(z_prev, work);
-            for (r, w) in rhs.iter_mut().zip(work.iter()) {
-                *r += w;
-            }
-            apply_b(sys.b(), u_coeffs, j, 1.0, rhs);
-            apply_b(sys.b(), u_coeffs, j - 1, 1.0, rhs);
-            if shift {
-                for (r, c) in rhs.iter_mut().zip(&c_force) {
-                    *r += 2.0 * c;
-                }
-            }
-        }
-    });
-
-    let outcome = if shift {
-        outcome.shifted_by(x0)
-    } else {
-        outcome
-    };
-    Ok(outcome.uniform_result(sys, t_end))
+    SimPlan::for_linear(sys, m, t_end, x0, false)?.solve_coeffs(u_coeffs)
 }
 
 /// The paper's literal column algorithm: keep the alternating accumulator
@@ -119,48 +68,7 @@ pub fn solve_linear_accumulator(
     x0: &[f64],
 ) -> Result<OpmResult, OpmError> {
     let m = validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
-    let n = sys.order();
-    validate_x0(n, x0)?;
-    validate_horizon(t_end)?;
-    let h = t_end / m as f64;
-    let sigma = 2.0 / h;
-    let lu = factor_shifted_pencil(sys.e(), sys.a(), sigma)?;
-
-    let shift = x0.iter().any(|&v| v != 0.0);
-    let c_force = if shift {
-        sys.a().mul_vec(x0)
-    } else {
-        vec![0.0; n]
-    };
-
-    let mut g = vec![0.0; n];
-    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
-        // g_j = −(g_{j−1} + z_{j−1}), folded in lazily from the history.
-        if j > 0 {
-            for (gi, zi) in g.iter_mut().zip(&history[j - 1]) {
-                *gi = -(*gi + zi);
-            }
-        }
-        apply_b(sys.b(), u_coeffs, j, 1.0, rhs);
-        if shift {
-            for (r, c) in rhs.iter_mut().zip(&c_force) {
-                *r += c;
-            }
-        }
-        if j > 0 {
-            sys.e().mul_vec_into(&g, work);
-            for (r, w) in rhs.iter_mut().zip(work.iter()) {
-                *r -= 2.0 * sigma * w;
-            }
-        }
-    });
-
-    let outcome = if shift {
-        outcome.shifted_by(x0)
-    } else {
-        outcome
-    };
-    Ok(outcome.uniform_result(sys, t_end))
+    SimPlan::for_linear(sys, m, t_end, x0, true)?.solve_coeffs(u_coeffs)
 }
 
 #[cfg(test)]

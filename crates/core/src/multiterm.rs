@@ -16,17 +16,17 @@
 //! - **Fractional orders** (general path): per-term series convolution,
 //!   `O(n^β m + n m²)`, the paper's fractional complexity.
 
-use crate::engine::{
-    apply_b, factor_pencil, validate_coeff_inputs, validate_horizon, weighted_pencil, ColumnSweep,
-};
+use crate::engine::validate_coeff_inputs;
 use crate::result::OpmResult;
+use crate::session::{MtSelect, SimPlan};
 use crate::OpmError;
-use opm_basis::series::tustin_frac_coeffs;
-use opm_fracnum::binomial::binomial_series;
 use opm_system::{DescriptorSystem, MultiTermSystem};
 
 /// Solves the multi-term system over `[0, t_end)` (zero initial
-/// conditions), dispatching to the integer fast path when possible.
+/// conditions), dispatching to the integer fast path when possible. A
+/// thin one-shot wrapper over the plan layer ([`crate::session`]); for
+/// repeated solves, build a [`crate::Simulation`] plan and reuse its
+/// factorization.
 ///
 /// # Errors
 /// [`OpmError::SingularPencil`] / [`OpmError::BadArguments`].
@@ -35,15 +35,8 @@ pub fn solve_multiterm(
     u_coeffs: &[Vec<f64>],
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
-    let all_integer = mt
-        .terms()
-        .iter()
-        .all(|t| t.alpha.fract() == 0.0 && t.alpha <= 16.0);
-    if all_integer {
-        solve_multiterm_recurrence(mt, u_coeffs, t_end)
-    } else {
-        solve_multiterm_convolution(mt, u_coeffs, t_end)
-    }
+    let m = validate_coeff_inputs(mt.num_inputs(), u_coeffs)?;
+    SimPlan::for_multiterm(mt, m, t_end, &MtSelect::Auto)?.solve_coeffs(u_coeffs)
 }
 
 /// Integer-order fast path (documented above). Exposed for ablation
@@ -57,73 +50,7 @@ pub fn solve_multiterm_recurrence(
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
     let m = validate_coeff_inputs(mt.num_inputs(), u_coeffs)?;
-    validate_horizon(t_end)?;
-    for t in mt.terms() {
-        if t.alpha.fract() != 0.0 {
-            return Err(OpmError::BadArguments(format!(
-                "non-integer order {} in recurrence path",
-                t.alpha
-            )));
-        }
-    }
-    let n = mt.order();
-    let h = t_end / m as f64;
-    let kmax = mt.max_order() as usize;
-
-    // Per-term finite polynomials p^{(k)} of degree K.
-    let mut polys: Vec<Vec<f64>> = Vec::with_capacity(mt.terms().len());
-    for term in mt.terms() {
-        let ak = term.alpha as usize;
-        let scale = (2.0 / h).powi(ak as i32);
-        // (1−q)^{ak}: alternating binomials; (1+q)^{K−ak}: binomials.
-        let minus: Vec<f64> = binomial_series(ak as f64, ak + 1)
-            .into_iter()
-            .enumerate()
-            .map(|(i, c)| if i % 2 == 0 { c } else { -c })
-            .collect();
-        let plus = binomial_series((kmax - ak) as f64, kmax - ak + 1);
-        let mut p = vec![0.0; kmax + 1];
-        for (i, &a) in minus.iter().enumerate() {
-            for (j2, &b) in plus.iter().enumerate() {
-                p[i + j2] += scale * a * b;
-            }
-        }
-        polys.push(p);
-    }
-    // RHS binomial weights (1+q)^K.
-    let bw = binomial_series(kmax as f64, kmax + 1);
-
-    // Pencil: Σ_k p^{(k)}₀·A_k.
-    let pencil = weighted_pencil(mt.terms(), |k| polys[k][0])?;
-    let lu = factor_pencil(&pencil)?;
-
-    let mut acc = vec![0.0; n];
-    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
-        for (i, &w) in bw.iter().enumerate() {
-            if i <= j {
-                apply_b(mt.b(), u_coeffs, j - i, w, rhs);
-            }
-        }
-        for (term, p) in mt.terms().iter().zip(&polys) {
-            acc.iter_mut().for_each(|v| *v = 0.0);
-            let mut any = false;
-            for (i, &pi) in p.iter().enumerate().skip(1) {
-                if pi != 0.0 && i <= j {
-                    any = true;
-                    for (a, x) in acc.iter_mut().zip(&history[j - i]) {
-                        *a += pi * x;
-                    }
-                }
-            }
-            if any {
-                term.matrix.mul_vec_into(&acc, work);
-                for (r, w) in rhs.iter_mut().zip(work.iter()) {
-                    *r -= w;
-                }
-            }
-        }
-    });
-    Ok(outcome.uniform_result(mt, t_end))
+    SimPlan::for_multiterm(mt, m, t_end, &MtSelect::Recurrence)?.solve_coeffs(u_coeffs)
 }
 
 /// General path: per-term nilpotent-series convolution. Works for any
@@ -137,50 +64,7 @@ pub fn solve_multiterm_convolution(
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
     let m = validate_coeff_inputs(mt.num_inputs(), u_coeffs)?;
-    validate_horizon(t_end)?;
-    let n = mt.order();
-    let h = t_end / m as f64;
-
-    // ρ^{(k)} series for every term (α = 0 ⇒ [1, 0, 0, …]).
-    let series: Vec<Vec<f64>> = mt
-        .terms()
-        .iter()
-        .map(|term| {
-            let scale = (2.0 / h).powf(term.alpha);
-            tustin_frac_coeffs(term.alpha, m)
-                .into_iter()
-                .map(|c| scale * c)
-                .collect()
-        })
-        .collect();
-
-    let pencil = weighted_pencil(mt.terms(), |k| series[k][0])?;
-    let lu = factor_pencil(&pencil)?;
-
-    let mut conv = vec![0.0; n];
-    let outcome = ColumnSweep::new(n, m).run(&lu, |j, history, rhs, work| {
-        apply_b(mt.b(), u_coeffs, j, 1.0, rhs);
-        for (term, rho) in mt.terms().iter().zip(&series) {
-            if term.alpha == 0.0 {
-                continue; // ρ = e₀: no history contribution
-            }
-            conv.iter_mut().for_each(|v| *v = 0.0);
-            for k in 1..=j {
-                let r = rho[k];
-                if r == 0.0 {
-                    continue;
-                }
-                for (c, x) in conv.iter_mut().zip(&history[j - k]) {
-                    *c += r * x;
-                }
-            }
-            term.matrix.mul_vec_into(&conv, work);
-            for (r, w) in rhs.iter_mut().zip(work.iter()) {
-                *r -= w;
-            }
-        }
-    });
-    Ok(outcome.uniform_result(mt, t_end))
+    SimPlan::for_multiterm(mt, m, t_end, &MtSelect::Convolution)?.solve_coeffs(u_coeffs)
 }
 
 /// Convenience: runs a plain descriptor system through the multi-term

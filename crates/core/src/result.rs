@@ -16,7 +16,12 @@ pub struct OpmResult {
     pub outputs: Vec<Vec<f64>>,
     /// Sparse solves performed (complexity accounting).
     pub num_solves: usize,
-    /// Sparse LU factorizations performed.
+    /// Sparse LU factorizations *backing* this result. Results produced
+    /// by one reusable plan share the plan's factorizations, so summing
+    /// this field across a batch over-counts — use
+    /// `SimPlan::num_factorizations()` for the true total. (Adaptive
+    /// solves through a shared step-lattice cache instead report only
+    /// the factorizations newly performed for this result.)
     pub num_factorizations: usize,
 }
 

@@ -7,8 +7,8 @@
 //! original current waveforms and handles the differentiation exactly via
 //! interval endpoint differences.
 
-use crate::multiterm::solve_multiterm;
 use crate::result::OpmResult;
+use crate::session::SimPlan;
 use crate::OpmError;
 use opm_system::SecondOrderSystem;
 use opm_waveform::InputSet;
@@ -33,7 +33,6 @@ pub fn solve_second_order(
     if m == 0 {
         return Err(OpmError::BadArguments("zero intervals".into()));
     }
-    crate::engine::validate_horizon(t_end)?;
     if inputs.len() != sys.num_inputs() {
         return Err(OpmError::BadArguments(format!(
             "{} input channels for {} B columns",
@@ -41,14 +40,13 @@ pub fn solve_second_order(
             sys.num_inputs()
         )));
     }
-    let bounds: Vec<f64> = (0..=m).map(|k| k as f64 * t_end / m as f64).collect();
-    let u_dot = inputs.derivative_averages_on_grid(&bounds);
-    solve_multiterm(&sys.to_multiterm(), &u_dot, t_end)
+    SimPlan::for_second_order(sys, m, t_end)?.solve(inputs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multiterm::solve_multiterm;
     use opm_circuits::grid::PowerGridSpec;
     use opm_circuits::na::assemble_na;
     use opm_sparse::CsrMatrix;

@@ -1,0 +1,1587 @@
+//! The two-phase session API: **one factorization, many scenarios**.
+//!
+//! The paper's core economy is that the OPM pencil is factored *once* and
+//! amortized over every BPF column. This module extends that economy
+//! across solves: a [`Simulation`] owns a model (hand-built or assembled
+//! straight from a netlist), [`Simulation::plan`] validates it against a
+//! [`SolveOptions`] and performs every stimulus-independent step — shape
+//! checks, RCM ordering, pencil factorization, fractional series /
+//! finite-recurrence polynomials — and the resulting [`SimPlan`] replays
+//! only the cheap part for each scenario:
+//!
+//! - [`SimPlan::solve`] — one stimulus through the cached factorization;
+//! - [`SimPlan::solve_batch`] — K stimuli swept through the factorization
+//!   in a **single pass**: the engine's [`BlockColumnSweep`] interleaves
+//!   the scenarios so every sparse traversal (pencil solve, `E`/`A`
+//!   products, `B` application) is amortized K-fold;
+//! - [`SimPlan::sweep`] — parameter studies: build a stimulus per
+//!   parameter, then batch-solve.
+//!
+//! ```
+//! use opm_core::{SolveOptions, Simulation};
+//! use opm_waveform::{InputSet, Waveform};
+//!
+//! let sim = Simulation::from_netlist(
+//!     "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1u\n.end",
+//!     &["out"],
+//! )
+//! .unwrap()
+//! .horizon(5e-3);
+//! let plan = sim.plan(&SolveOptions::new().resolution(256)).unwrap();
+//!
+//! // Sweep the drive level with ONE factorization.
+//! let levels = [1.0, 2.0, 5.0];
+//! let runs = plan
+//!     .sweep(&levels, |&v| InputSet::new(vec![Waveform::Dc(v)]))
+//!     .unwrap();
+//! assert_eq!(plan.num_factorizations(), 1);
+//! assert!(runs[2].output_row(0)[255] > runs[0].output_row(0)[255]);
+//! ```
+//!
+//! [`Problem::solve`](crate::Problem::solve) and the per-strategy entry
+//! points (`solve_linear`, `solve_fractional`, …) are thin one-shot
+//! wrappers over this layer.
+
+use crate::adaptive::{self, AdaptiveOpmOptions, StepGridFactors};
+use crate::engine::{
+    apply_b_block, factor_shifted_pencil, validate_coeff_inputs, validate_horizon, validate_x0,
+    BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap, SolveOptions,
+};
+use crate::kron_solve::{fractional_as_multiterm, kron_prepare, kron_solve_prepared, KronFactors};
+use crate::result::OpmResult;
+use crate::OpmError;
+use opm_basis::adaptive::AdaptiveBpf;
+use opm_basis::bpf::BpfBasis;
+use opm_basis::series::tustin_frac_coeffs;
+use opm_basis::traits::Basis;
+use opm_circuits::mna::{assemble_fractional_mna, assemble_mna, Output, Unknown};
+use opm_circuits::netlist::{Circuit, Element};
+use opm_circuits::parser::parse_netlist;
+use opm_fracnum::binomial::binomial_series;
+use opm_sparse::SparseLu;
+use opm_system::{DescriptorSystem, FractionalSystem, MultiTermSystem, SecondOrderSystem};
+use opm_waveform::InputSet;
+use std::cell::{Cell, RefCell};
+
+// ---------------------------------------------------------------------------
+// Simulation: the owning session front door
+// ---------------------------------------------------------------------------
+
+/// The model class a [`Simulation`] owns.
+#[derive(Clone, Debug)]
+pub enum SimModel {
+    /// Linear descriptor system `E ẋ = A x + B u`.
+    Linear(DescriptorSystem),
+    /// Fractional system `E d^α x = A x + B u`.
+    Fractional(FractionalSystem),
+    /// Multi-term system `Σ_k A_k d^{α_k} x = B u`.
+    MultiTerm(MultiTermSystem),
+    /// Second-order nodal system `M₂ ẍ + M₁ ẋ + M₀ x = B u̇`.
+    SecondOrder(SecondOrderSystem),
+}
+
+/// An owning simulation session: model + horizon + initial state.
+///
+/// Construct from an assembled system ([`Simulation::from_system`] and
+/// siblings) or straight from a circuit description
+/// ([`Simulation::from_netlist`] / [`Simulation::from_circuit`] — no
+/// hand-run MNA required), then call [`Simulation::plan`] to factor once
+/// and solve many scenarios.
+#[derive(Clone, Debug)]
+pub struct Simulation {
+    model: SimModel,
+    t_end: f64,
+    x0: Option<Vec<f64>>,
+    inputs: Option<InputSet>,
+    unknowns: Vec<Unknown>,
+}
+
+impl Simulation {
+    fn new(model: SimModel) -> Self {
+        Simulation {
+            model,
+            t_end: 0.0,
+            x0: None,
+            inputs: None,
+            unknowns: Vec::new(),
+        }
+    }
+
+    /// A session over a linear descriptor system.
+    pub fn from_system(sys: DescriptorSystem) -> Self {
+        Simulation::new(SimModel::Linear(sys))
+    }
+
+    /// A session over a fractional system.
+    pub fn from_fractional(fsys: FractionalSystem) -> Self {
+        Simulation::new(SimModel::Fractional(fsys))
+    }
+
+    /// A session over a multi-term system.
+    pub fn from_multiterm(mt: MultiTermSystem) -> Self {
+        Simulation::new(SimModel::MultiTerm(mt))
+    }
+
+    /// A session over a second-order nodal system.
+    pub fn from_second_order(so: SecondOrderSystem) -> Self {
+        Simulation::new(SimModel::SecondOrder(so))
+    }
+
+    /// A session straight from SPICE-flavoured netlist text: parses,
+    /// picks the formulation (fractional MNA when the circuit contains
+    /// CPEs, integer MNA otherwise), assembles, and remembers the
+    /// netlist's own sources as the default stimulus
+    /// ([`Simulation::inputs`]).
+    ///
+    /// `probes` lists node *names* to observe as output channels.
+    ///
+    /// # Errors
+    /// [`OpmError::Circuit`] for parse/assembly failures,
+    /// [`OpmError::BadArguments`] for unknown probe names.
+    pub fn from_netlist(text: &str, probes: &[&str]) -> Result<Self, OpmError> {
+        let parsed = parse_netlist(text)?;
+        let outputs = probes
+            .iter()
+            .map(|p| {
+                let node = parsed.node(p).ok_or_else(|| {
+                    OpmError::BadArguments(format!("unknown probe node `{p}` in netlist"))
+                })?;
+                if node == 0 {
+                    return Err(OpmError::BadArguments(
+                        "probing ground is a tautology: its voltage is 0".into(),
+                    ));
+                }
+                Ok(Output::NodeVoltage(node))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::from_circuit(&parsed.circuit, &outputs)
+    }
+
+    /// A session from a programmatically built [`Circuit`] (same
+    /// formulation auto-detection as [`Simulation::from_netlist`], but
+    /// with explicit [`Output`] selectors).
+    ///
+    /// # Errors
+    /// [`OpmError::Circuit`] for assembly failures.
+    pub fn from_circuit(ckt: &Circuit, outputs: &[Output]) -> Result<Self, OpmError> {
+        let cpe_alpha = ckt.elements().iter().find_map(|e| match e {
+            Element::Cpe { alpha, .. } => Some(*alpha),
+            _ => None,
+        });
+        let sim = match cpe_alpha {
+            Some(alpha) => {
+                let model = assemble_fractional_mna(ckt, alpha, outputs)?;
+                let mut s = Simulation::new(SimModel::Fractional(model.system));
+                s.inputs = Some(model.inputs);
+                s.unknowns = model.unknowns;
+                s
+            }
+            None => {
+                let model = assemble_mna(ckt, outputs)?;
+                let mut s = Simulation::new(SimModel::Linear(model.system));
+                s.inputs = Some(model.inputs);
+                s.unknowns = model.unknowns;
+                s
+            }
+        };
+        Ok(sim)
+    }
+
+    /// Sets the simulation horizon `[0, t_end)`.
+    #[must_use]
+    pub fn horizon(mut self, t_end: f64) -> Self {
+        self.t_end = t_end;
+        self
+    }
+
+    /// Sets a nonzero initial state (linear models only; fractional and
+    /// multi-term OPM assume zero Caputo initial conditions).
+    #[must_use]
+    pub fn initial_state(mut self, x0: Vec<f64>) -> Self {
+        self.x0 = Some(x0);
+        self
+    }
+
+    /// The owned model.
+    pub fn model(&self) -> &SimModel {
+        &self.model
+    }
+
+    /// State dimension of the model.
+    pub fn order(&self) -> usize {
+        self.model_ref().order()
+    }
+
+    /// The netlist's own sources, when this session was assembled from a
+    /// circuit — ready to pass to [`SimPlan::solve`].
+    pub fn inputs(&self) -> Option<&InputSet> {
+        self.inputs.as_ref()
+    }
+
+    /// Meaning of each state entry (netlist-assembled sessions only).
+    pub fn unknowns(&self) -> &[Unknown] {
+        &self.unknowns
+    }
+
+    fn model_ref(&self) -> ModelRef<'_> {
+        match &self.model {
+            SimModel::Linear(sys) => ModelRef::Linear(sys),
+            SimModel::Fractional(f) => ModelRef::Fractional(f),
+            SimModel::MultiTerm(mt) => ModelRef::MultiTerm(mt),
+            SimModel::SecondOrder(so) => ModelRef::SecondOrder(so),
+        }
+    }
+
+    /// Validates the session against `opts` and performs every
+    /// stimulus-independent step once: shape checks, pencil assembly, RCM
+    /// ordering, sparse LU factorization, fractional series, recurrence
+    /// polynomials. The returned [`SimPlan`] replays scenarios against
+    /// the cached factorization.
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] for option/model mismatches (the
+    /// message names both the offending option and the chosen strategy),
+    /// [`OpmError::SingularPencil`] when the pencil cannot be factored.
+    pub fn plan(&self, opts: &SolveOptions) -> Result<SimPlan<'_>, OpmError> {
+        let model = self.model_ref();
+        let m = plan_resolution(&model, opts)?;
+        SimPlan::prepare(model, opts, m, self.t_end, self.x0.as_deref())
+    }
+}
+
+/// Resolves the column count a plan is built for.
+pub(crate) fn plan_resolution(model: &ModelRef, opts: &SolveOptions) -> Result<usize, OpmError> {
+    if opts.adaptive.is_some() {
+        return Ok(0); // the step controller determines the column count
+    }
+    if let Some(steps) = &opts.step_grid {
+        return Ok(steps.len());
+    }
+    opts.resolution.ok_or_else(|| {
+        OpmError::BadArguments(format!(
+            "the `{}` plan needs SolveOptions::resolution: the column count is \
+             fixed when the pencil is factored",
+            model.strategy_name()
+        ))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ModelRef: the borrowed model a plan operates on
+// ---------------------------------------------------------------------------
+
+/// Borrowed view of a model (what [`crate::Problem`] holds and what
+/// [`SimPlan`] borrows from a [`Simulation`]).
+#[derive(Clone, Copy)]
+pub(crate) enum ModelRef<'a> {
+    Linear(&'a DescriptorSystem),
+    Fractional(&'a FractionalSystem),
+    MultiTerm(&'a MultiTermSystem),
+    SecondOrder(&'a SecondOrderSystem),
+}
+
+impl ModelRef<'_> {
+    pub(crate) fn order(&self) -> usize {
+        match self {
+            ModelRef::Linear(s) => s.order(),
+            ModelRef::Fractional(f) => f.order(),
+            ModelRef::MultiTerm(mt) => mt.order(),
+            ModelRef::SecondOrder(so) => so.order(),
+        }
+    }
+
+    pub(crate) fn num_inputs(&self) -> usize {
+        match self {
+            ModelRef::Linear(s) => s.num_inputs(),
+            ModelRef::Fractional(f) => f.num_inputs(),
+            ModelRef::MultiTerm(mt) => mt.num_inputs(),
+            ModelRef::SecondOrder(so) => so.num_inputs(),
+        }
+    }
+
+    pub(crate) fn strategy_name(&self) -> &'static str {
+        match self {
+            ModelRef::Linear(_) => "linear",
+            ModelRef::Fractional(_) => "fractional",
+            ModelRef::MultiTerm(_) => "multi-term",
+            ModelRef::SecondOrder(_) => "second-order",
+        }
+    }
+}
+
+/// Rejects option combinations that no strategy honors — silently
+/// ignoring them would hand back a result the caller did not ask for.
+/// Every rejection names **both** the offending option and the strategy
+/// it clashed with.
+pub(crate) fn validate_options(
+    model: &ModelRef,
+    t_end: f64,
+    opts: &SolveOptions,
+) -> Result<(), OpmError> {
+    let strategy = model.strategy_name();
+    let bad = |msg: String| Err(OpmError::BadArguments(msg));
+    let conflict = |opt: &str, hint: &str| {
+        Err(OpmError::BadArguments(format!(
+            "option `{opt}` does not apply to the `{strategy}` strategy: {hint}"
+        )))
+    };
+    let grid_like = opts.adaptive.is_some() || opts.step_grid.is_some();
+    let grid_opt = if opts.adaptive.is_some() {
+        "adaptive"
+    } else {
+        "step_grid"
+    };
+    if opts.adaptive.is_some() && opts.step_grid.is_some() {
+        return bad(format!(
+            "options `adaptive` and `step_grid` conflict on the `{strategy}` strategy: \
+             choose on-the-fly error control (adaptive) or explicit steps (step_grid), not both"
+        ));
+    }
+    if grid_like && opts.method != Method::Auto {
+        return bad(format!(
+            "option `method` ({:?}) does not combine with `{grid_opt}` on the `{strategy}` \
+             strategy: adaptive/step-grid solves choose their own path",
+            opts.method
+        ));
+    }
+    if grid_like && opts.resolution.is_some() {
+        return bad(format!(
+            "option `resolution` does not combine with `{grid_opt}` on the `{strategy}` \
+             strategy: the step controller or the grid determines the column count"
+        ));
+    }
+    if let Some(steps) = &opts.step_grid {
+        let total: f64 = steps.iter().sum();
+        let spans_horizon = total > 0.0 && (total - t_end).abs() <= 1e-9 * t_end.abs();
+        if !spans_horizon {
+            return bad(format!(
+                "option `step_grid` sums to {total:e} but the `{strategy}` strategy's \
+                 declared horizon is {t_end:e}"
+            ));
+        }
+    }
+    match model {
+        ModelRef::Linear(_) => {
+            if opts.step_grid.is_some() {
+                return conflict(
+                    "step_grid",
+                    "linear problems adapt on the fly via SolveOptions::adaptive",
+                );
+            }
+        }
+        ModelRef::Fractional(_) => {
+            if opts.adaptive.is_some() {
+                return conflict(
+                    "adaptive",
+                    "fractional problems take an explicit SolveOptions::step_grid",
+                );
+            }
+            if opts.method == Method::Accumulator {
+                return bad(format!(
+                    "method `Accumulator` does not apply to the `{strategy}` strategy: \
+                     the accumulator form exists only for linear problems"
+                ));
+            }
+        }
+        ModelRef::MultiTerm(_) => {
+            if grid_like {
+                return conflict(
+                    grid_opt,
+                    "adaptive/step-grid solving is not available for multi-term problems",
+                );
+            }
+            if opts.method == Method::Accumulator {
+                return bad(format!(
+                    "method `Accumulator` does not apply to the `{strategy}` strategy: \
+                     the accumulator form exists only for linear problems"
+                ));
+            }
+        }
+        ModelRef::SecondOrder(_) => {
+            if grid_like {
+                return conflict(
+                    grid_opt,
+                    "adaptive/step-grid solving is not available for second-order problems",
+                );
+            }
+            if opts.method != Method::Auto {
+                return bad(format!(
+                    "method `{:?}` does not apply to the `{strategy}` strategy: \
+                     second-order problems always run the multi-term conversion",
+                    opts.method
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SimPlan: validated shape + cached factorization
+// ---------------------------------------------------------------------------
+
+/// Multi-term execution path selector (internal).
+pub(crate) enum MtSelect {
+    Auto,
+    Recurrence,
+    Convolution,
+}
+
+struct MtPlan {
+    lu: SparseLu,
+    path: MtPath,
+}
+
+enum MtPath {
+    /// Integer orders: finite `(1+q)^K` recurrence, depth `K`.
+    Recurrence { polys: Vec<Vec<f64>>, bw: Vec<f64> },
+    /// Fractional mixtures: per-term nilpotent-series convolution.
+    Convolution { series: Vec<Vec<f64>> },
+}
+
+struct StepGridPlan {
+    grid: AdaptiveBpf,
+    factors: StepGridFactors,
+}
+
+enum PlanKind<'a> {
+    /// Linear recurrence / accumulator against `(2/h)E − A`.
+    Linear {
+        sigma: f64,
+        lu: SparseLu,
+        accumulator: bool,
+    },
+    /// Fractional series convolution against `ρ₀E − A`.
+    Fractional { rho: Vec<f64>, lu: SparseLu },
+    /// Multi-term sweep over the model's own terms.
+    MultiTerm(MtPlan),
+    /// Multi-term sweep over a conversion the plan owns (linear
+    /// convolution method, second-order nodal form).
+    OwnedMultiTerm {
+        mt: MultiTermSystem,
+        plan: MtPlan,
+        /// Second-order: differentiate the stimulus exactly before the
+        /// sweep (`u̇` interval averages).
+        differentiate: bool,
+    },
+    /// Dense Kronecker oracle with the big LU cached.
+    Kron {
+        factors: KronFactors,
+        /// Owned conversion when the model is not already multi-term.
+        mt: Option<MultiTermSystem>,
+    },
+    /// On-the-fly adaptive linear stepping; the power-of-two lattice
+    /// cache persists across every scenario solved through this plan.
+    AdaptiveLinear {
+        aopts: AdaptiveOpmOptions,
+        cache: RefCell<FactorCache<'a>>,
+    },
+    /// Fractional distinct-step grid with all per-column factorizations
+    /// and the `D̃^α` columns precomputed.
+    StepGrid(StepGridPlan),
+}
+
+/// A reusable solving session: the validated problem shape, orderings
+/// and factorizations of one [`Simulation::plan`] (or one
+/// [`crate::Problem`]), amortized over every
+/// [`solve`](SimPlan::solve) / [`solve_batch`](SimPlan::solve_batch) /
+/// [`sweep`](SimPlan::sweep) call.
+pub struct SimPlan<'a> {
+    model: ModelRef<'a>,
+    t_end: f64,
+    m: usize,
+    x0: Vec<f64>,
+    kind: PlanKind<'a>,
+    factor_count: Cell<usize>,
+}
+
+impl std::fmt::Debug for SimPlan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPlan")
+            .field("strategy", &self.model.strategy_name())
+            .field("resolution", &self.m)
+            .field("horizon", &self.t_end)
+            .field("num_factorizations", &self.num_factorizations())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Output projection dispatch without cloning the selector.
+enum OutRef<'o> {
+    Sys(&'o DescriptorSystem),
+    Mt(&'o MultiTermSystem),
+}
+
+impl OutputMap for OutRef<'_> {
+    fn num_outputs(&self) -> usize {
+        match self {
+            OutRef::Sys(s) => s.num_outputs(),
+            OutRef::Mt(mt) => mt.num_outputs(),
+        }
+    }
+    fn output(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            OutRef::Sys(s) => s.output(x),
+            OutRef::Mt(mt) => mt.output(x),
+        }
+    }
+}
+
+impl<'a> SimPlan<'a> {
+    // -- construction -------------------------------------------------------
+
+    pub(crate) fn prepare(
+        model: ModelRef<'a>,
+        opts: &SolveOptions,
+        m: usize,
+        t_end: f64,
+        x0: Option<&[f64]>,
+    ) -> Result<Self, OpmError> {
+        validate_options(&model, t_end, opts)?;
+        let n = model.order();
+        let x0 = match x0 {
+            Some(v) => {
+                validate_x0(n, v)?;
+                v.to_vec()
+            }
+            None => vec![0.0; n],
+        };
+        let nonzero_x0 = x0.iter().any(|&v| v != 0.0);
+        if nonzero_x0 && !matches!(model, ModelRef::Linear(_)) {
+            return Err(OpmError::BadArguments(format!(
+                "nonzero initial conditions are only supported for linear problems \
+                 (the `{}` strategy assumes zero Caputo initial conditions)",
+                model.strategy_name()
+            )));
+        }
+
+        if let Some(aopts) = opts.adaptive {
+            let ModelRef::Linear(sys) = model else {
+                unreachable!("validate_options admits `adaptive` only on linear models");
+            };
+            return Ok(SimPlan {
+                model,
+                t_end,
+                m: 0,
+                x0,
+                kind: PlanKind::AdaptiveLinear {
+                    aopts,
+                    cache: RefCell::new(FactorCache::new(sys.e(), sys.a())),
+                },
+                factor_count: Cell::new(0),
+            });
+        }
+        if opts.step_grid.is_some() {
+            let ModelRef::Fractional(fsys) = model else {
+                unreachable!("validate_options admits `step_grid` only on fractional models");
+            };
+            let steps = opts.step_grid.clone().expect("checked above");
+            let grid = AdaptiveBpf::new(steps);
+            let factors = adaptive::prepare_step_grid(fsys, &grid)?;
+            let count = factors.num_factorizations();
+            return Ok(SimPlan {
+                model,
+                t_end,
+                m: grid.dim(),
+                x0,
+                kind: PlanKind::StepGrid(StepGridPlan { grid, factors }),
+                factor_count: Cell::new(count),
+            });
+        }
+
+        if m == 0 {
+            return Err(OpmError::BadArguments("zero intervals".into()));
+        }
+        validate_horizon(t_end)?;
+        let require_zero_x0 = |method: &str| -> Result<(), OpmError> {
+            if nonzero_x0 {
+                Err(OpmError::BadArguments(format!(
+                    "nonzero initial conditions require the Recurrence or Accumulator \
+                     method on the `linear` strategy ({method} assumes x(0) = 0)"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+
+        let kind = match model {
+            ModelRef::Linear(sys) => match opts.method {
+                Method::Auto | Method::Recurrence | Method::Accumulator => {
+                    let sigma = 2.0 * m as f64 / t_end;
+                    PlanKind::Linear {
+                        sigma,
+                        lu: factor_shifted_pencil(sys.e(), sys.a(), sigma)?,
+                        accumulator: opts.method == Method::Accumulator,
+                    }
+                }
+                Method::Convolution => {
+                    require_zero_x0("Convolution")?;
+                    let mt = MultiTermSystem::from_descriptor(sys);
+                    let plan = mt_plan(&mt, m, t_end, &MtSelect::Auto)?;
+                    PlanKind::OwnedMultiTerm {
+                        mt,
+                        plan,
+                        differentiate: false,
+                    }
+                }
+                Method::Kronecker => {
+                    require_zero_x0("Kronecker")?;
+                    let mt = MultiTermSystem::from_descriptor(sys);
+                    let factors = kron_prepare(&mt, m, t_end)?;
+                    PlanKind::Kron {
+                        factors,
+                        mt: Some(mt),
+                    }
+                }
+            },
+            ModelRef::Fractional(fsys) => match opts.method {
+                Method::Kronecker => {
+                    let mt = fractional_as_multiterm(fsys);
+                    let factors = kron_prepare(&mt, m, t_end)?;
+                    PlanKind::Kron {
+                        factors,
+                        mt: Some(mt),
+                    }
+                }
+                _ => {
+                    let sys = fsys.system();
+                    let basis = BpfBasis::new(m, t_end);
+                    let rho = basis.frac_diff_coeffs(fsys.alpha());
+                    PlanKind::Fractional {
+                        lu: factor_shifted_pencil(sys.e(), sys.a(), rho[0])?,
+                        rho,
+                    }
+                }
+            },
+            ModelRef::MultiTerm(mt) => match opts.method {
+                Method::Auto => PlanKind::MultiTerm(mt_plan(mt, m, t_end, &MtSelect::Auto)?),
+                Method::Recurrence => {
+                    PlanKind::MultiTerm(mt_plan(mt, m, t_end, &MtSelect::Recurrence)?)
+                }
+                Method::Convolution => {
+                    PlanKind::MultiTerm(mt_plan(mt, m, t_end, &MtSelect::Convolution)?)
+                }
+                Method::Kronecker => PlanKind::Kron {
+                    factors: kron_prepare(mt, m, t_end)?,
+                    mt: None,
+                },
+                Method::Accumulator => {
+                    unreachable!("validate_options rejects Accumulator on multi-term models")
+                }
+            },
+            ModelRef::SecondOrder(so) => {
+                let mt = so.to_multiterm();
+                let plan = mt_plan(&mt, m, t_end, &MtSelect::Auto)?;
+                PlanKind::OwnedMultiTerm {
+                    mt,
+                    plan,
+                    differentiate: true,
+                }
+            }
+        };
+        Ok(SimPlan {
+            model,
+            t_end,
+            m,
+            x0,
+            kind,
+            factor_count: Cell::new(1),
+        })
+    }
+
+    /// One-shot linear plan for the strategy wrappers.
+    pub(crate) fn for_linear(
+        sys: &'a DescriptorSystem,
+        m: usize,
+        t_end: f64,
+        x0: &[f64],
+        accumulator: bool,
+    ) -> Result<Self, OpmError> {
+        validate_x0(sys.order(), x0)?;
+        validate_horizon(t_end)?;
+        let sigma = 2.0 * m as f64 / t_end;
+        Ok(SimPlan {
+            model: ModelRef::Linear(sys),
+            t_end,
+            m,
+            x0: x0.to_vec(),
+            kind: PlanKind::Linear {
+                sigma,
+                lu: factor_shifted_pencil(sys.e(), sys.a(), sigma)?,
+                accumulator,
+            },
+            factor_count: Cell::new(1),
+        })
+    }
+
+    /// One-shot fractional plan for the strategy wrappers.
+    pub(crate) fn for_fractional(
+        fsys: &'a FractionalSystem,
+        m: usize,
+        t_end: f64,
+    ) -> Result<Self, OpmError> {
+        validate_horizon(t_end)?;
+        let sys = fsys.system();
+        let basis = BpfBasis::new(m, t_end);
+        let rho = basis.frac_diff_coeffs(fsys.alpha());
+        Ok(SimPlan {
+            model: ModelRef::Fractional(fsys),
+            t_end,
+            m,
+            x0: vec![0.0; sys.order()],
+            kind: PlanKind::Fractional {
+                lu: factor_shifted_pencil(sys.e(), sys.a(), rho[0])?,
+                rho,
+            },
+            factor_count: Cell::new(1),
+        })
+    }
+
+    /// One-shot multi-term plan for the strategy wrappers.
+    pub(crate) fn for_multiterm(
+        mt: &'a MultiTermSystem,
+        m: usize,
+        t_end: f64,
+        select: &MtSelect,
+    ) -> Result<Self, OpmError> {
+        validate_horizon(t_end)?;
+        Ok(SimPlan {
+            model: ModelRef::MultiTerm(mt),
+            t_end,
+            m,
+            x0: vec![0.0; mt.order()],
+            kind: PlanKind::MultiTerm(mt_plan(mt, m, t_end, select)?),
+            factor_count: Cell::new(1),
+        })
+    }
+
+    /// One-shot second-order plan for the strategy wrappers.
+    pub(crate) fn for_second_order(
+        so: &'a SecondOrderSystem,
+        m: usize,
+        t_end: f64,
+    ) -> Result<Self, OpmError> {
+        validate_horizon(t_end)?;
+        let mt = so.to_multiterm();
+        let plan = mt_plan(&mt, m, t_end, &MtSelect::Auto)?;
+        Ok(SimPlan {
+            model: ModelRef::SecondOrder(so),
+            t_end,
+            m,
+            x0: vec![0.0; so.order()],
+            kind: PlanKind::OwnedMultiTerm {
+                mt,
+                plan,
+                differentiate: true,
+            },
+            factor_count: Cell::new(1),
+        })
+    }
+
+    // -- observability ------------------------------------------------------
+
+    /// Sparse (or dense-oracle) factorizations performed on behalf of
+    /// this plan so far — the reuse observable: a 100-scenario batch on a
+    /// uniform plan reports **1**.
+    pub fn num_factorizations(&self) -> usize {
+        match &self.kind {
+            PlanKind::AdaptiveLinear { cache, .. } => cache.borrow().num_factorizations(),
+            _ => self.factor_count.get(),
+        }
+    }
+
+    /// Column count the plan was built for (0 for on-the-fly adaptive
+    /// plans, whose step controller decides).
+    pub fn resolution(&self) -> usize {
+        self.m
+    }
+
+    /// The simulation horizon.
+    pub fn horizon(&self) -> f64 {
+        self.t_end
+    }
+
+    /// State dimension of the underlying model.
+    pub fn order(&self) -> usize {
+        self.model.order()
+    }
+
+    // -- solving ------------------------------------------------------------
+
+    /// Solves one stimulus against the cached factorization.
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] on channel mismatches.
+    pub fn solve(&self, inputs: &InputSet) -> Result<OpmResult, OpmError> {
+        let mut out = self.solve_batch(std::slice::from_ref(inputs))?;
+        Ok(out.pop().expect("one lane in, one result out"))
+    }
+
+    /// Solves `K` stimuli through **one** factorization in a single
+    /// pass: all scenarios advance column-by-column together through the
+    /// engine's interleaved block sweep, so the sparse solves and
+    /// matrix products are amortized `K`-fold. Results are in input
+    /// order and identical to `K` independent [`SimPlan::solve`] calls.
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] on channel mismatches.
+    pub fn solve_batch(&self, inputs: &[InputSet]) -> Result<Vec<OpmResult>, OpmError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let p = self.model.num_inputs();
+        for ws in inputs {
+            if ws.len() != p {
+                return Err(OpmError::BadArguments(format!(
+                    "{} input channels for {} B columns",
+                    ws.len(),
+                    p
+                )));
+            }
+        }
+        match &self.kind {
+            PlanKind::AdaptiveLinear { aopts, cache } => {
+                let ModelRef::Linear(sys) = self.model else {
+                    unreachable!("adaptive plans are linear by construction");
+                };
+                inputs
+                    .iter()
+                    .map(|ws| {
+                        adaptive::solve_linear_adaptive_with(
+                            sys,
+                            ws,
+                            self.t_end,
+                            &self.x0,
+                            *aopts,
+                            &mut cache.borrow_mut(),
+                        )
+                    })
+                    .collect()
+            }
+            PlanKind::StepGrid(sg) => {
+                let ModelRef::Fractional(fsys) = self.model else {
+                    unreachable!("step-grid plans are fractional by construction");
+                };
+                inputs
+                    .iter()
+                    .map(|ws| adaptive::sweep_step_grid(fsys, &sg.grid, &sg.factors, ws))
+                    .collect()
+            }
+            _ => {
+                validate_horizon(self.t_end)?;
+                let us: Vec<Vec<Vec<f64>>> = inputs
+                    .iter()
+                    .map(|ws| self.project(ws))
+                    .collect::<Result<_, _>>()?;
+                let refs: Vec<&[Vec<f64>]> = us.iter().map(Vec::as_slice).collect();
+                self.run_block(&refs)
+            }
+        }
+    }
+
+    /// Parameter study: builds one stimulus per parameter with
+    /// `stimulus`, then [`SimPlan::solve_batch`]es them all through the
+    /// cached factorization. Results are in parameter order.
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_batch`].
+    pub fn sweep<P>(
+        &self,
+        params: &[P],
+        mut stimulus: impl FnMut(&P) -> InputSet,
+    ) -> Result<Vec<OpmResult>, OpmError> {
+        let sets: Vec<InputSet> = params.iter().map(&mut stimulus).collect();
+        self.solve_batch(&sets)
+    }
+
+    /// Solves a precomputed BPF coefficient stimulus (`u[ch][j]`).
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] when the coefficient shape disagrees
+    /// with the planned resolution, or the plan kind needs waveforms
+    /// (second-order, adaptive, step-grid).
+    pub fn solve_coeffs(&self, u: &[Vec<f64>]) -> Result<OpmResult, OpmError> {
+        let mut out = self.solve_coeffs_batch(&[u])?;
+        Ok(out.pop().expect("one lane in, one result out"))
+    }
+
+    /// Batch form of [`SimPlan::solve_coeffs`]: `K` coefficient matrices
+    /// through one factorization in a single interleaved pass.
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_coeffs`].
+    pub fn solve_coeffs_batch(&self, us: &[&[Vec<f64>]]) -> Result<Vec<OpmResult>, OpmError> {
+        if us.is_empty() {
+            return Ok(Vec::new());
+        }
+        match &self.kind {
+            PlanKind::AdaptiveLinear { .. } => Err(OpmError::BadArguments(
+                "adaptive stepping needs waveform inputs (exact interval averages)".into(),
+            )),
+            PlanKind::StepGrid(_) => Err(OpmError::BadArguments(
+                "step-grid solving needs waveform inputs".into(),
+            )),
+            PlanKind::OwnedMultiTerm {
+                differentiate: true,
+                ..
+            } => Err(OpmError::BadArguments(
+                "second-order problems need waveform inputs (the engine \
+                 differentiates them exactly)"
+                    .into(),
+            )),
+            _ => {
+                let p = self.model.num_inputs();
+                for &u in us {
+                    let mu = validate_coeff_inputs(p, u)?;
+                    if mu != self.m {
+                        return Err(OpmError::BadArguments(format!(
+                            "coefficient stimulus has {mu} columns but the `{}` plan \
+                             was built for resolution {}",
+                            self.model.strategy_name(),
+                            self.m
+                        )));
+                    }
+                }
+                self.run_block(us)
+            }
+        }
+    }
+
+    // -- internals ----------------------------------------------------------
+
+    /// Projects waveforms onto the plan's uniform grid (derivative
+    /// averages for second-order plans).
+    fn project(&self, ws: &InputSet) -> Result<Vec<Vec<f64>>, OpmError> {
+        if matches!(
+            self.kind,
+            PlanKind::OwnedMultiTerm {
+                differentiate: true,
+                ..
+            }
+        ) {
+            let bounds: Vec<f64> = (0..=self.m)
+                .map(|k| k as f64 * self.t_end / self.m as f64)
+                .collect();
+            Ok(ws.derivative_averages_on_grid(&bounds))
+        } else {
+            Ok(ws.bpf_matrix(self.m, self.t_end))
+        }
+    }
+
+    /// Runs the interleaved block sweep for the uniform plan kinds.
+    fn run_block(&self, us: &[&[Vec<f64>]]) -> Result<Vec<OpmResult>, OpmError> {
+        // The dense oracle consumes the raw coefficient matrices; only
+        // the sweeping kinds need the lane interleave.
+        if let PlanKind::Kron { factors, mt } = &self.kind {
+            let mt = match (mt, self.model) {
+                (Some(owned), _) => owned,
+                (None, ModelRef::MultiTerm(m)) => m,
+                _ => unreachable!("kron plans carry or reference a multi-term form"),
+            };
+            return us
+                .iter()
+                .map(|u| kron_solve_prepared(mt, factors, u, self.t_end))
+                .collect();
+        }
+        let lc = LaneCoeffs::interleave(us, self.model.num_inputs(), self.m);
+        let outcome = match &self.kind {
+            PlanKind::Linear {
+                sigma,
+                lu,
+                accumulator,
+            } => {
+                let ModelRef::Linear(sys) = self.model else {
+                    unreachable!("linear plan on a linear model");
+                };
+                if *accumulator {
+                    sweep_linear_accumulator_block(sys, lu, *sigma, &self.x0, &lc)
+                } else {
+                    sweep_linear_block(sys, lu, *sigma, &self.x0, &lc)
+                }
+            }
+            PlanKind::Fractional { rho, lu } => {
+                let ModelRef::Fractional(fsys) = self.model else {
+                    unreachable!("fractional plan on a fractional model");
+                };
+                sweep_fractional_block(fsys.system(), lu, rho, &lc)
+            }
+            PlanKind::MultiTerm(plan) => {
+                let ModelRef::MultiTerm(mt) = self.model else {
+                    unreachable!("multi-term plan on a multi-term model");
+                };
+                sweep_multiterm_block(mt, plan, &lc)
+            }
+            PlanKind::OwnedMultiTerm { mt, plan, .. } => sweep_multiterm_block(mt, plan, &lc),
+            PlanKind::Kron { .. } | PlanKind::AdaptiveLinear { .. } | PlanKind::StepGrid(_) => {
+                unreachable!("kron and grid-like kinds are dispatched before the interleave")
+            }
+        };
+        Ok(self.finish_block(outcome))
+    }
+
+    fn output_map(&self) -> OutRef<'_> {
+        match (&self.kind, self.model) {
+            (PlanKind::OwnedMultiTerm { mt, .. }, _) => OutRef::Mt(mt),
+            (PlanKind::Kron { mt: Some(mt), .. }, _) => OutRef::Mt(mt),
+            (_, ModelRef::Linear(sys)) => OutRef::Sys(sys),
+            (_, ModelRef::Fractional(f)) => OutRef::Sys(f.system()),
+            (_, ModelRef::MultiTerm(mt)) => OutRef::Mt(mt),
+            (_, ModelRef::SecondOrder(_)) => {
+                unreachable!("second-order plans own their multi-term conversion")
+            }
+        }
+    }
+
+    fn finish_block(&self, outcome: BlockOutcome) -> Vec<OpmResult> {
+        let out = self.output_map();
+        let shift = matches!(self.kind, PlanKind::Linear { .. }) // z = x − x₀ sweeps only
+            && self.x0.iter().any(|&v| v != 0.0);
+        outcome
+            .into_lane_outcomes()
+            .into_iter()
+            .map(|o| {
+                let o = if shift { o.shifted_by(&self.x0) } else { o };
+                o.uniform_result(&out, self.t_end)
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane interleaving
+// ---------------------------------------------------------------------------
+
+/// `K` coefficient matrices interleaved for the block sweep:
+/// `cols[j][ch*lanes + l]` is channel `ch`, column `j` of lane `l`.
+struct LaneCoeffs {
+    lanes: usize,
+    m: usize,
+    cols: Vec<Vec<f64>>,
+}
+
+impl LaneCoeffs {
+    fn interleave(us: &[&[Vec<f64>]], p: usize, m: usize) -> Self {
+        let lanes = us.len();
+        let mut cols = vec![vec![0.0; p * lanes]; m];
+        for (l, u) in us.iter().enumerate() {
+            for (ch, row) in u.iter().enumerate() {
+                for (j, &v) in row.iter().enumerate() {
+                    cols[j][ch * lanes + l] = v;
+                }
+            }
+        }
+        LaneCoeffs { lanes, m, cols }
+    }
+}
+
+fn axpy(y: &mut [f64], x: &[f64], a: f64) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Adds `scale·col[i]` to every lane of block row `i`.
+fn add_broadcast(rhs: &mut [f64], col: &[f64], lanes: usize, scale: f64) {
+    for (i, &c) in col.iter().enumerate() {
+        let v = scale * c;
+        for r in &mut rhs[i * lanes..(i + 1) * lanes] {
+            *r += v;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-kind block sweeps (the strategies, K lanes wide)
+// ---------------------------------------------------------------------------
+
+/// Linear two-term recurrence, K lanes wide (paper §III; see
+/// [`crate::linear`] for the derivation).
+fn sweep_linear_block(
+    sys: &DescriptorSystem,
+    lu: &SparseLu,
+    sigma: f64,
+    x0: &[f64],
+    lc: &LaneCoeffs,
+) -> BlockOutcome {
+    let n = sys.order();
+    let k = lc.lanes;
+    let shift = x0.iter().any(|&v| v != 0.0);
+    let c_force = if shift {
+        sys.a().mul_vec(x0)
+    } else {
+        vec![0.0; n]
+    };
+    BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
+        if j == 0 {
+            // Column 0: (σE − A)·z₀ = B·u₀ + c.
+            apply_b_block(sys.b(), &lc.cols[0], k, 1.0, rhs);
+            if shift {
+                add_broadcast(rhs, &c_force, k, 1.0);
+            }
+        } else {
+            // (σE − A)·z_j = (σE + A)·z_{j−1} + B(u_j + u_{j−1}) + 2c.
+            let z_prev = &history[j - 1];
+            sys.e().mul_block_into(z_prev, work, k);
+            axpy(rhs, work, sigma);
+            sys.a().mul_block_into(z_prev, work, k);
+            axpy(rhs, work, 1.0);
+            apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
+            apply_b_block(sys.b(), &lc.cols[j - 1], k, 1.0, rhs);
+            if shift {
+                add_broadcast(rhs, &c_force, k, 2.0);
+            }
+        }
+    })
+}
+
+/// The paper's literal alternating-accumulator algorithm, K lanes wide.
+fn sweep_linear_accumulator_block(
+    sys: &DescriptorSystem,
+    lu: &SparseLu,
+    sigma: f64,
+    x0: &[f64],
+    lc: &LaneCoeffs,
+) -> BlockOutcome {
+    let n = sys.order();
+    let k = lc.lanes;
+    let shift = x0.iter().any(|&v| v != 0.0);
+    let c_force = if shift {
+        sys.a().mul_vec(x0)
+    } else {
+        vec![0.0; n]
+    };
+    let mut g = vec![0.0; n * k];
+    BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
+        // g_j = −(g_{j−1} + z_{j−1}), folded in lazily from the history.
+        if j > 0 {
+            for (gi, zi) in g.iter_mut().zip(&history[j - 1]) {
+                *gi = -(*gi + zi);
+            }
+        }
+        apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
+        if shift {
+            add_broadcast(rhs, &c_force, k, 1.0);
+        }
+        if j > 0 {
+            sys.e().mul_block_into(&g, work, k);
+            axpy(rhs, work, -2.0 * sigma);
+        }
+    })
+}
+
+/// Fractional nilpotent-series convolution, K lanes wide (paper §IV).
+fn sweep_fractional_block(
+    sys: &DescriptorSystem,
+    lu: &SparseLu,
+    rho: &[f64],
+    lc: &LaneCoeffs,
+) -> BlockOutcome {
+    let n = sys.order();
+    let k = lc.lanes;
+    let mut conv = vec![0.0; n * k];
+    BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
+        // conv = Σ_{t=1}^{j} ρ_t·x_{j−t}
+        conv.iter_mut().for_each(|v| *v = 0.0);
+        for t in 1..=j {
+            let r = rho[t];
+            if r != 0.0 {
+                axpy(&mut conv, &history[j - t], r);
+            }
+        }
+        sys.e().mul_block_into(&conv, work, k);
+        apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
+        axpy(rhs, work, -1.0);
+    })
+}
+
+/// Multi-term sweep (finite recurrence or per-term convolution), K lanes
+/// wide.
+fn sweep_multiterm_block(mt: &MultiTermSystem, plan: &MtPlan, lc: &LaneCoeffs) -> BlockOutcome {
+    let n = mt.order();
+    let k = lc.lanes;
+    let mut acc = vec![0.0; n * k];
+    match &plan.path {
+        MtPath::Recurrence { polys, bw } => {
+            BlockColumnSweep::new(n, lc.m, k).run(&plan.lu, |j, history, rhs, work| {
+                for (i, &w) in bw.iter().enumerate() {
+                    if i <= j {
+                        apply_b_block(mt.b(), &lc.cols[j - i], k, w, rhs);
+                    }
+                }
+                for (term, p) in mt.terms().iter().zip(polys) {
+                    acc.iter_mut().for_each(|v| *v = 0.0);
+                    let mut any = false;
+                    for (i, &pi) in p.iter().enumerate().skip(1) {
+                        if pi != 0.0 && i <= j {
+                            any = true;
+                            axpy(&mut acc, &history[j - i], pi);
+                        }
+                    }
+                    if any {
+                        term.matrix.mul_block_into(&acc, work, k);
+                        axpy(rhs, work, -1.0);
+                    }
+                }
+            })
+        }
+        MtPath::Convolution { series } => {
+            BlockColumnSweep::new(n, lc.m, k).run(&plan.lu, |j, history, rhs, work| {
+                apply_b_block(mt.b(), &lc.cols[j], k, 1.0, rhs);
+                for (term, rho) in mt.terms().iter().zip(series) {
+                    if term.alpha == 0.0 {
+                        continue; // ρ = e₀: no history contribution
+                    }
+                    acc.iter_mut().for_each(|v| *v = 0.0);
+                    for t in 1..=j {
+                        let r = rho[t];
+                        if r != 0.0 {
+                            axpy(&mut acc, &history[j - t], r);
+                        }
+                    }
+                    term.matrix.mul_block_into(&acc, work, k);
+                    axpy(rhs, work, -1.0);
+                }
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-term plan-time precomputation
+// ---------------------------------------------------------------------------
+
+fn mt_all_integer(mt: &MultiTermSystem) -> bool {
+    mt.terms()
+        .iter()
+        .all(|t| t.alpha.fract() == 0.0 && t.alpha <= 16.0)
+}
+
+/// Precomputes the multi-term pencil + per-term symbol data and factors
+/// once.
+fn mt_plan(
+    mt: &MultiTermSystem,
+    m: usize,
+    t_end: f64,
+    select: &MtSelect,
+) -> Result<MtPlan, OpmError> {
+    let h = t_end / m as f64;
+    let recurrence = match select {
+        MtSelect::Auto => mt_all_integer(mt),
+        MtSelect::Recurrence => {
+            for t in mt.terms() {
+                if t.alpha.fract() != 0.0 {
+                    return Err(OpmError::BadArguments(format!(
+                        "non-integer order {} in recurrence path",
+                        t.alpha
+                    )));
+                }
+            }
+            true
+        }
+        MtSelect::Convolution => false,
+    };
+    if recurrence {
+        let kmax = mt.max_order() as usize;
+        // Per-term finite polynomials p^{(k)} of degree K.
+        let mut polys: Vec<Vec<f64>> = Vec::with_capacity(mt.terms().len());
+        for term in mt.terms() {
+            let ak = term.alpha as usize;
+            let scale = (2.0 / h).powi(ak as i32);
+            // (1−q)^{ak}: alternating binomials; (1+q)^{K−ak}: binomials.
+            let minus: Vec<f64> = binomial_series(ak as f64, ak + 1)
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| if i % 2 == 0 { c } else { -c })
+                .collect();
+            let plus = binomial_series((kmax - ak) as f64, kmax - ak + 1);
+            let mut p = vec![0.0; kmax + 1];
+            for (i, &a) in minus.iter().enumerate() {
+                for (j2, &b) in plus.iter().enumerate() {
+                    p[i + j2] += scale * a * b;
+                }
+            }
+            polys.push(p);
+        }
+        // RHS binomial weights (1+q)^K.
+        let bw = binomial_series(kmax as f64, kmax + 1);
+        let pencil = crate::engine::weighted_pencil(mt.terms(), |k| polys[k][0])?;
+        Ok(MtPlan {
+            lu: crate::engine::factor_pencil(&pencil)?,
+            path: MtPath::Recurrence { polys, bw },
+        })
+    } else {
+        // ρ^{(k)} series for every term (α = 0 ⇒ [1, 0, 0, …]).
+        let series: Vec<Vec<f64>> = mt
+            .terms()
+            .iter()
+            .map(|term| {
+                let scale = (2.0 / h).powf(term.alpha);
+                tustin_frac_coeffs(term.alpha, m)
+                    .into_iter()
+                    .map(|c| scale * c)
+                    .collect()
+            })
+            .collect();
+        let pencil = crate::engine::weighted_pencil(mt.terms(), |k| series[k][0])?;
+        Ok(MtPlan {
+            lu: crate::engine::factor_pencil(&pencil)?,
+            path: MtPath::Convolution { series },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Problem, SolveOptions};
+    use opm_sparse::{CooMatrix, CsrMatrix};
+    use opm_waveform::Waveform;
+
+    fn scalar(a: f64) -> DescriptorSystem {
+        let mut am = CooMatrix::new(1, 1);
+        am.push(0, 0, a);
+        let mut b = CooMatrix::new(1, 1);
+        b.push(0, 0, 1.0);
+        DescriptorSystem::new(CsrMatrix::identity(1), am.to_csr(), b.to_csr(), None).unwrap()
+    }
+
+    #[test]
+    fn plan_solve_matches_problem_solve() {
+        let sys = scalar(-1.0);
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let opts = SolveOptions::new().resolution(64);
+        let via_problem = Problem::linear(&sys)
+            .waveforms(&inputs)
+            .horizon(2.0)
+            .solve(&opts)
+            .unwrap();
+        let sim = Simulation::from_system(sys).horizon(2.0);
+        let plan = sim.plan(&opts).unwrap();
+        let via_plan = plan.solve(&inputs).unwrap();
+        for j in 0..64 {
+            assert_eq!(
+                via_problem.state_coeff(0, j),
+                via_plan.state_coeff(0, j),
+                "column {j}"
+            );
+        }
+        assert_eq!(plan.num_factorizations(), 1);
+    }
+
+    #[test]
+    fn batch_equals_loop_bitwise() {
+        let sys = scalar(-2.0);
+        let sim = Simulation::from_system(sys).horizon(1.5);
+        let plan = sim.plan(&SolveOptions::new().resolution(48)).unwrap();
+        let sets: Vec<InputSet> = (0..7)
+            .map(|i| {
+                InputSet::new(vec![Waveform::sine(
+                    0.1 * i as f64,
+                    1.0,
+                    1.0 + i as f64,
+                    0.0,
+                    0.2,
+                )])
+            })
+            .collect();
+        let batch = plan.solve_batch(&sets).unwrap();
+        for (s, b) in sets.iter().zip(&batch) {
+            let single = plan.solve(s).unwrap();
+            for j in 0..48 {
+                assert_eq!(single.state_coeff(0, j), b.state_coeff(0, j));
+            }
+        }
+        assert_eq!(plan.num_factorizations(), 1);
+    }
+
+    #[test]
+    fn sweep_orders_results_by_parameter() {
+        let sys = scalar(-1.0);
+        let sim = Simulation::from_system(sys).horizon(1.0);
+        let plan = sim.plan(&SolveOptions::new().resolution(32)).unwrap();
+        let amplitudes = [1.0, 2.0, 3.0];
+        let runs = plan
+            .sweep(&amplitudes, |&a| InputSet::new(vec![Waveform::Dc(a)]))
+            .unwrap();
+        // Linearity: doubling the drive doubles the response.
+        for j in 0..32 {
+            assert!((runs[1].state_coeff(0, j) - 2.0 * runs[0].state_coeff(0, j)).abs() < 1e-12);
+            assert!((runs[2].state_coeff(0, j) - 3.0 * runs[0].state_coeff(0, j)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn netlist_entry_assembles_and_solves() {
+        let sim = Simulation::from_netlist(
+            "* RC low-pass\nV1 in 0 DC 5\nR1 in out 1k\nC1 out 0 1u\n.end",
+            &["out"],
+        )
+        .unwrap()
+        .horizon(5e-3);
+        assert!(sim.inputs().is_some());
+        let plan = sim.plan(&SolveOptions::new().resolution(200)).unwrap();
+        let r = plan.solve(sim.inputs().unwrap()).unwrap();
+        // Charged to ~5 V after 5 time constants.
+        assert!((r.output_row(0)[199] - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn netlist_entry_detects_cpe_and_goes_fractional() {
+        let sim = Simulation::from_netlist(
+            "V1 in 0 DC 1\nR1 in top 100\nP1 top 0 CPE 1u 0.5\n.end",
+            &["top"],
+        )
+        .unwrap()
+        .horizon(1e-6);
+        assert!(matches!(sim.model(), SimModel::Fractional(_)));
+        let plan = sim.plan(&SolveOptions::new().resolution(64)).unwrap();
+        let r = plan.solve(sim.inputs().unwrap()).unwrap();
+        assert!(r.output_row(0).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn netlist_entry_rejects_unknown_probe() {
+        let err =
+            Simulation::from_netlist("V1 in 0 DC 1\nR1 in 0 1k\n.end", &["nope"]).unwrap_err();
+        assert!(matches!(err, OpmError::BadArguments(_)));
+    }
+
+    #[test]
+    fn rejections_name_option_and_strategy() {
+        let sys = scalar(-1.0);
+        let sim = Simulation::from_system(sys).horizon(1.0);
+        let err = sim
+            .plan(&SolveOptions::new().step_grid(vec![0.6, 0.4]))
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("step_grid") && msg.contains("linear"),
+            "diagnostic must name option and strategy: {msg}"
+        );
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        let simf = Simulation::from_fractional(fsys).horizon(1.0);
+        let err = simf
+            .plan(&SolveOptions::new().adaptive(AdaptiveOpmOptions::default()))
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("adaptive") && msg.contains("fractional"),
+            "diagnostic must name option and strategy: {msg}"
+        );
+        let err = simf
+            .plan(
+                &SolveOptions::new()
+                    .resolution(8)
+                    .method(Method::Accumulator),
+            )
+            .unwrap_err();
+        let msg = format!("{err}");
+        assert!(
+            msg.contains("Accumulator") && msg.contains("fractional"),
+            "diagnostic must name method and strategy: {msg}"
+        );
+    }
+
+    #[test]
+    fn circuit_errors_compose_with_question_mark() {
+        fn pipeline() -> Result<OpmResult, OpmError> {
+            let parsed = parse_netlist("V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1n\n.end")?;
+            let model = assemble_mna(&parsed.circuit, &[])?;
+            let sim = Simulation::from_system(model.system).horizon(1e-5);
+            let plan = sim.plan(&SolveOptions::new().resolution(16))?;
+            plan.solve(&model.inputs)
+        }
+        assert!(pipeline().is_ok());
+        // And a failing parse surfaces as OpmError::Circuit.
+        fn broken() -> Result<(), OpmError> {
+            parse_netlist("Q1 what even is this")?;
+            Ok(())
+        }
+        assert!(matches!(broken(), Err(OpmError::Circuit(_))));
+    }
+
+    #[test]
+    fn second_order_plan_differentiates_waveforms() {
+        use opm_circuits::grid::PowerGridSpec;
+        use opm_circuits::na::assemble_na;
+        let spec = PowerGridSpec {
+            layers: 2,
+            rows: 3,
+            cols: 3,
+            num_loads: 2,
+            ..Default::default()
+        };
+        let na = assemble_na(&spec.build(), &[]).unwrap();
+        let (m, t_end) = (32, 5e-9);
+        let direct =
+            crate::second_order::solve_second_order(&na.system, &na.inputs, t_end, m).unwrap();
+        let sim = Simulation::from_second_order(na.system).horizon(t_end);
+        let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+        let via_plan = plan.solve(&na.inputs).unwrap();
+        for j in 0..m {
+            for i in 0..via_plan.order() {
+                assert_eq!(direct.state_coeff(i, j), via_plan.state_coeff(i, j));
+            }
+        }
+        // Coefficients are rejected: the plan must differentiate.
+        assert!(plan.solve_coeffs(&vec![vec![0.0; m]; 2]).is_err());
+    }
+
+    #[test]
+    fn adaptive_plan_shares_the_step_lattice_cache() {
+        let sys = scalar(-5.0);
+        let sim = Simulation::from_system(sys).horizon(2.0);
+        let plan = sim
+            .plan(&SolveOptions::new().adaptive(AdaptiveOpmOptions {
+                tol: 1e-6,
+                h0: 1.0 / 64.0,
+                ..Default::default()
+            }))
+            .unwrap();
+        let a = plan.solve(&InputSet::new(vec![Waveform::Dc(1.0)])).unwrap();
+        let first = plan.num_factorizations();
+        assert!(first >= 1);
+        let b = plan.solve(&InputSet::new(vec![Waveform::Dc(2.0)])).unwrap();
+        // Same step lattice ⇒ the second scenario reuses every factor.
+        assert_eq!(plan.num_factorizations(), first);
+        assert!(a.num_solves > 0 && b.num_solves > 0);
+    }
+
+    #[test]
+    fn step_grid_plan_factors_once_per_column_total() {
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        let steps = crate::adaptive::geometric_grid(1.0, 12, 1.2);
+        let sim = Simulation::from_fractional(fsys).horizon(1.0);
+        let plan = sim.plan(&SolveOptions::new().step_grid(steps)).unwrap();
+        assert_eq!(plan.num_factorizations(), 12);
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let r1 = plan.solve(&inputs).unwrap();
+        let r2 = plan
+            .solve(&InputSet::new(vec![Waveform::step(0.1, 2.0)]))
+            .unwrap();
+        // Solving more scenarios does not factor again.
+        assert_eq!(plan.num_factorizations(), 12);
+        assert_eq!(r1.num_intervals(), 12);
+        assert_eq!(r2.num_intervals(), 12);
+    }
+
+    #[test]
+    fn kron_plan_caches_the_dense_factorization() {
+        let sys = scalar(-1.3);
+        let sim = Simulation::from_system(sys).horizon(1.0);
+        let plan = sim
+            .plan(&SolveOptions::new().resolution(16).method(Method::Kronecker))
+            .unwrap();
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let oracle = plan.solve(&inputs).unwrap();
+        let fast = sim
+            .plan(&SolveOptions::new().resolution(16))
+            .unwrap()
+            .solve(&inputs)
+            .unwrap();
+        for j in 0..16 {
+            assert!((oracle.state_coeff(0, j) - fast.state_coeff(0, j)).abs() < 1e-10);
+        }
+        assert_eq!(plan.num_factorizations(), 1);
+    }
+}

@@ -160,6 +160,31 @@ impl CsrMatrix {
         }
     }
 
+    /// Matrix–block product `Y = A·X` for `lanes` vectors at once.
+    ///
+    /// `x` and `y` are row-major `ncols × lanes` / `nrows × lanes` blocks
+    /// (the lane values of row `i` at `i*lanes..(i+1)*lanes`); one pass
+    /// over the sparse structure serves every lane (`y` overwritten).
+    ///
+    /// # Panics
+    /// Panics when `lanes == 0` or on dimension mismatch.
+    pub fn mul_block_into(&self, x: &[f64], y: &mut [f64], lanes: usize) {
+        assert!(lanes > 0, "mul_block: zero lanes");
+        assert_eq!(x.len(), self.ncols * lanes, "mul_block: x size mismatch");
+        assert_eq!(y.len(), self.nrows * lanes, "mul_block: y size mismatch");
+        for i in 0..self.nrows {
+            let row = &mut y[i * lanes..(i + 1) * lanes];
+            row.iter_mut().for_each(|v| *v = 0.0);
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let a = self.data[k];
+                let src = self.indices[k] * lanes;
+                for (yi, xi) in row.iter_mut().zip(&x[src..src + lanes]) {
+                    *yi += a * xi;
+                }
+            }
+        }
+    }
+
     /// Matrix–vector product with [`DVector`].
     pub fn mul_dvec(&self, x: &DVector) -> DVector {
         DVector::from(self.mul_vec(x.as_slice()))
@@ -356,6 +381,29 @@ mod tests {
         let d = a.to_dense();
         let yd = d.mul_vec(&DVector::from_slice(&x));
         assert_eq!(y, yd.into_vec());
+    }
+
+    #[test]
+    fn mul_block_matches_per_lane_spmv() {
+        let a = sample();
+        let lanes = 3;
+        // Lane l carries x_l = [1+l, 2, 3−l].
+        let mut x_block = vec![0.0; 3 * lanes];
+        for l in 0..lanes {
+            let x = [1.0 + l as f64, 2.0, 3.0 - l as f64];
+            for i in 0..3 {
+                x_block[i * lanes + l] = x[i];
+            }
+        }
+        let mut y_block = vec![f64::NAN; 3 * lanes]; // must be overwritten
+        a.mul_block_into(&x_block, &mut y_block, lanes);
+        for l in 0..lanes {
+            let x = [1.0 + l as f64, 2.0, 3.0 - l as f64];
+            let y = a.mul_vec(&x);
+            for i in 0..3 {
+                assert_eq!(y_block[i * lanes + l], y[i], "lane {l}, row {i}");
+            }
+        }
     }
 
     #[test]

@@ -290,6 +290,64 @@ impl SparseLu {
         }
     }
 
+    /// Solves `A·X = B` for `lanes` right-hand sides in **one** traversal
+    /// of the factors.
+    ///
+    /// `b` and `out` are row-major `n × lanes` blocks: the `lanes` values
+    /// of row `i` live at `b[i*lanes..(i+1)*lanes]`. A single pass over
+    /// `L` and `U` serves every lane, so the per-entry index decode and
+    /// factor traffic are amortized `lanes`-fold — the kernel behind the
+    /// engine's multi-scenario block sweep.
+    ///
+    /// # Panics
+    /// Panics when `lanes == 0` or slice lengths differ from
+    /// `self.dim() * lanes`.
+    pub fn solve_block_into(&self, b: &[f64], out: &mut [f64], lanes: usize) {
+        assert!(lanes > 0, "solve_block: zero lanes");
+        assert_eq!(b.len(), self.n * lanes, "solve_block: rhs size mismatch");
+        assert_eq!(out.len(), self.n * lanes, "solve_block: out size mismatch");
+        // y ← P·B in pivotal order.
+        let mut y = vec![0.0; self.n * lanes];
+        for k in 0..self.n {
+            let src = self.row_perm[k] * lanes;
+            y[k * lanes..(k + 1) * lanes].copy_from_slice(&b[src..src + lanes]);
+        }
+        let mut piv = vec![0.0; lanes];
+        // Forward solve L·Z = Y (unit diagonal, column sweep).
+        for k in 0..self.n {
+            piv.copy_from_slice(&y[k * lanes..(k + 1) * lanes]);
+            if piv.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            for &(i, lv) in &self.l_cols[k] {
+                for (yi, pv) in y[i * lanes..(i + 1) * lanes].iter_mut().zip(&piv) {
+                    *yi -= lv * pv;
+                }
+            }
+        }
+        // Back solve U·W = Z (column sweep from the right).
+        for k in (0..self.n).rev() {
+            let d = self.u_diag[k];
+            for (yk, pv) in y[k * lanes..(k + 1) * lanes].iter_mut().zip(piv.iter_mut()) {
+                *yk /= d;
+                *pv = *yk;
+            }
+            if piv.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            for &(i, uv) in &self.u_cols[k] {
+                for (yi, pv) in y[i * lanes..(i + 1) * lanes].iter_mut().zip(&piv) {
+                    *yi -= uv * pv;
+                }
+            }
+        }
+        // Undo column permutation: X[q[k]] = W[k].
+        for k in 0..self.n {
+            let dst = self.col_perm.old_of(k) * lanes;
+            out[dst..dst + lanes].copy_from_slice(&y[k * lanes..(k + 1) * lanes]);
+        }
+    }
+
     /// Determinant of `A` (product of pivots, sign from both permutations).
     pub fn det(&self) -> f64 {
         let mut d: f64 = self.u_diag.iter().product();
@@ -507,6 +565,64 @@ mod tests {
         let b: Vec<f64> = (0..36).map(|i| i as f64).collect();
         let x = lu.solve(&b);
         assert!(residual_inf(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn block_solve_matches_lane_by_lane() {
+        let a = grid_matrix(9); // n = 81, needs ordering-agnostic check
+        let n = 81;
+        let lanes = 5;
+        let lu = SparseLu::factor(&a.to_csc(), Some(&rcm(&a))).unwrap();
+        // Lane l gets rhs b_l[i] = sin(0.1·i·(l+1)), with lane 2 all zero
+        // (exercises the zero-skip path).
+        let mut b_block = vec![0.0; n * lanes];
+        let mut singles: Vec<Vec<f64>> = Vec::new();
+        for l in 0..lanes {
+            let b: Vec<f64> = (0..n)
+                .map(|i| {
+                    if l == 2 {
+                        0.0
+                    } else {
+                        (0.1 * i as f64 * (l + 1) as f64).sin()
+                    }
+                })
+                .collect();
+            for i in 0..n {
+                b_block[i * lanes + l] = b[i];
+            }
+            singles.push(lu.solve(&b));
+        }
+        let mut x_block = vec![0.0; n * lanes];
+        lu.solve_block_into(&b_block, &mut x_block, lanes);
+        for l in 0..lanes {
+            for i in 0..n {
+                assert_eq!(
+                    x_block[i * lanes + l],
+                    singles[l][i],
+                    "lane {l}, row {i}: block and single solves must agree bitwise"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_solve_single_lane_equals_solve_into() {
+        // With pivoting engaged (saddle-point matrix) the lanes = 1 block
+        // path must follow the exact same arithmetic as solve_into.
+        let mut c = CooMatrix::new(3, 3);
+        c.push(0, 0, 2.0);
+        c.push(0, 2, 1.0);
+        c.push(1, 1, 3.0);
+        c.push(1, 2, -1.0);
+        c.push(2, 0, 1.0);
+        c.push(2, 1, -1.0);
+        let lu = SparseLu::factor(&c.to_csc(), None).unwrap();
+        let b = [3.0, 2.0, 0.5];
+        let mut single = vec![0.0; 3];
+        lu.solve_into(&b, &mut single);
+        let mut block = vec![0.0; 3];
+        lu.solve_block_into(&b, &mut block, 1);
+        assert_eq!(single, block);
     }
 
     #[test]

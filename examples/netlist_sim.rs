@@ -1,11 +1,10 @@
-//! Parse a SPICE-flavoured netlist (including a fractional CPE element)
-//! and simulate it with OPM.
+//! Parse SPICE-flavoured netlists (including a fractional CPE element)
+//! and simulate them through the `Simulation` session API — no hand-run
+//! MNA anywhere.
 //!
 //! Run with `cargo run --example netlist_sim`.
 
-use opm::circuits::mna::{assemble_fractional_mna, assemble_mna, Output};
-use opm::circuits::parser::parse_netlist;
-use opm::core::{Problem, SolveOptions};
+use opm::{SimModel, Simulation, SolveOptions};
 
 const RC_NETLIST: &str = "\
 * two-section RC low-pass
@@ -26,38 +25,39 @@ P1 top 0 CPE 1u 0.5
 ";
 
 fn main() {
-    // --- Integer-order netlist through the linear OPM solver. ---
-    let parsed = parse_netlist(RC_NETLIST).expect("parses");
-    let out = parsed.node("out").expect("node exists");
-    let model = assemble_mna(&parsed.circuit, &[Output::NodeVoltage(out)]).expect("assembles");
+    // --- Integer-order netlist: Simulation picks the linear MNA form. ---
+    let sim = Simulation::from_netlist(RC_NETLIST, &["out"]).expect("assembles");
+    assert!(matches!(sim.model(), SimModel::Linear(_)));
     let (m, t_end) = (400, 20e-6);
-    let r = Problem::linear(&model.system)
-        .waveforms(&model.inputs)
-        .horizon(t_end)
-        .solve(&SolveOptions::new().resolution(m))
+    let sim = sim.horizon(t_end);
+    let r = sim
+        .plan(&SolveOptions::new().resolution(m))
+        .expect("plans")
+        .solve(sim.inputs().expect("netlist sources"))
         .expect("solves");
     let peak = r.output_row(0).iter().cloned().fold(0.0f64, f64::max);
     println!(
         "RC netlist: n = {} unknowns, peak v(out) = {peak:.4} V",
-        model.system.order()
+        sim.order()
     );
     assert!(peak > 0.5 && peak < 1.0, "plausible low-pass response");
 
-    // --- Fractional netlist through the fractional OPM solver. ---
-    let parsed = parse_netlist(CPE_NETLIST).expect("parses");
-    let model = assemble_fractional_mna(&parsed.circuit, 0.5, &[Output::SourceCurrent(0)])
-        .expect("assembles");
+    // --- CPE netlist: the session detects the fractional element and
+    // assembles E·d^½x = A·x + B·u automatically. ---
+    let sim = Simulation::from_netlist(CPE_NETLIST, &["top"]).expect("assembles");
+    assert!(matches!(sim.model(), SimModel::Fractional(_)));
     let (m, t_end) = (300, 1e-6);
-    let r = Problem::fractional(&model.system)
-        .waveforms(&model.inputs)
-        .horizon(t_end)
-        .solve(&SolveOptions::new().resolution(m))
+    let sim = sim.horizon(t_end);
+    let r = sim
+        .plan(&SolveOptions::new().resolution(m))
+        .expect("plans")
+        .solve(sim.inputs().expect("netlist sources"))
         .expect("solves");
-    // The source current magnitude must decay (CPE charges) but with the
-    // heavy tail characteristic of half-order dynamics.
-    let i0 = r.output_row(0)[2].abs();
-    let i_end = r.output_row(0)[m - 1].abs();
-    println!("CPE netlist: |i(0⁺)| = {i0:.4e} A → |i(T)| = {i_end:.4e} A (α = ½ heavy-tail decay)");
-    assert!(i_end < i0, "current must decay as the CPE charges");
-    println!("OK — both netlists simulate.");
+    // The CPE charges toward the drive with the heavy tail characteristic
+    // of half-order dynamics.
+    let v_early = r.output_row(0)[2];
+    let v_end = r.output_row(0)[m - 1];
+    println!("CPE netlist: v(top) {v_early:.4} V → {v_end:.4} V (α = ½ heavy-tail charge)");
+    assert!(v_end > v_early, "CPE node must charge toward the drive");
+    println!("OK — both netlists simulate through the session API.");
 }

@@ -1,26 +1,32 @@
-//! Quickstart: simulate an RC low-pass with OPM and check it against the
-//! analytic solution.
+//! Quickstart: simulate an RC low-pass with the `Simulation`/`SimPlan`
+//! session API, check it against the analytic solution, then sweep the
+//! drive level through the same factorization.
 //!
 //! Run with `cargo run --example quickstart`.
 
-use opm::circuits::ladder::single_rc;
-use opm::circuits::mna::{assemble_mna, Output};
-use opm::core::{Problem, SolveOptions};
+use opm::waveform::{InputSet, Waveform};
+use opm::{Simulation, SolveOptions};
 
 fn main() {
     // 1 kΩ / 1 µF low-pass driven by a 5 V step at t = 0.
     let r = 1e3;
     let c = 1e-6;
     let tau = r * c;
-    let ckt = single_rc(r, c, 5.0);
-    let model = assemble_mna(&ckt, &[Output::NodeVoltage(2)]).expect("assembles");
+    let sim = Simulation::from_netlist(
+        "* RC low-pass\n\
+         V1 in 0 DC 5\n\
+         R1 in out 1k\n\
+         C1 out 0 1u\n\
+         .end",
+        &["out"],
+    )
+    .expect("assembles")
+    .horizon(5.0 * tau);
 
-    let t_end = 5.0 * tau;
     let m = 200;
-    let result = Problem::linear(&model.system)
-        .waveforms(&model.inputs)
-        .horizon(t_end)
-        .solve(&SolveOptions::new().resolution(m))
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).expect("plans");
+    let result = plan
+        .solve(sim.inputs().expect("netlist sources"))
         .expect("solves");
 
     println!(
@@ -31,8 +37,10 @@ fn main() {
         "{:>12} {:>12} {:>12} {:>10}",
         "t [s]", "OPM [V]", "exact [V]", "err"
     );
+    let t_end = 5.0 * tau;
     let mut worst: f64 = 0.0;
-    for (j, &t) in result.midpoints().iter().enumerate() {
+    for j in 0..m {
+        let t = (j as f64 + 0.5) * t_end / m as f64;
         let got = result.output_row(0)[j];
         let want = 5.0 * (1.0 - (-t / tau).exp());
         worst = worst.max((got - want).abs());
@@ -45,5 +53,27 @@ fn main() {
     }
     println!("\nmax |error| over all {m} intervals: {worst:.2e} V");
     assert!(worst < 1e-3, "unexpectedly large error");
+
+    // A drive-level study through the SAME factorization: the plan was
+    // factored once, the batch is swept through it in a single pass.
+    let levels = [1.0, 2.0, 3.0, 4.0, 5.0];
+    let runs = plan
+        .sweep(&levels, |&v| InputSet::new(vec![Waveform::Dc(v)]))
+        .expect("sweeps");
+    println!(
+        "\ndrive-level sweep (one factorization, {} scenarios):",
+        levels.len()
+    );
+    for (level, run) in levels.iter().zip(&runs) {
+        println!(
+            "  V = {level} V  →  v_out(T) = {:.4} V",
+            run.output_row(0)[m - 1]
+        );
+    }
+    assert_eq!(plan.num_factorizations(), 1);
+    println!(
+        "factorizations performed by the plan: {}",
+        plan.num_factorizations()
+    );
     println!("OK — OPM matches the analytic charge curve.");
 }

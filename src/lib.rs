@@ -8,7 +8,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
-//! | [`core`] | `opm-core` | the OPM solver engine ([`core::Problem`] / [`core::SolveOptions`]) and its strategies (linear, fractional, multi-term, adaptive, general-basis) |
+//! | [`core`] | `opm-core` | the OPM solver engine: the [`Simulation`]/[`SimPlan`] session API, the one-shot [`core::Problem`] front door, and the strategies (linear, fractional, multi-term, adaptive, general-basis) |
 //! | [`basis`] | `opm-basis` | block-pulse / Walsh / Haar / Legendre operational matrices |
 //! | [`circuits`] | `opm-circuits` | netlists, SPICE-ish parser, MNA/NA, power-grid & fractional-line generators |
 //! | [`system`] | `opm-system` | descriptor / fractional / multi-term / second-order models |
@@ -19,30 +19,57 @@
 //! | [`sparse`] | `opm-sparse` | CSR/CSC, sparse LU (Gilbert–Peierls), Cholesky, orderings |
 //! | [`linalg`] | `opm-linalg` | dense real/complex kernels, expm, Kronecker, Parlett |
 //!
-//! # Quickstart
+//! # Quickstart — one factorization, many scenarios
+//!
+//! The session API goes netlist → [`Simulation`] → [`SimPlan`] →
+//! results. The plan owns the validated problem shape, the RCM ordering
+//! and the factored pencil, so every scenario after the first costs only
+//! the column sweep:
 //!
 //! ```
-//! use opm::circuits::ladder::single_rc;
-//! use opm::circuits::mna::{assemble_mna, Output};
-//! use opm::core::{Problem, SolveOptions};
+//! use opm::{SimPlan, Simulation, SolveOptions};
+//! use opm::waveform::{InputSet, Waveform};
 //!
-//! // 1 kΩ / 1 µF low-pass driven by a 5 V step; observe the output node.
-//! let ckt = single_rc(1e3, 1e-6, 5.0);
-//! let model = assemble_mna(&ckt, &[Output::NodeVoltage(2)]).unwrap();
-//! let (m, t_end) = (512, 5e-3);
-//! let result = Problem::linear(&model.system)
-//!     .waveforms(&model.inputs)
-//!     .horizon(t_end)
-//!     .solve(&SolveOptions::new().resolution(m))
+//! // 1 kΩ / 1 µF low-pass; probe the output node by name.
+//! let sim = Simulation::from_netlist(
+//!     "* RC low-pass\n\
+//!      V1 in 0 DC 5\n\
+//!      R1 in out 1k\n\
+//!      C1 out 0 1u\n\
+//!      .end",
+//!     &["out"],
+//! )
+//! .unwrap()
+//! .horizon(5e-3);
+//!
+//! let plan: SimPlan = sim.plan(&SolveOptions::new().resolution(512)).unwrap();
+//!
+//! // The netlist's own sources are remembered…
+//! let step = plan.solve(sim.inputs().unwrap()).unwrap();
+//! assert!((step.output_row(0)[511] - 5.0).abs() < 0.05);
+//!
+//! // …and a whole drive-level study reuses the same factorization,
+//! // swept through the pencil in a single multi-RHS pass.
+//! let levels = [1.0, 2.0, 3.0, 4.0];
+//! let runs = plan
+//!     .sweep(&levels, |&v| InputSet::new(vec![Waveform::Dc(v)]))
 //!     .unwrap();
-//! // v_out(t) = 5(1 − e^{−t/RC});
-//! let t = result.midpoints()[m - 1];
-//! let want = 5.0 * (1.0 - (-t / 1e-3_f64).exp());
-//! assert!((result.output_row(0)[m - 1] - want).abs() < 1e-3);
-//!
-//! // The same engine solves fractional, multi-term, second-order and
-//! // adaptive problems — see `opm::core::engine`.
+//! assert_eq!(plan.num_factorizations(), 1);
+//! assert!(runs[3].output_row(0)[511] > runs[0].output_row(0)[511]);
 //! ```
+//!
+//! The same session front door covers fractional
+//! ([`Simulation::from_fractional`], or a netlist with CPE elements),
+//! multi-term, second-order nodal and adaptive solves; [`core::Problem`]
+//! remains as the thin one-shot wrapper when only a single solve is
+//! needed.
+//!
+//! # Errors
+//!
+//! Circuit-side failures ([`circuits::CircuitError`]) convert into both
+//! the solver error ([`core::OpmError::Circuit`]) and the facade-wide
+//! [`enum@Error`], so netlist → simulate pipelines compose with `?`
+//! end to end.
 
 pub use opm_basis as basis;
 pub use opm_circuits as circuits;
@@ -54,3 +81,51 @@ pub use opm_sparse as sparse;
 pub use opm_system as system;
 pub use opm_transient as transient;
 pub use opm_waveform as waveform;
+
+pub use opm_core::{Method, OpmResult, Problem, SimModel, SimPlan, Simulation, SolveOptions};
+
+/// The facade-wide error: everything a netlist → plan → solve pipeline
+/// can raise, so application code composes each stage with `?`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Error {
+    /// Circuit description / assembly failure (parse, stamping, output
+    /// selection).
+    Circuit(opm_circuits::CircuitError),
+    /// Solver failure (bad arguments, singular pencil, confluent steps).
+    Solver(opm_core::OpmError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Circuit(e) => write!(f, "{e}"),
+            Error::Solver(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Circuit(e) => Some(e),
+            Error::Solver(e) => Some(e),
+        }
+    }
+}
+
+impl From<opm_circuits::CircuitError> for Error {
+    fn from(e: opm_circuits::CircuitError) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+impl From<opm_core::OpmError> for Error {
+    fn from(e: opm_core::OpmError) -> Self {
+        // Keep circuit failures in their own arm even when they arrive
+        // pre-wrapped by the solver layer.
+        match e {
+            opm_core::OpmError::Circuit(c) => Error::Circuit(c),
+            other => Error::Solver(other),
+        }
+    }
+}

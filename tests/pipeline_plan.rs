@@ -1,0 +1,250 @@
+//! Integration: the `Simulation`/`SimPlan` session layer end to end
+//! through the facade — factor-reuse observability, batch-vs-loop
+//! equivalence, and netlist-entry parity with hand-built MNA systems.
+
+use opm::circuits::ladder::rc_ladder;
+use opm::circuits::mna::{assemble_fractional_mna, assemble_mna, Output};
+use opm::circuits::parser::parse_netlist;
+use opm::waveform::{InputSet, Waveform};
+use opm::{Problem, SimModel, Simulation, SolveOptions};
+
+/// Factor-reuse observability: a 50-scenario batch factors the pencil
+/// exactly once, where the naive loop factors 50 times.
+#[test]
+fn batch_of_fifty_factors_once() {
+    let ckt = rc_ladder(6, 1e3, 1e-9, Waveform::step(0.0, 1.0));
+    let model = assemble_mna(&ckt, &[Output::NodeVoltage(7)]).unwrap();
+    let (m, t_end) = (128, 1e-5);
+    let sets: Vec<InputSet> = (0..50)
+        .map(|s| {
+            InputSet::new(vec![Waveform::sine(
+                0.0,
+                1.0 + 0.1 * s as f64,
+                1e5 * (1.0 + s as f64),
+                0.0,
+                0.0,
+            )])
+        })
+        .collect();
+
+    let sim = Simulation::from_system(model.system.clone()).horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let runs = plan.solve_batch(&sets).unwrap();
+    assert_eq!(runs.len(), 50);
+    assert_eq!(
+        plan.num_factorizations(),
+        1,
+        "one factorization for 50 scenarios"
+    );
+
+    // The naive loop pays 50.
+    let naive_factorizations: usize = sets
+        .iter()
+        .map(|ws| {
+            Problem::linear(&model.system)
+                .waveforms(ws)
+                .horizon(t_end)
+                .solve(&SolveOptions::new().resolution(m))
+                .unwrap()
+                .num_factorizations
+        })
+        .sum();
+    assert_eq!(naive_factorizations, 50);
+}
+
+/// Batch results must match the scenario-by-scenario loop to 1e-12 on
+/// every model class the block sweep covers.
+#[test]
+fn batch_equals_loop_to_1e12() {
+    // Linear MNA ladder.
+    let ckt = rc_ladder(5, 2e3, 2e-9, Waveform::step(0.0, 1.0));
+    let model = assemble_mna(&ckt, &[Output::NodeVoltage(6)]).unwrap();
+    let (m, t_end) = (96, 2e-5);
+    let sets: Vec<InputSet> = (0..9)
+        .map(|s| {
+            InputSet::new(vec![Waveform::pulse(
+                0.0,
+                0.5 + 0.25 * s as f64,
+                1e-6,
+                1e-7 * (1 + s) as f64,
+                5e-6,
+                2e-7,
+                0.0,
+            )])
+        })
+        .collect();
+    let sim = Simulation::from_system(model.system).horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let batch = plan.solve_batch(&sets).unwrap();
+    for (ws, b) in sets.iter().zip(&batch) {
+        let single = plan.solve(ws).unwrap();
+        for j in 0..m {
+            assert!(
+                (single.output_row(0)[j] - b.output_row(0)[j]).abs() < 1e-12,
+                "linear column {j}"
+            );
+        }
+    }
+
+    // Fractional CPE ladder.
+    let parsed = parse_netlist(
+        "V1 in 0 DC 1\nR1 in a 50\nP1 a 0 CPE 2u 0.5\nR2 a b 50\nP2 b 0 CPE 1u 0.5\n.end",
+    )
+    .unwrap();
+    let fmodel = assemble_fractional_mna(&parsed.circuit, 0.5, &[Output::NodeVoltage(2)]).unwrap();
+    let fsets: Vec<InputSet> = (0..5)
+        .map(|s| InputSet::new(vec![Waveform::Dc(0.5 + s as f64)]))
+        .collect();
+    let fsim = Simulation::from_fractional(fmodel.system).horizon(1e-4);
+    let fplan = fsim.plan(&SolveOptions::new().resolution(64)).unwrap();
+    let fbatch = fplan.solve_batch(&fsets).unwrap();
+    for (ws, b) in fsets.iter().zip(&fbatch) {
+        let single = fplan.solve(ws).unwrap();
+        for j in 0..64 {
+            assert!(
+                (single.output_row(0)[j] - b.output_row(0)[j]).abs() < 1e-12,
+                "fractional column {j}"
+            );
+        }
+    }
+    assert_eq!(fplan.num_factorizations(), 1);
+}
+
+/// `Simulation::from_netlist` must produce the same trajectories as the
+/// hand-built parse → MNA → Problem pipeline.
+#[test]
+fn netlist_entry_matches_hand_built_mna() {
+    const NETLIST: &str = "\
+* two-section RC low-pass
+V1 in 0 PULSE(0 1 0 0.1u 2u 0.1u 10u)
+R1 in mid 1k
+C1 mid 0 1n
+R2 mid out 1k
+C2 out 0 1n
+.end
+";
+    let (m, t_end) = (200, 2e-5);
+
+    // Hand-built: parse, assemble, Problem::solve.
+    let parsed = parse_netlist(NETLIST).unwrap();
+    let out_node = parsed.node("out").unwrap();
+    let model = assemble_mna(&parsed.circuit, &[Output::NodeVoltage(out_node)]).unwrap();
+    let by_hand = Problem::linear(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .unwrap();
+
+    // Session entry: one call.
+    let sim = Simulation::from_netlist(NETLIST, &["out"])
+        .unwrap()
+        .horizon(t_end);
+    let via_session = sim
+        .plan(&SolveOptions::new().resolution(m))
+        .unwrap()
+        .solve(sim.inputs().unwrap())
+        .unwrap();
+
+    assert_eq!(sim.order(), model.system.order());
+    for j in 0..m {
+        assert_eq!(
+            by_hand.output_row(0)[j],
+            via_session.output_row(0)[j],
+            "column {j}"
+        );
+    }
+}
+
+/// Fractional netlists (CPE elements) take the fractional formulation
+/// automatically and match the hand-built fractional MNA pipeline.
+#[test]
+fn fractional_netlist_entry_matches_hand_built_mna() {
+    const NETLIST: &str = "\
+V1 in 0 DC 1
+R1 in top 100
+P1 top 0 CPE 1u 0.5
+.end
+";
+    let (m, t_end) = (128, 1e-6);
+    let parsed = parse_netlist(NETLIST).unwrap();
+    let top = parsed.node("top").unwrap();
+    let model = assemble_fractional_mna(&parsed.circuit, 0.5, &[Output::NodeVoltage(top)]).unwrap();
+    let by_hand = Problem::fractional(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .unwrap();
+
+    let sim = Simulation::from_netlist(NETLIST, &["top"])
+        .unwrap()
+        .horizon(t_end);
+    assert!(matches!(sim.model(), SimModel::Fractional(_)));
+    let via_session = sim
+        .plan(&SolveOptions::new().resolution(m))
+        .unwrap()
+        .solve(sim.inputs().unwrap())
+        .unwrap();
+    for j in 0..m {
+        assert_eq!(
+            by_hand.output_row(0)[j],
+            via_session.output_row(0)[j],
+            "column {j}"
+        );
+    }
+}
+
+/// The facade error enum composes circuit and solver failures with `?`.
+#[test]
+fn facade_error_composes_both_layers() {
+    fn pipeline(netlist: &str) -> Result<f64, opm::Error> {
+        let sim = Simulation::from_netlist(netlist, &[])?.horizon(1e-5);
+        let plan = sim.plan(&SolveOptions::new().resolution(32))?;
+        let r = plan.solve(sim.inputs().expect("netlist sources"))?;
+        Ok(r.state_coeff(0, 31))
+    }
+    assert!(pipeline("V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1n\n.end").is_ok());
+    assert!(matches!(
+        pipeline("XYZ this is not a netlist"),
+        Err(opm::Error::Circuit(_))
+    ));
+}
+
+/// Parameter sweep through a second-order power-grid plan: one
+/// factorization, results ordered by parameter.
+#[test]
+fn power_grid_sweep_reuses_factorization() {
+    use opm::circuits::grid::PowerGridSpec;
+    use opm::circuits::na::assemble_na;
+    let spec = PowerGridSpec {
+        layers: 2,
+        rows: 4,
+        cols: 4,
+        num_loads: 3,
+        ..Default::default()
+    };
+    let na = assemble_na(&spec.build(), &[1]).unwrap();
+    let (m, t_end) = (64, 5e-9);
+    let num_loads = na.inputs.len();
+    let sim = Simulation::from_second_order(na.system).horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let peaks = [1e-3, 2e-3, 4e-3];
+    let runs = plan
+        .sweep(&peaks, |&peak| {
+            InputSet::new(
+                (0..num_loads)
+                    .map(|_| Waveform::pulse(0.0, peak, 1e-9, 0.2e-9, 1e-9, 0.2e-9, 0.0))
+                    .collect(),
+            )
+        })
+        .unwrap();
+    assert_eq!(plan.num_factorizations(), 1);
+    // Linear scaling in the load peak (the grid model is linear).
+    for j in 8..m {
+        let a = runs[0].output_row(0)[j];
+        let b = runs[1].output_row(0)[j];
+        assert!(
+            (b - 2.0 * a).abs() < 1e-9 * a.abs().max(1e-12),
+            "column {j}"
+        );
+    }
+}
