@@ -4,20 +4,44 @@
 //! per scenario), and (b) through one `Simulation::plan` whose single
 //! factorization serves the whole batch in one interleaved pass.
 //!
-//! Emits `BENCH_sweep.json` (path override: `OPM_SWEEP_JSON`) with both
-//! timings, the factorization counts and the speedup.
+//! On top of the plan-reuse record, two hot-path records for the
+//! symbolic/numeric split and the parallel batch runtime:
+//!
+//! - `refactor_vs_factor` — the Table II grid's MNA pencils over a
+//!   64-shift step grid: fresh per-pencil factorization (pattern
+//!   rebuild + RCM + pivoted LU, the pre-split hot path) vs one
+//!   `PencilFamily` (pattern/ordering/symbolic analysis paid once,
+//!   numeric-only refactorization per shift).
+//! - `batch_threads_{1,4}` — the 100-scenario batch swept on 1 vs 4
+//!   workers (`SimPlan::solve_batch_with_threads`), with the hard
+//!   requirement that the results are bit-identical.
+//!
+//! Emits `BENCH_sweep.json` (path override: `OPM_SWEEP_JSON`) with all
+//! timings, the factorization counts and the speedups.
 //!
 //! `cargo run --release -p opm-bench --bin sweep`
 
 use std::io::Write as _;
 
-use opm_bench::{fmt_time, timed};
+use opm_bench::{fmt_time, timed_best};
 use opm_circuits::grid::PowerGridSpec;
+use opm_circuits::mna::{assemble_mna, Output};
 use opm_circuits::na::assemble_na;
+use opm_core::engine::{factor_pencil, PencilFamily};
 use opm_core::{Problem, Simulation, SolveOptions};
 use opm_waveform::{InputSet, Waveform};
 
 const SCENARIOS: usize = 100;
+const SHIFTS: usize = 64;
+
+/// Speedup floor from the environment, with a default for quiet
+/// machines; shared CI runners relax it without touching correctness.
+fn min_speedup(var: &str, default: f64) -> f64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(default)
+}
 
 fn main() {
     // The Table II workload family at CI scale (same topology the table2
@@ -66,8 +90,10 @@ fn main() {
         na.system.order()
     );
 
-    // (a) Naive: independent Problem::solve per scenario.
-    let (naive, naive_s) = timed(|| {
+    // (a) Naive: independent Problem::solve per scenario. Same rep count
+    //     as the planned path below — a lopsided best-of-N would bias
+    //     the min-estimator toward whichever side gets more chances.
+    let (naive, naive_s) = timed_best(3, || {
         sets.iter()
             .map(|ws| {
                 Problem::second_order(&na.system)
@@ -80,11 +106,13 @@ fn main() {
     });
     let naive_factorizations: usize = naive.iter().map(|r| r.num_factorizations).sum();
 
-    // (b) Planned: factor once, sweep the batch.
+    // (b) Planned: factor once, sweep the batch. Pinned to one worker so
+    //     sweep/speedup isolates the *reuse* economy — the threading win
+    //     is measured separately by the batch_threads records below.
     let sim = Simulation::from_second_order(na.system.clone()).horizon(t_end);
-    let ((plan, planned), plan_s) = timed(|| {
+    let ((plan, planned), plan_s) = timed_best(3, || {
         let plan = sim.plan(&opts).unwrap();
-        let runs = plan.solve_batch(&sets).unwrap();
+        let runs = plan.solve_batch_with_threads(&sets, 1).unwrap();
         (plan, runs)
     });
     let plan_factorizations = plan.num_factorizations();
@@ -121,26 +149,139 @@ fn main() {
     // Quiet machines comfortably clear 3×; shared CI runners get a
     // relaxed floor via OPM_SWEEP_MIN_SPEEDUP so noisy neighbors cannot
     // flake the build (factor count and Δ stay hard either way).
-    let min_speedup = std::env::var("OPM_SWEEP_MIN_SPEEDUP")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(3.0);
+    let plan_floor = min_speedup("OPM_SWEEP_MIN_SPEEDUP", 3.0);
     assert!(
-        speedup >= min_speedup,
-        "plan reuse must be ≥ {min_speedup}× faster than naive re-solving (got {speedup:.2}×)"
+        speedup >= plan_floor,
+        "plan reuse must be ≥ {plan_floor}× faster than naive re-solving (got {speedup:.2}×)"
+    );
+
+    // -- refactor_vs_factor: symbolic/numeric split on the grid's MNA
+    //    pencils over a 64-shift step grid ----------------------------------
+    let mna = assemble_mna(&ckt, &[Output::NodeVoltage(1)]).unwrap();
+    let (e, a) = (mna.system.e(), mna.system.a());
+    // Distinct shifts σ_j = 2/h_j over a geometric decade of steps —
+    // exactly the pencil family a fractional step-grid plan factors.
+    let sigmas: Vec<f64> = (0..SHIFTS)
+        .map(|j| 2.0 / (1e-10 * 1.05f64.powi(j as i32)))
+        .collect();
+    // (a) Fresh path: pattern rebuild + RCM + pivoted LU per pencil (the
+    //     pre-split hot path, kept verbatim as the baseline).
+    let (fresh_lus, fresh_s) = timed_best(3, || {
+        sigmas
+            .iter()
+            .map(|&s| factor_pencil(&e.lin_comb(s, -1.0, a)).unwrap())
+            .collect::<Vec<_>>()
+    });
+    // (b) Family path. The first pass establishes the symbolic analysis
+    //     (1 symbolic + 63 numeric — asserted below); the *timed* passes
+    //     then refactor all 64 shifts numerically against it, so the
+    //     refactor record measures pure numeric-only work on a single
+    //     worker (the algorithmic split, not parallelism).
+    let mut family = PencilFamily::new(e, a);
+    let family_lus = family.factor_all(&sigmas, 1).unwrap();
+    let fam_profile = family.profile();
+    let (_, refac_s) = timed_best(3, || family.factor_all(&sigmas, 1).unwrap());
+    let refac_speedup = fresh_s / refac_s;
+    let nn = mna.system.order();
+    let probe: Vec<f64> = (0..nn).map(|i| ((i * 7 % 23) as f64) - 11.0).collect();
+    let mut refac_delta = 0.0f64;
+    let mut scale = 0.0f64;
+    for (lf, lr) in fresh_lus.iter().zip(&family_lus) {
+        let xf = lf.solve(&probe);
+        let xr = lr.solve(&probe);
+        for (va, vb) in xf.iter().zip(&xr) {
+            refac_delta = refac_delta.max((va - vb).abs());
+            scale = scale.max(va.abs());
+        }
+    }
+    println!(
+        "refactor   : fresh {} vs numeric {}  ({:.2}×, {} symbolic + {} numeric, rel Δ = {:.2e})",
+        fmt_time(fresh_s),
+        fmt_time(refac_s),
+        refac_speedup,
+        fam_profile.num_symbolic,
+        fam_profile.num_numeric,
+        refac_delta / scale
+    );
+    assert_eq!(
+        (fam_profile.num_symbolic, fam_profile.num_numeric),
+        (1, SHIFTS - 1),
+        "the family must analyze once and refactor the rest"
+    );
+    assert!(
+        refac_delta <= 1e-9 * scale,
+        "refactored and fresh factors must solve identically (rel Δ = {:.2e})",
+        refac_delta / scale
+    );
+    let refac_floor = min_speedup("OPM_REFACTOR_MIN_SPEEDUP", 2.0);
+    assert!(
+        refac_speedup >= refac_floor,
+        "numeric refactorization must be ≥ {refac_floor}× faster than fresh \
+         factorization (got {refac_speedup:.2}×)"
+    );
+
+    // -- batch_threads_{1,4}: the parallel batch runtime -------------------
+    let (t1_runs, t1_s) = timed_best(3, || plan.solve_batch_with_threads(&sets, 1).unwrap());
+    let (t4_runs, t4_s) = timed_best(3, || plan.solve_batch_with_threads(&sets, 4).unwrap());
+    let mut thread_delta = 0.0f64;
+    for (ra, rb) in t1_runs.iter().zip(&t4_runs) {
+        for (oa, ob) in ra.outputs.iter().zip(&rb.outputs) {
+            for (va, vb) in oa.iter().zip(ob) {
+                thread_delta = thread_delta.max((va - vb).abs());
+            }
+        }
+    }
+    let thread_speedup = t1_s / t4_s;
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "threads    : 1 worker {} vs 4 workers {}  ({thread_speedup:.2}× on {cores} core(s), max |Δ| = {thread_delta:.2e})",
+        fmt_time(t1_s),
+        fmt_time(t4_s),
+    );
+    assert_eq!(
+        thread_delta, 0.0,
+        "the parallel batch must be bit-identical to the serial path"
+    );
+    // The thread-scaling floor depends on the hardware this runs on: a
+    // single-core box cannot speed anything up, so the default floor
+    // only bites where parallel wins are physically possible.
+    let thread_floor = min_speedup(
+        "OPM_THREADS_MIN_SPEEDUP",
+        if cores >= 4 {
+            1.5
+        } else if cores >= 2 {
+            1.05
+        } else {
+            0.0
+        },
+    );
+    assert!(
+        thread_speedup >= thread_floor,
+        "4 workers must be ≥ {thread_floor}× faster than 1 on this {cores}-core \
+         machine (got {thread_speedup:.2}×)"
     );
 
     let path = std::env::var("OPM_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
     let json = format!(
-        "{{\n  \"schema\": \"opm-bench-sweep/v1\",\n  \
-         \"note\": \"100-scenario load sweep on the Table II power grid (NA model, n = {n}, m = {m}): \
+        "{{\n  \"schema\": \"opm-bench-sweep/v2\",\n  \
+         \"note\": \"Table II power grid (NA model, n = {n}, m = {m}). sweep/*: 100-scenario load sweep, \
          independent Problem::solve per scenario vs one Simulation::plan + SimPlan::solve_batch. \
-         Regenerate: cargo run --release -p opm-bench --bin sweep\",\n  \
+         refactor/*: {SHIFTS} step-grid pencils of the grid's MNA form (n = {nn}), fresh per-pencil \
+         factorization vs pure numeric refactorization against a prerecorded PencilFamily analysis. \
+         threads/*: the same 100-scenario batch on 1 vs 4 workers ({cores} core(s) available; \
+         bit-identical results enforced). Regenerate: cargo run --release -p opm-bench --bin sweep\",\n  \
          \"records\": [\n    \
          {{\"id\": \"sweep/naive_loop_100\", \"seconds\": {naive_s:e}, \"num_factorizations\": {naive_factorizations}}},\n    \
          {{\"id\": \"sweep/plan_batch_100\", \"seconds\": {plan_s:e}, \"num_factorizations\": {plan_factorizations}}},\n    \
          {{\"id\": \"sweep/speedup\", \"value\": {speedup:.3}}},\n    \
-         {{\"id\": \"sweep/max_abs_delta\", \"value\": {worst:e}}}\n  ]\n}}\n",
+         {{\"id\": \"sweep/max_abs_delta\", \"value\": {worst:e}}},\n    \
+         {{\"id\": \"refactor/fresh_factor_{SHIFTS}\", \"seconds\": {fresh_s:e}, \"num_symbolic\": {SHIFTS}, \"num_numeric\": 0}},\n    \
+         {{\"id\": \"refactor/numeric_refactor_{SHIFTS}\", \"seconds\": {refac_s:e}, \"num_symbolic\": 0, \"num_numeric\": {SHIFTS}}},\n    \
+         {{\"id\": \"refactor_vs_factor\", \"value\": {refac_speedup:.3}}},\n    \
+         {{\"id\": \"batch_threads_1\", \"seconds\": {t1_s:e}, \"threads\": 1}},\n    \
+         {{\"id\": \"batch_threads_4\", \"seconds\": {t4_s:e}, \"threads\": 4, \"cores_available\": {cores}}},\n    \
+         {{\"id\": \"batch_threads_speedup\", \"value\": {thread_speedup:.3}}},\n    \
+         {{\"id\": \"batch_threads_max_abs_delta\", \"value\": {thread_delta:e}}}\n  ]\n}}\n",
         n = na.system.order(),
     );
     let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");

@@ -29,29 +29,55 @@ fn main() {
     println!();
 
     const REPS: usize = 200;
+    // The methods here run in single-digit microseconds, where a
+    // throttling phase on a shared machine can flip the ordering the
+    // shape check asserts. The timing rounds are therefore
+    // *interleaved* — every round times OPM and both FFT runs back to
+    // back, so a slow phase hits all three methods alike — and each
+    // method reports its best round.
+    const ROUNDS: usize = 5;
 
     // OPM.
     let u = model.inputs.bpf_matrix(m, t_end);
-    let (opm, t_opm) = timed(|| {
+    let opm_round = || {
         let mut last = None;
         for _ in 0..REPS {
             last = Some(solve_fractional(&model.system, &u, t_end).unwrap());
         }
         last.unwrap()
-    });
+    };
+    const FFT_RUNS: [(&str, usize); 2] = [("FFT-1", 8), ("FFT-2", 100)];
+    let fft_sims: Vec<FftSimulator> = FFT_RUNS
+        .iter()
+        .map(|&(_, n_samples)| FftSimulator::new(n_samples))
+        .collect();
+    let fft_round = |sim: &FftSimulator| {
+        let mut last = None;
+        for _ in 0..REPS {
+            last = Some(sim.simulate(&model.system, &model.inputs, t_end));
+        }
+        last.unwrap()
+    };
+
+    let (mut opm, mut t_opm) = timed(opm_round);
+    let mut fft_runs: Vec<(_, f64)> = fft_sims.iter().map(|s| timed(|| fft_round(s))).collect();
+    for _ in 1..ROUNDS {
+        let (o, s) = timed(opm_round);
+        if s < t_opm {
+            (opm, t_opm) = (o, s);
+        }
+        for (sim, run) in fft_sims.iter().zip(fft_runs.iter_mut()) {
+            let (r, s) = timed(|| fft_round(sim));
+            if s < run.1 {
+                *run = (r, s);
+            }
+        }
+    }
     let opm_out: Vec<Vec<f64>> = (0..2).map(|o| opm.output_row(o).to_vec()).collect();
 
     // FFT baselines.
     let mut results = Vec::new();
-    for (name, n_samples) in [("FFT-1", 8usize), ("FFT-2", 100)] {
-        let sim = FftSimulator::new(n_samples);
-        let (res, t_fft) = timed(|| {
-            let mut last = None;
-            for _ in 0..REPS {
-                last = Some(sim.simulate(&model.system, &model.inputs, t_end));
-            }
-            last.unwrap()
-        });
+    for ((name, _), (res, t_fft)) in FFT_RUNS.into_iter().zip(fft_runs) {
         // Interpolate the FFT waveform on OPM's midpoints for the Eq. (30)
         // comparison.
         let on_grid: Vec<Vec<f64>> = (0..2)

@@ -17,6 +17,26 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (out, t0.elapsed().as_secs_f64())
 }
 
+/// Times a closure `reps` times, returning the last result and the
+/// **minimum** seconds — the standard noise-robust estimator on shared
+/// or throttled machines, where the best observation is the closest to
+/// the code's true cost.
+///
+/// # Panics
+/// Panics when `reps == 0`.
+pub fn timed_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    assert!(reps >= 1, "timed_best needs at least one repetition");
+    let (mut out, mut best) = timed(&mut f);
+    for _ in 1..reps {
+        let (o, s) = timed(&mut f);
+        if s < best {
+            best = s;
+        }
+        out = o;
+    }
+    (out, best)
+}
+
 /// Formats seconds human-readably (µs/ms/s).
 pub fn fmt_time(sec: f64) -> String {
     if sec < 1e-3 {

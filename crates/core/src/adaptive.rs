@@ -15,9 +15,8 @@
 //! diagonal `(2/h_j)^α`, hence its own factorization — the
 //! eigendecomposition route of the paper has the same property.
 
-use crate::engine::{
-    apply_b, apply_b_column, factor_shifted_pencil, reconstruct_outputs, FactorCache,
-};
+use crate::engine::{apply_b, apply_b_column, reconstruct_outputs, FactorCache, PencilFamily};
+use crate::metrics::FactorProfile;
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::adaptive::AdaptiveBpf;
@@ -250,17 +249,29 @@ pub(crate) struct StepGridFactors {
     f_cols: Vec<Vec<f64>>,
     /// Factorization of `(D̃^α[j,j]·E − A)` per column.
     lus: Vec<SparseLu>,
+    /// Symbolic/numeric split of the factorization work above.
+    profile: FactorProfile,
 }
 
 impl StepGridFactors {
     pub(crate) fn num_factorizations(&self) -> usize {
         self.lus.len()
     }
+
+    pub(crate) fn profile(&self) -> FactorProfile {
+        self.profile
+    }
 }
 
 /// Builds and factors every per-column pencil of a distinct-step grid —
 /// the expensive half of [`solve_fractional_adaptive`], independent of
-/// the stimulus.
+/// the stimulus. All columns share one [`PencilFamily`] (pattern,
+/// ordering and symbolic analysis paid once), and the per-column numeric
+/// refactorizations — independent of each other — run in parallel on the
+/// [`opm_par::default_threads`] workers. Note this *prepare-time*
+/// parallelism is governed solely by `OPM_THREADS` (it happens inside
+/// `Simulation::plan`, before any solve-time thread count is known);
+/// set `OPM_THREADS=1` to keep plan construction serial.
 ///
 /// # Errors
 /// As [`solve_fractional_adaptive`].
@@ -280,7 +291,7 @@ pub(crate) fn prepare_step_grid(
 
     let mut inc = AdaptiveBpf::incremental_frac_diff(fsys.alpha(), m);
     let mut f_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
-    let mut lus: Vec<SparseLu> = Vec::with_capacity(m);
+    let mut diags: Vec<f64> = Vec::with_capacity(m);
     for j in 0..m {
         inc.append_column(&grid.diff_column(j))
             .map_err(|e| OpmError::ConfluentSteps(format!("{e}")))?;
@@ -297,15 +308,23 @@ pub(crate) fn prepare_step_grid(
             }
         }
         f_cols.push((0..=j).map(|i| inc.value(i, j)).collect());
-        // (F[j,j]·E − A)·x_j = B·u_j − E·Σ_{i<j} F[i,j]·x_i.
-        let djj = inc.value(j, j);
-        let lu = factor_shifted_pencil(sys.e(), sys.a(), djj).map_err(|e| match e {
+        diags.push(inc.value(j, j));
+    }
+
+    // (F[j,j]·E − A)·x_j = B·u_j − E·Σ_{i<j} F[i,j]·x_i — one pencil per
+    // column, all on one pattern: analyze once, refactor the rest.
+    let mut family = PencilFamily::new(sys.e(), sys.a());
+    let lus = family
+        .factor_all(&diags, opm_par::default_threads())
+        .map_err(|(j, e)| match e {
             OpmError::SingularPencil(s) => OpmError::SingularPencil(format!("column {j}: {s}")),
             other => other,
         })?;
-        lus.push(lu);
-    }
-    Ok(StepGridFactors { f_cols, lus })
+    Ok(StepGridFactors {
+        f_cols,
+        lus,
+        profile: family.profile(),
+    })
 }
 
 /// Runs the distinct-step column sweep against prefactored pencils — the

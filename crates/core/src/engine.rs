@@ -11,7 +11,13 @@
 //!
 //! - [`validate_coeff_inputs`] / [`validate_horizon`] — argument checks;
 //! - [`factor_pencil`] — RCM-ordered sparse LU with error mapping;
-//! - [`FactorCache`] — memoized factorizations for step-lattice sweeps;
+//! - [`PencilFamily`] — the many-pencil hot path: one union pattern, one
+//!   RCM ordering and one symbolic analysis shared by every shift
+//!   `σ·E − A`, with numeric-only refactorization per shift
+//!   ([`PencilFamily::factor`]) and a parallel batch form
+//!   ([`PencilFamily::factor_all`]);
+//! - [`FactorCache`] — memoized factorizations for step-lattice sweeps,
+//!   backed by a [`PencilFamily`];
 //! - [`apply_b`] / [`apply_b_block`] — accumulate `scale·B·u_j` into a
 //!   right-hand side (single scenario or an interleaved lane block);
 //! - [`BlockColumnSweep`] — the cached-factorization column solve loop,
@@ -51,10 +57,13 @@
 //! ```
 
 use crate::adaptive::AdaptiveOpmOptions;
+use crate::metrics::FactorProfile;
 use crate::result::OpmResult;
 use crate::OpmError;
+use opm_sparse::lu::LuOptions;
 use opm_sparse::ordering::rcm;
-use opm_sparse::{CsrMatrix, SparseLu};
+use opm_sparse::pencil::ShiftedPencil;
+use opm_sparse::{CsrMatrix, Permutation, SparseError, SparseLu, SymbolicLu};
 use opm_system::{DescriptorSystem, FractionalSystem, MultiTermSystem, SecondOrderSystem};
 use opm_waveform::InputSet;
 use std::collections::HashMap;
@@ -130,6 +139,14 @@ pub fn factor_pencil(pencil: &CsrMatrix) -> Result<SparseLu, OpmError> {
 
 /// Builds and factors the two-matrix pencil `σ·E − A`.
 ///
+/// This is the **one-shot** form, deliberately kept free of any
+/// symbolic-reuse machinery: a single factorization cannot amortize an
+/// analysis, so it pays exactly one pattern union and one pivoted
+/// factor. Call sites that factor *many* shifts of one `(E, A)` pair —
+/// step grids, the adaptive lattice — go through [`PencilFamily`],
+/// which shares the CSC pattern, RCM ordering and symbolic analysis
+/// across all of them.
+///
 /// # Errors
 /// As [`factor_pencil`].
 pub fn factor_shifted_pencil(
@@ -138,6 +155,160 @@ pub fn factor_shifted_pencil(
     sigma: f64,
 ) -> Result<SparseLu, OpmError> {
     factor_pencil(&e.lin_comb(sigma, -1.0, a))
+}
+
+// ---------------------------------------------------------------------------
+// Pencil families: one symbolic analysis across many shifts
+// ---------------------------------------------------------------------------
+
+/// The shifted-pencil family `σ·E − A` over all shifts, with everything
+/// shift-independent paid **once**: the union CSC pattern
+/// ([`ShiftedPencil`]), the RCM fill-reducing ordering, and — after the
+/// first factorization — the symbolic analysis ([`SymbolicLu`]: fill
+/// pattern, pivot order, elimination reach). Every further shift is a
+/// numeric-only [`SparseLu::refactor`], with an automatic fall back to a
+/// fresh pivoted factorization when a fixed pivot degrades past
+/// [`LuOptions::refactor_threshold`].
+///
+/// The symbolic analysis recorded by the *first* factorization is kept
+/// for the family's whole lifetime (fallbacks do not replace it), so the
+/// factors produced for a given shift are independent of the order — or
+/// the thread — in which shifts are requested.
+pub struct PencilFamily {
+    pencil: ShiftedPencil,
+    order: Permutation,
+    symbolic: Option<SymbolicLu>,
+    /// Scratch value buffer for the serial [`PencilFamily::factor`] path.
+    scratch: Vec<f64>,
+    profile: FactorProfile,
+}
+
+impl PencilFamily {
+    /// Assembles the union pattern of `E` and `A` and computes the RCM
+    /// ordering — all shift-independent, done once per family.
+    pub fn new(e: &CsrMatrix, a: &CsrMatrix) -> Self {
+        let pencil = ShiftedPencil::new(e, a);
+        let order = rcm(&pencil.pattern().to_csr());
+        PencilFamily {
+            pencil,
+            order,
+            symbolic: None,
+            scratch: Vec::new(),
+            profile: FactorProfile::default(),
+        }
+    }
+
+    /// Factors `σ·E − A`: a numeric-only refactorization when the
+    /// family already holds a symbolic analysis (falling back to a fresh
+    /// pivoted factorization on pivot degradation), a full analysis —
+    /// recorded for every later shift — otherwise.
+    ///
+    /// # Errors
+    /// [`OpmError::SingularPencil`] when the pencil is singular.
+    pub fn factor(&mut self, sigma: f64) -> Result<SparseLu, OpmError> {
+        if let Some(sym) = &self.symbolic {
+            self.pencil.shift_values(sigma, &mut self.scratch);
+            match SparseLu::refactor(sym, &self.scratch) {
+                Ok(lu) => {
+                    self.profile.num_numeric += 1;
+                    return Ok(lu);
+                }
+                Err(SparseError::PivotDegraded(_)) => { /* fresh factor below */ }
+                Err(e) => return Err(OpmError::SingularPencil(format!("{e}"))),
+            }
+        }
+        let record = self.symbolic.is_none();
+        let csc = self.pencil.shifted(sigma);
+        if record {
+            let (sym, lu) = SymbolicLu::factor_with(csc, Some(&self.order), LuOptions::default())
+                .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+            self.symbolic = Some(sym);
+            self.profile.num_symbolic += 1;
+            Ok(lu)
+        } else {
+            // Pivot-degradation fallback: fresh pivots for this shift
+            // only; the family's shared analysis stays as recorded.
+            let lu = SparseLu::factor(csc, Some(&self.order))
+                .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+            self.profile.num_symbolic += 1;
+            Ok(lu)
+        }
+    }
+
+    /// Factors every shift in `sigmas`, numerically refactoring the
+    /// independent pencils **in parallel** on up to `threads` workers
+    /// (see [`opm_par::par_map`]): the first shift establishes the
+    /// shared symbolic analysis (unless one exists), the rest are
+    /// scatter–solve value passes against it, each worker carrying only
+    /// a private value buffer. Per-shift pivot degradation falls back to
+    /// a fresh pivoted factorization of that shift alone, so the result
+    /// for each shift — and the whole output — is identical for every
+    /// `threads` value.
+    ///
+    /// # Errors
+    /// The index of the offending shift plus
+    /// [`OpmError::SingularPencil`] when some pencil is singular.
+    pub fn factor_all(
+        &mut self,
+        sigmas: &[f64],
+        threads: usize,
+    ) -> Result<Vec<SparseLu>, (usize, OpmError)> {
+        let Some((&first, rest)) = sigmas.split_first() else {
+            return Ok(Vec::new());
+        };
+        let head = self.factor(first).map_err(|e| (0, e))?;
+        let sym = self
+            .symbolic
+            .as_ref()
+            .expect("first factorization records the analysis");
+        let pencil = &self.pencil;
+        let order = &self.order;
+        // Contiguous chunks, one per worker task, so every task carries a
+        // single reused value buffer instead of allocating per shift.
+        // (lu, fell_back) per shift; degraded pivots re-factor locally
+        // without touching the shared analysis.
+        let chunk_len = rest.len().div_ceil(threads.max(1)).max(1);
+        let chunks: Vec<&[f64]> = rest.chunks(chunk_len).collect();
+        let tail = opm_par::par_map(threads, &chunks, |chunk| {
+            let mut vals = Vec::new();
+            chunk
+                .iter()
+                .map(|&sigma| {
+                    pencil.shift_values(sigma, &mut vals);
+                    match SparseLu::refactor(sym, &vals) {
+                        Ok(lu) => Ok((lu, false)),
+                        Err(SparseError::PivotDegraded(_)) => {
+                            SparseLu::factor(&pencil.shifted_csc(sigma), Some(order))
+                                .map(|lu| (lu, true))
+                                .map_err(|e| OpmError::SingularPencil(format!("{e}")))
+                        }
+                        Err(e) => Err(OpmError::SingularPencil(format!("{e}"))),
+                    }
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut out = Vec::with_capacity(sigmas.len());
+        out.push(head);
+        for (i, res) in tail.into_iter().flatten().enumerate() {
+            match res {
+                Ok((lu, fell_back)) => {
+                    if fell_back {
+                        self.profile.num_symbolic += 1;
+                    } else {
+                        self.profile.num_numeric += 1;
+                    }
+                    out.push(lu);
+                }
+                Err(e) => return Err((i + 1, e)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Factorization-cost profile of this family so far.
+    pub fn profile(&self) -> FactorProfile {
+        self.profile
+    }
 }
 
 /// Builds the multi-term pencil `Σ_k w_k·A_k` from per-term leading
@@ -162,21 +333,25 @@ pub fn weighted_pencil(
 
 /// Memoized pencil factorizations keyed by the power-of-two step
 /// exponent — the adaptive linear sweep's factorization cache.
-pub struct FactorCache<'a> {
-    e: &'a CsrMatrix,
-    a: &'a CsrMatrix,
+///
+/// Backed by a [`PencilFamily`]: the union pattern, RCM ordering and
+/// symbolic analysis are shared across the whole step lattice, so every
+/// cache *miss* after the first is a numeric-only refactorization.
+pub struct FactorCache {
+    family: PencilFamily,
     factors: HashMap<i32, SparseLu>,
-    num_factorizations: usize,
+    hits: usize,
+    misses: usize,
 }
 
-impl<'a> FactorCache<'a> {
+impl FactorCache {
     /// A cache for pencils `(2/h)·E − A` over the step lattice `h = 2^k`.
-    pub fn new(e: &'a CsrMatrix, a: &'a CsrMatrix) -> Self {
+    pub fn new(e: &CsrMatrix, a: &CsrMatrix) -> Self {
         FactorCache {
-            e,
-            a,
+            family: PencilFamily::new(e, a),
             factors: HashMap::new(),
-            num_factorizations: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -188,16 +363,28 @@ impl<'a> FactorCache<'a> {
     pub fn get(&mut self, exp: i32) -> Result<&SparseLu, OpmError> {
         if !self.factors.contains_key(&exp) {
             let h = 2.0f64.powi(exp);
-            let lu = factor_shifted_pencil(self.e, self.a, 2.0 / h)?;
+            let lu = self.family.factor(2.0 / h)?;
             self.factors.insert(exp, lu);
-            self.num_factorizations += 1;
+            self.misses += 1;
+        } else {
+            self.hits += 1;
         }
         Ok(&self.factors[&exp])
     }
 
     /// Number of distinct factorizations performed so far.
     pub fn num_factorizations(&self) -> usize {
-        self.num_factorizations
+        self.family.profile().num_factorizations()
+    }
+
+    /// Factorization profile: symbolic/numeric split plus the hit/miss
+    /// readout of this cache.
+    pub fn profile(&self) -> FactorProfile {
+        FactorProfile {
+            cache_hits: self.hits,
+            cache_misses: self.misses,
+            ..self.family.profile()
+        }
     }
 }
 
@@ -909,6 +1096,71 @@ mod tests {
         cache.get(-3).unwrap();
         cache.get(-4).unwrap();
         assert_eq!(cache.num_factorizations(), 2);
+        let p = cache.profile();
+        assert_eq!((p.cache_hits, p.cache_misses), (1, 2));
+        // The second miss reuses the first miss's symbolic analysis.
+        assert_eq!((p.num_symbolic, p.num_numeric), (1, 1));
+    }
+
+    #[test]
+    fn pencil_family_shares_one_symbolic_analysis() {
+        use opm_sparse::CooMatrix;
+        // A 2-D-grid-shaped pencil large enough for real fill.
+        let g = 12;
+        let n = g * g;
+        let mut e = CooMatrix::new(n, n);
+        let mut a = CooMatrix::new(n, n);
+        let idx = |r: usize, s: usize| r * g + s;
+        for r in 0..g {
+            for s in 0..g {
+                e.push(idx(r, s), idx(r, s), 1.0);
+                a.push(idx(r, s), idx(r, s), -4.0);
+                if r + 1 < g {
+                    a.push(idx(r, s), idx(r + 1, s), 1.0);
+                    a.push(idx(r + 1, s), idx(r, s), 1.0);
+                }
+                if s + 1 < g {
+                    a.push(idx(r, s), idx(r, s + 1), 1.0);
+                    a.push(idx(r, s + 1), idx(r, s), 1.0);
+                }
+            }
+        }
+        let (e, a) = (e.to_csr(), a.to_csr());
+        let mut family = PencilFamily::new(&e, &a);
+        let sigmas = [2.0, 5.0, 17.0, 130.0];
+        for &s in &sigmas {
+            family.factor(s).unwrap();
+        }
+        let p = family.profile();
+        assert_eq!((p.num_symbolic, p.num_numeric), (1, 3));
+
+        // Each factorization must agree with the one-shot path.
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+        for &s in &sigmas {
+            let via_family = family.factor(s).unwrap().solve(&b);
+            let one_shot = factor_shifted_pencil(&e, &a, s).unwrap().solve(&b);
+            for i in 0..n {
+                assert!(
+                    (via_family[i] - one_shot[i]).abs() < 1e-12,
+                    "σ={s}, row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pencil_family_factor_all_is_thread_invariant() {
+        let sys = scalar(-3.0);
+        let sigmas: Vec<f64> = (1..20).map(|k| 1.5 * k as f64).collect();
+        let lus_1 = PencilFamily::new(sys.e(), sys.a())
+            .factor_all(&sigmas, 1)
+            .unwrap();
+        let lus_4 = PencilFamily::new(sys.e(), sys.a())
+            .factor_all(&sigmas, 4)
+            .unwrap();
+        for (l1, l4) in lus_1.iter().zip(&lus_4) {
+            assert_eq!(l1.solve(&[1.0]), l4.solve(&[1.0]));
+        }
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod second_order;
 pub mod session;
 
 pub use engine::{Method, Problem, SolveOptions};
+pub use metrics::FactorProfile;
 pub use result::OpmResult;
 pub use session::{SimModel, SimPlan, Simulation};
 

@@ -1,4 +1,33 @@
-//! Error metrics used by the experiment harness.
+//! Error metrics used by the experiment harness, plus the factorization
+//! cost profile the session layer reports.
+
+/// Factorization-cost observability for a plan, cache or pencil family:
+/// how much symbolic (full pivoted analysis) versus numeric-only
+/// (refactorization against a shared [`opm_sparse::SymbolicLu`]) work
+/// was performed, and how the adaptive step-lattice cache behaved.
+///
+/// `num_symbolic + num_numeric` is the total number of factorizations —
+/// the quantity the paper's `O(n^β)` term counts; the split shows how
+/// much of it the symbolic/numeric reuse converted into the cheaper
+/// numeric-only form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FactorProfile {
+    /// Full symbolic analyses (pattern DFS + pivot search + numeric).
+    pub num_symbolic: usize,
+    /// Numeric-only refactorizations (fixed pivots and fill, no DFS).
+    pub num_numeric: usize,
+    /// Step-lattice cache lookups served from memory (adaptive plans).
+    pub cache_hits: usize,
+    /// Step-lattice cache lookups that had to factor (adaptive plans).
+    pub cache_misses: usize,
+}
+
+impl FactorProfile {
+    /// Total factorizations performed (symbolic + numeric).
+    pub fn num_factorizations(&self) -> usize {
+        self.num_symbolic + self.num_numeric
+    }
+}
 
 /// The paper's Eq. (30) relative error in dB:
 /// `err = 20·log₁₀(‖y_test − y_ref‖₂ / ‖y_ref‖₂)`.

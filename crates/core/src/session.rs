@@ -48,6 +48,7 @@ use crate::engine::{
     BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap, SolveOptions,
 };
 use crate::kron_solve::{fractional_as_multiterm, kron_prepare, kron_solve_prepared, KronFactors};
+use crate::metrics::FactorProfile;
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::adaptive::AdaptiveBpf;
@@ -61,7 +62,7 @@ use opm_fracnum::binomial::binomial_series;
 use opm_sparse::SparseLu;
 use opm_system::{DescriptorSystem, FractionalSystem, MultiTermSystem, SecondOrderSystem};
 use opm_waveform::InputSet;
-use std::cell::{Cell, RefCell};
+use std::sync::Mutex;
 
 // ---------------------------------------------------------------------------
 // Simulation: the owning session front door
@@ -444,7 +445,7 @@ struct StepGridPlan {
     factors: StepGridFactors,
 }
 
-enum PlanKind<'a> {
+enum PlanKind {
     /// Linear recurrence / accumulator against `(2/h)E − A`.
     Linear {
         sigma: f64,
@@ -471,10 +472,12 @@ enum PlanKind<'a> {
         mt: Option<MultiTermSystem>,
     },
     /// On-the-fly adaptive linear stepping; the power-of-two lattice
-    /// cache persists across every scenario solved through this plan.
+    /// cache persists across every scenario solved through this plan
+    /// (one symbolic analysis, numeric refactorization per new lattice
+    /// exponent).
     AdaptiveLinear {
         aopts: AdaptiveOpmOptions,
-        cache: RefCell<FactorCache<'a>>,
+        cache: Mutex<FactorCache>,
     },
     /// Fractional distinct-step grid with all per-column factorizations
     /// and the `D̃^α` columns precomputed.
@@ -491,8 +494,10 @@ pub struct SimPlan<'a> {
     t_end: f64,
     m: usize,
     x0: Vec<f64>,
-    kind: PlanKind<'a>,
-    factor_count: Cell<usize>,
+    kind: PlanKind,
+    /// Factorization work done at prepare time (live adaptive plans
+    /// report from their lattice cache instead).
+    profile: FactorProfile,
 }
 
 impl std::fmt::Debug for SimPlan<'_> {
@@ -505,6 +510,15 @@ impl std::fmt::Debug for SimPlan<'_> {
             .finish_non_exhaustive()
     }
 }
+
+/// Profile of a plan whose preparation performed exactly one full
+/// factorization — every uniform-grid kind.
+const ONE_SYMBOLIC: FactorProfile = FactorProfile {
+    num_symbolic: 1,
+    num_numeric: 0,
+    cache_hits: 0,
+    cache_misses: 0,
+};
 
 /// Output projection dispatch without cloning the selector.
 enum OutRef<'o> {
@@ -566,9 +580,9 @@ impl<'a> SimPlan<'a> {
                 x0,
                 kind: PlanKind::AdaptiveLinear {
                     aopts,
-                    cache: RefCell::new(FactorCache::new(sys.e(), sys.a())),
+                    cache: Mutex::new(FactorCache::new(sys.e(), sys.a())),
                 },
-                factor_count: Cell::new(0),
+                profile: FactorProfile::default(),
             });
         }
         if opts.step_grid.is_some() {
@@ -578,14 +592,14 @@ impl<'a> SimPlan<'a> {
             let steps = opts.step_grid.clone().expect("checked above");
             let grid = AdaptiveBpf::new(steps);
             let factors = adaptive::prepare_step_grid(fsys, &grid)?;
-            let count = factors.num_factorizations();
+            let profile = factors.profile();
             return Ok(SimPlan {
                 model,
                 t_end,
                 m: grid.dim(),
                 x0,
                 kind: PlanKind::StepGrid(StepGridPlan { grid, factors }),
-                factor_count: Cell::new(count),
+                profile,
             });
         }
 
@@ -685,7 +699,7 @@ impl<'a> SimPlan<'a> {
             m,
             x0,
             kind,
-            factor_count: Cell::new(1),
+            profile: ONE_SYMBOLIC,
         })
     }
 
@@ -710,7 +724,7 @@ impl<'a> SimPlan<'a> {
                 lu: factor_shifted_pencil(sys.e(), sys.a(), sigma)?,
                 accumulator,
             },
-            factor_count: Cell::new(1),
+            profile: ONE_SYMBOLIC,
         })
     }
 
@@ -733,7 +747,7 @@ impl<'a> SimPlan<'a> {
                 lu: factor_shifted_pencil(sys.e(), sys.a(), rho[0])?,
                 rho,
             },
-            factor_count: Cell::new(1),
+            profile: ONE_SYMBOLIC,
         })
     }
 
@@ -751,7 +765,7 @@ impl<'a> SimPlan<'a> {
             m,
             x0: vec![0.0; mt.order()],
             kind: PlanKind::MultiTerm(mt_plan(mt, m, t_end, select)?),
-            factor_count: Cell::new(1),
+            profile: ONE_SYMBOLIC,
         })
     }
 
@@ -774,7 +788,7 @@ impl<'a> SimPlan<'a> {
                 plan,
                 differentiate: true,
             },
-            factor_count: Cell::new(1),
+            profile: ONE_SYMBOLIC,
         })
     }
 
@@ -782,11 +796,38 @@ impl<'a> SimPlan<'a> {
 
     /// Sparse (or dense-oracle) factorizations performed on behalf of
     /// this plan so far — the reuse observable: a 100-scenario batch on a
-    /// uniform plan reports **1**.
+    /// uniform plan reports **1**. Equals
+    /// [`num_symbolic`](SimPlan::num_symbolic) `+`
+    /// [`num_numeric`](SimPlan::num_numeric).
     pub fn num_factorizations(&self) -> usize {
+        self.factor_profile().num_factorizations()
+    }
+
+    /// Full symbolic analyses (pattern DFS, pivot search) performed on
+    /// behalf of this plan — the expensive kind. Step-grid and adaptive
+    /// plans report **1** here no matter how many pencils they factor:
+    /// every pencil after the first shares the analysis and shows up in
+    /// [`num_numeric`](SimPlan::num_numeric) instead.
+    pub fn num_symbolic(&self) -> usize {
+        self.factor_profile().num_symbolic
+    }
+
+    /// Numeric-only refactorizations (fixed pivots and fill, no reach
+    /// discovery) performed on behalf of this plan — the cheap kind the
+    /// symbolic/numeric split buys.
+    pub fn num_numeric(&self) -> usize {
+        self.factor_profile().num_numeric
+    }
+
+    /// The full factorization-cost profile, including the step-lattice
+    /// cache hit/miss readout for adaptive plans (both counters are 0
+    /// for plan kinds that do not run the lattice cache).
+    pub fn factor_profile(&self) -> FactorProfile {
         match &self.kind {
-            PlanKind::AdaptiveLinear { cache, .. } => cache.borrow().num_factorizations(),
-            _ => self.factor_count.get(),
+            PlanKind::AdaptiveLinear { cache, .. } => {
+                cache.lock().expect("lattice cache poisoned").profile()
+            }
+            _ => self.profile,
         }
     }
 
@@ -817,15 +858,34 @@ impl<'a> SimPlan<'a> {
         Ok(out.pop().expect("one lane in, one result out"))
     }
 
-    /// Solves `K` stimuli through **one** factorization in a single
-    /// pass: all scenarios advance column-by-column together through the
-    /// engine's interleaved block sweep, so the sparse solves and
-    /// matrix products are amortized `K`-fold. Results are in input
-    /// order and identical to `K` independent [`SimPlan::solve`] calls.
+    /// Solves `K` stimuli through **one** factorization, the scenarios
+    /// split across the [`opm_par::default_threads`] worker threads
+    /// (`OPM_THREADS` to override) and, within each worker, advanced
+    /// column-by-column together through the engine's interleaved block
+    /// sweep — so the sparse solves and matrix products are amortized
+    /// across the batch *and* the cores. Results are in input order and
+    /// bit-identical to `K` independent [`SimPlan::solve`] calls, for
+    /// every thread count.
     ///
     /// # Errors
     /// [`OpmError::BadArguments`] on channel mismatches.
     pub fn solve_batch(&self, inputs: &[InputSet]) -> Result<Vec<OpmResult>, OpmError> {
+        self.solve_batch_with_threads(inputs, opm_par::default_threads())
+    }
+
+    /// [`SimPlan::solve_batch`] with an explicit worker count — for
+    /// servers that manage their own concurrency budget, and for pinning
+    /// down the thread-count-invariance guarantee in tests. `threads`
+    /// only sets how lanes are distributed; the per-lane arithmetic is
+    /// identical for every value, so so is every result bit.
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_batch`].
+    pub fn solve_batch_with_threads(
+        &self,
+        inputs: &[InputSet],
+        threads: usize,
+    ) -> Result<Vec<OpmResult>, OpmError> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
@@ -844,6 +904,8 @@ impl<'a> SimPlan<'a> {
                 let ModelRef::Linear(sys) = self.model else {
                     unreachable!("adaptive plans are linear by construction");
                 };
+                // Serial by design: the lattice cache fills on the fly,
+                // and every scenario should see (and extend) it.
                 inputs
                     .iter()
                     .map(|ws| {
@@ -853,7 +915,7 @@ impl<'a> SimPlan<'a> {
                             self.t_end,
                             &self.x0,
                             *aopts,
-                            &mut cache.borrow_mut(),
+                            &mut cache.lock().expect("lattice cache poisoned"),
                         )
                     })
                     .collect()
@@ -862,10 +924,13 @@ impl<'a> SimPlan<'a> {
                 let ModelRef::Fractional(fsys) = self.model else {
                     unreachable!("step-grid plans are fractional by construction");
                 };
-                inputs
-                    .iter()
-                    .map(|ws| adaptive::sweep_step_grid(fsys, &sg.grid, &sg.factors, ws))
-                    .collect()
+                // Scenarios are independent sweeps over the shared
+                // prefactored columns — run them on the workers.
+                opm_par::par_map(threads, inputs, |ws| {
+                    adaptive::sweep_step_grid(fsys, &sg.grid, &sg.factors, ws)
+                })
+                .into_iter()
+                .collect()
             }
             _ => {
                 validate_horizon(self.t_end)?;
@@ -874,7 +939,7 @@ impl<'a> SimPlan<'a> {
                     .map(|ws| self.project(ws))
                     .collect::<Result<_, _>>()?;
                 let refs: Vec<&[Vec<f64>]> = us.iter().map(Vec::as_slice).collect();
-                self.run_block(&refs)
+                self.run_block(&refs, threads)
             }
         }
     }
@@ -942,7 +1007,7 @@ impl<'a> SimPlan<'a> {
                         )));
                     }
                 }
-                self.run_block(us)
+                self.run_block(us, opm_par::default_threads())
             }
         }
     }
@@ -968,8 +1033,14 @@ impl<'a> SimPlan<'a> {
         }
     }
 
-    /// Runs the interleaved block sweep for the uniform plan kinds.
-    fn run_block(&self, us: &[&[Vec<f64>]]) -> Result<Vec<OpmResult>, OpmError> {
+    /// Runs the interleaved block sweep for the uniform plan kinds,
+    /// splitting the scenario lanes across up to `threads` workers.
+    ///
+    /// Each worker sweeps a contiguous chunk of lanes through its own
+    /// [`BlockColumnSweep`]; lanes never mix arithmetically (every
+    /// kernel is elementwise across the lane dimension), so the chunked
+    /// parallel run is bit-identical to the one-big-sweep serial run.
+    fn run_block(&self, us: &[&[Vec<f64>]], threads: usize) -> Result<Vec<OpmResult>, OpmError> {
         // The dense oracle consumes the raw coefficient matrices; only
         // the sweeping kinds need the lane interleave.
         if let PlanKind::Kron { factors, mt } = &self.kind {
@@ -978,11 +1049,28 @@ impl<'a> SimPlan<'a> {
                 (None, ModelRef::MultiTerm(m)) => m,
                 _ => unreachable!("kron plans carry or reference a multi-term form"),
             };
-            return us
-                .iter()
-                .map(|u| kron_solve_prepared(mt, factors, u, self.t_end))
-                .collect();
+            return opm_par::par_map(threads, us, |u| {
+                kron_solve_prepared(mt, factors, u, self.t_end)
+            })
+            .into_iter()
+            .collect();
         }
+        let lanes_per_worker = us.len().div_ceil(threads.max(1));
+        if lanes_per_worker < us.len() {
+            let chunks: Vec<&[&[Vec<f64>]]> = us.chunks(lanes_per_worker).collect();
+            let per_chunk = opm_par::par_map(threads, &chunks, |chunk| self.run_chunk(chunk));
+            let mut out = Vec::with_capacity(us.len());
+            for res in per_chunk {
+                out.extend(res?);
+            }
+            return Ok(out);
+        }
+        self.run_chunk(us)
+    }
+
+    /// One worker's share of [`SimPlan::run_block`]: interleaves its
+    /// lanes and sweeps them through the cached factorization.
+    fn run_chunk(&self, us: &[&[Vec<f64>]]) -> Result<Vec<OpmResult>, OpmError> {
         let lc = LaneCoeffs::interleave(us, self.model.num_inputs(), self.m);
         let outcome = match &self.kind {
             PlanKind::Linear {
@@ -1545,6 +1633,81 @@ mod tests {
         // Same step lattice ⇒ the second scenario reuses every factor.
         assert_eq!(plan.num_factorizations(), first);
         assert!(a.num_solves > 0 && b.num_solves > 0);
+    }
+
+    #[test]
+    fn batch_is_invariant_under_thread_count() {
+        let sys = scalar(-1.5);
+        let sim = Simulation::from_system(sys).horizon(2.0);
+        let plan = sim.plan(&SolveOptions::new().resolution(64)).unwrap();
+        let sets: Vec<InputSet> = (0..11)
+            .map(|i| {
+                // Lane 4 all-zero: exercises the zero-skip path, whose
+                // grouping differs between chunkings.
+                if i == 4 {
+                    InputSet::new(vec![Waveform::Dc(0.0)])
+                } else {
+                    InputSet::new(vec![Waveform::sine(0.2, 1.0 + i as f64, 2.0, 0.0, 0.1)])
+                }
+            })
+            .collect();
+        let serial = plan.solve_batch_with_threads(&sets, 1).unwrap();
+        for threads in [2, 3, 4, 16] {
+            let par = plan.solve_batch_with_threads(&sets, threads).unwrap();
+            for (s, p) in serial.iter().zip(&par) {
+                for j in 0..64 {
+                    assert_eq!(
+                        s.state_coeff(0, j),
+                        p.state_coeff(0, j),
+                        "threads={threads}, column {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbolic_numeric_split_is_observable() {
+        // Uniform plan: one symbolic analysis, nothing numeric.
+        let sim = Simulation::from_system(scalar(-1.0)).horizon(1.0);
+        let plan = sim.plan(&SolveOptions::new().resolution(16)).unwrap();
+        assert_eq!((plan.num_symbolic(), plan.num_numeric()), (1, 0));
+        assert_eq!(plan.num_factorizations(), 1);
+
+        // Step grid: 12 pencils = 1 analysis + 11 refactorizations.
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        let steps = crate::adaptive::geometric_grid(1.0, 12, 1.2);
+        let simf = Simulation::from_fractional(fsys).horizon(1.0);
+        let planf = simf.plan(&SolveOptions::new().step_grid(steps)).unwrap();
+        assert_eq!((planf.num_symbolic(), planf.num_numeric()), (1, 11));
+        assert_eq!(planf.num_factorizations(), 12);
+
+        // Adaptive lattice: the cache readout counts hits across
+        // scenarios, and only the first miss is symbolic.
+        let sima = Simulation::from_system(scalar(-4.0)).horizon(2.0);
+        let plana = sima
+            .plan(&SolveOptions::new().adaptive(AdaptiveOpmOptions {
+                tol: 1e-6,
+                h0: 1.0 / 64.0,
+                ..Default::default()
+            }))
+            .unwrap();
+        plana
+            .solve(&InputSet::new(vec![Waveform::Dc(1.0)]))
+            .unwrap();
+        let p1 = plana.factor_profile();
+        assert_eq!(p1.num_symbolic, 1, "first lattice exponent analyzes");
+        assert_eq!(p1.num_numeric, p1.cache_misses - 1, "the rest refactor");
+        plana
+            .solve(&InputSet::new(vec![Waveform::Dc(2.0)]))
+            .unwrap();
+        let p2 = plana.factor_profile();
+        assert_eq!(
+            p2.num_factorizations(),
+            p1.num_factorizations(),
+            "second scenario re-factors nothing"
+        );
+        assert!(p2.cache_hits > p1.cache_hits);
     }
 
     #[test]

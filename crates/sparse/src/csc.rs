@@ -80,6 +80,25 @@ impl CscMatrix {
         &self.rowind[self.colptr[j]..self.colptr[j + 1]]
     }
 
+    /// The stored values in pattern order (column-major, rows ascending
+    /// within each column) — the layout [`SymbolicLu::factor_with`]
+    /// analyzes and [`SparseLu::refactor`] consumes.
+    ///
+    /// [`SymbolicLu::factor_with`]: crate::lu::SymbolicLu::factor_with
+    /// [`SparseLu::refactor`]: crate::lu::SparseLu::refactor
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the stored values. The sparsity *pattern* is
+    /// immutable — only the numeric payload can change — which is
+    /// exactly the contract symbolic/numeric factorization splits rely
+    /// on: rewrite the values of a shifted pencil in place, then
+    /// refactor against the unchanged pattern.
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Reads entry `(i, j)` via binary search in column `j`.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         let lo = self.colptr[j];

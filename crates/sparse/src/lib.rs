@@ -10,7 +10,12 @@
 //!   linear combinations (`α·E + β·A`), transpose.
 //! - [`csc::CscMatrix`] — compressed sparse column, the factorization format.
 //! - [`lu::SparseLu`] — left-looking Gilbert–Peierls LU with partial
-//!   pivoting (diagonal-preference threshold, SPICE style).
+//!   pivoting (diagonal-preference threshold, SPICE style), split into a
+//!   reusable symbolic analysis ([`lu::SymbolicLu`]) and numeric-only
+//!   refactorization ([`lu::SparseLu::refactor`]) for many-matrix,
+//!   one-pattern workloads.
+//! - [`pencil::ShiftedPencil`] — the `σ·E − A` pencil family: union CSC
+//!   pattern assembled once, values rewritten per shift.
 //! - [`cholesky::SparseCholesky`] — left-looking simplicial Cholesky for the
 //!   SPD matrices of the second-order nodal formulation.
 //! - [`ordering`] — reverse Cuthill–McKee and minimum-degree fill-reducing
@@ -38,13 +43,15 @@ pub mod csc;
 pub mod csr;
 pub mod lu;
 pub mod ordering;
+pub mod pencil;
 pub mod perm;
 
 pub use cholesky::SparseCholesky;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
-pub use lu::SparseLu;
+pub use lu::{SparseLu, SymbolicLu};
+pub use pencil::ShiftedPencil;
 pub use perm::Permutation;
 
 /// Errors produced by sparse factorizations.
@@ -53,6 +60,11 @@ pub enum SparseError {
     /// The matrix is structurally or numerically singular; the payload is
     /// the column at which factorization broke down.
     Singular(usize),
+    /// A numeric refactorization ([`lu::SparseLu::refactor`]) found the
+    /// fixed pivot of this column degraded past
+    /// [`lu::LuOptions::refactor_threshold`]; the caller should fall
+    /// back to a fresh pivoted factorization.
+    PivotDegraded(usize),
     /// Cholesky encountered a non-positive pivot; the matrix is not
     /// positive definite.
     NotPositiveDefinite(usize),
@@ -69,6 +81,11 @@ impl std::fmt::Display for SparseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SparseError::Singular(k) => write!(f, "matrix is singular at column {k}"),
+            SparseError::PivotDegraded(k) => write!(
+                f,
+                "refactorization pivot degraded at column {k}; a fresh pivoted \
+                 factorization is required"
+            ),
             SparseError::NotPositiveDefinite(k) => {
                 write!(f, "matrix is not positive definite (pivot {k})")
             }

@@ -10,6 +10,20 @@
 //! the diagonal row is accepted whenever it is within `pivot_threshold` of
 //! the largest candidate — the SPICE convention, which preserves the
 //! benefit of a fill-reducing pre-ordering on MNA matrices.
+//!
+//! # Symbolic/numeric split
+//!
+//! Workloads that factor **many matrices on one sparsity pattern** (the
+//! OPM pencils `σ·E − A` over varying shifts, the SPICE per-timestep
+//! Jacobians this solver family was designed for) pay the depth-first
+//! reach discovery, pivot search and pattern bookkeeping only once:
+//! [`SymbolicLu::factor_with`] records the elimination reach and pivot
+//! order of a reference factorization, and [`SparseLu::refactor`] replays
+//! the *numeric* half against new values — fixed pivots, fixed fill, no
+//! DFS — in the KLU style. A pivot that degrades past
+//! [`LuOptions::refactor_threshold`] aborts with
+//! [`SparseError::PivotDegraded`] so the caller can fall back to a fresh
+//! pivoted factorization.
 
 use crate::csc::CscMatrix;
 use crate::perm::Permutation;
@@ -22,13 +36,120 @@ pub struct LuOptions {
     /// `1.0` forces strict partial pivoting, small values prefer the
     /// diagonal. Default `1e-3`.
     pub pivot_threshold: f64,
+    /// Pivot-degradation guard for [`SparseLu::refactor`]: a numeric
+    /// refactorization rejects column `k` when the fixed pivot falls
+    /// below `refactor_threshold` times the largest candidate magnitude
+    /// in that column — the values have drifted too far from the
+    /// analyzed ones for the recorded pivot order to stay stable.
+    /// Default `1e-10`.
+    pub refactor_threshold: f64,
 }
 
 impl Default for LuOptions {
     fn default() -> Self {
         LuOptions {
             pivot_threshold: 1e-3,
+            refactor_threshold: 1e-10,
         }
+    }
+}
+
+/// The reusable symbolic half of a sparse LU: fill pattern, pivot and
+/// column order, and per-column elimination reach in topological order.
+///
+/// Computed once per sparsity pattern by [`SymbolicLu::factor_with`]
+/// (alongside the numeric factors of the analyzed matrix), then amortized
+/// over every [`SparseLu::refactor`] with new values on the *same*
+/// pattern. The struct is immutable and `Sync`, so one analysis can feed
+/// any number of concurrent refactorizations.
+///
+/// ```
+/// use opm_sparse::{CooMatrix, lu::{SparseLu, SymbolicLu}};
+/// let mut c = CooMatrix::new(2, 2);
+/// c.push(0, 0, 4.0);
+/// c.push(0, 1, 1.0);
+/// c.push(1, 0, 1.0);
+/// c.push(1, 1, 3.0);
+/// let csc = c.to_csc();
+/// let (sym, lu0) = SymbolicLu::factor(&csc, None).unwrap();
+/// // New values, same pattern: numeric-only refactorization.
+/// let lu1 = SparseLu::refactor(&sym, &[8.0, 2.0, 2.0, 6.0]).unwrap();
+/// let x = lu1.solve(&[10.0, 8.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// assert_eq!(lu0.dim(), lu1.dim());
+/// ```
+#[derive(Clone, Debug)]
+pub struct SymbolicLu {
+    n: usize,
+    /// Column ordering shared with every refactorization.
+    col_perm: Permutation,
+    /// `row_perm[k]` = original row pinned as pivot `k`.
+    row_perm: Vec<usize>,
+    /// Flat scatter map: input value slot `p` (CSC pattern order) lands
+    /// at pivotal row `a_dst[p]` of its column.
+    a_dst: Vec<usize>,
+    /// Per pivotal column `k`: the slot range of original column
+    /// `col_perm[k]` in the input value array.
+    a_range: Vec<(usize, usize)>,
+    /// U pattern per column (pivotal positions `< k`), flattened, in the
+    /// topological order the numeric update loop must follow.
+    u_ptr: Vec<usize>,
+    u_idx: Vec<usize>,
+    /// L pattern per column (pivotal positions `> k`), flattened.
+    l_ptr: Vec<usize>,
+    l_idx: Vec<usize>,
+    /// Pivot-degradation guard inherited from the analysis options.
+    refactor_threshold: f64,
+}
+
+impl SymbolicLu {
+    /// Factors `a` and records the symbolic analysis, with default
+    /// [`LuOptions`].
+    ///
+    /// # Errors
+    /// As [`SparseLu::factor`].
+    pub fn factor(
+        a: &CscMatrix,
+        order: Option<&Permutation>,
+    ) -> Result<(Self, SparseLu), SparseError> {
+        Self::factor_with(a, order, LuOptions::default())
+    }
+
+    /// Factors `a` with explicit options, returning both the symbolic
+    /// analysis (reusable for every matrix sharing `a`'s pattern) and
+    /// the numeric factors of `a` itself.
+    ///
+    /// Unlike [`SparseLu::factor_with`], entries of the elimination
+    /// reach that happen to be numerically zero for *this* value set are
+    /// kept in the factors: the pattern must cover every value set the
+    /// analysis will be replayed against.
+    ///
+    /// # Errors
+    /// As [`SparseLu::factor`].
+    pub fn factor_with(
+        a: &CscMatrix,
+        order: Option<&Permutation>,
+        opts: LuOptions,
+    ) -> Result<(Self, SparseLu), SparseError> {
+        let (lu, sym) = factor_impl(a, order, opts, true)?;
+        Ok((sym.expect("symbolic recording requested"), lu))
+    }
+
+    /// Dimension of the analyzed pattern.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored entries of the analyzed input pattern — the length
+    /// [`SparseLu::refactor`] expects of its value array.
+    pub fn pattern_nnz(&self) -> usize {
+        self.a_dst.len()
+    }
+
+    /// Stored entries in the factors (`L` strictly lower + `U` incl.
+    /// diagonal) every refactorization will produce.
+    pub fn factor_nnz(&self) -> usize {
+        self.l_idx.len() + self.u_idx.len() + self.n
     }
 }
 
@@ -84,138 +205,110 @@ impl SparseLu {
         order: Option<&Permutation>,
         opts: LuOptions,
     ) -> Result<Self, SparseError> {
-        if a.nrows() != a.ncols() {
-            return Err(SparseError::DimensionMismatch {
-                expected: (a.nrows(), a.nrows()),
-                found: (a.nrows(), a.ncols()),
-            });
-        }
-        let n = a.nrows();
-        let col_perm = order.cloned().unwrap_or_else(|| Permutation::identity(n));
-        assert_eq!(col_perm.len(), n, "ordering length mismatch");
+        factor_impl(a, order, opts, false).map(|(lu, _)| lu)
+    }
 
-        // During factorization L columns carry ORIGINAL row indices; they
-        // are renumbered to pivotal positions once all pivots are known.
+    /// Numeric-only refactorization: replays the elimination recorded in
+    /// `sym` against new `values` on the analyzed sparsity pattern —
+    /// fixed pivot order, fixed fill, no reach discovery. `values` must
+    /// be the value array of a CSC with the analyzed pattern (see
+    /// [`CscMatrix::values`]), e.g. one produced by
+    /// [`crate::pencil::ShiftedPencil::shift_values`].
+    ///
+    /// Refactoring with the values the analysis itself was run on
+    /// replays the exact same pivots and update sequence, so downstream
+    /// solves are bitwise-identical across the factor/refactor boundary.
+    ///
+    /// # Errors
+    /// [`SparseError::PivotDegraded`] when a fixed pivot falls below
+    /// [`LuOptions::refactor_threshold`] times the largest candidate in
+    /// its column (fall back to a fresh pivoted [`SparseLu::factor`]);
+    /// [`SparseError::Singular`] when a column vanishes entirely, an
+    /// input value is non-finite, or a pivot turns non-finite.
+    ///
+    /// # Panics
+    /// Panics when `values.len() != sym.pattern_nnz()`.
+    pub fn refactor(sym: &SymbolicLu, values: &[f64]) -> Result<Self, SparseError> {
+        assert_eq!(
+            values.len(),
+            sym.pattern_nnz(),
+            "refactor: value array does not match the analyzed pattern"
+        );
+        let n = sym.n;
         let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
         let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
         let mut u_diag = vec![0.0; n];
-        let mut pinv: Vec<Option<usize>> = vec![None; n];
-        let mut row_perm = Vec::with_capacity(n);
-
-        let mut x = vec![0.0f64; n]; // dense accumulator
-        let mut visited = vec![false; n];
-        let mut xi: Vec<usize> = Vec::with_capacity(n); // postorder
-        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n);
+        // Dense accumulator in *pivotal* row coordinates.
+        let mut x = vec![0.0f64; n];
 
         for k in 0..n {
-            let jcol = col_perm.old_of(k);
+            let upat = &sym.u_idx[sym.u_ptr[k]..sym.u_ptr[k + 1]];
+            let lpat = &sym.l_idx[sym.l_ptr[k]..sym.l_ptr[k + 1]];
 
-            // --- Symbolic: reach of pattern(A[:, jcol]) through L. ---
-            xi.clear();
-            for &r0 in a.col_pattern(jcol) {
-                if visited[r0] {
-                    continue;
-                }
-                visited[r0] = true;
-                stack.push((r0, 0));
-                while let Some(&mut (node, ref mut ci)) = stack.last_mut() {
-                    let children: &[(usize, f64)] = match pinv[node] {
-                        Some(jl) => &l_cols[jl],
-                        None => &[],
-                    };
-                    if *ci < children.len() {
-                        let child = children[*ci].0;
-                        *ci += 1;
-                        if !visited[child] {
-                            visited[child] = true;
-                            stack.push((child, 0));
-                        }
-                    } else {
-                        xi.push(node);
-                        stack.pop();
-                    }
-                }
+            // Scatter A[:, col_perm[k]] into pivotal positions,
+            // rejecting non-finite input values up front (they would
+            // otherwise slip past the pivot checks into the factors).
+            let (lo, hi) = sym.a_range[k];
+            let mut finite = true;
+            for (p, &v) in (lo..hi).zip(&values[lo..hi]) {
+                finite &= v.is_finite();
+                x[sym.a_dst[p]] = v;
             }
-
-            // --- Numeric: sparse lower-triangular solve. ---
-            for (r, v) in a.col(jcol) {
-                x[r] = v;
-            }
-            // Reverse postorder = topological order (parents first).
-            for &r in xi.iter().rev() {
-                if let Some(jl) = pinv[r] {
-                    let xr = x[r];
-                    if xr != 0.0 {
-                        for &(rr, lv) in &l_cols[jl] {
-                            x[rr] -= lv * xr;
-                        }
-                    }
-                }
-            }
-
-            // --- Pivot selection among non-pivotal reached rows. ---
-            let mut max_abs = 0.0f64;
-            let mut piv_row = usize::MAX;
-            for &r in &xi {
-                if pinv[r].is_none() {
-                    let v = x[r].abs();
-                    if v > max_abs {
-                        max_abs = v;
-                        piv_row = r;
-                    }
-                }
-            }
-            // Diagonal preference: accept original row `jcol` when close
-            // enough to the magnitude winner.
-            if pinv[jcol].is_none()
-                && visited[jcol]
-                && x[jcol].abs() >= opts.pivot_threshold * max_abs
-                && x[jcol] != 0.0
-            {
-                piv_row = jcol;
-            }
-            if piv_row == usize::MAX || x[piv_row] == 0.0 || !x[piv_row].is_finite() {
-                // Clean up workspace before reporting failure.
-                for &r in &xi {
-                    visited[r] = false;
-                    x[r] = 0.0;
+            if !finite {
+                for p in lo..hi {
+                    x[sym.a_dst[p]] = 0.0;
                 }
                 return Err(SparseError::Singular(k));
             }
-            let pivot = x[piv_row];
 
-            // --- Emit U column k and L column k; reset workspace. ---
-            let mut ucol = Vec::new();
-            let mut lcol = Vec::new();
-            for &r in &xi {
-                let v = x[r];
-                match pinv[r] {
-                    Some(pos) => {
-                        if v != 0.0 {
-                            ucol.push((pos, v));
-                        }
-                    }
-                    None => {
-                        if r != piv_row && v != 0.0 {
-                            lcol.push((r, v / pivot));
-                        }
+            // Sparse triangular solve over the recorded reach, in the
+            // recorded topological order — the same update sequence the
+            // analysis performed, hence bitwise-reproducible.
+            for &j in upat {
+                let xj = x[j];
+                if xj != 0.0 {
+                    for &(i, lv) in &l_cols[j] {
+                        x[i] -= lv * xj;
                     }
                 }
-                visited[r] = false;
-                x[r] = 0.0;
             }
+
+            // Fixed pivot with degradation guard.
+            let pivot = x[k];
+            let mut max_cand = pivot.abs();
+            for &i in lpat {
+                max_cand = max_cand.max(x[i].abs());
+            }
+            if !pivot.is_finite() || (pivot == 0.0 && max_cand == 0.0) {
+                for &i in upat.iter().chain(lpat) {
+                    x[i] = 0.0;
+                }
+                x[k] = 0.0;
+                return Err(SparseError::Singular(k));
+            }
+            if pivot.abs() < sym.refactor_threshold * max_cand {
+                for &i in upat.iter().chain(lpat) {
+                    x[i] = 0.0;
+                }
+                x[k] = 0.0;
+                return Err(SparseError::PivotDegraded(k));
+            }
+
+            // Gather into the fixed factor pattern; reset workspace.
+            let mut ucol = Vec::with_capacity(upat.len());
+            for &i in upat {
+                ucol.push((i, x[i]));
+                x[i] = 0.0;
+            }
+            let mut lcol = Vec::with_capacity(lpat.len());
+            for &i in lpat {
+                lcol.push((i, x[i] / pivot));
+                x[i] = 0.0;
+            }
+            x[k] = 0.0;
             u_diag[k] = pivot;
-            pinv[piv_row] = Some(k);
-            row_perm.push(piv_row);
             u_cols.push(ucol);
             l_cols.push(lcol);
-        }
-
-        // Renumber L's row indices from original to pivotal positions.
-        for col in &mut l_cols {
-            for entry in col.iter_mut() {
-                entry.0 = pinv[entry.0].expect("all rows pivotal after completion");
-            }
         }
 
         Ok(SparseLu {
@@ -223,8 +316,8 @@ impl SparseLu {
             l_cols,
             u_cols,
             u_diag,
-            row_perm,
-            col_perm,
+            row_perm: sym.row_perm.clone(),
+            col_perm: sym.col_perm.clone(),
         })
     }
 
@@ -355,6 +448,219 @@ impl SparseLu {
         d *= perm_sign(self.col_perm.as_slice());
         d
     }
+}
+
+/// Shared left-looking factorization. With `record` set, the elimination
+/// reach, pivot order and scatter map are captured into a [`SymbolicLu`],
+/// and reached-but-numerically-zero entries are kept in the factors so
+/// the recorded pattern covers every value set on this sparsity pattern.
+fn factor_impl(
+    a: &CscMatrix,
+    order: Option<&Permutation>,
+    opts: LuOptions,
+    record: bool,
+) -> Result<(SparseLu, Option<SymbolicLu>), SparseError> {
+    if a.nrows() != a.ncols() {
+        return Err(SparseError::DimensionMismatch {
+            expected: (a.nrows(), a.nrows()),
+            found: (a.nrows(), a.ncols()),
+        });
+    }
+    let n = a.nrows();
+    let col_perm = order.cloned().unwrap_or_else(|| Permutation::identity(n));
+    assert_eq!(col_perm.len(), n, "ordering length mismatch");
+
+    // During factorization L columns carry ORIGINAL row indices; they
+    // are renumbered to pivotal positions once all pivots are known.
+    let mut l_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    let mut u_cols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    let mut u_diag = vec![0.0; n];
+    let mut pinv: Vec<Option<usize>> = vec![None; n];
+    let mut row_perm = Vec::with_capacity(n);
+
+    let mut x = vec![0.0f64; n]; // dense accumulator
+    let mut visited = vec![false; n];
+    let mut xi: Vec<usize> = Vec::with_capacity(n); // postorder
+    let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n);
+
+    // Symbolic recording (reach in topological order; L pattern is kept
+    // in original row indices and renumbered with the rest at the end).
+    let mut u_ptr = vec![0usize];
+    let mut u_idx: Vec<usize> = Vec::new();
+    let mut l_ptr = vec![0usize];
+    let mut l_orig: Vec<usize> = Vec::new();
+
+    for k in 0..n {
+        let jcol = col_perm.old_of(k);
+
+        // --- Symbolic: reach of pattern(A[:, jcol]) through L. ---
+        xi.clear();
+        for &r0 in a.col_pattern(jcol) {
+            if visited[r0] {
+                continue;
+            }
+            visited[r0] = true;
+            stack.push((r0, 0));
+            while let Some(&mut (node, ref mut ci)) = stack.last_mut() {
+                let children: &[(usize, f64)] = match pinv[node] {
+                    Some(jl) => &l_cols[jl],
+                    None => &[],
+                };
+                if *ci < children.len() {
+                    let child = children[*ci].0;
+                    *ci += 1;
+                    if !visited[child] {
+                        visited[child] = true;
+                        stack.push((child, 0));
+                    }
+                } else {
+                    xi.push(node);
+                    stack.pop();
+                }
+            }
+        }
+
+        // --- Numeric: sparse lower-triangular solve. ---
+        for (r, v) in a.col(jcol) {
+            x[r] = v;
+        }
+        // Reverse postorder = topological order (parents first).
+        for &r in xi.iter().rev() {
+            if let Some(jl) = pinv[r] {
+                if record {
+                    u_idx.push(jl);
+                }
+                let xr = x[r];
+                if xr != 0.0 {
+                    for &(rr, lv) in &l_cols[jl] {
+                        x[rr] -= lv * xr;
+                    }
+                }
+            }
+        }
+
+        // --- Pivot selection among non-pivotal reached rows. ---
+        let mut max_abs = 0.0f64;
+        let mut piv_row = usize::MAX;
+        for &r in &xi {
+            if pinv[r].is_none() {
+                let v = x[r].abs();
+                if v > max_abs {
+                    max_abs = v;
+                    piv_row = r;
+                }
+            }
+        }
+        // Diagonal preference: accept original row `jcol` when close
+        // enough to the magnitude winner.
+        if pinv[jcol].is_none()
+            && visited[jcol]
+            && x[jcol].abs() >= opts.pivot_threshold * max_abs
+            && x[jcol] != 0.0
+        {
+            piv_row = jcol;
+        }
+        if piv_row == usize::MAX || x[piv_row] == 0.0 || !x[piv_row].is_finite() {
+            // Clean up workspace before reporting failure.
+            for &r in &xi {
+                visited[r] = false;
+                x[r] = 0.0;
+            }
+            return Err(SparseError::Singular(k));
+        }
+        let pivot = x[piv_row];
+
+        // --- Emit U column k and L column k; reset workspace. ---
+        let mut ucol = Vec::new();
+        let mut lcol = Vec::new();
+        for &r in &xi {
+            let v = x[r];
+            match pinv[r] {
+                Some(pos) => {
+                    if record || v != 0.0 {
+                        ucol.push((pos, v));
+                    }
+                }
+                None => {
+                    if r != piv_row && (record || v != 0.0) {
+                        lcol.push((r, v / pivot));
+                        if record {
+                            l_orig.push(r);
+                        }
+                    }
+                }
+            }
+            visited[r] = false;
+            x[r] = 0.0;
+        }
+        if record {
+            u_ptr.push(u_idx.len());
+            l_ptr.push(l_orig.len());
+        }
+        u_diag[k] = pivot;
+        pinv[piv_row] = Some(k);
+        row_perm.push(piv_row);
+        u_cols.push(ucol);
+        l_cols.push(lcol);
+    }
+
+    // Renumber L's row indices from original to pivotal positions.
+    for col in &mut l_cols {
+        for entry in col.iter_mut() {
+            entry.0 = pinv[entry.0].expect("all rows pivotal after completion");
+        }
+    }
+
+    let sym = if record {
+        for r in l_orig.iter_mut() {
+            *r = pinv[*r].expect("all rows pivotal after completion");
+        }
+        // Scatter map: value slot p of the input CSC (pattern order)
+        // lands at pivotal row pinv[rowind[p]]; per-column slot ranges
+        // come from prefix sums over the (contiguous) column patterns.
+        let mut col_lo = vec![0usize; n + 1];
+        for j in 0..n {
+            col_lo[j + 1] = col_lo[j] + a.col_pattern(j).len();
+        }
+        let mut a_dst = Vec::with_capacity(col_lo[n]);
+        for j in 0..n {
+            for &r in a.col_pattern(j) {
+                a_dst.push(pinv[r].expect("all rows pivotal after completion"));
+            }
+        }
+        let a_range = (0..n)
+            .map(|k| {
+                let jcol = col_perm.old_of(k);
+                (col_lo[jcol], col_lo[jcol + 1])
+            })
+            .collect();
+        Some(SymbolicLu {
+            n,
+            col_perm: col_perm.clone(),
+            row_perm: row_perm.clone(),
+            a_dst,
+            a_range,
+            u_ptr,
+            u_idx,
+            l_ptr,
+            l_idx: l_orig,
+            refactor_threshold: opts.refactor_threshold,
+        })
+    } else {
+        None
+    };
+
+    Ok((
+        SparseLu {
+            n,
+            l_cols,
+            u_cols,
+            u_diag,
+            row_perm,
+            col_perm,
+        },
+        sym,
+    ))
 }
 
 fn perm_sign(p: &[usize]) -> f64 {
@@ -559,6 +865,7 @@ mod tests {
             None,
             LuOptions {
                 pivot_threshold: 1.0,
+                ..LuOptions::default()
             },
         )
         .unwrap();
@@ -623,6 +930,99 @@ mod tests {
         let mut block = vec![0.0; 3];
         lu.solve_block_into(&b, &mut block, 1);
         assert_eq!(single, block);
+    }
+
+    #[test]
+    fn refactor_same_values_is_bitwise_identical() {
+        let a = grid_matrix(12); // n = 144, with pivoting-friendly structure
+        let csc = a.to_csc();
+        let order = rcm(&a);
+        let (sym, lu0) = SymbolicLu::factor(&csc, Some(&order)).unwrap();
+        let lu1 = SparseLu::refactor(&sym, csc.values()).unwrap();
+        let b: Vec<f64> = (0..144).map(|i| ((i * 13 % 29) as f64) - 14.0).collect();
+        assert_eq!(lu0.solve(&b), lu1.solve(&b));
+        assert_eq!(lu0.det(), lu1.det());
+    }
+
+    #[test]
+    fn refactor_new_values_solves_the_new_matrix() {
+        let a = grid_matrix(10);
+        let csc = a.to_csc();
+        let (sym, _) = SymbolicLu::factor(&csc, Some(&min_degree(&a))).unwrap();
+        // Scale + perturb the values on the same pattern.
+        let vals: Vec<f64> = csc.values().iter().map(|&v| 3.0 * v + 0.1).collect();
+        let mut csc2 = csc.clone();
+        csc2.values_mut().copy_from_slice(&vals);
+        let lu = SparseLu::refactor(&sym, &vals).unwrap();
+        let b: Vec<f64> = (0..100).map(|i| (i as f64 * 0.17).cos()).collect();
+        let x = lu.solve(&b);
+        let r = residual_inf(&csc2.to_csr(), &x, &b);
+        assert!(r < 1e-10, "refactor residual {r}");
+    }
+
+    #[test]
+    fn refactor_detects_pivot_degradation() {
+        // Analyze [[1, 2], [3, 4]]: the diagonal-preference rule pins the
+        // pivot of column 0 to row 0. New values make that pivot vanish
+        // relative to row 1 — the fixed order must refuse, and a fresh
+        // pivoted factorization must succeed by swapping rows.
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(1, 0, 3.0);
+        c.push(0, 1, 2.0);
+        c.push(1, 1, 4.0);
+        let csc = c.to_csc();
+        let (sym, _) = SymbolicLu::factor(&csc, None).unwrap();
+        // Pattern order is column-major: [(0,0), (1,0), (0,1), (1,1)].
+        let degraded = [1e-16, 3.0, 2.0, 4.0];
+        let err = SparseLu::refactor(&sym, &degraded).unwrap_err();
+        assert!(matches!(err, SparseError::PivotDegraded(0)), "{err:?}");
+        let mut csc2 = csc.clone();
+        csc2.values_mut().copy_from_slice(&degraded);
+        let fresh = SparseLu::factor(&csc2, None).unwrap();
+        let x = fresh.solve(&[2.0, 7.0]);
+        let r = residual_inf(&csc2.to_csr(), &x, &[2.0, 7.0]);
+        assert!(r < 1e-12);
+    }
+
+    #[test]
+    fn refactor_reports_vanished_column_as_singular() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(1, 1, 1.0);
+        let (sym, _) = SymbolicLu::factor(&c.to_csc(), None).unwrap();
+        let err = SparseLu::refactor(&sym, &[0.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SparseError::Singular(0)), "{err:?}");
+    }
+
+    #[test]
+    fn refactor_rejects_non_finite_values_anywhere_in_a_column() {
+        let mut c = CooMatrix::new(2, 2);
+        c.push(0, 0, 1.0);
+        c.push(1, 0, 3.0);
+        c.push(0, 1, 2.0);
+        c.push(1, 1, 4.0);
+        let (sym, _) = SymbolicLu::factor(&c.to_csc(), None).unwrap();
+        // NaN off the pivot (an L-slot) must not slip into the factors.
+        let err = SparseLu::refactor(&sym, &[1.0, f64::NAN, 2.0, 4.0]).unwrap_err();
+        assert!(matches!(err, SparseError::Singular(0)), "{err:?}");
+        // Infinity in a later column reports that column.
+        let err = SparseLu::refactor(&sym, &[1.0, 3.0, f64::INFINITY, 4.0]).unwrap_err();
+        assert!(matches!(err, SparseError::Singular(1)), "{err:?}");
+        // And the workspace is clean afterwards: a good refactor works.
+        let lu = SparseLu::refactor(&sym, &[1.0, 3.0, 2.0, 4.0]).unwrap();
+        let x = lu.solve(&[3.0, 7.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symbolic_pattern_counts_are_consistent() {
+        let a = grid_matrix(8);
+        let csc = a.to_csc();
+        let (sym, lu) = SymbolicLu::factor(&csc, Some(&rcm(&a))).unwrap();
+        assert_eq!(sym.dim(), 64);
+        assert_eq!(sym.pattern_nnz(), csc.nnz());
+        assert_eq!(sym.factor_nnz(), lu.nnz());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Shifted-pencil assembly: the CSC pattern of `σ·E − A` built **once**.
+//!
+//! Every OPM strategy that factors many pencils — step grids, the
+//! adaptive step lattice, repeated plans over one model — factors the
+//! same *pattern* `pattern(E) ∪ pattern(A)` with different values
+//! `σ·e_ij − a_ij`. Rebuilding the CSC (a linear combination plus a
+//! transpose-shaped conversion) per shift is pure waste: this module
+//! assembles the union pattern once, stores the `E` and `A` values
+//! aligned to it, and rewrites only the value array per shift. Combined
+//! with [`crate::lu::SymbolicLu`] the whole symbolic side of a
+//! factorization (pattern, ordering, elimination reach) is paid once per
+//! pencil *family* instead of once per pencil.
+
+use crate::csc::CscMatrix;
+use crate::csr::CsrMatrix;
+
+/// The pencil family `σ·E − A` over all shifts `σ`: one CSC union
+/// pattern plus the `E`/`A` values aligned to it.
+///
+/// ```
+/// use opm_sparse::{CooMatrix, pencil::ShiftedPencil, lu::SparseLu};
+/// let mut e = CooMatrix::new(2, 2);
+/// e.push(0, 0, 1.0);
+/// e.push(1, 1, 2.0);
+/// let mut a = CooMatrix::new(2, 2);
+/// a.push(0, 1, -1.0);
+/// a.push(1, 0, 1.0);
+/// let mut pencil = ShiftedPencil::new(&e.to_csr(), &a.to_csr());
+/// // σ = 3: factor (3E − A) = [[3, 1], [−1, 6]] without rebuilding
+/// // the pattern; (3E − A)·[1, 1]ᵀ = [4, 5]ᵀ.
+/// let lu = SparseLu::factor(pencil.shifted(3.0), None).unwrap();
+/// let x = lu.solve(&[4.0, 5.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShiftedPencil {
+    /// Union pattern; its value array is scratch for the last shift.
+    csc: CscMatrix,
+    /// `E` values on the union pattern (0 where only `A` has an entry).
+    e_vals: Vec<f64>,
+    /// `A` values on the union pattern (0 where only `E` has an entry).
+    a_vals: Vec<f64>,
+}
+
+impl ShiftedPencil {
+    /// Assembles the union pattern of `E` and `A` in CSC layout and
+    /// aligns both value sets to it.
+    ///
+    /// # Panics
+    /// Panics when `e` and `a` have different dimensions.
+    pub fn new(e: &CsrMatrix, a: &CsrMatrix) -> Self {
+        // lin_comb with a zero coefficient keeps the union pattern while
+        // selecting one matrix's values — two passes give E and A on the
+        // *identical* pattern, so a single CSC conversion each leaves
+        // the value arrays position-aligned.
+        let e_union = e.lin_comb(1.0, 0.0, a).to_csc();
+        let a_union = e.lin_comb(0.0, 1.0, a).to_csc();
+        let e_vals = e_union.values().to_vec();
+        let a_vals = a_union.values().to_vec();
+        ShiftedPencil {
+            csc: e_union,
+            e_vals,
+            a_vals,
+        }
+    }
+
+    /// Matrix dimension (the pencil is square iff `E` and `A` are).
+    pub fn nrows(&self) -> usize {
+        self.csc.nrows()
+    }
+
+    /// Stored entries of the union pattern.
+    pub fn nnz(&self) -> usize {
+        self.e_vals.len()
+    }
+
+    /// The union pattern (the value payload is whatever shift was last
+    /// written via [`ShiftedPencil::shifted`]; use it for pattern-only
+    /// work such as fill-reducing orderings).
+    pub fn pattern(&self) -> &CscMatrix {
+        &self.csc
+    }
+
+    /// Writes the values of `σ·E − A` (pattern order) into `out` — the
+    /// borrowed form parallel refactorization uses, one scratch buffer
+    /// per worker against one shared pattern.
+    pub fn shift_values(&self, sigma: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.e_vals
+                .iter()
+                .zip(&self.a_vals)
+                .map(|(&ev, &av)| sigma * ev - av),
+        );
+    }
+
+    /// Sets the internal value array to `σ·E − A` and returns the CSC —
+    /// ready to factor, with no pattern rebuild.
+    pub fn shifted(&mut self, sigma: f64) -> &CscMatrix {
+        let vals = self.csc.values_mut();
+        for ((v, &ev), &av) in vals.iter_mut().zip(&self.e_vals).zip(&self.a_vals) {
+            *v = sigma * ev - av;
+        }
+        &self.csc
+    }
+
+    /// An owned CSC of `σ·E − A` (clones the pattern) — for callers that
+    /// cannot borrow `self` mutably, e.g. the fresh-factorization
+    /// fallback inside a parallel refactorization sweep.
+    pub fn shifted_csc(&self, sigma: f64) -> CscMatrix {
+        let mut csc = self.csc.clone();
+        let vals = csc.values_mut();
+        for ((v, &ev), &av) in vals.iter_mut().zip(&self.e_vals).zip(&self.a_vals) {
+            *v = sigma * ev - av;
+        }
+        csc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::CooMatrix;
+
+    fn sample() -> (CsrMatrix, CsrMatrix) {
+        let mut e = CooMatrix::new(3, 3);
+        e.push(0, 0, 2.0);
+        e.push(1, 1, 1.0);
+        e.push(2, 2, 3.0);
+        let mut a = CooMatrix::new(3, 3);
+        a.push(0, 0, -1.0);
+        a.push(0, 2, 0.5);
+        a.push(2, 0, 1.5);
+        (e.to_csr(), a.to_csr())
+    }
+
+    #[test]
+    fn shifted_matches_lin_comb_for_every_shift() {
+        let (e, a) = sample();
+        let mut pencil = ShiftedPencil::new(&e, &a);
+        for &sigma in &[0.0, 1.0, -2.5, 1e6] {
+            let want = e.lin_comb(sigma, -1.0, &a);
+            let got = pencil.shifted(sigma);
+            for i in 0..3 {
+                for j in 0..3 {
+                    assert_eq!(got.get(i, j), want.get(i, j), "σ={sigma} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shift_values_and_owned_agree_with_in_place() {
+        let (e, a) = sample();
+        let mut pencil = ShiftedPencil::new(&e, &a);
+        let mut vals = Vec::new();
+        pencil.shift_values(7.25, &mut vals);
+        let owned = pencil.shifted_csc(7.25);
+        let in_place = pencil.shifted(7.25);
+        assert_eq!(vals, in_place.values());
+        assert_eq!(owned.values(), in_place.values());
+    }
+
+    #[test]
+    fn pattern_is_the_union() {
+        let (e, a) = sample();
+        let pencil = ShiftedPencil::new(&e, &a);
+        // E has 3 diagonal entries, A adds (0,2) and (2,0); (0,0) overlaps.
+        assert_eq!(pencil.nnz(), 5);
+    }
+}

@@ -4,9 +4,10 @@
 //! run exercises the identical sample set — failures reproduce exactly.
 
 use opm_rng::StdRng;
-use opm_sparse::lu::SparseLu;
+use opm_sparse::lu::{SparseLu, SymbolicLu};
 use opm_sparse::ordering::{min_degree, rcm};
-use opm_sparse::{CooMatrix, CsrMatrix, SparseCholesky};
+use opm_sparse::pencil::ShiftedPencil;
+use opm_sparse::{CooMatrix, CsrMatrix, SparseCholesky, SparseError};
 
 const CASES: usize = 32;
 
@@ -159,4 +160,89 @@ fn lu_det_sign_consistent_with_dense() {
         let dd = a.to_dense().factor_lu().unwrap().det();
         assert!((ds - dd).abs() < 1e-8 * dd.abs().max(1.0));
     }
+}
+
+/// Symbolic/numeric split: for random pencil families `σ·E − A` (random
+/// patterns, random values, random shift sequences) a numeric
+/// refactorization against one shared symbolic analysis must agree with
+/// a fresh pivoted factorization of the same matrix to 1e-12.
+#[test]
+fn refactor_agrees_with_fresh_factor_over_random_shifts() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0011);
+    for case in 0..CASES {
+        let n = 8 + rng.random_range(0..24usize);
+        let e = dd_sparse(&mut rng, n, 3 * n);
+        // −A diagonally dominant keeps σE − A comfortably nonsingular
+        // for every positive shift.
+        let a = dd_sparse(&mut rng, n, 3 * n).scale(-1.0);
+        let mut pencil = ShiftedPencil::new(&e, &a);
+        let order = rcm(&pencil.pattern().to_csr());
+        let sigma0 = 1.0 + 4.0 * rng.random();
+        let (sym, _) = SymbolicLu::factor(pencil.shifted(sigma0), Some(&order)).unwrap();
+        let b = rng.vec_in(-2.0..2.0, n);
+        let mut vals = Vec::new();
+        for shift in 0..6 {
+            let sigma = 0.5 + 8.0 * rng.random();
+            pencil.shift_values(sigma, &mut vals);
+            let x_re = SparseLu::refactor(&sym, &vals).unwrap().solve(&b);
+            let x_fresh = SparseLu::factor(pencil.shifted(sigma), Some(&order))
+                .unwrap()
+                .solve(&b);
+            for i in 0..n {
+                assert!(
+                    (x_re[i] - x_fresh[i]).abs() < 1e-12,
+                    "case {case}, shift {shift}, row {i}: {} vs {}",
+                    x_re[i],
+                    x_fresh[i]
+                );
+            }
+        }
+    }
+}
+
+/// A shift that cancels the analyzed pivot must be *refused* by the
+/// numeric refactorization (pivot degradation), and the fresh pivoted
+/// fallback must still solve the system.
+#[test]
+fn refactor_degradation_falls_back_to_fresh_factor() {
+    // E = diag(1, 1), A = [[−2, 1], [1, −3]]: the pencil σE − A keeps
+    // the diagonal pivot for moderate σ, but σ = −2 zeroes entry (0,0).
+    let mut ec = CooMatrix::new(2, 2);
+    ec.push(0, 0, 1.0);
+    ec.push(1, 1, 1.0);
+    let mut ac = CooMatrix::new(2, 2);
+    ac.push(0, 0, -2.0);
+    ac.push(0, 1, 1.0);
+    ac.push(1, 0, 1.0);
+    ac.push(1, 1, -3.0);
+    let (e, a) = (ec.to_csr(), ac.to_csr());
+    let mut pencil = ShiftedPencil::new(&e, &a);
+    let (sym, _) = SymbolicLu::factor(pencil.shifted(1.0), None).unwrap();
+
+    // Benign shift: refactor accepted, agrees with a fresh factor.
+    let mut vals = Vec::new();
+    pencil.shift_values(2.0, &mut vals);
+    let x_re = SparseLu::refactor(&sym, &vals).unwrap().solve(&[1.0, 2.0]);
+    let x_fr = SparseLu::factor(pencil.shifted(2.0), None)
+        .unwrap()
+        .solve(&[1.0, 2.0]);
+    assert!((x_re[0] - x_fr[0]).abs() < 1e-12 && (x_re[1] - x_fr[1]).abs() < 1e-12);
+
+    // Degenerate shift: the fixed (0,0) pivot collapses to ~0 while the
+    // off-diagonal stays O(1) — refactor must refuse...
+    let sigma_bad = -2.0 + 1e-15;
+    pencil.shift_values(sigma_bad, &mut vals);
+    let err = SparseLu::refactor(&sym, &vals).unwrap_err();
+    assert!(matches!(err, SparseError::PivotDegraded(_)), "{err:?}");
+    // ...and the fresh pivoted fallback must succeed (row swap).
+    let lu = SparseLu::factor(pencil.shifted(sigma_bad), None).unwrap();
+    let x = lu.solve(&[1.0, 2.0]);
+    let m = pencil.shifted(sigma_bad).to_csr();
+    let r: Vec<f64> = m
+        .mul_vec(&x)
+        .iter()
+        .zip([1.0, 2.0])
+        .map(|(y, b)| (y - b).abs())
+        .collect();
+    assert!(r.iter().all(|&v| v < 1e-9), "fallback residual {r:?}");
 }

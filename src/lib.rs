@@ -16,7 +16,8 @@
 //! | [`transient`] | `opm-transient` | backward Euler, trapezoidal, Gear/BDF, GL, adaptive, references |
 //! | [`fft`] | `opm-fft` | radix-2 + Bluestein FFT and the frequency-domain FDE baseline |
 //! | [`fracnum`] | `opm-fracnum` | Γ, Mittag-Leffler, Grünwald–Letnikov, Riemann–Liouville |
-//! | [`sparse`] | `opm-sparse` | CSR/CSC, sparse LU (Gilbert–Peierls), Cholesky, orderings |
+//! | [`sparse`] | `opm-sparse` | CSR/CSC, sparse LU (Gilbert–Peierls, symbolic/numeric refactorization split), Cholesky, orderings |
+//! | [`par`] | `opm-par` | hermetic std-only scoped thread pool (`OPM_THREADS`) behind the parallel batch runtime |
 //! | [`linalg`] | `opm-linalg` | dense real/complex kernels, expm, Kronecker, Parlett |
 //!
 //! # Quickstart — one factorization, many scenarios
@@ -77,12 +78,15 @@ pub use opm_core as core;
 pub use opm_fft as fft;
 pub use opm_fracnum as fracnum;
 pub use opm_linalg as linalg;
+pub use opm_par as par;
 pub use opm_sparse as sparse;
 pub use opm_system as system;
 pub use opm_transient as transient;
 pub use opm_waveform as waveform;
 
-pub use opm_core::{Method, OpmResult, Problem, SimModel, SimPlan, Simulation, SolveOptions};
+pub use opm_core::{
+    FactorProfile, Method, OpmResult, Problem, SimModel, SimPlan, Simulation, SolveOptions,
+};
 
 /// The facade-wide error: everything a netlist → plan → solve pipeline
 /// can raise, so application code composes each stage with `?`.

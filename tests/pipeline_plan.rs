@@ -110,6 +110,83 @@ fn batch_equals_loop_to_1e12() {
     assert_eq!(fplan.num_factorizations(), 1);
 }
 
+/// The parallel batch runtime must be *bit-identical* to the serial
+/// path: `solve_batch` under 1 worker vs 4 workers (the `OPM_THREADS`
+/// values the CI matrix pins) has `max_abs_delta == 0` on every output
+/// and state coefficient, mirroring the batch≡loop guarantee above.
+#[test]
+fn batch_threads_1_and_4_are_bit_identical() {
+    // Second-order power grid — the heaviest block-sweep path.
+    use opm::circuits::grid::PowerGridSpec;
+    use opm::circuits::na::assemble_na;
+    let spec = PowerGridSpec {
+        layers: 2,
+        rows: 4,
+        cols: 4,
+        num_loads: 3,
+        ..Default::default()
+    };
+    let na = assemble_na(&spec.build(), &[1, 5]).unwrap();
+    let num_loads = na.inputs.len();
+    let sets: Vec<InputSet> = (0..10)
+        .map(|s| {
+            InputSet::new(
+                (0..num_loads)
+                    .map(|ch| {
+                        let amp = 1e-3 * (1.0 + 0.1 * ((s + ch) % 7) as f64);
+                        Waveform::pulse(0.0, amp, 1e-9, 0.2e-9, 1e-9, 0.2e-9, 0.0)
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let sim = Simulation::from_second_order(na.system).horizon(5e-9);
+    let plan = sim.plan(&SolveOptions::new().resolution(64)).unwrap();
+    let t1 = plan.solve_batch_with_threads(&sets, 1).unwrap();
+    let t4 = plan.solve_batch_with_threads(&sets, 4).unwrap();
+    let mut max_abs_delta = 0.0f64;
+    for (a, b) in t1.iter().zip(&t4) {
+        for (ra, rb) in a.outputs.iter().zip(&b.outputs) {
+            for (va, vb) in ra.iter().zip(rb) {
+                max_abs_delta = max_abs_delta.max((va - vb).abs());
+            }
+        }
+        for j in 0..64 {
+            for i in 0..a.order() {
+                max_abs_delta =
+                    max_abs_delta.max((a.state_coeff(i, j) - b.state_coeff(i, j)).abs());
+            }
+        }
+    }
+    assert_eq!(
+        max_abs_delta, 0.0,
+        "threads=1 vs threads=4 must be bit-identical"
+    );
+
+    // Fractional step-grid plan — the scenario-parallel path.
+    let parsed = parse_netlist("V1 in 0 DC 1\nR1 in a 50\nP1 a 0 CPE 2u 0.5\n.end").unwrap();
+    let fmodel = assemble_fractional_mna(&parsed.circuit, 0.5, &[Output::NodeVoltage(1)]).unwrap();
+    let fsim = Simulation::from_fractional(fmodel.system).horizon(1e-4);
+    let steps: Vec<f64> = {
+        let ratio: f64 = 1.25;
+        let total: f64 = (0..16).map(|j| ratio.powi(j)).sum();
+        (0..16).map(|j| 1e-4 * ratio.powi(j) / total).collect()
+    };
+    let fplan = fsim.plan(&SolveOptions::new().step_grid(steps)).unwrap();
+    let fsets: Vec<InputSet> = (0..6)
+        .map(|s| InputSet::new(vec![Waveform::Dc(0.5 + s as f64)]))
+        .collect();
+    let f1 = fplan.solve_batch_with_threads(&fsets, 1).unwrap();
+    let f4 = fplan.solve_batch_with_threads(&fsets, 4).unwrap();
+    for (a, b) in f1.iter().zip(&f4) {
+        for (ra, rb) in a.outputs.iter().zip(&b.outputs) {
+            for (va, vb) in ra.iter().zip(rb) {
+                assert_eq!(va, vb, "step-grid batch must be thread-count invariant");
+            }
+        }
+    }
+}
+
 /// `Simulation::from_netlist` must produce the same trajectories as the
 /// hand-built parse → MNA → Problem pipeline.
 #[test]
