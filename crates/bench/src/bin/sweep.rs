@@ -15,6 +15,11 @@
 //! - `batch_threads_{1,4}` — the 100-scenario batch swept on 1 vs 4
 //!   workers (`SimPlan::solve_batch_with_threads`), with the hard
 //!   requirement that the results are bit-identical.
+//! - `windowed_vs_whole` — a 100τ-horizon RC ladder: one whole-horizon
+//!   plan at `W·m` columns vs `SimPlan::solve_windowed` over `W`
+//!   windows of `m` columns, asserting the 1-symbolic + 1-numeric
+//!   factorization invariant and ≤ 1e-9 agreement, plus a 512-window
+//!   streaming record at per-window resident memory.
 //!
 //! Emits `BENCH_sweep.json` (path override: `OPM_SWEEP_JSON`) with all
 //! timings, the factorization counts and the speedups.
@@ -261,15 +266,77 @@ fn main() {
          machine (got {thread_speedup:.2}×)"
     );
 
+    // -- windowed_vs_whole: long-horizon windowed solving ------------------
+    // A 100τ horizon on an RC ladder: one whole-horizon plan at W·m
+    // columns vs W windows of m columns through ONE window
+    // refactorization (the PR's long-horizon invariant).
+    let (wm, ww) = (256, 64);
+    let lad = opm_circuits::ladder::rc_ladder(8, 1e3, 1e-9, Waveform::step(0.0, 1.0));
+    let lmodel = assemble_mna(&lad, &[Output::NodeVoltage(9)]).unwrap();
+    let lt_end = 1e-4; // stage τ = 1 µs
+    let lsim = Simulation::from_system(lmodel.system.clone()).horizon(lt_end);
+    // Both sides time pure solves at equal column count: plans are built
+    // (and the window kernel factored, by a warm-up call) outside the
+    // timed closures.
+    let whole_plan = lsim.plan(&SolveOptions::new().resolution(wm * ww)).unwrap();
+    let (whole_run, whole_s) = timed_best(3, || whole_plan.solve(&lmodel.inputs).unwrap());
+    let wplan = lsim.plan(&SolveOptions::new().resolution(wm)).unwrap();
+    wplan.solve_windowed(&lmodel.inputs, ww).unwrap(); // warm the window kernel
+    let wprofile = wplan.factor_profile();
+    let (win_run, win_s) = timed_best(3, || wplan.solve_windowed(&lmodel.inputs, ww).unwrap());
+    let mut win_delta = 0.0f64;
+    for (ra, rb) in whole_run.outputs.iter().zip(&win_run.outputs) {
+        for (va, vb) in ra.iter().zip(rb) {
+            win_delta = win_delta.max((va - vb).abs());
+        }
+    }
+    let win_speedup = whole_s / win_s;
+    println!(
+        "windowed   : whole {} ({} cols) vs {ww} windows {}  ({win_speedup:.2}×, {} symbolic + {} numeric, max |Δ| = {win_delta:.2e})",
+        fmt_time(whole_s),
+        wm * ww,
+        fmt_time(win_s),
+        wprofile.num_symbolic,
+        wprofile.num_numeric,
+    );
+    assert_eq!(
+        (wprofile.num_symbolic, wprofile.num_numeric),
+        (1, 1),
+        "W windows must cost exactly 1 symbolic + 1 numeric factorization"
+    );
+    assert!(
+        win_delta <= 1e-9,
+        "windowed and whole-horizon solutions must agree to 1e-9 (got {win_delta:.2e})"
+    );
+    // Streaming far past the whole-horizon regime: 512 windows
+    // (131072 columns) at per-window resident memory.
+    let w_long = 512;
+    let (long_windows, long_s) = timed_best(1, || {
+        let mut count = 0usize;
+        wplan
+            .solve_streaming(&lmodel.inputs, w_long, |_| count += 1)
+            .unwrap();
+        count
+    });
+    println!(
+        "streaming  : {long_windows} windows ({} cols) in {}  (per-window resident memory)",
+        wm * w_long,
+        fmt_time(long_s)
+    );
+    assert_eq!(long_windows, w_long);
+
     let path = std::env::var("OPM_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
     let json = format!(
-        "{{\n  \"schema\": \"opm-bench-sweep/v2\",\n  \
+        "{{\n  \"schema\": \"opm-bench-sweep/v3\",\n  \
          \"note\": \"Table II power grid (NA model, n = {n}, m = {m}). sweep/*: 100-scenario load sweep, \
          independent Problem::solve per scenario vs one Simulation::plan + SimPlan::solve_batch. \
          refactor/*: {SHIFTS} step-grid pencils of the grid's MNA form (n = {nn}), fresh per-pencil \
          factorization vs pure numeric refactorization against a prerecorded PencilFamily analysis. \
          threads/*: the same 100-scenario batch on 1 vs 4 workers ({cores} core(s) available; \
-         bit-identical results enforced). Regenerate: cargo run --release -p opm-bench --bin sweep\",\n  \
+         bit-identical results enforced). windowed/*: 100-tau RC-ladder horizon, whole-horizon plan \
+         vs SimPlan::solve_windowed over {ww} windows (1 symbolic + 1 numeric factorization, \
+         <= 1e-9 delta asserted) plus a {w_long}-window streaming run at per-window memory. \
+         Regenerate: cargo run --release -p opm-bench --bin sweep\",\n  \
          \"records\": [\n    \
          {{\"id\": \"sweep/naive_loop_100\", \"seconds\": {naive_s:e}, \"num_factorizations\": {naive_factorizations}}},\n    \
          {{\"id\": \"sweep/plan_batch_100\", \"seconds\": {plan_s:e}, \"num_factorizations\": {plan_factorizations}}},\n    \
@@ -281,8 +348,17 @@ fn main() {
          {{\"id\": \"batch_threads_1\", \"seconds\": {t1_s:e}, \"threads\": 1}},\n    \
          {{\"id\": \"batch_threads_4\", \"seconds\": {t4_s:e}, \"threads\": 4, \"cores_available\": {cores}}},\n    \
          {{\"id\": \"batch_threads_speedup\", \"value\": {thread_speedup:.3}}},\n    \
-         {{\"id\": \"batch_threads_max_abs_delta\", \"value\": {thread_delta:e}}}\n  ]\n}}\n",
+         {{\"id\": \"batch_threads_max_abs_delta\", \"value\": {thread_delta:e}}},\n    \
+         {{\"id\": \"windowed/whole_horizon\", \"seconds\": {whole_s:e}, \"columns\": {wcols}}},\n    \
+         {{\"id\": \"windowed/windows_{ww}x{wm}\", \"seconds\": {win_s:e}, \"windows\": {ww}, \"num_symbolic\": {wsym}, \"num_numeric\": {wnum}}},\n    \
+         {{\"id\": \"windowed_vs_whole\", \"value\": {win_speedup:.3}}},\n    \
+         {{\"id\": \"windowed_max_abs_delta\", \"value\": {win_delta:e}}},\n    \
+         {{\"id\": \"windowed/stream_{w_long}x{wm}\", \"seconds\": {long_s:e}, \"windows\": {w_long}, \"columns\": {lcols}}}\n  ]\n}}\n",
         n = na.system.order(),
+        wcols = wm * ww,
+        wsym = wprofile.num_symbolic,
+        wnum = wprofile.num_numeric,
+        lcols = wm * w_long,
     );
     let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");
     f.write_all(json.as_bytes())

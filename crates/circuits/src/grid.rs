@@ -165,7 +165,8 @@ impl PowerGridSpec {
             ckt.add(Element::CurrentSource {
                 n1: 0,
                 n2: node,
-                waveform: Waveform::pwl(vec![(0.0, 0.0), (self.pad_ramp, self.vdd / self.r_pad)]),
+                waveform: Waveform::pwl(vec![(0.0, 0.0), (self.pad_ramp, self.vdd / self.r_pad)])
+                    .expect("pad-ramp PWL points are finite and non-empty"),
             })
             .unwrap();
         }

@@ -46,44 +46,74 @@ fn is_ground(name: &str) -> bool {
     name == "0" || name.eq_ignore_ascii_case("gnd")
 }
 
-/// Parses a SPICE value with magnitude suffix.
+/// Parses a SPICE value: a leading number, an optional magnitude suffix
+/// (`f p n u m k meg g t`, with `meg` matched before `m`), and any
+/// trailing alphabetic *unit* letters, which SPICE ignores — so `1uF`,
+/// `2.2uH` and `1kOhm` all parse, and `1uF` is 1 µF, not 1 femto-unit.
 ///
 /// ```
 /// use opm_circuits::parser::parse_value;
 /// assert_eq!(parse_value("1k").unwrap(), 1e3);
 /// assert_eq!(parse_value("2.5n").unwrap(), 2.5e-9);
 /// assert_eq!(parse_value("3meg").unwrap(), 3e6);
+/// assert_eq!(parse_value("1uF").unwrap(), 1e-6);
+/// assert_eq!(parse_value("1kOhm").unwrap(), 1e3);
 /// ```
 ///
 /// # Errors
 /// [`CircuitError::Parse`] on malformed input.
 pub fn parse_value(s: &str) -> Result<f64, CircuitError> {
-    let lower = s.to_ascii_lowercase();
-    let (num_part, mult) = if let Some(stripped) = lower.strip_suffix("meg") {
-        (stripped, 1e6)
-    } else if let Some(stripped) = lower.strip_suffix('f') {
-        (stripped, 1e-15)
-    } else if let Some(stripped) = lower.strip_suffix('p') {
-        (stripped, 1e-12)
-    } else if let Some(stripped) = lower.strip_suffix('n') {
-        (stripped, 1e-9)
-    } else if let Some(stripped) = lower.strip_suffix('u') {
-        (stripped, 1e-6)
-    } else if let Some(stripped) = lower.strip_suffix('m') {
-        (stripped, 1e-3)
-    } else if let Some(stripped) = lower.strip_suffix('k') {
-        (stripped, 1e3)
-    } else if let Some(stripped) = lower.strip_suffix('g') {
-        (stripped, 1e9)
-    } else if let Some(stripped) = lower.strip_suffix('t') {
-        (stripped, 1e12)
+    let bad = || CircuitError::Parse(format!("bad value '{s}'"));
+    let lower = s.trim().to_ascii_lowercase();
+    // Only explicit numbers qualify — `inf`/`nan` spellings would slip
+    // through the float parser as the "numeric prefix" otherwise.
+    if !lower
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_ascii_digit() || c == '+' || c == '-' || c == '.')
+    {
+        return Err(bad());
+    }
+    // Longest numeric prefix (handles exponent forms like `1.5e-3`
+    // without mistaking the `e` for a unit letter).
+    let mut split = 0;
+    let mut value = None;
+    for end in (1..=lower.len()).rev() {
+        if !lower.is_char_boundary(end) {
+            continue;
+        }
+        match lower[..end].parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                split = end;
+                value = Some(v);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let value = value.ok_or_else(bad)?;
+    let suffix = &lower[split..];
+    // Magnitude scale from the start of the suffix; the rest must be
+    // alphabetic unit letters (e.g. the `F` of `1uF`), which are ignored.
+    let (mult, rest) = if let Some(rest) = suffix.strip_prefix("meg") {
+        (1e6, rest)
     } else {
-        (lower.as_str(), 1.0)
+        match suffix.chars().next() {
+            Some('f') => (1e-15, &suffix[1..]),
+            Some('p') => (1e-12, &suffix[1..]),
+            Some('n') => (1e-9, &suffix[1..]),
+            Some('u') => (1e-6, &suffix[1..]),
+            Some('m') => (1e-3, &suffix[1..]),
+            Some('k') => (1e3, &suffix[1..]),
+            Some('g') => (1e9, &suffix[1..]),
+            Some('t') => (1e12, &suffix[1..]),
+            _ => (1.0, suffix),
+        }
     };
-    num_part
-        .parse::<f64>()
-        .map(|v| v * mult)
-        .map_err(|_| CircuitError::Parse(format!("bad value '{s}'")))
+    if !rest.chars().all(|c| c.is_ascii_alphabetic()) {
+        return Err(bad());
+    }
+    Ok(value * mult)
 }
 
 /// Parses a netlist text into a circuit.
@@ -250,7 +280,7 @@ fn parse_source(tokens: &[String]) -> Result<Waveform, CircuitError> {
                         return Err(bad("PWL needs t/v pairs"));
                     }
                     let pts = args.chunks(2).map(|c| (c[0], c[1])).collect();
-                    Ok(Waveform::pwl(pts))
+                    Waveform::pwl(pts).map_err(|e| CircuitError::Parse(format!("PWL: {e}")))
                 }
             }
         }
@@ -292,6 +322,57 @@ ignored after end
         assert_eq!(parse_value("1meg").unwrap(), 1e6);
         assert_eq!(parse_value("1M").unwrap(), 1e-3); // SPICE: m = milli!
         assert!(parse_value("abc").is_err());
+    }
+
+    #[test]
+    fn value_suffixes_with_trailing_unit_letters() {
+        // The magnitude suffix wins over the unit letter: `1uF` is a
+        // microfarad, not "1u" with a femto suffix.
+        assert_eq!(parse_value("1uF").unwrap(), 1e-6);
+        assert_eq!(parse_value("100pF").unwrap(), 1e-10);
+        assert_eq!(parse_value("2.2uH").unwrap(), 2.2e-6);
+        assert_eq!(parse_value("1kOhm").unwrap(), 1e3);
+        assert_eq!(parse_value("10MegOhm").unwrap(), 1e7);
+        assert_eq!(parse_value("3mV").unwrap(), 3e-3);
+        // Bare unit letters with no magnitude scale 1:1.
+        assert_eq!(parse_value("50Ohm").unwrap(), 50.0);
+        assert_eq!(parse_value("2V").unwrap(), 2.0);
+        // Exponent forms keep working next to unit letters.
+        assert_eq!(parse_value("1.5e-3").unwrap(), 1.5e-3);
+        assert_eq!(parse_value("1e3V").unwrap(), 1e3);
+        // Garbage after the unit letters still fails.
+        assert!(parse_value("1k2").is_err());
+        assert!(parse_value("1u F").is_err());
+        assert!(parse_value("inf").is_err());
+        assert!(parse_value("nan").is_err());
+    }
+
+    #[test]
+    fn unit_suffixed_netlist_parses_and_assembles() {
+        let text = "\
+V1 in 0 DC 5V
+R1 in out 1kOhm
+C1 out 0 1uF
+L1 out gnd 2.2uH
+.end
+";
+        let parsed = parse_netlist(text).unwrap();
+        let mut seen = (0.0, 0.0, 0.0);
+        for e in parsed.circuit.elements() {
+            match e {
+                Element::Resistor { ohms, .. } => seen.0 = *ohms,
+                Element::Capacitor { farads, .. } => seen.1 = *farads,
+                Element::Inductor { henries, .. } => seen.2 = *henries,
+                _ => {}
+            }
+        }
+        assert_eq!(seen, (1e3, 1e-6, 2.2e-6));
+    }
+
+    #[test]
+    fn empty_pwl_source_is_a_parse_error() {
+        let err = parse_netlist("V1 a 0 PWL()\nR1 a 0 1k\n").unwrap_err();
+        assert!(matches!(err, CircuitError::Parse(_)));
     }
 
     #[test]

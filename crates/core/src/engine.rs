@@ -311,6 +311,19 @@ impl PencilFamily {
     }
 }
 
+/// [`factor_pencil`] with the symbolic analysis recorded: the analysis
+/// can later be replayed against any pencil sharing the same pattern via
+/// [`SparseLu::refactor`] — how windowed multi-term solving re-weights
+/// one union pattern per window width at numeric-only cost.
+///
+/// # Errors
+/// As [`factor_pencil`].
+pub fn factor_pencil_symbolic(pencil: &CsrMatrix) -> Result<(SymbolicLu, SparseLu), OpmError> {
+    let order = rcm(pencil);
+    SymbolicLu::factor_with(&pencil.to_csc(), Some(&order), LuOptions::default())
+        .map_err(|e| OpmError::SingularPencil(format!("{e}")))
+}
+
 /// Builds the multi-term pencil `Σ_k w_k·A_k` from per-term leading
 /// weights.
 ///
@@ -453,6 +466,10 @@ pub struct BlockColumnSweep {
     m: usize,
     lanes: usize,
     columns: Vec<Vec<f64>>,
+    /// Leading columns of `columns` that were seeded, not solved
+    /// ([`BlockColumnSweep::seed_history`]) — visible to RHS builders,
+    /// excluded from the outcome.
+    seeded: usize,
     rhs: Vec<f64>,
     /// Scratch block sized `n·lanes`, for matrix–block products inside
     /// RHS builders (avoids per-column allocation in every strategy).
@@ -473,10 +490,37 @@ impl BlockColumnSweep {
             m,
             lanes,
             columns: Vec::with_capacity(m),
+            seeded: 0,
             rhs: vec![0.0; n * lanes],
             work: vec![0.0; n * lanes],
             num_solves: 0,
         }
+    }
+
+    /// Seeds the sweep with already-solved history columns — the state
+    /// carry of a windowed solve: the RHS builders read them at indices
+    /// `0..cols.len()` exactly as if this sweep had solved them, but
+    /// they are excluded from the outcome and from `num_solves`. The
+    /// builder's column index `j` keeps counting from the seed
+    /// (`history.len()` at each step), so a time-invariant recurrence
+    /// continued across a window boundary is column-for-column identical
+    /// to the unbroken sweep.
+    ///
+    /// # Panics
+    /// Panics when called after stepping, or twice, or with a column of
+    /// the wrong block size.
+    pub fn seed_history(&mut self, cols: Vec<Vec<f64>>) {
+        assert!(
+            self.columns.is_empty() && self.seeded == 0,
+            "seed_history must precede the first step"
+        );
+        assert!(
+            cols.iter().all(|c| c.len() == self.n * self.lanes),
+            "seed columns must be n × lanes blocks"
+        );
+        self.seeded = cols.len();
+        self.columns = cols;
+        self.columns.reserve(self.m);
     }
 
     /// Scenario width of the sweep.
@@ -509,20 +553,28 @@ impl BlockColumnSweep {
 
     /// Runs the full sweep: the `m` columns fixed at construction
     /// against one factorization, the per-column RHS block built by
-    /// `build(j, history, rhs, work)`.
+    /// `build(j, history, rhs, work)`. `j` is the index into the
+    /// history — it starts past any seeded columns, so seeded and
+    /// unseeded sweeps present the same coordinates to the builder.
     pub fn run(
         mut self,
         lu: &SparseLu,
         mut build: impl FnMut(usize, &[Vec<f64>], &mut [f64], &mut [f64]),
     ) -> BlockOutcome {
-        for j in 0..self.m {
-            self.step(lu, |history, rhs, work| build(j, history, rhs, work));
+        for _ in 0..self.m {
+            self.step(lu, |history, rhs, work| {
+                build(history.len(), history, rhs, work);
+            });
         }
         self.into_outcome(1)
     }
 
-    /// Finishes a manually-stepped sweep.
-    pub fn into_outcome(self, num_factorizations: usize) -> BlockOutcome {
+    /// Finishes a manually-stepped sweep. Seeded history columns are
+    /// dropped: the outcome holds only the columns this sweep solved.
+    pub fn into_outcome(mut self, num_factorizations: usize) -> BlockOutcome {
+        if self.seeded > 0 {
+            self.columns.drain(..self.seeded);
+        }
         BlockOutcome {
             columns: self.columns,
             lanes: self.lanes,

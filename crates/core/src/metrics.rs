@@ -20,6 +20,12 @@ pub struct FactorProfile {
     pub cache_hits: usize,
     /// Step-lattice cache lookups that had to factor (adaptive plans).
     pub cache_misses: usize,
+    /// Windows swept by the session layer's windowed/streaming solves
+    /// (0 for whole-horizon plans). Each window reuses the same window
+    /// pencil factorization, so this counter growing while
+    /// `num_symbolic + num_numeric` stays flat *is* the long-horizon
+    /// reuse invariant.
+    pub num_windows: usize,
 }
 
 impl FactorProfile {

@@ -44,25 +44,27 @@
 
 use crate::adaptive::{self, AdaptiveOpmOptions, StepGridFactors};
 use crate::engine::{
-    apply_b_block, factor_shifted_pencil, validate_coeff_inputs, validate_horizon, validate_x0,
-    BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap, SolveOptions,
+    apply_b_block, factor_pencil_symbolic, factor_shifted_pencil, validate_coeff_inputs,
+    validate_horizon, validate_x0, BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap,
+    PencilFamily, SolveOptions,
 };
 use crate::kron_solve::{fractional_as_multiterm, kron_prepare, kron_solve_prepared, KronFactors};
 use crate::metrics::FactorProfile;
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::adaptive::AdaptiveBpf;
-use opm_basis::bpf::BpfBasis;
+use opm_basis::bpf::{endpoint_state, BpfBasis};
 use opm_basis::series::tustin_frac_coeffs;
 use opm_basis::traits::Basis;
 use opm_circuits::mna::{assemble_fractional_mna, assemble_mna, Output, Unknown};
 use opm_circuits::netlist::{Circuit, Element};
 use opm_circuits::parser::parse_netlist;
 use opm_fracnum::binomial::binomial_series;
-use opm_sparse::SparseLu;
+use opm_sparse::{SparseError, SparseLu, SymbolicLu};
 use opm_system::{DescriptorSystem, FractionalSystem, MultiTermSystem, SecondOrderSystem};
 use opm_waveform::InputSet;
-use std::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Simulation: the owning session front door
@@ -430,6 +432,9 @@ pub(crate) enum MtSelect {
 
 struct MtPlan {
     lu: SparseLu,
+    /// Analysis of the pencil's union pattern — replayed numerically per
+    /// window width by windowed second-order solving.
+    symbolic: SymbolicLu,
     path: MtPath,
 }
 
@@ -451,6 +456,11 @@ enum PlanKind {
         sigma: f64,
         lu: SparseLu,
         accumulator: bool,
+        /// The `σ·E − A` family behind `lu`: its pattern, ordering and
+        /// symbolic analysis are shared with every *window* pencil the
+        /// plan factors later, so a windowed solve costs one numeric
+        /// refactorization, never a second analysis.
+        family: Mutex<PencilFamily>,
     },
     /// Fractional series convolution against `ρ₀E − A`.
     Fractional { rho: Vec<f64>, lu: SparseLu },
@@ -496,8 +506,62 @@ pub struct SimPlan<'a> {
     x0: Vec<f64>,
     kind: PlanKind,
     /// Factorization work done at prepare time (live adaptive plans
-    /// report from their lattice cache instead).
+    /// report from their lattice cache, linear plans from their pencil
+    /// family, instead).
     profile: FactorProfile,
+    /// Lazily-built windowed-solve state: the window kernels keyed by
+    /// window count (one factorization serves all `W` windows and every
+    /// scenario) plus the window counters.
+    windowed: Mutex<WindowState>,
+}
+
+/// Shared windowed-solve state of one plan.
+#[derive(Default)]
+struct WindowState {
+    /// Window kernels keyed by window count `W`.
+    kernels: HashMap<usize, Arc<WindowKernel>>,
+    /// Fresh analyses forced by window factorization (multi-term pivot
+    /// fallbacks only — linear window factors count inside the family).
+    num_symbolic: usize,
+    /// Numeric-only window refactorizations (multi-term path).
+    num_numeric: usize,
+    /// Windows swept so far, across every windowed/streaming call.
+    windows_solved: usize,
+}
+
+/// The per-window solving kernel: everything that depends on the window
+/// width `T/W` and resolution `m`, factored **once** and reused by all
+/// `W` windows and all batched scenarios.
+enum WindowKernel {
+    /// Linear strategy: the window pencil `σ_w·E − A` with
+    /// `σ_w = 2·m·W/T`, numerically refactored against the plan's own
+    /// symbolic analysis.
+    Linear { lu: SparseLu, sigma: f64 },
+    /// Second-order strategy (integer multi-term recurrence): the window
+    /// pencil plus the `h_w`-scaled recurrence polynomials. The carried
+    /// state is the trailing `depth` solved columns (and the matching
+    /// stimulus columns), which makes the restarted recurrence
+    /// column-for-column identical to the unbroken sweep.
+    Recurrence {
+        lu: SparseLu,
+        polys: Vec<Vec<f64>>,
+        bw: Vec<f64>,
+        depth: usize,
+    },
+}
+
+/// One window's worth of a streaming solve
+/// ([`SimPlan::solve_streaming`]).
+#[derive(Clone, Debug)]
+pub struct WindowBlock {
+    /// Window index `w ∈ 0..W`.
+    pub window: usize,
+    /// This window's solution, with **global-time** interval bounds
+    /// (`bounds[0] = w·T/W`).
+    pub result: OpmResult,
+    /// End-of-window state `x(T·(w+1)/W)` under the BPF polyline
+    /// interpretation — what the next window restarts from.
+    pub end_state: Vec<f64>,
 }
 
 impl std::fmt::Debug for SimPlan<'_> {
@@ -518,6 +582,7 @@ const ONE_SYMBOLIC: FactorProfile = FactorProfile {
     num_numeric: 0,
     cache_hits: 0,
     cache_misses: 0,
+    num_windows: 0,
 };
 
 /// Output projection dispatch without cloning the selector.
@@ -583,6 +648,7 @@ impl<'a> SimPlan<'a> {
                     cache: Mutex::new(FactorCache::new(sys.e(), sys.a())),
                 },
                 profile: FactorProfile::default(),
+                windowed: Mutex::new(WindowState::default()),
             });
         }
         if opts.step_grid.is_some() {
@@ -600,6 +666,7 @@ impl<'a> SimPlan<'a> {
                 x0,
                 kind: PlanKind::StepGrid(StepGridPlan { grid, factors }),
                 profile,
+                windowed: Mutex::new(WindowState::default()),
             });
         }
 
@@ -621,12 +688,7 @@ impl<'a> SimPlan<'a> {
         let kind = match model {
             ModelRef::Linear(sys) => match opts.method {
                 Method::Auto | Method::Recurrence | Method::Accumulator => {
-                    let sigma = 2.0 * m as f64 / t_end;
-                    PlanKind::Linear {
-                        sigma,
-                        lu: factor_shifted_pencil(sys.e(), sys.a(), sigma)?,
-                        accumulator: opts.method == Method::Accumulator,
-                    }
+                    linear_plan_kind(sys, m, t_end, opts.method == Method::Accumulator)?
                 }
                 Method::Convolution => {
                     require_zero_x0("Convolution")?;
@@ -700,6 +762,7 @@ impl<'a> SimPlan<'a> {
             x0,
             kind,
             profile: ONE_SYMBOLIC,
+            windowed: Mutex::new(WindowState::default()),
         })
     }
 
@@ -713,18 +776,14 @@ impl<'a> SimPlan<'a> {
     ) -> Result<Self, OpmError> {
         validate_x0(sys.order(), x0)?;
         validate_horizon(t_end)?;
-        let sigma = 2.0 * m as f64 / t_end;
         Ok(SimPlan {
             model: ModelRef::Linear(sys),
             t_end,
             m,
             x0: x0.to_vec(),
-            kind: PlanKind::Linear {
-                sigma,
-                lu: factor_shifted_pencil(sys.e(), sys.a(), sigma)?,
-                accumulator,
-            },
+            kind: linear_plan_kind(sys, m, t_end, accumulator)?,
             profile: ONE_SYMBOLIC,
+            windowed: Mutex::new(WindowState::default()),
         })
     }
 
@@ -748,6 +807,7 @@ impl<'a> SimPlan<'a> {
                 rho,
             },
             profile: ONE_SYMBOLIC,
+            windowed: Mutex::new(WindowState::default()),
         })
     }
 
@@ -766,6 +826,7 @@ impl<'a> SimPlan<'a> {
             x0: vec![0.0; mt.order()],
             kind: PlanKind::MultiTerm(mt_plan(mt, m, t_end, select)?),
             profile: ONE_SYMBOLIC,
+            windowed: Mutex::new(WindowState::default()),
         })
     }
 
@@ -789,6 +850,7 @@ impl<'a> SimPlan<'a> {
                 differentiate: true,
             },
             profile: ONE_SYMBOLIC,
+            windowed: Mutex::new(WindowState::default()),
         })
     }
 
@@ -821,14 +883,26 @@ impl<'a> SimPlan<'a> {
 
     /// The full factorization-cost profile, including the step-lattice
     /// cache hit/miss readout for adaptive plans (both counters are 0
-    /// for plan kinds that do not run the lattice cache).
+    /// for plan kinds that do not run the lattice cache) and the window
+    /// counters of windowed/streaming solves: a windowed linear solve
+    /// over any number of windows reports **1 symbolic + 1 numeric**
+    /// factorization — the plan's own analysis plus one numeric
+    /// refactorization at the window width.
     pub fn factor_profile(&self) -> FactorProfile {
-        match &self.kind {
+        let win = self.windowed.lock().expect("window state poisoned");
+        let mut p = match &self.kind {
             PlanKind::AdaptiveLinear { cache, .. } => {
                 cache.lock().expect("lattice cache poisoned").profile()
             }
+            PlanKind::Linear { family, .. } => {
+                family.lock().expect("pencil family poisoned").profile()
+            }
             _ => self.profile,
-        }
+        };
+        p.num_symbolic += win.num_symbolic;
+        p.num_numeric += win.num_numeric;
+        p.num_windows = win.windows_solved;
+        p
     }
 
     /// Column count the plan was built for (0 for on-the-fly adaptive
@@ -889,16 +963,7 @@ impl<'a> SimPlan<'a> {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
-        let p = self.model.num_inputs();
-        for ws in inputs {
-            if ws.len() != p {
-                return Err(OpmError::BadArguments(format!(
-                    "{} input channels for {} B columns",
-                    ws.len(),
-                    p
-                )));
-            }
-        }
+        self.check_channels(inputs)?;
         match &self.kind {
             PlanKind::AdaptiveLinear { aopts, cache } => {
                 let ModelRef::Linear(sys) = self.model else {
@@ -1012,6 +1077,424 @@ impl<'a> SimPlan<'a> {
         }
     }
 
+    // -- windowed / streaming solving ----------------------------------------
+
+    /// Long-horizon windowed solve: splits `[0, T)` into `windows` equal
+    /// windows of width `T/W`, expands **each window** in block-pulse
+    /// functions at the plan's resolution `m` (so the whole horizon gets
+    /// `W·m` columns), and carries the end-of-window state into the next
+    /// window as its initial condition. Because the window pencil
+    /// depends only on the window width and resolution, **one**
+    /// factorization — a numeric-only refactorization against the plan's
+    /// own symbolic analysis — serves all `W` windows (and every batched
+    /// scenario): [`SimPlan::factor_profile`] reports 1 symbolic + 1
+    /// numeric no matter how large `W` grows.
+    ///
+    /// On a horizon that splits evenly, the result matches a single
+    /// whole-horizon plan at resolution `W·m` to roundoff (the BPF
+    /// recurrence is the trapezoidal rule in disguise, and the polyline
+    /// endpoint handoff is its exact restart).
+    ///
+    /// Supported for linear/descriptor (Recurrence/Accumulator) and
+    /// second-order plans. Fractional and multi-term models are
+    /// rejected: their Caputo history spans the whole horizon, not one
+    /// window — a Grünwald–Letnikov history-corrected windowed
+    /// fractional solve is a planned follow-up.
+    ///
+    /// ```
+    /// use opm_core::{Simulation, SolveOptions};
+    ///
+    /// let sim = Simulation::from_netlist(
+    ///     "V1 in 0 DC 5\nR1 in out 1k\nC1 out 0 1u\n.end",
+    ///     &["out"],
+    /// )
+    /// .unwrap()
+    /// .horizon(8e-3);
+    /// let plan = sim.plan(&SolveOptions::new().resolution(64)).unwrap();
+    ///
+    /// // 8 windows × 64 columns — 512 columns through ONE factorization.
+    /// let r = plan.solve_windowed(sim.inputs().unwrap(), 8).unwrap();
+    /// assert_eq!(r.num_intervals(), 512);
+    /// assert!((r.output_row(0)[511] - 5.0).abs() < 0.05);
+    /// let p = plan.factor_profile();
+    /// assert_eq!((p.num_symbolic, p.num_numeric, p.num_windows), (1, 1, 8));
+    /// ```
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] on channel mismatches, zero windows,
+    /// or an unsupported strategy/method (the message names both).
+    pub fn solve_windowed(&self, inputs: &InputSet, windows: usize) -> Result<OpmResult, OpmError> {
+        let mut out = self.solve_windowed_batch(std::slice::from_ref(inputs), windows)?;
+        Ok(out.pop().expect("one lane in, one result out"))
+    }
+
+    /// Batch form of [`SimPlan::solve_windowed`]: `K` scenarios swept
+    /// through the same single window factorization, window by window,
+    /// with the scenario lanes split across the worker threads exactly
+    /// like [`SimPlan::solve_batch`] (results are in input order and
+    /// bit-identical to a per-scenario [`SimPlan::solve_windowed`]
+    /// loop, for every thread count).
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_windowed`].
+    pub fn solve_windowed_batch(
+        &self,
+        inputs: &[InputSet],
+        windows: usize,
+    ) -> Result<Vec<OpmResult>, OpmError> {
+        self.solve_windowed_batch_with_threads(inputs, windows, opm_par::default_threads())
+    }
+
+    /// [`SimPlan::solve_windowed_batch`] with an explicit worker count.
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_windowed`].
+    pub fn solve_windowed_batch_with_threads(
+        &self,
+        inputs: &[InputSet],
+        windows: usize,
+        threads: usize,
+    ) -> Result<Vec<OpmResult>, OpmError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.check_channels(inputs)?;
+        let kernel = self.window_kernel(windows)?;
+        let lanes_per_worker = inputs.len().div_ceil(threads.max(1));
+        let results = if lanes_per_worker < inputs.len() {
+            let chunks: Vec<&[InputSet]> = inputs.chunks(lanes_per_worker).collect();
+            let per_chunk = opm_par::par_map(threads, &chunks, |chunk| {
+                self.windowed_chunk(&kernel, chunk, windows)
+            });
+            let mut out = Vec::with_capacity(inputs.len());
+            for res in per_chunk {
+                out.extend(res);
+            }
+            out
+        } else {
+            self.windowed_chunk(&kernel, inputs, windows)
+        };
+        self.windowed
+            .lock()
+            .expect("window state poisoned")
+            .windows_solved += windows;
+        Ok(results)
+    }
+
+    /// Streaming windowed solve: like [`SimPlan::solve_windowed`], but
+    /// each window's block is handed to `sink` as soon as it is solved
+    /// and then **dropped** — peak coefficient storage is `O(n·m)`, one
+    /// window, independent of how many windows the horizon spans. The
+    /// [`WindowBlock`]s carry global-time bounds, so concatenating their
+    /// results reproduces [`SimPlan::solve_windowed`] exactly.
+    ///
+    /// Returns the final state `x(T)` (the last window's
+    /// [`WindowBlock::end_state`]).
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_windowed`].
+    pub fn solve_streaming(
+        &self,
+        inputs: &InputSet,
+        windows: usize,
+        mut sink: impl FnMut(WindowBlock),
+    ) -> Result<Vec<f64>, OpmError> {
+        self.check_channels(std::slice::from_ref(inputs))?;
+        let kernel = self.window_kernel(windows)?;
+        let out = self.output_map();
+        let mut final_state = self.x0.clone();
+        self.windowed_drive(&kernel, &[inputs], windows, |w, outcome, end| {
+            let bounds = self.window_bounds(windows, w, 0);
+            let mut lanes = outcome.into_lane_outcomes();
+            let one = lanes.pop().expect("one lane in, one result out");
+            sink(WindowBlock {
+                window: w,
+                result: one.grid_result(&out, bounds),
+                end_state: end.to_vec(),
+            });
+            final_state.clear();
+            final_state.extend_from_slice(end);
+        });
+        self.windowed
+            .lock()
+            .expect("window state poisoned")
+            .windows_solved += windows;
+        Ok(final_state)
+    }
+
+    /// Resolves (and caches) the window kernel for `windows` windows:
+    /// the one factorization all windows and scenarios share.
+    fn window_kernel(&self, windows: usize) -> Result<Arc<WindowKernel>, OpmError> {
+        if windows == 0 {
+            return Err(OpmError::BadArguments(
+                "windowed solving needs at least one window".into(),
+            ));
+        }
+        validate_horizon(self.t_end)?;
+        let unsupported = |strategy: &str, why: &str| {
+            Err(OpmError::BadArguments(format!(
+                "windowed solving is not available for the `{strategy}` strategy: {why}"
+            )))
+        };
+        match &self.kind {
+            PlanKind::Linear { family, .. } => {
+                let mut st = self.windowed.lock().expect("window state poisoned");
+                if let Some(kern) = st.kernels.get(&windows) {
+                    return Ok(Arc::clone(kern));
+                }
+                // Window width T/W at resolution m ⇒ σ_w = 2·m·W/T; the
+                // family replays its recorded analysis numerically.
+                let sigma = 2.0 * (self.m * windows) as f64 / self.t_end;
+                let lu = family
+                    .lock()
+                    .expect("pencil family poisoned")
+                    .factor(sigma)?;
+                let kern = Arc::new(WindowKernel::Linear { lu, sigma });
+                st.kernels.insert(windows, Arc::clone(&kern));
+                Ok(kern)
+            }
+            PlanKind::OwnedMultiTerm {
+                mt,
+                plan,
+                differentiate: true,
+            } => {
+                let MtPath::Recurrence { .. } = &plan.path else {
+                    return unsupported(
+                        "second-order",
+                        "its multi-term conversion took the convolution path",
+                    );
+                };
+                let mut st = self.windowed.lock().expect("window state poisoned");
+                if let Some(kern) = st.kernels.get(&windows) {
+                    return Ok(Arc::clone(kern));
+                }
+                let h = self.t_end / (self.m * windows) as f64;
+                let (polys, bw) = mt_recurrence_data(mt, h);
+                let pencil = crate::engine::weighted_pencil(mt.terms(), |k| polys[k][0])?;
+                let csc = pencil.to_csc();
+                // Same union pattern, re-weighted values: numeric-only
+                // refactorization against the plan's recorded analysis,
+                // with a fresh pivoted fallback on degradation.
+                let (lu, fresh) = if csc.values().len() == plan.symbolic.pattern_nnz() {
+                    match SparseLu::refactor(&plan.symbolic, csc.values()) {
+                        Ok(lu) => (lu, false),
+                        Err(SparseError::PivotDegraded(_)) => {
+                            (crate::engine::factor_pencil(&pencil)?, true)
+                        }
+                        Err(e) => return Err(OpmError::SingularPencil(format!("{e}"))),
+                    }
+                } else {
+                    (crate::engine::factor_pencil(&pencil)?, true)
+                };
+                if fresh {
+                    st.num_symbolic += 1;
+                } else {
+                    st.num_numeric += 1;
+                }
+                let kern = Arc::new(WindowKernel::Recurrence {
+                    lu,
+                    polys,
+                    bw,
+                    depth: mt.max_order() as usize,
+                });
+                st.kernels.insert(windows, Arc::clone(&kern));
+                Ok(kern)
+            }
+            PlanKind::OwnedMultiTerm {
+                differentiate: false,
+                ..
+            } => unsupported(
+                self.model.strategy_name(),
+                "the Convolution method resolves the whole horizon in one series; \
+                 use the Recurrence or Accumulator method",
+            ),
+            PlanKind::Kron { .. } => unsupported(
+                self.model.strategy_name(),
+                "the Kronecker oracle materializes the whole horizon as one dense system",
+            ),
+            PlanKind::Fractional { .. } => unsupported(
+                "fractional",
+                "the Caputo history spans the whole horizon, not one window \
+                 (a GL history-corrected windowed fractional solve is a planned follow-up)",
+            ),
+            PlanKind::MultiTerm(_) => unsupported(
+                "multi-term",
+                "fractional-order terms carry whole-horizon Caputo history, not \
+                 window-local state (a GL history-corrected windowed solve is a \
+                 planned follow-up); only linear and second-order plans window",
+            ),
+            PlanKind::AdaptiveLinear { .. } => unsupported(
+                "linear",
+                "`adaptive` plans let the step controller pace the horizon; \
+                 windowed solving applies to fixed-resolution plans",
+            ),
+            PlanKind::StepGrid(_) => unsupported(
+                "fractional",
+                "step-grid plans resolve the whole horizon on their explicit grid",
+            ),
+        }
+    }
+
+    /// Global-time interval bounds of window `w` (of `windows`),
+    /// extended `seed` columns to the left for carried history.
+    fn window_bounds(&self, windows: usize, w: usize, seed: usize) -> Vec<f64> {
+        let mtot = (self.m * windows) as f64;
+        let start = w * self.m - seed;
+        let end = (w + 1) * self.m;
+        (start..=end)
+            .map(|g| g as f64 * self.t_end / mtot)
+            .collect()
+    }
+
+    /// One worker's share of a windowed batch: runs the full window loop
+    /// over a contiguous chunk of scenario lanes and assembles whole-
+    /// horizon results. Lanes never mix arithmetically, so chunked
+    /// parallel runs are bit-identical to the serial run.
+    fn windowed_chunk(
+        &self,
+        kernel: &WindowKernel,
+        chunk: &[InputSet],
+        windows: usize,
+    ) -> Vec<OpmResult> {
+        let refs: Vec<&InputSet> = chunk.iter().collect();
+        let mut columns = Vec::with_capacity(windows * self.m);
+        let mut solves = 0;
+        self.windowed_drive(kernel, &refs, windows, |_, outcome, _| {
+            solves += outcome.num_solves;
+            columns.extend(outcome.columns);
+        });
+        let out = self.output_map();
+        BlockOutcome {
+            columns,
+            lanes: chunk.len(),
+            num_solves: solves,
+            num_factorizations: 1,
+        }
+        .into_lane_outcomes()
+        .into_iter()
+        .map(|o| o.uniform_result(&out, self.t_end))
+        .collect()
+    }
+
+    /// The window loop: sweeps `ws` through `windows` windows against
+    /// the shared kernel, handing each window's solved block (columns in
+    /// global state coordinates, lane-interleaved) plus the end-of-window
+    /// state block to `on_window`, then carrying that state forward.
+    fn windowed_drive(
+        &self,
+        kernel: &WindowKernel,
+        ws: &[&InputSet],
+        windows: usize,
+        mut on_window: impl FnMut(usize, BlockOutcome, &[f64]),
+    ) {
+        let n = self.model.order();
+        let k = ws.len();
+        let m = self.m;
+        let p = self.model.num_inputs();
+        match kernel {
+            WindowKernel::Linear { lu, sigma } => {
+                let ModelRef::Linear(sys) = self.model else {
+                    unreachable!("linear window kernels are built on linear models");
+                };
+                let PlanKind::Linear { accumulator, .. } = &self.kind else {
+                    unreachable!("linear window kernels are built on linear plans");
+                };
+                // The plan's x0 interleaved across the lanes; thereafter
+                // each lane carries its own end-of-window state.
+                let mut x0 = vec![0.0; n * k];
+                for (i, &v) in self.x0.iter().enumerate() {
+                    x0[i * k..(i + 1) * k].iter_mut().for_each(|x| *x = v);
+                }
+                let mut c_force = vec![0.0; n * k];
+                let width = self.t_end / windows as f64;
+                for w in 0..windows {
+                    // Offset projection: the window grid is shifted, the
+                    // waveforms are sampled at global time.
+                    let us: Vec<Vec<Vec<f64>>> = ws
+                        .iter()
+                        .map(|set| set.bpf_matrix_window(m, w as f64 * width, width))
+                        .collect();
+                    let refs: Vec<&[Vec<f64>]> = us.iter().map(Vec::as_slice).collect();
+                    let lc = LaneCoeffs::interleave(&refs, p, m);
+                    // Window-local shift z = x − x(T_w): constant forcing
+                    // c = A·x(T_w), per lane.
+                    sys.a().mul_block_into(&x0, &mut c_force, k);
+                    let mut outcome =
+                        sweep_linear_block(sys, lu, *sigma, &c_force, *accumulator, &lc);
+                    // z → x: add the window's start state back.
+                    for col in &mut outcome.columns {
+                        for (c, &v) in col.iter_mut().zip(&x0) {
+                            *c += v;
+                        }
+                    }
+                    let end = endpoint_state(&outcome.columns, &x0);
+                    on_window(w, outcome, &end);
+                    x0 = end;
+                }
+            }
+            WindowKernel::Recurrence {
+                lu,
+                polys,
+                bw,
+                depth,
+            } => {
+                let PlanKind::OwnedMultiTerm { mt, .. } = &self.kind else {
+                    unreachable!("recurrence window kernels are built on second-order plans");
+                };
+                // Carried state: the trailing `depth` solved columns (the
+                // recurrence's full memory) — the restarted sweep is
+                // column-for-column the unbroken one.
+                let mut tail: Vec<Vec<f64>> = Vec::new();
+                let mut endv = vec![0.0; n * k];
+                for w in 0..windows {
+                    let s = tail.len();
+                    let bounds = self.window_bounds(windows, w, s);
+                    // The stimulus columns matching the carried history
+                    // are re-projected from global time alongside the
+                    // window's own (`u̇` averages: second-order input).
+                    let us: Vec<Vec<Vec<f64>>> = ws
+                        .iter()
+                        .map(|set| set.derivative_averages_on_grid(&bounds))
+                        .collect();
+                    let refs: Vec<&[Vec<f64>]> = us.iter().map(Vec::as_slice).collect();
+                    let lc = LaneCoeffs::interleave(&refs, p, s + m);
+                    let outcome = sweep_mt_recurrence_window(mt, lu, polys, bw, &lc, tail.clone());
+                    let keep_old = depth.saturating_sub(outcome.columns.len());
+                    let mut new_tail: Vec<Vec<f64>> = Vec::with_capacity(*depth);
+                    new_tail.extend(
+                        tail[tail.len() - keep_old.min(tail.len())..]
+                            .iter()
+                            .cloned(),
+                    );
+                    new_tail.extend(
+                        outcome.columns[outcome.columns.len().saturating_sub(*depth)..]
+                            .iter()
+                            .cloned(),
+                    );
+                    tail = new_tail;
+                    let end = endpoint_state(&outcome.columns, &endv);
+                    on_window(w, outcome, &end);
+                    endv = end;
+                }
+            }
+        }
+    }
+
+    /// Validates every scenario's channel count against the model.
+    fn check_channels(&self, inputs: &[InputSet]) -> Result<(), OpmError> {
+        let p = self.model.num_inputs();
+        for ws in inputs {
+            if ws.len() != p {
+                return Err(OpmError::BadArguments(format!(
+                    "{} input channels for {} B columns",
+                    ws.len(),
+                    p
+                )));
+            }
+        }
+        Ok(())
+    }
+
     // -- internals ----------------------------------------------------------
 
     /// Projects waveforms onto the plan's uniform grid (derivative
@@ -1077,15 +1560,24 @@ impl<'a> SimPlan<'a> {
                 sigma,
                 lu,
                 accumulator,
+                ..
             } => {
                 let ModelRef::Linear(sys) = self.model else {
                     unreachable!("linear plan on a linear model");
                 };
-                if *accumulator {
-                    sweep_linear_accumulator_block(sys, lu, *sigma, &self.x0, &lc)
-                } else {
-                    sweep_linear_block(sys, lu, *sigma, &self.x0, &lc)
+                // Whole-horizon solves are the one-window special case:
+                // the constant forcing block is the plan's own x0
+                // replicated across the lanes (all zero for zero ICs).
+                let (n, k) = (sys.order(), lc.lanes);
+                let mut c_force = vec![0.0; n * k];
+                if self.x0.iter().any(|&v| v != 0.0) {
+                    let mut x0b = vec![0.0; n * k];
+                    for (i, &v) in self.x0.iter().enumerate() {
+                        x0b[i * k..(i + 1) * k].iter_mut().for_each(|x| *x = v);
+                    }
+                    sys.a().mul_block_into(&x0b, &mut c_force, k);
                 }
+                sweep_linear_block(sys, lu, *sigma, &c_force, *accumulator, &lc)
             }
             PlanKind::Fractional { rho, lu } => {
                 let ModelRef::Fractional(fsys) = self.model else {
@@ -1168,44 +1660,49 @@ fn axpy(y: &mut [f64], x: &[f64], a: f64) {
     }
 }
 
-/// Adds `scale·col[i]` to every lane of block row `i`.
-fn add_broadcast(rhs: &mut [f64], col: &[f64], lanes: usize, scale: f64) {
-    for (i, &c) in col.iter().enumerate() {
-        let v = scale * c;
-        for r in &mut rhs[i * lanes..(i + 1) * lanes] {
-            *r += v;
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Per-kind block sweeps (the strategies, K lanes wide)
 // ---------------------------------------------------------------------------
 
-/// Linear two-term recurrence, K lanes wide (paper §III; see
-/// [`crate::linear`] for the derivation).
+/// Linear two-term recurrence or the paper's literal alternating
+/// accumulator, K lanes wide (paper §III; see [`crate::linear`] for the
+/// derivation), against a **per-lane** constant forcing block
+/// `c_force = A·x₀` (all zeros for zero initial conditions). Serves
+/// both whole-horizon solves (x₀ replicated across the lanes) and
+/// windowed solves (each lane restarts from its own carried
+/// end-of-window state) — one body, so the two paths cannot diverge.
 fn sweep_linear_block(
     sys: &DescriptorSystem,
     lu: &SparseLu,
     sigma: f64,
-    x0: &[f64],
+    c_force: &[f64],
+    accumulator: bool,
     lc: &LaneCoeffs,
 ) -> BlockOutcome {
     let n = sys.order();
     let k = lc.lanes;
-    let shift = x0.iter().any(|&v| v != 0.0);
-    let c_force = if shift {
-        sys.a().mul_vec(x0)
-    } else {
-        vec![0.0; n]
-    };
+    if accumulator {
+        let mut g = vec![0.0; n * k];
+        return BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
+            // g_j = −(g_{j−1} + z_{j−1}), folded in lazily.
+            if j > 0 {
+                for (gi, zi) in g.iter_mut().zip(&history[j - 1]) {
+                    *gi = -(*gi + zi);
+                }
+            }
+            apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
+            axpy(rhs, c_force, 1.0);
+            if j > 0 {
+                sys.e().mul_block_into(&g, work, k);
+                axpy(rhs, work, -2.0 * sigma);
+            }
+        });
+    }
     BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
         if j == 0 {
             // Column 0: (σE − A)·z₀ = B·u₀ + c.
             apply_b_block(sys.b(), &lc.cols[0], k, 1.0, rhs);
-            if shift {
-                add_broadcast(rhs, &c_force, k, 1.0);
-            }
+            axpy(rhs, c_force, 1.0);
         } else {
             // (σE − A)·z_j = (σE + A)·z_{j−1} + B(u_j + u_{j−1}) + 2c.
             let z_prev = &history[j - 1];
@@ -1215,44 +1712,7 @@ fn sweep_linear_block(
             axpy(rhs, work, 1.0);
             apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
             apply_b_block(sys.b(), &lc.cols[j - 1], k, 1.0, rhs);
-            if shift {
-                add_broadcast(rhs, &c_force, k, 2.0);
-            }
-        }
-    })
-}
-
-/// The paper's literal alternating-accumulator algorithm, K lanes wide.
-fn sweep_linear_accumulator_block(
-    sys: &DescriptorSystem,
-    lu: &SparseLu,
-    sigma: f64,
-    x0: &[f64],
-    lc: &LaneCoeffs,
-) -> BlockOutcome {
-    let n = sys.order();
-    let k = lc.lanes;
-    let shift = x0.iter().any(|&v| v != 0.0);
-    let c_force = if shift {
-        sys.a().mul_vec(x0)
-    } else {
-        vec![0.0; n]
-    };
-    let mut g = vec![0.0; n * k];
-    BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
-        // g_j = −(g_{j−1} + z_{j−1}), folded in lazily from the history.
-        if j > 0 {
-            for (gi, zi) in g.iter_mut().zip(&history[j - 1]) {
-                *gi = -(*gi + zi);
-            }
-        }
-        apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
-        if shift {
-            add_broadcast(rhs, &c_force, k, 1.0);
-        }
-        if j > 0 {
-            sys.e().mul_block_into(&g, work, k);
-            axpy(rhs, work, -2.0 * sigma);
+            axpy(rhs, c_force, 2.0);
         }
     })
 }
@@ -1279,6 +1739,48 @@ fn sweep_fractional_block(
         sys.e().mul_block_into(&conv, work, k);
         apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
         axpy(rhs, work, -1.0);
+    })
+}
+
+/// One window of a windowed second-order solve, K lanes wide: the
+/// integer multi-term recurrence seeded with the trailing `seed`
+/// columns of the previous window (`lc` holds the matching stimulus
+/// columns first), so the restart is column-for-column the unbroken
+/// sweep.
+fn sweep_mt_recurrence_window(
+    mt: &MultiTermSystem,
+    lu: &SparseLu,
+    polys: &[Vec<f64>],
+    bw: &[f64],
+    lc: &LaneCoeffs,
+    seed: Vec<Vec<f64>>,
+) -> BlockOutcome {
+    let n = mt.order();
+    let k = lc.lanes;
+    let m_solve = lc.m - seed.len();
+    let mut acc = vec![0.0; n * k];
+    let mut sweep = BlockColumnSweep::new(n, m_solve, k);
+    sweep.seed_history(seed);
+    sweep.run(lu, |j, history, rhs, work| {
+        for (i, &w) in bw.iter().enumerate() {
+            if i <= j {
+                apply_b_block(mt.b(), &lc.cols[j - i], k, w, rhs);
+            }
+        }
+        for (term, p) in mt.terms().iter().zip(polys) {
+            acc.iter_mut().for_each(|v| *v = 0.0);
+            let mut any = false;
+            for (i, &pi) in p.iter().enumerate().skip(1) {
+                if pi != 0.0 && i <= j {
+                    any = true;
+                    axpy(&mut acc, &history[j - i], pi);
+                }
+            }
+            if any {
+                term.matrix.mul_block_into(&acc, work, k);
+                axpy(rhs, work, -1.0);
+            }
+        }
     })
 }
 
@@ -1344,8 +1846,56 @@ fn mt_all_integer(mt: &MultiTermSystem) -> bool {
         .all(|t| t.alpha.fract() == 0.0 && t.alpha <= 16.0)
 }
 
+/// The linear plan kind: pencil family + factored `σ·E − A`.
+fn linear_plan_kind(
+    sys: &DescriptorSystem,
+    m: usize,
+    t_end: f64,
+    accumulator: bool,
+) -> Result<PlanKind, OpmError> {
+    let sigma = 2.0 * m as f64 / t_end;
+    let mut family = PencilFamily::new(sys.e(), sys.a());
+    let lu = family.factor(sigma)?;
+    Ok(PlanKind::Linear {
+        sigma,
+        lu,
+        accumulator,
+        family: Mutex::new(family),
+    })
+}
+
+/// Per-term finite recurrence polynomials `p^{(k)}` of degree `K` and
+/// the RHS binomial weights `(1+q)^K` for step width `h` — the symbol
+/// data of the integer-order recurrence path, which depends on the grid
+/// only through `h` (so windowed solving re-derives it per window
+/// width).
+fn mt_recurrence_data(mt: &MultiTermSystem, h: f64) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let kmax = mt.max_order() as usize;
+    let mut polys: Vec<Vec<f64>> = Vec::with_capacity(mt.terms().len());
+    for term in mt.terms() {
+        let ak = term.alpha as usize;
+        let scale = (2.0 / h).powi(ak as i32);
+        // (1−q)^{ak}: alternating binomials; (1+q)^{K−ak}: binomials.
+        let minus: Vec<f64> = binomial_series(ak as f64, ak + 1)
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| if i % 2 == 0 { c } else { -c })
+            .collect();
+        let plus = binomial_series((kmax - ak) as f64, kmax - ak + 1);
+        let mut p = vec![0.0; kmax + 1];
+        for (i, &a) in minus.iter().enumerate() {
+            for (j2, &b) in plus.iter().enumerate() {
+                p[i + j2] += scale * a * b;
+            }
+        }
+        polys.push(p);
+    }
+    let bw = binomial_series(kmax as f64, kmax + 1);
+    (polys, bw)
+}
+
 /// Precomputes the multi-term pencil + per-term symbol data and factors
-/// once.
+/// once (recording the symbolic analysis for window refactorization).
 fn mt_plan(
     mt: &MultiTermSystem,
     m: usize,
@@ -1369,32 +1919,12 @@ fn mt_plan(
         MtSelect::Convolution => false,
     };
     if recurrence {
-        let kmax = mt.max_order() as usize;
-        // Per-term finite polynomials p^{(k)} of degree K.
-        let mut polys: Vec<Vec<f64>> = Vec::with_capacity(mt.terms().len());
-        for term in mt.terms() {
-            let ak = term.alpha as usize;
-            let scale = (2.0 / h).powi(ak as i32);
-            // (1−q)^{ak}: alternating binomials; (1+q)^{K−ak}: binomials.
-            let minus: Vec<f64> = binomial_series(ak as f64, ak + 1)
-                .into_iter()
-                .enumerate()
-                .map(|(i, c)| if i % 2 == 0 { c } else { -c })
-                .collect();
-            let plus = binomial_series((kmax - ak) as f64, kmax - ak + 1);
-            let mut p = vec![0.0; kmax + 1];
-            for (i, &a) in minus.iter().enumerate() {
-                for (j2, &b) in plus.iter().enumerate() {
-                    p[i + j2] += scale * a * b;
-                }
-            }
-            polys.push(p);
-        }
-        // RHS binomial weights (1+q)^K.
-        let bw = binomial_series(kmax as f64, kmax + 1);
+        let (polys, bw) = mt_recurrence_data(mt, h);
         let pencil = crate::engine::weighted_pencil(mt.terms(), |k| polys[k][0])?;
+        let (symbolic, lu) = factor_pencil_symbolic(&pencil)?;
         Ok(MtPlan {
-            lu: crate::engine::factor_pencil(&pencil)?,
+            lu,
+            symbolic,
             path: MtPath::Recurrence { polys, bw },
         })
     } else {
@@ -1411,8 +1941,10 @@ fn mt_plan(
             })
             .collect();
         let pencil = crate::engine::weighted_pencil(mt.terms(), |k| series[k][0])?;
+        let (symbolic, lu) = factor_pencil_symbolic(&pencil)?;
         Ok(MtPlan {
-            lu: crate::engine::factor_pencil(&pencil)?,
+            lu,
+            symbolic,
             path: MtPath::Convolution { series },
         })
     }
@@ -1726,6 +2258,103 @@ mod tests {
         assert_eq!(plan.num_factorizations(), 12);
         assert_eq!(r1.num_intervals(), 12);
         assert_eq!(r2.num_intervals(), 12);
+    }
+
+    #[test]
+    fn windowed_carries_nonzero_initial_state() {
+        // ẋ = −x, x(0) = 3: pure decay, windowed restart must carry x0.
+        let sys = scalar(-1.0);
+        let sim = Simulation::from_system(sys)
+            .horizon(2.0)
+            .initial_state(vec![3.0]);
+        let inputs = InputSet::new(vec![Waveform::Dc(0.0)]);
+        let plan = sim.plan(&SolveOptions::new().resolution(16)).unwrap();
+        let windowed = plan.solve_windowed(&inputs, 8).unwrap();
+        let whole = sim
+            .plan(&SolveOptions::new().resolution(128))
+            .unwrap()
+            .solve(&inputs)
+            .unwrap();
+        for j in 0..128 {
+            assert!((windowed.state_coeff(0, j) - whole.state_coeff(0, j)).abs() <= 1e-9);
+        }
+        let t = windowed.midpoints()[127];
+        assert!((windowed.state_coeff(0, 127) - 3.0 * (-t).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn windowed_accumulator_matches_recurrence() {
+        let sys = scalar(-2.0);
+        let sim = Simulation::from_system(sys).horizon(1.5);
+        let inputs = InputSet::new(vec![Waveform::step(0.4, 1.0)]);
+        let rec = sim
+            .plan(&SolveOptions::new().resolution(24))
+            .unwrap()
+            .solve_windowed(&inputs, 6)
+            .unwrap();
+        let acc = sim
+            .plan(
+                &SolveOptions::new()
+                    .resolution(24)
+                    .method(Method::Accumulator),
+            )
+            .unwrap()
+            .solve_windowed(&inputs, 6)
+            .unwrap();
+        for j in 0..rec.num_intervals() {
+            assert!((rec.state_coeff(0, j) - acc.state_coeff(0, j)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn windowed_rejections_name_strategy_and_reason() {
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        // Multi-term: Caputo history is global.
+        let mt = MultiTermSystem::from_descriptor(&scalar(-1.0));
+        let simm = Simulation::from_multiterm(mt).horizon(1.0);
+        let planm = simm.plan(&SolveOptions::new().resolution(8)).unwrap();
+        let msg = format!("{}", planm.solve_windowed(&inputs, 2).unwrap_err());
+        assert!(
+            msg.contains("multi-term") && msg.contains("window"),
+            "{msg}"
+        );
+        // Adaptive plans pace themselves.
+        let sima = Simulation::from_system(scalar(-1.0)).horizon(1.0);
+        let plana = sima
+            .plan(&SolveOptions::new().adaptive(AdaptiveOpmOptions::default()))
+            .unwrap();
+        let msg = format!("{}", plana.solve_windowed(&inputs, 2).unwrap_err());
+        assert!(msg.contains("adaptive"), "{msg}");
+        // The dense Kronecker oracle is whole-horizon by construction.
+        let simk = Simulation::from_system(scalar(-1.0)).horizon(1.0);
+        let plank = simk
+            .plan(&SolveOptions::new().resolution(8).method(Method::Kronecker))
+            .unwrap();
+        let msg = format!("{}", plank.solve_windowed(&inputs, 2).unwrap_err());
+        assert!(msg.contains("Kronecker"), "{msg}");
+        // Zero windows is a plain argument error.
+        let plan = sima.plan(&SolveOptions::new().resolution(8)).unwrap();
+        assert!(plan.solve_windowed(&inputs, 0).is_err());
+    }
+
+    #[test]
+    fn streaming_keeps_only_one_window_resident() {
+        let sys = scalar(-1.0);
+        let sim = Simulation::from_system(sys).horizon(16.0);
+        let plan = sim.plan(&SolveOptions::new().resolution(8)).unwrap();
+        let inputs = InputSet::new(vec![Waveform::Dc(2.0)]);
+        let mut seen = 0usize;
+        let end = plan
+            .solve_streaming(&inputs, 32, |block| {
+                assert_eq!(block.result.num_intervals(), 8);
+                assert_eq!(block.end_state.len(), 1);
+                seen += 1;
+            })
+            .unwrap();
+        assert_eq!(seen, 32);
+        // 16 time constants out, the state sits at the DC gain.
+        assert!((end[0] - 2.0).abs() < 1e-2);
+        assert_eq!(plan.factor_profile().num_windows, 32);
     }
 
     #[test]

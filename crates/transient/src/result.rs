@@ -35,6 +35,21 @@ impl TransientResult {
         self.times.is_empty()
     }
 
+    /// State `i` across time (needs `store_states = true`) — the series
+    /// windowed-OPM cross-checks compare against
+    /// `OpmResult::endpoint_series`, which lives on the same `t_k = k·h`
+    /// grid.
+    ///
+    /// # Panics
+    /// Panics when states were not stored or `i` is out of range.
+    pub fn state_row(&self, i: usize) -> Vec<f64> {
+        let states = self
+            .states
+            .as_ref()
+            .expect("state_row needs store_states = true");
+        states.iter().map(|x| x[i]).collect()
+    }
+
     /// Root-mean-square deviation between an output channel and a
     /// reference series (used by Table II's "average relative error").
     ///

@@ -11,4 +11,4 @@
 
 pub mod waveform;
 
-pub use waveform::{InputSet, Waveform};
+pub use waveform::{InputSet, Waveform, WaveformError};

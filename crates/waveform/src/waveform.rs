@@ -2,6 +2,31 @@
 
 use std::f64::consts::TAU;
 
+/// Construction errors for waveforms whose validity depends on their
+/// data (currently PWL point lists).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WaveformError {
+    /// A PWL waveform needs at least one `(t, v)` breakpoint.
+    EmptyPwl,
+    /// A PWL breakpoint has a NaN/infinite time or value (index given).
+    NonFinitePwl(usize),
+}
+
+impl std::fmt::Display for WaveformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WaveformError::EmptyPwl => {
+                write!(f, "PWL waveform needs at least one (t, v) breakpoint")
+            }
+            WaveformError::NonFinitePwl(i) => {
+                write!(f, "PWL breakpoint {i} has a non-finite time or value")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WaveformError {}
+
 /// A scalar input waveform `u(t)` on `t ≥ 0` with closed-form
 /// antiderivative and piecewise derivative.
 ///
@@ -143,14 +168,26 @@ impl Waveform {
         }
     }
 
-    /// Builds a PWL waveform; points are sorted by time.
+    /// Builds a PWL waveform; points are sorted by time (a stable sort,
+    /// so coincident-time breakpoints keep their relative order and model
+    /// an instantaneous jump).
     ///
-    /// # Panics
-    /// Panics when `points` is empty.
-    pub fn pwl(mut points: Vec<(f64, f64)>) -> Self {
-        assert!(!points.is_empty(), "PWL needs at least one point");
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        Waveform::Pwl(points)
+    /// # Errors
+    /// [`WaveformError::EmptyPwl`] on an empty point list,
+    /// [`WaveformError::NonFinitePwl`] when any breakpoint time or value
+    /// is NaN or infinite.
+    pub fn pwl(mut points: Vec<(f64, f64)>) -> Result<Self, WaveformError> {
+        if points.is_empty() {
+            return Err(WaveformError::EmptyPwl);
+        }
+        if let Some(i) = points
+            .iter()
+            .position(|&(t, v)| !t.is_finite() || !v.is_finite())
+        {
+            return Err(WaveformError::NonFinitePwl(i));
+        }
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
+        Ok(Waveform::Pwl(points))
     }
 
     /// Evaluates `u(t)`.
@@ -229,6 +266,12 @@ impl Waveform {
                 v
             }
             Waveform::Pwl(points) => {
+                // Directly-constructed `Pwl(vec![])` bypasses the
+                // validating constructor; treat it as the zero waveform
+                // rather than indexing out of bounds.
+                if points.is_empty() {
+                    return 0.0;
+                }
                 if t <= points[0].0 {
                     return points[0].1;
                 }
@@ -354,6 +397,9 @@ impl Waveform {
                 v1 * t + (v2 - v1) * ramp(t, *td1, *tau1) + (v1 - v2) * ramp(t, *td2, *tau2)
             }
             Waveform::Pwl(points) => {
+                if points.is_empty() {
+                    return 0.0;
+                }
                 let mut acc = 0.0;
                 let mut prev_t = 0.0f64;
                 // Leading clamp before the first breakpoint.
@@ -474,7 +520,7 @@ impl Waveform {
                 d
             }
             Waveform::Pwl(points) => {
-                if t < points[0].0 || t >= points[points.len() - 1].0 {
+                if points.is_empty() || t < points[0].0 || t >= points[points.len() - 1].0 {
                     return 0.0;
                 }
                 let idx = points.partition_point(|&(tp, _)| tp <= t);
@@ -494,6 +540,20 @@ impl Waveform {
         let h = t_end / m as f64;
         (0..m)
             .map(|i| self.average(i as f64 * h, (i + 1) as f64 * h))
+            .collect()
+    }
+
+    /// Offset BPF projection: the `m` interval averages on the window
+    /// `[t_start, t_start + t_len)`, sampled at **global** time — the
+    /// per-window projection of a windowed/streaming solve, which shifts
+    /// the sampling grid instead of mutating the waveform.
+    ///
+    /// `bpf_coeffs_window(m, 0.0, t_end)` equals
+    /// [`bpf_coeffs`](Self::bpf_coeffs)`(m, t_end)`.
+    pub fn bpf_coeffs_window(&self, m: usize, t_start: f64, t_len: f64) -> Vec<f64> {
+        let h = t_len / m as f64;
+        (0..m)
+            .map(|i| self.average(t_start + i as f64 * h, t_start + (i + 1) as f64 * h))
             .collect()
     }
 
@@ -548,6 +608,16 @@ impl InputSet {
         self.channels
             .iter()
             .map(|w| w.bpf_coeffs(m, t_end))
+            .collect()
+    }
+
+    /// Offset form of [`InputSet::bpf_matrix`]: the `p × m` coefficient
+    /// matrix of the window `[t_start, t_start + t_len)`, each channel
+    /// sampled at global time (see [`Waveform::bpf_coeffs_window`]).
+    pub fn bpf_matrix_window(&self, m: usize, t_start: f64, t_len: f64) -> Vec<Vec<f64>> {
+        self.channels
+            .iter()
+            .map(|w| w.bpf_coeffs_window(m, t_start, t_len))
             .collect()
     }
 
@@ -666,7 +736,7 @@ mod tests {
 
     #[test]
     fn pwl_integral_with_clamps() {
-        let w = Waveform::pwl(vec![(0.5, 1.0), (1.0, 3.0), (2.0, -1.0)]);
+        let w = Waveform::pwl(vec![(0.5, 1.0), (1.0, 3.0), (2.0, -1.0)]).unwrap();
         for &t in &[0.25, 0.75, 1.5, 2.5] {
             check_integral(&w, t, 1e-9);
         }
@@ -684,7 +754,7 @@ mod tests {
         let cases = [
             Waveform::sine(0.1, 1.5, 2.0, 0.1, 0.7),
             Waveform::pulse(0.0, 2.0, 0.2, 0.1, 0.3, 0.1, 1.0),
-            Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]),
+            Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 1.0)]).unwrap(),
             Waveform::Ramp { slope: -3.0 },
         ];
         // Sample away from corners.
@@ -732,5 +802,64 @@ mod tests {
     fn samples_at_ends_align_with_steppers() {
         let w = Waveform::Ramp { slope: 2.0 };
         assert_eq!(w.samples_at_ends(4, 2.0), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_pwl_is_an_error_not_a_panic() {
+        assert_eq!(Waveform::pwl(vec![]), Err(WaveformError::EmptyPwl));
+        // Even a Pwl built around the constructor stays panic-free.
+        let raw = Waveform::Pwl(vec![]);
+        assert_eq!(raw.eval(0.5), 0.0);
+        assert_eq!(raw.integral(2.0), 0.0);
+        assert_eq!(raw.derivative(0.5), 0.0);
+    }
+
+    #[test]
+    fn unsorted_pwl_is_sorted_at_construction() {
+        let w = Waveform::pwl(vec![(2.0, 4.0), (0.0, 0.0), (1.0, 2.0)]).unwrap();
+        let sorted = Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 4.0)]).unwrap();
+        assert_eq!(w, sorted);
+        // Interpolation is the ramp the sorted points describe.
+        assert!((w.eval(0.5) - 1.0).abs() < 1e-15);
+        assert!((w.eval(1.5) - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn non_finite_pwl_points_are_rejected() {
+        assert_eq!(
+            Waveform::pwl(vec![(0.0, 0.0), (f64::NAN, 1.0)]),
+            Err(WaveformError::NonFinitePwl(1))
+        );
+        assert_eq!(
+            Waveform::pwl(vec![(0.0, f64::INFINITY)]),
+            Err(WaveformError::NonFinitePwl(0))
+        );
+    }
+
+    #[test]
+    fn window_coeffs_sample_global_time() {
+        let w = Waveform::step(1.0, 2.0);
+        // Window [1, 2) sits entirely past the step: every average is 2.
+        assert_eq!(w.bpf_coeffs_window(4, 1.0, 1.0), vec![2.0; 4]);
+        // The zero-offset window reproduces the plain projection.
+        assert_eq!(w.bpf_coeffs_window(8, 0.0, 2.0), w.bpf_coeffs(8, 2.0));
+        // Concatenated half-windows cover the full-span projection.
+        let full = w.bpf_coeffs(8, 2.0);
+        let mut halves = w.bpf_coeffs_window(4, 0.0, 1.0);
+        halves.extend(w.bpf_coeffs_window(4, 1.0, 1.0));
+        for (a, b) in full.iter().zip(&halves) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn input_set_window_matrix_matches_per_channel() {
+        let set = InputSet::new(vec![Waveform::Ramp { slope: 1.0 }, Waveform::Dc(3.0)]);
+        let u = set.bpf_matrix_window(4, 0.5, 1.0);
+        assert_eq!(
+            u[0],
+            Waveform::Ramp { slope: 1.0 }.bpf_coeffs_window(4, 0.5, 1.0)
+        );
+        assert_eq!(u[1], vec![3.0; 4]);
     }
 }

@@ -86,6 +86,7 @@ pub use opm_waveform as waveform;
 
 pub use opm_core::{
     FactorProfile, Method, OpmResult, Problem, SimModel, SimPlan, Simulation, SolveOptions,
+    WindowBlock,
 };
 
 /// The facade-wide error: everything a netlist → plan → solve pipeline

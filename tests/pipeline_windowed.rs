@@ -1,0 +1,335 @@
+//! Integration: windowed long-horizon solving end to end through the
+//! facade — windowed ≡ whole-horizon equivalence, streaming-callback
+//! concatenation, batch-vs-loop bit-identity, the one-factorization
+//! invariant, classical-stepper cross-checks on a 100×-horizon run, and
+//! the documented fractional rejection.
+
+use opm::circuits::grid::PowerGridSpec;
+use opm::circuits::na::assemble_na;
+use opm::transient::be::backward_euler;
+use opm::transient::trap::trapezoidal;
+use opm::waveform::{InputSet, Waveform};
+use opm::{SimPlan, Simulation, SolveOptions};
+
+/// 1 kΩ / 1 µF low-pass, written with the unit-suffixed SPICE values the
+/// parser used to reject (`1kOhm`, `1uF`) — the satellite bugfix rides
+/// through every windowed test.
+const RC: &str = "V1 in 0 DC 5\nR1 in out 1kOhm\nC1 out 0 1uF\n.end";
+
+/// Series RLC (inductor current makes the MNA system a descriptor
+/// system, not a plain ODE).
+const RLC: &str = "\
+V1 in 0 SIN(0 1 1k)
+R1 in mid 100Ohm
+L1 mid out 10mH
+C1 out 0 1uF
+.end";
+
+fn max_abs_output_delta(a: &opm::OpmResult, b: &opm::OpmResult) -> f64 {
+    assert_eq!(a.outputs.len(), b.outputs.len());
+    let mut worst = 0.0f64;
+    for (ra, rb) in a.outputs.iter().zip(&b.outputs) {
+        assert_eq!(ra.len(), rb.len(), "column counts must agree");
+        for (va, vb) in ra.iter().zip(rb) {
+            worst = worst.max((va - vb).abs());
+        }
+    }
+    worst
+}
+
+/// Windowed solving at W windows × m columns must match one
+/// whole-horizon plan at resolution W·m to ≤ 1e-9, through exactly
+/// 1 symbolic + 1 numeric factorization.
+#[test]
+fn windowed_equals_whole_horizon_on_rc() {
+    let (m, windows, t_end) = (32, 8, 8e-3);
+    let sim = Simulation::from_netlist(RC, &["out"])
+        .unwrap()
+        .horizon(t_end);
+
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let windowed = plan.solve_windowed(sim.inputs().unwrap(), windows).unwrap();
+
+    let whole_plan = sim
+        .plan(&SolveOptions::new().resolution(m * windows))
+        .unwrap();
+    let whole = whole_plan.solve(sim.inputs().unwrap()).unwrap();
+
+    assert_eq!(windowed.num_intervals(), m * windows);
+    assert_eq!(windowed.bounds, whole.bounds);
+    let delta = max_abs_output_delta(&windowed, &whole);
+    assert!(delta <= 1e-9, "windowed vs whole: max |Δ| = {delta:.3e}");
+
+    // The reuse invariant: the plan's own analysis plus ONE numeric
+    // refactorization at the window width serve all 8 windows.
+    let p = plan.factor_profile();
+    assert_eq!(
+        (p.num_symbolic, p.num_numeric),
+        (1, 1),
+        "W windows must cost exactly 1 symbolic + 1 numeric factorization"
+    );
+    assert_eq!(p.num_windows, windows);
+
+    // Solving again (same W) factors nothing further.
+    plan.solve_windowed(sim.inputs().unwrap(), windows).unwrap();
+    let p2 = plan.factor_profile();
+    assert_eq!((p2.num_symbolic, p2.num_numeric), (1, 1));
+    assert_eq!(p2.num_windows, 2 * windows);
+}
+
+#[test]
+fn windowed_equals_whole_horizon_on_rlc() {
+    let (m, windows, t_end) = (64, 8, 5e-3);
+    let sim = Simulation::from_netlist(RLC, &["out"])
+        .unwrap()
+        .horizon(t_end);
+
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let windowed = plan.solve_windowed(sim.inputs().unwrap(), windows).unwrap();
+    let whole = sim
+        .plan(&SolveOptions::new().resolution(m * windows))
+        .unwrap()
+        .solve(sim.inputs().unwrap())
+        .unwrap();
+
+    let delta = max_abs_output_delta(&windowed, &whole);
+    assert!(delta <= 1e-9, "windowed vs whole: max |Δ| = {delta:.3e}");
+    let p = plan.factor_profile();
+    assert_eq!((p.num_symbolic, p.num_numeric), (1, 1));
+}
+
+/// Streaming yields W per-window blocks with global-time bounds whose
+/// concatenation is bit-identical to the one-shot windowed result —
+/// while never holding more than one window's columns.
+#[test]
+fn streaming_concatenation_equals_windowed() {
+    let (m, windows, t_end) = (32, 6, 6e-3);
+    let sim = Simulation::from_netlist(RC, &["out"])
+        .unwrap()
+        .horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let inputs = sim.inputs().unwrap();
+
+    let windowed = plan.solve_windowed(inputs, windows).unwrap();
+
+    let mut blocks = Vec::new();
+    let final_state = plan
+        .solve_streaming(inputs, windows, |block| blocks.push(block))
+        .unwrap();
+
+    assert_eq!(blocks.len(), windows);
+    let mut concat_out: Vec<f64> = Vec::new();
+    let mut concat_cols: Vec<Vec<f64>> = Vec::new();
+    for (w, block) in blocks.iter().enumerate() {
+        assert_eq!(block.window, w);
+        // Peak storage is per-window: every block carries exactly m
+        // columns, however many windows the horizon spans.
+        assert_eq!(block.result.num_intervals(), m);
+        // Global-time bounds: window w continues exactly where w−1 ended.
+        if w > 0 {
+            assert_eq!(
+                block.result.bounds[0],
+                *blocks[w - 1].result.bounds.last().unwrap()
+            );
+        }
+        concat_out.extend_from_slice(block.result.output_row(0));
+        concat_cols.extend(block.result.columns.iter().cloned());
+    }
+    assert_eq!(concat_out, windowed.outputs[0], "streaming ≡ windowed");
+    assert_eq!(concat_cols, windowed.columns);
+
+    // The returned final state is the last block's end state — and the
+    // polyline endpoint of the concatenated solution, state for state.
+    assert_eq!(final_state, blocks.last().unwrap().end_state);
+    for i in 0..windowed.order() {
+        assert_eq!(
+            final_state[i],
+            *windowed.endpoint_series(i, 0.0).last().unwrap(),
+            "state {i}"
+        );
+    }
+}
+
+/// Windowed batch ≡ per-scenario windowed loop, bit for bit, for every
+/// thread count.
+#[test]
+fn windowed_batch_equals_loop_bitwise() {
+    let (m, windows, t_end) = (24, 5, 5e-3);
+    let sim = Simulation::from_netlist(RC, &["out"])
+        .unwrap()
+        .horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+
+    let sets: Vec<InputSet> = (0..7)
+        .map(|i| {
+            InputSet::new(vec![Waveform::sine(
+                0.5,
+                1.0 + 0.3 * i as f64,
+                200.0 * (1.0 + i as f64),
+                0.0,
+                50.0,
+            )])
+        })
+        .collect();
+
+    let batch = plan.solve_windowed_batch(&sets, windows).unwrap();
+    assert_eq!(batch.len(), sets.len());
+    for (set, b) in sets.iter().zip(&batch) {
+        let single = plan.solve_windowed(set, windows).unwrap();
+        assert_eq!(single.columns, b.columns, "batch must equal the loop");
+    }
+    for threads in [1, 2, 4, 16] {
+        let par = plan
+            .solve_windowed_batch_with_threads(&sets, windows, threads)
+            .unwrap();
+        for (a, b) in batch.iter().zip(&par) {
+            assert_eq!(a.columns, b.columns, "threads={threads}");
+        }
+    }
+    // Still one windowed factorization for the whole study.
+    let p = plan.factor_profile();
+    assert_eq!((p.num_symbolic, p.num_numeric), (1, 1));
+}
+
+/// Second-order (power-grid NA) plans window too: the carried trailing
+/// columns restart the integer recurrence exactly.
+#[test]
+fn second_order_windowed_matches_whole_horizon() {
+    let spec = PowerGridSpec {
+        layers: 2,
+        rows: 3,
+        cols: 3,
+        num_loads: 2,
+        ..Default::default()
+    };
+    let na = assemble_na(&spec.build(), &[1, 4]).unwrap();
+    let (m, windows, t_end) = (32, 4, 5e-9);
+
+    let sim = Simulation::from_second_order(na.system.clone()).horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let windowed = plan.solve_windowed(&na.inputs, windows).unwrap();
+    let whole = sim
+        .plan(&SolveOptions::new().resolution(m * windows))
+        .unwrap()
+        .solve(&na.inputs)
+        .unwrap();
+
+    let mut scale = 0.0f64;
+    for row in &whole.outputs {
+        for v in row {
+            scale = scale.max(v.abs());
+        }
+    }
+    let delta = max_abs_output_delta(&windowed, &whole);
+    assert!(
+        delta <= 1e-9 * scale.max(1.0),
+        "second-order windowed vs whole: max |Δ| = {delta:.3e} (scale {scale:.3e})"
+    );
+    // One window factorization beyond the plan's own analysis.
+    let p = plan.factor_profile();
+    assert_eq!(p.num_symbolic + p.num_numeric, 2);
+}
+
+/// Fractional models are documented as not window-capable (Caputo
+/// history is global): the error must say so and name the strategy.
+#[test]
+fn fractional_windowed_is_rejected_with_clear_error() {
+    let sim = Simulation::from_netlist(
+        "V1 in 0 DC 1\nR1 in top 100\nP1 top 0 CPE 1u 0.5\n.end",
+        &["top"],
+    )
+    .unwrap()
+    .horizon(1e-6);
+    let plan = sim.plan(&SolveOptions::new().resolution(32)).unwrap();
+    let err = plan.solve_windowed(sim.inputs().unwrap(), 4).unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("fractional") && msg.contains("window"),
+        "diagnostic must name the strategy and the feature: {msg}"
+    );
+}
+
+/// A 100×-horizon run cross-checked against the classical steppers:
+/// trapezoidal shares OPM's algebra, so the endpoint series must agree
+/// to roundoff; backward Euler is first-order and must agree to its
+/// truncation error.
+#[test]
+fn hundredfold_horizon_cross_checks_against_steppers() {
+    // τ = 1 ms; a single-resolution plan would need every column upfront
+    // for T = 100 ms. Windowed: 100 windows × 20 columns.
+    let (m, windows, t_end) = (20, 100, 0.1);
+    let mtot = m * windows;
+    let sim = Simulation::from_netlist(RC, &["out"])
+        .unwrap()
+        .horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let inputs = sim.inputs().unwrap();
+    let windowed = plan.solve_windowed(inputs, windows).unwrap();
+    let p = plan.factor_profile();
+    assert_eq!((p.num_symbolic, p.num_numeric, p.num_windows), (1, 1, 100));
+
+    // The same MNA system for the steppers.
+    let parsed = opm::circuits::parser::parse_netlist(RC).unwrap();
+    let model = opm::circuits::mna::assemble_mna(
+        &parsed.circuit,
+        &[opm::circuits::mna::Output::NodeVoltage(
+            parsed.node("out").unwrap(),
+        )],
+    )
+    .unwrap();
+    let x0 = vec![0.0; model.system.order()];
+
+    // Trapezoid at the same step: OPM's algebraic twin (DC input, so
+    // point samples equal interval averages).
+    let trap = trapezoidal(&model.system, &model.inputs, t_end, mtot, &x0, true).unwrap();
+    for i in 0..windowed.order() {
+        let opm_ends = windowed.endpoint_series(i, 0.0);
+        let trap_ends = trap.state_row(i);
+        for (k, (a, b)) in opm_ends.iter().zip(&trap_ends).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9,
+                "state {i}, step {k}: OPM {a} vs trapezoid {b}"
+            );
+        }
+    }
+
+    // Backward Euler at the same step: first-order, so only its own
+    // truncation error separates it (the signal scale is 5 V).
+    let be = backward_euler(&model.system, &model.inputs, t_end, mtot, &x0, false).unwrap();
+    let out = windowed.endpoint_series(1, 0.0); // node `out` is state 1
+    let be_out: Vec<f64> = be.output(0).to_vec();
+    let worst = out
+        .iter()
+        .zip(&be_out)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst < 0.05,
+        "backward Euler must track OPM to its O(h) error (worst {worst:.3e})"
+    );
+    // And both settle at the 5 V DC gain.
+    assert!((out.last().unwrap() - 5.0).abs() < 1e-6);
+    assert!((be_out.last().unwrap() - 5.0).abs() < 1e-6);
+}
+
+/// The plan type stays ergonomic for callers that annotate it.
+#[test]
+fn windowed_solves_compose_with_sweeps_on_one_plan() {
+    let sim = Simulation::from_netlist(RC, &["out"])
+        .unwrap()
+        .horizon(4e-3);
+    let plan: SimPlan = sim.plan(&SolveOptions::new().resolution(16)).unwrap();
+    // Whole-horizon and windowed solves interleave freely on one plan.
+    let whole = plan.solve(sim.inputs().unwrap()).unwrap();
+    let windowed = plan.solve_windowed(sim.inputs().unwrap(), 4).unwrap();
+    assert_eq!(whole.num_intervals(), 16);
+    assert_eq!(windowed.num_intervals(), 64);
+    // W = 1 windowing degenerates to the plan's own grid.
+    let one = plan.solve_windowed(sim.inputs().unwrap(), 1).unwrap();
+    assert_eq!(one.num_intervals(), 16);
+    let delta = max_abs_output_delta(&one, &whole);
+    assert!(
+        delta <= 1e-9,
+        "W = 1 must match the plain solve: {delta:.3e}"
+    );
+}
