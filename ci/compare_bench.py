@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""CI bench-regression gate: diff a regenerated sweep run against the
+committed baseline.
+
+Usage:
+    python3 ci/compare_bench.py BENCH_sweep.json BENCH_sweep.ci.json \
+        [--max-regression 0.25]
+
+Checks, per record id present in the committed reference:
+
+1. **Presence** — every reference record must exist in the CI run
+   (a missing record means a benchmark silently stopped running).
+2. **Count drift** — integer cost/shape fields (`num_symbolic`,
+   `num_numeric`, `num_factorizations`, `windows`, `columns`, `threads`,
+   `history_len`) must match exactly: these encode the reuse invariants
+   ("W windows cost 1 symbolic + 1 numeric"), and any drift is a
+   correctness regression, not noise.
+3. **Delta drift** — `*_max_abs_delta` records: a reference of exactly 0
+   (bit-identity claims) must stay exactly 0; otherwise the CI value may
+   not exceed max(10x the reference, 1e-9) — generous to cross-machine
+   rounding, hard against real accuracy loss. The truncated-history
+   fractional delta gets the documented 1e-6 ceiling instead.
+4. **Timing regression** — `seconds` records are compared after
+   normalizing by the median CI/reference ratio across all timing
+   records (the committed file was produced on different hardware; a
+   uniform machine-speed offset must not trip the gate, a single hot
+   path regressing past --max-regression (default 25%) must).
+
+Speedup-style `value` records (`sweep/speedup`, `refactor_vs_factor`,
+`batch_threads_speedup`, ...) are *not* re-gated here: the sweep binary
+already asserts machine-appropriate floors for them at generation time.
+
+Exit code 0 = pass, 1 = regression/drift (each failure printed).
+"""
+
+import argparse
+import json
+import sys
+
+COUNT_FIELDS = (
+    "num_symbolic",
+    "num_numeric",
+    "num_factorizations",
+    "windows",
+    "columns",
+    "threads",
+    "history_len",
+)
+
+# Per-record delta ceilings that override the generic rule.
+DELTA_CEILINGS = {
+    "windowed_fractional_truncated_max_abs_delta": 1e-6,
+}
+
+
+def load_records(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {r["id"]: r for r in data["records"]}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("reference", help="committed BENCH_sweep.json")
+    ap.add_argument("candidate", help="freshly generated BENCH_sweep.ci.json")
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed per-record slowdown beyond the median machine "
+        "ratio (0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.01,
+        help="reference timings below this still shape the machine "
+        "median but are not individually gated (best-of-N at "
+        "millisecond scale is scheduler noise on shared runners)",
+    )
+    args = ap.parse_args()
+
+    ref = load_records(args.reference)
+    cand = load_records(args.candidate)
+    failures = []
+
+    missing = sorted(set(ref) - set(cand))
+    for rid in missing:
+        failures.append(f"record `{rid}` missing from the regenerated run")
+    extra = sorted(set(cand) - set(ref))
+    for rid in extra:
+        print(f"note: new record `{rid}` not yet in the committed baseline")
+
+    common = [rid for rid in ref if rid in cand]
+
+    # -- count drift -------------------------------------------------------
+    for rid in common:
+        for field in COUNT_FIELDS:
+            if field in ref[rid]:
+                rv, cv = ref[rid][field], cand[rid].get(field)
+                if cv != rv:
+                    failures.append(
+                        f"`{rid}`: {field} drifted {rv} -> {cv} "
+                        "(reuse/shape invariant broken)"
+                    )
+
+    # -- delta drift -------------------------------------------------------
+    for rid in common:
+        if not rid.endswith("max_abs_delta"):
+            continue
+        rv, cv = ref[rid]["value"], cand[rid]["value"]
+        if rid in DELTA_CEILINGS:
+            ceiling = DELTA_CEILINGS[rid]
+        elif rv == 0.0:
+            ceiling = 0.0  # a bit-identity claim stays bit-identical
+        else:
+            ceiling = max(10.0 * rv, 1e-9)
+        if cv > ceiling:
+            failures.append(
+                f"`{rid}`: delta {cv:e} exceeds ceiling {ceiling:e} "
+                f"(reference {rv:e})"
+            )
+
+    # -- timing regression (median-normalized) -----------------------------
+    timing = [
+        rid
+        for rid in common
+        if "seconds" in ref[rid] and "seconds" in cand[rid] and ref[rid]["seconds"] > 0
+    ]
+    if timing:
+        ratios = sorted(cand[rid]["seconds"] / ref[rid]["seconds"] for rid in timing)
+        mid = len(ratios) // 2
+        median = (
+            ratios[mid]
+            if len(ratios) % 2
+            else 0.5 * (ratios[mid - 1] + ratios[mid])
+        )
+        # Floor the normalizer at 1.0: a machine that runs the suite
+        # uniformly *faster* than the committed baseline must not
+        # tighten the per-record bar below "max_regression slower than
+        # committed" — only slower machines scale the limit up.
+        limit = max(median, 1.0) * (1.0 + args.max_regression)
+        gated = 0
+        for rid in timing:
+            if ref[rid]["seconds"] < args.min_seconds:
+                continue  # sub-floor records are noise, not signal
+            gated += 1
+            ratio = cand[rid]["seconds"] / ref[rid]["seconds"]
+            if ratio > limit:
+                failures.append(
+                    f"`{rid}`: {ratio:.2f}x the committed timing vs a "
+                    f"machine median of {median:.2f}x — "
+                    f">{100 * args.max_regression:.0f}% regression on this path"
+                )
+        print(
+            f"timing: {gated}/{len(timing)} records gated (floor "
+            f"{args.min_seconds}s), machine median ratio {median:.2f}x, "
+            f"per-record limit {limit:.2f}x"
+        )
+
+    if failures:
+        print(f"\nBENCH GATE FAILED ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"bench gate OK: {len(common)} records checked against {args.reference}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,7 +33,7 @@ use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::{assemble_mna, Output};
 use opm_circuits::na::assemble_na;
 use opm_core::engine::{factor_pencil, PencilFamily};
-use opm_core::{Problem, Simulation, SolveOptions};
+use opm_core::{Problem, Simulation, SolveOptions, WindowedOptions};
 use opm_waveform::{InputSet, Waveform};
 
 const SCENARIOS: usize = 100;
@@ -325,9 +325,114 @@ fn main() {
     );
     assert_eq!(long_windows, w_long);
 
+    // -- windowed_fractional: Caputo/GL history carried across windows -----
+    // An RC + constant-phase-element netlist (fractional MNA, α = ½)
+    // driven by a tiny early bump plus a late main step: the windowed
+    // solve carries the fractional memory of every previous window, so
+    // full history matches the whole-horizon plan to roundoff, and the
+    // short-memory truncation (which drops the quiescent early history)
+    // stays within its documented bound.
+    let (fm, fw) = (64, 16);
+    let ft_end = 1e-6;
+    let fsim = Simulation::from_netlist(
+        "V1 in 0 DC 1\nR1 in top 100\nP1 top 0 CPE 1u 0.5\n.end",
+        &["top"],
+    )
+    .unwrap()
+    .horizon(ft_end);
+    let t_on = 0.55 * ft_end;
+    let fstim = InputSet::new(vec![Waveform::pwl(vec![
+        (0.0, 0.0),
+        (0.05 * ft_end, 0.0),
+        (0.08 * ft_end, 1e-5),
+        (0.12 * ft_end, 1e-5),
+        (0.15 * ft_end, 0.0),
+        (t_on, 0.0),
+        (t_on + 0.02 * ft_end, 1.0),
+        (ft_end, 1.0),
+    ])
+    .unwrap()]);
+    let fwhole_plan = fsim.plan(&SolveOptions::new().resolution(fm * fw)).unwrap();
+    let (fwhole_run, fwhole_s) = timed_best(3, || fwhole_plan.solve(&fstim).unwrap());
+    let fplan = fsim.plan(&SolveOptions::new().resolution(fm)).unwrap();
+    fplan.solve_windowed(&fstim, fw).unwrap(); // warm the window kernel
+    let fprofile = fplan.factor_profile();
+    let (ffull_run, ffull_s) = timed_best(3, || fplan.solve_windowed(&fstim, fw).unwrap());
+    let mut ffull_delta = 0.0f64;
+    for (ra, rb) in fwhole_run.outputs.iter().zip(&ffull_run.outputs) {
+        for (va, vb) in ra.iter().zip(rb) {
+            ffull_delta = ffull_delta.max((va - vb).abs());
+        }
+    }
+    let ffull_speedup = fwhole_s / ffull_s;
+    // Short memory: an 8-window (512-column) tail covering the active
+    // late history, dropping the quiescent early windows.
+    let fopts = WindowedOptions::new(fw).history_len(8 * fm);
+    let (ftrunc_run, ftrunc_s) =
+        timed_best(3, || fplan.solve_windowed_opts(&fstim, &fopts).unwrap());
+    let mut ftrunc_delta = 0.0f64;
+    for (ra, rb) in fwhole_run.outputs.iter().zip(&ftrunc_run.outputs) {
+        for (va, vb) in ra.iter().zip(rb) {
+            ftrunc_delta = ftrunc_delta.max((va - vb).abs());
+        }
+    }
+    println!(
+        "frac wins  : whole {} ({} cols) vs {fw} windows {} ({ffull_speedup:.2}×, {} symbolic + {} numeric, max |Δ| = {ffull_delta:.2e}); truncated tail {} (max |Δ| = {ftrunc_delta:.2e})",
+        fmt_time(fwhole_s),
+        fm * fw,
+        fmt_time(ffull_s),
+        fprofile.num_symbolic,
+        fprofile.num_numeric,
+        fmt_time(ftrunc_s),
+    );
+    assert_eq!(
+        (fprofile.num_symbolic, fprofile.num_numeric),
+        (1, 1),
+        "W fractional windows must cost exactly 1 symbolic + 1 numeric factorization"
+    );
+    assert!(
+        ffull_delta <= 1e-9,
+        "full-history windowed fractional must match whole-horizon to 1e-9 (got {ffull_delta:.2e})"
+    );
+    assert!(
+        ftrunc_delta <= 1e-6,
+        "truncated-history windowed fractional must stay within 1e-6 (got {ftrunc_delta:.2e})"
+    );
+
+    // Nightly-only long-horizon fractional run (OPM_SWEEP_LONG=1): a
+    // 100-window horizon that is deliberately too slow for per-PR CI.
+    let long_frac = if std::env::var("OPM_SWEEP_LONG").is_ok_and(|v| v == "1") {
+        let wlong = 100;
+        let lsim = Simulation::from_netlist(
+            "V1 in 0 DC 1\nR1 in top 100\nP1 top 0 CPE 1u 0.5\n.end",
+            &["top"],
+        )
+        .unwrap()
+        .horizon(100.0 * ft_end);
+        let lplan = lsim.plan(&SolveOptions::new().resolution(fm)).unwrap();
+        let lopts = WindowedOptions::new(wlong).history_len(8 * fm);
+        let (lrun, lsec) = timed_best(1, || {
+            lplan
+                .solve_windowed_opts(lsim.inputs().unwrap(), &lopts)
+                .unwrap()
+        });
+        println!(
+            "frac long  : {wlong} windows ({} cols) in {} (truncated 8-window tail)",
+            fm * wlong,
+            fmt_time(lsec)
+        );
+        assert!(lrun.output_row(0).iter().all(|v| v.is_finite()));
+        format!(
+            ",\n    {{\"id\": \"windowed_fractional/long_{wlong}x{fm}\", \"seconds\": {lsec:e}, \"windows\": {wlong}, \"columns\": {}}}",
+            fm * wlong
+        )
+    } else {
+        String::new()
+    };
+
     let path = std::env::var("OPM_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
     let json = format!(
-        "{{\n  \"schema\": \"opm-bench-sweep/v3\",\n  \
+        "{{\n  \"schema\": \"opm-bench-sweep/v4\",\n  \
          \"note\": \"Table II power grid (NA model, n = {n}, m = {m}). sweep/*: 100-scenario load sweep, \
          independent Problem::solve per scenario vs one Simulation::plan + SimPlan::solve_batch. \
          refactor/*: {SHIFTS} step-grid pencils of the grid's MNA form (n = {nn}), fresh per-pencil \
@@ -336,6 +441,10 @@ fn main() {
          bit-identical results enforced). windowed/*: 100-tau RC-ladder horizon, whole-horizon plan \
          vs SimPlan::solve_windowed over {ww} windows (1 symbolic + 1 numeric factorization, \
          <= 1e-9 delta asserted) plus a {w_long}-window streaming run at per-window memory. \
+         windowed_fractional/*: RC+CPE netlist (fractional MNA, alpha = 0.5), whole-horizon vs \
+         {fw} windows with carried Caputo/GL history (full history <= 1e-9, 1 symbolic + 1 numeric) \
+         and an 8-window short-memory tail (<= 1e-6 on quiescent-early-history stimulus). \
+         CI gate: ci/compare_bench.py diffs a regenerated run against this committed file. \
          Regenerate: cargo run --release -p opm-bench --bin sweep\",\n  \
          \"records\": [\n    \
          {{\"id\": \"sweep/naive_loop_100\", \"seconds\": {naive_s:e}, \"num_factorizations\": {naive_factorizations}}},\n    \
@@ -353,12 +462,22 @@ fn main() {
          {{\"id\": \"windowed/windows_{ww}x{wm}\", \"seconds\": {win_s:e}, \"windows\": {ww}, \"num_symbolic\": {wsym}, \"num_numeric\": {wnum}}},\n    \
          {{\"id\": \"windowed_vs_whole\", \"value\": {win_speedup:.3}}},\n    \
          {{\"id\": \"windowed_max_abs_delta\", \"value\": {win_delta:e}}},\n    \
-         {{\"id\": \"windowed/stream_{w_long}x{wm}\", \"seconds\": {long_s:e}, \"windows\": {w_long}, \"columns\": {lcols}}}\n  ]\n}}\n",
+         {{\"id\": \"windowed/stream_{w_long}x{wm}\", \"seconds\": {long_s:e}, \"windows\": {w_long}, \"columns\": {lcols}}},\n    \
+         {{\"id\": \"windowed_fractional/whole_horizon\", \"seconds\": {fwhole_s:e}, \"columns\": {fcols}}},\n    \
+         {{\"id\": \"windowed_fractional/windows_{fw}x{fm}\", \"seconds\": {ffull_s:e}, \"windows\": {fw}, \"num_symbolic\": {fsym}, \"num_numeric\": {fnum}}},\n    \
+         {{\"id\": \"windowed_fractional_vs_whole\", \"value\": {ffull_speedup:.3}}},\n    \
+         {{\"id\": \"windowed_fractional_max_abs_delta\", \"value\": {ffull_delta:e}}},\n    \
+         {{\"id\": \"windowed_fractional/truncated_hist{fhist}\", \"seconds\": {ftrunc_s:e}, \"windows\": {fw}, \"history_len\": {fhist}}},\n    \
+         {{\"id\": \"windowed_fractional_truncated_max_abs_delta\", \"value\": {ftrunc_delta:e}}}{long_frac}\n  ]\n}}\n",
         n = na.system.order(),
         wcols = wm * ww,
         wsym = wprofile.num_symbolic,
         wnum = wprofile.num_numeric,
         lcols = wm * w_long,
+        fcols = fm * fw,
+        fsym = fprofile.num_symbolic,
+        fnum = fprofile.num_numeric,
+        fhist = 8 * fm,
     );
     let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");
     f.write_all(json.as_bytes())

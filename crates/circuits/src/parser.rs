@@ -276,7 +276,7 @@ fn parse_source(tokens: &[String]) -> Result<Waveform, CircuitError> {
                     ))
                 }
                 _ => {
-                    if args.len() < 2 || !args.len().is_multiple_of(2) {
+                    if args.len() < 2 || args.len() % 2 != 0 {
                         return Err(bad("PWL needs t/v pairs"));
                     }
                     let pts = args.chunks(2).map(|c| (c[0], c[1])).collect();

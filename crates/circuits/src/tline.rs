@@ -1,7 +1,7 @@
 //! The fractional transmission-line model of Table I.
 //!
 //! The paper's example "originates from transmission line analysis
-//! [7], [8]": a lossy line whose distributed RC behaviour is captured by
+//! \[7\], \[8\]": a lossy line whose distributed RC behaviour is captured by
 //! half-order dynamics (the input impedance of a semi-infinite RC line is
 //! `Z(s) = √(R/(sC)) ∝ s^{−1/2}`). Following the cited modelling route we
 //! lump the line into a resistive ladder with **constant-phase elements**

@@ -24,8 +24,8 @@
 //!   `lanes` scenarios wide, with read access to all previously solved
 //!   columns (the history term); [`ColumnSweep`] is its single-scenario
 //!   view;
-//! - [`reconstruct_outputs`] / [`uniform_result`] — output projection
-//!   through `C` and [`OpmResult`] assembly.
+//! - [`reconstruct_outputs`] / [`SweepOutcome::uniform_result`] —
+//!   output projection through `C` and [`OpmResult`] assembly.
 //!
 //! On top of the primitives sits the plan layer
 //! ([`crate::session`]): [`crate::Simulation`] → [`crate::SimPlan`]

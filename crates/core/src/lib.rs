@@ -76,7 +76,7 @@ pub mod session;
 pub use engine::{Method, Problem, SolveOptions};
 pub use metrics::FactorProfile;
 pub use result::OpmResult;
-pub use session::{SimModel, SimPlan, Simulation, WindowBlock};
+pub use session::{SimModel, SimPlan, Simulation, WindowBlock, WindowedOptions};
 
 /// Errors from OPM solvers.
 #[derive(Clone, Debug, PartialEq)]

@@ -44,9 +44,8 @@
 
 use crate::adaptive::{self, AdaptiveOpmOptions, StepGridFactors};
 use crate::engine::{
-    apply_b_block, factor_pencil_symbolic, factor_shifted_pencil, validate_coeff_inputs,
-    validate_horizon, validate_x0, BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap,
-    PencilFamily, SolveOptions,
+    apply_b_block, factor_pencil_symbolic, validate_coeff_inputs, validate_horizon, validate_x0,
+    BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap, PencilFamily, SolveOptions,
 };
 use crate::kron_solve::{fractional_as_multiterm, kron_prepare, kron_solve_prepared, KronFactors};
 use crate::metrics::FactorProfile;
@@ -60,6 +59,7 @@ use opm_circuits::mna::{assemble_fractional_mna, assemble_mna, Output, Unknown};
 use opm_circuits::netlist::{Circuit, Element};
 use opm_circuits::parser::parse_netlist;
 use opm_fracnum::binomial::binomial_series;
+use opm_fracnum::history::{history_convolution_into, HistoryTail};
 use opm_sparse::{SparseError, SparseLu, SymbolicLu};
 use opm_system::{DescriptorSystem, FractionalSystem, MultiTermSystem, SecondOrderSystem};
 use opm_waveform::InputSet;
@@ -463,7 +463,14 @@ enum PlanKind {
         family: Mutex<PencilFamily>,
     },
     /// Fractional series convolution against `ρ₀E − A`.
-    Fractional { rho: Vec<f64>, lu: SparseLu },
+    Fractional {
+        rho: Vec<f64>,
+        lu: SparseLu,
+        /// The `σ·E − A` family behind `lu` (`σ = ρ₀`): windowed solving
+        /// refactors the window pencil `ρ₀(h_w)·E − A` numerically
+        /// against the same recorded analysis.
+        family: Mutex<PencilFamily>,
+    },
     /// Multi-term sweep over the model's own terms.
     MultiTerm(MtPlan),
     /// Multi-term sweep over a conversion the plan owns (linear
@@ -537,17 +544,88 @@ enum WindowKernel {
     /// `σ_w = 2·m·W/T`, numerically refactored against the plan's own
     /// symbolic analysis.
     Linear { lu: SparseLu, sigma: f64 },
-    /// Second-order strategy (integer multi-term recurrence): the window
-    /// pencil plus the `h_w`-scaled recurrence polynomials. The carried
-    /// state is the trailing `depth` solved columns (and the matching
-    /// stimulus columns), which makes the restarted recurrence
-    /// column-for-column identical to the unbroken sweep.
+    /// Integer multi-term recurrence (second-order nodal plans and plain
+    /// integer multi-term plans): the window pencil plus the
+    /// `h_w`-scaled recurrence polynomials. The carried state is the
+    /// trailing `depth` solved columns (and the matching stimulus
+    /// columns), which makes the restarted recurrence column-for-column
+    /// identical to the unbroken sweep.
     Recurrence {
         lu: SparseLu,
         polys: Vec<Vec<f64>>,
         bw: Vec<f64>,
         depth: usize,
     },
+    /// Fractional strategy: the window pencil `ρ₀(h_w)·E − A`
+    /// (numerically refactored against the plan's pencil family) plus
+    /// the full-horizon weight vector `ρ` at the window step — entries
+    /// past the window resolution are the weights of the carried
+    /// Caputo/GL history tail.
+    Fractional { lu: SparseLu, rho: Vec<f64> },
+    /// Multi-term nilpotent-series convolution (fractional mixtures):
+    /// per-term full-horizon weight vectors at the window step, history
+    /// carried exactly like the fractional kernel, term by term.
+    MtConvolution { lu: SparseLu, series: Vec<Vec<f64>> },
+}
+
+/// Windowed-solve configuration beyond the window count — today the
+/// short-memory truncation knob of fractional/multi-term windowed
+/// solves.
+///
+/// ```
+/// use opm_core::WindowedOptions;
+/// let opts = WindowedOptions::new(32).history_len(256);
+/// assert_eq!(opts.windows(), 32);
+/// ```
+///
+/// # The short-memory truncation bound
+///
+/// A fractional window carries the Caputo/GL memory of all previous
+/// windows as a weighted sum over their solved columns. With
+/// [`history_len`](WindowedOptions::history_len)` = L`, only the `L`
+/// most recent columns are retained (the Grünwald–Letnikov
+/// *short-memory principle*); since the series weights decay like
+/// `|ρ_k| = O(k^{−1−α})`, the dropped forcing is bounded by
+/// `‖E‖·sup‖x‖·Σ_{k>L}|ρ_k| = O(L^{−α})` — halving the error of a
+/// half-order (`α = ½`) element takes 4× the tail, and the error
+/// vanishes (the solve becomes bit-identical to full history) once `L`
+/// covers the whole horizon. Unset (the default) means full history:
+/// exact, with `O(total columns)` retained state.
+#[derive(Clone, Debug)]
+pub struct WindowedOptions {
+    windows: usize,
+    history_len: Option<usize>,
+}
+
+impl WindowedOptions {
+    /// Options for a `windows`-window solve with full (exact) history.
+    pub fn new(windows: usize) -> Self {
+        WindowedOptions {
+            windows,
+            history_len: None,
+        }
+    }
+
+    /// Retains at most `columns` history columns across window
+    /// boundaries (the short-memory truncation; see the type-level
+    /// docs for the error bound). Ignored by plan kinds whose carried
+    /// state is already finite and exact — linear plans (polyline
+    /// endpoint) and integer recurrences (trailing `K` columns).
+    #[must_use]
+    pub fn history_len(mut self, columns: usize) -> Self {
+        self.history_len = Some(columns);
+        self
+    }
+
+    /// The window count `W`.
+    pub fn windows(&self) -> usize {
+        self.windows
+    }
+
+    /// The short-memory cap, if set.
+    pub fn history_cap(&self) -> Option<usize> {
+        self.history_len
+    }
 }
 
 /// One window's worth of a streaming solve
@@ -719,15 +797,7 @@ impl<'a> SimPlan<'a> {
                         mt: Some(mt),
                     }
                 }
-                _ => {
-                    let sys = fsys.system();
-                    let basis = BpfBasis::new(m, t_end);
-                    let rho = basis.frac_diff_coeffs(fsys.alpha());
-                    PlanKind::Fractional {
-                        lu: factor_shifted_pencil(sys.e(), sys.a(), rho[0])?,
-                        rho,
-                    }
-                }
+                _ => fractional_plan_kind(fsys, m, t_end)?,
             },
             ModelRef::MultiTerm(mt) => match opts.method {
                 Method::Auto => PlanKind::MultiTerm(mt_plan(mt, m, t_end, &MtSelect::Auto)?),
@@ -794,18 +864,12 @@ impl<'a> SimPlan<'a> {
         t_end: f64,
     ) -> Result<Self, OpmError> {
         validate_horizon(t_end)?;
-        let sys = fsys.system();
-        let basis = BpfBasis::new(m, t_end);
-        let rho = basis.frac_diff_coeffs(fsys.alpha());
         Ok(SimPlan {
             model: ModelRef::Fractional(fsys),
             t_end,
             m,
-            x0: vec![0.0; sys.order()],
-            kind: PlanKind::Fractional {
-                lu: factor_shifted_pencil(sys.e(), sys.a(), rho[0])?,
-                rho,
-            },
+            x0: vec![0.0; fsys.order()],
+            kind: fractional_plan_kind(fsys, m, t_end)?,
             profile: ONE_SYMBOLIC,
             windowed: Mutex::new(WindowState::default()),
         })
@@ -894,7 +958,7 @@ impl<'a> SimPlan<'a> {
             PlanKind::AdaptiveLinear { cache, .. } => {
                 cache.lock().expect("lattice cache poisoned").profile()
             }
-            PlanKind::Linear { family, .. } => {
+            PlanKind::Linear { family, .. } | PlanKind::Fractional { family, .. } => {
                 family.lock().expect("pencil family poisoned").profile()
             }
             _ => self.profile,
@@ -1095,11 +1159,18 @@ impl<'a> SimPlan<'a> {
     /// recurrence is the trapezoidal rule in disguise, and the polyline
     /// endpoint handoff is its exact restart).
     ///
-    /// Supported for linear/descriptor (Recurrence/Accumulator) and
-    /// second-order plans. Fractional and multi-term models are
-    /// rejected: their Caputo history spans the whole horizon, not one
-    /// window — a Grünwald–Letnikov history-corrected windowed
-    /// fractional solve is a planned follow-up.
+    /// Supported for linear/descriptor (Recurrence/Accumulator),
+    /// second-order, fractional and multi-term plans. Linear and
+    /// integer-recurrence plans carry *exact* finite state (polyline
+    /// endpoint / trailing recurrence columns); fractional and
+    /// fractional-mixture multi-term plans carry the Caputo/GL memory
+    /// of all previous windows as an extra per-lane forcing built from
+    /// the history convolution over their solved columns — exact with
+    /// full history, truncatable via
+    /// [`WindowedOptions::history_len`] (see
+    /// [`SimPlan::solve_windowed_opts`]). Adaptive, step-grid and
+    /// Kronecker plans are whole-horizon by construction and are
+    /// rejected with an error naming the plan kind.
     ///
     /// ```
     /// use opm_core::{Simulation, SolveOptions};
@@ -1124,7 +1195,53 @@ impl<'a> SimPlan<'a> {
     /// [`OpmError::BadArguments`] on channel mismatches, zero windows,
     /// or an unsupported strategy/method (the message names both).
     pub fn solve_windowed(&self, inputs: &InputSet, windows: usize) -> Result<OpmResult, OpmError> {
-        let mut out = self.solve_windowed_batch(std::slice::from_ref(inputs), windows)?;
+        self.solve_windowed_opts(inputs, &WindowedOptions::new(windows))
+    }
+
+    /// [`SimPlan::solve_windowed`] with explicit [`WindowedOptions`] —
+    /// in particular the fractional short-memory truncation
+    /// [`WindowedOptions::history_len`].
+    ///
+    /// Note on memory: with *full* history (the default), a fractional
+    /// windowed solve retains a working copy of every past column
+    /// alongside the accumulating result — the exactness costs up to 2×
+    /// the whole-horizon solve's peak. Cap the tail with
+    /// [`WindowedOptions::history_len`] (or stream via
+    /// [`SimPlan::solve_streaming_opts`], where the tail is the *only*
+    /// retained copy) for bounded memory.
+    ///
+    /// ```
+    /// use opm_core::{Simulation, SolveOptions, WindowedOptions};
+    ///
+    /// // RC + constant-phase element: a fractional MNA model.
+    /// let sim = Simulation::from_netlist(
+    ///     "V1 in 0 DC 1\nR1 in top 100\nP1 top 0 CPE 1u 0.5\n.end",
+    ///     &["top"],
+    /// )
+    /// .unwrap()
+    /// .horizon(1e-6);
+    /// let plan = sim.plan(&SolveOptions::new().resolution(64)).unwrap();
+    ///
+    /// // 8 windows × 64 columns, keeping a 256-column memory tail.
+    /// let opts = WindowedOptions::new(8).history_len(256);
+    /// let r = plan.solve_windowed_opts(sim.inputs().unwrap(), &opts).unwrap();
+    /// assert_eq!(r.num_intervals(), 512);
+    /// let p = plan.factor_profile();
+    /// assert_eq!((p.num_symbolic, p.num_numeric), (1, 1));
+    /// ```
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_windowed`].
+    pub fn solve_windowed_opts(
+        &self,
+        inputs: &InputSet,
+        opts: &WindowedOptions,
+    ) -> Result<OpmResult, OpmError> {
+        let mut out = self.solve_windowed_batch_opts(
+            std::slice::from_ref(inputs),
+            opts,
+            opm_par::default_threads(),
+        )?;
         Ok(out.pop().expect("one lane in, one result out"))
     }
 
@@ -1155,6 +1272,21 @@ impl<'a> SimPlan<'a> {
         windows: usize,
         threads: usize,
     ) -> Result<Vec<OpmResult>, OpmError> {
+        self.solve_windowed_batch_opts(inputs, &WindowedOptions::new(windows), threads)
+    }
+
+    /// [`SimPlan::solve_windowed_batch_with_threads`] with explicit
+    /// [`WindowedOptions`].
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_windowed`].
+    pub fn solve_windowed_batch_opts(
+        &self,
+        inputs: &[InputSet],
+        opts: &WindowedOptions,
+        threads: usize,
+    ) -> Result<Vec<OpmResult>, OpmError> {
+        let windows = opts.windows();
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
@@ -1164,7 +1296,7 @@ impl<'a> SimPlan<'a> {
         let results = if lanes_per_worker < inputs.len() {
             let chunks: Vec<&[InputSet]> = inputs.chunks(lanes_per_worker).collect();
             let per_chunk = opm_par::par_map(threads, &chunks, |chunk| {
-                self.windowed_chunk(&kernel, chunk, windows)
+                self.windowed_chunk(&kernel, chunk, opts)
             });
             let mut out = Vec::with_capacity(inputs.len());
             for res in per_chunk {
@@ -1172,7 +1304,7 @@ impl<'a> SimPlan<'a> {
             }
             out
         } else {
-            self.windowed_chunk(&kernel, inputs, windows)
+            self.windowed_chunk(&kernel, inputs, opts)
         };
         self.windowed
             .lock()
@@ -1184,7 +1316,10 @@ impl<'a> SimPlan<'a> {
     /// Streaming windowed solve: like [`SimPlan::solve_windowed`], but
     /// each window's block is handed to `sink` as soon as it is solved
     /// and then **dropped** — peak coefficient storage is `O(n·m)`, one
-    /// window, independent of how many windows the horizon spans. The
+    /// window, independent of how many windows the horizon spans (plus,
+    /// on fractional/multi-term plans, the retained Caputo history tail:
+    /// all past columns with full history, at most
+    /// [`WindowedOptions::history_len`] columns when truncated). The
     /// [`WindowBlock`]s carry global-time bounds, so concatenating their
     /// results reproduces [`SimPlan::solve_windowed`] exactly.
     ///
@@ -1197,13 +1332,30 @@ impl<'a> SimPlan<'a> {
         &self,
         inputs: &InputSet,
         windows: usize,
+        sink: impl FnMut(WindowBlock),
+    ) -> Result<Vec<f64>, OpmError> {
+        self.solve_streaming_opts(inputs, &WindowedOptions::new(windows), sink)
+    }
+
+    /// [`SimPlan::solve_streaming`] with explicit [`WindowedOptions`] —
+    /// with [`WindowedOptions::history_len`] set, a fractional streaming
+    /// solve runs at truly bounded memory: one window of columns plus
+    /// the capped history tail.
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_windowed`].
+    pub fn solve_streaming_opts(
+        &self,
+        inputs: &InputSet,
+        opts: &WindowedOptions,
         mut sink: impl FnMut(WindowBlock),
     ) -> Result<Vec<f64>, OpmError> {
+        let windows = opts.windows();
         self.check_channels(std::slice::from_ref(inputs))?;
         let kernel = self.window_kernel(windows)?;
         let out = self.output_map();
         let mut final_state = self.x0.clone();
-        self.windowed_drive(&kernel, &[inputs], windows, |w, outcome, end| {
+        self.windowed_drive(&kernel, &[inputs], opts, |w, outcome, end| {
             let bounds = self.window_bounds(windows, w, 0);
             let mut lanes = outcome.into_lane_outcomes();
             let one = lanes.pop().expect("one lane in, one result out");
@@ -1253,85 +1405,93 @@ impl<'a> SimPlan<'a> {
                 st.kernels.insert(windows, Arc::clone(&kern));
                 Ok(kern)
             }
-            PlanKind::OwnedMultiTerm {
-                mt,
-                plan,
-                differentiate: true,
-            } => {
-                let MtPath::Recurrence { .. } = &plan.path else {
-                    return unsupported(
-                        "second-order",
-                        "its multi-term conversion took the convolution path",
-                    );
+            PlanKind::Fractional { family, .. } => {
+                let ModelRef::Fractional(fsys) = self.model else {
+                    unreachable!("fractional plans are built on fractional models");
                 };
                 let mut st = self.windowed.lock().expect("window state poisoned");
                 if let Some(kern) = st.kernels.get(&windows) {
                     return Ok(Arc::clone(kern));
                 }
-                let h = self.t_end / (self.m * windows) as f64;
-                let (polys, bw) = mt_recurrence_data(mt, h);
-                let pencil = crate::engine::weighted_pencil(mt.terms(), |k| polys[k][0])?;
-                let csc = pencil.to_csc();
-                // Same union pattern, re-weighted values: numeric-only
-                // refactorization against the plan's recorded analysis,
-                // with a fresh pivoted fallback on degradation.
-                let (lu, fresh) = if csc.values().len() == plan.symbolic.pattern_nnz() {
-                    match SparseLu::refactor(&plan.symbolic, csc.values()) {
-                        Ok(lu) => (lu, false),
-                        Err(SparseError::PivotDegraded(_)) => {
-                            (crate::engine::factor_pencil(&pencil)?, true)
-                        }
-                        Err(e) => return Err(OpmError::SingularPencil(format!("{e}"))),
-                    }
-                } else {
-                    (crate::engine::factor_pencil(&pencil)?, true)
-                };
-                if fresh {
-                    st.num_symbolic += 1;
-                } else {
-                    st.num_numeric += 1;
-                }
-                let kern = Arc::new(WindowKernel::Recurrence {
-                    lu,
-                    polys,
-                    bw,
-                    depth: mt.max_order() as usize,
-                });
+                // Window step h_w = T/(W·m): the window pencil is
+                // ρ₀(h_w)·E − A — same pattern family as the plan's own
+                // pencil, so it refactors numerically. The weight vector
+                // spans the WHOLE horizon (W·m entries): entries past
+                // the window resolution are exactly the history-tail
+                // weights of the carried Caputo/GL memory.
+                let wbasis = BpfBasis::new(self.m, self.t_end / windows as f64);
+                let rho = wbasis.frac_diff_coeffs_n(fsys.alpha(), self.m * windows);
+                let lu = family
+                    .lock()
+                    .expect("pencil family poisoned")
+                    .factor(rho[0])?;
+                let kern = Arc::new(WindowKernel::Fractional { lu, rho });
                 st.kernels.insert(windows, Arc::clone(&kern));
                 Ok(kern)
             }
-            PlanKind::OwnedMultiTerm {
-                differentiate: false,
-                ..
-            } => unsupported(
-                self.model.strategy_name(),
-                "the Convolution method resolves the whole horizon in one series; \
-                 use the Recurrence or Accumulator method",
-            ),
+            PlanKind::MultiTerm(plan) | PlanKind::OwnedMultiTerm { plan, .. } => {
+                let mt = self.mt_ref();
+                let mut st = self.windowed.lock().expect("window state poisoned");
+                if let Some(kern) = st.kernels.get(&windows) {
+                    return Ok(Arc::clone(kern));
+                }
+                let h = self.t_end / (self.m * windows) as f64;
+                let kern = match &plan.path {
+                    MtPath::Recurrence { .. } => {
+                        let (polys, bw) = mt_recurrence_data(mt, h);
+                        let pencil = crate::engine::weighted_pencil(mt.terms(), |k| polys[k][0])?;
+                        let lu = refactor_window_pencil(&plan.symbolic, &pencil, &mut st)?;
+                        WindowKernel::Recurrence {
+                            lu,
+                            polys,
+                            bw,
+                            depth: mt.max_order() as usize,
+                        }
+                    }
+                    MtPath::Convolution { .. } => {
+                        // Per-term ρ^{(k)} over the whole W·m-column
+                        // horizon at the window step (α = 0 ⇒ e₀) — the
+                        // same generator the plan and the fractional
+                        // kernel use, so the formulas cannot drift.
+                        let wbasis = BpfBasis::new(self.m, self.t_end / windows as f64);
+                        let series: Vec<Vec<f64>> = mt
+                            .terms()
+                            .iter()
+                            .map(|term| wbasis.frac_diff_coeffs_n(term.alpha, self.m * windows))
+                            .collect();
+                        let pencil = crate::engine::weighted_pencil(mt.terms(), |k| series[k][0])?;
+                        let lu = refactor_window_pencil(&plan.symbolic, &pencil, &mut st)?;
+                        WindowKernel::MtConvolution { lu, series }
+                    }
+                };
+                let kern = Arc::new(kern);
+                st.kernels.insert(windows, Arc::clone(&kern));
+                Ok(kern)
+            }
             PlanKind::Kron { .. } => unsupported(
-                self.model.strategy_name(),
+                &format!("{} (Kronecker plan)", self.model.strategy_name()),
                 "the Kronecker oracle materializes the whole horizon as one dense system",
             ),
-            PlanKind::Fractional { .. } => unsupported(
-                "fractional",
-                "the Caputo history spans the whole horizon, not one window \
-                 (a GL history-corrected windowed fractional solve is a planned follow-up)",
-            ),
-            PlanKind::MultiTerm(_) => unsupported(
-                "multi-term",
-                "fractional-order terms carry whole-horizon Caputo history, not \
-                 window-local state (a GL history-corrected windowed solve is a \
-                 planned follow-up); only linear and second-order plans window",
-            ),
             PlanKind::AdaptiveLinear { .. } => unsupported(
-                "linear",
+                "linear (adaptive plan)",
                 "`adaptive` plans let the step controller pace the horizon; \
                  windowed solving applies to fixed-resolution plans",
             ),
             PlanKind::StepGrid(_) => unsupported(
-                "fractional",
+                "fractional (step-grid plan)",
                 "step-grid plans resolve the whole horizon on their explicit grid",
             ),
+        }
+    }
+
+    /// The multi-term system a multi-term-backed plan sweeps — the
+    /// model's own for [`PlanKind::MultiTerm`], the owned conversion for
+    /// [`PlanKind::OwnedMultiTerm`].
+    fn mt_ref(&self) -> &MultiTermSystem {
+        match (&self.kind, self.model) {
+            (PlanKind::OwnedMultiTerm { mt, .. }, _) => mt,
+            (_, ModelRef::MultiTerm(mt)) => mt,
+            _ => unreachable!("mt_ref on a non-multi-term plan kind"),
         }
     }
 
@@ -1354,12 +1514,12 @@ impl<'a> SimPlan<'a> {
         &self,
         kernel: &WindowKernel,
         chunk: &[InputSet],
-        windows: usize,
+        opts: &WindowedOptions,
     ) -> Vec<OpmResult> {
         let refs: Vec<&InputSet> = chunk.iter().collect();
-        let mut columns = Vec::with_capacity(windows * self.m);
+        let mut columns = Vec::with_capacity(opts.windows() * self.m);
         let mut solves = 0;
-        self.windowed_drive(kernel, &refs, windows, |_, outcome, _| {
+        self.windowed_drive(kernel, &refs, opts, |_, outcome, _| {
             solves += outcome.num_solves;
             columns.extend(outcome.columns);
         });
@@ -1376,17 +1536,20 @@ impl<'a> SimPlan<'a> {
         .collect()
     }
 
-    /// The window loop: sweeps `ws` through `windows` windows against
-    /// the shared kernel, handing each window's solved block (columns in
-    /// global state coordinates, lane-interleaved) plus the end-of-window
-    /// state block to `on_window`, then carrying that state forward.
+    /// The window loop: sweeps `ws` through the configured windows
+    /// against the shared kernel, handing each window's solved block
+    /// (columns in global state coordinates, lane-interleaved) plus the
+    /// end-of-window state block to `on_window`, then carrying that
+    /// state — polyline endpoint, recurrence tail or Caputo history
+    /// tail, per kernel — forward.
     fn windowed_drive(
         &self,
         kernel: &WindowKernel,
         ws: &[&InputSet],
-        windows: usize,
+        opts: &WindowedOptions,
         mut on_window: impl FnMut(usize, BlockOutcome, &[f64]),
     ) {
+        let windows = opts.windows();
         let n = self.model.order();
         let k = ws.len();
         let m = self.m;
@@ -1438,9 +1601,14 @@ impl<'a> SimPlan<'a> {
                 bw,
                 depth,
             } => {
-                let PlanKind::OwnedMultiTerm { mt, .. } = &self.kind else {
-                    unreachable!("recurrence window kernels are built on second-order plans");
-                };
+                let mt = self.mt_ref();
+                let differentiate = matches!(
+                    self.kind,
+                    PlanKind::OwnedMultiTerm {
+                        differentiate: true,
+                        ..
+                    }
+                );
                 // Carried state: the trailing `depth` solved columns (the
                 // recurrence's full memory) — the restarted sweep is
                 // column-for-column the unbroken one.
@@ -1451,10 +1619,17 @@ impl<'a> SimPlan<'a> {
                     let bounds = self.window_bounds(windows, w, s);
                     // The stimulus columns matching the carried history
                     // are re-projected from global time alongside the
-                    // window's own (`u̇` averages: second-order input).
+                    // window's own (`u̇` averages for second-order
+                    // input, plain interval averages otherwise).
                     let us: Vec<Vec<Vec<f64>>> = ws
                         .iter()
-                        .map(|set| set.derivative_averages_on_grid(&bounds))
+                        .map(|set| {
+                            if differentiate {
+                                set.derivative_averages_on_grid(&bounds)
+                            } else {
+                                set.averages_on_grid(&bounds)
+                            }
+                        })
                         .collect();
                     let refs: Vec<&[Vec<f64>]> = us.iter().map(Vec::as_slice).collect();
                     let lc = LaneCoeffs::interleave(&refs, p, s + m);
@@ -1472,6 +1647,64 @@ impl<'a> SimPlan<'a> {
                             .cloned(),
                     );
                     tail = new_tail;
+                    let end = endpoint_state(&outcome.columns, &endv);
+                    on_window(w, outcome, &end);
+                    endv = end;
+                }
+            }
+            WindowKernel::Fractional { lu, rho } => {
+                let ModelRef::Fractional(fsys) = self.model else {
+                    unreachable!("fractional window kernels are built on fractional models");
+                };
+                let sys = fsys.system();
+                // Carried state: the Caputo/GL memory of every previous
+                // window — the retained solved columns, truncatable by
+                // the short-memory cap. With full history the restarted
+                // convolution is column-for-column the unbroken one.
+                let mut tail = HistoryTail::new(opts.history_cap());
+                let mut endv = vec![0.0; n * k];
+                let width = self.t_end / windows as f64;
+                for w in 0..windows {
+                    let us: Vec<Vec<Vec<f64>>> = ws
+                        .iter()
+                        .map(|set| set.bpf_matrix_window(m, w as f64 * width, width))
+                        .collect();
+                    let refs: Vec<&[Vec<f64>]> = us.iter().map(Vec::as_slice).collect();
+                    let lc = LaneCoeffs::interleave(&refs, p, m);
+                    let outcome = sweep_fractional_block(sys, lu, rho, &lc, tail.columns());
+                    tail.extend(outcome.columns.iter().cloned());
+                    let end = endpoint_state(&outcome.columns, &endv);
+                    on_window(w, outcome, &end);
+                    endv = end;
+                }
+            }
+            WindowKernel::MtConvolution { lu, series } => {
+                let mt = self.mt_ref();
+                // Second-order conversions are integer-order and always
+                // take the Recurrence kernel, so every plan reaching
+                // this arm consumes plain (undifferentiated) averages.
+                debug_assert!(
+                    !matches!(
+                        self.kind,
+                        PlanKind::OwnedMultiTerm {
+                            differentiate: true,
+                            ..
+                        }
+                    ),
+                    "second-order plans window through the recurrence kernel"
+                );
+                let mut tail = HistoryTail::new(opts.history_cap());
+                let mut endv = vec![0.0; n * k];
+                let width = self.t_end / windows as f64;
+                for w in 0..windows {
+                    let us: Vec<Vec<Vec<f64>>> = ws
+                        .iter()
+                        .map(|set| set.bpf_matrix_window(m, w as f64 * width, width))
+                        .collect();
+                    let refs: Vec<&[Vec<f64>]> = us.iter().map(Vec::as_slice).collect();
+                    let lc = LaneCoeffs::interleave(&refs, p, m);
+                    let outcome = sweep_mt_convolution_block(mt, lu, series, &lc, tail.columns());
+                    tail.extend(outcome.columns.iter().cloned());
                     let end = endpoint_state(&outcome.columns, &endv);
                     on_window(w, outcome, &end);
                     endv = end;
@@ -1579,11 +1812,11 @@ impl<'a> SimPlan<'a> {
                 }
                 sweep_linear_block(sys, lu, *sigma, &c_force, *accumulator, &lc)
             }
-            PlanKind::Fractional { rho, lu } => {
+            PlanKind::Fractional { rho, lu, .. } => {
                 let ModelRef::Fractional(fsys) = self.model else {
                     unreachable!("fractional plan on a fractional model");
                 };
-                sweep_fractional_block(fsys.system(), lu, rho, &lc)
+                sweep_fractional_block(fsys.system(), lu, rho, &lc, &[])
             }
             PlanKind::MultiTerm(plan) => {
                 let ModelRef::MultiTerm(mt) = self.model else {
@@ -1717,18 +1950,24 @@ fn sweep_linear_block(
     })
 }
 
-/// Fractional nilpotent-series convolution, K lanes wide (paper §IV).
+/// Fractional nilpotent-series convolution, K lanes wide (paper §IV),
+/// with an optional carried history tail: the memory term of column `j`
+/// splits into the window-local part `Σ_{t=1}^{j} ρ_t·x_{j−t}` plus the
+/// carried part `Σ_{d} ρ_{j+d}·tail[end−d]` over previous windows'
+/// retained columns (empty `tail` ⇒ the whole-horizon solve, so the two
+/// paths share one body and cannot diverge).
 fn sweep_fractional_block(
     sys: &DescriptorSystem,
     lu: &SparseLu,
     rho: &[f64],
     lc: &LaneCoeffs,
+    tail: &[Vec<f64>],
 ) -> BlockOutcome {
     let n = sys.order();
     let k = lc.lanes;
     let mut conv = vec![0.0; n * k];
     BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
-        // conv = Σ_{t=1}^{j} ρ_t·x_{j−t}
+        // conv = Σ_{t=1}^{j} ρ_t·x_{j−t} + carried history
         conv.iter_mut().for_each(|v| *v = 0.0);
         for t in 1..=j {
             let r = rho[t];
@@ -1736,6 +1975,7 @@ fn sweep_fractional_block(
                 axpy(&mut conv, &history[j - t], r);
             }
         }
+        history_convolution_into(rho, j, tail, &mut conv);
         sys.e().mul_block_into(&conv, work, k);
         apply_b_block(sys.b(), &lc.cols[j], k, 1.0, rhs);
         axpy(rhs, work, -1.0);
@@ -1814,26 +2054,41 @@ fn sweep_multiterm_block(mt: &MultiTermSystem, plan: &MtPlan, lc: &LaneCoeffs) -
                 }
             })
         }
-        MtPath::Convolution { series } => {
-            BlockColumnSweep::new(n, lc.m, k).run(&plan.lu, |j, history, rhs, work| {
-                apply_b_block(mt.b(), &lc.cols[j], k, 1.0, rhs);
-                for (term, rho) in mt.terms().iter().zip(series) {
-                    if term.alpha == 0.0 {
-                        continue; // ρ = e₀: no history contribution
-                    }
-                    acc.iter_mut().for_each(|v| *v = 0.0);
-                    for t in 1..=j {
-                        let r = rho[t];
-                        if r != 0.0 {
-                            axpy(&mut acc, &history[j - t], r);
-                        }
-                    }
-                    term.matrix.mul_block_into(&acc, work, k);
-                    axpy(rhs, work, -1.0);
-                }
-            })
-        }
+        MtPath::Convolution { series } => sweep_mt_convolution_block(mt, &plan.lu, series, lc, &[]),
     }
+}
+
+/// Multi-term nilpotent-series convolution, K lanes wide, with an
+/// optional carried history tail per term (the windowed restart; empty
+/// `tail` ⇒ the whole-horizon solve).
+fn sweep_mt_convolution_block(
+    mt: &MultiTermSystem,
+    lu: &SparseLu,
+    series: &[Vec<f64>],
+    lc: &LaneCoeffs,
+    tail: &[Vec<f64>],
+) -> BlockOutcome {
+    let n = mt.order();
+    let k = lc.lanes;
+    let mut acc = vec![0.0; n * k];
+    BlockColumnSweep::new(n, lc.m, k).run(lu, |j, history, rhs, work| {
+        apply_b_block(mt.b(), &lc.cols[j], k, 1.0, rhs);
+        for (term, rho) in mt.terms().iter().zip(series) {
+            if term.alpha == 0.0 {
+                continue; // ρ = e₀: no history contribution
+            }
+            acc.iter_mut().for_each(|v| *v = 0.0);
+            for t in 1..=j {
+                let r = rho[t];
+                if r != 0.0 {
+                    axpy(&mut acc, &history[j - t], r);
+                }
+            }
+            history_convolution_into(rho, j, tail, &mut acc);
+            term.matrix.mul_block_into(&acc, work, k);
+            axpy(rhs, work, -1.0);
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1844,6 +2099,25 @@ fn mt_all_integer(mt: &MultiTermSystem) -> bool {
     mt.terms()
         .iter()
         .all(|t| t.alpha.fract() == 0.0 && t.alpha <= 16.0)
+}
+
+/// The fractional plan kind: pencil family + factored `ρ₀·E − A` + the
+/// nilpotent-series weights at the plan's own resolution.
+fn fractional_plan_kind(
+    fsys: &FractionalSystem,
+    m: usize,
+    t_end: f64,
+) -> Result<PlanKind, OpmError> {
+    let sys = fsys.system();
+    let basis = BpfBasis::new(m, t_end);
+    let rho = basis.frac_diff_coeffs(fsys.alpha());
+    let mut family = PencilFamily::new(sys.e(), sys.a());
+    let lu = family.factor(rho[0])?;
+    Ok(PlanKind::Fractional {
+        rho,
+        lu,
+        family: Mutex::new(family),
+    })
 }
 
 /// The linear plan kind: pencil family + factored `σ·E − A`.
@@ -1862,6 +2136,33 @@ fn linear_plan_kind(
         accumulator,
         family: Mutex::new(family),
     })
+}
+
+/// Factors a window's re-weighted multi-term pencil: same union
+/// pattern, new values — a numeric-only refactorization against the
+/// plan's recorded analysis, with a fresh pivoted fallback on pattern
+/// mismatch or pivot degradation. Books the cost into the window state.
+fn refactor_window_pencil(
+    symbolic: &SymbolicLu,
+    pencil: &opm_sparse::CsrMatrix,
+    st: &mut WindowState,
+) -> Result<SparseLu, OpmError> {
+    let csc = pencil.to_csc();
+    let (lu, fresh) = if csc.values().len() == symbolic.pattern_nnz() {
+        match SparseLu::refactor(symbolic, csc.values()) {
+            Ok(lu) => (lu, false),
+            Err(SparseError::PivotDegraded(_)) => (crate::engine::factor_pencil(pencil)?, true),
+            Err(e) => return Err(OpmError::SingularPencil(format!("{e}"))),
+        }
+    } else {
+        (crate::engine::factor_pencil(pencil)?, true)
+    };
+    if fresh {
+        st.num_symbolic += 1;
+    } else {
+        st.num_numeric += 1;
+    }
+    Ok(lu)
 }
 
 /// Per-term finite recurrence polynomials `p^{(k)}` of degree `K` and
@@ -2309,15 +2610,6 @@ mod tests {
     #[test]
     fn windowed_rejections_name_strategy_and_reason() {
         let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
-        // Multi-term: Caputo history is global.
-        let mt = MultiTermSystem::from_descriptor(&scalar(-1.0));
-        let simm = Simulation::from_multiterm(mt).horizon(1.0);
-        let planm = simm.plan(&SolveOptions::new().resolution(8)).unwrap();
-        let msg = format!("{}", planm.solve_windowed(&inputs, 2).unwrap_err());
-        assert!(
-            msg.contains("multi-term") && msg.contains("window"),
-            "{msg}"
-        );
         // Adaptive plans pace themselves.
         let sima = Simulation::from_system(scalar(-1.0)).horizon(1.0);
         let plana = sima
@@ -2332,9 +2624,144 @@ mod tests {
             .unwrap();
         let msg = format!("{}", plank.solve_windowed(&inputs, 2).unwrap_err());
         assert!(msg.contains("Kronecker"), "{msg}");
+        // Step-grid plans resolve the horizon on their explicit grid.
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        let simg = Simulation::from_fractional(fsys).horizon(1.0);
+        let plang = simg
+            .plan(&SolveOptions::new().step_grid(crate::adaptive::geometric_grid(1.0, 8, 1.2)))
+            .unwrap();
+        let msg = format!("{}", plang.solve_windowed(&inputs, 2).unwrap_err());
+        assert!(msg.contains("step-grid"), "{msg}");
         // Zero windows is a plain argument error.
         let plan = sima.plan(&SolveOptions::new().resolution(8)).unwrap();
         assert!(plan.solve_windowed(&inputs, 0).is_err());
+    }
+
+    #[test]
+    fn fractional_windowed_matches_whole_horizon() {
+        // d^½x = −x + u over 8 windows × 16 columns vs one 128-column
+        // whole-horizon plan: with full history the restarted
+        // convolution is the unbroken one, column for column.
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        let sim = Simulation::from_fractional(fsys).horizon(2.0);
+        let inputs = InputSet::new(vec![Waveform::step(0.3, 1.0)]);
+        let (m, windows) = (16, 8);
+        let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+        let windowed = plan.solve_windowed(&inputs, windows).unwrap();
+        let whole = sim
+            .plan(&SolveOptions::new().resolution(m * windows))
+            .unwrap()
+            .solve(&inputs)
+            .unwrap();
+        for j in 0..m * windows {
+            assert!(
+                (windowed.state_coeff(0, j) - whole.state_coeff(0, j)).abs() <= 1e-12,
+                "column {j}"
+            );
+        }
+        // 1 symbolic (the plan's own pencil) + 1 numeric (the window
+        // pencil, refactored through the plan's pencil family).
+        let p = plan.factor_profile();
+        assert_eq!((p.num_symbolic, p.num_numeric), (1, 1));
+        assert_eq!(p.num_windows, windows);
+    }
+
+    #[test]
+    fn fractional_short_memory_truncation_is_ordered() {
+        let fsys = FractionalSystem::new(0.5, scalar(-1.0)).unwrap();
+        let sim = Simulation::from_fractional(fsys).horizon(4.0);
+        let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let (m, windows) = (16, 8);
+        let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+        let full = plan.solve_windowed(&inputs, windows).unwrap();
+        let err_at = |cap: usize| {
+            let opts = WindowedOptions::new(windows).history_len(cap);
+            let r = plan.solve_windowed_opts(&inputs, &opts).unwrap();
+            (0..m * windows)
+                .map(|j| (r.state_coeff(0, j) - full.state_coeff(0, j)).abs())
+                .fold(0.0f64, f64::max)
+        };
+        let coarse = err_at(m);
+        let fine = err_at(4 * m);
+        assert!(coarse > 0.0, "truncation must actually bite");
+        assert!(
+            fine < coarse,
+            "longer memory must be more accurate: {fine:.3e} !< {coarse:.3e}"
+        );
+        // A tail covering the horizon IS the full solve, bit for bit.
+        let opts = WindowedOptions::new(windows).history_len(m * windows);
+        let covered = plan.solve_windowed_opts(&inputs, &opts).unwrap();
+        assert_eq!(covered.columns, full.columns);
+    }
+
+    #[test]
+    fn multiterm_windowed_matches_whole_horizon() {
+        // A fractional mixture: A₀x + A_½ d^½x + A₁ dx = Bu takes the
+        // convolution path; the windowed restart must reproduce it.
+        use opm_system::Term;
+        let mk = |v: f64| {
+            let mut c = CooMatrix::new(1, 1);
+            c.push(0, 0, v);
+            c.to_csr()
+        };
+        let terms = vec![
+            Term {
+                alpha: 0.0,
+                matrix: mk(1.0),
+            },
+            Term {
+                alpha: 0.5,
+                matrix: mk(0.5),
+            },
+            Term {
+                alpha: 1.0,
+                matrix: mk(1.0),
+            },
+        ];
+        let mt = MultiTermSystem::new(terms, mk(1.0), None).unwrap();
+        let sim = Simulation::from_multiterm(mt).horizon(1.5);
+        let inputs = InputSet::new(vec![Waveform::sine(0.2, 1.0, 2.0, 0.0, 0.1)]);
+        let (m, windows) = (16, 4);
+        let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+        let windowed = plan.solve_windowed(&inputs, windows).unwrap();
+        let whole = sim
+            .plan(&SolveOptions::new().resolution(m * windows))
+            .unwrap()
+            .solve(&inputs)
+            .unwrap();
+        for j in 0..m * windows {
+            assert!(
+                (windowed.state_coeff(0, j) - whole.state_coeff(0, j)).abs() <= 1e-10,
+                "column {j}: {} vs {}",
+                windowed.state_coeff(0, j),
+                whole.state_coeff(0, j)
+            );
+        }
+        let p = plan.factor_profile();
+        assert_eq!((p.num_symbolic, p.num_numeric), (1, 1));
+    }
+
+    #[test]
+    fn integer_multiterm_windowed_takes_the_recurrence_path() {
+        // x + 2ẋ = u as a plain multi-term model: integer orders run the
+        // seeded finite recurrence across windows.
+        let mt = MultiTermSystem::from_descriptor(&scalar(-0.5));
+        let sim = Simulation::from_multiterm(mt).horizon(2.0);
+        let inputs = InputSet::new(vec![Waveform::step(0.5, 1.0)]);
+        let (m, windows) = (16, 4);
+        let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+        let windowed = plan.solve_windowed(&inputs, windows).unwrap();
+        let whole = sim
+            .plan(&SolveOptions::new().resolution(m * windows))
+            .unwrap()
+            .solve(&inputs)
+            .unwrap();
+        for j in 0..m * windows {
+            assert!(
+                (windowed.state_coeff(0, j) - whole.state_coeff(0, j)).abs() <= 1e-10,
+                "column {j}"
+            );
+        }
     }
 
     #[test]

@@ -122,7 +122,7 @@ impl FftSimulator {
             for i in 0..n {
                 x_hat[i][k] = xk[i];
                 // Mirror bin (skip DC and Nyquist self-mirrors).
-                if k != 0 && (!big_n.is_multiple_of(2) || k != half) {
+                if k != 0 && (big_n % 2 != 0 || k != half) {
                     x_hat[i][big_n - k] = xk[i].conj();
                 }
             }

@@ -1,0 +1,193 @@
+//! Reusable history-convolution kernels for memory-carrying fractional
+//! recurrences.
+//!
+//! Every discrete fractional operator in this workspace — the
+//! Grünwald–Letnikov stepper (`opm-transient`), the OPM nilpotent-series
+//! sweep and its windowed restart (`opm-core`) — spends its time in the
+//! same place: a weighted sum of *past* solution columns,
+//!
+//! ```text
+//! conv = Σ_{d=1}^{P} w_{offset+d} · tail[P − d]
+//! ```
+//!
+//! with `tail` ordered oldest → newest. The kernel here is that sum,
+//! shared so the whole-horizon, windowed and time-stepping paths cannot
+//! drift apart numerically. It is elementwise across the column length,
+//! so it applies equally to single columns and to the engine's
+//! lane-interleaved `n × K` blocks.
+//!
+//! [`HistoryTail`] adds the *short-memory principle* on top: a
+//! bounded-length tail of retained columns. Dropping columns older than
+//! `cap` is exactly the Grünwald–Letnikov short-memory truncation —
+//! since the weights of a fractional difference decay like
+//! `|w_k| = O(k^{−1−α})`, the neglected forcing is bounded by the tail
+//! sum `Σ_{k>cap}|w_k| = O(cap^{−α})` times the solution's sup-norm.
+
+/// Accumulates the history convolution
+/// `out[i] += Σ_{d=1}^{tail.len()} weights[offset + d] · tail[len − d][i]`
+/// — the memory term of a fractional recurrence, with `tail` ordered
+/// oldest → newest and `offset` the local column index (0 for plain
+/// time-stepping, `j` for column `j` of a restarted window).
+///
+/// Weight indices past the end of `weights` are treated as zero, so a
+/// deliberately truncated weight vector is a valid short-memory
+/// truncation. Zero weights are skipped without touching the column.
+///
+/// # Panics
+/// Panics when some tail column is shorter than `out`.
+pub fn history_convolution_into(
+    weights: &[f64],
+    offset: usize,
+    tail: &[Vec<f64>],
+    out: &mut [f64],
+) {
+    let len = tail.len();
+    for d in 1..=len {
+        let Some(&w) = weights.get(offset + d) else {
+            break; // weights exhausted: every older column weighs zero
+        };
+        if w == 0.0 {
+            continue;
+        }
+        let col = &tail[len - d];
+        assert!(
+            col.len() >= out.len(),
+            "tail column {} entries for a {}-entry accumulator",
+            col.len(),
+            out.len()
+        );
+        for (o, &c) in out.iter_mut().zip(col) {
+            *o += w * c;
+        }
+    }
+}
+
+/// A bounded tail of retained history columns — the short-memory
+/// truncation state of a windowed fractional solve.
+///
+/// Push each window's solved columns with [`HistoryTail::extend`]; the
+/// tail keeps at most `cap` of the most recent ones (all of them when
+/// `cap` is `None` — the exact, full-memory mode). The retained slice
+/// ([`HistoryTail::columns`], oldest → newest) feeds
+/// [`history_convolution_into`] directly.
+///
+/// ```
+/// use opm_fracnum::history::HistoryTail;
+/// let mut tail = HistoryTail::new(Some(3));
+/// tail.extend(vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0]]);
+/// // Only the 3 most recent columns survive.
+/// assert_eq!(tail.columns(), &[vec![2.0], vec![3.0], vec![4.0]]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HistoryTail {
+    cap: Option<usize>,
+    cols: Vec<Vec<f64>>,
+}
+
+impl HistoryTail {
+    /// An empty tail retaining at most `cap` columns (`None`: unbounded).
+    pub fn new(cap: Option<usize>) -> Self {
+        HistoryTail {
+            cap,
+            cols: Vec::new(),
+        }
+    }
+
+    /// Appends newly solved columns (oldest → newest) and drops columns
+    /// beyond the retention cap.
+    pub fn extend(&mut self, cols: impl IntoIterator<Item = Vec<f64>>) {
+        self.cols.extend(cols);
+        if let Some(cap) = self.cap {
+            if self.cols.len() > cap {
+                let excess = self.cols.len() - cap;
+                self.cols.drain(..excess);
+            }
+        }
+    }
+
+    /// The retained columns, oldest → newest.
+    pub fn columns(&self) -> &[Vec<f64>] {
+        &self.cols
+    }
+
+    /// Number of retained columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when nothing is retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convolution_matches_direct_sum() {
+        let weights = [0.0, 0.5, -0.25, 0.125, -0.0625];
+        let tail = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        let mut out = vec![1.0, -1.0];
+        history_convolution_into(&weights, 0, &tail, &mut out);
+        // d=1 → w_1·tail[2], d=2 → w_2·tail[1], d=3 → w_3·tail[0].
+        let want0 = 1.0 + 0.5 * 3.0 - 0.25 * 2.0 + 0.125 * 1.0;
+        let want1 = -1.0 + 0.5 * 30.0 - 0.25 * 20.0 + 0.125 * 10.0;
+        assert!((out[0] - want0).abs() < 1e-15);
+        assert!((out[1] - want1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn offset_shifts_the_weight_window() {
+        let weights = [9.0, 9.0, 9.0, 2.0, 4.0];
+        let tail = vec![vec![1.0], vec![1.0]];
+        let mut out = vec![0.0];
+        // offset 2: uses w_3 (newest) and w_4 (oldest).
+        history_convolution_into(&weights, 2, &tail, &mut out);
+        assert_eq!(out[0], 2.0 + 4.0);
+    }
+
+    #[test]
+    fn exhausted_weights_act_as_zero() {
+        let weights = [1.0, 3.0];
+        let tail = vec![vec![100.0], vec![7.0]];
+        let mut out = vec![0.0];
+        // Only d=1 has a weight (w_1 = 3); d=2 would need w_2.
+        history_convolution_into(&weights, 0, &tail, &mut out);
+        assert_eq!(out[0], 21.0);
+    }
+
+    #[test]
+    fn tail_caps_retention() {
+        let mut tail = HistoryTail::new(Some(2));
+        assert!(tail.is_empty());
+        tail.extend(vec![vec![1.0]]);
+        tail.extend(vec![vec![2.0], vec![3.0], vec![4.0]]);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.columns(), &[vec![3.0], vec![4.0]]);
+        // Unbounded tail keeps everything.
+        let mut full = HistoryTail::new(None);
+        full.extend((0..5).map(|i| vec![i as f64]));
+        assert_eq!(full.len(), 5);
+    }
+
+    #[test]
+    fn truncated_tail_equals_truncated_weights() {
+        // Dropping old columns ≡ zeroing their weights: the two
+        // implementations of short memory must agree exactly.
+        let weights: Vec<f64> = (0..8).map(|k| 0.7f64.powi(k)).collect();
+        let cols: Vec<Vec<f64>> = (0..6).map(|i| vec![(i as f64).sin() + 2.0]).collect();
+        let mut capped = HistoryTail::new(Some(3));
+        capped.extend(cols.clone());
+        let mut via_cap = vec![0.0];
+        history_convolution_into(&weights, 1, capped.columns(), &mut via_cap);
+        let mut short_w = weights.clone();
+        for w in short_w.iter_mut().skip(1 + 3 + 1) {
+            *w = 0.0; // offset + cap reached: older columns weigh zero
+        }
+        let mut via_weights = vec![0.0];
+        history_convolution_into(&short_w, 1, &cols, &mut via_weights);
+        assert_eq!(via_cap, via_weights);
+    }
+}

@@ -6,12 +6,15 @@
 //!
 //! - [`gamma`] — Γ, ln Γ (Lanczos), regularized incomplete gamma, erf/erfc.
 //! - [`binomial`] — generalized binomial coefficients `C(α, k)`.
-//! - [`mittag_leffler`] — the two-parameter Mittag-Leffler function
+//! - [`mod@mittag_leffler`] — the two-parameter Mittag-Leffler function
 //!   `E_{α,β}(z)`, the analytic solution kernel of linear FDEs. Negative
 //!   arguments are evaluated by fixed-Talbot numerical Laplace-transform
-//!   inversion — the very technique of the paper's references [1,3,5].
+//!   inversion — the very technique of the paper's references \[1,3,5\].
 //! - [`grunwald`] — Grünwald–Letnikov coefficients and pointwise fractional
 //!   derivatives (the classical time-domain FDE discretization).
+//! - [`history`] — the shared history-convolution kernel (and the
+//!   short-memory [`history::HistoryTail`]) behind every memory-carrying
+//!   fractional recurrence in the workspace.
 //! - [`rl`] — Riemann–Liouville fractional integrals by product-trapezoid
 //!   quadrature (Diethelm), an independent oracle.
 //!
@@ -27,10 +30,12 @@
 pub mod binomial;
 pub mod gamma;
 pub mod grunwald;
+pub mod history;
 pub mod mittag_leffler;
 pub mod rl;
 
 pub use binomial::binomial_alpha;
 pub use gamma::{erf, erfc, gamma_fn, ln_gamma};
 pub use grunwald::GrunwaldCoefficients;
+pub use history::{history_convolution_into, HistoryTail};
 pub use mittag_leffler::mittag_leffler;

@@ -12,7 +12,7 @@
 //!   cancellation for small negative `z`).
 //! - `z < 0` large — fixed-Talbot numerical inversion of the Laplace
 //!   transform `L{t^{β−1} E_{α,β}(λ t^α)} = s^{α−β}/(s^α − λ)`, the same
-//!   numerical-Laplace-inversion idea the paper builds on (refs [1,3,5]).
+//!   numerical-Laplace-inversion idea the paper builds on (refs \[1,3,5\]).
 //!   Fixed Talbot in `f64` delivers ≈ 8–10 significant digits, ample for
 //!   oracle duty.
 

@@ -677,7 +677,7 @@ fn perm_sign(p: &[usize]) -> f64 {
             j = p[j];
             len += 1;
         }
-        if len.is_multiple_of(2) {
+        if len % 2 == 0 {
             sign = -sign;
         }
     }

@@ -177,7 +177,7 @@ mod tests {
         // Chain in "true" order is 0-1-2-...; we label true node t as
         // (t/2) if even else (n+1)/2 + t/2 to scramble locality.
         let label = |t: usize| {
-            if t.is_multiple_of(2) {
+            if t % 2 == 0 {
                 t / 2
             } else {
                 n.div_ceil(2) + t / 2

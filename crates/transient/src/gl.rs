@@ -14,6 +14,7 @@
 use crate::result::TransientResult;
 use crate::util::{add_b_u, factor_shifted, validate};
 use crate::TransientError;
+use opm_fracnum::history::history_convolution_into;
 use opm_fracnum::GrunwaldCoefficients;
 use opm_system::FractionalSystem;
 use opm_waveform::InputSet;
@@ -47,18 +48,11 @@ pub fn gl_fractional(
 
     for step in 1..=m {
         let t = step as f64 * h;
-        // conv = Σ_{k=1}^{step−1?} w_k·x_{step−k}; history before t=0 is 0.
+        // conv = Σ_{k=1}^{step−1} w_k·x_{step−k}; history before t=0 is 0.
+        // The shared kernel also powers the OPM windowed fractional
+        // restart, so the baseline and OPM cannot drift apart.
         conv.iter_mut().for_each(|v| *v = 0.0);
-        for k in 1..step {
-            let w = weights.weight(k);
-            if w == 0.0 {
-                continue;
-            }
-            let xk = &xs[step - 1 - k];
-            for (c, x) in conv.iter_mut().zip(xk) {
-                *c += w * x;
-            }
-        }
+        history_convolution_into(weights.as_slice(), 0, &xs, &mut conv);
         sys.e().mul_vec_into(&conv, &mut ew);
         rhs.iter_mut().for_each(|v| *v = 0.0);
         let u = inputs.eval(t);

@@ -8,7 +8,7 @@
 //! - [`gl`] — a Grünwald–Letnikov fractional stepper, the classical
 //!   time-domain FDE method OPM's fractional solver is measured against.
 //! - [`adaptive`] — LTE-controlled adaptive trapezoidal integration.
-//! - [`reference`] — high-accuracy references: exact matrix-exponential
+//! - [`mod@reference`] — high-accuracy references: exact matrix-exponential
 //!   stepping for regular ODEs and Richardson-refined trapezoidal for
 //!   DAEs.
 //!

@@ -10,7 +10,7 @@
 //! Run: `cargo run --example long_horizon`
 
 use opm::waveform::Waveform;
-use opm::{Simulation, SolveOptions};
+use opm::{Simulation, SolveOptions, WindowedOptions};
 
 fn main() {
     let tau = 1e-3; // R·C
@@ -75,4 +75,33 @@ fn main() {
         })
         .unwrap();
     assert!(runs[1].output_row(0)[m - 1] > runs[0].output_row(0)[m - 1]);
+
+    // Fractional models window too: the Caputo/GL memory of every
+    // previous window rides along as a history forcing, optionally
+    // truncated to a short-memory tail (bounded state for streaming).
+    let fsim = Simulation::from_netlist(
+        "* R into a half-order constant-phase element\n\
+         V1 in 0 DC 1\n\
+         R1 in top 100\n\
+         P1 top 0 CPE 1u 0.5\n\
+         .end",
+        &["top"],
+    )
+    .unwrap()
+    .horizon(1e-4); // 100× the 1e-6 horizon a whole-horizon plan would use
+    let fplan = fsim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let fopts = WindowedOptions::new(100).history_len(8 * m);
+    let fr = fplan
+        .solve_windowed_opts(fsim.inputs().unwrap(), &fopts)
+        .unwrap();
+    let fp = fplan.factor_profile();
+    println!(
+        "fractional: {} windows × {m} columns (8-window memory tail), \
+         {} symbolic + {} numeric factorization(s), v(top) at T = {:.4} V",
+        fp.num_windows,
+        fp.num_symbolic,
+        fp.num_numeric,
+        fr.output_row(0).last().unwrap()
+    );
+    assert_eq!((fp.num_symbolic, fp.num_numeric), (1, 1));
 }

@@ -86,7 +86,7 @@ pub use opm_waveform as waveform;
 
 pub use opm_core::{
     FactorProfile, Method, OpmResult, Problem, SimModel, SimPlan, Simulation, SolveOptions,
-    WindowBlock,
+    WindowBlock, WindowedOptions,
 };
 
 /// The facade-wide error: everything a netlist → plan → solve pipeline

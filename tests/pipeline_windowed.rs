@@ -1,15 +1,16 @@
 //! Integration: windowed long-horizon solving end to end through the
-//! facade — windowed ≡ whole-horizon equivalence, streaming-callback
+//! facade — windowed ≡ whole-horizon equivalence (linear, second-order,
+//! and fractional with carried Caputo/GL history), streaming-callback
 //! concatenation, batch-vs-loop bit-identity, the one-factorization
 //! invariant, classical-stepper cross-checks on a 100×-horizon run, and
-//! the documented fractional rejection.
+//! the fixed-seed short-memory truncation property.
 
 use opm::circuits::grid::PowerGridSpec;
 use opm::circuits::na::assemble_na;
 use opm::transient::be::backward_euler;
 use opm::transient::trap::trapezoidal;
 use opm::waveform::{InputSet, Waveform};
-use opm::{SimPlan, Simulation, SolveOptions};
+use opm::{SimPlan, Simulation, SolveOptions, WindowedOptions};
 
 /// 1 kΩ / 1 µF low-pass, written with the unit-suffixed SPICE values the
 /// parser used to reject (`1kOhm`, `1uF`) — the satellite bugfix rides
@@ -230,23 +231,172 @@ fn second_order_windowed_matches_whole_horizon() {
     assert_eq!(p.num_symbolic + p.num_numeric, 2);
 }
 
-/// Fractional models are documented as not window-capable (Caputo
-/// history is global): the error must say so and name the strategy.
+/// 100 Ω into a half-order constant-phase element — the fractional MNA
+/// model the windowed Caputo/GL history carry is specified against.
+const RC_CPE: &str = "V1 in 0 DC 1\nR1 in top 100\nP1 top 0 CPE 1u 0.5\n.end";
+
+/// Windowed fractional solving carries the Caputo/GL history of all
+/// previous windows: with full history the result matches the
+/// whole-horizon plan at `W·m` columns to ≤ 1e-9, through exactly
+/// 1 symbolic + 1 numeric factorization; with a short-memory
+/// truncation covering a fraction of the horizon it stays ≤ 1e-6.
 #[test]
-fn fractional_windowed_is_rejected_with_clear_error() {
-    let sim = Simulation::from_netlist(
-        "V1 in 0 DC 1\nR1 in top 100\nP1 top 0 CPE 1u 0.5\n.end",
-        &["top"],
-    )
-    .unwrap()
-    .horizon(1e-6);
-    let plan = sim.plan(&SolveOptions::new().resolution(32)).unwrap();
-    let err = plan.solve_windowed(sim.inputs().unwrap(), 4).unwrap_err();
-    let msg = format!("{err}");
+fn fractional_windowed_equals_whole_horizon_on_rc_cpe() {
+    let (m, windows, t_end) = (32, 8, 1e-6);
+    let sim = Simulation::from_netlist(RC_CPE, &["top"])
+        .unwrap()
+        .horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let windowed = plan.solve_windowed(sim.inputs().unwrap(), windows).unwrap();
+
+    let whole = sim
+        .plan(&SolveOptions::new().resolution(m * windows))
+        .unwrap()
+        .solve(sim.inputs().unwrap())
+        .unwrap();
+
+    assert_eq!(windowed.num_intervals(), m * windows);
+    assert_eq!(windowed.bounds, whole.bounds);
+    let delta = max_abs_output_delta(&windowed, &whole);
     assert!(
-        msg.contains("fractional") && msg.contains("window"),
-        "diagnostic must name the strategy and the feature: {msg}"
+        delta <= 1e-9,
+        "full-history windowed vs whole: max |Δ| = {delta:.3e}"
     );
+
+    // The reuse invariant: the plan's own symbolic analysis plus ONE
+    // numeric refactorization (through the fractional pencil family)
+    // serve all 8 windows.
+    let p = plan.factor_profile();
+    assert_eq!(
+        (p.num_symbolic, p.num_numeric),
+        (1, 1),
+        "W fractional windows must cost exactly 1 symbolic + 1 numeric"
+    );
+    assert_eq!(p.num_windows, windows);
+
+    // Short-memory truncation. Fractional memory is power-law — the
+    // documented bound is O(L^{−α}) *times the activity older than the
+    // tail* — so the knob's use-case is dropping quiescent history: a
+    // tiny early bump (1e-5) plus the main step late enough that a
+    // 3-window tail covers it. The truncated solve must stay within
+    // 1e-6 of the whole-horizon answer while actually differing.
+    let t_on = 0.55 * t_end;
+    let bump = Waveform::pwl(vec![
+        (0.0, 0.0),
+        (0.05 * t_end, 0.0),
+        (0.08 * t_end, 1e-5),
+        (0.12 * t_end, 1e-5),
+        (0.15 * t_end, 0.0),
+        (t_on, 0.0),
+        (t_on + 0.02 * t_end, 1.0),
+        (t_end, 1.0),
+    ])
+    .unwrap();
+    let stim = InputSet::new(vec![bump]);
+    let whole_b = sim
+        .plan(&SolveOptions::new().resolution(m * windows))
+        .unwrap()
+        .solve(&stim)
+        .unwrap();
+    let opts = WindowedOptions::new(windows).history_len(3 * m);
+    let truncated = plan.solve_windowed_opts(&stim, &opts).unwrap();
+    let full_b = plan.solve_windowed(&stim, windows).unwrap();
+    let tdelta = max_abs_output_delta(&truncated, &whole_b);
+    assert!(
+        tdelta <= 1e-6,
+        "truncated-history windowed vs whole: max |Δ| = {tdelta:.3e}"
+    );
+    assert!(
+        max_abs_output_delta(&truncated, &full_b) > 0.0,
+        "the truncation must actually drop history"
+    );
+    let p2 = plan.factor_profile();
+    assert_eq!((p2.num_symbolic, p2.num_numeric), (1, 1));
+}
+
+/// Fractional streaming ≡ fractional windowed, block for block, and the
+/// batch is bit-identical to the loop for every thread count.
+#[test]
+fn fractional_streaming_and_batch_match_windowed() {
+    let (m, windows, t_end) = (16, 6, 1e-6);
+    let sim = Simulation::from_netlist(RC_CPE, &["top"])
+        .unwrap()
+        .horizon(t_end);
+    let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+    let inputs = sim.inputs().unwrap();
+
+    let windowed = plan.solve_windowed(inputs, windows).unwrap();
+    let mut concat_cols: Vec<Vec<f64>> = Vec::new();
+    plan.solve_streaming(inputs, windows, |block| {
+        assert_eq!(block.result.num_intervals(), m);
+        concat_cols.extend(block.result.columns.iter().cloned());
+    })
+    .unwrap();
+    assert_eq!(concat_cols, windowed.columns, "streaming ≡ windowed");
+
+    let sets: Vec<InputSet> = (0..5)
+        .map(|i| InputSet::new(vec![Waveform::step(0.2e-6, 1.0 + 0.4 * i as f64)]))
+        .collect();
+    let batch = plan.solve_windowed_batch(&sets, windows).unwrap();
+    for (set, b) in sets.iter().zip(&batch) {
+        let single = plan.solve_windowed(set, windows).unwrap();
+        assert_eq!(single.columns, b.columns, "batch must equal the loop");
+    }
+    for threads in [1, 2, 4, 16] {
+        let par = plan
+            .solve_windowed_batch_with_threads(&sets, windows, threads)
+            .unwrap();
+        for (a, b) in batch.iter().zip(&par) {
+            assert_eq!(a.columns, b.columns, "threads={threads}");
+        }
+    }
+}
+
+/// Short-memory property (fixed-seed randomized): over random fractional
+/// one-ports, the windowed-vs-whole error is monotonically non-increasing
+/// as `history_len` grows through a ladder of tails, and a tail covering
+/// the whole horizon reproduces the full-history solve bit for bit.
+#[test]
+fn short_memory_error_decreases_monotonically() {
+    use opm_rng::StdRng;
+    let mut rng = StdRng::seed_from_u64(0x057A_B1E5);
+    let (m, windows) = (16, 8);
+    for case in 0..12 {
+        let alpha = rng.random_range(0.3..0.9);
+        let r = rng.random_range(50.0..500.0);
+        let q = rng.random_range(0.5e-6..2e-6);
+        let t_end = rng.random_range(0.5e-6..2e-6);
+        let netlist = format!("V1 in 0 DC 1\nR1 in top {r}\nP1 top 0 CPE {q} {alpha}\n.end");
+        let sim = Simulation::from_netlist(&netlist, &["top"])
+            .unwrap()
+            .horizon(t_end);
+        let plan = sim.plan(&SolveOptions::new().resolution(m)).unwrap();
+        let inputs = sim.inputs().unwrap();
+        let full = plan.solve_windowed(inputs, windows).unwrap();
+
+        let err_at = |cap: usize| {
+            let opts = WindowedOptions::new(windows).history_len(cap);
+            let r = plan.solve_windowed_opts(inputs, &opts).unwrap();
+            max_abs_output_delta(&r, &full)
+        };
+        // Ladder of tails: 1, 2, 4 windows' worth of memory.
+        let errs: Vec<f64> = [m, 2 * m, 4 * m].iter().map(|&c| err_at(c)).collect();
+        for pair in errs.windows(2) {
+            assert!(
+                pair[1] <= pair[0] + 1e-15,
+                "case {case} (α = {alpha:.3}): error must not grow with \
+                 history_len: {errs:?}"
+            );
+        }
+        assert!(
+            errs[0] > 0.0,
+            "case {case}: the 1-window tail must actually truncate"
+        );
+        // A tail covering the horizon IS the full solve.
+        let opts = WindowedOptions::new(windows).history_len(m * windows);
+        let covered = plan.solve_windowed_opts(inputs, &opts).unwrap();
+        assert_eq!(covered.columns, full.columns, "case {case}");
+    }
 }
 
 /// A 100×-horizon run cross-checked against the classical steppers:
