@@ -27,8 +27,14 @@ Checks, per record id present in the committed reference:
    path regressing past --max-regression (default 25%) must).
 
 Speedup-style `value` records (`sweep/speedup`, `refactor_vs_factor`,
-`batch_threads_speedup`, ...) are *not* re-gated here: the sweep binary
-already asserts machine-appropriate floors for them at generation time.
+`batch_threads_speedup`, `scaling/speedup_*`, `kernel/*_speedup`, ...)
+are *not* re-gated here: the sweep binary already asserts
+machine-appropriate floors for them at generation time. On single-core
+machines the thread/scaling speedups are `null` (the ratio would be
+scheduler noise, not signal) -- null is accepted on either side.
+
+`kernel/panel_vs_scalar_max_abs_delta` is additionally a *hard* check on
+the candidate alone: it must be present and exactly 0.
 
 Exit code 0 = pass, 1 = regression/drift (each failure printed).
 """
@@ -44,8 +50,17 @@ COUNT_FIELDS = (
     "windows",
     "columns",
     "threads",
+    "workers",
+    "lanes",
+    "depth",
     "history_len",
 )
+
+# Bit-identity records that must be exactly 0 in the *candidate* run even
+# before any reference comparison: these encode the panel-kernel contract
+# (panelling must not change a single bit), so a nonzero value is a
+# correctness bug regardless of what the baseline says.
+HARD_ZERO_RECORDS = ("kernel/panel_vs_scalar_max_abs_delta",)
 
 # Per-record delta ceilings that override the generic rule.
 DELTA_CEILINGS = {
@@ -91,6 +106,16 @@ def main():
     for rid in extra:
         print(f"note: new record `{rid}` not yet in the committed baseline")
 
+    # -- hard bit-identity checks (candidate-only) -------------------------
+    for rid in HARD_ZERO_RECORDS:
+        if rid not in cand:
+            failures.append(f"hard bit-identity record `{rid}` missing from the run")
+        elif cand[rid].get("value") != 0.0:
+            failures.append(
+                f"`{rid}`: panel kernels diverged from the scalar reference "
+                f"(value {cand[rid].get('value')!r}, must be exactly 0)"
+            )
+
     common = [rid for rid in ref if rid in cand]
 
     # -- count drift -------------------------------------------------------
@@ -109,6 +134,9 @@ def main():
         if not rid.endswith("max_abs_delta"):
             continue
         rv, cv = ref[rid]["value"], cand[rid]["value"]
+        if rv is None or cv is None:
+            failures.append(f"`{rid}`: delta records must never be null")
+            continue
         if rid in DELTA_CEILINGS:
             ceiling = DELTA_CEILINGS[rid]
         elif rv == 0.0:

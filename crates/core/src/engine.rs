@@ -224,6 +224,14 @@ impl PencilFamily {
                 .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
             self.symbolic = Some(sym);
             self.profile.num_symbolic += 1;
+            // Supernode observability comes from the family's reference
+            // factorization — every refactorization shares its pattern,
+            // so the statistics hold for the whole family.
+            let stats = lu.supernode_stats();
+            self.profile.num_supernodes = stats.num_supernodes;
+            self.profile.supernode_cols = stats.supernode_cols;
+            self.profile.dense_tail_cols = stats.dense_tail_cols;
+            self.profile.factor_cols = stats.num_cols;
             Ok(lu)
         } else {
             // Pivot-degradation fallback: fresh pivots for this shift
@@ -432,7 +440,74 @@ pub fn apply_b_column(b: &CsrMatrix, u: &[f64], scale: f64, out: &mut [f64]) {
 /// scenarios at once. `u_block[ch*lanes + l]` is channel `ch` of lane
 /// `l`; `out` is a row-major `n × lanes` block. One pass over `B`'s
 /// sparse structure serves every lane.
+///
+/// Lanes are processed in fixed-width register panels
+/// ([`opm_linalg::panel::LANE_PANEL_WIDTH`]); per lane the accumulation
+/// order matches [`apply_b_block_scalar`] exactly, so results are
+/// bit-identical. `OPM_NO_PANEL=1` routes to the scalar reference.
 pub fn apply_b_block(b: &CsrMatrix, u_block: &[f64], lanes: usize, scale: f64, out: &mut [f64]) {
+    if !opm_linalg::panel::lane_panels_enabled() {
+        return apply_b_block_scalar(b, u_block, lanes, scale, out);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if opm_linalg::panel::avx_available() {
+        // SAFETY: the `avx` target feature was detected on this CPU.
+        unsafe { apply_b_panels_avx(b, u_block, lanes, scale, out) };
+        return;
+    }
+    apply_b_panels_body(b, u_block, lanes, scale, out);
+}
+
+/// The AVX codegen copy of the panel driver (`avx` only — no `fma`, so
+/// the per-lane arithmetic stays bit-identical to the portable copy and
+/// the scalar reference).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn apply_b_panels_avx(
+    b: &CsrMatrix,
+    u_block: &[f64],
+    lanes: usize,
+    scale: f64,
+    out: &mut [f64],
+) {
+    apply_b_panels_body(b, u_block, lanes, scale, out);
+}
+
+/// The panel sweep (main width plus `4 → 2 → 1` remainder);
+/// `#[inline(always)]` so each dispatch copy compiles it with its own
+/// target features.
+#[inline(always)]
+fn apply_b_panels_body(b: &CsrMatrix, u_block: &[f64], lanes: usize, scale: f64, out: &mut [f64]) {
+    const W: usize = opm_linalg::panel::LANE_PANEL_WIDTH;
+    let mut p0 = 0;
+    while p0 + W <= lanes {
+        apply_b_panel::<W>(b, u_block, lanes, scale, out, p0);
+        p0 += W;
+    }
+    if p0 + 4 <= lanes {
+        apply_b_panel::<4>(b, u_block, lanes, scale, out, p0);
+        p0 += 4;
+    }
+    if p0 + 2 <= lanes {
+        apply_b_panel::<2>(b, u_block, lanes, scale, out, p0);
+        p0 += 2;
+    }
+    if p0 < lanes {
+        apply_b_panel::<1>(b, u_block, lanes, scale, out, p0);
+    }
+}
+
+/// The scalar reference implementation of [`apply_b_block`]: one
+/// structure pass with a full-width lane loop per entry. The panel path
+/// is validated against this bit-for-bit by the `kernel/*` bench records
+/// and proptests.
+pub fn apply_b_block_scalar(
+    b: &CsrMatrix,
+    u_block: &[f64],
+    lanes: usize,
+    scale: f64,
+    out: &mut [f64],
+) {
     for i in 0..b.nrows() {
         let row = &mut out[i * lanes..(i + 1) * lanes];
         for (ch, v) in b.row(i) {
@@ -441,6 +516,33 @@ pub fn apply_b_block(b: &CsrMatrix, u_block: &[f64], lanes: usize, scale: f64, o
                 *o += sv * u;
             }
         }
+    }
+}
+
+/// Lanes `p0 .. p0 + W` of the stimulus application, accumulated in a
+/// `[f64; W]` register panel per output row.
+#[inline(always)]
+fn apply_b_panel<const W: usize>(
+    b: &CsrMatrix,
+    u_block: &[f64],
+    lanes: usize,
+    scale: f64,
+    out: &mut [f64],
+    p0: usize,
+) {
+    for i in 0..b.nrows() {
+        let dst = i * lanes + p0;
+        let mut acc = [0.0; W];
+        acc.copy_from_slice(&out[dst..dst + W]);
+        for (ch, v) in b.row(i) {
+            let sv = scale * v;
+            let src = ch * lanes + p0;
+            let us: &[f64; W] = u_block[src..src + W].try_into().unwrap();
+            for w in 0..W {
+                acc[w] += sv * us[w];
+            }
+        }
+        out[dst..dst + W].copy_from_slice(&acc);
     }
 }
 

@@ -26,12 +26,46 @@ pub struct FactorProfile {
     /// `num_symbolic + num_numeric` stays flat *is* the long-horizon
     /// reuse invariant.
     pub num_windows: usize,
+    /// Supernodes (runs of ≥ 2 consecutive columns with identical
+    /// elimination reach) in the plan's reference factorization — the
+    /// structure the supernodal dense tail exploits. Reported by
+    /// pencil-family-backed plans (linear/fractional/adaptive); 0 where
+    /// no sparse factor statistics were captured.
+    pub num_supernodes: usize,
+    /// Columns covered by those supernodes.
+    pub supernode_cols: usize,
+    /// Width of the supernodal dense tail the block solves use (0: none
+    /// qualified under [`opm_sparse::lu::LuOptions::supernode_threshold`]).
+    pub dense_tail_cols: usize,
+    /// Total pivotal columns of the reference factorization (the
+    /// denominator for the coverage ratios; 0 when not captured).
+    pub factor_cols: usize,
 }
 
 impl FactorProfile {
     /// Total factorizations performed (symbolic + numeric).
     pub fn num_factorizations(&self) -> usize {
         self.num_symbolic + self.num_numeric
+    }
+
+    /// Fraction of factor columns covered by supernodes (0.0 when no
+    /// factor statistics were captured).
+    pub fn supernode_coverage(&self) -> f64 {
+        if self.factor_cols == 0 {
+            0.0
+        } else {
+            self.supernode_cols as f64 / self.factor_cols as f64
+        }
+    }
+
+    /// Fraction of factor columns solved through the supernodal dense
+    /// tail (0.0 when no factor statistics were captured).
+    pub fn dense_tail_coverage(&self) -> f64 {
+        if self.factor_cols == 0 {
+            0.0
+        } else {
+            self.dense_tail_cols as f64 / self.factor_cols as f64
+        }
     }
 }
 

@@ -661,7 +661,24 @@ const ONE_SYMBOLIC: FactorProfile = FactorProfile {
     cache_hits: 0,
     cache_misses: 0,
     num_windows: 0,
+    num_supernodes: 0,
+    supernode_cols: 0,
+    dense_tail_cols: 0,
+    factor_cols: 0,
 };
+
+/// Lanes per worker for a `lanes`-wide batch on `threads` workers,
+/// rounded up to the panel width so chunk boundaries coincide with
+/// panel boundaries: every worker then runs full
+/// [`opm_linalg::panel::LANE_PANEL_WIDTH`]-wide panels except for the
+/// final chunk's remainder, instead of every worker paying a ragged
+/// remainder chain. Chunking never changes results — lanes are
+/// arithmetically independent.
+fn worker_lane_chunk(lanes: usize, threads: usize) -> usize {
+    lanes
+        .div_ceil(threads.max(1))
+        .next_multiple_of(opm_linalg::panel::LANE_PANEL_WIDTH)
+}
 
 /// Output projection dispatch without cloning the selector.
 enum OutRef<'o> {
@@ -1292,7 +1309,7 @@ impl<'a> SimPlan<'a> {
         }
         self.check_channels(inputs)?;
         let kernel = self.window_kernel(windows)?;
-        let lanes_per_worker = inputs.len().div_ceil(threads.max(1));
+        let lanes_per_worker = worker_lane_chunk(inputs.len(), threads);
         let results = if lanes_per_worker < inputs.len() {
             let chunks: Vec<&[InputSet]> = inputs.chunks(lanes_per_worker).collect();
             let per_chunk = opm_par::par_map(threads, &chunks, |chunk| {
@@ -1771,7 +1788,7 @@ impl<'a> SimPlan<'a> {
             .into_iter()
             .collect();
         }
-        let lanes_per_worker = us.len().div_ceil(threads.max(1));
+        let lanes_per_worker = worker_lane_chunk(us.len(), threads);
         if lanes_per_worker < us.len() {
             let chunks: Vec<&[&[Vec<f64>]]> = us.chunks(lanes_per_worker).collect();
             let per_chunk = opm_par::par_map(threads, &chunks, |chunk| self.run_chunk(chunk));

@@ -159,3 +159,35 @@ fn dc_gain_reached() {
         }
     }
 }
+
+/// Panel stimulus application is bit-identical to the scalar reference
+/// across ragged lane counts on random sparse `B` patterns — same
+/// contract as the `opm-sparse` block-kernel proptests.
+#[test]
+fn panel_apply_b_block_bit_identical_to_scalar() {
+    use opm_core::engine::{apply_b_block, apply_b_block_scalar};
+    let mut rng = StdRng::seed_from_u64(0x5AA_0012);
+    for case in 0..CASES {
+        let n = rng.random_range(2..20usize);
+        let ch = rng.random_range(1..6usize);
+        let mut b = CooMatrix::new(n, ch);
+        for _ in 0..rng.random_range(1..4 * n) {
+            b.push(
+                rng.random_range(0..n),
+                rng.random_range(0..ch),
+                rng.random_range(-2.0..2.0),
+            );
+        }
+        let b = b.to_csr();
+        for lanes in [1usize, 3, 8, 14, 16, 27, 40] {
+            let u = rng.vec_in(-2.0..2.0, ch * lanes);
+            let base = rng.vec_in(-1.0..1.0, n * lanes);
+            let scale = rng.random_range(-2.0..2.0);
+            let mut scalar = base.clone();
+            let mut panels = base;
+            apply_b_block_scalar(&b, &u, lanes, scale, &mut scalar);
+            apply_b_block(&b, &u, lanes, scale, &mut panels);
+            assert_eq!(scalar, panels, "case {case}, n = {n}, lanes = {lanes}");
+        }
+    }
+}

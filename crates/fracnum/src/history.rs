@@ -33,9 +33,123 @@
 /// deliberately truncated weight vector is a valid short-memory
 /// truncation. Zero weights are skipped without touching the column.
 ///
+/// Accumulation runs in fixed-width lane panels
+/// ([`opm_linalg::panel::LANE_PANEL_WIDTH`] elements of `out` at a time,
+/// held in registers across a chunk of history columns, with the chunk
+/// count bounded so the memory streams stay prefetchable); per element
+/// the terms are added in the exact depth order of
+/// [`history_convolution_into_scalar`], so results are bit-identical.
+/// `OPM_NO_PANEL=1` routes to the scalar reference.
+///
 /// # Panics
 /// Panics when some tail column is shorter than `out`.
 pub fn history_convolution_into(
+    weights: &[f64],
+    offset: usize,
+    tail: &[Vec<f64>],
+    out: &mut [f64],
+) {
+    if !opm_linalg::panel::lane_panels_enabled() {
+        return history_convolution_into_scalar(weights, offset, tail, out);
+    }
+    let len = tail.len();
+    // Resolve the (weight, column) terms once, with the scalar path's
+    // exact break/skip semantics, so the panel loops below are pure
+    // elementwise accumulation.
+    let mut terms: Vec<(f64, &[f64])> = Vec::with_capacity(len);
+    for d in 1..=len {
+        let Some(&w) = weights.get(offset + d) else {
+            break; // weights exhausted: every older column weighs zero
+        };
+        if w == 0.0 {
+            continue;
+        }
+        let col = &tail[len - d];
+        assert!(
+            col.len() >= out.len(),
+            "tail column {} entries for a {}-entry accumulator",
+            col.len(),
+            out.len()
+        );
+        terms.push((w, col.as_slice()));
+    }
+    #[cfg(target_arch = "x86_64")]
+    if opm_linalg::panel::avx_available() {
+        // SAFETY: the `avx` target feature was detected on this CPU.
+        unsafe { convolution_panels_avx(&terms, out) };
+        return;
+    }
+    convolution_panels_body(&terms, out);
+}
+
+/// History columns walked concurrently per panel pass. A deep tail read
+/// panel-wise across *all* columns at once would interleave more memory
+/// streams than the hardware prefetcher tracks; chunking the terms keeps
+/// the stream count bounded while per-element accumulation order (chunk
+/// order × in-chunk depth order = depth order) is exactly the scalar
+/// reference's.
+const CONV_STREAMS: usize = 8;
+
+/// The AVX codegen copy of the convolution driver (`avx` only — no
+/// `fma`, so the per-element arithmetic stays bit-identical to the
+/// portable copy and the scalar reference).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx")]
+unsafe fn convolution_panels_avx(terms: &[(f64, &[f64])], out: &mut [f64]) {
+    convolution_panels_body(terms, out);
+}
+
+/// The panel sweep over term chunks of [`CONV_STREAMS`] columns (main
+/// width plus `4 → 2 → 1` remainder per chunk); `#[inline(always)]` so
+/// each dispatch copy compiles it with its own target features.
+#[inline(always)]
+fn convolution_panels_body(terms: &[(f64, &[f64])], out: &mut [f64]) {
+    const W: usize = opm_linalg::panel::LANE_PANEL_WIDTH;
+    let n = out.len();
+    for chunk in terms.chunks(CONV_STREAMS) {
+        let mut p0 = 0;
+        while p0 + W <= n {
+            convolution_panel::<W>(chunk, p0, out);
+            p0 += W;
+        }
+        if p0 + 4 <= n {
+            convolution_panel::<4>(chunk, p0, out);
+            p0 += 4;
+        }
+        if p0 + 2 <= n {
+            convolution_panel::<2>(chunk, p0, out);
+            p0 += 2;
+        }
+        if p0 < n {
+            convolution_panel::<1>(chunk, p0, out);
+        }
+    }
+}
+
+/// Accumulates all convolution terms into `out[p0..p0 + W]` with a
+/// register panel: each element receives its terms in slice order (the
+/// scalar path's depth order), one load/store of `out` per panel.
+#[inline(always)]
+fn convolution_panel<const W: usize>(terms: &[(f64, &[f64])], p0: usize, out: &mut [f64]) {
+    let mut acc = [0.0; W];
+    acc.copy_from_slice(&out[p0..p0 + W]);
+    for &(w, col) in terms {
+        let c: &[f64; W] = col[p0..p0 + W].try_into().unwrap();
+        for i in 0..W {
+            acc[i] += w * c[i];
+        }
+    }
+    out[p0..p0 + W].copy_from_slice(&acc);
+}
+
+/// The scalar reference implementation of [`history_convolution_into`]:
+/// one full pass over `out` per history column, in depth order. The
+/// panel path is validated against this bit-for-bit by the `kernel/*`
+/// bench records and proptests.
+///
+/// # Panics
+/// As [`history_convolution_into`].
+pub fn history_convolution_into_scalar(
     weights: &[f64],
     offset: usize,
     tail: &[Vec<f64>],
@@ -170,6 +284,28 @@ mod tests {
         let mut full = HistoryTail::new(None);
         full.extend((0..5).map(|i| vec![i as f64]));
         assert_eq!(full.len(), 5);
+    }
+
+    #[test]
+    fn panel_convolution_matches_scalar_for_ragged_lengths() {
+        // Column lengths straddle every remainder width (8/4/2/1).
+        for n in [1usize, 2, 3, 7, 8, 9, 15, 16, 29] {
+            let weights: Vec<f64> = (0..12)
+                .map(|k| if k == 5 { 0.0 } else { (-0.8f64).powi(k) })
+                .collect();
+            let tail: Vec<Vec<f64>> = (0..9)
+                .map(|d| {
+                    (0..n)
+                        .map(|i| ((d * 31 + i * 7) as f64 * 0.37).sin())
+                        .collect()
+                })
+                .collect();
+            let mut scalar: Vec<f64> = (0..n).map(|i| i as f64 * 0.25 - 1.0).collect();
+            let mut panels = scalar.clone();
+            history_convolution_into_scalar(&weights, 1, &tail, &mut scalar);
+            history_convolution_into(&weights, 1, &tail, &mut panels);
+            assert_eq!(scalar, panels, "n = {n}");
+        }
     }
 
     #[test]

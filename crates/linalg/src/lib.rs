@@ -19,6 +19,9 @@
 //!   paper's Eq. (15)/(27).
 //! - [`triangular`] — functions of upper-triangular matrices via the
 //!   Parlett recurrence (used for the adaptive fractional operator `D̃^α`).
+//! - [`panel`] — the fixed-width lane-panel layout ([`LANE_PANEL_WIDTH`])
+//!   and dense panel triangular kernels shared by every vectorized
+//!   lane-elementwise kernel in the workspace.
 //!
 //! # Example
 //!
@@ -36,12 +39,14 @@ pub mod dense;
 pub mod expm;
 pub mod kron;
 pub mod lu;
+pub mod panel;
 pub mod triangular;
 pub mod zmatrix;
 
 pub use complex::Complex64;
 pub use dense::{DMatrix, DVector};
 pub use lu::LuFactors;
+pub use panel::{avx_available, lane_panels_enabled, LANE_PANEL_WIDTH};
 pub use zmatrix::{ZLuFactors, ZMatrix, ZVector};
 
 /// Relative machine tolerance used across the workspace for "equals up to

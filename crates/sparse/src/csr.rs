@@ -166,9 +166,76 @@ impl CsrMatrix {
     /// (the lane values of row `i` at `i*lanes..(i+1)*lanes`); one pass
     /// over the sparse structure serves every lane (`y` overwritten).
     ///
+    /// Lanes are processed in fixed-width register panels
+    /// ([`opm_linalg::panel::LANE_PANEL_WIDTH`]); per lane the
+    /// accumulation order is exactly [`CsrMatrix::mul_block_into_scalar`]'s
+    /// (CSR entry order), so results are bit-identical. `OPM_NO_PANEL=1`
+    /// routes to the scalar reference.
+    ///
     /// # Panics
     /// Panics when `lanes == 0` or on dimension mismatch.
     pub fn mul_block_into(&self, x: &[f64], y: &mut [f64], lanes: usize) {
+        if !opm_linalg::panel::lane_panels_enabled() {
+            return self.mul_block_into_scalar(x, y, lanes);
+        }
+        assert!(lanes > 0, "mul_block: zero lanes");
+        assert_eq!(x.len(), self.ncols * lanes, "mul_block: x size mismatch");
+        assert_eq!(y.len(), self.nrows * lanes, "mul_block: y size mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if opm_linalg::panel::avx_available() {
+            // SAFETY: the `avx` target feature was detected on this CPU.
+            unsafe { self.mul_block_panels_avx(x, y, lanes) };
+            return;
+        }
+        self.mul_block_panels_body(x, y, lanes);
+    }
+
+    /// The AVX codegen copy of the panel driver (`avx` only — no `fma`,
+    /// so the per-lane arithmetic stays bit-identical to the portable
+    /// copy and the scalar reference).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn mul_block_panels_avx(&self, x: &[f64], y: &mut [f64], lanes: usize) {
+        self.mul_block_panels_body(x, y, lanes);
+    }
+
+    /// The panel sweep (main width plus `4 → 2 → 1` remainder);
+    /// `#[inline(always)]` so each dispatch copy compiles it with its own
+    /// target features.
+    #[inline(always)]
+    fn mul_block_panels_body(&self, x: &[f64], y: &mut [f64], lanes: usize) {
+        const W: usize = opm_linalg::panel::LANE_PANEL_WIDTH;
+        let mut p0 = 0;
+        while p0 + 2 * W <= lanes {
+            self.mul_panel::<{ 2 * W }>(x, y, lanes, p0);
+            p0 += 2 * W;
+        }
+        if p0 + W <= lanes {
+            self.mul_panel::<W>(x, y, lanes, p0);
+            p0 += W;
+        }
+        if p0 + 4 <= lanes {
+            self.mul_panel::<4>(x, y, lanes, p0);
+            p0 += 4;
+        }
+        if p0 + 2 <= lanes {
+            self.mul_panel::<2>(x, y, lanes, p0);
+            p0 += 2;
+        }
+        if p0 < lanes {
+            self.mul_panel::<1>(x, y, lanes, p0);
+        }
+    }
+
+    /// The scalar reference implementation of
+    /// [`mul_block_into`](Self::mul_block_into): one structure pass with
+    /// a full-width lane loop per entry. The panel path is validated
+    /// against this bit-for-bit by the `kernel/*` bench records and the
+    /// ragged-lane proptests.
+    ///
+    /// # Panics
+    /// As [`mul_block_into`](Self::mul_block_into).
+    pub fn mul_block_into_scalar(&self, x: &[f64], y: &mut [f64], lanes: usize) {
         assert!(lanes > 0, "mul_block: zero lanes");
         assert_eq!(x.len(), self.ncols * lanes, "mul_block: x size mismatch");
         assert_eq!(y.len(), self.nrows * lanes, "mul_block: y size mismatch");
@@ -182,6 +249,26 @@ impl CsrMatrix {
                     *yi += a * xi;
                 }
             }
+        }
+    }
+
+    /// Lanes `p0 .. p0 + W` of the block product, accumulated in a
+    /// `[f64; W]` register panel per output row (single store per row,
+    /// no read-modify-write of `y` per entry).
+    #[inline(always)]
+    fn mul_panel<const W: usize>(&self, x: &[f64], y: &mut [f64], lanes: usize, p0: usize) {
+        for i in 0..self.nrows {
+            let mut acc = [0.0; W];
+            for k in self.indptr[i]..self.indptr[i + 1] {
+                let a = self.data[k];
+                let src = self.indices[k] * lanes + p0;
+                let xs: &[f64; W] = x[src..src + W].try_into().unwrap();
+                for w in 0..W {
+                    acc[w] += a * xs[w];
+                }
+            }
+            let dst = i * lanes + p0;
+            y[dst..dst + W].copy_from_slice(&acc);
         }
     }
 

@@ -28,6 +28,18 @@
 use crate::csc::CscMatrix;
 use crate::perm::Permutation;
 use crate::SparseError;
+use opm_linalg::panel::{
+    backward_upper_panels, forward_unit_lower_panels, lane_panels_enabled, LANE_PANEL_WIDTH,
+};
+
+/// Minimum width for a supernodal dense tail: trailing column blocks
+/// narrower than this stay in sparse form (the dense kernels cannot
+/// recoup their zero-fill overhead on tiny blocks).
+const MIN_DENSE_TAIL: usize = 8;
+
+/// Maximum width for a supernodal dense tail: caps the redundant dense
+/// mirror at `512² × 8 B = 2 MiB` per factorization.
+const MAX_DENSE_TAIL: usize = 512;
 
 /// Factorization options.
 #[derive(Clone, Copy, Debug)]
@@ -43,6 +55,23 @@ pub struct LuOptions {
     /// analyzed ones for the recorded pivot order to stay stable.
     /// Default `1e-10`.
     pub refactor_threshold: f64,
+    /// Density threshold (stored entries over dense capacity, in
+    /// `(0, 1]`) at which the trailing columns of the factors collapse
+    /// into a **supernodal dense tail**: the largest trailing block
+    /// `[t, n)` whose factor density reaches the threshold is mirrored
+    /// into one row-major dense panel and solved with the blocked dense
+    /// triangular kernels of `opm-linalg` instead of per-entry sparse
+    /// sweeps. Elimination fill concentrates in exactly this trailing
+    /// corner (the columns share their elimination reach), so MNA-style
+    /// matrices routinely end almost fully dense there while the head
+    /// stays sparse.
+    ///
+    /// The dense tail changes **where** the arithmetic runs, never what
+    /// it computes: block solves stay bit-identical to the sparse path.
+    /// Values above `1.0` disable detection; see
+    /// [`SparseLu::supernode_stats`] for the observability side.
+    /// Default `0.9`.
+    pub supernode_threshold: f64,
 }
 
 impl Default for LuOptions {
@@ -50,7 +79,123 @@ impl Default for LuOptions {
         LuOptions {
             pivot_threshold: 1e-3,
             refactor_threshold: 1e-10,
+            supernode_threshold: 0.9,
         }
+    }
+}
+
+/// Supernode observability of one factorization — how much of the
+/// factors' structure is supernodal (consecutive columns with identical
+/// elimination reach) and how wide the detected dense tail is. Reported
+/// through `FactorProfile` by the session layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupernodeStats {
+    /// Maximal runs (width ≥ 2) of consecutive pivotal columns whose `L`
+    /// patterns nest exactly (`pattern(k) = {k+1} ∪ pattern(k+1)`) — the
+    /// classical supernode condition.
+    pub num_supernodes: usize,
+    /// Columns covered by those runs.
+    pub supernode_cols: usize,
+    /// Width of the detected dense tail (0 when none qualified).
+    pub dense_tail_cols: usize,
+    /// Total pivotal columns, the denominator for coverage ratios.
+    pub num_cols: usize,
+}
+
+/// The supernodal dense tail: a redundant row-major mirror of the
+/// trailing `dim × dim` corner of the factors, solved with blocked dense
+/// triangular kernels while the sparse columns remain authoritative for
+/// everything else (`nnz`, `det`, single-vector solves).
+#[derive(Clone, Debug)]
+struct DenseTail {
+    /// First pivotal column of the tail, `t`.
+    start: usize,
+    /// Tail width `n − t`.
+    dim: usize,
+    /// Row-major `dim × dim` panel: `L` strictly below the diagonal
+    /// (unit diagonal implicit), `U` strictly above it; absent pattern
+    /// entries are zero-filled, diagonal slots are unused (`u_diag`
+    /// stays authoritative).
+    lu: Vec<f64>,
+    /// Per tail column: the `U` border entries whose pivotal row lies
+    /// *above* the tail (`row < t`), in stored order — applied after the
+    /// dense back-substitution, before the sparse one.
+    u_above: Vec<Vec<(usize, f64)>>,
+}
+
+/// Scans the factor patterns for the largest trailing block `[t, n)`
+/// whose stored-entry density reaches `threshold`, returning `t`.
+///
+/// An `L` entry of a column `k ≥ t` always lies in the tail (its row
+/// exceeds `k`); a `U` entry lies in the tail exactly when its pivotal
+/// row is `≥ t` (its column is even larger). Both counts are therefore
+/// plain suffix sums, and the scan is `O(nnz + min(n, MAX_DENSE_TAIL))`.
+fn detect_dense_tail(
+    n: usize,
+    l_cols: &[Vec<(usize, f64)>],
+    u_cols: &[Vec<(usize, f64)>],
+    threshold: f64,
+) -> Option<usize> {
+    if !(threshold > 0.0 && threshold <= 1.0) || n < MIN_DENSE_TAIL {
+        return None;
+    }
+    let lo = n.saturating_sub(MAX_DENSE_TAIL);
+    // Suffix counts over the candidate range: l_nnz[t - lo] counts L
+    // entries of columns ≥ t, u_nnz[t - lo] counts U entries with
+    // pivotal row ≥ t.
+    let mut u_rows = vec![0usize; n - lo];
+    for col in u_cols {
+        for &(i, _) in col {
+            if i >= lo {
+                u_rows[i - lo] += 1;
+            }
+        }
+    }
+    let width = n - lo;
+    let mut l_nnz = vec![0usize; width + 1];
+    let mut u_nnz = vec![0usize; width + 1];
+    for t in (lo..n).rev() {
+        l_nnz[t - lo] = l_nnz[t - lo + 1] + l_cols[t].len();
+        u_nnz[t - lo] = u_nnz[t - lo + 1] + u_rows[t - lo];
+    }
+    for t in lo..=(n - MIN_DENSE_TAIL) {
+        let d = n - t;
+        let stored = l_nnz[t - lo] + u_nnz[t - lo] + d;
+        if stored as f64 >= threshold * (d * d) as f64 {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Mirrors the trailing factor columns `[start, n)` into a [`DenseTail`].
+fn build_dense_tail(
+    n: usize,
+    l_cols: &[Vec<(usize, f64)>],
+    u_cols: &[Vec<(usize, f64)>],
+    start: usize,
+) -> DenseTail {
+    let dim = n - start;
+    let mut lu = vec![0.0; dim * dim];
+    let mut u_above: Vec<Vec<(usize, f64)>> = vec![Vec::new(); dim];
+    for k in start..n {
+        let kk = k - start;
+        for &(i, lv) in &l_cols[k] {
+            lu[(i - start) * dim + kk] = lv; // rows of L col k are > k ≥ start
+        }
+        for &(i, uv) in &u_cols[k] {
+            if i >= start {
+                lu[(i - start) * dim + kk] = uv;
+            } else {
+                u_above[kk].push((i, uv));
+            }
+        }
+    }
+    DenseTail {
+        start,
+        dim,
+        lu,
+        u_above,
     }
 }
 
@@ -100,6 +245,10 @@ pub struct SymbolicLu {
     l_idx: Vec<usize>,
     /// Pivot-degradation guard inherited from the analysis options.
     refactor_threshold: f64,
+    /// First column of the supernodal dense tail detected on the
+    /// recorded pattern (`None`: no tail qualified). Pattern-only, so
+    /// every refactorization on this analysis shares it.
+    tail_start: Option<usize>,
 }
 
 impl SymbolicLu {
@@ -184,6 +333,10 @@ pub struct SparseLu {
     row_perm: Vec<usize>,
     /// Column ordering: position `k` factors original column `col_perm[k]`.
     col_perm: Permutation,
+    /// Supernodal dense tail, when the trailing factor columns are dense
+    /// enough ([`LuOptions::supernode_threshold`]). Used by the panel
+    /// block solves; the sparse columns above stay authoritative.
+    tail: Option<DenseTail>,
 }
 
 impl SparseLu {
@@ -311,6 +464,11 @@ impl SparseLu {
             l_cols.push(lcol);
         }
 
+        // The analysis already decided where the dense tail starts (a
+        // pattern property); only the values need re-mirroring.
+        let tail = sym
+            .tail_start
+            .map(|t| build_dense_tail(n, &l_cols, &u_cols, t));
         Ok(SparseLu {
             n,
             l_cols,
@@ -318,6 +476,7 @@ impl SparseLu {
             u_diag,
             row_perm: sym.row_perm.clone(),
             col_perm: sym.col_perm.clone(),
+            tail,
         })
     }
 
@@ -392,10 +551,37 @@ impl SparseLu {
     /// factor traffic are amortized `lanes`-fold — the kernel behind the
     /// engine's multi-scenario block sweep.
     ///
+    /// Lanes are swept in fixed-width panels
+    /// ([`opm_linalg::panel::LANE_PANEL_WIDTH`] wide, with narrower
+    /// remainder panels) held in `[f64; W]` register accumulators, and a
+    /// detected supernodal dense tail is solved with blocked dense
+    /// kernels; both are pure blocking changes — lanes are independent,
+    /// so the per-lane arithmetic sequence is exactly that of
+    /// [`SparseLu::solve_block_into_scalar`] and results agree bit-for-bit (up to
+    /// the sign of zero). `OPM_NO_PANEL=1` routes here to the scalar
+    /// reference instead.
+    ///
     /// # Panics
     /// Panics when `lanes == 0` or slice lengths differ from
     /// `self.dim() * lanes`.
     pub fn solve_block_into(&self, b: &[f64], out: &mut [f64], lanes: usize) {
+        if lane_panels_enabled() {
+            self.solve_block_into_panels(b, out, lanes);
+        } else {
+            self.solve_block_into_scalar(b, out, lanes);
+        }
+    }
+
+    /// The scalar reference implementation of
+    /// [`solve_block_into`](Self::solve_block_into): one pass over the
+    /// factors with a full-width lane loop per entry, no panelling, no
+    /// dense tail. The panel path is validated against this, bit for
+    /// bit, by the `kernel/*` bench records and the ragged-lane
+    /// proptests.
+    ///
+    /// # Panics
+    /// As [`solve_block_into`](Self::solve_block_into).
+    pub fn solve_block_into_scalar(&self, b: &[f64], out: &mut [f64], lanes: usize) {
         assert!(lanes > 0, "solve_block: zero lanes");
         assert_eq!(b.len(), self.n * lanes, "solve_block: rhs size mismatch");
         assert_eq!(out.len(), self.n * lanes, "solve_block: out size mismatch");
@@ -439,6 +625,194 @@ impl SparseLu {
             let dst = self.col_perm.old_of(k) * lanes;
             out[dst..dst + lanes].copy_from_slice(&y[k * lanes..(k + 1) * lanes]);
         }
+    }
+
+    /// Panel driver: dispatches to the runtime-selected codegen copy of
+    /// [`solve_block_panels_body`](Self::solve_block_panels_body) — the
+    /// AVX clone where the CPU supports it, the portable build elsewhere.
+    fn solve_block_into_panels(&self, b: &[f64], out: &mut [f64], lanes: usize) {
+        assert!(lanes > 0, "solve_block: zero lanes");
+        assert_eq!(b.len(), self.n * lanes, "solve_block: rhs size mismatch");
+        assert_eq!(out.len(), self.n * lanes, "solve_block: out size mismatch");
+        #[cfg(target_arch = "x86_64")]
+        if opm_linalg::panel::avx_available() {
+            // SAFETY: the `avx` target feature was detected on this CPU.
+            unsafe { self.solve_block_panels_avx(b, out, lanes) };
+            return;
+        }
+        self.solve_block_panels_body(b, out, lanes);
+    }
+
+    /// The AVX codegen copy of the panel driver: same Rust body, compiled
+    /// with 4-wide `f64` vectors (`avx` only — no `fma`, so multiplies
+    /// and adds stay separate IEEE operations and bit-identity with the
+    /// portable copy and the scalar reference is preserved).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn solve_block_panels_avx(&self, b: &[f64], out: &mut [f64], lanes: usize) {
+        self.solve_block_panels_body(b, out, lanes);
+    }
+
+    /// The panel sweep. Wide batches go through quad/pair panels (4× and
+    /// 2× [`LANE_PANEL_WIDTH`] accumulators) so each pass over the factor
+    /// structure serves as many lanes as the register file sustains; an
+    /// `8 → 4 → 2 → 1` remainder chain (powers of two) covers every lane
+    /// count without a per-element scalar tail. `#[inline(always)]` so
+    /// each dispatch copy compiles it with its own target features.
+    #[inline(always)]
+    fn solve_block_panels_body(&self, b: &[f64], out: &mut [f64], lanes: usize) {
+        let mut p0 = 0;
+        let mut buf4: Vec<[f64; 4 * LANE_PANEL_WIDTH]> = Vec::new();
+        while p0 + 4 * LANE_PANEL_WIDTH <= lanes {
+            self.solve_panel::<{ 4 * LANE_PANEL_WIDTH }>(b, out, lanes, p0, &mut buf4);
+            p0 += 4 * LANE_PANEL_WIDTH;
+        }
+        if p0 + 2 * LANE_PANEL_WIDTH <= lanes {
+            self.solve_panel::<{ 2 * LANE_PANEL_WIDTH }>(b, out, lanes, p0, &mut Vec::new());
+            p0 += 2 * LANE_PANEL_WIDTH;
+        }
+        if p0 + LANE_PANEL_WIDTH <= lanes {
+            self.solve_panel::<LANE_PANEL_WIDTH>(b, out, lanes, p0, &mut Vec::new());
+            p0 += LANE_PANEL_WIDTH;
+        }
+        if p0 + 4 <= lanes {
+            self.solve_panel::<4>(b, out, lanes, p0, &mut Vec::new());
+            p0 += 4;
+        }
+        if p0 + 2 <= lanes {
+            self.solve_panel::<2>(b, out, lanes, p0, &mut Vec::new());
+            p0 += 2;
+        }
+        if p0 < lanes {
+            self.solve_panel::<1>(b, out, lanes, p0, &mut Vec::new());
+        }
+    }
+
+    /// Solves lanes `p0 .. p0 + W` of the block in one cache-resident
+    /// panel (`n × W` f64s): gather through the row permutation, sparse
+    /// forward/backward column sweeps over the head columns, the dense
+    /// tail (when present) via the blocked kernels, scatter through the
+    /// column permutation.
+    ///
+    /// Every per-lane update happens in the scalar path's order: the
+    /// outer column order is identical, and within a column each target
+    /// row receives at most one update — so panelling cannot reassociate.
+    #[inline(always)]
+    fn solve_panel<const W: usize>(
+        &self,
+        b: &[f64],
+        out: &mut [f64],
+        lanes: usize,
+        p0: usize,
+        y: &mut Vec<[f64; W]>,
+    ) {
+        let n = self.n;
+        y.clear();
+        y.reserve(n);
+        for k in 0..n {
+            let src = self.row_perm[k] * lanes + p0;
+            let mut panel = [0.0; W];
+            panel.copy_from_slice(&b[src..src + W]);
+            y.push(panel);
+        }
+        let t = self.tail.as_ref().map_or(n, |tl| tl.start);
+        // Forward solve over the sparse head (every column when no tail).
+        for k in 0..t {
+            let piv = y[k];
+            if piv == [0.0; W] {
+                continue;
+            }
+            for &(i, lv) in &self.l_cols[k] {
+                let yi = &mut y[i];
+                for w in 0..W {
+                    yi[w] -= lv * piv[w];
+                }
+            }
+        }
+        if let Some(tl) = &self.tail {
+            let (head, tail_y) = y.split_at_mut(t);
+            forward_unit_lower_panels(&tl.lu, tl.dim, tail_y);
+            backward_upper_panels(&tl.lu, &self.u_diag[t..], tl.dim, tail_y);
+            // U border above the tail: target rows are disjoint from the
+            // dense block's, and per target row the column order stays
+            // descending — the scalar back-substitution's order.
+            for kk in (0..tl.dim).rev() {
+                let piv = tail_y[kk];
+                if piv == [0.0; W] {
+                    continue;
+                }
+                for &(i, uv) in &tl.u_above[kk] {
+                    let yi = &mut head[i];
+                    for w in 0..W {
+                        yi[w] -= uv * piv[w];
+                    }
+                }
+            }
+        }
+        // Back solve over the sparse head.
+        for k in (0..t).rev() {
+            let d = self.u_diag[k];
+            let yk = &mut y[k];
+            for w in 0..W {
+                yk[w] /= d;
+            }
+            let piv = *yk;
+            if piv == [0.0; W] {
+                continue;
+            }
+            for &(i, uv) in &self.u_cols[k] {
+                let yi = &mut y[i];
+                for w in 0..W {
+                    yi[w] -= uv * piv[w];
+                }
+            }
+        }
+        // Undo column permutation: X[q[k]] = W[k].
+        for k in 0..n {
+            let dst = self.col_perm.old_of(k) * lanes + p0;
+            out[dst..dst + W].copy_from_slice(&y[k]);
+        }
+    }
+
+    /// Supernode observability: maximal runs of consecutive columns whose
+    /// `L` patterns nest exactly (`pattern(k) = {k+1} ∪ pattern(k+1)` —
+    /// identical elimination reach below the diagonal), plus the width of
+    /// the detected dense tail. Runs of width ≥ 2 count as supernodes.
+    pub fn supernode_stats(&self) -> SupernodeStats {
+        let n = self.n;
+        let mut stats = SupernodeStats {
+            dense_tail_cols: self.tail.as_ref().map_or(0, |t| t.dim),
+            num_cols: n,
+            ..SupernodeStats::default()
+        };
+        // mark[i] = k after processing column k ⇒ row i ∈ pattern(k);
+        // stale marks carry an older k, so no per-column reset is needed.
+        let mut mark = vec![usize::MAX; n];
+        let mut run = 1usize;
+        for k in 0..n.saturating_sub(1) {
+            let cur = &self.l_cols[k];
+            let nxt = &self.l_cols[k + 1];
+            let merges = cur.len() == nxt.len() + 1 && {
+                for &(i, _) in cur {
+                    mark[i] = k;
+                }
+                mark[k + 1] == k && nxt.iter().all(|&(i, _)| mark[i] == k)
+            };
+            if merges {
+                run += 1;
+            } else {
+                if run >= 2 {
+                    stats.num_supernodes += 1;
+                    stats.supernode_cols += run;
+                }
+                run = 1;
+            }
+        }
+        if run >= 2 {
+            stats.num_supernodes += 1;
+            stats.supernode_cols += run;
+        }
+        stats
     }
 
     /// Determinant of `A` (product of pivots, sign from both permutations).
@@ -611,6 +985,9 @@ fn factor_impl(
         }
     }
 
+    let tail_start = detect_dense_tail(n, &l_cols, &u_cols, opts.supernode_threshold);
+    let tail = tail_start.map(|t| build_dense_tail(n, &l_cols, &u_cols, t));
+
     let sym = if record {
         for r in l_orig.iter_mut() {
             *r = pinv[*r].expect("all rows pivotal after completion");
@@ -645,6 +1022,7 @@ fn factor_impl(
             l_ptr,
             l_idx: l_orig,
             refactor_threshold: opts.refactor_threshold,
+            tail_start,
         })
     } else {
         None
@@ -658,6 +1036,7 @@ fn factor_impl(
             u_diag,
             row_perm,
             col_perm,
+            tail,
         },
         sym,
     ))
@@ -1023,6 +1402,107 @@ mod tests {
         assert_eq!(sym.dim(), 64);
         assert_eq!(sym.pattern_nnz(), csc.nnz());
         assert_eq!(sym.factor_nnz(), lu.nnz());
+    }
+
+    /// Sparse diagonal head of `head` columns + fully dense trailing
+    /// `dim × dim` block — the canonical supernodal-tail shape (fill
+    /// concentrated in the elimination corner).
+    fn arrow_matrix(head: usize, dim: usize) -> CsrMatrix {
+        let n = head + dim;
+        let mut c = CooMatrix::new(n, n);
+        for i in 0..head {
+            c.push(i, i, 2.0 + i as f64 * 0.1);
+        }
+        for i in head..n {
+            for j in head..n {
+                let v = if i == j {
+                    10.0 + i as f64 * 0.01
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
+                c.push(i, j, v);
+            }
+        }
+        c.to_csr()
+    }
+
+    #[test]
+    fn dense_tail_detected_on_arrow_matrix() {
+        let a = arrow_matrix(12, 12);
+        let lu = SparseLu::factor(&a.to_csc(), None).unwrap();
+        let stats = lu.supernode_stats();
+        assert_eq!(stats.num_cols, 24);
+        // The trailing 12 columns are fully dense: one supernode, and
+        // the dense tail must cover exactly that block (the head is
+        // diagonal, so no wider tail reaches 90% density).
+        assert_eq!(stats.dense_tail_cols, 12, "{stats:?}");
+        assert_eq!(stats.num_supernodes, 1, "{stats:?}");
+        assert_eq!(stats.supernode_cols, 12, "{stats:?}");
+    }
+
+    #[test]
+    fn dense_tail_disabled_by_threshold() {
+        let a = arrow_matrix(12, 12);
+        let lu = SparseLu::factor_with(
+            &a.to_csc(),
+            None,
+            LuOptions {
+                supernode_threshold: 1.5,
+                ..LuOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(lu.supernode_stats().dense_tail_cols, 0);
+    }
+
+    #[test]
+    fn dense_tail_block_solve_matches_scalar_reference() {
+        // Couple the head to the tail so the U border above the tail
+        // (`u_above`) is exercised, not just the dense block.
+        let mut c = CooMatrix::new(24, 24);
+        for i in 0..12 {
+            c.push(i, i, 2.0 + i as f64 * 0.1);
+            c.push(i, 12 + i, 0.5); // head row → tail column border
+        }
+        for i in 12..24 {
+            for j in 12..24 {
+                let v = if i == j {
+                    10.0 + i as f64 * 0.01
+                } else {
+                    1.0 / (1.0 + (i as f64 - j as f64).abs())
+                };
+                c.push(i, j, v);
+            }
+        }
+        let lu = SparseLu::factor(&c.to_csc(), None).unwrap();
+        assert!(lu.supernode_stats().dense_tail_cols >= 12);
+        for lanes in [1usize, 3, 8, 11, 16, 37, 100] {
+            let b: Vec<f64> = (0..24 * lanes)
+                .map(|i| ((i * 37 % 101) as f64 - 50.0) / 7.0)
+                .collect();
+            let mut scalar = vec![0.0; 24 * lanes];
+            lu.solve_block_into_scalar(&b, &mut scalar, lanes);
+            let mut panels = vec![0.0; 24 * lanes];
+            lu.solve_block_into(&b, &mut panels, lanes);
+            assert_eq!(scalar, panels, "lanes = {lanes}");
+        }
+    }
+
+    #[test]
+    fn refactor_shares_the_dense_tail_decision() {
+        let a = arrow_matrix(12, 12);
+        let csc = a.to_csc();
+        let (sym, lu0) = SymbolicLu::factor(&csc, None).unwrap();
+        let lu1 = SparseLu::refactor(&sym, csc.values()).unwrap();
+        assert_eq!(lu0.supernode_stats(), lu1.supernode_stats());
+        assert!(lu1.supernode_stats().dense_tail_cols >= 12);
+        let lanes = 9;
+        let b: Vec<f64> = (0..24 * lanes).map(|i| (i as f64 * 0.13).sin()).collect();
+        let mut x0 = vec![0.0; 24 * lanes];
+        let mut x1 = vec![0.0; 24 * lanes];
+        lu0.solve_block_into(&b, &mut x0, lanes);
+        lu1.solve_block_into(&b, &mut x1, lanes);
+        assert_eq!(x0, x1);
     }
 
     #[test]

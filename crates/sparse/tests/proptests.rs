@@ -246,3 +246,45 @@ fn refactor_degradation_falls_back_to_fresh_factor() {
         .collect();
     assert!(r.iter().all(|&v| v < 1e-9), "fallback residual {r:?}");
 }
+
+/// Panel block solves are bit-identical to the scalar reference across
+/// ragged lane counts — `lanes % 8 != 0`, `lanes == 1`, lanes beyond the
+/// widest register panel — on random sparse patterns. `assert_eq!` (not
+/// a tolerance): lanes are independent, so panelling must not change a
+/// single bit.
+#[test]
+fn panel_block_solve_bit_identical_to_scalar() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0010);
+    for case in 0..CASES {
+        let n = rng.random_range(3..28usize);
+        let a = dd_sparse(&mut rng, n, 6 * n);
+        let lu = SparseLu::factor(&a.to_csc(), Some(&rcm(&a))).unwrap();
+        for lanes in [1usize, 3, 7, 8, 11, 16, 29, 37, 64, 100] {
+            let b = rng.vec_in(-4.0..4.0, n * lanes);
+            let mut scalar = vec![0.0; n * lanes];
+            let mut panels = vec![0.0; n * lanes];
+            lu.solve_block_into_scalar(&b, &mut scalar, lanes);
+            lu.solve_block_into(&b, &mut panels, lanes);
+            assert_eq!(scalar, panels, "case {case}, n = {n}, lanes = {lanes}");
+        }
+    }
+}
+
+/// Panel SpMM is bit-identical to the scalar reference across ragged
+/// lane counts on random sparse patterns.
+#[test]
+fn panel_block_spmm_bit_identical_to_scalar() {
+    let mut rng = StdRng::seed_from_u64(0x5AA_0011);
+    for case in 0..CASES {
+        let n = rng.random_range(2..24usize);
+        let a = dd_sparse(&mut rng, n, 8 * n);
+        for lanes in [1usize, 2, 5, 8, 13, 16, 21, 32, 57] {
+            let x = rng.vec_in(-3.0..3.0, n * lanes);
+            let mut scalar = vec![0.0; n * lanes];
+            let mut panels = vec![0.0; n * lanes];
+            a.mul_block_into_scalar(&x, &mut scalar, lanes);
+            a.mul_block_into(&x, &mut panels, lanes);
+            assert_eq!(scalar, panels, "case {case}, n = {n}, lanes = {lanes}");
+        }
+    }
+}
