@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""CI bench-regression gate: diff a regenerated sweep run against the
-committed baseline.
+"""CI bench-regression gate: diff a regenerated bench run against the
+committed baseline (the sweep and serve artifacts share this gate).
 
 Usage:
     python3 ci/compare_bench.py BENCH_sweep.json BENCH_sweep.ci.json \
         [--max-regression 0.25]
+    python3 ci/compare_bench.py BENCH_serve.json BENCH_serve.ci.json
 
 Checks, per record id present in the committed reference:
 
@@ -33,8 +34,13 @@ machine-appropriate floors for them at generation time. On single-core
 machines the thread/scaling speedups are `null` (the ratio would be
 scheduler noise, not signal) -- null is accepted on either side.
 
-`kernel/panel_vs_scalar_max_abs_delta` is additionally a *hard* check on
-the candidate alone: it must be present and exactly 0.
+`kernel/panel_vs_scalar_max_abs_delta` and
+`serve/warm_vs_cold_max_abs_delta` are additionally *hard* checks on the
+candidate alone: whenever the reference carries the record, the
+candidate must carry it too and it must be exactly 0. `serve/hit_rate`
+is gated against a floor (a warm plan-cache must stay warm on any
+machine), and `scenarios_per_sec` throughput records get the same
+median-normalized drift gate as timings.
 
 Exit code 0 = pass, 1 = regression/drift (each failure printed).
 """
@@ -57,10 +63,21 @@ COUNT_FIELDS = (
 )
 
 # Bit-identity records that must be exactly 0 in the *candidate* run even
-# before any reference comparison: these encode the panel-kernel contract
-# (panelling must not change a single bit), so a nonzero value is a
-# correctness bug regardless of what the baseline says.
-HARD_ZERO_RECORDS = ("kernel/panel_vs_scalar_max_abs_delta",)
+# before any reference comparison: these encode hard contracts (panelling
+# must not change a single bit; a plan-cache hit must reuse the *same*
+# factorization), so a nonzero value is a correctness bug regardless of
+# what the baseline says. Gated only when the reference carries the
+# record, so the sweep and serve artifacts can share this script.
+HARD_ZERO_RECORDS = (
+    "kernel/panel_vs_scalar_max_abs_delta",
+    "serve/warm_vs_cold_max_abs_delta",
+)
+
+# Rate-style records gated against an absolute floor on the candidate
+# (machine speed cannot excuse a cold cache).
+RATE_FLOORS = {
+    "serve/hit_rate": 0.75,
+}
 
 # Per-record delta ceilings that override the generic rule.
 DELTA_CEILINGS = {
@@ -108,12 +125,26 @@ def main():
 
     # -- hard bit-identity checks (candidate-only) -------------------------
     for rid in HARD_ZERO_RECORDS:
+        if rid not in ref:
+            continue  # this artifact does not carry the record
         if rid not in cand:
             failures.append(f"hard bit-identity record `{rid}` missing from the run")
         elif cand[rid].get("value") != 0.0:
             failures.append(
-                f"`{rid}`: panel kernels diverged from the scalar reference "
+                f"`{rid}`: bit-identity contract broken "
                 f"(value {cand[rid].get('value')!r}, must be exactly 0)"
+            )
+
+    # -- rate floors (candidate-only) --------------------------------------
+    for rid, floor in RATE_FLOORS.items():
+        if rid not in ref:
+            continue
+        if rid not in cand:
+            failures.append(f"rate record `{rid}` missing from the run")
+        elif not (cand[rid].get("value") or 0.0) >= floor:
+            failures.append(
+                f"`{rid}`: {cand[rid].get('value')!r} fell below the "
+                f"floor {floor} (the plan cache is not being reused)"
             )
 
     common = [rid for rid in ref if rid in cand]
@@ -184,6 +215,40 @@ def main():
             f"timing: {gated}/{len(timing)} records gated (floor "
             f"{args.min_seconds}s), machine median ratio {median:.2f}x, "
             f"per-record limit {limit:.2f}x"
+        )
+
+    # -- throughput drift (median-normalized, mirrors the timing gate) -----
+    thru = [
+        rid
+        for rid in common
+        if ref[rid].get("scenarios_per_sec") and cand[rid].get("scenarios_per_sec")
+    ]
+    if thru:
+        # ref/cand: >1 means the CI machine is slower. Normalize the same
+        # way as timings so only a single path collapsing trips the gate.
+        ratios = sorted(
+            ref[rid]["scenarios_per_sec"] / cand[rid]["scenarios_per_sec"]
+            for rid in thru
+        )
+        mid = len(ratios) // 2
+        median = (
+            ratios[mid]
+            if len(ratios) % 2
+            else 0.5 * (ratios[mid - 1] + ratios[mid])
+        )
+        limit = max(median, 1.0) * (1.0 + args.max_regression)
+        for rid in thru:
+            ratio = ref[rid]["scenarios_per_sec"] / cand[rid]["scenarios_per_sec"]
+            if ratio > limit:
+                failures.append(
+                    f"`{rid}`: throughput fell to 1/{ratio:.2f} of the "
+                    f"committed baseline vs a machine median of "
+                    f"1/{median:.2f} — >{100 * args.max_regression:.0f}% "
+                    "regression on this path"
+                )
+        print(
+            f"throughput: {len(thru)} records gated, machine median ratio "
+            f"{median:.2f}x, per-record limit {limit:.2f}x"
         )
 
     if failures:

@@ -33,6 +33,7 @@ use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::{assemble_mna, Output};
 use opm_circuits::na::assemble_na;
 use opm_core::engine::{factor_pencil, PencilFamily};
+use opm_core::json::Json;
 use opm_core::{Problem, Simulation, SolveOptions, WindowedOptions};
 use opm_waveform::{InputSet, Waveform};
 
@@ -278,9 +279,9 @@ fn main() {
     // why) instead of publishing a sub-1.0 ratio as if it were a
     // regression. Multi-core machines record the real ratio.
     let thread_speedup_json = if cores >= 2 {
-        format!("{thread_speedup:.3}")
+        Json::Num(thread_speedup)
     } else {
-        "null".to_string()
+        Json::Null
     };
 
     // -- scaling/workers_{1,2,4}: the multi-core scaling curve -------------
@@ -310,9 +311,9 @@ fn main() {
         fmt_time(t4_s),
     );
     let (scale2_json, scale4_json) = if cores >= 2 {
-        (format!("{scale2:.3}"), format!("{scale4:.3}"))
+        (Json::Num(scale2), Json::Num(scale4))
     } else {
-        ("null".to_string(), "null".to_string())
+        (Json::Null, Json::Null)
     };
     if cores >= 2 {
         let scaling_floor = min_speedup("OPM_SCALING_MIN_SPEEDUP", 1.5);
@@ -553,18 +554,19 @@ fn main() {
             fmt_time(lsec)
         );
         assert!(lrun.output_row(0).iter().all(|v| v.is_finite()));
-        format!(
-            ",\n    {{\"id\": \"windowed_fractional/long_{wlong}x{fm}\", \"seconds\": {lsec:e}, \"windows\": {wlong}, \"columns\": {}}}",
-            fm * wlong
-        )
+        Some((
+            format!("windowed_fractional/long_{wlong}x{fm}"),
+            lsec,
+            wlong,
+            fm * wlong,
+        ))
     } else {
-        String::new()
+        None
     };
 
     let path = std::env::var("OPM_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
-    let json = format!(
-        "{{\n  \"schema\": \"opm-bench-sweep/v5\",\n  \
-         \"note\": \"Table II power grid (NA model, n = {n}, m = {m}). sweep/*: 100-scenario load sweep, \
+    let note = format!(
+        "Table II power grid (NA model, n = {n}, m = {m}). sweep/*: 100-scenario load sweep, \
          independent Problem::solve per scenario vs one Simulation::plan + SimPlan::solve_batch. \
          refactor/*: {SHIFTS} step-grid pencils of the grid's MNA form (n = {nn}), fresh per-pencil \
          factorization vs pure numeric refactorization against a prerecorded PencilFamily analysis. \
@@ -580,57 +582,259 @@ fn main() {
          {fw} windows with carried Caputo/GL history (full history <= 1e-9, 1 symbolic + 1 numeric) \
          and an 8-window short-memory tail (<= 1e-6 on quiescent-early-history stimulus). \
          CI gate: ci/compare_bench.py diffs a regenerated run against this committed file. \
-         Regenerate: cargo run --release -p opm-bench --bin sweep\",\n  \
-         \"records\": [\n    \
-         {{\"id\": \"sweep/naive_loop_100\", \"seconds\": {naive_s:e}, \"num_factorizations\": {naive_factorizations}}},\n    \
-         {{\"id\": \"sweep/plan_batch_100\", \"seconds\": {plan_s:e}, \"num_factorizations\": {plan_factorizations}}},\n    \
-         {{\"id\": \"sweep/speedup\", \"value\": {speedup:.3}}},\n    \
-         {{\"id\": \"sweep/max_abs_delta\", \"value\": {worst:e}}},\n    \
-         {{\"id\": \"refactor/fresh_factor_{SHIFTS}\", \"seconds\": {fresh_s:e}, \"num_symbolic\": {SHIFTS}, \"num_numeric\": 0}},\n    \
-         {{\"id\": \"refactor/numeric_refactor_{SHIFTS}\", \"seconds\": {refac_s:e}, \"num_symbolic\": 0, \"num_numeric\": {SHIFTS}}},\n    \
-         {{\"id\": \"refactor_vs_factor\", \"value\": {refac_speedup:.3}}},\n    \
-         {{\"id\": \"batch_threads_1\", \"seconds\": {t1_s:e}, \"threads\": 1}},\n    \
-         {{\"id\": \"batch_threads_4\", \"seconds\": {t4_s:e}, \"threads\": 4, \"cores_available\": {cores}}},\n    \
-         {{\"id\": \"batch_threads_speedup\", \"value\": {thread_speedup_json}, \"cores_available\": {cores}}},\n    \
-         {{\"id\": \"batch_threads_max_abs_delta\", \"value\": {thread_delta:e}}},\n    \
-         {{\"id\": \"scaling/workers_1\", \"seconds\": {t1_s:e}, \"workers\": 1, \"cores_available\": {cores}}},\n    \
-         {{\"id\": \"scaling/workers_2\", \"seconds\": {t2_s:e}, \"workers\": 2, \"cores_available\": {cores}}},\n    \
-         {{\"id\": \"scaling/workers_4\", \"seconds\": {t4_s:e}, \"workers\": 4, \"cores_available\": {cores}}},\n    \
-         {{\"id\": \"scaling/speedup_2\", \"value\": {scale2_json}, \"cores_available\": {cores}}},\n    \
-         {{\"id\": \"scaling/speedup_4\", \"value\": {scale4_json}, \"cores_available\": {cores}}},\n    \
-         {{\"id\": \"kernel/solve_block_scalar\", \"seconds\": {ksolve_scalar_s:e}, \"lanes\": {klanes}}},\n    \
-         {{\"id\": \"kernel/solve_block_panel\", \"seconds\": {ksolve_panel_s:e}, \"lanes\": {klanes}}},\n    \
-         {{\"id\": \"kernel/solve_block_speedup\", \"value\": {ksolve_speedup:.3}, \"panels_enabled\": {panels_enabled}}},\n    \
-         {{\"id\": \"kernel/spmm_scalar\", \"seconds\": {kspmm_scalar_s:e}, \"lanes\": {klanes}}},\n    \
-         {{\"id\": \"kernel/spmm_panel\", \"seconds\": {kspmm_panel_s:e}, \"lanes\": {klanes}}},\n    \
-         {{\"id\": \"kernel/spmm_speedup\", \"value\": {kspmm_speedup:.3}, \"panels_enabled\": {panels_enabled}}},\n    \
-         {{\"id\": \"kernel/history_scalar\", \"seconds\": {khist_scalar_s:e}, \"lanes\": {klanes}, \"depth\": {kdepth}}},\n    \
-         {{\"id\": \"kernel/history_panel\", \"seconds\": {khist_panel_s:e}, \"lanes\": {klanes}, \"depth\": {kdepth}}},\n    \
-         {{\"id\": \"kernel/history_speedup\", \"value\": {khist_speedup:.3}, \"panels_enabled\": {panels_enabled}}},\n    \
-         {{\"id\": \"kernel/panel_vs_scalar_max_abs_delta\", \"value\": {kdelta:e}}},\n    \
-         {{\"id\": \"windowed/whole_horizon\", \"seconds\": {whole_s:e}, \"columns\": {wcols}}},\n    \
-         {{\"id\": \"windowed/windows_{ww}x{wm}\", \"seconds\": {win_s:e}, \"windows\": {ww}, \"num_symbolic\": {wsym}, \"num_numeric\": {wnum}}},\n    \
-         {{\"id\": \"windowed_vs_whole\", \"value\": {win_speedup:.3}}},\n    \
-         {{\"id\": \"windowed_max_abs_delta\", \"value\": {win_delta:e}}},\n    \
-         {{\"id\": \"windowed/stream_{w_long}x{wm}\", \"seconds\": {long_s:e}, \"windows\": {w_long}, \"columns\": {lcols}}},\n    \
-         {{\"id\": \"windowed_fractional/whole_horizon\", \"seconds\": {fwhole_s:e}, \"columns\": {fcols}}},\n    \
-         {{\"id\": \"windowed_fractional/windows_{fw}x{fm}\", \"seconds\": {ffull_s:e}, \"windows\": {fw}, \"num_symbolic\": {fsym}, \"num_numeric\": {fnum}}},\n    \
-         {{\"id\": \"windowed_fractional_vs_whole\", \"value\": {ffull_speedup:.3}}},\n    \
-         {{\"id\": \"windowed_fractional_max_abs_delta\", \"value\": {ffull_delta:e}}},\n    \
-         {{\"id\": \"windowed_fractional/truncated_hist{fhist}\", \"seconds\": {ftrunc_s:e}, \"windows\": {fw}, \"history_len\": {fhist}}},\n    \
-         {{\"id\": \"windowed_fractional_truncated_max_abs_delta\", \"value\": {ftrunc_delta:e}}}{long_frac}\n  ]\n}}\n",
+         Regenerate: cargo run --release -p opm-bench --bin sweep",
         n = na.system.order(),
-        wcols = wm * ww,
-        wsym = wprofile.num_symbolic,
-        wnum = wprofile.num_numeric,
-        lcols = wm * w_long,
-        fcols = fm * fw,
-        fsym = fprofile.num_symbolic,
-        fnum = fprofile.num_numeric,
-        fhist = 8 * fm,
     );
+    let int = |v: usize| Json::Int(v as i64);
+    let rec = |id: String, fields: Vec<(&str, Json)>| {
+        let mut entries = vec![("id".to_string(), Json::str(id))];
+        entries.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+        Json::Obj(entries)
+    };
+    let mut records = vec![
+        rec(
+            "sweep/naive_loop_100".into(),
+            vec![
+                ("seconds", Json::Num(naive_s)),
+                ("num_factorizations", int(naive_factorizations)),
+            ],
+        ),
+        rec(
+            "sweep/plan_batch_100".into(),
+            vec![
+                ("seconds", Json::Num(plan_s)),
+                ("num_factorizations", int(plan_factorizations)),
+            ],
+        ),
+        rec("sweep/speedup".into(), vec![("value", Json::Num(speedup))]),
+        rec(
+            "sweep/max_abs_delta".into(),
+            vec![("value", Json::Num(worst))],
+        ),
+        rec(
+            format!("refactor/fresh_factor_{SHIFTS}"),
+            vec![
+                ("seconds", Json::Num(fresh_s)),
+                ("num_symbolic", int(SHIFTS)),
+                ("num_numeric", int(0)),
+            ],
+        ),
+        rec(
+            format!("refactor/numeric_refactor_{SHIFTS}"),
+            vec![
+                ("seconds", Json::Num(refac_s)),
+                ("num_symbolic", int(0)),
+                ("num_numeric", int(SHIFTS)),
+            ],
+        ),
+        rec(
+            "refactor_vs_factor".into(),
+            vec![("value", Json::Num(refac_speedup))],
+        ),
+        rec(
+            "batch_threads_1".into(),
+            vec![("seconds", Json::Num(t1_s)), ("threads", int(1))],
+        ),
+        rec(
+            "batch_threads_4".into(),
+            vec![
+                ("seconds", Json::Num(t4_s)),
+                ("threads", int(4)),
+                ("cores_available", int(cores)),
+            ],
+        ),
+        rec(
+            "batch_threads_speedup".into(),
+            vec![
+                ("value", thread_speedup_json),
+                ("cores_available", int(cores)),
+            ],
+        ),
+        rec(
+            "batch_threads_max_abs_delta".into(),
+            vec![("value", Json::Num(thread_delta))],
+        ),
+        rec(
+            "scaling/workers_1".into(),
+            vec![
+                ("seconds", Json::Num(t1_s)),
+                ("workers", int(1)),
+                ("cores_available", int(cores)),
+            ],
+        ),
+        rec(
+            "scaling/workers_2".into(),
+            vec![
+                ("seconds", Json::Num(t2_s)),
+                ("workers", int(2)),
+                ("cores_available", int(cores)),
+            ],
+        ),
+        rec(
+            "scaling/workers_4".into(),
+            vec![
+                ("seconds", Json::Num(t4_s)),
+                ("workers", int(4)),
+                ("cores_available", int(cores)),
+            ],
+        ),
+        rec(
+            "scaling/speedup_2".into(),
+            vec![("value", scale2_json), ("cores_available", int(cores))],
+        ),
+        rec(
+            "scaling/speedup_4".into(),
+            vec![("value", scale4_json), ("cores_available", int(cores))],
+        ),
+        rec(
+            "kernel/solve_block_scalar".into(),
+            vec![
+                ("seconds", Json::Num(ksolve_scalar_s)),
+                ("lanes", int(klanes)),
+            ],
+        ),
+        rec(
+            "kernel/solve_block_panel".into(),
+            vec![
+                ("seconds", Json::Num(ksolve_panel_s)),
+                ("lanes", int(klanes)),
+            ],
+        ),
+        rec(
+            "kernel/solve_block_speedup".into(),
+            vec![
+                ("value", Json::Num(ksolve_speedup)),
+                ("panels_enabled", Json::Bool(panels_enabled)),
+            ],
+        ),
+        rec(
+            "kernel/spmm_scalar".into(),
+            vec![
+                ("seconds", Json::Num(kspmm_scalar_s)),
+                ("lanes", int(klanes)),
+            ],
+        ),
+        rec(
+            "kernel/spmm_panel".into(),
+            vec![
+                ("seconds", Json::Num(kspmm_panel_s)),
+                ("lanes", int(klanes)),
+            ],
+        ),
+        rec(
+            "kernel/spmm_speedup".into(),
+            vec![
+                ("value", Json::Num(kspmm_speedup)),
+                ("panels_enabled", Json::Bool(panels_enabled)),
+            ],
+        ),
+        rec(
+            "kernel/history_scalar".into(),
+            vec![
+                ("seconds", Json::Num(khist_scalar_s)),
+                ("lanes", int(klanes)),
+                ("depth", int(kdepth)),
+            ],
+        ),
+        rec(
+            "kernel/history_panel".into(),
+            vec![
+                ("seconds", Json::Num(khist_panel_s)),
+                ("lanes", int(klanes)),
+                ("depth", int(kdepth)),
+            ],
+        ),
+        rec(
+            "kernel/history_speedup".into(),
+            vec![
+                ("value", Json::Num(khist_speedup)),
+                ("panels_enabled", Json::Bool(panels_enabled)),
+            ],
+        ),
+        rec(
+            "kernel/panel_vs_scalar_max_abs_delta".into(),
+            vec![("value", Json::Num(kdelta))],
+        ),
+        rec(
+            "windowed/whole_horizon".into(),
+            vec![("seconds", Json::Num(whole_s)), ("columns", int(wm * ww))],
+        ),
+        rec(
+            format!("windowed/windows_{ww}x{wm}"),
+            vec![
+                ("seconds", Json::Num(win_s)),
+                ("windows", int(ww)),
+                ("num_symbolic", int(wprofile.num_symbolic)),
+                ("num_numeric", int(wprofile.num_numeric)),
+            ],
+        ),
+        rec(
+            "windowed_vs_whole".into(),
+            vec![("value", Json::Num(win_speedup))],
+        ),
+        rec(
+            "windowed_max_abs_delta".into(),
+            vec![("value", Json::Num(win_delta))],
+        ),
+        rec(
+            format!("windowed/stream_{w_long}x{wm}"),
+            vec![
+                ("seconds", Json::Num(long_s)),
+                ("windows", int(w_long)),
+                ("columns", int(wm * w_long)),
+            ],
+        ),
+        rec(
+            "windowed_fractional/whole_horizon".into(),
+            vec![("seconds", Json::Num(fwhole_s)), ("columns", int(fm * fw))],
+        ),
+        rec(
+            format!("windowed_fractional/windows_{fw}x{fm}"),
+            vec![
+                ("seconds", Json::Num(ffull_s)),
+                ("windows", int(fw)),
+                ("num_symbolic", int(fprofile.num_symbolic)),
+                ("num_numeric", int(fprofile.num_numeric)),
+            ],
+        ),
+        rec(
+            "windowed_fractional_vs_whole".into(),
+            vec![("value", Json::Num(ffull_speedup))],
+        ),
+        rec(
+            "windowed_fractional_max_abs_delta".into(),
+            vec![("value", Json::Num(ffull_delta))],
+        ),
+        rec(
+            format!("windowed_fractional/truncated_hist{}", 8 * fm),
+            vec![
+                ("seconds", Json::Num(ftrunc_s)),
+                ("windows", int(fw)),
+                ("history_len", int(8 * fm)),
+            ],
+        ),
+        rec(
+            "windowed_fractional_truncated_max_abs_delta".into(),
+            vec![("value", Json::Num(ftrunc_delta))],
+        ),
+    ];
+    if let Some((id, lsec, lwindows, lcols)) = long_frac {
+        records.push(rec(
+            id,
+            vec![
+                ("seconds", Json::Num(lsec)),
+                ("windows", int(lwindows)),
+                ("columns", int(lcols)),
+            ],
+        ));
+    }
+    let doc = Json::Obj(vec![
+        ("schema".into(), Json::str("opm-bench-sweep/v5")),
+        ("note".into(), Json::str(note)),
+        ("records".into(), Json::Arr(records)),
+    ]);
     let mut f = std::fs::File::create(&path).expect("create BENCH_sweep.json");
-    f.write_all(json.as_bytes())
+    f.write_all(format!("{doc}\n").as_bytes())
         .expect("write BENCH_sweep.json");
     println!("wrote {path}");
 }

@@ -1,0 +1,423 @@
+//! A keyed LRU cache of factored plans, shared across requests.
+//!
+//! A [`crate::SimPlan`] is the expensive, stimulus-independent artifact
+//! of the session API: one symbolic + one numeric factorization serves
+//! any number of scenarios, windows, and horizons. [`PlanCache`] interns
+//! plans behind `Arc` so that a *repeated* plan request — same model,
+//! same options, same horizon — skips symbolic **and** numeric work
+//! entirely and goes straight to solves. This is the heart of the
+//! `opm-serve` daemon, and equally usable by a CLI that replays
+//! netlists.
+//!
+//! # The cache key
+//!
+//! Entries are keyed by a 128-bit structural hash
+//! ([`plan_key`]) covering everything [`Simulation::plan`] consumes:
+//!
+//! - the model **pattern** (variant, dimensions, row structure, column
+//!   indices) and its **values** (every `f64` hashed by bit pattern),
+//! - the [`SolveOptions`] (resolution, method, adaptive parameters,
+//!   step grid),
+//! - the horizon `t_end` and initial state `x0`.
+//!
+//! Hashing values (not just the sparsity pattern) means a value-only
+//! edit — say, bumping one resistor — is a **miss** by construction:
+//! the factorization it would reuse is numerically wrong for the new
+//! matrix. Two requests collide only if every bit above agrees, in
+//! which case sharing the factorization is exactly right.
+//!
+//! # Concurrency & the single-factorization invariant
+//!
+//! Lookups and insertions go through one mutex; **plans are built while
+//! the mutex is held**. That serializes cold builds, which is
+//! deliberate: when N identical requests race on a cold cache, exactly
+//! one performs the symbolic + numeric factorization and the other
+//! N−1 become hits on the finished `Arc` — the per-plan
+//! [`crate::FactorProfile`] records `num_symbolic == 1` and
+//! `num_numeric == 1` no matter the concurrency. Hits only touch the
+//! mutex long enough to bump an LRU tick; the solves they fan out to
+//! run fully in parallel because `SimPlan` is `Sync`.
+//!
+//! # Eviction
+//!
+//! Least-recently-used, over a fixed capacity set at construction. The
+//! cache stores `Arc`s, so evicting a plan mid-flight is safe — in-use
+//! plans are freed when their last request completes.
+
+use std::sync::{Arc, Mutex};
+
+use crate::engine::SolveOptions;
+use crate::json::Json;
+use crate::session::{SimModel, SimPlan, Simulation};
+use crate::OpmError;
+use opm_sparse::CsrMatrix;
+use opm_system::DescriptorSystem;
+
+/// The 128-bit structural hash a plan is interned under.
+pub type PlanKey = (u64, u64);
+
+/// Computes the structural hash of everything a plan depends on.
+///
+/// Exposed so tests (and cache-aware tooling) can check when two
+/// sessions would share a cached plan without building one.
+pub fn plan_key(sim: &Simulation, opts: &SolveOptions) -> PlanKey {
+    let mut h = PairHash::new();
+    hash_model(&mut h, sim.model());
+    hash_options(&mut h, opts);
+    h.f64(sim.t_end());
+    match sim.x0() {
+        Some(x0) => {
+            h.tag(1);
+            h.f64_slice(x0);
+        }
+        None => h.tag(0),
+    }
+    h.finish()
+}
+
+/// Two independent FNV-1a streams → a 128-bit key, so accidental
+/// collisions between distinct requests are out of reach at any
+/// realistic cache size.
+struct PairHash {
+    a: u64,
+    b: u64,
+}
+
+impl PairHash {
+    fn new() -> Self {
+        // FNV-1a offset basis, and a second arbitrary odd basis.
+        PairHash {
+            a: 0xcbf29ce484222325,
+            b: 0x9e3779b97f4a7c15,
+        }
+    }
+
+    fn byte(&mut self, x: u8) {
+        const P: u64 = 0x100000001b3;
+        self.a = (self.a ^ x as u64).wrapping_mul(P);
+        self.b = (self.b ^ x as u64).wrapping_mul(P ^ 0xff51afd7ed558ccd);
+    }
+
+    fn u64(&mut self, x: u64) {
+        for b in x.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    fn tag(&mut self, t: u8) {
+        self.byte(t);
+    }
+
+    fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    fn f64_slice(&mut self, xs: &[f64]) {
+        self.usize(xs.len());
+        for &x in xs {
+            self.f64(x);
+        }
+    }
+
+    fn csr(&mut self, m: &CsrMatrix) {
+        self.usize(m.nrows());
+        self.usize(m.ncols());
+        for i in 0..m.nrows() {
+            // Row-length delimiters keep (col, val) runs from aliasing
+            // across row boundaries.
+            self.usize(m.row(i).count());
+            for (col, val) in m.row(i) {
+                self.usize(col);
+                self.f64(val);
+            }
+        }
+    }
+
+    fn opt_csr(&mut self, m: Option<&CsrMatrix>) {
+        match m {
+            Some(m) => {
+                self.tag(1);
+                self.csr(m);
+            }
+            None => self.tag(0),
+        }
+    }
+
+    fn descriptor(&mut self, sys: &DescriptorSystem) {
+        self.csr(sys.e());
+        self.csr(sys.a());
+        self.csr(sys.b());
+        self.opt_csr(sys.c());
+    }
+
+    fn finish(self) -> PlanKey {
+        (self.a, self.b)
+    }
+}
+
+fn hash_model(h: &mut PairHash, model: &SimModel) {
+    match model {
+        SimModel::Linear(sys) => {
+            h.tag(1);
+            h.descriptor(sys);
+        }
+        SimModel::Fractional(fsys) => {
+            h.tag(2);
+            h.f64(fsys.alpha());
+            h.descriptor(fsys.system());
+        }
+        SimModel::MultiTerm(mt) => {
+            h.tag(3);
+            h.usize(mt.terms().len());
+            for term in mt.terms() {
+                h.f64(term.alpha);
+                h.csr(&term.matrix);
+            }
+            h.csr(mt.b());
+            h.opt_csr(mt.c());
+        }
+        SimModel::SecondOrder(so) => {
+            h.tag(4);
+            h.csr(so.m2());
+            h.csr(so.m1());
+            h.csr(so.m0());
+            h.csr(so.b());
+            h.opt_csr(so.c());
+        }
+    }
+}
+
+fn hash_options(h: &mut PairHash, opts: &SolveOptions) {
+    match opts.resolution {
+        Some(m) => {
+            h.tag(1);
+            h.usize(m);
+        }
+        None => h.tag(0),
+    }
+    h.tag(match opts.method {
+        crate::Method::Auto => 0,
+        crate::Method::Recurrence => 1,
+        crate::Method::Accumulator => 2,
+        crate::Method::Convolution => 3,
+        crate::Method::Kronecker => 4,
+    });
+    match &opts.adaptive {
+        Some(a) => {
+            h.tag(1);
+            h.f64(a.tol);
+            h.f64(a.h0);
+            h.f64(a.h_min);
+            h.f64(a.h_max);
+        }
+        None => h.tag(0),
+    }
+    match &opts.step_grid {
+        Some(steps) => {
+            h.tag(1);
+            h.f64_slice(steps);
+        }
+        None => h.tag(0),
+    }
+}
+
+/// Aggregate counters, snapshotted by [`PlanCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served by an interned plan.
+    pub hits: u64,
+    /// Requests that had to factor a new plan.
+    pub misses: u64,
+    /// Plans dropped to make room.
+    pub evictions: u64,
+    /// Plans currently interned.
+    pub len: usize,
+    /// Maximum number of interned plans.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of requests that were hits (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The `/metrics` representation.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("hits".into(), Json::Int(self.hits as i64)),
+            ("misses".into(), Json::Int(self.misses as i64)),
+            ("evictions".into(), Json::Int(self.evictions as i64)),
+            ("len".into(), Json::Int(self.len as i64)),
+            ("capacity".into(), Json::Int(self.capacity as i64)),
+            ("hit_rate".into(), Json::Num(self.hit_rate())),
+        ])
+    }
+}
+
+struct Entry {
+    key: PlanKey,
+    plan: Arc<SimPlan>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: Vec<Entry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// An LRU cache of factored plans keyed by [`plan_key`].
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanCache")
+            .field("len", &s.len)
+            .field("capacity", &s.capacity)
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// A cache that interns at most `capacity` plans (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                entries: Vec::new(),
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The interned plan for `(sim, opts)`, factoring one on a miss.
+    ///
+    /// On a hit no factorization work happens at all — the returned
+    /// `Arc` is ready to `solve`/`sweep`/`solve_streaming` concurrently
+    /// with every other holder. Cold builds run under the cache lock so
+    /// racing identical requests factor exactly once (see the module
+    /// docs).
+    ///
+    /// # Errors
+    /// Whatever [`Simulation::plan`] would return for the same inputs;
+    /// failures are not cached.
+    pub fn get_or_plan(
+        &self,
+        sim: &Simulation,
+        opts: &SolveOptions,
+    ) -> Result<Arc<SimPlan>, OpmError> {
+        self.get_or_plan_traced(sim, opts).map(|(plan, _)| plan)
+    }
+
+    /// [`PlanCache::get_or_plan`], also reporting whether this call was
+    /// a hit — what a server echoes back per response.
+    ///
+    /// # Errors
+    /// As [`PlanCache::get_or_plan`].
+    pub fn get_or_plan_traced(
+        &self,
+        sim: &Simulation,
+        opts: &SolveOptions,
+    ) -> Result<(Arc<SimPlan>, bool), OpmError> {
+        let key = plan_key(sim, opts);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = tick;
+            let plan = Arc::clone(&e.plan);
+            inner.hits += 1;
+            return Ok((plan, true));
+        }
+        let plan = Arc::new(sim.plan(opts)?);
+        inner.misses += 1;
+        if inner.entries.len() >= self.capacity {
+            let lru = inner
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1, so a full cache is non-empty");
+            inner.entries.swap_remove(lru);
+            inner.evictions += 1;
+        }
+        inner.entries.push(Entry {
+            key,
+            plan: Arc::clone(&plan),
+            last_used: tick,
+        });
+        Ok((plan, false))
+    }
+
+    /// Counter snapshot for `/metrics` and the bench gates.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            len: inner.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of interned plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every interned plan (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().entries.clear();
+    }
+
+    /// The interned plans, most recently used first — what a `/metrics`
+    /// endpoint walks to report per-plan [`crate::FactorProfile`]s.
+    pub fn plans(&self) -> Vec<(PlanKey, Arc<SimPlan>)> {
+        let inner = self.inner.lock().unwrap();
+        let mut keyed: Vec<(u64, PlanKey, Arc<SimPlan>)> = inner
+            .entries
+            .iter()
+            .map(|e| (e.last_used, e.key, Arc::clone(&e.plan)))
+            .collect();
+        keyed.sort_by_key(|x| std::cmp::Reverse(x.0));
+        keyed.into_iter().map(|(_, k, p)| (k, p)).collect()
+    }
+
+    /// The interned plans' keys, most recently used first. Test hook
+    /// for asserting eviction order.
+    pub fn keys_by_recency(&self) -> Vec<PlanKey> {
+        let inner = self.inner.lock().unwrap();
+        let mut keyed: Vec<(u64, PlanKey)> =
+            inner.entries.iter().map(|e| (e.last_used, e.key)).collect();
+        keyed.sort_by_key(|x| std::cmp::Reverse(x.0));
+        keyed.into_iter().map(|(_, k)| k).collect()
+    }
+}

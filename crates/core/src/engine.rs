@@ -988,7 +988,7 @@ impl<'a> Problem<'a> {
     /// strategies fed coefficients, options that do not apply to the
     /// model, …) and any strategy error.
     pub fn solve(&self, opts: &SolveOptions) -> Result<OpmResult, OpmError> {
-        let model = self.model_ref();
+        let model = self.to_sim_model();
         if matches!(self.inputs, Inputs::Missing) {
             return Err(OpmError::BadArguments(
                 "no stimulus: call .coeffs(..) or .waveforms(..)".into(),
@@ -1015,7 +1015,13 @@ impl<'a> Problem<'a> {
                 _ => return Err(needs_resolution),
             },
         };
-        let plan = crate::session::SimPlan::prepare(model, opts, m, self.t_end, self.x0)?;
+        let plan = crate::session::SimPlan::prepare(
+            std::sync::Arc::new(model),
+            opts,
+            m,
+            self.t_end,
+            self.x0,
+        )?;
         match self.inputs {
             Inputs::Coeffs(u) => plan.solve_coeffs(u),
             Inputs::Waveforms(ws) => plan.solve(ws),
@@ -1023,12 +1029,14 @@ impl<'a> Problem<'a> {
         }
     }
 
-    fn model_ref(&self) -> crate::session::ModelRef<'a> {
+    /// The owned model the one-shot plan is built on (the clone is
+    /// O(nnz), dwarfed by the factorization `solve` performs).
+    fn to_sim_model(self) -> crate::session::SimModel {
         match self.model {
-            Model::Linear(sys) => crate::session::ModelRef::Linear(sys),
-            Model::Fractional(fsys) => crate::session::ModelRef::Fractional(fsys),
-            Model::MultiTerm(mt) => crate::session::ModelRef::MultiTerm(mt),
-            Model::SecondOrder(so) => crate::session::ModelRef::SecondOrder(so),
+            Model::Linear(sys) => crate::session::SimModel::Linear(sys.clone()),
+            Model::Fractional(fsys) => crate::session::SimModel::Fractional(fsys.clone()),
+            Model::MultiTerm(mt) => crate::session::SimModel::MultiTerm(mt.clone()),
+            Model::SecondOrder(so) => crate::session::SimModel::SecondOrder(so.clone()),
         }
     }
 }

@@ -62,9 +62,11 @@
 //! ```
 
 pub mod adaptive;
+pub mod cache;
 pub mod engine;
 pub mod fractional;
 pub mod general_basis;
+pub mod json;
 pub mod kron_solve;
 pub mod linear;
 pub mod metrics;
@@ -73,7 +75,9 @@ pub mod result;
 pub mod second_order;
 pub mod session;
 
+pub use cache::{CacheStats, PlanCache};
 pub use engine::{Method, Problem, SolveOptions};
+pub use json::Json;
 pub use metrics::FactorProfile;
 pub use result::OpmResult;
 pub use session::{SimModel, SimPlan, Simulation, WindowBlock, WindowedOptions};

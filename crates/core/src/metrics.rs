@@ -67,6 +67,24 @@ impl FactorProfile {
             self.dense_tail_cols as f64 / self.factor_cols as f64
         }
     }
+
+    /// The JSON shape shared by `opm-serve`'s `/metrics` endpoint and
+    /// the bench bins' `BENCH_*.json` artifacts.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let int = |v: usize| Json::Int(v as i64);
+        Json::Obj(vec![
+            ("num_symbolic".into(), int(self.num_symbolic)),
+            ("num_numeric".into(), int(self.num_numeric)),
+            ("cache_hits".into(), int(self.cache_hits)),
+            ("cache_misses".into(), int(self.cache_misses)),
+            ("num_windows".into(), int(self.num_windows)),
+            ("num_supernodes".into(), int(self.num_supernodes)),
+            ("supernode_cols".into(), int(self.supernode_cols)),
+            ("dense_tail_cols".into(), int(self.dense_tail_cols)),
+            ("factor_cols".into(), int(self.factor_cols)),
+        ])
+    }
 }
 
 /// The paper's Eq. (30) relative error in dB:

@@ -70,7 +70,8 @@ use std::sync::{Arc, Mutex};
 // Simulation: the owning session front door
 // ---------------------------------------------------------------------------
 
-/// The model class a [`Simulation`] owns.
+/// The model class a [`Simulation`] owns (and a [`SimPlan`] `Arc`-shares
+/// with it).
 #[derive(Clone, Debug)]
 pub enum SimModel {
     /// Linear descriptor system `E ẋ = A x + B u`.
@@ -83,6 +84,39 @@ pub enum SimModel {
     SecondOrder(SecondOrderSystem),
 }
 
+impl SimModel {
+    /// State dimension of the model.
+    pub fn order(&self) -> usize {
+        match self {
+            SimModel::Linear(s) => s.order(),
+            SimModel::Fractional(f) => f.order(),
+            SimModel::MultiTerm(mt) => mt.order(),
+            SimModel::SecondOrder(so) => so.order(),
+        }
+    }
+
+    /// Number of input channels (columns of `B`).
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            SimModel::Linear(s) => s.num_inputs(),
+            SimModel::Fractional(f) => f.num_inputs(),
+            SimModel::MultiTerm(mt) => mt.num_inputs(),
+            SimModel::SecondOrder(so) => so.num_inputs(),
+        }
+    }
+
+    /// The strategy family this model solves through (used in
+    /// diagnostics).
+    pub fn strategy_name(&self) -> &'static str {
+        match self {
+            SimModel::Linear(_) => "linear",
+            SimModel::Fractional(_) => "fractional",
+            SimModel::MultiTerm(_) => "multi-term",
+            SimModel::SecondOrder(_) => "second-order",
+        }
+    }
+}
+
 /// An owning simulation session: model + horizon + initial state.
 ///
 /// Construct from an assembled system ([`Simulation::from_system`] and
@@ -92,7 +126,11 @@ pub enum SimModel {
 /// and solve many scenarios.
 #[derive(Clone, Debug)]
 pub struct Simulation {
-    model: SimModel,
+    /// Shared with every plan built from this session: a [`SimPlan`]
+    /// `Arc`-clones the model, so plans are self-contained (`'static`),
+    /// outlive the session, and can be interned in a
+    /// [`crate::cache::PlanCache`].
+    model: Arc<SimModel>,
     t_end: f64,
     x0: Option<Vec<f64>>,
     inputs: Option<InputSet>,
@@ -102,7 +140,7 @@ pub struct Simulation {
 impl Simulation {
     fn new(model: SimModel) -> Self {
         Simulation {
-            model,
+            model: Arc::new(model),
             t_end: 0.0,
             x0: None,
             inputs: None,
@@ -210,9 +248,25 @@ impl Simulation {
         &self.model
     }
 
+    /// The shared handle to the model — what plans built from this
+    /// session hold.
+    pub fn model_arc(&self) -> Arc<SimModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// The simulation horizon.
+    pub fn t_end(&self) -> f64 {
+        self.t_end
+    }
+
+    /// The initial state, when one was set.
+    pub fn x0(&self) -> Option<&[f64]> {
+        self.x0.as_deref()
+    }
+
     /// State dimension of the model.
     pub fn order(&self) -> usize {
-        self.model_ref().order()
+        self.model.order()
     }
 
     /// The netlist's own sources, when this session was assembled from a
@@ -226,34 +280,37 @@ impl Simulation {
         &self.unknowns
     }
 
-    fn model_ref(&self) -> ModelRef<'_> {
-        match &self.model {
-            SimModel::Linear(sys) => ModelRef::Linear(sys),
-            SimModel::Fractional(f) => ModelRef::Fractional(f),
-            SimModel::MultiTerm(mt) => ModelRef::MultiTerm(mt),
-            SimModel::SecondOrder(so) => ModelRef::SecondOrder(so),
-        }
-    }
-
     /// Validates the session against `opts` and performs every
     /// stimulus-independent step once: shape checks, pencil assembly, RCM
     /// ordering, sparse LU factorization, fractional series, recurrence
     /// polynomials. The returned [`SimPlan`] replays scenarios against
     /// the cached factorization.
     ///
+    /// The plan `Arc`-shares the session's model: it is self-contained
+    /// (`'static`), `Send + Sync`, free to outlive this session, and
+    /// cacheable behind an `Arc` (see [`crate::cache::PlanCache`]).
+    /// Before this release a plan *borrowed* the session
+    /// (`SimPlan<'_>`); code that spelled the lifetime should simply
+    /// drop it.
+    ///
     /// # Errors
     /// [`OpmError::BadArguments`] for option/model mismatches (the
     /// message names both the offending option and the chosen strategy),
     /// [`OpmError::SingularPencil`] when the pencil cannot be factored.
-    pub fn plan(&self, opts: &SolveOptions) -> Result<SimPlan<'_>, OpmError> {
-        let model = self.model_ref();
-        let m = plan_resolution(&model, opts)?;
-        SimPlan::prepare(model, opts, m, self.t_end, self.x0.as_deref())
+    pub fn plan(&self, opts: &SolveOptions) -> Result<SimPlan, OpmError> {
+        let m = plan_resolution(&self.model, opts)?;
+        SimPlan::prepare(
+            Arc::clone(&self.model),
+            opts,
+            m,
+            self.t_end,
+            self.x0.as_deref(),
+        )
     }
 }
 
 /// Resolves the column count a plan is built for.
-pub(crate) fn plan_resolution(model: &ModelRef, opts: &SolveOptions) -> Result<usize, OpmError> {
+pub(crate) fn plan_resolution(model: &SimModel, opts: &SolveOptions) -> Result<usize, OpmError> {
     if opts.adaptive.is_some() {
         return Ok(0); // the step controller determines the column count
     }
@@ -269,55 +326,12 @@ pub(crate) fn plan_resolution(model: &ModelRef, opts: &SolveOptions) -> Result<u
     })
 }
 
-// ---------------------------------------------------------------------------
-// ModelRef: the borrowed model a plan operates on
-// ---------------------------------------------------------------------------
-
-/// Borrowed view of a model (what [`crate::Problem`] holds and what
-/// [`SimPlan`] borrows from a [`Simulation`]).
-#[derive(Clone, Copy)]
-pub(crate) enum ModelRef<'a> {
-    Linear(&'a DescriptorSystem),
-    Fractional(&'a FractionalSystem),
-    MultiTerm(&'a MultiTermSystem),
-    SecondOrder(&'a SecondOrderSystem),
-}
-
-impl ModelRef<'_> {
-    pub(crate) fn order(&self) -> usize {
-        match self {
-            ModelRef::Linear(s) => s.order(),
-            ModelRef::Fractional(f) => f.order(),
-            ModelRef::MultiTerm(mt) => mt.order(),
-            ModelRef::SecondOrder(so) => so.order(),
-        }
-    }
-
-    pub(crate) fn num_inputs(&self) -> usize {
-        match self {
-            ModelRef::Linear(s) => s.num_inputs(),
-            ModelRef::Fractional(f) => f.num_inputs(),
-            ModelRef::MultiTerm(mt) => mt.num_inputs(),
-            ModelRef::SecondOrder(so) => so.num_inputs(),
-        }
-    }
-
-    pub(crate) fn strategy_name(&self) -> &'static str {
-        match self {
-            ModelRef::Linear(_) => "linear",
-            ModelRef::Fractional(_) => "fractional",
-            ModelRef::MultiTerm(_) => "multi-term",
-            ModelRef::SecondOrder(_) => "second-order",
-        }
-    }
-}
-
 /// Rejects option combinations that no strategy honors — silently
 /// ignoring them would hand back a result the caller did not ask for.
 /// Every rejection names **both** the offending option and the strategy
 /// it clashed with.
 pub(crate) fn validate_options(
-    model: &ModelRef,
+    model: &SimModel,
     t_end: f64,
     opts: &SolveOptions,
 ) -> Result<(), OpmError> {
@@ -364,7 +378,7 @@ pub(crate) fn validate_options(
         }
     }
     match model {
-        ModelRef::Linear(_) => {
+        SimModel::Linear(_) => {
             if opts.step_grid.is_some() {
                 return conflict(
                     "step_grid",
@@ -372,7 +386,7 @@ pub(crate) fn validate_options(
                 );
             }
         }
-        ModelRef::Fractional(_) => {
+        SimModel::Fractional(_) => {
             if opts.adaptive.is_some() {
                 return conflict(
                     "adaptive",
@@ -386,7 +400,7 @@ pub(crate) fn validate_options(
                 ));
             }
         }
-        ModelRef::MultiTerm(_) => {
+        SimModel::MultiTerm(_) => {
             if grid_like {
                 return conflict(
                     grid_opt,
@@ -400,7 +414,7 @@ pub(crate) fn validate_options(
                 ));
             }
         }
-        ModelRef::SecondOrder(_) => {
+        SimModel::SecondOrder(_) => {
             if grid_like {
                 return conflict(
                     grid_opt,
@@ -506,8 +520,14 @@ enum PlanKind {
 /// [`crate::Problem`]), amortized over every
 /// [`solve`](SimPlan::solve) / [`solve_batch`](SimPlan::solve_batch) /
 /// [`sweep`](SimPlan::sweep) call.
-pub struct SimPlan<'a> {
-    model: ModelRef<'a>,
+///
+/// A plan **owns** its model state (`Arc`-shared with the
+/// [`Simulation`] that built it): it is `'static` and `Send + Sync`, so
+/// it can move across threads, outlive the session, and be interned
+/// behind an `Arc` in a [`crate::cache::PlanCache`] where one
+/// factorization serves any number of concurrent callers.
+pub struct SimPlan {
+    model: Arc<SimModel>,
     t_end: f64,
     m: usize,
     x0: Vec<f64>,
@@ -642,7 +662,7 @@ pub struct WindowBlock {
     pub end_state: Vec<f64>,
 }
 
-impl std::fmt::Debug for SimPlan<'_> {
+impl std::fmt::Debug for SimPlan {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimPlan")
             .field("strategy", &self.model.strategy_name())
@@ -701,11 +721,11 @@ impl OutputMap for OutRef<'_> {
     }
 }
 
-impl<'a> SimPlan<'a> {
+impl SimPlan {
     // -- construction -------------------------------------------------------
 
     pub(crate) fn prepare(
-        model: ModelRef<'a>,
+        model: Arc<SimModel>,
         opts: &SolveOptions,
         m: usize,
         t_end: f64,
@@ -721,7 +741,7 @@ impl<'a> SimPlan<'a> {
             None => vec![0.0; n],
         };
         let nonzero_x0 = x0.iter().any(|&v| v != 0.0);
-        if nonzero_x0 && !matches!(model, ModelRef::Linear(_)) {
+        if nonzero_x0 && !matches!(model.as_ref(), SimModel::Linear(_)) {
             return Err(OpmError::BadArguments(format!(
                 "nonzero initial conditions are only supported for linear problems \
                  (the `{}` strategy assumes zero Caputo initial conditions)",
@@ -730,36 +750,39 @@ impl<'a> SimPlan<'a> {
         }
 
         if let Some(aopts) = opts.adaptive {
-            let ModelRef::Linear(sys) = model else {
+            let SimModel::Linear(sys) = model.as_ref() else {
                 unreachable!("validate_options admits `adaptive` only on linear models");
+            };
+            let kind = PlanKind::AdaptiveLinear {
+                aopts,
+                cache: Mutex::new(FactorCache::new(sys.e(), sys.a())),
             };
             return Ok(SimPlan {
                 model,
                 t_end,
                 m: 0,
                 x0,
-                kind: PlanKind::AdaptiveLinear {
-                    aopts,
-                    cache: Mutex::new(FactorCache::new(sys.e(), sys.a())),
-                },
+                kind,
                 profile: FactorProfile::default(),
                 windowed: Mutex::new(WindowState::default()),
             });
         }
         if opts.step_grid.is_some() {
-            let ModelRef::Fractional(fsys) = model else {
+            let SimModel::Fractional(fsys) = model.as_ref() else {
                 unreachable!("validate_options admits `step_grid` only on fractional models");
             };
             let steps = opts.step_grid.clone().expect("checked above");
             let grid = AdaptiveBpf::new(steps);
             let factors = adaptive::prepare_step_grid(fsys, &grid)?;
             let profile = factors.profile();
+            let m = grid.dim();
+            let kind = PlanKind::StepGrid(StepGridPlan { grid, factors });
             return Ok(SimPlan {
                 model,
                 t_end,
-                m: grid.dim(),
+                m,
                 x0,
-                kind: PlanKind::StepGrid(StepGridPlan { grid, factors }),
+                kind,
                 profile,
                 windowed: Mutex::new(WindowState::default()),
             });
@@ -780,8 +803,8 @@ impl<'a> SimPlan<'a> {
             }
         };
 
-        let kind = match model {
-            ModelRef::Linear(sys) => match opts.method {
+        let kind = match model.as_ref() {
+            SimModel::Linear(sys) => match opts.method {
                 Method::Auto | Method::Recurrence | Method::Accumulator => {
                     linear_plan_kind(sys, m, t_end, opts.method == Method::Accumulator)?
                 }
@@ -805,7 +828,7 @@ impl<'a> SimPlan<'a> {
                     }
                 }
             },
-            ModelRef::Fractional(fsys) => match opts.method {
+            SimModel::Fractional(fsys) => match opts.method {
                 Method::Kronecker => {
                     let mt = fractional_as_multiterm(fsys);
                     let factors = kron_prepare(&mt, m, t_end)?;
@@ -816,7 +839,7 @@ impl<'a> SimPlan<'a> {
                 }
                 _ => fractional_plan_kind(fsys, m, t_end)?,
             },
-            ModelRef::MultiTerm(mt) => match opts.method {
+            SimModel::MultiTerm(mt) => match opts.method {
                 Method::Auto => PlanKind::MultiTerm(mt_plan(mt, m, t_end, &MtSelect::Auto)?),
                 Method::Recurrence => {
                     PlanKind::MultiTerm(mt_plan(mt, m, t_end, &MtSelect::Recurrence)?)
@@ -832,7 +855,7 @@ impl<'a> SimPlan<'a> {
                     unreachable!("validate_options rejects Accumulator on multi-term models")
                 }
             },
-            ModelRef::SecondOrder(so) => {
+            SimModel::SecondOrder(so) => {
                 let mt = so.to_multiterm();
                 let plan = mt_plan(&mt, m, t_end, &MtSelect::Auto)?;
                 PlanKind::OwnedMultiTerm {
@@ -853,9 +876,12 @@ impl<'a> SimPlan<'a> {
         })
     }
 
-    /// One-shot linear plan for the strategy wrappers.
+    /// One-shot linear plan for the strategy wrappers (clones the
+    /// borrowed system into the plan's own shared model — the copy is
+    /// O(nnz), dwarfed by the factorization these one-shot paths pay
+    /// anyway).
     pub(crate) fn for_linear(
-        sys: &'a DescriptorSystem,
+        sys: &DescriptorSystem,
         m: usize,
         t_end: f64,
         x0: &[f64],
@@ -864,7 +890,7 @@ impl<'a> SimPlan<'a> {
         validate_x0(sys.order(), x0)?;
         validate_horizon(t_end)?;
         Ok(SimPlan {
-            model: ModelRef::Linear(sys),
+            model: Arc::new(SimModel::Linear(sys.clone())),
             t_end,
             m,
             x0: x0.to_vec(),
@@ -876,13 +902,13 @@ impl<'a> SimPlan<'a> {
 
     /// One-shot fractional plan for the strategy wrappers.
     pub(crate) fn for_fractional(
-        fsys: &'a FractionalSystem,
+        fsys: &FractionalSystem,
         m: usize,
         t_end: f64,
     ) -> Result<Self, OpmError> {
         validate_horizon(t_end)?;
         Ok(SimPlan {
-            model: ModelRef::Fractional(fsys),
+            model: Arc::new(SimModel::Fractional(fsys.clone())),
             t_end,
             m,
             x0: vec![0.0; fsys.order()],
@@ -894,14 +920,14 @@ impl<'a> SimPlan<'a> {
 
     /// One-shot multi-term plan for the strategy wrappers.
     pub(crate) fn for_multiterm(
-        mt: &'a MultiTermSystem,
+        mt: &MultiTermSystem,
         m: usize,
         t_end: f64,
         select: &MtSelect,
     ) -> Result<Self, OpmError> {
         validate_horizon(t_end)?;
         Ok(SimPlan {
-            model: ModelRef::MultiTerm(mt),
+            model: Arc::new(SimModel::MultiTerm(mt.clone())),
             t_end,
             m,
             x0: vec![0.0; mt.order()],
@@ -913,7 +939,7 @@ impl<'a> SimPlan<'a> {
 
     /// One-shot second-order plan for the strategy wrappers.
     pub(crate) fn for_second_order(
-        so: &'a SecondOrderSystem,
+        so: &SecondOrderSystem,
         m: usize,
         t_end: f64,
     ) -> Result<Self, OpmError> {
@@ -921,7 +947,7 @@ impl<'a> SimPlan<'a> {
         let mt = so.to_multiterm();
         let plan = mt_plan(&mt, m, t_end, &MtSelect::Auto)?;
         Ok(SimPlan {
-            model: ModelRef::SecondOrder(so),
+            model: Arc::new(SimModel::SecondOrder(so.clone())),
             t_end,
             m,
             x0: vec![0.0; so.order()],
@@ -1002,6 +1028,12 @@ impl<'a> SimPlan<'a> {
         self.model.order()
     }
 
+    /// The strategy the plan was validated for (same names as
+    /// [`SimModel::strategy_name`]).
+    pub fn strategy_name(&self) -> &'static str {
+        self.model.strategy_name()
+    }
+
     // -- solving ------------------------------------------------------------
 
     /// Solves one stimulus against the cached factorization.
@@ -1047,7 +1079,7 @@ impl<'a> SimPlan<'a> {
         self.check_channels(inputs)?;
         match &self.kind {
             PlanKind::AdaptiveLinear { aopts, cache } => {
-                let ModelRef::Linear(sys) = self.model else {
+                let SimModel::Linear(sys) = self.model.as_ref() else {
                     unreachable!("adaptive plans are linear by construction");
                 };
                 // Serial by design: the lattice cache fills on the fly,
@@ -1067,7 +1099,7 @@ impl<'a> SimPlan<'a> {
                     .collect()
             }
             PlanKind::StepGrid(sg) => {
-                let ModelRef::Fractional(fsys) = self.model else {
+                let SimModel::Fractional(fsys) = self.model.as_ref() else {
                     unreachable!("step-grid plans are fractional by construction");
                 };
                 // Scenarios are independent sweeps over the shared
@@ -1423,7 +1455,7 @@ impl<'a> SimPlan<'a> {
                 Ok(kern)
             }
             PlanKind::Fractional { family, .. } => {
-                let ModelRef::Fractional(fsys) = self.model else {
+                let SimModel::Fractional(fsys) = self.model.as_ref() else {
                     unreachable!("fractional plans are built on fractional models");
                 };
                 let mut st = self.windowed.lock().expect("window state poisoned");
@@ -1505,9 +1537,9 @@ impl<'a> SimPlan<'a> {
     /// model's own for [`PlanKind::MultiTerm`], the owned conversion for
     /// [`PlanKind::OwnedMultiTerm`].
     fn mt_ref(&self) -> &MultiTermSystem {
-        match (&self.kind, self.model) {
+        match (&self.kind, self.model.as_ref()) {
             (PlanKind::OwnedMultiTerm { mt, .. }, _) => mt,
-            (_, ModelRef::MultiTerm(mt)) => mt,
+            (_, SimModel::MultiTerm(mt)) => mt,
             _ => unreachable!("mt_ref on a non-multi-term plan kind"),
         }
     }
@@ -1573,7 +1605,7 @@ impl<'a> SimPlan<'a> {
         let p = self.model.num_inputs();
         match kernel {
             WindowKernel::Linear { lu, sigma } => {
-                let ModelRef::Linear(sys) = self.model else {
+                let SimModel::Linear(sys) = self.model.as_ref() else {
                     unreachable!("linear window kernels are built on linear models");
                 };
                 let PlanKind::Linear { accumulator, .. } = &self.kind else {
@@ -1670,7 +1702,7 @@ impl<'a> SimPlan<'a> {
                 }
             }
             WindowKernel::Fractional { lu, rho } => {
-                let ModelRef::Fractional(fsys) = self.model else {
+                let SimModel::Fractional(fsys) = self.model.as_ref() else {
                     unreachable!("fractional window kernels are built on fractional models");
                 };
                 let sys = fsys.system();
@@ -1777,9 +1809,9 @@ impl<'a> SimPlan<'a> {
         // The dense oracle consumes the raw coefficient matrices; only
         // the sweeping kinds need the lane interleave.
         if let PlanKind::Kron { factors, mt } = &self.kind {
-            let mt = match (mt, self.model) {
+            let mt = match (mt, self.model.as_ref()) {
                 (Some(owned), _) => owned,
-                (None, ModelRef::MultiTerm(m)) => m,
+                (None, SimModel::MultiTerm(m)) => m,
                 _ => unreachable!("kron plans carry or reference a multi-term form"),
             };
             return opm_par::par_map(threads, us, |u| {
@@ -1812,7 +1844,7 @@ impl<'a> SimPlan<'a> {
                 accumulator,
                 ..
             } => {
-                let ModelRef::Linear(sys) = self.model else {
+                let SimModel::Linear(sys) = self.model.as_ref() else {
                     unreachable!("linear plan on a linear model");
                 };
                 // Whole-horizon solves are the one-window special case:
@@ -1830,13 +1862,13 @@ impl<'a> SimPlan<'a> {
                 sweep_linear_block(sys, lu, *sigma, &c_force, *accumulator, &lc)
             }
             PlanKind::Fractional { rho, lu, .. } => {
-                let ModelRef::Fractional(fsys) = self.model else {
+                let SimModel::Fractional(fsys) = self.model.as_ref() else {
                     unreachable!("fractional plan on a fractional model");
                 };
                 sweep_fractional_block(fsys.system(), lu, rho, &lc, &[])
             }
             PlanKind::MultiTerm(plan) => {
-                let ModelRef::MultiTerm(mt) = self.model else {
+                let SimModel::MultiTerm(mt) = self.model.as_ref() else {
                     unreachable!("multi-term plan on a multi-term model");
                 };
                 sweep_multiterm_block(mt, plan, &lc)
@@ -1850,13 +1882,13 @@ impl<'a> SimPlan<'a> {
     }
 
     fn output_map(&self) -> OutRef<'_> {
-        match (&self.kind, self.model) {
+        match (&self.kind, self.model.as_ref()) {
             (PlanKind::OwnedMultiTerm { mt, .. }, _) => OutRef::Mt(mt),
             (PlanKind::Kron { mt: Some(mt), .. }, _) => OutRef::Mt(mt),
-            (_, ModelRef::Linear(sys)) => OutRef::Sys(sys),
-            (_, ModelRef::Fractional(f)) => OutRef::Sys(f.system()),
-            (_, ModelRef::MultiTerm(mt)) => OutRef::Mt(mt),
-            (_, ModelRef::SecondOrder(_)) => {
+            (_, SimModel::Linear(sys)) => OutRef::Sys(sys),
+            (_, SimModel::Fractional(f)) => OutRef::Sys(f.system()),
+            (_, SimModel::MultiTerm(mt)) => OutRef::Mt(mt),
+            (_, SimModel::SecondOrder(_)) => {
                 unreachable!("second-order plans own their multi-term conversion")
             }
         }

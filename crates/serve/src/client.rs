@@ -1,0 +1,131 @@
+//! A tiny blocking HTTP/1.1 client for the daemon — what the e2e
+//! tests, the `serve_bench` load generator and `examples/serve_client`
+//! speak. Understands exactly the server's dialect: `Content-Length`
+//! bodies and `Transfer-Encoding: chunked` (decoded transparently, so
+//! a streamed NDJSON response arrives as one body to split on
+//! newlines).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A decoded response.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// The body, chunked transfer already decoded.
+    pub body: String,
+}
+
+impl Response {
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    /// [`opm_core::json::JsonError`] when the body is not JSON.
+    pub fn json(&self) -> Result<opm_core::json::Json, opm_core::json::JsonError> {
+        opm_core::json::Json::parse(&self.body)
+    }
+}
+
+/// Issues one request and reads the full response.
+///
+/// # Errors
+/// I/O errors, or `InvalidData` when the response framing is broken.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+/// As [`request`].
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> std::io::Result<Response> {
+    request(addr, "POST", path, Some(body))
+}
+
+/// `GET path`.
+///
+/// # Errors
+/// As [`request`].
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
+    request(addr, "GET", path, None)
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("unparsable status line"))?;
+
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            } else if name.eq_ignore_ascii_case("transfer-encoding")
+                && value.trim().eq_ignore_ascii_case("chunked")
+            {
+                chunked = true;
+            }
+        }
+    }
+
+    let mut body = Vec::new();
+    if chunked {
+        loop {
+            let mut size_line = String::new();
+            reader.read_line(&mut size_line)?;
+            let size = usize::from_str_radix(size_line.trim(), 16)
+                .map_err(|_| bad("unparsable chunk size"))?;
+            if size == 0 {
+                let mut crlf = String::new();
+                let _ = reader.read_line(&mut crlf); // trailing CRLF
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            reader.read_exact(&mut chunk)?;
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            reader.read_exact(&mut crlf)?;
+        }
+    } else if let Some(n) = content_length {
+        body = vec![0u8; n];
+        reader.read_exact(&mut body)?;
+    } else {
+        // Connection: close framing — read until EOF.
+        reader.read_to_end(&mut body)?;
+    }
+
+    String::from_utf8(body)
+        .map(|body| Response { status, body })
+        .map_err(|_| bad("response body is not UTF-8"))
+}

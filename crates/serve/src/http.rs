@@ -1,0 +1,193 @@
+//! Minimal HTTP/1.1 on a `TcpStream` — exactly the slice the daemon
+//! needs, in the spirit of the tree's other std-only shims.
+//!
+//! Supported on the way in: a request line, headers, and either a
+//! `Content-Length` body (capped) or no body. On the way out: fixed
+//! responses with `Content-Length`, or a [`ChunkedWriter`] for
+//! streaming NDJSON. Every connection is `Connection: close` — one
+//! request per connection keeps the framing trivial and is plenty for
+//! a load generator that opens thousands of short connections.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component of the request target (query strings are not
+    /// interpreted).
+    pub path: String,
+    /// The body, when `Content-Length` announced one.
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each variant maps onto the HTTP
+/// status the server answers with.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Socket closed or unreadable before a full request arrived.
+    Io(std::io::Error),
+    /// Request line / header syntax error → 400.
+    Malformed(&'static str),
+    /// A body-bearing method without `Content-Length` → 411.
+    LengthRequired,
+    /// Announced body exceeds the server's cap → 413.
+    TooLarge,
+}
+
+impl From<std::io::Error> for RecvError {
+    fn from(e: std::io::Error) -> Self {
+        RecvError::Io(e)
+    }
+}
+
+/// Reads one request, enforcing `max_body` on announced body sizes.
+///
+/// # Errors
+/// [`RecvError`] describing which HTTP status to answer with.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RecvError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    if line.is_empty() {
+        return Err(RecvError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(RecvError::Malformed("empty request line"))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or(RecvError::Malformed("request line has no target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(RecvError::Malformed("request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RecvError::Malformed("unsupported HTTP version"));
+    }
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        reader.read_line(&mut header)?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(RecvError::Malformed("header without a colon"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            let n: usize = value
+                .trim()
+                .parse()
+                .map_err(|_| RecvError::Malformed("unparsable Content-Length"))?;
+            content_length = Some(n);
+        }
+    }
+
+    let body = match content_length {
+        Some(n) if n > max_body => return Err(RecvError::TooLarge),
+        Some(n) => {
+            let mut body = vec![0u8; n];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None if method == "POST" || method == "PUT" => return Err(RecvError::LengthRequired),
+        None => Vec::new(),
+    };
+
+    Ok(Request { method, path, body })
+}
+
+/// The reason phrase for the status codes the daemon uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete (non-streaming) response and flushes.
+///
+/// # Errors
+/// I/O errors from the socket.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        content_type,
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A `Transfer-Encoding: chunked` response writer: each [`Self::chunk`]
+/// is flushed to the wire immediately, which is what lets `/stream`
+/// deliver window blocks as they are solved.
+pub struct ChunkedWriter<'s> {
+    stream: &'s mut TcpStream,
+}
+
+impl<'s> ChunkedWriter<'s> {
+    /// Writes the status line + headers and returns the chunk writer.
+    ///
+    /// # Errors
+    /// I/O errors from the socket.
+    pub fn start(
+        stream: &'s mut TcpStream,
+        status: u16,
+        content_type: &str,
+    ) -> std::io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            status,
+            reason(status),
+            content_type,
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Sends one chunk and flushes it.
+    ///
+    /// # Errors
+    /// I/O errors from the socket.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the stream
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    ///
+    /// # Errors
+    /// I/O errors from the socket.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}

@@ -1,0 +1,442 @@
+//! **opm-serve** — a multi-tenant simulation daemon over the session
+//! API, with a keyed [`PlanCache`] so repeated plan requests skip
+//! symbolic *and* numeric factorization entirely.
+//!
+//! Hermetic and std-only: the HTTP/1.1 framing ([`http`]) and the JSON
+//! dialect ([`api`], backed by [`opm_core::json`]) are in-tree, in the
+//! spirit of the workspace's `opm-rng`/criterion shims. Endpoints:
+//!
+//! | Endpoint | Body | Response |
+//! |---|---|---|
+//! | `POST /solve` | model/netlist + scenario batch | results per scenario |
+//! | `POST /sweep` | model/netlist + `levels` | one result per drive level |
+//! | `POST /stream` | model/netlist + `windows` | chunked NDJSON, one line per window block |
+//! | `GET /metrics` | — | cache counters, per-plan profiles, latencies |
+//!
+//! Every request that needs a plan goes through one shared
+//! [`PlanCache`] keyed by [`opm_core::cache::plan_key`]; a repeated
+//! identical request is a **hit** — pure solve work against the interned
+//! `Arc<SimPlan>`, concurrently with every other connection (plans are
+//! `Sync`; batch solves fan out over `opm-par` worker threads
+//! internally). `/metrics` exposes the per-plan
+//! [`opm_core::FactorProfile`], so N identical solve requests visibly
+//! cost 1 symbolic + 1 numeric factorization total.
+//!
+//! ```no_run
+//! let server = opm_serve::spawn(opm_serve::ServerConfig::default()).unwrap();
+//! println!("listening on {}", server.addr());
+//! // … point clients at it …
+//! server.shutdown();
+//! ```
+
+pub mod api;
+pub mod client;
+pub mod http;
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use opm_core::json::Json;
+use opm_core::{OpmError, PlanCache};
+
+use api::{error_json, ApiError, SimRequest};
+use http::{ChunkedWriter, RecvError, Request};
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Plans interned at once (LRU beyond this).
+    pub cache_capacity: usize,
+    /// Request-body cap in bytes; beyond it the daemon answers 413.
+    pub max_body: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            cache_capacity: 32,
+            max_body: 8 << 20,
+        }
+    }
+}
+
+/// Request-latency counters (microseconds), one instance per endpoint.
+#[derive(Debug, Default)]
+struct Latency {
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Latency {
+    fn record(&self, micros: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    fn to_json(&self) -> Json {
+        let count = self.count.load(Ordering::Relaxed);
+        let total = self.total_micros.load(Ordering::Relaxed);
+        Json::Obj(vec![
+            ("count".into(), Json::Int(count as i64)),
+            ("total_micros".into(), Json::Int(total as i64)),
+            (
+                "max_micros".into(),
+                Json::Int(self.max_micros.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "mean_micros".into(),
+                Json::Num(if count == 0 {
+                    0.0
+                } else {
+                    total as f64 / count as f64
+                }),
+            ),
+        ])
+    }
+}
+
+/// State shared by every connection thread.
+struct ServerState {
+    cache: PlanCache,
+    max_body: usize,
+    solve: Latency,
+    sweep: Latency,
+    stream: Latency,
+    metrics: Latency,
+    errors: AtomicU64,
+}
+
+/// A running daemon; dropping it (or calling [`Server::shutdown`])
+/// stops the accept loop.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Binds and starts serving on a background accept loop,
+/// thread-per-connection.
+///
+/// # Errors
+/// I/O errors from binding the listener.
+pub fn spawn(config: ServerConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let state = Arc::new(ServerState {
+        cache: PlanCache::new(config.cache_capacity),
+        max_body: config.max_body,
+        solve: Latency::default(),
+        sweep: Latency::default(),
+        stream: Latency::default(),
+        metrics: Latency::default(),
+        errors: AtomicU64::new(0),
+    });
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_thread = std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            if accept_stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = conn else { continue };
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                handle_connection(&mut stream, &state);
+            });
+        }
+    });
+
+    Ok(Server {
+        addr,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl Server {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    /// In-flight request threads finish on their own.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop_accepting();
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, state: &ServerState) {
+    let req = match http::read_request(stream, state.max_body) {
+        Ok(req) => req,
+        Err(e) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            let (status, msg) = match e {
+                RecvError::Io(_) => return, // peer went away; nothing to answer
+                RecvError::Malformed(m) => (400, m),
+                RecvError::LengthRequired => (411, "Content-Length is required"),
+                RecvError::TooLarge => (413, "request body exceeds the server cap"),
+            };
+            let _ = http::write_response(
+                stream,
+                status,
+                "application/json",
+                error_json(msg).as_bytes(),
+            );
+            return;
+        }
+    };
+
+    match route(stream, &req, state) {
+        Ok(()) => {}
+        Err(Reply { status, body }) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            let _ = http::write_response(stream, status, "application/json", body.as_bytes());
+        }
+    }
+}
+
+/// An error reply yet to be written.
+struct Reply {
+    status: u16,
+    body: String,
+}
+
+impl From<ApiError> for Reply {
+    fn from(e: ApiError) -> Self {
+        Reply {
+            status: e.status,
+            body: error_json(&e.msg),
+        }
+    }
+}
+
+impl From<OpmError> for Reply {
+    fn from(e: OpmError) -> Self {
+        // Solver rejections are the caller's fault (bad model, bad
+        // options) → 400.
+        Reply {
+            status: 400,
+            body: error_json(&e.to_string()),
+        }
+    }
+}
+
+fn route(stream: &mut TcpStream, req: &Request, state: &ServerState) -> Result<(), Reply> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/solve") => handle_solve(stream, req, state),
+        ("POST", "/sweep") => handle_sweep(stream, req, state),
+        ("POST", "/stream") => handle_stream(stream, req, state),
+        ("GET", "/metrics") => handle_metrics(stream, state),
+        (_, "/solve" | "/sweep" | "/stream" | "/metrics") => Err(Reply {
+            status: 405,
+            body: error_json("method not allowed for this endpoint"),
+        }),
+        _ => Err(Reply {
+            status: 404,
+            body: error_json("no such endpoint"),
+        }),
+    }
+}
+
+/// Latency counters are recorded **before** the final bytes go out, so
+/// a client that has read its response is guaranteed to see its own
+/// request in a subsequent `/metrics` — only *successful* requests are
+/// timed; failures land in the `errors` counter instead.
+struct Timer<'l> {
+    latency: &'l Latency,
+    started: Instant,
+}
+
+impl Timer<'_> {
+    fn start(latency: &Latency) -> Timer<'_> {
+        Timer {
+            latency,
+            started: Instant::now(),
+        }
+    }
+
+    fn record(self) {
+        self.latency
+            .record(self.started.elapsed().as_micros() as u64);
+    }
+}
+
+fn plan_header(cache_hit: bool, plan: &opm_core::SimPlan) -> Vec<(String, Json)> {
+    vec![
+        (
+            "cache".into(),
+            Json::str(if cache_hit { "hit" } else { "miss" }),
+        ),
+        ("profile".into(), plan.factor_profile().to_json()),
+    ]
+}
+
+fn handle_solve(stream: &mut TcpStream, req: &Request, state: &ServerState) -> Result<(), Reply> {
+    let timer = Timer::start(&state.solve);
+    let parsed = SimRequest::parse(&req.body)?;
+    let stimuli = parsed.stimuli()?;
+    let (plan, hit) = state.cache.get_or_plan_traced(&parsed.sim, &parsed.opts)?;
+    let results = match parsed.windows {
+        Some(w) => plan.solve_windowed_batch(&stimuli, w)?,
+        None => plan.solve_batch(&stimuli)?,
+    };
+    let mut doc = plan_header(hit, &plan);
+    doc.push((
+        "results".into(),
+        Json::Arr(results.iter().map(api::result_json).collect()),
+    ));
+    let body = Json::Obj(doc).to_string();
+    timer.record();
+    http::write_response(stream, 200, "application/json", body.as_bytes()).map_err(io_reply)?;
+    Ok(())
+}
+
+fn handle_sweep(stream: &mut TcpStream, req: &Request, state: &ServerState) -> Result<(), Reply> {
+    let timer = Timer::start(&state.sweep);
+    let parsed = SimRequest::parse(&req.body)?;
+    let levels = parsed
+        .levels
+        .clone()
+        .ok_or_else(|| ApiError::bad("`levels` (an array of numbers) is required for /sweep"))?;
+    let (plan, hit) = state.cache.get_or_plan_traced(&parsed.sim, &parsed.opts)?;
+    let p = parsed.sim.model().num_inputs();
+    let results = plan.sweep(&levels, |&v| {
+        opm_waveform::InputSet::new(vec![opm_waveform::Waveform::Dc(v); p])
+    })?;
+    let mut doc = plan_header(hit, &plan);
+    doc.push(("levels".into(), Json::num_arr(&levels)));
+    doc.push((
+        "results".into(),
+        Json::Arr(results.iter().map(api::result_json).collect()),
+    ));
+    let body = Json::Obj(doc).to_string();
+    timer.record();
+    http::write_response(stream, 200, "application/json", body.as_bytes()).map_err(io_reply)?;
+    Ok(())
+}
+
+fn handle_stream(stream: &mut TcpStream, req: &Request, state: &ServerState) -> Result<(), Reply> {
+    let timer = Timer::start(&state.stream);
+    let parsed = SimRequest::parse(&req.body)?;
+    let windows = parsed
+        .windows
+        .ok_or_else(|| ApiError::bad("`windows` (a positive integer) is required for /stream"))?;
+    let stimuli = parsed.stimuli()?;
+    let Some(inputs) = stimuli.first() else {
+        return Err(ApiError::bad("/stream takes exactly one scenario").into());
+    };
+    if stimuli.len() > 1 {
+        return Err(ApiError::bad("/stream takes exactly one scenario").into());
+    }
+    let (plan, hit) = state.cache.get_or_plan_traced(&parsed.sim, &parsed.opts)?;
+
+    // Headers go out before the solve starts; each window block is
+    // flushed as its chunk the moment it is solved.
+    let mut writer = ChunkedWriter::start(stream, 200, "application/x-ndjson").map_err(io_reply)?;
+    let mut sink_err: Option<std::io::Error> = None;
+    let final_state = plan.solve_streaming(inputs, windows, |block| {
+        if sink_err.is_some() {
+            return;
+        }
+        let mut line = Json::Obj(vec![
+            ("window".into(), Json::Int(block.window as i64)),
+            ("result".into(), api::result_json(&block.result)),
+            ("end_state".into(), Json::num_arr(&block.end_state)),
+        ])
+        .to_string();
+        line.push('\n');
+        if let Err(e) = writer.chunk(line.as_bytes()) {
+            sink_err = Some(e);
+        }
+    })?;
+    if sink_err.is_some() {
+        return Ok(()); // peer hung up mid-stream; nothing left to say
+    }
+    let mut doc = plan_header(hit, &plan);
+    doc.push(("done".into(), Json::Bool(true)));
+    doc.push(("final_state".into(), Json::num_arr(&final_state)));
+    let mut line = Json::Obj(doc).to_string();
+    line.push('\n');
+    writer.chunk(line.as_bytes()).map_err(io_reply)?;
+    timer.record();
+    writer.finish().map_err(io_reply)?;
+    Ok(())
+}
+
+fn handle_metrics(stream: &mut TcpStream, state: &ServerState) -> Result<(), Reply> {
+    let timer = Timer::start(&state.metrics);
+    let plans = state
+        .cache
+        .plans()
+        .into_iter()
+        .map(|((k0, k1), plan)| {
+            Json::Obj(vec![
+                ("key".into(), Json::str(format!("{k0:016x}{k1:016x}"))),
+                ("strategy".into(), Json::str(plan.strategy_name())),
+                ("resolution".into(), Json::Int(plan.resolution() as i64)),
+                ("order".into(), Json::Int(plan.order() as i64)),
+                ("profile".into(), plan.factor_profile().to_json()),
+            ])
+        })
+        .collect();
+    let doc = Json::Obj(vec![
+        ("plan_cache".into(), state.cache.stats().to_json()),
+        ("plans".into(), Json::Arr(plans)),
+        (
+            "requests".into(),
+            Json::Obj(vec![
+                ("solve".into(), state.solve.to_json()),
+                ("sweep".into(), state.sweep.to_json()),
+                ("stream".into(), state.stream.to_json()),
+                ("metrics".into(), state.metrics.to_json()),
+                (
+                    "errors".into(),
+                    Json::Int(state.errors.load(Ordering::Relaxed) as i64),
+                ),
+            ]),
+        ),
+    ]);
+    timer.record();
+    http::write_response(stream, 200, "application/json", doc.to_string().as_bytes())
+        .map_err(io_reply)?;
+    // Belt and braces: some clients half-close early; make sure the
+    // payload is on the wire before the thread exits.
+    let _ = stream.flush();
+    Ok(())
+}
+
+fn io_reply(_: std::io::Error) -> Reply {
+    // The socket is gone; the reply cannot be delivered anyway.
+    Reply {
+        status: 500,
+        body: String::new(),
+    }
+}

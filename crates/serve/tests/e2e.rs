@@ -1,0 +1,253 @@
+//! End-to-end daemon tests over real sockets: round-trips against a
+//! pinned netlist, cache-hit semantics visible in `/metrics`, streaming
+//! ≡ whole-solve identity, and the HTTP error paths.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use opm_core::json::Json;
+use opm_core::{Simulation, SolveOptions};
+use opm_serve::{client, spawn, ServerConfig};
+
+/// The pinned circuit every test speaks: the facade's 1 kΩ / 1 µF
+/// low-pass.
+const NETLIST: &str = "* RC low-pass\nV1 in 0 DC 5\nR1 in out 1k\nC1 out 0 1u\n.end";
+
+fn solve_body() -> String {
+    format!(
+        r#"{{"netlist": {netlist:?}, "probes": ["out"], "horizon": 5e-3,
+            "options": {{"resolution": 128}},
+            "scenarios": [[{{"kind": "step", "level": 5.0}}]]}}"#,
+        netlist = NETLIST
+    )
+}
+
+fn outputs_of(result: &Json) -> Vec<f64> {
+    result.get("outputs").unwrap().as_array().unwrap()[0]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect()
+}
+
+/// `/solve` round-trips: the wire result equals an in-process solve
+/// bit-for-bit ({:e} floats are shortest-round-trip), and the second
+/// identical request is a hit.
+#[test]
+fn solve_round_trip_and_cache_hit() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let body = solve_body();
+
+    let cold = client::post(server.addr(), "/solve", &body).unwrap();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let cold_doc = cold.json().unwrap();
+    assert_eq!(cold_doc.get("cache").unwrap().as_str(), Some("miss"));
+
+    let warm = client::post(server.addr(), "/solve", &body).unwrap();
+    let warm_doc = warm.json().unwrap();
+    assert_eq!(warm_doc.get("cache").unwrap().as_str(), Some("hit"));
+
+    // Reference solve in-process.
+    let sim = Simulation::from_netlist(NETLIST, &["out"])
+        .unwrap()
+        .horizon(5e-3);
+    let plan = sim.plan(&SolveOptions::new().resolution(128)).unwrap();
+    let want = plan
+        .solve(&opm_waveform::InputSet::new(vec![
+            opm_waveform::Waveform::step(0.0, 5.0),
+        ]))
+        .unwrap();
+
+    for doc in [&cold_doc, &warm_doc] {
+        let got = outputs_of(&doc.get("results").unwrap().as_array().unwrap()[0]);
+        assert_eq!(got.len(), 128);
+        for (g, w) in got.iter().zip(want.output_row(0)) {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "wire result must be bit-identical"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+/// N identical requests cost one factorization total, visible in
+/// `/metrics` — even when the N requests race from 4 threads.
+#[test]
+fn n_requests_one_factorization() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let body = format!(
+        r#"{{"netlist": {NETLIST:?}, "probes": ["out"], "horizon": 5e-3,
+            "options": {{"resolution": 128}}, "windows": 4,
+            "scenarios": [[{{"kind": "step", "level": 5.0}}]]}}"#
+    );
+
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..2 {
+                    let r = client::post(server.addr(), "/solve", &body).unwrap();
+                    assert_eq!(r.status, 200, "{}", r.body);
+                }
+            });
+        }
+    });
+
+    let metrics = client::get(server.addr(), "/metrics").unwrap();
+    assert_eq!(metrics.status, 200);
+    let doc = metrics.json().unwrap();
+    let cache = doc.get("plan_cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_usize(), Some(1));
+    assert_eq!(cache.get("hits").unwrap().as_usize(), Some(7));
+
+    // 8 windowed solve requests, 1 symbolic + 1 numeric factorization.
+    let plans = doc.get("plans").unwrap().as_array().unwrap();
+    assert_eq!(plans.len(), 1);
+    let profile = plans[0].get("profile").unwrap();
+    assert_eq!(profile.get("num_symbolic").unwrap().as_usize(), Some(1));
+    assert_eq!(profile.get("num_numeric").unwrap().as_usize(), Some(1));
+
+    let solve = doc.get("requests").unwrap().get("solve").unwrap();
+    assert_eq!(solve.get("count").unwrap().as_usize(), Some(8));
+    server.shutdown();
+}
+
+/// `/sweep` solves one scenario per drive level against one plan.
+#[test]
+fn sweep_round_trip() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let body = format!(
+        r#"{{"netlist": {NETLIST:?}, "probes": ["out"], "horizon": 5e-3,
+            "options": {{"resolution": 128}}, "levels": [1.0, 2.0, 4.0]}}"#
+    );
+    let r = client::post(server.addr(), "/sweep", &body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = r.json().unwrap();
+    let results = doc.get("results").unwrap().as_array().unwrap();
+    assert_eq!(results.len(), 3);
+    // DC drives settle monotonically with the level.
+    let finals: Vec<f64> = results
+        .iter()
+        .map(|r| *outputs_of(r).last().unwrap())
+        .collect();
+    assert!(finals[0] < finals[1] && finals[1] < finals[2]);
+    server.shutdown();
+}
+
+/// Streaming NDJSON: concatenating the window blocks reproduces the
+/// whole windowed solve bit-for-bit, and the final line carries the
+/// plan profile.
+#[test]
+fn streaming_concat_equals_whole_solve() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let windows = 4;
+    let stream_body = format!(
+        r#"{{"netlist": {NETLIST:?}, "probes": ["out"], "horizon": 5e-3,
+            "options": {{"resolution": 128}}, "windows": {windows},
+            "scenarios": [[{{"kind": "step", "level": 5.0}}]]}}"#
+    );
+    let r = client::post(server.addr(), "/stream", &stream_body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+
+    let lines: Vec<Json> = r.body.lines().map(|l| Json::parse(l).unwrap()).collect();
+    assert_eq!(lines.len(), windows + 1, "one line per window + done");
+
+    let mut concat: Vec<f64> = Vec::new();
+    for (w, line) in lines[..windows].iter().enumerate() {
+        assert_eq!(line.get("window").unwrap().as_usize(), Some(w));
+        concat.extend(outputs_of(line.get("result").unwrap()));
+    }
+    let done = &lines[windows];
+    assert_eq!(done.get("done").unwrap().as_bool(), Some(true));
+    assert!(done.get("final_state").is_some());
+
+    // The same request through /solve (windowed batch path).
+    let whole = client::post(server.addr(), "/solve", &stream_body).unwrap();
+    let whole_doc = whole.json().unwrap();
+    let whole_out = outputs_of(&whole_doc.get("results").unwrap().as_array().unwrap()[0]);
+    assert_eq!(concat.len(), whole_out.len());
+    for (c, w) in concat.iter().zip(&whole_out) {
+        assert_eq!(c.to_bits(), w.to_bits(), "stream concat ≡ whole solve");
+    }
+    server.shutdown();
+}
+
+/// The HTTP error paths answer with proper status codes and a JSON
+/// `error` body.
+#[test]
+fn error_paths() {
+    let server = spawn(ServerConfig {
+        max_body: 512,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    // Malformed JSON → 400.
+    let r = client::post(server.addr(), "/solve", "{not json").unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.json().unwrap().get("error").is_some());
+
+    // Valid JSON, bad request → 400 naming the field.
+    let r = client::post(server.addr(), "/solve", r#"{"horizon": 1.0}"#).unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("netlist"), "{}", r.body);
+
+    // Unknown endpoint → 404; wrong method → 405.
+    let r = client::post(server.addr(), "/nope", "{}").unwrap();
+    assert_eq!(r.status, 404);
+    let r = client::get(server.addr(), "/solve").unwrap();
+    assert_eq!(r.status, 405);
+
+    // Oversized body → 413.
+    let big = format!(r#"{{"pad": "{}"}}"#, "x".repeat(1024));
+    let r = client::post(server.addr(), "/solve", &big).unwrap();
+    assert_eq!(r.status, 413);
+
+    // POST without Content-Length → 411 (raw socket; the client helper
+    // always sends one).
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"POST /solve HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 411"), "{reply}");
+
+    server.shutdown();
+}
+
+/// A raw-triplet model request (no netlist) solves and hits like any
+/// other.
+#[test]
+fn raw_model_entry() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    // ẋ = −x + u, y = x.
+    let body = r#"{
+        "model": {"n": 1, "inputs": 1, "outputs": 1,
+                  "e": [[0, 0, 1.0]], "a": [[0, 0, -1.0]],
+                  "b": [[0, 0, 1.0]], "c": [[0, 0, 1.0]]},
+        "horizon": 1.0, "options": {"resolution": 256},
+        "scenarios": [[{"kind": "dc", "value": 1.0}]]
+    }"#;
+    let r = client::post(server.addr(), "/solve", body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = r.json().unwrap();
+    let out = outputs_of(&doc.get("results").unwrap().as_array().unwrap()[0]);
+    // Step response of a unit lag: 1 − e^{−t} at the last midpoint.
+    let t = 1.0 - 0.5 / out.len() as f64;
+    let want = 1.0 - (-t).exp();
+    assert!((out.last().unwrap() - want).abs() < 1e-2);
+
+    // A model request without scenarios has no fallback stimulus → 400.
+    let r = client::post(
+        server.addr(),
+        "/solve",
+        r#"{"model": {"n": 1, "inputs": 1, "e": [[0,0,1.0]], "a": [[0,0,-1.0]],
+             "b": [[0,0,1.0]]}, "horizon": 1.0, "options": {"resolution": 64}}"#,
+    )
+    .unwrap();
+    assert_eq!(r.status, 400);
+    assert!(r.body.contains("scenarios"), "{}", r.body);
+    server.shutdown();
+}

@@ -1,0 +1,97 @@
+//! Serve a simulation daemon and talk to it over a real socket: boot
+//! `opm-serve` in-process, POST the same `/solve` request twice (the
+//! second is a plan-cache hit), run a drive-level `/sweep`, then read
+//! `/metrics` to see the cache economy — one symbolic + one numeric
+//! factorization no matter how many requests hit the plan.
+//!
+//! Run with `cargo run --example serve_client`.
+
+use opm::serve::{client, spawn, ServerConfig};
+use opm::Json;
+
+const BODY: &str = r#"{
+    "netlist": "* RC low-pass\nV1 in 0 DC 5\nR1 in out 1k\nC1 out 0 1u\n.end",
+    "probes": ["out"],
+    "horizon": 5e-3,
+    "options": {"resolution": 128},
+    "windows": 4,
+    "scenarios": [[{"kind": "step", "level": 5.0}]]
+}"#;
+
+fn main() {
+    let server = spawn(ServerConfig::default()).expect("bind daemon");
+    let addr = server.addr();
+    println!("daemon listening on {addr}");
+
+    // First request: a miss — the daemon assembles the netlist, plans
+    // and factors, then interns the Arc<SimPlan>.
+    let cold = client::post(addr, "/solve", BODY).expect("cold /solve");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    let cold_doc = cold.json().expect("JSON body");
+    println!(
+        "cold /solve  → cache {}  ({} samples)",
+        cold_doc.get("cache").unwrap().as_str().unwrap(),
+        last_row(&cold_doc).len(),
+    );
+
+    // Same request again: a hit — no validation, no ordering, no
+    // factorization, bit-identical samples.
+    let warm = client::post(addr, "/solve", BODY).expect("warm /solve");
+    let warm_doc = warm.json().expect("JSON body");
+    println!(
+        "warm /solve  → cache {}",
+        warm_doc.get("cache").unwrap().as_str().unwrap()
+    );
+    let (a, b) = (last_row(&cold_doc), last_row(&warm_doc));
+    assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    println!("warm result is bit-identical to cold");
+
+    // A drive-level study through the same cached plan.
+    let sweep_body = r#"{
+        "netlist": "* RC low-pass\nV1 in 0 DC 5\nR1 in out 1k\nC1 out 0 1u\n.end",
+        "probes": ["out"],
+        "horizon": 5e-3,
+        "options": {"resolution": 128},
+        "levels": [1.0, 2.0, 5.0]
+    }"#;
+    let sweep = client::post(addr, "/sweep", sweep_body).expect("/sweep");
+    assert_eq!(sweep.status, 200, "{}", sweep.body);
+    let sweep_doc = sweep.json().expect("JSON body");
+    let runs = sweep_doc.get("results").unwrap().as_array().unwrap().len();
+    println!("/sweep       → {runs} drive levels through one plan");
+
+    // The cache economy, as any operator would read it.
+    let metrics = client::get(addr, "/metrics").expect("/metrics");
+    let mdoc = metrics.json().expect("JSON body");
+    let cache = mdoc.get("plan_cache").unwrap();
+    let plans = mdoc.get("plans").unwrap().as_array().unwrap();
+    let profile = plans[0].get("profile").unwrap();
+    println!(
+        "/metrics     → hits {}, misses {}, {} plan(s) resident",
+        cache.get("hits").unwrap().as_usize().unwrap(),
+        cache.get("misses").unwrap().as_usize().unwrap(),
+        plans.len(),
+    );
+    println!(
+        "plan profile → {} symbolic + {} numeric factorization(s) across all requests",
+        profile.get("num_symbolic").unwrap().as_usize().unwrap(),
+        profile.get("num_numeric").unwrap().as_usize().unwrap(),
+    );
+    assert_eq!(profile.get("num_symbolic").unwrap().as_usize(), Some(1));
+
+    server.shutdown();
+    println!("OK — N requests, one factorization.");
+}
+
+fn last_row(doc: &Json) -> Vec<f64> {
+    doc.get("results").unwrap().as_array().unwrap()[0]
+        .get("outputs")
+        .unwrap()
+        .as_array()
+        .unwrap()[0]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|v| v.as_f64().unwrap())
+        .collect()
+}

@@ -79,14 +79,15 @@ pub use opm_fft as fft;
 pub use opm_fracnum as fracnum;
 pub use opm_linalg as linalg;
 pub use opm_par as par;
+pub use opm_serve as serve;
 pub use opm_sparse as sparse;
 pub use opm_system as system;
 pub use opm_transient as transient;
 pub use opm_waveform as waveform;
 
 pub use opm_core::{
-    FactorProfile, Method, OpmResult, Problem, SimModel, SimPlan, Simulation, SolveOptions,
-    WindowBlock, WindowedOptions,
+    CacheStats, FactorProfile, Json, Method, OpmResult, PlanCache, Problem, SimModel, SimPlan,
+    Simulation, SolveOptions, WindowBlock, WindowedOptions,
 };
 
 /// The facade-wide error: everything a netlist → plan → solve pipeline
