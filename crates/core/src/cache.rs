@@ -28,23 +28,38 @@
 //!
 //! # Concurrency & the single-factorization invariant
 //!
-//! Lookups and insertions go through one mutex; **plans are built while
-//! the mutex is held**. That serializes cold builds, which is
-//! deliberate: when N identical requests race on a cold cache, exactly
-//! one performs the symbolic + numeric factorization and the other
-//! N−1 become hits on the finished `Arc` — the per-plan
-//! [`crate::FactorProfile`] records `num_symbolic == 1` and
-//! `num_numeric == 1` no matter the concurrency. Hits only touch the
-//! mutex long enough to bump an LRU tick; the solves they fan out to
-//! run fully in parallel because `SimPlan` is `Sync`.
+//! Lookups and insertions go through one short-lived mutex; **plans are
+//! built on a per-key latch outside it**. A cold request claims its key
+//! by inserting a building placeholder, releases the global lock, and
+//! factors the plan; requests racing on the *same* key wait on that
+//! latch and receive the finished `Arc` — exactly one performs the
+//! symbolic + numeric factorization and the other N−1 become hits (the
+//! per-plan [`crate::FactorProfile`] records `num_symbolic == 1` and
+//! `num_numeric == 1` no matter the concurrency). Requests for *other*
+//! keys are untouched: one pathological model that takes seconds (or
+//! panics) mid-build can no longer stall hits on every other plan,
+//! which is what a multi-tenant server needs to stay live.
+//!
+//! # Fault tolerance
+//!
+//! Every internal lock recovers from poisoning
+//! ([`std::sync::PoisonError::into_inner`] — the guarded state is a
+//! plain LRU list, always structurally valid), and a build that
+//! **panics** unwinds cleanly: the placeholder is removed, latch
+//! waiters receive an error, the panic resumes on the builder's thread,
+//! and the next request for that key simply rebuilds. A build that
+//! returns `Err` behaves the same — failures are never cached.
 //!
 //! # Eviction
 //!
 //! Least-recently-used, over a fixed capacity set at construction. The
 //! cache stores `Arc`s, so evicting a plan mid-flight is safe — in-use
-//! plans are freed when their last request completes.
+//! plans are freed when their last request completes. In-progress
+//! builds are never evicted (the cache may transiently hold more than
+//! `capacity` entries while builds race; it settles back under the cap
+//! as they publish).
 
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::engine::SolveOptions;
 use crate::json::Json;
@@ -264,9 +279,43 @@ impl CacheStats {
     }
 }
 
+/// A one-shot rendezvous for one key's in-progress build: the builder
+/// resolves it exactly once, every same-key racer blocks on
+/// [`BuildLatch::wait`] until then.
+#[derive(Default)]
+struct BuildLatch {
+    done: Mutex<Option<Result<Arc<SimPlan>, OpmError>>>,
+    cv: Condvar,
+}
+
+impl BuildLatch {
+    fn resolve(&self, outcome: Result<Arc<SimPlan>, OpmError>) {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        *done = Some(outcome);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<SimPlan>, OpmError> {
+        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*done {
+                Some(outcome) => return outcome.clone(),
+                None => done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner),
+            }
+        }
+    }
+}
+
+enum Slot {
+    /// A finished, interned plan.
+    Ready(Arc<SimPlan>),
+    /// A build in flight; same-key requests wait on the latch.
+    Building(Arc<BuildLatch>),
+}
+
 struct Entry {
     key: PlanKey,
-    plan: Arc<SimPlan>,
+    slot: Slot,
     last_used: u64,
 }
 
@@ -311,13 +360,22 @@ impl PlanCache {
         }
     }
 
+    /// The guarded LRU state, recovering from poisoning: the state is a
+    /// plain list of entries and counters, structurally valid at every
+    /// await-free step, so a thread that panicked while holding the
+    /// lock cannot have left it half-updated in a way later requests
+    /// would misread.
+    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The interned plan for `(sim, opts)`, factoring one on a miss.
     ///
     /// On a hit no factorization work happens at all — the returned
     /// `Arc` is ready to `solve`/`sweep`/`solve_streaming` concurrently
-    /// with every other holder. Cold builds run under the cache lock so
-    /// racing identical requests factor exactly once (see the module
-    /// docs).
+    /// with every other holder. Cold builds run on a per-key latch so
+    /// racing identical requests factor exactly once without blocking
+    /// requests for other keys (see the module docs).
     ///
     /// # Errors
     /// Whatever [`Simulation::plan`] would return for the same inputs;
@@ -340,72 +398,168 @@ impl PlanCache {
         sim: &Simulation,
         opts: &SolveOptions,
     ) -> Result<(Arc<SimPlan>, bool), OpmError> {
-        let key = plan_key(sim, opts);
-        let mut inner = self.inner.lock().unwrap();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(e) = inner.entries.iter_mut().find(|e| e.key == key) {
-            e.last_used = tick;
-            let plan = Arc::clone(&e.plan);
-            inner.hits += 1;
-            return Ok((plan, true));
+        self.get_or_intern(plan_key(sim, opts), || sim.plan(opts))
+    }
+
+    /// The interned plan for `key`, running `build` on a miss — the
+    /// generalized entry point behind [`PlanCache::get_or_plan_traced`].
+    /// Exposed so servers can wrap the build (fault injection, tracing)
+    /// and tests can drive the cache with arbitrary closures.
+    ///
+    /// Exactly one racer per key runs `build`; same-key racers block on
+    /// the key's latch and come back as hits. If `build` returns `Err`
+    /// nothing is cached and every waiter receives a clone of the
+    /// error. If `build` **panics**, the placeholder is removed, the
+    /// waiters receive an error, and the panic resumes on this thread —
+    /// the cache itself stays fully usable.
+    ///
+    /// # Errors
+    /// Whatever `build` returns; failures are not cached.
+    pub fn get_or_intern(
+        &self,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<SimPlan, OpmError>,
+    ) -> Result<(Arc<SimPlan>, bool), OpmError> {
+        enum Claim {
+            Hit(Arc<SimPlan>),
+            Wait(Arc<BuildLatch>),
+            Build(Arc<BuildLatch>),
         }
-        let plan = Arc::new(sim.plan(opts)?);
-        inner.misses += 1;
-        if inner.entries.len() >= self.capacity {
-            let lru = inner
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity >= 1, so a full cache is non-empty");
-            inner.entries.swap_remove(lru);
-            inner.evictions += 1;
+        let claim = {
+            let mut inner = self.lock_inner();
+            inner.tick += 1;
+            let tick = inner.tick;
+            match inner.entries.iter_mut().find(|e| e.key == key) {
+                Some(e) => {
+                    e.last_used = tick;
+                    match &e.slot {
+                        Slot::Ready(plan) => {
+                            let plan = Arc::clone(plan);
+                            inner.hits += 1;
+                            Claim::Hit(plan)
+                        }
+                        Slot::Building(latch) => Claim::Wait(Arc::clone(latch)),
+                    }
+                }
+                None => {
+                    let latch = Arc::new(BuildLatch::default());
+                    inner.entries.push(Entry {
+                        key,
+                        slot: Slot::Building(Arc::clone(&latch)),
+                        last_used: tick,
+                    });
+                    inner.misses += 1;
+                    Claim::Build(latch)
+                }
+            }
+        };
+        match claim {
+            Claim::Hit(plan) => Ok((plan, true)),
+            Claim::Wait(latch) => {
+                let plan = latch.wait()?;
+                self.lock_inner().hits += 1;
+                Ok((plan, true))
+            }
+            Claim::Build(latch) => {
+                let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build));
+                let (outcome, panic_payload) = match built {
+                    Ok(Ok(plan)) => (Ok(Arc::new(plan)), None),
+                    Ok(Err(e)) => (Err(e), None),
+                    Err(payload) => (
+                        Err(OpmError::BadArguments(
+                            "plan build panicked; the panicking request reports it".into(),
+                        )),
+                        Some(payload),
+                    ),
+                };
+                self.publish(key, &outcome);
+                latch.resolve(outcome.clone());
+                if let Some(payload) = panic_payload {
+                    std::panic::resume_unwind(payload);
+                }
+                outcome.map(|plan| (plan, false))
+            }
         }
-        inner.entries.push(Entry {
-            key,
-            plan: Arc::clone(&plan),
-            last_used: tick,
-        });
-        Ok((plan, false))
+    }
+
+    /// Swaps the key's building placeholder for the build's outcome:
+    /// `Ok` publishes the plan (then trims over-capacity LRU entries),
+    /// `Err` removes the placeholder so the next request rebuilds.
+    fn publish(&self, key: PlanKey, outcome: &Result<Arc<SimPlan>, OpmError>) {
+        let mut inner = self.lock_inner();
+        // `clear()` may have dropped the placeholder mid-build; the
+        // result is still handed to this request and the latch waiters,
+        // it just is not interned.
+        let idx = inner.entries.iter().position(|e| e.key == key);
+        match (outcome, idx) {
+            (Ok(plan), Some(i)) => {
+                inner.entries[i].slot = Slot::Ready(Arc::clone(plan));
+                while inner.entries.len() > self.capacity {
+                    let lru = inner
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, e)| e.key != key && matches!(e.slot, Slot::Ready(_)))
+                        .min_by_key(|(_, e)| e.last_used)
+                        .map(|(i, _)| i);
+                    // Only finished plans are evictable; in-flight
+                    // builds stay (they trim themselves on publish).
+                    let Some(lru) = lru else { break };
+                    inner.entries.swap_remove(lru);
+                    inner.evictions += 1;
+                }
+            }
+            (Err(_), Some(i)) => {
+                inner.entries.swap_remove(i);
+            }
+            (_, None) => {}
+        }
     }
 
     /// Counter snapshot for `/metrics` and the bench gates.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
-            len: inner.entries.len(),
+            len: inner
+                .entries
+                .iter()
+                .filter(|e| matches!(e.slot, Slot::Ready(_)))
+                .count(),
             capacity: self.capacity,
         }
     }
 
-    /// Number of interned plans.
+    /// Number of interned (finished) plans.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        self.stats().len
     }
 
-    /// Whether the cache is empty.
+    /// Whether the cache holds no finished plans.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops every interned plan (counters are kept).
+    /// Drops every interned plan (counters are kept; in-flight builds
+    /// complete and hand their plan to their waiters, uncached).
     pub fn clear(&self) {
-        self.inner.lock().unwrap().entries.clear();
+        self.lock_inner().entries.clear();
     }
 
     /// The interned plans, most recently used first — what a `/metrics`
     /// endpoint walks to report per-plan [`crate::FactorProfile`]s.
+    /// In-flight builds are not listed.
     pub fn plans(&self) -> Vec<(PlanKey, Arc<SimPlan>)> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         let mut keyed: Vec<(u64, PlanKey, Arc<SimPlan>)> = inner
             .entries
             .iter()
-            .map(|e| (e.last_used, e.key, Arc::clone(&e.plan)))
+            .filter_map(|e| match &e.slot {
+                Slot::Ready(plan) => Some((e.last_used, e.key, Arc::clone(plan))),
+                Slot::Building(_) => None,
+            })
             .collect();
         keyed.sort_by_key(|x| std::cmp::Reverse(x.0));
         keyed.into_iter().map(|(_, k, p)| (k, p)).collect()
@@ -414,10 +568,147 @@ impl PlanCache {
     /// The interned plans' keys, most recently used first. Test hook
     /// for asserting eviction order.
     pub fn keys_by_recency(&self) -> Vec<PlanKey> {
-        let inner = self.inner.lock().unwrap();
-        let mut keyed: Vec<(u64, PlanKey)> =
-            inner.entries.iter().map(|e| (e.last_used, e.key)).collect();
-        keyed.sort_by_key(|x| std::cmp::Reverse(x.0));
-        keyed.into_iter().map(|(_, k)| k).collect()
+        self.plans().into_iter().map(|(k, _)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_sparse::CooMatrix;
+
+    /// A 1×1 plan (ẋ = −x + u) built fresh per call.
+    fn tiny_plan(resolution: usize) -> Result<SimPlan, OpmError> {
+        let mut a = CooMatrix::new(1, 1);
+        a.push(0, 0, -1.0);
+        let mut b = CooMatrix::new(1, 1);
+        b.push(0, 0, 1.0);
+        let sys =
+            DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
+        Simulation::from_system(sys)
+            .horizon(1.0)
+            .plan(&SolveOptions::new().resolution(resolution))
+    }
+
+    /// A panicking build closure leaves the cache fully usable: the
+    /// placeholder is gone, counters are sane, and the next request for
+    /// the same key rebuilds as a plain miss.
+    #[test]
+    fn panicking_build_leaves_cache_usable() {
+        let cache = PlanCache::new(4);
+        let key = (1, 2);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cache.get_or_intern(key, || panic!("injected build panic"));
+        }));
+        assert!(panicked.is_err(), "the build panic must propagate");
+
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.hits, stats.misses), (0, 0, 1));
+
+        // Same key again: a clean rebuild, then a hit.
+        let (plan, hit) = cache.get_or_intern(key, || tiny_plan(16)).unwrap();
+        assert!(!hit);
+        let (again, hit) = cache.get_or_intern(key, || unreachable!()).unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&plan, &again));
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.hits, stats.misses), (1, 1, 2));
+    }
+
+    /// A build returning `Err` is not cached and does not poison
+    /// anything; waiters and later requests see a clean cache.
+    #[test]
+    fn failed_build_is_not_cached() {
+        let cache = PlanCache::new(4);
+        let key = (3, 4);
+        let err = cache
+            .get_or_intern(key, || Err(OpmError::BadArguments("no such model".into())))
+            .unwrap_err();
+        assert!(matches!(err, OpmError::BadArguments(_)));
+        assert_eq!(cache.len(), 0);
+        let (_, hit) = cache.get_or_intern(key, || tiny_plan(16)).unwrap();
+        assert!(!hit);
+    }
+
+    /// N racers on one cold key: exactly one build, N−1 waiters that
+    /// come back as hits on the same `Arc`.
+    #[test]
+    fn racing_requests_build_once() {
+        let cache = PlanCache::new(4);
+        let key = (5, 6);
+        let builds = std::sync::atomic::AtomicU64::new(0);
+        let plans: Vec<(Arc<SimPlan>, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        cache
+                            .get_or_intern(key, || {
+                                builds.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                                // Hold the build long enough that the
+                                // racers genuinely arrive mid-build.
+                                std::thread::sleep(std::time::Duration::from_millis(50));
+                                tiny_plan(16)
+                            })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(builds.load(std::sync::atomic::Ordering::SeqCst), 1);
+        assert_eq!(plans.iter().filter(|(_, hit)| !hit).count(), 1);
+        for (plan, _) in &plans {
+            assert!(Arc::ptr_eq(plan, &plans[0].0));
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (7, 1));
+    }
+
+    /// A slow build on one key must not stall a request for another key
+    /// — the per-key latch replaces the old build-under-global-lock.
+    #[test]
+    fn slow_build_does_not_block_other_keys() {
+        let cache = Arc::new(PlanCache::new(4));
+        let entered = Arc::new(std::sync::Barrier::new(2));
+        let slow = {
+            let cache = Arc::clone(&cache);
+            let entered = Arc::clone(&entered);
+            std::thread::spawn(move || {
+                cache
+                    .get_or_intern((7, 8), || {
+                        entered.wait(); // the slow build is now in flight
+                        std::thread::sleep(std::time::Duration::from_secs(2));
+                        tiny_plan(16)
+                    })
+                    .unwrap()
+            })
+        };
+        entered.wait();
+        let start = std::time::Instant::now();
+        let (_, hit) = cache.get_or_intern((9, 10), || tiny_plan(32)).unwrap();
+        assert!(!hit);
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(1),
+            "an unrelated key waited on the slow build: {:?}",
+            start.elapsed()
+        );
+        slow.join().unwrap();
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    /// Eviction only considers finished plans and keeps the cache at
+    /// capacity once builds publish.
+    #[test]
+    fn lru_eviction_over_capacity() {
+        let cache = PlanCache::new(2);
+        for k in 0..3u64 {
+            let _ = cache
+                .get_or_intern((k, k), || tiny_plan(16 + k as usize))
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.len, stats.evictions), (2, 1));
+        // (0,0) was least recently used and must be gone.
+        assert!(!cache.keys_by_recency().contains(&(0, 0)));
     }
 }

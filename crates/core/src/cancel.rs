@@ -1,0 +1,125 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle carrying an optional
+//! wall-clock deadline and an explicit cancel flag. Solvers that work
+//! in resumable units — the windowed/streaming solves, which pause
+//! naturally at window boundaries — poll the token between units and
+//! bail out with [`crate::OpmError::Cancelled`] instead of running to
+//! completion. This is what lets a server enforce a per-request compute
+//! deadline without preemption: a deadline-busting solve stops at the
+//! next window boundary, the thread is reclaimed, and every other
+//! request keeps its factorization cache intact.
+//!
+//! ```
+//! use opm_core::cancel::CancelToken;
+//!
+//! let token = CancelToken::new();
+//! assert!(token.check().is_ok());
+//! token.cancel();
+//! assert!(token.check().is_err());
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::OpmError;
+
+#[derive(Debug, Default)]
+struct Inner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle: explicit [`CancelToken::cancel`]
+/// plus an optional deadline fixed at construction. All clones share
+/// one flag, so any holder can stop every cooperating solve.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via
+    /// [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that auto-cancels `budget` from now.
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + budget),
+            }),
+        }
+    }
+
+    /// Flags the token; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether the token is cancelled or its deadline has passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// `Err(OpmError::Cancelled)` once cancelled/past deadline — the
+    /// polling form solvers call between work units.
+    ///
+    /// # Errors
+    /// [`OpmError::Cancelled`] naming the cause (explicit cancel or
+    /// elapsed deadline).
+    pub fn check(&self) -> Result<(), OpmError> {
+        if self.inner.cancelled.load(Ordering::SeqCst) {
+            return Err(OpmError::Cancelled("solve cancelled".into()));
+        }
+        if self.inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(OpmError::Cancelled("compute deadline exceeded".into()));
+        }
+        Ok(())
+    }
+
+    /// Time left before the deadline (`None` when no deadline is set;
+    /// zero once it has passed).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_is_shared_across_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        assert!(matches!(b.check(), Err(OpmError::Cancelled(_))));
+    }
+
+    #[test]
+    fn deadline_expires() {
+        let t = CancelToken::with_deadline(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.is_cancelled());
+        let err = t.check().unwrap_err();
+        assert!(err.to_string().contains("deadline"), "{err}");
+        assert_eq!(t.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn unexpired_deadline_passes() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(t.check().is_ok());
+        assert!(t.remaining().unwrap() > Duration::from_secs(3000));
+    }
+}

@@ -63,6 +63,7 @@
 
 pub mod adaptive;
 pub mod cache;
+pub mod cancel;
 pub mod engine;
 pub mod fractional;
 pub mod general_basis;
@@ -76,6 +77,7 @@ pub mod second_order;
 pub mod session;
 
 pub use cache::{CacheStats, PlanCache};
+pub use cancel::CancelToken;
 pub use engine::{Method, Problem, SolveOptions};
 pub use json::Json;
 pub use metrics::FactorProfile;
@@ -94,6 +96,9 @@ pub enum OpmError {
     /// Circuit assembly failed before any solving started (netlist
     /// parsing, MNA stamping, output selection).
     Circuit(opm_circuits::CircuitError),
+    /// A cooperative solve was cancelled (explicitly, or by an elapsed
+    /// [`crate::cancel::CancelToken`] deadline) before completing.
+    Cancelled(String),
 }
 
 impl std::fmt::Display for OpmError {
@@ -103,6 +108,7 @@ impl std::fmt::Display for OpmError {
             OpmError::BadArguments(s) => write!(f, "bad arguments: {s}"),
             OpmError::ConfluentSteps(s) => write!(f, "confluent adaptive steps: {s}"),
             OpmError::Circuit(e) => write!(f, "circuit assembly: {e}"),
+            OpmError::Cancelled(s) => write!(f, "cancelled: {s}"),
         }
     }
 }

@@ -43,6 +43,7 @@
 //! wrappers over this layer.
 
 use crate::adaptive::{self, AdaptiveOpmOptions, StepGridFactors};
+use crate::cancel::CancelToken;
 use crate::engine::{
     apply_b_block, factor_pencil_symbolic, validate_coeff_inputs, validate_horizon, validate_x0,
     BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap, PencilFamily, SolveOptions,
@@ -615,6 +616,7 @@ enum WindowKernel {
 pub struct WindowedOptions {
     windows: usize,
     history_len: Option<usize>,
+    cancel: Option<CancelToken>,
 }
 
 impl WindowedOptions {
@@ -623,6 +625,7 @@ impl WindowedOptions {
         WindowedOptions {
             windows,
             history_len: None,
+            cancel: None,
         }
     }
 
@@ -645,6 +648,34 @@ impl WindowedOptions {
     /// The short-memory cap, if set.
     pub fn history_cap(&self) -> Option<usize> {
         self.history_len
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: the window loop polls it
+    /// **between windows** and aborts with [`OpmError::Cancelled`] —
+    /// partial work is discarded, the plan and its cached kernels stay
+    /// fully usable. This is how a server enforces per-request compute
+    /// deadlines without preempting solver threads.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Polls the attached token (no token ⇒ never cancelled).
+    ///
+    /// # Errors
+    /// [`OpmError::Cancelled`] once the token is cancelled or past its
+    /// deadline.
+    pub fn check_cancelled(&self) -> Result<(), OpmError> {
+        match &self.cancel {
+            Some(t) => t.check(),
+            None => Ok(()),
+        }
     }
 }
 
@@ -1349,11 +1380,11 @@ impl SimPlan {
             });
             let mut out = Vec::with_capacity(inputs.len());
             for res in per_chunk {
-                out.extend(res);
+                out.extend(res?);
             }
             out
         } else {
-            self.windowed_chunk(&kernel, inputs, opts)
+            self.windowed_chunk(&kernel, inputs, opts)?
         };
         self.windowed
             .lock()
@@ -1415,7 +1446,7 @@ impl SimPlan {
             });
             final_state.clear();
             final_state.extend_from_slice(end);
-        });
+        })?;
         self.windowed
             .lock()
             .expect("window state poisoned")
@@ -1564,16 +1595,16 @@ impl SimPlan {
         kernel: &WindowKernel,
         chunk: &[InputSet],
         opts: &WindowedOptions,
-    ) -> Vec<OpmResult> {
+    ) -> Result<Vec<OpmResult>, OpmError> {
         let refs: Vec<&InputSet> = chunk.iter().collect();
         let mut columns = Vec::with_capacity(opts.windows() * self.m);
         let mut solves = 0;
         self.windowed_drive(kernel, &refs, opts, |_, outcome, _| {
             solves += outcome.num_solves;
             columns.extend(outcome.columns);
-        });
+        })?;
         let out = self.output_map();
-        BlockOutcome {
+        Ok(BlockOutcome {
             columns,
             lanes: chunk.len(),
             num_solves: solves,
@@ -1582,7 +1613,7 @@ impl SimPlan {
         .into_lane_outcomes()
         .into_iter()
         .map(|o| o.uniform_result(&out, self.t_end))
-        .collect()
+        .collect())
     }
 
     /// The window loop: sweeps `ws` through the configured windows
@@ -1591,13 +1622,17 @@ impl SimPlan {
     /// end-of-window state block to `on_window`, then carrying that
     /// state — polyline endpoint, recurrence tail or Caputo history
     /// tail, per kernel — forward.
+    ///
+    /// Polls the [`WindowedOptions`] cancel token at every window
+    /// boundary — the cooperative cancellation point that bounds how
+    /// long past a deadline a windowed solve can run to one window.
     fn windowed_drive(
         &self,
         kernel: &WindowKernel,
         ws: &[&InputSet],
         opts: &WindowedOptions,
         mut on_window: impl FnMut(usize, BlockOutcome, &[f64]),
-    ) {
+    ) -> Result<(), OpmError> {
         let windows = opts.windows();
         let n = self.model.order();
         let k = ws.len();
@@ -1620,6 +1655,7 @@ impl SimPlan {
                 let mut c_force = vec![0.0; n * k];
                 let width = self.t_end / windows as f64;
                 for w in 0..windows {
+                    opts.check_cancelled()?;
                     // Offset projection: the window grid is shifted, the
                     // waveforms are sampled at global time.
                     let us: Vec<Vec<Vec<f64>>> = ws
@@ -1664,6 +1700,7 @@ impl SimPlan {
                 let mut tail: Vec<Vec<f64>> = Vec::new();
                 let mut endv = vec![0.0; n * k];
                 for w in 0..windows {
+                    opts.check_cancelled()?;
                     let s = tail.len();
                     let bounds = self.window_bounds(windows, w, s);
                     // The stimulus columns matching the carried history
@@ -1714,6 +1751,7 @@ impl SimPlan {
                 let mut endv = vec![0.0; n * k];
                 let width = self.t_end / windows as f64;
                 for w in 0..windows {
+                    opts.check_cancelled()?;
                     let us: Vec<Vec<Vec<f64>>> = ws
                         .iter()
                         .map(|set| set.bpf_matrix_window(m, w as f64 * width, width))
@@ -1746,6 +1784,7 @@ impl SimPlan {
                 let mut endv = vec![0.0; n * k];
                 let width = self.t_end / windows as f64;
                 for w in 0..windows {
+                    opts.check_cancelled()?;
                     let us: Vec<Vec<Vec<f64>>> = ws
                         .iter()
                         .map(|set| set.bpf_matrix_window(m, w as f64 * width, width))
@@ -1760,6 +1799,7 @@ impl SimPlan {
                 }
             }
         }
+        Ok(())
     }
 
     /// Validates every scenario's channel count against the model.
@@ -2362,6 +2402,42 @@ mod tests {
             }
         }
         assert_eq!(plan.num_factorizations(), 1);
+    }
+
+    #[test]
+    fn windowed_solve_honors_cancel_token() {
+        let sys = scalar(-1.0);
+        let sim = Simulation::from_system(sys).horizon(1.0);
+        let plan = sim.plan(&SolveOptions::new().resolution(16)).unwrap();
+        let u = InputSet::new(vec![Waveform::Dc(1.0)]);
+
+        // A pre-cancelled token stops the loop at the first boundary.
+        let token = CancelToken::new();
+        token.cancel();
+        let opts = WindowedOptions::new(8).cancel_token(token);
+        let err = plan.solve_windowed_opts(&u, &opts).unwrap_err();
+        assert!(matches!(err, OpmError::Cancelled(_)), "{err}");
+        let mut blocks = 0;
+        let err = plan
+            .solve_streaming_opts(&u, &opts, |_| blocks += 1)
+            .unwrap_err();
+        assert!(matches!(err, OpmError::Cancelled(_)), "{err}");
+        assert_eq!(blocks, 0, "no window may be emitted after cancellation");
+
+        // The plan (and its cached window kernel) survives: the same
+        // solve without a token completes and matches an untouched run.
+        let ok = plan.solve_windowed(&u, 8).unwrap();
+        let fresh = sim
+            .plan(&SolveOptions::new().resolution(16))
+            .unwrap()
+            .solve_windowed(&u, 8)
+            .unwrap();
+        for j in 0..ok.num_intervals() {
+            assert_eq!(
+                ok.state_coeff(0, j).to_bits(),
+                fresh.state_coeff(0, j).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -4,15 +4,37 @@
 //! bodies and `Transfer-Encoding: chunked` (decoded transparently, so
 //! a streamed NDJSON response arrives as one body to split on
 //! newlines).
+//!
+//! Two tiers:
+//!
+//! - The free functions ([`request`] / [`post`] / [`get`]) issue
+//!   exactly one attempt with connect/read/write timeouts. Tests use
+//!   these when a raw status (e.g. an overload 503) must be observed,
+//!   not papered over.
+//! - [`Client`] adds bounded retry with exponential backoff and
+//!   deterministic jitter drawn from `opm-rng` — it retries transport
+//!   errors and 503s (honoring `Retry-After` up to a cap), which is
+//!   what healthy traffic in the chaos harness rides on.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+use opm_rng::StdRng;
+
+/// Default connect timeout for every code path in this module.
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+/// Default socket read/write timeout for every code path here.
+pub const DEFAULT_IO_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A decoded response.
 #[derive(Debug)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// The body, chunked transfer already decoded.
     pub body: String,
 }
@@ -25,9 +47,18 @@ impl Response {
     pub fn json(&self) -> Result<opm_core::json::Json, opm_core::json::JsonError> {
         opm_core::json::Json::parse(&self.body)
     }
+
+    /// First header with this name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
-/// Issues one request and reads the full response.
+/// Issues one request (single attempt, default timeouts) and reads the
+/// full response.
 ///
 /// # Errors
 /// I/O errors, or `InvalidData` when the response framing is broken.
@@ -37,16 +68,15 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> std::io::Result<Response> {
-    let mut stream = TcpStream::connect(addr)?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
-    read_response(&mut stream)
+    request_once(
+        addr,
+        method,
+        path,
+        body,
+        &[],
+        DEFAULT_CONNECT_TIMEOUT,
+        Some(DEFAULT_IO_TIMEOUT),
+    )
 }
 
 /// `POST path` with a JSON body.
@@ -65,6 +95,169 @@ pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Response> {
     request(addr, "GET", path, None)
 }
 
+fn request_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    extra_headers: &[(&str, &str)],
+    connect_timeout: Duration,
+    io_timeout: Option<Duration>,
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+    stream.set_read_timeout(io_timeout)?;
+    stream.set_write_timeout(io_timeout)?;
+    let body = body.unwrap_or("");
+    let mut head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+/// Retry policy for [`Client`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Socket read/write timeout per attempt (`None` = blocking).
+    pub io_timeout: Option<Duration>,
+    /// Retries after the first attempt (so `retries = 3` means at most
+    /// four attempts).
+    pub retries: u32,
+    /// First backoff; doubles per retry.
+    pub backoff_base: Duration,
+    /// Ceiling for any single sleep, including an honored
+    /// `Retry-After`.
+    pub backoff_cap: Duration,
+    /// Seed for the deterministic jitter stream, so a test run
+    /// sleeps the exact same schedule every time.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: DEFAULT_CONNECT_TIMEOUT,
+            io_timeout: Some(DEFAULT_IO_TIMEOUT),
+            retries: 3,
+            backoff_base: Duration::from_millis(50),
+            backoff_cap: Duration::from_secs(2),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+/// A retrying client: transport errors and 503 (overload / compute
+/// deadline) responses are retried with exponential backoff plus
+/// deterministic jitter; any other status is returned as-is on the
+/// first attempt. The final outcome after exhausting retries is
+/// whatever the last attempt produced — including a final 503.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    config: ClientConfig,
+    rng: Mutex<StdRng>,
+}
+
+impl Client {
+    /// A client with the default [`ClientConfig`].
+    pub fn new(addr: SocketAddr) -> Self {
+        Client::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with an explicit retry policy.
+    pub fn with_config(addr: SocketAddr, config: ClientConfig) -> Self {
+        let rng = Mutex::new(StdRng::seed_from_u64(config.jitter_seed));
+        Client { addr, config, rng }
+    }
+
+    /// `POST path` with a JSON body, retrying per the config.
+    ///
+    /// # Errors
+    /// The last attempt's I/O error once retries are exhausted.
+    pub fn post(&self, path: &str, body: &str) -> std::io::Result<Response> {
+        self.request("POST", path, Some(body), &[])
+    }
+
+    /// `GET path`, retrying per the config.
+    ///
+    /// # Errors
+    /// As [`Client::post`].
+    pub fn get(&self, path: &str) -> std::io::Result<Response> {
+        self.request("GET", path, None, &[])
+    }
+
+    /// One logical request with retry; `extra_headers` ride on every
+    /// attempt (the chaos harness sends `X-Fault` through here).
+    ///
+    /// # Errors
+    /// The last attempt's I/O error once retries are exhausted.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let outcome = request_once(
+                self.addr,
+                method,
+                path,
+                body,
+                extra_headers,
+                self.config.connect_timeout,
+                self.config.io_timeout,
+            );
+            let retryable = match &outcome {
+                Ok(resp) => resp.status == 503,
+                Err(_) => true,
+            };
+            if !retryable || attempt >= self.config.retries {
+                return outcome;
+            }
+            let retry_after = outcome
+                .as_ref()
+                .ok()
+                .and_then(|r| r.header("retry-after"))
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .map(Duration::from_secs);
+            std::thread::sleep(self.backoff(attempt, retry_after));
+            attempt += 1;
+        }
+    }
+
+    /// `base · 2^attempt` capped, floored by an honored `Retry-After`
+    /// (also capped), plus uniform jitter in `[0, base)` to de-herd
+    /// concurrent retriers.
+    fn backoff(&self, attempt: u32, retry_after: Option<Duration>) -> Duration {
+        let base = self.config.backoff_base;
+        let cap = self.config.backoff_cap;
+        let mut delay = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
+        if let Some(ra) = retry_after {
+            delay = delay.max(ra.min(cap));
+        }
+        let jitter_ms = {
+            let mut rng = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
+            let span = base.as_millis().max(1) as u64;
+            rng.next_u64() % span
+        };
+        delay + Duration::from_millis(jitter_ms)
+    }
+}
+
 fn bad(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
@@ -79,6 +272,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("unparsable status line"))?;
 
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut content_length: Option<usize> = None;
     let mut chunked = false;
     loop {
@@ -89,13 +283,14 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
-            } else if name.eq_ignore_ascii_case("transfer-encoding")
-                && value.trim().eq_ignore_ascii_case("chunked")
-            {
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
                 chunked = true;
             }
+            headers.push((name, value));
         }
     }
 
@@ -126,6 +321,10 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<Response> {
     }
 
     String::from_utf8(body)
-        .map(|body| Response { status, body })
+        .map(|body| Response {
+            status,
+            headers,
+            body,
+        })
         .map_err(|_| bad("response body is not UTF-8"))
 }

@@ -7,9 +7,39 @@
 //! streaming NDJSON. Every connection is `Connection: close` — one
 //! request per connection keeps the framing trivial and is plenty for
 //! a load generator that opens thousands of short connections.
+//!
+//! Reads are *bounded*: [`Limits`] caps the header count, the total
+//! header bytes, and the announced body size, so a drip-feeding or
+//! header-flooding client cannot grow server memory without limit.
+//! Each violated cap maps onto its own HTTP status (431 for headers,
+//! 413 for the body), and socket read timeouts surface as
+//! [`RecvError::Io`] with `WouldBlock`/`TimedOut` so the server can
+//! answer 408 instead of hanging a thread forever.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+
+/// Caps applied while reading one request.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Largest announced `Content-Length` accepted (→ 413 beyond).
+    pub max_body: usize,
+    /// Most header lines accepted, request line excluded (→ 431).
+    pub max_headers: usize,
+    /// Total bytes budget for the request line + all header lines,
+    /// terminators included (→ 431).
+    pub max_header_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_body: 8 << 20,
+            max_headers: 64,
+            max_header_bytes: 16 << 10,
+        }
+    }
+}
 
 /// A parsed request.
 #[derive(Debug)]
@@ -21,6 +51,10 @@ pub struct Request {
     pub path: String,
     /// The body, when `Content-Length` announced one.
     pub body: Vec<u8>,
+    /// Value of the `X-Fault` header, when present. Captured here,
+    /// *honored* only when the server was started with fault injection
+    /// enabled — see `opm_serve::fault`.
+    pub fault: Option<String>,
 }
 
 /// Why a request could not be read. Each variant maps onto the HTTP
@@ -28,6 +62,8 @@ pub struct Request {
 #[derive(Debug)]
 pub enum RecvError {
     /// Socket closed or unreadable before a full request arrived.
+    /// `WouldBlock`/`TimedOut` kinds mean the socket read timeout
+    /// expired → 408; everything else is answered with silence.
     Io(std::io::Error),
     /// Request line / header syntax error → 400.
     Malformed(&'static str),
@@ -35,6 +71,8 @@ pub enum RecvError {
     LengthRequired,
     /// Announced body exceeds the server's cap → 413.
     TooLarge,
+    /// Header count or total header bytes exceed the caps → 431.
+    HeadersTooLarge,
 }
 
 impl From<std::io::Error> for RecvError {
@@ -43,17 +81,55 @@ impl From<std::io::Error> for RecvError {
     }
 }
 
-/// Reads one request, enforcing `max_body` on announced body sizes.
+impl RecvError {
+    /// Whether this failure is a socket read timeout (answer 408).
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            RecvError::Io(e) if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            )
+        )
+    }
+}
+
+/// Reads one `\n`-terminated line without letting the peer exceed
+/// `budget` bytes. A line that hits the budget before its newline is a
+/// header-cap violation, not an I/O error — that distinction is what
+/// turns a slowloris-style drip feed into a clean 431/408 instead of
+/// unbounded buffering.
+fn read_line_capped(
+    reader: &mut BufReader<&mut TcpStream>,
+    budget: usize,
+) -> Result<String, RecvError> {
+    let mut raw = Vec::new();
+    let n = reader
+        .by_ref()
+        .take(budget as u64 + 1)
+        .read_until(b'\n', &mut raw)?;
+    if n == 0 {
+        return Err(RecvError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+    }
+    if raw.last() != Some(&b'\n') {
+        if raw.len() > budget {
+            return Err(RecvError::HeadersTooLarge);
+        }
+        return Err(RecvError::Io(std::io::ErrorKind::UnexpectedEof.into()));
+    }
+    String::from_utf8(raw).map_err(|_| RecvError::Malformed("header line is not UTF-8"))
+}
+
+/// Reads one request under the given [`Limits`].
 ///
 /// # Errors
 /// [`RecvError`] describing which HTTP status to answer with.
-pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RecvError> {
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, RecvError> {
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
-    if line.is_empty() {
-        return Err(RecvError::Io(std::io::ErrorKind::UnexpectedEof.into()));
-    }
+    let mut header_budget = limits.max_header_bytes;
+
+    let line = read_line_capped(&mut reader, header_budget)?;
+    header_budget = header_budget.saturating_sub(line.len());
     let mut parts = line.split_whitespace();
     let method = parts
         .next()
@@ -71,12 +147,18 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
 
     let mut content_length: Option<usize> = None;
+    let mut fault: Option<String> = None;
+    let mut header_count = 0usize;
     loop {
-        let mut header = String::new();
-        reader.read_line(&mut header)?;
+        let header = read_line_capped(&mut reader, header_budget)?;
+        header_budget = header_budget.saturating_sub(header.len());
         let header = header.trim_end();
         if header.is_empty() {
             break;
+        }
+        header_count += 1;
+        if header_count > limits.max_headers {
+            return Err(RecvError::HeadersTooLarge);
         }
         let Some((name, value)) = header.split_once(':') else {
             return Err(RecvError::Malformed("header without a colon"));
@@ -87,11 +169,13 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
                 .parse()
                 .map_err(|_| RecvError::Malformed("unparsable Content-Length"))?;
             content_length = Some(n);
+        } else if name.eq_ignore_ascii_case("x-fault") {
+            fault = Some(value.trim().to_string());
         }
     }
 
     let body = match content_length {
-        Some(n) if n > max_body => return Err(RecvError::TooLarge),
+        Some(n) if n > limits.max_body => return Err(RecvError::TooLarge),
         Some(n) => {
             let mut body = vec![0u8; n];
             reader.read_exact(&mut body)?;
@@ -101,7 +185,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         None => Vec::new(),
     };
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        fault,
+    })
 }
 
 /// The reason phrase for the status codes the daemon uses.
@@ -111,9 +200,13 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         411 => "Length Required",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
@@ -128,13 +221,35 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with extra response headers (e.g. `Retry-After`
+/// on overload replies).
+///
+/// # Errors
+/// I/O errors from the socket.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         status,
         reason(status),
         content_type,
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()

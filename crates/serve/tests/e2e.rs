@@ -4,9 +4,11 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use opm_core::json::Json;
 use opm_core::{Simulation, SolveOptions};
+use opm_serve::client::{Client, ClientConfig};
 use opm_serve::{client, spawn, ServerConfig};
 
 /// The pinned circuit every test speaks: the facade's 1 kΩ / 1 µF
@@ -215,6 +217,174 @@ fn error_paths() {
     assert!(reply.starts_with("HTTP/1.1 411"), "{reply}");
 
     server.shutdown();
+}
+
+/// A slowloris client — drip-feeds a partial request line and stalls —
+/// hits the socket read timeout and gets a 408, counted in `/metrics`.
+#[test]
+fn slowloris_times_out_with_408() {
+    let server = spawn(ServerConfig {
+        read_timeout: Some(Duration::from_millis(200)),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"POST /sol").unwrap(); // …and never finish the line
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 408"), "{reply}");
+
+    let doc = client::get(server.addr(), "/metrics")
+        .unwrap()
+        .json()
+        .unwrap();
+    let robustness = doc.get("robustness").unwrap();
+    assert_eq!(robustness.get("timeouts").unwrap().as_usize(), Some(1));
+    server.shutdown();
+}
+
+/// Header floods — too many header lines, or one line that blows the
+/// byte budget — are rejected with 431 instead of buffered without
+/// bound.
+#[test]
+fn header_floods_are_rejected_with_431() {
+    let server = spawn(ServerConfig::default()).unwrap();
+
+    // More header lines than the cap (default 64).
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let mut req = String::from("GET /metrics HTTP/1.1\r\nHost: x\r\n");
+    for i in 0..80 {
+        req.push_str(&format!("X-Pad-{i}: x\r\n"));
+    }
+    req.push_str("\r\n");
+    raw.write_all(req.as_bytes()).unwrap();
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
+
+    // One header line larger than the total byte budget (default
+    // 16 KiB); the server stops reading at the budget, not at the
+    // attacker's pleasure.
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let giant = format!(
+        "GET /metrics HTTP/1.1\r\nHost: x\r\nX-Big: {}\r\n\r\n",
+        "x".repeat(17 << 10)
+    );
+    let _ = raw.write_all(giant.as_bytes()); // server may close mid-write
+    let mut reply = String::new();
+    raw.read_to_string(&mut reply).unwrap();
+    assert!(reply.starts_with("HTTP/1.1 431"), "{reply}");
+
+    server.shutdown();
+}
+
+/// A client that vanishes mid-`/stream` must not take the daemon with
+/// it: the next request succeeds and no panic is recorded.
+#[test]
+fn midstream_disconnect_leaves_server_healthy() {
+    let server = spawn(ServerConfig::default()).unwrap();
+    let body = format!(
+        r#"{{"netlist": {NETLIST:?}, "probes": ["out"], "horizon": 5e-3,
+            "options": {{"resolution": 128}}, "windows": 4,
+            "scenarios": [[{{"kind": "step", "level": 5.0}}]]}}"#
+    );
+
+    let mut raw = TcpStream::connect(server.addr()).unwrap();
+    let head = format!(
+        "POST /stream HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    raw.write_all(head.as_bytes()).unwrap();
+    raw.write_all(body.as_bytes()).unwrap();
+    // Read just the start of the status line, then slam the door while
+    // the server is still streaming chunks.
+    let mut first = [0u8; 16];
+    raw.read_exact(&mut first).unwrap();
+    assert_eq!(&first[..8], b"HTTP/1.1");
+    drop(raw);
+
+    // The daemon keeps serving, and the disconnect was not a panic.
+    let r = client::post(server.addr(), "/solve", &body).unwrap();
+    assert_eq!(r.status, 200, "{}", r.body);
+    let doc = client::get(server.addr(), "/metrics")
+        .unwrap()
+        .json()
+        .unwrap();
+    let robustness = doc.get("robustness").unwrap();
+    assert_eq!(robustness.get("panics").unwrap().as_usize(), Some(0));
+    let drain = server.shutdown();
+    assert!(drain.drained);
+}
+
+/// A burst past the connection cap is answered 503 + `Retry-After`
+/// while the admitted requests run to successful completion.
+#[test]
+fn burst_past_connection_cap_gets_503() {
+    let server = spawn(ServerConfig {
+        max_connections: 2,
+        fault_injection: true,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr();
+    let body = solve_body();
+
+    std::thread::scope(|s| {
+        // Two slow requests occupy both slots…
+        let occupants: Vec<_> = (0..2)
+            .map(|_| {
+                let body = &body;
+                s.spawn(move || {
+                    let one_shot = Client::with_config(
+                        addr,
+                        ClientConfig {
+                            retries: 0,
+                            ..ClientConfig::default()
+                        },
+                    );
+                    one_shot
+                        .request(
+                            "POST",
+                            "/solve",
+                            Some(body),
+                            &[("X-Fault", "slow-solve=1500")],
+                        )
+                        .unwrap()
+                })
+            })
+            .collect();
+
+        // …wait until both are admitted, then burst past the cap.
+        let started = std::time::Instant::now();
+        while server.in_flight() < 2 {
+            assert!(
+                started.elapsed() < Duration::from_secs(5),
+                "slow occupants were never admitted"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        for _ in 0..3 {
+            let r = client::post(addr, "/solve", &body).unwrap();
+            assert_eq!(r.status, 503, "{}", r.body);
+            assert_eq!(r.header("retry-after"), Some("1"));
+        }
+
+        // The admitted requests were not harmed by the burst.
+        for h in occupants {
+            let r = h.join().unwrap();
+            assert_eq!(r.status, 200, "{}", r.body);
+        }
+    });
+
+    let doc = client::get(addr, "/metrics").unwrap().json().unwrap();
+    let robustness = doc.get("robustness").unwrap();
+    assert_eq!(
+        robustness.get("rejected_overload").unwrap().as_usize(),
+        Some(3)
+    );
+    let drain = server.shutdown();
+    assert!(drain.drained && drain.abandoned == 0);
 }
 
 /// A raw-triplet model request (no netlist) solves and hits like any
