@@ -42,6 +42,18 @@ is gated against a floor (a warm plan-cache must stay warm on any
 machine), and `scenarios_per_sec` throughput records get the same
 median-normalized drift gate as timings.
 
+Records may also carry an explicit `"class"` field in the *reference*
+(the committed baseline decides how its own records are gated):
+
+- `"class": "floor"` — the candidate `value` must be >= the reference
+  `value`. Used for coverage-style counts such as the model checker's
+  explored-schedule records, where "we explored fewer schedules than
+  the committed baseline" means the verification pass silently shrank.
+- `"class": "hard_true"` — the candidate `value` must be exactly 1,
+  regardless of the reference value. Used for boolean verdicts
+  ("the seeded bug was caught", "the replay reproduced it") that must
+  never degrade to partial credit.
+
 Exit code 0 = pass, 1 = regression/drift (each failure printed).
 """
 
@@ -148,6 +160,30 @@ def main():
             )
 
     common = [rid for rid in ref if rid in cand]
+
+    # -- classed records (floor / hard_true, reference-driven) -------------
+    for rid in common:
+        cls = ref[rid].get("class")
+        if cls is None:
+            continue
+        cv = cand[rid].get("value")
+        if cls == "floor":
+            rv = ref[rid].get("value")
+            if cv is None or rv is None:
+                failures.append(f"`{rid}`: floor records must never be null")
+            elif cv < rv:
+                failures.append(
+                    f"`{rid}`: {cv!r} fell below the committed floor {rv!r} "
+                    "(coverage silently shrank)"
+                )
+        elif cls == "hard_true":
+            if cv != 1:
+                failures.append(
+                    f"`{rid}`: expected exactly 1, got {cv!r} "
+                    "(a must-hold verdict degraded)"
+                )
+        else:
+            failures.append(f"`{rid}`: unknown record class {cls!r}")
 
     # -- count drift -------------------------------------------------------
     for rid in common:

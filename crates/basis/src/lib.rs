@@ -29,6 +29,10 @@
 //! assert!(err < 1e-12);
 //! ```
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod bpf;
 pub mod haar;

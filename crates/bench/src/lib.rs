@@ -6,6 +6,10 @@
 //! [`criterion`] (an offline drop-in subset of the crates.io crate of
 //! the same name).
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod criterion;
 
 use std::time::Instant;

@@ -26,6 +26,10 @@
 //! [`Circuit`]: netlist::Circuit
 //! [`DescriptorSystem`]: opm_system::DescriptorSystem
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod grid;
 pub mod ladder;
 pub mod mna;

@@ -59,10 +59,9 @@
 //! `capacity` entries while builds race; it settles back under the cap
 //! as they publish).
 
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 
 use crate::engine::SolveOptions;
-use crate::json::Json;
 use crate::session::{SimModel, SimPlan, Simulation};
 use crate::OpmError;
 use opm_sparse::CsrMatrix;
@@ -240,97 +239,19 @@ fn hash_options(h: &mut PairHash, opts: &SolveOptions) {
     }
 }
 
-/// Aggregate counters, snapshotted by [`PlanCache::stats`].
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Requests served by an interned plan.
-    pub hits: u64,
-    /// Requests that had to factor a new plan.
-    pub misses: u64,
-    /// Plans dropped to make room.
-    pub evictions: u64,
-    /// Plans currently interned.
-    pub len: usize,
-    /// Maximum number of interned plans.
-    pub capacity: usize,
-}
+pub use crate::gate::CacheStats;
 
-impl CacheStats {
-    /// Fraction of requests that were hits (0 when idle).
-    pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
-        if total == 0 {
-            0.0
-        } else {
-            self.hits as f64 / total as f64
-        }
-    }
-
-    /// The `/metrics` representation.
-    pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("hits".into(), Json::Int(self.hits as i64)),
-            ("misses".into(), Json::Int(self.misses as i64)),
-            ("evictions".into(), Json::Int(self.evictions as i64)),
-            ("len".into(), Json::Int(self.len as i64)),
-            ("capacity".into(), Json::Int(self.capacity as i64)),
-            ("hit_rate".into(), Json::Num(self.hit_rate())),
-        ])
-    }
-}
-
-/// A one-shot rendezvous for one key's in-progress build: the builder
-/// resolves it exactly once, every same-key racer blocks on
-/// [`BuildLatch::wait`] until then.
-#[derive(Default)]
-struct BuildLatch {
-    done: Mutex<Option<Result<Arc<SimPlan>, OpmError>>>,
-    cv: Condvar,
-}
-
-impl BuildLatch {
-    fn resolve(&self, outcome: Result<Arc<SimPlan>, OpmError>) {
-        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
-        *done = Some(outcome);
-        self.cv.notify_all();
-    }
-
-    fn wait(&self) -> Result<Arc<SimPlan>, OpmError> {
-        let mut done = self.done.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            match &*done {
-                Some(outcome) => return outcome.clone(),
-                None => done = self.cv.wait(done).unwrap_or_else(PoisonError::into_inner),
-            }
-        }
-    }
-}
-
-enum Slot {
-    /// A finished, interned plan.
-    Ready(Arc<SimPlan>),
-    /// A build in flight; same-key requests wait on the latch.
-    Building(Arc<BuildLatch>),
-}
-
-struct Entry {
-    key: PlanKey,
-    slot: Slot,
-    last_used: u64,
-}
-
-struct Inner {
-    entries: Vec<Entry>,
-    tick: u64,
-    hits: u64,
-    misses: u64,
-    evictions: u64,
-}
+use crate::gate::GateCache;
+use crate::sync::StdSync;
 
 /// An LRU cache of factored plans keyed by [`plan_key`].
+///
+/// The claim / build / publish / latch protocol lives in the generic
+/// [`GateCache`] (shared with `opm-verify`, which model-checks it under
+/// a deterministic scheduler); this wrapper binds it to
+/// `PlanKey -> Arc<SimPlan>` and owns the plan-specific keying.
 pub struct PlanCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    gate: GateCache<PlanKey, Arc<SimPlan>, OpmError, StdSync>,
 }
 
 impl std::fmt::Debug for PlanCache {
@@ -349,24 +270,12 @@ impl PlanCache {
     /// A cache that interns at most `capacity` plans (minimum 1).
     pub fn new(capacity: usize) -> Self {
         PlanCache {
-            inner: Mutex::new(Inner {
-                entries: Vec::new(),
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
+            gate: GateCache::new(capacity, || {
+                OpmError::BadArguments(
+                    "plan build panicked; the panicking request reports it".into(),
+                )
             }),
-            capacity: capacity.max(1),
         }
-    }
-
-    /// The guarded LRU state, recovering from poisoning: the state is a
-    /// plain list of entries and counters, structurally valid at every
-    /// await-free step, so a thread that panicked while holding the
-    /// lock cannot have left it half-updated in a way later requests
-    /// would misread.
-    fn lock_inner(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The interned plan for `(sim, opts)`, factoring one on a miss.
@@ -420,149 +329,35 @@ impl PlanCache {
         key: PlanKey,
         build: impl FnOnce() -> Result<SimPlan, OpmError>,
     ) -> Result<(Arc<SimPlan>, bool), OpmError> {
-        enum Claim {
-            Hit(Arc<SimPlan>),
-            Wait(Arc<BuildLatch>),
-            Build(Arc<BuildLatch>),
-        }
-        let claim = {
-            let mut inner = self.lock_inner();
-            inner.tick += 1;
-            let tick = inner.tick;
-            match inner.entries.iter_mut().find(|e| e.key == key) {
-                Some(e) => {
-                    e.last_used = tick;
-                    match &e.slot {
-                        Slot::Ready(plan) => {
-                            let plan = Arc::clone(plan);
-                            inner.hits += 1;
-                            Claim::Hit(plan)
-                        }
-                        Slot::Building(latch) => Claim::Wait(Arc::clone(latch)),
-                    }
-                }
-                None => {
-                    let latch = Arc::new(BuildLatch::default());
-                    inner.entries.push(Entry {
-                        key,
-                        slot: Slot::Building(Arc::clone(&latch)),
-                        last_used: tick,
-                    });
-                    inner.misses += 1;
-                    Claim::Build(latch)
-                }
-            }
-        };
-        match claim {
-            Claim::Hit(plan) => Ok((plan, true)),
-            Claim::Wait(latch) => {
-                let plan = latch.wait()?;
-                self.lock_inner().hits += 1;
-                Ok((plan, true))
-            }
-            Claim::Build(latch) => {
-                let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(build));
-                let (outcome, panic_payload) = match built {
-                    Ok(Ok(plan)) => (Ok(Arc::new(plan)), None),
-                    Ok(Err(e)) => (Err(e), None),
-                    Err(payload) => (
-                        Err(OpmError::BadArguments(
-                            "plan build panicked; the panicking request reports it".into(),
-                        )),
-                        Some(payload),
-                    ),
-                };
-                self.publish(key, &outcome);
-                latch.resolve(outcome.clone());
-                if let Some(payload) = panic_payload {
-                    std::panic::resume_unwind(payload);
-                }
-                outcome.map(|plan| (plan, false))
-            }
-        }
-    }
-
-    /// Swaps the key's building placeholder for the build's outcome:
-    /// `Ok` publishes the plan (then trims over-capacity LRU entries),
-    /// `Err` removes the placeholder so the next request rebuilds.
-    fn publish(&self, key: PlanKey, outcome: &Result<Arc<SimPlan>, OpmError>) {
-        let mut inner = self.lock_inner();
-        // `clear()` may have dropped the placeholder mid-build; the
-        // result is still handed to this request and the latch waiters,
-        // it just is not interned.
-        let idx = inner.entries.iter().position(|e| e.key == key);
-        match (outcome, idx) {
-            (Ok(plan), Some(i)) => {
-                inner.entries[i].slot = Slot::Ready(Arc::clone(plan));
-                while inner.entries.len() > self.capacity {
-                    let lru = inner
-                        .entries
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, e)| e.key != key && matches!(e.slot, Slot::Ready(_)))
-                        .min_by_key(|(_, e)| e.last_used)
-                        .map(|(i, _)| i);
-                    // Only finished plans are evictable; in-flight
-                    // builds stay (they trim themselves on publish).
-                    let Some(lru) = lru else { break };
-                    inner.entries.swap_remove(lru);
-                    inner.evictions += 1;
-                }
-            }
-            (Err(_), Some(i)) => {
-                inner.entries.swap_remove(i);
-            }
-            (_, None) => {}
-        }
+        self.gate.get_or_build(key, || build().map(Arc::new))
     }
 
     /// Counter snapshot for `/metrics` and the bench gates.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.lock_inner();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            len: inner
-                .entries
-                .iter()
-                .filter(|e| matches!(e.slot, Slot::Ready(_)))
-                .count(),
-            capacity: self.capacity,
-        }
+        self.gate.stats()
     }
 
     /// Number of interned (finished) plans.
     pub fn len(&self) -> usize {
-        self.stats().len
+        self.gate.len()
     }
 
     /// Whether the cache holds no finished plans.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.gate.is_empty()
     }
 
     /// Drops every interned plan (counters are kept; in-flight builds
     /// complete and hand their plan to their waiters, uncached).
     pub fn clear(&self) {
-        self.lock_inner().entries.clear();
+        self.gate.clear();
     }
 
     /// The interned plans, most recently used first — what a `/metrics`
     /// endpoint walks to report per-plan [`crate::FactorProfile`]s.
     /// In-flight builds are not listed.
     pub fn plans(&self) -> Vec<(PlanKey, Arc<SimPlan>)> {
-        let inner = self.lock_inner();
-        let mut keyed: Vec<(u64, PlanKey, Arc<SimPlan>)> = inner
-            .entries
-            .iter()
-            .filter_map(|e| match &e.slot {
-                Slot::Ready(plan) => Some((e.last_used, e.key, Arc::clone(plan))),
-                Slot::Building(_) => None,
-            })
-            .collect();
-        keyed.sort_by_key(|x| std::cmp::Reverse(x.0));
-        keyed.into_iter().map(|(_, k, p)| (k, p)).collect()
+        self.gate.values()
     }
 
     /// The interned plans' keys, most recently used first. Test hook

@@ -461,6 +461,12 @@ pub fn apply_b_block(b: &CsrMatrix, u_block: &[f64], lanes: usize, scale: f64, o
 /// The AVX codegen copy of the panel driver (`avx` only — no `fma`, so
 /// the per-lane arithmetic stays bit-identical to the portable copy and
 /// the scalar reference).
+///
+/// # Safety
+/// The caller must have verified that the running CPU supports the
+/// `avx` target feature (this crate gates every call behind
+/// [`opm_linalg::panel::avx_available`]). The body is ordinary safe
+/// Rust — the only obligation is the feature check.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn apply_b_panels_avx(

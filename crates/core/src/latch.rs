@@ -1,0 +1,113 @@
+//! A one-shot resolve/wait rendezvous, generic over sync primitives.
+//!
+//! This is the latch [`crate::gate::GateCache`] parks same-key racers
+//! on while one of them builds: the builder calls [`Latch::resolve`]
+//! exactly once, every waiter blocks in [`Latch::wait`] until then and
+//! receives a clone of the outcome. Because it is generic over
+//! [`MonitorFamily`], the *same* implementation runs on
+//! [`crate::sync::StdSync`] in production and under `opm-verify`'s
+//! deterministic scheduler, where the model checker proves the
+//! protocol-level properties the plan cache depends on:
+//!
+//! - **No lost wakeup** — a resolve that lands before a waiter sleeps
+//!   is still observed, because the outcome check and the sleep are
+//!   atomic under the monitor lock ([`Monitor::wait_until`]).
+//! - **Every waiter wakes** — resolve notifies all sleepers, and any
+//!   waiter arriving later returns immediately from the stored outcome.
+
+use crate::sync::{Monitor, MonitorFamily};
+
+/// A one-shot rendezvous: resolved exactly once, waited on by any
+/// number of threads, each receiving a clone of the outcome.
+pub struct Latch<T, F>
+where
+    T: Clone + Send + 'static,
+    F: MonitorFamily,
+{
+    done: F::Monitor<Option<T>>,
+}
+
+impl<T, F> Default for Latch<T, F>
+where
+    T: Clone + Send + 'static,
+    F: MonitorFamily,
+{
+    fn default() -> Self {
+        Latch::new()
+    }
+}
+
+impl<T, F> Latch<T, F>
+where
+    T: Clone + Send + 'static,
+    F: MonitorFamily,
+{
+    /// An unresolved latch.
+    pub fn new() -> Self {
+        Latch {
+            done: F::monitor(None),
+        }
+    }
+
+    /// Publishes the outcome and wakes every waiter. Calling this more
+    /// than once keeps the *first* outcome (waiters may already have
+    /// observed it; changing it would hand different callers different
+    /// results).
+    pub fn resolve(&self, outcome: T) {
+        self.done.notify_with(|slot| {
+            if slot.is_none() {
+                *slot = Some(outcome);
+            }
+        });
+    }
+
+    /// Blocks until [`Latch::resolve`], returning a clone of the
+    /// outcome (immediately, if already resolved).
+    pub fn wait(&self) -> T {
+        self.done.wait_until(|slot| slot.clone())
+    }
+
+    /// The outcome if already resolved, without blocking.
+    pub fn try_get(&self) -> Option<T> {
+        self.done.with(|slot| slot.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sync::StdSync;
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_after_resolve_returns_immediately() {
+        let latch: Latch<u32, StdSync> = Latch::new();
+        assert_eq!(latch.try_get(), None);
+        latch.resolve(9);
+        assert_eq!(latch.wait(), 9);
+        assert_eq!(latch.try_get(), Some(9));
+    }
+
+    #[test]
+    fn first_resolve_wins() {
+        let latch: Latch<u32, StdSync> = Latch::new();
+        latch.resolve(1);
+        latch.resolve(2);
+        assert_eq!(latch.wait(), 1);
+    }
+
+    #[test]
+    fn all_waiters_receive_the_outcome() {
+        let latch: Arc<Latch<String, StdSync>> = Arc::new(Latch::new());
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let latch = Arc::clone(&latch);
+                std::thread::spawn(move || latch.wait())
+            })
+            .collect();
+        latch.resolve("done".to_string());
+        for w in waiters {
+            assert_eq!(w.join().unwrap(), "done");
+        }
+    }
+}

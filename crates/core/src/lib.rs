@@ -66,15 +66,18 @@ pub mod cache;
 pub mod cancel;
 pub mod engine;
 pub mod fractional;
+pub mod gate;
 pub mod general_basis;
 pub mod json;
 pub mod kron_solve;
+pub mod latch;
 pub mod linear;
 pub mod metrics;
 pub mod multiterm;
 pub mod result;
 pub mod second_order;
 pub mod session;
+pub mod sync;
 
 pub use cache::{CacheStats, PlanCache};
 pub use cancel::CancelToken;

@@ -1,0 +1,194 @@
+//! Sync-primitive abstraction for the load-bearing concurrency
+//! protocols, so `opm-verify` can model-check the *same* code paths the
+//! production build runs.
+//!
+//! The engine's concurrency guarantees — N racing requests factor
+//! exactly once, a panicked build wakes every waiter, cancellation is
+//! visible across clones — live in three small protocols: the
+//! [`crate::gate::GateCache`] single-flight build coordinator, its
+//! [`crate::latch::Latch`] rendezvous, and
+//! [`crate::cancel::CancelToken`]. Each is written against the traits
+//! in this module rather than against `std::sync` directly:
+//!
+//! - [`Monitor`] — a mutex + condvar pair operated through closures
+//!   (lock-run-unlock, wait-until-predicate, mutate-and-notify). The
+//!   closure shape keeps lock/unlock pairing and the wait-loop
+//!   discipline (predicate re-checked under the lock after every wake,
+//!   so spurious wakeups are harmless by construction) in ONE place per
+//!   implementation instead of at every call site.
+//! - [`MonitorFamily`] — the type-level factory that picks a monitor
+//!   implementation, so a protocol generic over `F: MonitorFamily`
+//!   runs identically on [`StdSync`] in production and on
+//!   `opm_verify::sync::ShimSync` under the deterministic-schedule
+//!   model checker.
+//! - [`CancelFlag`] — the shared boolean a [`crate::cancel::CancelToken`]
+//!   raises; [`DeadlineSource`] — its (wall-clock in production,
+//!   virtual under the checker) deadline.
+//!
+//! The std implementations here are the production defaults and keep
+//! PR 8's poison discipline: every `Mutex::lock` recovers from
+//! poisoning via [`PoisonError::into_inner`], because each guarded
+//! state in this workspace is structurally valid at every await-free
+//! step — a panicking holder cannot leave it half-updated in a way a
+//! later reader would misread. (The in-tree lint `opm-verify -- lint`
+//! bans bare `lock().unwrap()` workspace-wide for the same reason.)
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// A mutex + condvar pair driven through closures.
+///
+/// All three methods run their closure with the lock held. Implementors
+/// must guarantee:
+///
+/// - [`Monitor::with`] — plain lock-run-unlock mutual exclusion.
+/// - [`Monitor::wait_until`] — the predicate is evaluated under the
+///   lock; when it returns `None` the monitor atomically releases the
+///   lock and sleeps until a notification, then re-evaluates. Callers
+///   therefore never observe a lost wakeup *if* every state change that
+///   could flip the predicate happens inside [`Monitor::notify_with`].
+/// - [`Monitor::notify_with`] — runs the mutation under the lock, then
+///   wakes every current [`Monitor::wait_until`] sleeper before
+///   returning.
+pub trait Monitor<T>: Send + Sync {
+    /// Runs `f` with exclusive access to the guarded state.
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R;
+
+    /// Blocks until `pred` returns `Some`, re-evaluating under the lock
+    /// after every notification (and after any spurious wakeup).
+    fn wait_until<R>(&self, pred: impl FnMut(&mut T) -> Option<R>) -> R;
+
+    /// Runs `f` under the lock, then wakes every sleeping
+    /// [`Monitor::wait_until`] caller.
+    fn notify_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R;
+}
+
+/// Type-level choice of [`Monitor`] implementation.
+///
+/// Protocol code takes `F: MonitorFamily` and allocates its monitors
+/// through [`MonitorFamily::monitor`]; the production instantiation is
+/// [`StdSync`], the model-checked one is `opm_verify`'s shim family.
+pub trait MonitorFamily: 'static {
+    /// The monitor type this family produces for state `T`.
+    type Monitor<T: Send + 'static>: Monitor<T>;
+
+    /// A fresh monitor guarding `init`.
+    fn monitor<T: Send + 'static>(init: T) -> Self::Monitor<T>;
+}
+
+/// The production family: [`StdMonitor`] over `std::sync`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdSync;
+
+impl MonitorFamily for StdSync {
+    type Monitor<T: Send + 'static> = StdMonitor<T>;
+
+    fn monitor<T: Send + 'static>(init: T) -> StdMonitor<T> {
+        StdMonitor {
+            state: Mutex::new(init),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// `std::sync::{Mutex, Condvar}` monitor with poison recovery (see the
+/// module docs for why recovery is sound for every state guarded here).
+#[derive(Debug, Default)]
+pub struct StdMonitor<T> {
+    state: Mutex<T>,
+    cv: Condvar,
+}
+
+impl<T: Send> Monitor<T> for StdMonitor<T> {
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut g)
+    }
+
+    fn wait_until<R>(&self, mut pred: impl FnMut(&mut T) -> Option<R>) -> R {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = pred(&mut g) {
+                return r;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn notify_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let r = f(&mut g);
+        self.cv.notify_all();
+        r
+    }
+}
+
+/// The shared cancelled/not-cancelled bit behind
+/// [`crate::cancel::CancelToken`]: set-once, monotone (once raised it
+/// stays raised), visible to every holder.
+pub trait CancelFlag: Send + Sync + 'static {
+    /// Raises the flag (idempotent).
+    fn set(&self);
+
+    /// Whether the flag has been raised.
+    fn get(&self) -> bool;
+}
+
+/// Production [`CancelFlag`]: a `SeqCst` [`AtomicBool`].
+#[derive(Debug, Default)]
+pub struct AtomicCancelFlag(AtomicBool);
+
+impl CancelFlag for AtomicCancelFlag {
+    fn set(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    fn get(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// A deadline a [`crate::cancel::CancelCore`] polls. Implementations
+/// must be monotone: once [`DeadlineSource::expired`] returns `true` it
+/// returns `true` forever (wall clocks and the checker's virtual clock
+/// both only move forward).
+pub trait DeadlineSource: Send + Sync + 'static {
+    /// Whether the deadline has passed.
+    fn expired(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn monitor_with_and_notify() {
+        let m = StdSync::monitor(0u32);
+        assert_eq!(m.with(|v| *v), 0);
+        m.notify_with(|v| *v = 7);
+        assert_eq!(m.with(|v| *v), 7);
+    }
+
+    #[test]
+    fn wait_until_sees_notify_from_another_thread() {
+        let m = Arc::new(StdSync::monitor(false));
+        let waiter = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || m.wait_until(|v| if *v { Some(42) } else { None }))
+        };
+        // Even if the notify lands before the waiter sleeps, wait_until's
+        // under-the-lock predicate check must not lose it.
+        m.notify_with(|v| *v = true);
+        assert_eq!(waiter.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn cancel_flag_is_monotone() {
+        let f = AtomicCancelFlag::default();
+        assert!(!f.get());
+        f.set();
+        f.set();
+        assert!(f.get());
+    }
+}

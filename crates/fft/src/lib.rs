@@ -15,6 +15,10 @@
 //!
 //! [`FftSimulator`]: freq_solve::FftSimulator
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod bluestein;
 pub mod dft;
 pub mod fft;

@@ -93,6 +93,12 @@ const CONV_STREAMS: usize = 8;
 /// The AVX codegen copy of the convolution driver (`avx` only — no
 /// `fma`, so the per-element arithmetic stays bit-identical to the
 /// portable copy and the scalar reference).
+///
+/// # Safety
+/// The caller must have verified that the running CPU supports the
+/// `avx` target feature (this crate gates every call behind
+/// [`opm_linalg::panel::avx_available`]). The body is ordinary safe
+/// Rust — the only obligation is the feature check.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx")]
 unsafe fn convolution_panels_avx(terms: &[(f64, &[f64])], out: &mut [f64]) {

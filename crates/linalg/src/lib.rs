@@ -34,6 +34,10 @@
 //! assert!((a.mul_vec(&x).sub(&b)).norm2() < 1e-12);
 //! ```
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod complex;
 pub mod dense;
 pub mod expm;

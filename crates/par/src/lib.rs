@@ -30,8 +30,53 @@
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //! ```
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// The one primitive the dynamic work distribution needs: an atomic
+/// claim counter handing out strictly increasing indices.
+///
+/// Extracted as a trait so the claim loop ([`claim_indices`]) is
+/// generic over the primitive: production uses [`AtomicUsize`],
+/// `opm-verify` substitutes its deterministic-scheduler shim and
+/// exhaustively checks that every index in `0..len` is claimed exactly
+/// once and every worker's loop terminates, for any interleaving.
+pub trait ClaimCounter: Sync {
+    /// Atomically returns the current value and increments it — each
+    /// call observes a distinct value, across all threads.
+    fn claim_next(&self) -> usize;
+}
+
+impl ClaimCounter for AtomicUsize {
+    fn claim_next(&self) -> usize {
+        // Relaxed is enough: the counter is the only shared state in the
+        // claim protocol, and `fetch_add`'s read-modify-write atomicity
+        // alone guarantees uniqueness of the returned indices. The
+        // results each worker writes are published to the caller by the
+        // thread join, not by this counter.
+        self.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// The work-claiming loop every `par_map` worker runs: pull indices
+/// from the shared counter until it runs past `len`, visiting each
+/// claimed index. The counter hands out each index at most once, so
+/// across all workers every index in `0..len` is visited exactly once;
+/// a worker that draws `>= len` stops — the loop always terminates
+/// after at most one overdraw per worker.
+pub fn claim_indices<C: ClaimCounter>(next: &C, len: usize, mut visit: impl FnMut(usize)) {
+    loop {
+        let i = next.claim_next();
+        if i >= len {
+            break;
+        }
+        visit(i);
+    }
+}
 
 /// Cap on the *default* worker count (explicit `OPM_THREADS` values may
 /// exceed it): beyond a handful of cores the sparse sweeps here are
@@ -90,13 +135,7 @@ where
     let next = AtomicUsize::new(0);
     let worker = || {
         let mut local: Vec<(usize, R)> = Vec::new();
-        loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= items.len() {
-                break;
-            }
-            local.push((i, f(&items[i])));
-        }
+        claim_indices(&next, items.len(), |i| local.push((i, f(&items[i]))));
         local
     };
     let gathered: Vec<Result<Vec<(usize, R)>, _>> = std::thread::scope(|s| {

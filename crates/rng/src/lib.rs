@@ -9,6 +9,10 @@
 //! exactly what the seeded property tests and the power-grid load
 //! placement need.
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// xoshiro256++ generator, seedable from a single `u64`.

@@ -57,6 +57,10 @@
 //! assert!(drain.drained);
 //! ```
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod api;
 pub mod client;
 pub mod fault;

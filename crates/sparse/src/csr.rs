@@ -193,6 +193,12 @@ impl CsrMatrix {
     /// The AVX codegen copy of the panel driver (`avx` only — no `fma`,
     /// so the per-lane arithmetic stays bit-identical to the portable
     /// copy and the scalar reference).
+    ///
+    /// # Safety
+    /// The caller must have verified that the running CPU supports the
+    /// `avx` target feature (this crate gates every call behind
+    /// [`opm_linalg::panel::avx_available`]). The body is ordinary safe
+    /// Rust — the only obligation is the feature check.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx")]
     unsafe fn mul_block_panels_avx(&self, x: &[f64], y: &mut [f64], lanes: usize) {

@@ -647,6 +647,12 @@ impl SparseLu {
     /// with 4-wide `f64` vectors (`avx` only — no `fma`, so multiplies
     /// and adds stay separate IEEE operations and bit-identity with the
     /// portable copy and the scalar reference is preserved).
+    ///
+    /// # Safety
+    /// The caller must have verified that the running CPU supports the
+    /// `avx` target feature (this crate gates every call behind
+    /// [`opm_linalg::panel::avx_available`]). The body is ordinary safe
+    /// Rust — the only obligation is the feature check.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx")]
     unsafe fn solve_block_panels_avx(&self, b: &[f64], out: &mut [f64], lanes: usize) {

@@ -15,6 +15,10 @@
 //! All matrices are sparse ([`opm_sparse::CsrMatrix`]); dense views exist
 //! for small-system oracles.
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod descriptor;
 pub mod fractional;
 pub mod multiterm;

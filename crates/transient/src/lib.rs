@@ -16,6 +16,10 @@
 //! LTI and steps are fixed), so per-step cost is one sparse solve — the
 //! same cost model the paper assumes.
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 mod util;
 
 pub mod adaptive;

@@ -1,0 +1,363 @@
+//! The concurrency models `opm-verify -- model-check` explores.
+//!
+//! Three of the four models instantiate *production* protocol code —
+//! [`opm_core::gate::GateCache`], [`opm_par::claim_indices`],
+//! [`opm_core::cancel::CancelCore`] — on the shim primitives in
+//! [`crate::sync`], so the checked code is byte-for-byte the code the
+//! engine runs (the generic-over-[`MonitorFamily`] refactor exists for
+//! exactly this). The fourth, [`BuggyLatch`], carries a deliberately
+//! seeded lost-wakeup and exists to prove the checker *can* catch the
+//! bug class the real latch is claimed to be free of: its exploration
+//! must fail, replay deterministically, and shrink to a short trace.
+//!
+//! [`MonitorFamily`]: opm_core::sync::MonitorFamily
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::PoisonError;
+
+use opm_core::cancel::{CancelCore, CancelReason};
+use opm_core::gate::GateCache;
+
+use crate::sched::{explore, ExploreOpts, Report};
+use crate::sync::{
+    thread, Arc, AtomicUsize, Condvar, Mutex, ShimAtomicCounter, ShimCancelFlag, ShimSync,
+    TickDeadline,
+};
+
+/// The cache the single-flight models drive: the production
+/// [`GateCache`] on the shim sync family.
+type ShimCache = GateCache<u64, u64, String, ShimSync>;
+
+const PANIC_ERROR: &str = "build panicked";
+
+/// Single-flight: two racers hit a cold key; the checker proves that in
+/// **every** interleaving exactly one runs the build closure, the other
+/// parks on the key's latch and wakes with the built value (a lost
+/// wakeup would leave it asleep forever — reported as a deadlock), and
+/// both observe the same value.
+pub fn cache_single_flight_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let cache: Arc<ShimCache> = Arc::new(GateCache::new(2, || PANIC_ERROR.to_string()));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                thread::spawn(move || {
+                    let (v, hit) = cache
+                        .get_or_build(7, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            Ok(40)
+                        })
+                        .expect("the build closure is infallible");
+                    assert_eq!(v, 40, "waiter observed a value it did not wait for");
+                    hit
+                })
+            })
+            .collect();
+        let hits: Vec<bool> = racers
+            .into_iter()
+            .map(|h| h.join().expect("racer panicked"))
+            .collect();
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            1,
+            "N racers must cost exactly one build"
+        );
+        assert_eq!(
+            hits.iter().filter(|&&h| !h).count(),
+            1,
+            "exactly one racer may report a miss"
+        );
+        let s = cache.stats();
+        assert_eq!((s.misses, s.len), (1, 1), "one interned value, one miss");
+    }
+}
+
+/// Panic containment: every racer's build panics. The checker proves
+/// the builder re-raises on its own thread, every waiter wakes with the
+/// `panic_error` (not a hang, not a poisoned lock), the placeholder is
+/// removed, and the cache remains fully usable for the next build.
+pub fn cache_panicking_build_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let cache: Arc<ShimCache> = Arc::new(GateCache::new(2, || PANIC_ERROR.to_string()));
+        let racers: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || {
+                    let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        cache.get_or_build(7, || panic!("injected build failure"))
+                    }));
+                    match out {
+                        // The builder: the injected panic resumed here.
+                        Err(_) => {}
+                        // A waiter: woken with the panic error.
+                        Ok(Err(e)) => assert_eq!(e, PANIC_ERROR),
+                        Ok(Ok(_)) => panic!("no value can come out of a panicking build"),
+                    }
+                })
+            })
+            .collect();
+        for h in racers {
+            h.join().expect("racer panicked outside the injected path");
+        }
+        // The placeholder must be gone and the key rebuildable.
+        let (v, hit) = cache
+            .get_or_build(7, || Ok(1))
+            .expect("cache unusable after a panicked build");
+        assert_eq!((v, hit), (1, false), "the failed build must not be cached");
+    }
+}
+
+/// Work distribution: three workers run the production
+/// [`opm_par::claim_indices`] loop over a shared shim counter. The
+/// checker proves every index in `0..len` is claimed exactly once
+/// across workers and every loop terminates (non-termination would trip
+/// the deadlock/step-limit detector) — for every interleaving of the
+/// counter's read-modify-writes.
+pub fn work_index_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        const LEN: usize = 3;
+        let next = Arc::new(ShimAtomicCounter::new());
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let next = Arc::clone(&next);
+                thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    opm_par::claim_indices(&*next, LEN, |i| mine.push(i));
+                    mine
+                })
+            })
+            .collect();
+        let mut all: Vec<usize> = workers
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            (0..LEN).collect::<Vec<_>>(),
+            "every index must be claimed exactly once across workers"
+        );
+    }
+}
+
+/// Cancellation: the production [`CancelCore`] on a shim flag and a
+/// virtual-clock deadline, with one thread cancelling explicitly and
+/// another expiring the deadline. The checker proves cancellation is
+/// monotone (no observer ever sees cancelled → not-cancelled), an
+/// `Explicit` observation never degrades to `Deadline`, and with both
+/// causes fired every clone settles on `Explicit` (the documented
+/// flag-before-deadline priority).
+pub fn cancel_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let clock = Arc::new(AtomicUsize::new(0));
+        let core = Arc::new(CancelCore::new(
+            ShimCancelFlag::new(),
+            Some(TickDeadline {
+                now: Arc::clone(&clock),
+                at: 1,
+            }),
+        ));
+        let canceller = {
+            let core = Arc::clone(&core);
+            thread::spawn(move || core.cancel())
+        };
+        let ticker = thread::spawn(move || clock.store(1, Ordering::SeqCst));
+        let mut seen: Option<CancelReason> = None;
+        for _ in 0..4 {
+            let r = core.reason();
+            match (seen, r) {
+                (Some(_), None) => panic!("cancellation went backwards"),
+                (Some(CancelReason::Explicit), Some(CancelReason::Deadline)) => {
+                    panic!("an Explicit observation degraded to Deadline")
+                }
+                _ => {}
+            }
+            if r.is_some() {
+                seen = r;
+            }
+        }
+        canceller.join().expect("canceller panicked");
+        ticker.join().expect("ticker panicked");
+        assert_eq!(
+            core.reason(),
+            Some(CancelReason::Explicit),
+            "with both causes fired, the flag must outrank the deadline"
+        );
+        assert!(core.is_cancelled());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The seeded bug
+// ---------------------------------------------------------------------------
+
+/// A latch with a deliberately seeded **lost wakeup** — the bug class
+/// [`opm_core::latch::Latch`] is model-checked to be free of. `wait`
+/// checks the slot under the lock, *releases* it, then reacquires to
+/// sleep: a `resolve` landing in that gap stores the value and fires
+/// its notify while nobody is sleeping, and the waiter then sleeps
+/// forever. The checker must find this as a deadlock within a bounded
+/// number of schedules.
+pub struct BuggyLatch<T: Clone> {
+    slot: Mutex<Option<T>>,
+    cv: Condvar,
+}
+
+impl<T: Clone> Default for BuggyLatch<T> {
+    fn default() -> Self {
+        BuggyLatch::new()
+    }
+}
+
+impl<T: Clone> BuggyLatch<T> {
+    /// An unresolved buggy latch.
+    pub fn new() -> Self {
+        BuggyLatch {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Stores the outcome and wakes current sleepers — correct on its
+    /// own; the bug is on the wait side.
+    pub fn resolve(&self, v: T) {
+        let mut g = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if g.is_none() {
+            *g = Some(v);
+        }
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    /// BUG: the slot check and the sleep are under *separate* lock
+    /// acquisitions, so a resolve between them is lost. (The correct
+    /// pattern — the one `Monitor::wait_until` hard-codes — re-checks
+    /// the predicate under the same lock the wait releases.)
+    pub fn wait(&self) -> T {
+        loop {
+            if let Some(v) = self
+                .slot
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone()
+            {
+                return v;
+            }
+            // <-- the gap: a resolve + notify landing here is lost.
+            let g = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            let _woken = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One waiter, one resolver, over [`BuggyLatch`]. Exploration must
+/// report a deadlock (the lost wakeup) — this model failing to fail
+/// would mean the checker has lost its teeth.
+pub fn buggy_latch_model() -> impl Fn() + Send + Sync + 'static {
+    || {
+        let latch: Arc<BuggyLatch<u32>> = Arc::new(BuggyLatch::new());
+        let waiter = {
+            let latch = Arc::clone(&latch);
+            thread::spawn(move || latch.wait())
+        };
+        latch.resolve(9);
+        assert_eq!(waiter.join().expect("waiter panicked"), 9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration entry points (shared by `main.rs` and the self-tests)
+// ---------------------------------------------------------------------------
+
+/// Per-model exploration budgets tuned so the three protocol models
+/// clear the CI floor on explored schedules while the whole pass stays
+/// in single-digit seconds. Half the budget goes to exhaustive DFS,
+/// half to the seeded random phase (skipped when DFS already covered
+/// the whole tree) — either way the schedule count is deterministic,
+/// which is what lets a bench-style gate assert a floor on it.
+fn protocol_opts(max_schedules: usize) -> ExploreOpts {
+    ExploreOpts {
+        max_schedules,
+        dfs_budget: max_schedules / 2,
+        spurious_budget: 1,
+        ..ExploreOpts::default()
+    }
+}
+
+/// Explores the single-flight model (plus its panic-containment
+/// variant, folded into one report: the sum of schedules, the first
+/// violation of either).
+pub fn check_cache_latch(max_schedules: usize) -> Report {
+    let a = explore(
+        "cache_latch/single_flight",
+        &protocol_opts(max_schedules / 2),
+        cache_single_flight_model(),
+    );
+    if a.violation.is_some() {
+        return a;
+    }
+    let b = explore(
+        "cache_latch/panicking_build",
+        &protocol_opts(max_schedules - a.schedules),
+        cache_panicking_build_model(),
+    );
+    Report {
+        name: "cache_latch".into(),
+        schedules: a.schedules + b.schedules,
+        complete: a.complete && b.complete,
+        violation: b.violation,
+    }
+}
+
+/// Explores the work-index model.
+pub fn check_work_index(max_schedules: usize) -> Report {
+    explore(
+        "work_index",
+        &protocol_opts(max_schedules),
+        work_index_model(),
+    )
+}
+
+/// Explores the cancellation model.
+pub fn check_cancel(max_schedules: usize) -> Report {
+    explore("cancel", &protocol_opts(max_schedules), cancel_model())
+}
+
+/// Budget for the buggy-latch hunt: the lost wakeup must surface within
+/// this many schedules (it shows up almost immediately under DFS — the
+/// bound exists so a regression fails loudly instead of spinning).
+pub const BUGGY_LATCH_BUDGET: usize = 200;
+
+/// Exploration options for the buggy-latch model: no spurious wakeups
+/// (a spurious wake would *mask* the lost wakeup — precisely why real
+/// code must not rely on them).
+pub fn buggy_opts() -> ExploreOpts {
+    ExploreOpts {
+        max_schedules: BUGGY_LATCH_BUDGET,
+        dfs_budget: BUGGY_LATCH_BUDGET,
+        spurious_budget: 0,
+        ..ExploreOpts::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The models are also plain functions over pass-through shims:
+    /// outside an exploration they must run clean on the real OS
+    /// scheduler (one arbitrary interleaving). The buggy-latch model is
+    /// deliberately absent — on the OS scheduler its lost wakeup is a
+    /// genuine (if unlikely) hang, which is the whole point of checking
+    /// it under a controlled one instead.
+    #[test]
+    fn models_pass_through_outside_the_checker() {
+        cache_single_flight_model()();
+        cache_panicking_build_model()();
+        work_index_model()();
+        cancel_model()();
+    }
+}

@@ -1,0 +1,1090 @@
+//! The deterministic-schedule scheduler behind the model checker.
+//!
+//! # How an execution works
+//!
+//! A *model* is a closure using the shim primitives in
+//! [`crate::sync`]. [`explore`] runs it many times; in each run the
+//! model's threads are real OS threads, but a **controller** (the
+//! thread that called [`explore`]) holds them on a leash: at every
+//! synchronization operation — mutex lock/unlock, condvar
+//! wait/notify, atomic access, spawn/join — the thread parks and
+//! reports its *pending operation*; the controller picks which
+//! runnable thread advances next. Exactly one model thread executes at
+//! any instant, so each run is one totally-ordered interleaving
+//! (sequential consistency) chosen by the controller.
+//!
+//! # Exploration
+//!
+//! Each point where more than one thread could advance is a *choice
+//! point*; the sequence of choices is a [`Schedule`]. Two search modes:
+//!
+//! - **Exhaustive DFS** (small models): depth-first over the choice
+//!   tree — rerun with a schedule prefix, extend with the first
+//!   alternative (biased to keep the current thread running, so
+//!   low-preemption schedules come first), backtrack the deepest
+//!   untried alternative. Complete when the tree is exhausted below
+//!   the budget.
+//! - **Seeded random with conflict reduction** (larger models): after
+//!   the DFS budget, remaining schedules are drawn with an
+//!   [`opm_rng::StdRng`]-seeded picker. A lightweight partial-order
+//!   reduction keeps the current thread running whenever its pending
+//!   operation cannot conflict with any other enabled thread's pending
+//!   operation (different objects, or both reads) — schedules that
+//!   only permute commuting steps collapse into one. The reduction is
+//!   a heuristic (it looks one pending operation ahead, not at whole
+//!   futures), which is why DFS mode never uses it: exhaustive means
+//!   exhaustive.
+//!
+//! # Violations
+//!
+//! A run fails when a model thread panics (assertion failure), when no
+//! thread can advance while some are unfinished (**deadlock** — this is
+//! how a lost wakeup surfaces: the un-woken waiter sleeps forever), or
+//! when a run exceeds the step bound (livelock guard). The failing
+//! [`Schedule`] plus a human-readable step trace is returned in the
+//! [`Violation`]; [`replay`] re-runs it deterministically and
+//! [`shrink`] greedily simplifies it (fewer preemptions, shorter
+//! prefix) while preserving the failure.
+//!
+//! # Condvar semantics
+//!
+//! Faithful to `std`: `wait` atomically releases the mutex and joins
+//! the condvar's sleeper set — a notify that fires *before* a thread
+//! sleeps does not wake it (lost wakeups are representable, which is
+//! the point). `notify_all` moves every sleeper to a mutex-reacquire
+//! state; `notify_one` wakes the lowest-numbered sleeper (a
+//! deterministic subset of the `std` contract). Spurious wakeups are
+//! injected as extra schedule choices when
+//! [`ExploreOpts::spurious_budget`] is nonzero.
+//!
+//! # Invariants the harness itself relies on
+//!
+//! - Models must be deterministic apart from scheduling: same choices
+//!   in, same behavior out. (No wall-clock, no ambient randomness —
+//!   the same discipline `opm-verify -- lint` enforces on kernel
+//!   crates.)
+//! - Shim operations must not be called from `Drop` impls other than
+//!   the shims' own guards (the abandon path unwinds through user
+//!   code; a panic raised inside a foreign `Drop` would abort).
+
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use opm_rng::StdRng;
+
+/// Model-thread id (dense, starting at 0 for the model's root thread).
+pub type Tid = usize;
+
+/// A pending synchronization operation, as reported by a parked thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// First step of a spawned thread's body.
+    Begin,
+    /// `thread::spawn` by the parent (makes `child` schedulable).
+    Spawn {
+        /// The spawned thread.
+        child: Tid,
+    },
+    /// `JoinHandle::join`; enabled once `child` finished.
+    Join {
+        /// The joined thread.
+        child: Tid,
+    },
+    /// Atomic read.
+    AtomicLoad {
+        /// Object id.
+        obj: usize,
+    },
+    /// Atomic read-modify-write (store/swap/fetch_add/CAS).
+    AtomicRmw {
+        /// Object id.
+        obj: usize,
+    },
+    /// Mutex acquisition; enabled while the mutex is free.
+    MutexLock {
+        /// Object id.
+        obj: usize,
+    },
+    /// Mutex release (guard drop).
+    MutexUnlock {
+        /// Object id.
+        obj: usize,
+    },
+    /// Condvar wait: atomically release `mutex` and sleep on `cv`.
+    CondWait {
+        /// Condvar object id.
+        cv: usize,
+        /// The mutex released while sleeping and reacquired on wake.
+        mutex: usize,
+    },
+    /// Post-notify mutex reacquisition (internal continuation of
+    /// [`Op::CondWait`]); enabled while the mutex is free.
+    Reacquire {
+        /// The mutex being reacquired.
+        mutex: usize,
+    },
+    /// Wake every sleeper of `cv`.
+    NotifyAll {
+        /// Condvar object id.
+        cv: usize,
+    },
+    /// Wake the lowest-numbered sleeper of `cv`.
+    NotifyOne {
+        /// Condvar object id.
+        cv: usize,
+    },
+    /// Explicit scheduling point with no object effect.
+    Yield,
+}
+
+impl Op {
+    fn label(&self) -> String {
+        match self {
+            Op::Begin => "begin".into(),
+            Op::Spawn { child } => format!("spawn(t{child})"),
+            Op::Join { child } => format!("join(t{child})"),
+            Op::AtomicLoad { obj } => format!("atomic-load(a{obj})"),
+            Op::AtomicRmw { obj } => format!("atomic-rmw(a{obj})"),
+            Op::MutexLock { obj } => format!("lock(m{obj})"),
+            Op::MutexUnlock { obj } => format!("unlock(m{obj})"),
+            Op::CondWait { cv, mutex } => format!("cond-wait(c{cv}, m{mutex})"),
+            Op::Reacquire { mutex } => format!("reacquire(m{mutex})"),
+            Op::NotifyAll { cv } => format!("notify-all(c{cv})"),
+            Op::NotifyOne { cv } => format!("notify-one(c{cv})"),
+            Op::Yield => "yield".into(),
+        }
+    }
+
+    /// Whether two pending operations could fail to commute: they touch
+    /// a common object and at least one side mutates it. Used only by
+    /// the random-mode reduction.
+    fn conflicts(&self, other: &Op) -> bool {
+        use Op::*;
+        let touch = |op: &Op| -> Option<(u8, usize, bool)> {
+            // (object class, id, writes?)
+            match op {
+                AtomicLoad { obj } => Some((0, *obj, false)),
+                AtomicRmw { obj } => Some((0, *obj, true)),
+                MutexLock { obj } | MutexUnlock { obj } | Reacquire { mutex: obj } => {
+                    Some((1, *obj, true))
+                }
+                NotifyAll { cv } | NotifyOne { cv } => Some((2, *cv, true)),
+                _ => None,
+            }
+        };
+        // CondWait touches both its condvar and its mutex.
+        let objs = |op: &Op| -> Vec<(u8, usize, bool)> {
+            if let CondWait { cv, mutex } = op {
+                vec![(2, *cv, true), (1, *mutex, true)]
+            } else {
+                touch(op).into_iter().collect()
+            }
+        };
+        for (ca, ia, wa) in objs(self) {
+            for &(cb, ib, wb) in &objs(other) {
+                if ca == cb && ia == ib && (wa || wb) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Status {
+    /// Registered by `spawn`, not yet released by the `Spawn` grant.
+    Unborn,
+    /// Parked with a pending operation.
+    Ready(Op),
+    /// Sleeping inside `CondWait` until a notify (or spurious wake).
+    Sleeping { cv: usize, mutex: usize },
+    /// Executing model code (at most one thread at a time).
+    Running,
+    /// Body returned (or unwound).
+    Finished,
+}
+
+struct ThreadSt {
+    status: Status,
+    spurious_left: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// No execution in progress (shims pass through to `std`).
+    Idle,
+    /// A run is active; threads park at shim operations.
+    Running,
+    /// The run is over (violation or completion); parked threads wake
+    /// and unwind via [`AbandonSignal`].
+    Abandon,
+}
+
+/// Why a schedule failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A model thread panicked (assertion failure).
+    Panic(String),
+    /// No thread can advance but some are unfinished — a deadlock or a
+    /// lost wakeup.
+    Deadlock(String),
+    /// The run exceeded [`ExploreOpts::max_steps`] (livelock guard).
+    StepLimit,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::Panic(m) => write!(f, "model panic: {m}"),
+            ViolationKind::Deadlock(m) => write!(f, "deadlock/lost wakeup: {m}"),
+            ViolationKind::StepLimit => write!(f, "step limit exceeded (possible livelock)"),
+        }
+    }
+}
+
+/// A replayable schedule: the choice taken at each choice point, plus
+/// the exploration flags that shape where choice points occur.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Schedule {
+    /// Index into the (deterministically ordered) candidate list at
+    /// each choice point, in execution order.
+    pub choices: Vec<usize>,
+    /// Whether the conflict reduction was active (it changes which
+    /// steps are choice points, so replay must match).
+    pub reduced: bool,
+    /// The spurious-wakeup budget the run was explored with.
+    pub spurious_budget: u32,
+}
+
+/// A failing schedule with its human-readable step trace.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The schedule that reproduces it (feed to [`replay`]).
+    pub schedule: Schedule,
+    /// One line per granted step, in execution order.
+    pub trace: Vec<String>,
+}
+
+/// Search budgets and knobs for [`explore`].
+#[derive(Clone, Debug)]
+pub struct ExploreOpts {
+    /// Total schedule budget across both phases.
+    pub max_schedules: usize,
+    /// Schedules given to exhaustive DFS before switching to seeded
+    /// random search (the remainder of `max_schedules`).
+    pub dfs_budget: usize,
+    /// Seed for the random phase.
+    pub seed: u64,
+    /// How many spurious condvar wakeups may be injected per thread per
+    /// run (0 disables the extra choices).
+    pub spurious_budget: u32,
+    /// Step bound per run (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for ExploreOpts {
+    fn default() -> Self {
+        ExploreOpts {
+            max_schedules: 4096,
+            dfs_budget: 4096,
+            seed: 0x6f70_6d76_6572_6966, // "opmverif"
+            spurious_budget: 0,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// The checker's verdict for one model.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Model name (for logs and the JSON records).
+    pub name: String,
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// Whether the DFS exhausted the whole choice tree (every
+    /// interleaving at this spurious budget was covered).
+    pub complete: bool,
+    /// The first failing schedule, if any.
+    pub violation: Option<Violation>,
+}
+
+// ---------------------------------------------------------------------------
+// Global execution state
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    /// Serializes whole explorations (one execution at a time per
+    /// process; `cargo test` runs tests concurrently).
+    exec_slot: Mutex<()>,
+}
+
+struct ExecState {
+    phase: Phase,
+    threads: Vec<ThreadSt>,
+    mutex_owner: Vec<Option<Tid>>,
+    n_cvs: usize,
+    n_atomics: usize,
+    /// The thread currently allowed to execute model code.
+    active: Option<Tid>,
+    last_granted: Option<Tid>,
+    trace: Vec<String>,
+    steps: usize,
+    violation: Option<ViolationKind>,
+    /// Live model threads (registered, real thread not yet exited);
+    /// the controller resets state only once this drains to zero.
+    live: usize,
+}
+
+impl ExecState {
+    fn new() -> Self {
+        ExecState {
+            phase: Phase::Idle,
+            threads: Vec::new(),
+            mutex_owner: Vec::new(),
+            n_cvs: 0,
+            n_atomics: 0,
+            active: None,
+            last_granted: None,
+            trace: Vec::new(),
+            steps: 0,
+            violation: None,
+            live: 0,
+        }
+    }
+}
+
+fn shared() -> &'static Shared {
+    static SHARED: OnceLock<Shared> = OnceLock::new();
+    SHARED.get_or_init(|| Shared {
+        st: Mutex::new(ExecState::new()),
+        cv: Condvar::new(),
+        exec_slot: Mutex::new(()),
+    })
+}
+
+fn lock_state() -> MutexGuard<'static, ExecState> {
+    // Poison recovery: a model-thread panic while holding this lock is
+    // part of normal violation handling; the state stays structurally
+    // valid (every update is atomic under the lock).
+    shared().st.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    static CUR_TID: std::cell::Cell<Option<Tid>> = const { std::cell::Cell::new(None) };
+}
+
+fn current_tid() -> Option<Tid> {
+    CUR_TID.with(|c| c.get())
+}
+
+/// Whether the calling thread is a controlled model thread of the
+/// active execution (shims pass through to plain `std` otherwise).
+pub(crate) fn in_model() -> bool {
+    current_tid().is_some()
+}
+
+/// Panic payload used to unwind model threads when a run is abandoned;
+/// caught (and swallowed) by the thread wrapper.
+struct AbandonSignal;
+
+// ---------------------------------------------------------------------------
+// Thread-side entry points (called by the shims)
+// ---------------------------------------------------------------------------
+
+/// Registers a shim object, returning its id — or `None` when no
+/// execution is active (pass-through mode).
+pub(crate) fn register_mutex() -> Option<usize> {
+    if !in_model() {
+        return None;
+    }
+    let mut st = lock_state();
+    st.mutex_owner.push(None);
+    Some(st.mutex_owner.len() - 1)
+}
+
+/// As [`register_mutex`], for condvars.
+pub(crate) fn register_cv() -> Option<usize> {
+    if !in_model() {
+        return None;
+    }
+    let mut st = lock_state();
+    st.n_cvs += 1;
+    Some(st.n_cvs - 1)
+}
+
+/// As [`register_mutex`], for atomics.
+pub(crate) fn register_atomic() -> Option<usize> {
+    if !in_model() {
+        return None;
+    }
+    let mut st = lock_state();
+    st.n_atomics += 1;
+    Some(st.n_atomics - 1)
+}
+
+fn abandon_exit(op: &Op) {
+    // `MutexUnlock` is the one shim operation reachable from a `Drop`
+    // impl (the guard); it must not panic mid-unwind. Everything else
+    // unwinds the thread out of the abandoned run.
+    if matches!(op, Op::MutexUnlock { .. }) {
+        return;
+    }
+    std::panic::panic_any(AbandonSignal);
+}
+
+/// Parks the calling model thread with `op` pending until the
+/// controller grants it. Pass-through (no-op) when not in a model.
+pub(crate) fn step(op: Op) {
+    let Some(tid) = current_tid() else { return };
+    let sh = shared();
+    let mut st = lock_state();
+    if st.phase == Phase::Abandon {
+        drop(st);
+        abandon_exit(&op);
+        return;
+    }
+    st.threads[tid].status = Status::Ready(op.clone());
+    st.active = None;
+    sh.cv.notify_all();
+    loop {
+        if st.phase == Phase::Abandon {
+            drop(st);
+            abandon_exit(&op);
+            return;
+        }
+        if st.active == Some(tid) {
+            st.threads[tid].status = Status::Running;
+            return;
+        }
+        st = sh.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// First park of a spawned thread; returns `false` when the run was
+/// abandoned before the thread ever ran (the body must be skipped).
+fn enter(tid: Tid) -> bool {
+    let sh = shared();
+    let mut st = lock_state();
+    loop {
+        if st.phase == Phase::Abandon {
+            return false;
+        }
+        if st.active == Some(tid) {
+            st.threads[tid].status = Status::Running;
+            return true;
+        }
+        st = sh.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+fn finish(tid: Tid, panic_payload: Option<Box<dyn std::any::Any + Send>>) {
+    let sh = shared();
+    let mut st = lock_state();
+    st.threads[tid].status = Status::Finished;
+    st.live -= 1;
+    if let Some(p) = panic_payload {
+        if !p.is::<AbandonSignal>() && st.violation.is_none() {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic payload>".into());
+            st.trace.push(format!("t{tid} panicked: {msg}"));
+            st.violation = Some(ViolationKind::Panic(msg));
+        }
+    }
+    if st.active == Some(tid) {
+        st.active = None;
+    }
+    sh.cv.notify_all();
+}
+
+/// Spawns a controlled model thread running `f`; returns its tid and
+/// the real join handle (`None` result means the body was skipped or
+/// unwound by an abandon).
+pub(crate) fn spawn_model<T, F>(f: F) -> (Tid, std::thread::JoinHandle<Option<T>>)
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let child = {
+        let mut st = lock_state();
+        debug_assert!(st.phase == Phase::Running);
+        let budget = st.threads.first().map_or(0, |t| t.spurious_left);
+        st.threads.push(ThreadSt {
+            status: Status::Unborn,
+            spurious_left: budget,
+        });
+        st.live += 1;
+        st.threads.len() - 1
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("opm-verify-t{child}"))
+        .spawn(move || {
+            CUR_TID.with(|c| c.set(Some(child)));
+            let out = if enter(child) {
+                match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => {
+                        finish(child, None);
+                        Some(v)
+                    }
+                    Err(p) => {
+                        finish(child, Some(p));
+                        None
+                    }
+                }
+            } else {
+                // Abandoned before Begin: never ran, just retire.
+                finish(child, None);
+                None
+            };
+            CUR_TID.with(|c| c.set(None));
+            out
+        })
+        .expect("spawn model thread");
+    (child, handle)
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+/// One scheduling alternative at a choice point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Choice {
+    /// Grant `tid` its pending operation.
+    Grant(Tid),
+    /// Spuriously wake sleeping `tid` (it reacquires its mutex and its
+    /// `cond-wait` returns without a notify).
+    Spurious(Tid),
+}
+
+fn enabled(st: &ExecState, tid: Tid) -> bool {
+    match &st.threads[tid].status {
+        Status::Ready(op) => match op {
+            Op::MutexLock { obj } | Op::Reacquire { mutex: obj } => st.mutex_owner[*obj].is_none(),
+            Op::Join { child } => matches!(st.threads[*child].status, Status::Finished),
+            _ => true,
+        },
+        _ => false,
+    }
+}
+
+/// Deterministic candidate order: the last-granted thread first (bias
+/// toward run-to-completion, so DFS visits low-preemption schedules
+/// early), then remaining grants by tid, then spurious wakes by tid.
+fn candidates(st: &ExecState) -> Vec<Choice> {
+    let mut out = Vec::new();
+    if let Some(g) = st.last_granted {
+        if enabled(st, g) {
+            out.push(Choice::Grant(g));
+        }
+    }
+    for tid in 0..st.threads.len() {
+        if Some(tid) != st.last_granted && enabled(st, tid) {
+            out.push(Choice::Grant(tid));
+        }
+    }
+    for (tid, t) in st.threads.iter().enumerate() {
+        if matches!(t.status, Status::Sleeping { .. }) && t.spurious_left > 0 {
+            out.push(Choice::Spurious(tid));
+        }
+    }
+    out
+}
+
+/// Applies a chosen step to the execution state. Returns the thread to
+/// activate, or `None` for steps that leave every thread parked
+/// (cond-wait entering sleep, spurious wakes).
+fn apply(st: &mut ExecState, choice: &Choice) -> Option<Tid> {
+    st.steps += 1;
+    match choice {
+        Choice::Spurious(tid) => {
+            let Status::Sleeping { mutex, .. } = st.threads[*tid].status else {
+                unreachable!("spurious wake of a non-sleeping thread");
+            };
+            st.threads[*tid].spurious_left -= 1;
+            st.threads[*tid].status = Status::Ready(Op::Reacquire { mutex });
+            st.trace.push(format!("t{tid} spurious-wake"));
+            None
+        }
+        Choice::Grant(tid) => {
+            let Status::Ready(op) = st.threads[*tid].status.clone() else {
+                unreachable!("granted a non-ready thread");
+            };
+            st.trace.push(format!("t{tid} {}", op.label()));
+            st.last_granted = Some(*tid);
+            match op {
+                Op::Spawn { child } => {
+                    st.threads[child].status = Status::Ready(Op::Begin);
+                    Some(*tid)
+                }
+                Op::MutexLock { obj } | Op::Reacquire { mutex: obj } => {
+                    debug_assert!(st.mutex_owner[obj].is_none());
+                    st.mutex_owner[obj] = Some(*tid);
+                    Some(*tid)
+                }
+                Op::MutexUnlock { obj } => {
+                    debug_assert_eq!(st.mutex_owner[obj], Some(*tid));
+                    st.mutex_owner[obj] = None;
+                    Some(*tid)
+                }
+                Op::CondWait { cv, mutex } => {
+                    debug_assert_eq!(st.mutex_owner[mutex], Some(*tid));
+                    st.mutex_owner[mutex] = None;
+                    st.threads[*tid].status = Status::Sleeping { cv, mutex };
+                    None
+                }
+                Op::NotifyAll { cv } => {
+                    for t in st.threads.iter_mut() {
+                        if let Status::Sleeping { cv: c, mutex } = t.status {
+                            if c == cv {
+                                t.status = Status::Ready(Op::Reacquire { mutex });
+                            }
+                        }
+                    }
+                    Some(*tid)
+                }
+                Op::NotifyOne { cv } => {
+                    for t in st.threads.iter_mut() {
+                        if let Status::Sleeping { cv: c, mutex } = t.status {
+                            if c == cv {
+                                t.status = Status::Ready(Op::Reacquire { mutex });
+                                break; // lowest tid only
+                            }
+                        }
+                    }
+                    Some(*tid)
+                }
+                Op::Begin
+                | Op::Join { .. }
+                | Op::AtomicLoad { .. }
+                | Op::AtomicRmw { .. }
+                | Op::Yield => Some(*tid),
+            }
+        }
+    }
+}
+
+enum Mode<'a> {
+    /// Follow `prefix`, then always take alternative 0.
+    Dfs { prefix: &'a [usize] },
+    /// Follow `prefix` (replay), then draw from the seeded rng.
+    Random { prefix: &'a [usize], rng: StdRng },
+}
+
+struct RunOutcome {
+    violation: Option<(ViolationKind, Vec<String>)>,
+    /// `(chosen, n_candidates)` at each choice point.
+    points: Vec<(usize, usize)>,
+}
+
+/// Executes one schedule of `model` under the controller. `reduced`
+/// applies the conflict reduction (random mode only; see module docs).
+fn run_one(
+    model: &Arc<dyn Fn() + Send + Sync>,
+    mode: &mut Mode<'_>,
+    opts: &ExploreOpts,
+    reduced: bool,
+    strict_replay: bool,
+) -> RunOutcome {
+    let sh = shared();
+    // Fresh state for this run.
+    {
+        let mut st = lock_state();
+        debug_assert_eq!(st.live, 0, "stale model threads from a previous run");
+        *st = ExecState::new();
+        st.phase = Phase::Running;
+    }
+    // The root model thread (tid 0) runs the closure.
+    let model = Arc::clone(model);
+    let root = {
+        // spawn_model expects to be called with CUR_TID unset only for
+        // the root; it reads `spurious_left` from thread 0, so seed the
+        // budget by registering the root manually.
+        let mut st = lock_state();
+        st.threads.push(ThreadSt {
+            status: Status::Ready(Op::Begin),
+            spurious_left: opts.spurious_budget,
+        });
+        st.live += 1;
+        0
+    };
+    let root_handle = std::thread::Builder::new()
+        .name("opm-verify-t0".into())
+        .spawn(move || {
+            CUR_TID.with(|c| c.set(Some(root)));
+            if enter(root) {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| model())) {
+                    Ok(()) => finish(root, None),
+                    Err(p) => finish(root, Some(p)),
+                }
+            } else {
+                finish(root, None);
+            }
+            CUR_TID.with(|c| c.set(None));
+        })
+        .expect("spawn model root thread");
+
+    let mut points: Vec<(usize, usize)> = Vec::new();
+    let mut cursor = 0usize;
+    let violation = loop {
+        let mut st = lock_state();
+        // Wait until the active thread parks (or finishes/panics).
+        while st.active.is_some() {
+            st = sh.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        if let Some(v) = st.violation.clone() {
+            break Some((v, st.trace.clone()));
+        }
+        if st.steps >= opts.max_steps {
+            break Some((ViolationKind::StepLimit, st.trace.clone()));
+        }
+        let cands = candidates(&st);
+        if cands.is_empty() {
+            if st
+                .threads
+                .iter()
+                .all(|t| matches!(t.status, Status::Finished))
+            {
+                break None; // run complete
+            }
+            let stuck: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.status, Status::Finished))
+                .map(|(tid, t)| match &t.status {
+                    Status::Ready(op) => format!("t{tid} blocked at {}", op.label()),
+                    Status::Sleeping { cv, .. } => format!("t{tid} sleeping on c{cv}"),
+                    _ => format!("t{tid} stuck"),
+                })
+                .collect();
+            break Some((ViolationKind::Deadlock(stuck.join("; ")), st.trace.clone()));
+        }
+        // Conflict reduction (random mode): keep the current thread
+        // running while its pending op commutes with every other
+        // enabled pending op — those interleavings are equivalent.
+        let mut idx = None;
+        if reduced && cands.len() > 1 {
+            if let Some(g) = st.last_granted {
+                if cands.first() == Some(&Choice::Grant(g)) {
+                    let my_op = match &st.threads[g].status {
+                        Status::Ready(op) => op.clone(),
+                        _ => unreachable!(),
+                    };
+                    let clash = cands.iter().skip(1).any(|c| match c {
+                        Choice::Grant(t) => match &st.threads[*t].status {
+                            Status::Ready(op) => my_op.conflicts(op),
+                            _ => false,
+                        },
+                        // A possible spurious wake is always a real
+                        // alternative (it can change waiter behavior).
+                        Choice::Spurious(_) => true,
+                    });
+                    if !clash {
+                        idx = Some(0);
+                    }
+                }
+            }
+        }
+        let idx = match idx {
+            Some(i) => i, // reduced: not a choice point
+            None if cands.len() == 1 => 0,
+            None => {
+                let want = match &*mode {
+                    Mode::Dfs { prefix } => prefix.get(cursor).copied(),
+                    Mode::Random { prefix, .. } => prefix.get(cursor).copied(),
+                };
+                let chosen = match want {
+                    Some(w) if w >= cands.len() => {
+                        assert!(
+                            !strict_replay,
+                            "replay diverged: choice {w} of {} at point {cursor} — \
+                             the model is not deterministic",
+                            cands.len()
+                        );
+                        cands.len() - 1
+                    }
+                    Some(w) => w,
+                    None => match mode {
+                        Mode::Dfs { .. } => 0,
+                        Mode::Random { rng, .. } => rng.next_u64() as usize % cands.len(),
+                    },
+                };
+                cursor += 1;
+                points.push((chosen, cands.len()));
+                chosen
+            }
+        };
+        let activate = apply(&mut st, &cands[idx]);
+        st.active = activate;
+        sh.cv.notify_all();
+        drop(st);
+    };
+
+    // End of run: abandon whatever is still parked, then wait for every
+    // model thread to retire before the state can be reset.
+    {
+        let mut st = lock_state();
+        st.phase = Phase::Abandon;
+        st.active = None;
+        sh.cv.notify_all();
+        while st.live > 0 {
+            st = sh.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.phase = Phase::Idle;
+    }
+    let _ = root_handle.join();
+    RunOutcome { violation, points }
+}
+
+/// Suppresses panic output from model threads for the duration of an
+/// exploration (expected violations would otherwise spam stderr);
+/// panics on other threads keep the previous hook's behavior.
+///
+/// The previous hook's concrete type is never written out — the hook
+/// info type was renamed across toolchains and this crate builds on the
+/// workspace MSRV — so the guard stores an erased restore closure.
+struct HookGuard {
+    restore: Option<Box<dyn FnOnce()>>,
+}
+
+impl HookGuard {
+    fn install() -> Self {
+        let prev = Arc::new(std::panic::take_hook());
+        let fwd = Arc::clone(&prev);
+        std::panic::set_hook(Box::new(move |info| {
+            if !in_model() {
+                fwd(info);
+            }
+        }));
+        HookGuard {
+            restore: Some(Box::new(move || {
+                std::panic::set_hook(Box::new(move |info| prev(info)));
+            })),
+        }
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(restore) = self.restore.take() {
+            restore();
+        }
+    }
+}
+
+/// Explores `model` under the schedule search described in the module
+/// docs: exhaustive DFS up to [`ExploreOpts::dfs_budget`], then seeded
+/// random search with conflict reduction for the remaining budget.
+/// Stops at the first violation.
+pub fn explore(name: &str, opts: &ExploreOpts, model: impl Fn() + Send + Sync + 'static) -> Report {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let sh = shared();
+    let _slot = sh.exec_slot.lock().unwrap_or_else(PoisonError::into_inner);
+    let _hook = HookGuard::install();
+
+    let mut schedules = 0usize;
+    let mut complete = false;
+
+    // Phase 1: exhaustive DFS.
+    let mut prefix: Vec<usize> = Vec::new();
+    let dfs_budget = opts.dfs_budget.min(opts.max_schedules);
+    loop {
+        if schedules >= dfs_budget {
+            break;
+        }
+        let out = run_one(
+            &model,
+            &mut Mode::Dfs { prefix: &prefix },
+            opts,
+            false,
+            true,
+        );
+        schedules += 1;
+        if let Some((kind, trace)) = out.violation {
+            let choices: Vec<usize> = out.points.iter().map(|&(c, _)| c).collect();
+            return Report {
+                name: name.into(),
+                schedules,
+                complete: false,
+                violation: Some(Violation {
+                    kind,
+                    schedule: Schedule {
+                        choices,
+                        reduced: false,
+                        spurious_budget: opts.spurious_budget,
+                    },
+                    trace,
+                }),
+            };
+        }
+        // Backtrack: deepest choice point with an untried alternative.
+        let mut next_prefix = None;
+        for (depth, &(chosen, n)) in out.points.iter().enumerate().rev() {
+            if chosen + 1 < n {
+                let mut p: Vec<usize> = out.points[..depth].iter().map(|&(c, _)| c).collect();
+                p.push(chosen + 1);
+                next_prefix = Some(p);
+                break;
+            }
+        }
+        match next_prefix {
+            Some(p) => prefix = p,
+            None => {
+                complete = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: seeded random with conflict reduction, for whatever
+    // budget remains (skipped when DFS already covered the whole tree).
+    if !complete {
+        let mut seeder = StdRng::seed_from_u64(opts.seed);
+        while schedules < opts.max_schedules {
+            let run_seed = seeder.next_u64();
+            let out = run_one(
+                &model,
+                &mut Mode::Random {
+                    prefix: &[],
+                    rng: StdRng::seed_from_u64(run_seed),
+                },
+                opts,
+                true,
+                true,
+            );
+            schedules += 1;
+            if let Some((kind, trace)) = out.violation {
+                let choices: Vec<usize> = out.points.iter().map(|&(c, _)| c).collect();
+                return Report {
+                    name: name.into(),
+                    schedules,
+                    complete: false,
+                    violation: Some(Violation {
+                        kind,
+                        schedule: Schedule {
+                            choices,
+                            reduced: true,
+                            spurious_budget: opts.spurious_budget,
+                        },
+                        trace,
+                    }),
+                };
+            }
+        }
+    }
+
+    Report {
+        name: name.into(),
+        schedules,
+        complete,
+        violation: None,
+    }
+}
+
+/// Re-runs `model` under a captured [`Schedule`], returning the
+/// violation it reproduces (deterministically `None` if it does not —
+/// e.g. after the underlying bug was fixed).
+pub fn replay(
+    model: impl Fn() + Send + Sync + 'static,
+    schedule: &Schedule,
+    opts: &ExploreOpts,
+) -> Option<Violation> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    replay_arc(&model, schedule, opts, true)
+}
+
+fn replay_arc(
+    model: &Arc<dyn Fn() + Send + Sync>,
+    schedule: &Schedule,
+    opts: &ExploreOpts,
+    strict: bool,
+) -> Option<Violation> {
+    let sh = shared();
+    let _slot = sh.exec_slot.lock().unwrap_or_else(PoisonError::into_inner);
+    let _hook = HookGuard::install();
+    let opts = ExploreOpts {
+        spurious_budget: schedule.spurious_budget,
+        ..opts.clone()
+    };
+    let out = if schedule.reduced {
+        run_one(
+            model,
+            &mut Mode::Random {
+                prefix: &schedule.choices,
+                // Past the prefix, bias to run-to-completion (choice 0):
+                // deterministic and preemption-minimal.
+                rng: StdRng::seed_from_u64(0),
+            },
+            &opts,
+            true,
+            strict,
+        )
+    } else {
+        run_one(
+            model,
+            &mut Mode::Dfs {
+                prefix: &schedule.choices,
+            },
+            &opts,
+            false,
+            strict,
+        )
+    };
+    out.violation.map(|(kind, trace)| Violation {
+        kind,
+        schedule: Schedule {
+            choices: out.points.iter().map(|&(c, _)| c).collect(),
+            reduced: schedule.reduced,
+            spurious_budget: schedule.spurious_budget,
+        },
+        trace,
+    })
+}
+
+/// Greedily simplifies a failing schedule while preserving its
+/// violation kind: first tries zeroing each nonzero choice (choice 0 is
+/// "keep the current thread running", so zeros mean fewer
+/// preemptions), then trims trailing zeros. Bounded by `max_runs`
+/// replays.
+pub fn shrink(
+    model: impl Fn() + Send + Sync + 'static,
+    violation: &Violation,
+    opts: &ExploreOpts,
+    max_runs: usize,
+) -> Violation {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let same_kind = |a: &ViolationKind, b: &ViolationKind| {
+        std::mem::discriminant(a) == std::mem::discriminant(b)
+    };
+    let mut best = violation.clone();
+    let mut runs = 0usize;
+    let mut i = 0;
+    while i < best.schedule.choices.len() && runs < max_runs {
+        if best.schedule.choices[i] != 0 {
+            let mut cand = best.schedule.clone();
+            cand.choices[i] = 0;
+            runs += 1;
+            if let Some(v) = replay_arc(&model, &cand, opts, false) {
+                if same_kind(&v.kind, &best.kind) {
+                    best = v;
+                    continue; // re-examine the same index in the new schedule
+                }
+            }
+        }
+        i += 1;
+    }
+    while best.schedule.choices.last() == Some(&0) {
+        best.schedule.choices.pop();
+    }
+    // The trimmed schedule must still reproduce (replay fills the tail
+    // with zeros, so trimming zeros is semantics-preserving).
+    best
+}

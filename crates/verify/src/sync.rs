@@ -1,0 +1,442 @@
+//! Shim synchronization primitives controlled by the scheduler.
+//!
+//! Drop-in lookalikes for the `std::sync` types the workspace's
+//! protocols use — [`Mutex`], [`Condvar`], [`AtomicUsize`],
+//! [`AtomicBool`], [`thread::spawn`]/[`thread::JoinHandle`] — that
+//! report every operation to [`crate::sched`] as a scheduling point.
+//! Data is still genuinely guarded: each shim mutex wraps a real
+//! `std::sync::Mutex` (always uncontended, because the scheduler admits
+//! the lock only when it is free), so a scheduler bug would surface as
+//! a real race rather than silent corruption.
+//!
+//! Outside an active exploration the shims **pass through** to plain
+//! `std` behavior (the scheduler hooks are no-ops), so code generic
+//! over [`ShimSync`] also runs normally — handy in the checker's own
+//! unit tests.
+//!
+//! [`ShimSync`] implements [`opm_core::sync::MonitorFamily`] (and
+//! [`ShimCancelFlag`] implements [`opm_core::sync::CancelFlag`],
+//! [`ShimAtomicCounter`] implements [`opm_par::ClaimCounter`]), which
+//! is how the *production* protocol code — `GateCache`, `Latch`,
+//! `CancelCore`, `claim_indices` — is instantiated on these shims and
+//! model-checked without a test-only copy drifting out of sync.
+
+use std::panic::{RefUnwindSafe, UnwindSafe};
+use std::sync::PoisonError;
+
+use crate::sched::{self, Op};
+
+pub use std::sync::Arc;
+
+/// A scheduler-controlled mutex.
+///
+/// `lock` is a scheduling point; the scheduler grants it only while no
+/// other model thread holds the mutex, so the inner `std` mutex never
+/// blocks (a `try_lock` failure would mean a scheduler bug, and
+/// panics).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    /// Scheduler object id; `None` when created outside an execution
+    /// (pass-through mode).
+    id: Option<usize>,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new shim mutex registered with the active execution (if any).
+    pub fn new(value: T) -> Self {
+        Mutex {
+            id: sched::register_mutex(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the mutex (scheduling point).
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError<MutexGuard<'_, T>>> {
+        if let Some(id) = self.id {
+            sched::step(Op::MutexLock { obj: id });
+            let inner = match self.inner.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    unreachable!("scheduler granted a held mutex")
+                }
+            };
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            })
+        } else {
+            let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            })
+        }
+    }
+}
+
+impl<T> UnwindSafe for Mutex<T> {}
+impl<T> RefUnwindSafe for Mutex<T> {}
+
+/// Guard returned by [`Mutex::lock`]; releasing it (drop) is a
+/// scheduling point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    /// The shim mutex this guard locks — kept so [`Condvar::wait`] can
+    /// release and reacquire the underlying lock.
+    lock: &'a Mutex<T>,
+    /// `Option` so [`Condvar::wait`] can release and reacquire in
+    /// place; always `Some` outside that window.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard live")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard live")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then report: the scheduler may
+        // immediately grant the mutex to another thread.
+        self.inner.take();
+        if let Some(id) = self.lock.id {
+            sched::step(Op::MutexUnlock { obj: id });
+        }
+    }
+}
+
+/// A scheduler-controlled condition variable with `std` semantics:
+/// `wait` atomically releases the mutex and sleeps; a notify arriving
+/// while no one sleeps is lost (which is exactly the class of bug the
+/// checker exists to find).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    id: Option<usize>,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// A new shim condvar registered with the active execution (if any).
+    pub fn new() -> Self {
+        Condvar {
+            id: sched::register_cv(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Releases `guard`'s mutex, sleeps until a notify (or an injected
+    /// spurious wakeup), reacquires, and returns the guard.
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>> {
+        match (self.id, guard.lock.id) {
+            (Some(cv), Some(mutex)) => {
+                // Drop the real lock; the scheduler's CondWait step
+                // makes release-and-sleep atomic from the model's view
+                // (no other thread runs in between).
+                drop(guard.inner.take().expect("guard live"));
+                sched::step(Op::CondWait { cv, mutex });
+                // Woken: the scheduler has granted the reacquire, so
+                // the real mutex is ours again.
+                let inner = match guard.lock.inner.try_lock() {
+                    Ok(g) => g,
+                    Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(std::sync::TryLockError::WouldBlock) => {
+                        unreachable!("scheduler granted a held mutex on wake")
+                    }
+                };
+                guard.inner = Some(inner);
+                Ok(guard)
+            }
+            _ => {
+                let std_guard = guard.inner.take().expect("guard live");
+                let woken = self
+                    .inner
+                    .wait(std_guard)
+                    .unwrap_or_else(PoisonError::into_inner);
+                guard.inner = Some(woken);
+                Ok(guard)
+            }
+        }
+    }
+
+    /// Wakes every thread sleeping on this condvar (scheduling point).
+    pub fn notify_all(&self) {
+        match self.id {
+            Some(cv) => sched::step(Op::NotifyAll { cv }),
+            None => self.inner.notify_all(),
+        }
+    }
+
+    /// Wakes one thread sleeping on this condvar (scheduling point;
+    /// the scheduler deterministically picks the lowest-numbered
+    /// sleeper).
+    pub fn notify_one(&self) {
+        match self.id {
+            Some(cv) => sched::step(Op::NotifyOne { cv }),
+            None => self.inner.notify_one(),
+        }
+    }
+}
+
+/// Atomic counter shim; every access is a scheduling point.
+#[derive(Debug, Default)]
+pub struct AtomicUsize {
+    id: Option<usize>,
+    inner: std::sync::atomic::AtomicUsize,
+}
+
+impl AtomicUsize {
+    /// A new shim atomic registered with the active execution (if any).
+    pub fn new(v: usize) -> Self {
+        AtomicUsize {
+            id: sched::register_atomic(),
+            inner: std::sync::atomic::AtomicUsize::new(v),
+        }
+    }
+
+    /// Atomic read (scheduling point).
+    pub fn load(&self, order: std::sync::atomic::Ordering) -> usize {
+        if let Some(obj) = self.id {
+            sched::step(Op::AtomicLoad { obj });
+        }
+        self.inner.load(order)
+    }
+
+    /// Atomic fetch-add (scheduling point).
+    pub fn fetch_add(&self, v: usize, order: std::sync::atomic::Ordering) -> usize {
+        if let Some(obj) = self.id {
+            sched::step(Op::AtomicRmw { obj });
+        }
+        self.inner.fetch_add(v, order)
+    }
+
+    /// Atomic store (scheduling point).
+    pub fn store(&self, v: usize, order: std::sync::atomic::Ordering) {
+        if let Some(obj) = self.id {
+            sched::step(Op::AtomicRmw { obj });
+        }
+        self.inner.store(v, order);
+    }
+}
+
+/// Atomic flag shim; every access is a scheduling point.
+#[derive(Debug, Default)]
+pub struct AtomicBool {
+    id: Option<usize>,
+    inner: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// A new shim atomic registered with the active execution (if any).
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            id: sched::register_atomic(),
+            inner: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Atomic read (scheduling point).
+    pub fn load(&self, order: std::sync::atomic::Ordering) -> bool {
+        if let Some(obj) = self.id {
+            sched::step(Op::AtomicLoad { obj });
+        }
+        self.inner.load(order)
+    }
+
+    /// Atomic store (scheduling point).
+    pub fn store(&self, v: bool, order: std::sync::atomic::Ordering) {
+        if let Some(obj) = self.id {
+            sched::step(Op::AtomicRmw { obj });
+        }
+        self.inner.store(v, order);
+    }
+}
+
+/// Scheduler-controlled `thread` namespace: [`thread::spawn`] and
+/// [`thread::yield_now`] over model threads.
+pub mod thread {
+    use crate::sched::{self, Op};
+
+    /// Handle to a spawned model (or, in pass-through mode, plain OS)
+    /// thread.
+    pub struct JoinHandle<T> {
+        /// `None` when spawned outside an execution (pass-through).
+        tid: Option<sched::Tid>,
+        inner: std::thread::JoinHandle<Option<T>>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Joins the thread (scheduling point; enabled once the child
+        /// finished). Returns `Err` if the child panicked — but note
+        /// that under the checker a child panic already ends the run
+        /// as a violation.
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some(tid) = self.tid {
+                sched::step(Op::Join { child: tid });
+            }
+            match self.inner.join() {
+                Ok(Some(v)) => Ok(v),
+                // Body skipped/unwound by an abandoned run: surface as
+                // a panic-shaped error; the violation is already
+                // recorded and the caller is itself unwinding.
+                Ok(None) => Err(Box::new("model run abandoned")),
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    /// Spawns a scheduler-controlled thread (a plain OS thread when no
+    /// execution is active).
+    pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        if sched::in_model() {
+            let (tid, inner) = sched::spawn_model(f);
+            sched::step(Op::Spawn { child: tid });
+            JoinHandle {
+                tid: Some(tid),
+                inner,
+            }
+        } else {
+            JoinHandle {
+                tid: None,
+                inner: std::thread::spawn(move || Some(f())),
+            }
+        }
+    }
+
+    /// Explicit scheduling point with no object effect (a plain
+    /// [`std::thread::yield_now`] outside an execution).
+    pub fn yield_now() {
+        if sched::in_model() {
+            sched::step(Op::Yield);
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trait impls wiring the production protocols onto the shims
+// ---------------------------------------------------------------------------
+
+/// Shim monitor: [`Mutex`] + [`Condvar`] implementing
+/// [`opm_core::sync::Monitor`], mirroring `StdMonitor` exactly.
+#[derive(Debug, Default)]
+pub struct ShimMonitor<T> {
+    state: Mutex<T>,
+    cv: Condvar,
+}
+
+impl<T: Send + 'static> opm_core::sync::Monitor<T> for ShimMonitor<T> {
+    fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut g)
+    }
+
+    fn wait_until<R>(&self, mut pred: impl FnMut(&mut T) -> Option<R>) -> R {
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = pred(&mut g) {
+                return r;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn notify_with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        // Mirrors `StdMonitor` exactly: mutate, notify while still
+        // holding the lock, release on return.
+        let mut g = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let r = f(&mut g);
+        self.cv.notify_all();
+        r
+    }
+}
+
+/// [`opm_core::sync::MonitorFamily`] over the shim primitives —
+/// substitute for `StdSync` to model-check monitor-based protocols.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShimSync;
+
+impl opm_core::sync::MonitorFamily for ShimSync {
+    type Monitor<T: Send + 'static> = ShimMonitor<T>;
+
+    fn monitor<T: Send + 'static>(init: T) -> Self::Monitor<T> {
+        ShimMonitor {
+            state: Mutex::new(init),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// Shim [`opm_core::sync::CancelFlag`] over [`AtomicBool`].
+#[derive(Debug, Default)]
+pub struct ShimCancelFlag(AtomicBool);
+
+impl ShimCancelFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> Self {
+        ShimCancelFlag(AtomicBool::new(false))
+    }
+}
+
+impl opm_core::sync::CancelFlag for ShimCancelFlag {
+    fn set(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn get(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::SeqCst)
+    }
+}
+
+/// Virtual-clock [`opm_core::sync::DeadlineSource`]: "now" is an
+/// [`AtomicUsize`] tick some model thread advances; the deadline
+/// expires at a fixed tick. Stands in for the wall clock so deadline
+/// protocols are schedulable.
+#[derive(Debug)]
+pub struct TickDeadline {
+    /// Shared virtual clock.
+    pub now: Arc<AtomicUsize>,
+    /// Expiry tick (expired once `now >= at`).
+    pub at: usize,
+}
+
+impl opm_core::sync::DeadlineSource for TickDeadline {
+    fn expired(&self) -> bool {
+        self.now.load(std::sync::atomic::Ordering::SeqCst) >= self.at
+    }
+}
+
+/// Shim [`opm_par::ClaimCounter`] over [`AtomicUsize`] — lets the
+/// checker drive the *production* `claim_indices` loop.
+#[derive(Debug, Default)]
+pub struct ShimAtomicCounter(pub AtomicUsize);
+
+impl ShimAtomicCounter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        ShimAtomicCounter(AtomicUsize::new(0))
+    }
+}
+
+impl opm_par::ClaimCounter for ShimAtomicCounter {
+    fn claim_next(&self) -> usize {
+        self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+}

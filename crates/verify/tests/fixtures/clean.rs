@@ -1,0 +1,33 @@
+// Fixture: a file where every banned pattern appears ONLY where the
+// scanner must ignore it — strings, comments, raw strings, char
+// context, cfg(test) regions, and word-boundary lookalikes. Zero
+// findings expected, even classified as kernel code.
+
+// println!("in a comment"); lock().unwrap(); Instant::now();
+
+/* block comment: thread::sleep(d); a.mul_add(b, c); unsafe { } */
+
+pub const DOCS: &str = "println!(\"in a string\"); .lock().unwrap()";
+pub const RAW: &str = r#"Instant::now(); eprintln!("raw"); mul_add("#;
+
+// The attribute below contains `unsafe_code` — a word-boundary
+// lookalike that must NOT count as an `unsafe` token.
+#[deny(unsafe_code)]
+pub mod inner {
+    pub fn lifetime_not_char<'a>(s: &'a str) -> &'a str {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banned_patterns_are_fine_in_tests() {
+        let m = std::sync::Mutex::new(1u32);
+        let v = *m.lock().unwrap();
+        println!("v = {v}");
+        let _t = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _f = 2.0f64.mul_add(3.0, v as f64);
+    }
+}

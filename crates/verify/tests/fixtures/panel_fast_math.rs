@@ -1,0 +1,11 @@
+// Fixture: fused multiply-add in kernel code must trip
+// `panel-fast-math` (the panels carry a bit-identity contract against
+// the scalar reference; fused rounding breaks it).
+
+pub fn bad(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}
+
+pub fn fine(a: f64, b: f64, c: f64) -> f64 {
+    a * b + c
+}

@@ -1,0 +1,14 @@
+// Fixture: bare unwrap on a lock result must trip `poison-unwrap`.
+use std::sync::Mutex;
+
+pub fn bad(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn also_bad(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned")
+}
+
+pub fn fine(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

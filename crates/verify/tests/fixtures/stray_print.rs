@@ -1,0 +1,13 @@
+// Fixture: printing from library code must trip `stray-print`.
+
+pub fn bad(x: u32) {
+    println!("x = {x}");
+}
+
+pub fn also_bad(x: u32) {
+    eprintln!("x = {x}");
+}
+
+pub fn fine(x: u32) -> String {
+    format!("x = {x}")
+}

@@ -1,0 +1,21 @@
+// Fixture: `unsafe` without a SAFETY rationale must trip
+// `unsafe-safety`; with one, it must not.
+
+pub fn bad(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+pub fn fine(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` is valid and aligned.
+    unsafe { *p }
+}
+
+/// Doc-justified variant.
+///
+/// # Safety
+/// `p` must be valid for reads.
+#[allow(clippy::missing_safety_doc)]
+pub unsafe fn fine_fn(p: *const u32) -> u32 {
+    // SAFETY: forwarded obligation from this fn's own contract.
+    unsafe { *p }
+}

@@ -1,0 +1,19 @@
+// Fixture: clock reads in kernel-crate code must trip `wall-clock`.
+use std::time::Instant;
+
+pub fn bad_timing() -> f64 {
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+pub fn bad_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

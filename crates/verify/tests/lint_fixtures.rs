@@ -1,0 +1,133 @@
+//! The lint rules, proven on fixtures: each banned pattern trips its
+//! rule, each deliberately-ignorable occurrence (strings, comments,
+//! tests, word-boundary lookalikes) does not, and the live workspace
+//! itself lints clean.
+
+use std::path::Path;
+
+use opm_verify::lint::{self, FileClass};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn rules_fired(name: &str, class: FileClass) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = lint::lint_source(name, &fixture(name), class)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+    rules.dedup();
+    rules
+}
+
+const KERNEL: FileClass = FileClass {
+    kernel: true,
+    bin: false,
+};
+const LIBRARY: FileClass = FileClass {
+    kernel: false,
+    bin: false,
+};
+
+#[test]
+fn poison_unwrap_fires_on_bare_lock_unwrap() {
+    let findings = lint::lint_source("poison_unwrap.rs", &fixture("poison_unwrap.rs"), LIBRARY);
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "poison-unwrap")
+        .collect();
+    assert_eq!(hits.len(), 2, "unwrap() and expect(): {findings:?}");
+    assert!(hits.iter().all(|f| f.line == 5 || f.line == 9), "{hits:?}");
+}
+
+#[test]
+fn wall_clock_fires_only_in_kernel_non_test_code() {
+    let fired = rules_fired("wall_clock.rs", KERNEL);
+    assert_eq!(fired, vec!["wall-clock"]);
+    let findings = lint::lint_source("wall_clock.rs", &fixture("wall_clock.rs"), KERNEL);
+    assert_eq!(
+        findings.len(),
+        3,
+        "Instant import + Instant::now + sleep, none from the test module: {findings:?}"
+    );
+    // The same file outside a kernel crate is fine.
+    assert!(rules_fired("wall_clock.rs", LIBRARY).is_empty());
+}
+
+#[test]
+fn unsafe_without_safety_fires_and_justified_unsafe_does_not() {
+    let findings = lint::lint_source(
+        "unsafe_no_safety.rs",
+        &fixture("unsafe_no_safety.rs"),
+        LIBRARY,
+    );
+    let hits: Vec<_> = findings
+        .iter()
+        .filter(|f| f.rule == "unsafe-safety")
+        .collect();
+    assert_eq!(hits.len(), 1, "only the unjustified block: {findings:?}");
+    assert_eq!(hits[0].line, 5, "{hits:?}");
+}
+
+#[test]
+fn panel_fast_math_fires_in_kernel_code_only() {
+    assert_eq!(
+        rules_fired("panel_fast_math.rs", KERNEL),
+        vec!["panel-fast-math"]
+    );
+    assert!(rules_fired("panel_fast_math.rs", LIBRARY).is_empty());
+}
+
+#[test]
+fn stray_print_fires_in_libraries_but_not_bins() {
+    assert_eq!(rules_fired("stray_print.rs", LIBRARY), vec!["stray-print"]);
+    let bin = FileClass {
+        kernel: false,
+        bin: true,
+    };
+    assert!(rules_fired("stray_print.rs", bin).is_empty());
+}
+
+#[test]
+fn clean_fixture_produces_zero_findings_even_as_kernel_code() {
+    let findings = lint::lint_source("clean.rs", &fixture("clean.rs"), KERNEL);
+    assert!(findings.is_empty(), "false positives: {findings:?}");
+}
+
+#[test]
+fn file_classification_follows_paths() {
+    assert!(FileClass::from_path("crates/sparse/src/lu.rs").kernel);
+    assert!(!FileClass::from_path("crates/serve/src/lib.rs").kernel);
+    assert!(!FileClass::from_path("crates/bench/src/lib.rs").kernel);
+    assert!(FileClass::from_path("crates/verify/src/main.rs").bin);
+    assert!(FileClass::from_path("crates/bench/src/bin/sweep.rs").bin);
+    assert!(!FileClass::from_path("crates/core/src/lib.rs").bin);
+}
+
+/// The gate CI enforces: the workspace itself must lint clean (findings
+/// covered by the allowlists are fine; anything else fails this test
+/// the same way it fails `opm-verify lint`).
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint::lint_repo(&root).expect("lint infrastructure");
+    assert!(
+        report.files_scanned > 50,
+        "walked {} files — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.ok(),
+        "workspace lint violations:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

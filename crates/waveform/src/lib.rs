@@ -9,6 +9,10 @@
 //! experiments; [`Waveform::derivative`] exists because the second-order
 //! nodal form differentiates its current excitation.
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub mod waveform;
 
 pub use waveform::{InputSet, Waveform, WaveformError};

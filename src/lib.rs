@@ -72,6 +72,10 @@
 //! [`enum@Error`], so netlist → simulate pipelines compose with `?`
 //! end to end.
 
+// No unsafe anywhere in this crate; the only unsafe in the workspace
+// is the audited AVX panel dispatch in opm-{core,sparse,fracnum}.
+#![forbid(unsafe_code)]
+
 pub use opm_basis as basis;
 pub use opm_circuits as circuits;
 pub use opm_core as core;
