@@ -53,6 +53,18 @@ Records may also carry an explicit `"class"` field in the *reference*
   regardless of the reference value. Used for boolean verdicts
   ("the seeded bug was caught", "the replay reproduced it") that must
   never degrade to partial credit.
+- `"class": "ceiling"` — the candidate `value` must be <= the reference
+  `value`. Used for convergence-cost counts such as the Newton sweep's
+  `newton/rectifier_iters` and `newton/refactors_per_step`: needing
+  more iterations (or more refactorizations per step) than the
+  committed baseline means the numeric-refactor Newton path silently
+  degraded.
+
+`newton/fresh_factor_fallbacks` joins the hard candidate-only checks:
+whenever the reference carries it, the candidate value must be exactly
+0 — a nonzero count means the Newton sweep abandoned its recorded
+symbolic analysis for a fresh pivoted factorization, which is the
+pattern-degradation escape hatch, not the steady state.
 
 Exit code 0 = pass, 1 = regression/drift (each failure printed).
 """
@@ -74,15 +86,18 @@ COUNT_FIELDS = (
     "history_len",
 )
 
-# Bit-identity records that must be exactly 0 in the *candidate* run even
-# before any reference comparison: these encode hard contracts (panelling
-# must not change a single bit; a plan-cache hit must reuse the *same*
-# factorization), so a nonzero value is a correctness bug regardless of
-# what the baseline says. Gated only when the reference carries the
-# record, so the sweep and serve artifacts can share this script.
+# Records that must be exactly 0 in the *candidate* run even before any
+# reference comparison: these encode hard contracts (panelling must not
+# change a single bit; a plan-cache hit must reuse the *same*
+# factorization; a Newton sweep must never fall back from its recorded
+# symbolic analysis to a fresh pivoted factor), so a nonzero value is a
+# correctness bug regardless of what the baseline says. Gated only when
+# the reference carries the record, so the sweep and serve artifacts can
+# share this script.
 HARD_ZERO_RECORDS = (
     "kernel/panel_vs_scalar_max_abs_delta",
     "serve/warm_vs_cold_max_abs_delta",
+    "newton/fresh_factor_fallbacks",
 )
 
 # Rate-style records gated against an absolute floor on the candidate
@@ -181,6 +196,15 @@ def main():
                 failures.append(
                     f"`{rid}`: expected exactly 1, got {cv!r} "
                     "(a must-hold verdict degraded)"
+                )
+        elif cls == "ceiling":
+            rv = ref[rid].get("value")
+            if cv is None or rv is None:
+                failures.append(f"`{rid}`: ceiling records must never be null")
+            elif cv > rv:
+                failures.append(
+                    f"`{rid}`: {cv!r} exceeded the committed ceiling {rv!r} "
+                    "(convergence cost silently grew)"
                 )
         else:
             failures.append(f"`{rid}`: unknown record class {cls!r}")

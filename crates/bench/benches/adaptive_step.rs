@@ -4,8 +4,8 @@
 use opm_bench::criterion::{criterion_group, criterion_main, Criterion};
 use opm_circuits::ladder::rc_ladder;
 use opm_circuits::mna::{assemble_mna, Output};
-use opm_core::adaptive::{solve_linear_adaptive, AdaptiveOpmOptions};
-use opm_core::linear::solve_linear;
+use opm_core::adaptive::AdaptiveOpmOptions;
+use opm_core::{Problem, SolveOptions};
 use opm_waveform::Waveform;
 use std::hint::black_box;
 
@@ -21,24 +21,31 @@ fn bench(c: &mut Criterion) {
     let m = 32_768;
     let u = model.inputs.bpf_matrix(m, t_end);
     g.bench_function("fixed_m32768", |b| {
-        b.iter(|| black_box(solve_linear(&model.system, &u, t_end, &x0).unwrap()))
+        b.iter(|| {
+            black_box(
+                Problem::linear(&model.system)
+                    .coeffs(&u)
+                    .horizon(t_end)
+                    .initial_state(&x0)
+                    .solve(&SolveOptions::new())
+                    .unwrap(),
+            )
+        })
     });
     g.bench_function("adaptive_tol1e-6", |b| {
         b.iter(|| {
             black_box(
-                solve_linear_adaptive(
-                    &model.system,
-                    &model.inputs,
-                    t_end,
-                    &x0,
-                    AdaptiveOpmOptions {
+                Problem::linear(&model.system)
+                    .waveforms(&model.inputs)
+                    .horizon(t_end)
+                    .initial_state(&x0)
+                    .solve(&SolveOptions::new().adaptive(AdaptiveOpmOptions {
                         tol: 1e-6,
                         h0: 1e-6,
                         h_min: 1e-9,
                         h_max: 1e-4,
-                    },
-                )
-                .unwrap(),
+                    }))
+                    .unwrap(),
             )
         })
     });

@@ -2,8 +2,7 @@
 //! fractional paths) and vs system size n.
 
 use opm_bench::criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use opm_core::fractional::solve_fractional;
-use opm_core::linear::solve_linear;
+use opm_core::{Problem, SolveOptions};
 use opm_sparse::{CooMatrix, CsrMatrix};
 use opm_system::{DescriptorSystem, FractionalSystem};
 use opm_waveform::{InputSet, Waveform};
@@ -33,10 +32,26 @@ fn bench(c: &mut Criterion) {
     for &m in &[128usize, 512, 2048] {
         let u = inputs.bpf_matrix(m, 4.0);
         g.bench_with_input(BenchmarkId::new("linear", m), &m, |b, _| {
-            b.iter(|| black_box(solve_linear(&sys, &u, 4.0, &vec![0.0; 200]).unwrap()))
+            b.iter(|| {
+                black_box(
+                    Problem::linear(&sys)
+                        .coeffs(&u)
+                        .horizon(4.0)
+                        .solve(&SolveOptions::new())
+                        .unwrap(),
+                )
+            })
         });
         g.bench_with_input(BenchmarkId::new("fractional", m), &m, |b, _| {
-            b.iter(|| black_box(solve_fractional(&fsys, &u, 4.0).unwrap()))
+            b.iter(|| {
+                black_box(
+                    Problem::fractional(&fsys)
+                        .coeffs(&u)
+                        .horizon(4.0)
+                        .solve(&SolveOptions::new())
+                        .unwrap(),
+                )
+            })
         });
     }
     g.finish();
@@ -47,7 +62,15 @@ fn bench(c: &mut Criterion) {
         let sys = chain(n);
         let u = inputs.bpf_matrix(256, 4.0);
         g.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
-            b.iter(|| black_box(solve_linear(&sys, &u, 4.0, &vec![0.0; n]).unwrap()))
+            b.iter(|| {
+                black_box(
+                    Problem::linear(&sys)
+                        .coeffs(&u)
+                        .horizon(4.0)
+                        .solve(&SolveOptions::new())
+                        .unwrap(),
+                )
+            })
         });
     }
     g.finish();

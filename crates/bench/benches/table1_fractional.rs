@@ -3,7 +3,7 @@
 
 use opm_bench::criterion::{criterion_group, criterion_main, Criterion};
 use opm_circuits::tline::FractionalLineSpec;
-use opm_core::fractional::solve_fractional;
+use opm_core::{Problem, SolveOptions};
 use opm_fft::FftSimulator;
 use std::hint::black_box;
 
@@ -15,7 +15,15 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("table1");
     g.bench_function("opm_m8", |b| {
-        b.iter(|| black_box(solve_fractional(&model.system, black_box(&u), t_end).unwrap()))
+        b.iter(|| {
+            black_box(
+                Problem::fractional(&model.system)
+                    .coeffs(black_box(&u))
+                    .horizon(t_end)
+                    .solve(&SolveOptions::new())
+                    .unwrap(),
+            )
+        })
     });
     let fft1 = FftSimulator::new(8);
     g.bench_function("fft1_n8", |b| {

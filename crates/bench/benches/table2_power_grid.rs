@@ -5,7 +5,7 @@ use opm_bench::criterion::{criterion_group, criterion_main, Criterion};
 use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::assemble_mna;
 use opm_circuits::na::assemble_na;
-use opm_core::multiterm::solve_multiterm;
+use opm_core::{Problem, SolveOptions};
 use opm_transient::{backward_euler, bdf, trapezoidal};
 use std::hint::black_box;
 
@@ -45,7 +45,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(trapezoidal(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap()))
     });
     g.bench_function("opm_na_h10ps", |b| {
-        b.iter(|| black_box(solve_multiterm(&mt, black_box(&u_dot), t_end).unwrap()))
+        b.iter(|| {
+            black_box(
+                Problem::multiterm(&mt)
+                    .coeffs(black_box(&u_dot))
+                    .horizon(t_end)
+                    .solve(&SolveOptions::new())
+                    .unwrap(),
+            )
+        })
     });
     g.finish();
 }

@@ -11,8 +11,8 @@
 use opm_bench::{fmt_time, row, rule, timed};
 use opm_circuits::ladder::rc_ladder;
 use opm_circuits::mna::{assemble_mna, Output};
-use opm_core::adaptive::{solve_linear_adaptive, AdaptiveOpmOptions};
-use opm_core::linear::solve_linear;
+use opm_core::adaptive::AdaptiveOpmOptions;
+use opm_core::{Problem, SolveOptions};
 use opm_waveform::Waveform;
 
 fn main() {
@@ -25,7 +25,12 @@ fn main() {
     // Accuracy yardstick: a very fine uniform run.
     let m_ref = 1 << 18;
     let u_ref = model.inputs.bpf_matrix(m_ref, t_end);
-    let reference = solve_linear(&model.system, &u_ref, t_end, &x0).unwrap();
+    let reference = Problem::linear(&model.system)
+        .coeffs(&u_ref)
+        .horizon(t_end)
+        .initial_state(&x0)
+        .solve(&SolveOptions::new())
+        .unwrap();
     let ref_avg = |a: f64, b: f64| -> f64 {
         let k0 = ((a / t_end) * m_ref as f64).round() as usize;
         let k1 = (((b / t_end) * m_ref as f64).round() as usize).min(m_ref);
@@ -61,7 +66,14 @@ fn main() {
 
     for &m in &[2048usize, 16384, 131072] {
         let u = model.inputs.bpf_matrix(m, t_end);
-        let (r, secs) = timed(|| solve_linear(&model.system, &u, t_end, &x0).unwrap());
+        let (r, secs) = timed(|| {
+            Problem::linear(&model.system)
+                .coeffs(&u)
+                .horizon(t_end)
+                .initial_state(&x0)
+                .solve(&SolveOptions::new())
+                .unwrap()
+        });
         let err = err_of(&r.bounds, r.output_row(0));
         row(
             &[
@@ -76,19 +88,17 @@ fn main() {
     }
 
     let (ada, secs) = timed(|| {
-        solve_linear_adaptive(
-            &model.system,
-            &model.inputs,
-            t_end,
-            &x0,
-            AdaptiveOpmOptions {
+        Problem::linear(&model.system)
+            .waveforms(&model.inputs)
+            .horizon(t_end)
+            .initial_state(&x0)
+            .solve(&SolveOptions::new().adaptive(AdaptiveOpmOptions {
                 tol: 1e-5,
                 h0: 1e-7,
                 h_min: 2e-8,
                 h_max: 1e-4,
-            },
-        )
-        .unwrap()
+            }))
+            .unwrap()
     });
     let err = err_of(&ada.bounds, ada.output_row(0));
     row(

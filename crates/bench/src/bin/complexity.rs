@@ -12,8 +12,7 @@
 use opm_bench::{fmt_time, row, rule, timed};
 use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::assemble_mna;
-use opm_core::fractional::solve_fractional;
-use opm_core::linear::solve_linear;
+use opm_core::{Problem, SolveOptions};
 use opm_sparse::{CooMatrix, CsrMatrix};
 use opm_system::{DescriptorSystem, FractionalSystem};
 use opm_waveform::{InputSet, Waveform};
@@ -53,8 +52,20 @@ fn main() {
     let mut series = Vec::new();
     for &m in &[128usize, 256, 512, 1024, 2048] {
         let u = inputs.bpf_matrix(m, 4.0);
-        let (_, t_lin) = timed(|| solve_linear(&sys, &u, 4.0, &vec![0.0; 400]).unwrap());
-        let (_, t_frac) = timed(|| solve_fractional(&fsys, &u, 4.0).unwrap());
+        let (_, t_lin) = timed(|| {
+            Problem::linear(&sys)
+                .coeffs(&u)
+                .horizon(4.0)
+                .solve(&SolveOptions::new())
+                .unwrap()
+        });
+        let (_, t_frac) = timed(|| {
+            Problem::fractional(&fsys)
+                .coeffs(&u)
+                .horizon(4.0)
+                .solve(&SolveOptions::new())
+                .unwrap()
+        });
         row(
             &[
                 format!("{m}"),
@@ -103,7 +114,14 @@ fn main() {
         let m = 200;
         let u = model.inputs.bpf_matrix(m, 10e-9);
         let x0 = vec![0.0; n];
-        let (_, secs) = timed(|| solve_linear(&model.system, &u, 10e-9, &x0).unwrap());
+        let (_, secs) = timed(|| {
+            Problem::linear(&model.system)
+                .coeffs(&u)
+                .horizon(10e-9)
+                .initial_state(&x0)
+                .solve(&SolveOptions::new())
+                .unwrap()
+        });
         row(
             &[
                 format!("2×{g}×{g}"),

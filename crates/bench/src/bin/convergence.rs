@@ -8,8 +8,7 @@
 //! `cargo run --release -p opm-bench --bin convergence`
 
 use opm_bench::{row, rule};
-use opm_core::fractional::solve_fractional;
-use opm_core::linear::solve_linear;
+use opm_core::{Problem, SolveOptions};
 use opm_fracnum::mittag_leffler::ml_kernel;
 use opm_sparse::{CooMatrix, CsrMatrix};
 use opm_system::{DescriptorSystem, FractionalSystem};
@@ -46,7 +45,11 @@ fn main() {
     let mut rates = [0.0f64; 4];
     for &m in &[32usize, 64, 128, 256, 512] {
         let u = inputs.bpf_matrix(m, 1.0);
-        let opm = solve_linear(&sys, &u, 1.0, &[0.0]).unwrap();
+        let opm = Problem::linear(&sys)
+            .coeffs(&u)
+            .horizon(1.0)
+            .solve(&SolveOptions::new())
+            .unwrap();
         // Endpoint recovery for a like-for-like endpoint comparison.
         let opm_end = opm.endpoint_series(0, 0.0)[m - 1];
         let tr = trapezoidal(&sys, &inputs, 1.0, m, &[0.0], false)
@@ -101,7 +104,11 @@ fn main() {
     for &m in &[64usize, 128, 256, 512] {
         let t_end = 2.0;
         let u = inputs.bpf_matrix(m, t_end);
-        let opm = solve_fractional(&fsys, &u, t_end).unwrap();
+        let opm = Problem::fractional(&fsys)
+            .coeffs(&u)
+            .horizon(t_end)
+            .solve(&SolveOptions::new())
+            .unwrap();
         let gl = gl_fractional(&fsys, &inputs, t_end, m, false).unwrap();
         let h = t_end / m as f64;
         let mut s_opm = 0.0;

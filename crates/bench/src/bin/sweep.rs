@@ -20,6 +20,11 @@
 //!   windows of `m` columns, asserting the 1-symbolic + 1-numeric
 //!   factorization invariant and ≤ 1e-9 agreement, plus a 512-window
 //!   streaming record at per-window resident memory.
+//! - `newton/*` — the diode half-wave rectifier solved through the
+//!   windowed Newton path: iteration count, numeric refactorizations
+//!   per time step, and the fresh-pivoted-factor fallback count (which
+//!   must be exactly 0 — every Newton iteration reuses the one recorded
+//!   symbolic analysis).
 //!
 //! Emits `BENCH_sweep.json` (path override: `OPM_SWEEP_JSON`) with all
 //! timings, the factorization counts and the speedups.
@@ -34,7 +39,7 @@ use opm_circuits::mna::{assemble_mna, Output};
 use opm_circuits::na::assemble_na;
 use opm_core::engine::{factor_pencil, PencilFamily};
 use opm_core::json::Json;
-use opm_core::{Problem, Simulation, SolveOptions, WindowedOptions};
+use opm_core::{NewtonOptions, Problem, Simulation, SolveOptions, WindowedOptions};
 use opm_waveform::{InputSet, Waveform};
 
 const SCENARIOS: usize = 100;
@@ -564,6 +569,51 @@ fn main() {
         None
     };
 
+    // -- newton: nonlinear rectifier on the Newton-over-refactor path ------
+    // The diode half-wave rectifier from the pipeline acceptance tests,
+    // solved over 8 windows. Every Newton iteration re-stamps the diode
+    // companion model and refactors *numerically* against the single
+    // recorded symbolic analysis; falling back to a fresh pivoted factor
+    // is a pattern-degradation escape hatch that must never fire here.
+    let (nm, nw) = (256, 8);
+    let nsim = Simulation::from_netlist(
+        "V1 in 0 SIN(0 1 1)\nR1 in a 0.1\nD1 a out 1e-14\nR2 out 0 10\nC1 out 0 0.2\n.end",
+        &["out"],
+    )
+    .unwrap()
+    .horizon(2.0);
+    let nplan = nsim.plan(&SolveOptions::new().resolution(nm)).unwrap();
+    let nstim = nsim.inputs().unwrap();
+    let nopts = NewtonOptions::new();
+    // One accounting solve on the fresh plan: the profile after it holds
+    // the per-solve iteration/refactorization counts undiluted.
+    let nrun = nplan.solve_newton_windowed(nstim, nw, &nopts).unwrap();
+    let nprofile = nplan.factor_profile();
+    assert!(nrun.output_row(0).iter().all(|v| v.is_finite()));
+    assert_eq!(
+        nprofile.num_symbolic, 1,
+        "a W-window Newton solve must cost exactly 1 symbolic factorization"
+    );
+    assert_eq!(
+        nprofile.newton_fresh_fallbacks, 0,
+        "the rectifier must never abandon the recorded symbolic pattern"
+    );
+    assert_eq!(
+        nprofile.newton_refactors, nprofile.newton_iters,
+        "every Newton iteration is exactly one numeric refactorization"
+    );
+    let (_, newton_s) = timed_best(3, || {
+        nplan.solve_newton_windowed(nstim, nw, &nopts).unwrap()
+    });
+    let newton_refactors_per_step = nprofile.newton_refactors as f64 / (nm * nw) as f64;
+    println!(
+        "newton     : rectifier {nw}×{nm} in {} — {} iters ({newton_refactors_per_step:.2} numeric refactors/step, {} symbolic, {} fresh fallbacks)",
+        fmt_time(newton_s),
+        nprofile.newton_iters,
+        nprofile.num_symbolic,
+        nprofile.newton_fresh_fallbacks,
+    );
+
     let path = std::env::var("OPM_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".into());
     let note = format!(
         "Table II power grid (NA model, n = {n}, m = {m}). sweep/*: 100-scenario load sweep, \
@@ -581,6 +631,11 @@ fn main() {
          windowed_fractional/*: RC+CPE netlist (fractional MNA, alpha = 0.5), whole-horizon vs \
          {fw} windows with carried Caputo/GL history (full history <= 1e-9, 1 symbolic + 1 numeric) \
          and an 8-window short-memory tail (<= 1e-6 on quiescent-early-history stimulus). \
+         newton/*: diode half-wave rectifier through SimPlan::solve_newton_windowed over 8 windows \
+         of 256 columns — total Newton iterations (ceiling-classed: a regenerated run may not need \
+         more), numeric refactorizations per time step (ceiling-classed), and the fresh-pivoted- \
+         factor fallback count, hard-gated at exactly 0 (every iteration must reuse the single \
+         recorded symbolic analysis). \
          CI gate: ci/compare_bench.py diffs a regenerated run against this committed file. \
          Regenerate: cargo run --release -p opm-bench --bin sweep",
         n = na.system.order(),
@@ -817,6 +872,29 @@ fn main() {
             "windowed_fractional_truncated_max_abs_delta".into(),
             vec![("value", Json::Num(ftrunc_delta))],
         ),
+        rec(
+            "newton/rectifier_iters".into(),
+            vec![
+                ("value", int(nprofile.newton_iters)),
+                ("class", Json::str("ceiling")),
+                ("seconds", Json::Num(newton_s)),
+                ("windows", int(nw)),
+                ("columns", int(nm * nw)),
+                ("num_symbolic", int(nprofile.num_symbolic)),
+            ],
+        ),
+        rec(
+            "newton/refactors_per_step".into(),
+            vec![
+                ("value", Json::Num(newton_refactors_per_step)),
+                ("class", Json::str("ceiling")),
+                ("columns", int(nm * nw)),
+            ],
+        ),
+        rec(
+            "newton/fresh_factor_fallbacks".into(),
+            vec![("value", int(nprofile.newton_fresh_fallbacks))],
+        ),
     ];
     if let Some((id, lsec, lwindows, lcols)) = long_frac {
         records.push(rec(
@@ -829,7 +907,7 @@ fn main() {
         ));
     }
     let doc = Json::Obj(vec![
-        ("schema".into(), Json::str("opm-bench-sweep/v5")),
+        ("schema".into(), Json::str("opm-bench-sweep/v6")),
         ("note".into(), Json::str(note)),
         ("records".into(), Json::Arr(records)),
     ]);

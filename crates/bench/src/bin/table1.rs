@@ -10,8 +10,8 @@
 
 use opm_bench::{emit_json_record, fmt_time, row, rule, timed};
 use opm_circuits::tline::FractionalLineSpec;
-use opm_core::fractional::solve_fractional;
 use opm_core::metrics::relative_error_db_multi;
+use opm_core::{Problem, SolveOptions};
 use opm_fft::FftSimulator;
 
 fn main() {
@@ -42,7 +42,13 @@ fn main() {
     let opm_round = || {
         let mut last = None;
         for _ in 0..REPS {
-            last = Some(solve_fractional(&model.system, &u, t_end).unwrap());
+            last = Some(
+                Problem::fractional(&model.system)
+                    .coeffs(&u)
+                    .horizon(t_end)
+                    .solve(&SolveOptions::new())
+                    .unwrap(),
+            );
         }
         last.unwrap()
     };

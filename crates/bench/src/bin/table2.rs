@@ -15,7 +15,7 @@ use opm_bench::{emit_json_record, env_scale, fmt_time, row, rule, timed};
 use opm_circuits::grid::PowerGridSpec;
 use opm_circuits::mna::assemble_mna;
 use opm_circuits::na::assemble_na;
-use opm_core::multiterm::solve_multiterm;
+use opm_core::{Problem, SolveOptions};
 use opm_transient::{backward_euler, bdf, fine_reference, trapezoidal};
 
 fn main() {
@@ -152,7 +152,13 @@ fn main() {
     let bounds: Vec<f64> = (0..=m).map(|k| k as f64 * t_end / m as f64).collect();
     let u_dot = na.inputs.derivative_averages_on_grid(&bounds);
     let mt = na.system.to_multiterm();
-    let (opm, secs_opm) = timed(|| solve_multiterm(&mt, &u_dot, t_end).unwrap());
+    let (opm, secs_opm) = timed(|| {
+        Problem::multiterm(&mt)
+            .coeffs(&u_dot)
+            .horizon(t_end)
+            .solve(&SolveOptions::new())
+            .unwrap()
+    });
     // OPM columns are interval averages; compare against reference
     // midpoint averages.
     let opm_err = {

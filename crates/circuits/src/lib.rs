@@ -7,7 +7,12 @@
 //!   *constant-phase element*, the lumped fractional capacitor behind the
 //!   paper's transmission-line FDE model) and the [`Circuit`] container.
 //! - [`mna`] — modified nodal analysis: `Circuit` → [`DescriptorSystem`]
-//!   (first-order DAE) or, for all-CPE circuits, → `FractionalSystem`.
+//!   (first-order DAE) or, for all-CPE circuits, → `FractionalSystem`;
+//!   circuits with nonlinear devices assemble to a linear part plus a
+//!   re-stampable device list via `assemble_nonlinear_mna`.
+//! - [`nonlinear`] — companion models for Newton iteration: the
+//!   [`NonlinearDevice`] trait, a Shockley diode with junction limiting
+//!   and a square-law MOSFET.
 //! - [`na`] — nodal analysis of RLC+I circuits → second-order
 //!   `C v̈ + G v̇ + Γ v = B u̇` (paper Table II's "NA model").
 //! - [`parser`] — a SPICE-flavoured netlist text format.
@@ -35,11 +40,13 @@ pub mod ladder;
 pub mod mna;
 pub mod na;
 pub mod netlist;
+pub mod nonlinear;
 pub mod parser;
 pub mod tline;
 
 pub use grid::PowerGridSpec;
 pub use netlist::{Circuit, Element};
+pub use nonlinear::{DeviceModel, Diode, MnaStamps, Mosfet, NonlinearDevice};
 pub use tline::FractionalLineSpec;
 
 /// Errors raised while assembling circuit equations.

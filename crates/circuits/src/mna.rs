@@ -13,6 +13,7 @@
 //! ```
 
 use crate::netlist::{Circuit, Element};
+use crate::nonlinear::{DeviceModel, Diode, Mosfet, NonlinearDevice, GMIN};
 use crate::CircuitError;
 use opm_sparse::CooMatrix;
 use opm_system::{DescriptorSystem, FractionalSystem};
@@ -38,6 +39,19 @@ pub struct MnaModel {
     pub inputs: InputSet,
     /// Meaning of each state entry.
     pub unknowns: Vec<Unknown>,
+}
+
+/// An assembled nonlinear MNA model: the linearized descriptor system
+/// `E ẋ = A x + f(x) + B u` (with [`GMIN`] planted on every device
+/// coupling pair so the Newton sparsity pattern is iteration-invariant)
+/// plus the device list that re-stamps `f`'s companion models per
+/// Newton iterate.
+#[derive(Clone, Debug)]
+pub struct NonlinearMnaModel {
+    /// The linear part (GMIN placeholders already stamped into `A`).
+    pub model: MnaModel,
+    /// Nonlinear devices in element order.
+    pub devices: Vec<DeviceModel>,
 }
 
 /// An assembled fractional MNA model `E·d^α x = A x + B u`.
@@ -106,9 +120,37 @@ fn stamp_pair(m: &mut CooMatrix, n1: usize, n2: usize, g: f64) {
 ///
 /// # Errors
 /// [`CircuitError::Unsupported`] when the circuit contains CPEs (use
-/// [`assemble_fractional_mna`]) and [`CircuitError::BadNode`] on dangling
+/// [`assemble_fractional_mna`]) or nonlinear devices (use
+/// [`assemble_nonlinear_mna`]) and [`CircuitError::BadNode`] on dangling
 /// output references.
 pub fn assemble_mna(ckt: &Circuit, outputs: &[Output]) -> Result<MnaModel, CircuitError> {
+    assemble_mna_inner(ckt, outputs, None)
+}
+
+/// Assembles the MNA system of a circuit with nonlinear devices.
+///
+/// The linear part is identical to [`assemble_mna`] except that a
+/// [`GMIN`] conductance is stamped across every device coupling pair,
+/// so the union pencil pattern already contains every position a Newton
+/// iterate can stamp — the solver then reuses one symbolic
+/// factorization across all iterates.
+///
+/// # Errors
+/// Same as [`assemble_mna`] (CPEs remain unsupported).
+pub fn assemble_nonlinear_mna(
+    ckt: &Circuit,
+    outputs: &[Output],
+) -> Result<NonlinearMnaModel, CircuitError> {
+    let mut devices = Vec::new();
+    let model = assemble_mna_inner(ckt, outputs, Some(&mut devices))?;
+    Ok(NonlinearMnaModel { model, devices })
+}
+
+fn assemble_mna_inner(
+    ckt: &Circuit,
+    outputs: &[Output],
+    mut devices: Option<&mut Vec<DeviceModel>>,
+) -> Result<MnaModel, CircuitError> {
     let lay = layout(ckt);
     let n = lay.n_nodes + lay.inductors.len() + lay.vsrcs.len();
     let p = lay.vsrcs.len() + lay.isrcs.len();
@@ -178,6 +220,43 @@ pub fn assemble_mna(ckt: &Circuit, outputs: &[Output]) -> Result<MnaModel, Circu
                 }
                 waveforms[chan] = waveform.clone();
                 is_count += 1;
+            }
+            Element::Diode { n1, n2, is_sat, vt } => {
+                let Some(devices) = devices.as_deref_mut() else {
+                    return Err(CircuitError::Unsupported(
+                        "diode in linear MNA; use assemble_nonlinear_mna".into(),
+                    ));
+                };
+                devices.push(DeviceModel::Diode(Diode {
+                    anode: *n1,
+                    cathode: *n2,
+                    is_sat: *is_sat,
+                    vt: *vt,
+                }));
+            }
+            Element::Mosfet { d, g, s, kp, vth } => {
+                let Some(devices) = devices.as_deref_mut() else {
+                    return Err(CircuitError::Unsupported(
+                        "MOSFET in linear MNA; use assemble_nonlinear_mna".into(),
+                    ));
+                };
+                devices.push(DeviceModel::Mosfet(Mosfet {
+                    drain: *d,
+                    gate: *g,
+                    source: *s,
+                    kp: *kp,
+                    vth: *vth,
+                }));
+            }
+        }
+    }
+
+    // Plant GMIN on every coupling pair so the Newton matrix pattern is
+    // fixed across iterates (A holds −G, matching the resistor stamp).
+    if let Some(devices) = devices {
+        for dev in devices.iter() {
+            for (p, q) in dev.coupling_pairs() {
+                stamp_pair(&mut a, p, q, -GMIN);
             }
         }
     }
@@ -269,6 +348,11 @@ pub fn assemble_fractional_mna(
                 }
                 waveforms[chan] = waveform.clone();
                 is_count += 1;
+            }
+            Element::Diode { .. } | Element::Mosfet { .. } => {
+                return Err(CircuitError::Unsupported(
+                    "nonlinear device in fractional MNA".into(),
+                ));
             }
         }
     }

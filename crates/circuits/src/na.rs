@@ -88,6 +88,11 @@ pub fn assemble_na(ckt: &Circuit, outputs: &[usize]) -> Result<NaModel, CircuitE
             Element::Cpe { .. } => {
                 return Err(CircuitError::Unsupported("CPE in NA".into()));
             }
+            Element::Diode { .. } | Element::Mosfet { .. } => {
+                return Err(CircuitError::Unsupported(
+                    "nonlinear device in NA; use assemble_nonlinear_mna".into(),
+                ));
+            }
         }
     }
 

@@ -71,10 +71,37 @@ pub enum Element {
         /// Source waveform.
         waveform: Waveform,
     },
+    /// Shockley diode from anode `n1` to cathode `n2` (nonlinear; solved
+    /// by the Newton session path).
+    Diode {
+        /// Anode.
+        n1: usize,
+        /// Cathode.
+        n2: usize,
+        /// Saturation current in amperes (> 0).
+        is_sat: f64,
+        /// Emission-scaled thermal voltage `n·kT/q` in volts (> 0).
+        vt: f64,
+    },
+    /// Square-law n-channel MOSFET (nonlinear; solved by the Newton
+    /// session path).
+    Mosfet {
+        /// Drain.
+        d: usize,
+        /// Gate.
+        g: usize,
+        /// Source.
+        s: usize,
+        /// Transconductance parameter in A/V² (> 0).
+        kp: f64,
+        /// Threshold voltage in volts.
+        vth: f64,
+    },
 }
 
 impl Element {
-    /// The two terminal nodes.
+    /// The two principal terminal nodes (for the MOSFET: drain and
+    /// source; the gate is validated separately by [`Circuit::add`]).
     pub fn nodes(&self) -> (usize, usize) {
         match *self {
             Element::Resistor { n1, n2, .. }
@@ -82,8 +109,16 @@ impl Element {
             | Element::Inductor { n1, n2, .. }
             | Element::Cpe { n1, n2, .. }
             | Element::VoltageSource { n1, n2, .. }
-            | Element::CurrentSource { n1, n2, .. } => (n1, n2),
+            | Element::CurrentSource { n1, n2, .. }
+            | Element::Diode { n1, n2, .. } => (n1, n2),
+            Element::Mosfet { d, s, .. } => (d, s),
         }
+    }
+
+    /// Whether this element is nonlinear (requires the Newton solve
+    /// path).
+    pub fn is_nonlinear(&self) -> bool {
+        matches!(self, Element::Diode { .. } | Element::Mosfet { .. })
     }
 }
 
@@ -164,6 +199,23 @@ impl Circuit {
                     return Err(CircuitError::BadValue(format!("CPE α = {alpha}")));
                 }
             }
+            Element::Diode { is_sat, vt, .. } => {
+                // NaN must fail too, so test the complement explicitly.
+                if *is_sat <= 0.0 || is_sat.is_nan() {
+                    return Err(CircuitError::BadValue(format!("diode Is = {is_sat}")));
+                }
+                if *vt <= 0.0 || vt.is_nan() {
+                    return Err(CircuitError::BadValue(format!("diode vt = {vt}")));
+                }
+            }
+            Element::Mosfet { g, kp, .. } => {
+                if *g > self.num_nodes {
+                    return Err(CircuitError::BadNode(*g));
+                }
+                if *kp <= 0.0 || kp.is_nan() {
+                    return Err(CircuitError::BadValue(format!("MOSFET kp = {kp}")));
+                }
+            }
             _ => {}
         }
         self.elements.push(e);
@@ -181,10 +233,16 @@ impl Circuit {
                 Element::Cpe { .. } => c.2 += 1,
                 Element::VoltageSource { .. } => c.3 += 1,
                 Element::CurrentSource { .. } => c.4 += 1,
-                Element::Resistor { .. } => {}
+                Element::Resistor { .. } | Element::Diode { .. } | Element::Mosfet { .. } => {}
             }
         }
         c
+    }
+
+    /// Whether any element is nonlinear (the simulation layer routes
+    /// such circuits through the Newton solve path).
+    pub fn has_nonlinear(&self) -> bool {
+        self.elements.iter().any(Element::is_nonlinear)
     }
 }
 

@@ -1,0 +1,426 @@
+//! Nonlinear device companion models for Newton iteration.
+//!
+//! A nonlinear element contributes a current vector `f(x)` to the MNA
+//! equations `E ẋ = A x + f(x) + B u`. The solver linearizes around a
+//! guess `x*` each Newton iteration; every device describes that
+//! linearization through [`NonlinearDevice::stamp`], which records
+//!
+//! - Jacobian entries that *add to the Newton matrix* `σE − A − J_f(x*)`
+//!   (the standard SPICE companion conductances), and
+//! - equivalent current sources `I_eq = i(x*) − G(x*)·x*` that land on
+//!   the right-hand side.
+//!
+//! Because the solver rewrites only pencil *values* per iteration and
+//! replays the recorded symbolic factorization, the Jacobian sparsity
+//! pattern must be known up front: [`NonlinearDevice::coupling_pairs`]
+//! names the node pairs each device may ever stamp, and the assembler
+//! ([`assemble_nonlinear_mna`](crate::mna::assemble_nonlinear_mna))
+//! plants a [`GMIN`] conductance there so all Newton iterates share one
+//! sparsity pattern (and every Newton step is a numeric-only
+//! refactorization).
+//!
+//! Shipped models: a Shockley [`Diode`] with junction limiting and a
+//! square-law [`Mosfet`]. Both are deliberately minimal — the point of
+//! this module is the Newton-over-numeric-refactor plumbing, not BSIM.
+
+/// Conductance planted on every [`NonlinearDevice::coupling_pairs`]
+/// pair at assembly time — part of the *linear* `A` matrix, not of the
+/// device characteristics — so cutoff devices never leave a node
+/// floating and the Newton matrix pattern is iteration-invariant.
+/// 1 pS ≡ 1 TΩ — far below any circuit impedance this crate targets.
+pub const GMIN: f64 = 1e-12;
+
+/// Thermal voltage `kT/q` at 300 K, the default diode `vt`.
+pub const VT_300K: f64 = 0.025852;
+
+/// Linearized companion stamps collected from all devices at one Newton
+/// iterate.
+///
+/// Node numbering matches the netlist: `0` is ground and is dropped at
+/// push time, so consumers only ever see rows/columns of real unknowns
+/// (node `n` ↔ matrix index `n − 1`).
+#[derive(Clone, Debug, Default)]
+pub struct MnaStamps {
+    entries: Vec<(usize, usize, f64)>,
+    currents: Vec<(usize, f64)>,
+}
+
+impl MnaStamps {
+    /// Creates an empty stamp set.
+    pub fn new() -> Self {
+        MnaStamps::default()
+    }
+
+    /// Clears the stamps for the next Newton iterate, keeping capacity.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.currents.clear();
+    }
+
+    /// Records a current `gm·(v_p − v_q)` flowing from node `from` to
+    /// node `to` — the general (nonsymmetric) transconductance stamp.
+    pub fn transconductance(&mut self, from: usize, to: usize, p: usize, q: usize, gm: f64) {
+        for (row, col, g) in [(from, p, gm), (from, q, -gm), (to, p, -gm), (to, q, gm)] {
+            if row > 0 && col > 0 {
+                self.entries.push((row - 1, col - 1, g));
+            }
+        }
+    }
+
+    /// Records a two-terminal conductance `g` between `n1` and `n2`.
+    pub fn conductance(&mut self, n1: usize, n2: usize, g: f64) {
+        self.transconductance(n1, n2, n1, n2, g);
+    }
+
+    /// Records an equivalent current source of `amps` flowing out of
+    /// node `from` and into node `to`.
+    pub fn current(&mut self, from: usize, to: usize, amps: f64) {
+        if from > 0 {
+            self.currents.push((from - 1, -amps));
+        }
+        if to > 0 {
+            self.currents.push((to - 1, amps));
+        }
+    }
+
+    /// Jacobian additions `(row, col, g)` in matrix indices: the amount
+    /// to add at `(row, col)` of the Newton matrix `σE − A − J_f`.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Right-hand-side injections `(row, amps)` in matrix indices: the
+    /// signed equivalent-source current *entering* each KCL row.
+    ///
+    /// The solver moves these to the right-hand side of
+    /// `(σE − A − J_f)·x = rhs + injections`.
+    pub fn currents(&self) -> &[(usize, f64)] {
+        &self.currents
+    }
+}
+
+/// A nonlinear circuit element, evaluated fresh at every Newton iterate.
+pub trait NonlinearDevice {
+    /// Node pairs whose 2×2 conductance pattern the Newton matrix may
+    /// need at *any* operating point. The assembler plants [`GMIN`]
+    /// here so the sparsity pattern — and therefore the symbolic
+    /// factorization — is shared by all iterates.
+    fn coupling_pairs(&self) -> Vec<(usize, usize)>;
+
+    /// Evaluates the companion model at the guess and records its
+    /// stamps. `v_guess` is the full MNA unknown vector (node `n`
+    /// voltage at `v_guess[n − 1]`; ground is implicit 0).
+    fn stamp(&self, v_guess: &[f64], stamps: &mut MnaStamps);
+
+    /// Accumulates the exact device current vector `f(x)` at the guess
+    /// into `f` (matrix indexing). Used for Newton residual checks.
+    fn accumulate_current(&self, v_guess: &[f64], f: &mut [f64]);
+}
+
+fn node_v(v: &[f64], n: usize) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        v[n - 1]
+    }
+}
+
+/// Shockley diode `i = Is·(e^{v/vt} − 1)` with junction limiting: above
+/// the critical voltage `vcrit = vt·ln(vt/(√2·Is))` the
+/// exponential is continued linearly (value and slope match at
+/// `vcrit`), which bounds the companion conductance and keeps early
+/// Newton iterates from overflowing — the stateless form of SPICE's
+/// pnjlim.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diode {
+    /// Anode node.
+    pub anode: usize,
+    /// Cathode node.
+    pub cathode: usize,
+    /// Saturation current `Is` in amperes (> 0).
+    pub is_sat: f64,
+    /// Emission-scaled thermal voltage `n·kT/q` in volts (> 0).
+    pub vt: f64,
+}
+
+impl Diode {
+    /// Critical voltage where junction limiting takes over.
+    pub fn vcrit(&self) -> f64 {
+        self.vt * (self.vt / (std::f64::consts::SQRT_2 * self.is_sat)).ln()
+    }
+
+    /// Current and conductance `(i, di/dv)` of the limited Shockley
+    /// characteristic at junction voltage `v`.
+    pub fn iv(&self, v: f64) -> (f64, f64) {
+        let vcrit = self.vcrit().max(self.vt);
+        if v <= vcrit {
+            let e = (v / self.vt).exp();
+            (self.is_sat * (e - 1.0), self.is_sat * e / self.vt)
+        } else {
+            // Linear continuation: i(vcrit) + g(vcrit)·(v − vcrit).
+            let e = (vcrit / self.vt).exp();
+            let g = self.is_sat * e / self.vt;
+            (self.is_sat * (e - 1.0) + g * (v - vcrit), g)
+        }
+    }
+}
+
+impl NonlinearDevice for Diode {
+    fn coupling_pairs(&self) -> Vec<(usize, usize)> {
+        vec![(self.anode, self.cathode)]
+    }
+
+    fn stamp(&self, v_guess: &[f64], stamps: &mut MnaStamps) {
+        let vd = node_v(v_guess, self.anode) - node_v(v_guess, self.cathode);
+        let (i, g) = self.iv(vd);
+        stamps.conductance(self.anode, self.cathode, g);
+        stamps.current(self.anode, self.cathode, i - g * vd);
+    }
+
+    fn accumulate_current(&self, v_guess: &[f64], f: &mut [f64]) {
+        let vd = node_v(v_guess, self.anode) - node_v(v_guess, self.cathode);
+        let (i, _) = self.iv(vd);
+        if self.anode > 0 {
+            f[self.anode - 1] -= i;
+        }
+        if self.cathode > 0 {
+            f[self.cathode - 1] += i;
+        }
+    }
+}
+
+/// Square-law (SPICE level-1, λ = 0) n-channel MOSFET. The device is
+/// symmetric: when `v_ds < 0` drain and source swap roles, so it also
+/// serves as a crude p-channel stand-in when wired upside down.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mosfet {
+    /// Drain node.
+    pub drain: usize,
+    /// Gate node (no gate current).
+    pub gate: usize,
+    /// Source node.
+    pub source: usize,
+    /// Transconductance parameter `k = µCₒₓW/L` in A/V² (> 0).
+    pub kp: f64,
+    /// Threshold voltage in volts.
+    pub vth: f64,
+}
+
+impl Mosfet {
+    /// Drain current and partials `(i_d, gm, gds)` for the *effective*
+    /// orientation (`v_ds ≥ 0`).
+    fn ivs(&self, vgs: f64, vds: f64) -> (f64, f64, f64) {
+        debug_assert!(vds >= 0.0);
+        let vov = vgs - self.vth;
+        if vov <= 0.0 {
+            (0.0, 0.0, 0.0)
+        } else if vds < vov {
+            // Triode.
+            (
+                self.kp * (vov * vds - 0.5 * vds * vds),
+                self.kp * vds,
+                self.kp * (vov - vds),
+            )
+        } else {
+            // Saturation.
+            (0.5 * self.kp * vov * vov, self.kp * vov, 0.0)
+        }
+    }
+
+    /// `(d_eff, s_eff, vgs, vds)` after the symmetry swap.
+    fn orient(&self, v: &[f64]) -> (usize, usize, f64, f64) {
+        let (vd, vg, vs) = (
+            node_v(v, self.drain),
+            node_v(v, self.gate),
+            node_v(v, self.source),
+        );
+        if vd >= vs {
+            (self.drain, self.source, vg - vs, vd - vs)
+        } else {
+            (self.source, self.drain, vg - vd, vs - vd)
+        }
+    }
+}
+
+impl NonlinearDevice for Mosfet {
+    fn coupling_pairs(&self) -> Vec<(usize, usize)> {
+        vec![
+            (self.drain, self.source),
+            (self.drain, self.gate),
+            (self.gate, self.source),
+        ]
+    }
+
+    fn stamp(&self, v_guess: &[f64], stamps: &mut MnaStamps) {
+        let (d, s, vgs, vds) = self.orient(v_guess);
+        let (i, gm, gds) = self.ivs(vgs, vds);
+        stamps.conductance(d, s, gds);
+        stamps.transconductance(d, s, self.gate, s, gm);
+        stamps.current(d, s, i - gm * vgs - gds * vds);
+    }
+
+    fn accumulate_current(&self, v_guess: &[f64], f: &mut [f64]) {
+        let (d, s, vgs, vds) = self.orient(v_guess);
+        let (i, _, _) = self.ivs(vgs, vds);
+        if d > 0 {
+            f[d - 1] -= i;
+        }
+        if s > 0 {
+            f[s - 1] += i;
+        }
+    }
+}
+
+/// The concrete device set the assembler produces — a closed enum so
+/// plans stay `Clone + Send + Sync` without boxing, while
+/// [`NonlinearDevice`] remains the open extension surface.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DeviceModel {
+    /// Shockley diode.
+    Diode(Diode),
+    /// Square-law MOSFET.
+    Mosfet(Mosfet),
+}
+
+impl NonlinearDevice for DeviceModel {
+    fn coupling_pairs(&self) -> Vec<(usize, usize)> {
+        match self {
+            DeviceModel::Diode(d) => d.coupling_pairs(),
+            DeviceModel::Mosfet(m) => m.coupling_pairs(),
+        }
+    }
+
+    fn stamp(&self, v_guess: &[f64], stamps: &mut MnaStamps) {
+        match self {
+            DeviceModel::Diode(d) => d.stamp(v_guess, stamps),
+            DeviceModel::Mosfet(m) => m.stamp(v_guess, stamps),
+        }
+    }
+
+    fn accumulate_current(&self, v_guess: &[f64], f: &mut [f64]) {
+        match self {
+            DeviceModel::Diode(d) => d.accumulate_current(v_guess, f),
+            DeviceModel::Mosfet(m) => m.accumulate_current(v_guess, f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diode() -> Diode {
+        Diode {
+            anode: 1,
+            cathode: 0,
+            is_sat: 1e-14,
+            vt: VT_300K,
+        }
+    }
+
+    #[test]
+    fn diode_iv_regions() {
+        let d = diode();
+        // Reverse: i → −Is.
+        let (i, g) = d.iv(-1.0);
+        assert!((i + d.is_sat).abs() < 1e-15);
+        assert!((0.0..1e-11).contains(&g));
+        // Forward below vcrit: exact Shockley.
+        let (i, g) = d.iv(0.6);
+        let e = (0.6f64 / VT_300K).exp();
+        assert!((i - 1e-14 * (e - 1.0)).abs() < 1e-12 * i.abs());
+        assert!((g - 1e-14 * e / VT_300K).abs() < 1e-12 * g);
+        // Far forward: limited — finite, linear in v.
+        let (i2, g2) = d.iv(5.0);
+        let (i3, g3) = d.iv(6.0);
+        assert!(i2.is_finite() && i3.is_finite());
+        assert!((g3 - g2).abs() < 1e-9 * g2); // constant slope
+        assert!(((i3 - i2) - g2 * 1.0).abs() < 1e-9 * i2);
+    }
+
+    #[test]
+    fn diode_limiting_is_continuous() {
+        let d = diode();
+        let vc = d.vcrit();
+        let (lo, _) = d.iv(vc - 1e-9);
+        let (hi, _) = d.iv(vc + 1e-9);
+        assert!((hi - lo).abs() < 1e-6 * hi.abs());
+    }
+
+    #[test]
+    fn diode_companion_consistency() {
+        // Linearization evaluated at the expansion point reproduces the
+        // exact current: G·v* + I_eq = i(v*).
+        let d = diode();
+        let v = [0.55];
+        let mut stamps = MnaStamps::new();
+        d.stamp(&v, &mut stamps);
+        let (i_exact, _) = d.iv(0.55);
+        let g_vv: f64 = stamps
+            .entries()
+            .iter()
+            .map(|&(r, c, g)| if (r, c) == (0, 0) { g * v[0] } else { 0.0 })
+            .sum();
+        let i_eq: f64 = stamps
+            .currents()
+            .iter()
+            .map(|&(r, a)| if r == 0 { -a } else { 0.0 })
+            .sum();
+        assert!((g_vv + i_eq - i_exact).abs() < 1e-12 * i_exact.abs().max(1e-12));
+    }
+
+    #[test]
+    fn mosfet_regions_and_symmetry() {
+        let m = Mosfet {
+            drain: 1,
+            gate: 2,
+            source: 0,
+            kp: 1e-3,
+            vth: 1.0,
+        };
+        // Cutoff.
+        let (i, gm, gds) = m.ivs(0.5, 2.0);
+        assert!(i == 0.0 && gm == 0.0 && gds == 0.0);
+        // Saturation: vgs 3, vds 5 ⇒ i = k/2·(vov)² = 2 mA.
+        let (i, gm, _) = m.ivs(3.0, 5.0);
+        assert!((i - 2e-3).abs() < 1e-10);
+        assert!((gm - 2e-3).abs() < 1e-15);
+        // Triode boundary continuity at vds = vov.
+        let (a, _, _) = m.ivs(3.0, 2.0 - 1e-9);
+        let (b, _, _) = m.ivs(3.0, 2.0 + 1e-9);
+        assert!((a - b).abs() < 1e-9);
+        // Symmetry swap: drain below source.
+        let v = [0.0, 3.0, 5.0]; // vd=0, vg=3, vs=5
+        let m2 = Mosfet {
+            drain: 1,
+            gate: 2,
+            source: 3,
+            kp: 1e-3,
+            vth: 1.0,
+        };
+        let mut f = vec![0.0; 3];
+        m2.accumulate_current(&v, &mut f);
+        // Current flows node3 → node1 (effective drain is node 3).
+        assert!(f[2] < 0.0 && f[0] > 0.0);
+        assert!((f[0] + f[2]).abs() < 1e-18); // KCL
+    }
+
+    #[test]
+    fn stamps_drop_ground() {
+        let mut s = MnaStamps::new();
+        s.conductance(1, 0, 2.0);
+        s.current(0, 1, 3.0);
+        assert_eq!(s.entries(), &[(0, 0, 2.0)]);
+        assert_eq!(s.currents(), &[(0, 3.0)]);
+    }
+
+    #[test]
+    fn transconductance_stamp_shape() {
+        let mut s = MnaStamps::new();
+        s.transconductance(1, 2, 3, 4, 5.0);
+        assert_eq!(
+            s.entries(),
+            &[(0, 2, 5.0), (0, 3, -5.0), (1, 2, -5.0), (1, 3, 5.0)]
+        );
+    }
+}

@@ -7,11 +7,17 @@
 //! C<name> n1 n2 <value>
 //! L<name> n1 n2 <value>
 //! P<name> n1 n2 CPE <q> <alpha>
+//! D<name> n+ n- [Is [vt]]          (defaults: 1e-14 A, 25.852 mV)
+//! M<name> d g s [kp [vth]]         (defaults: 20 µA/V², 1 V)
 //! V<name> n1 n2 DC <v> | PULSE(v1 v2 delay rise width fall period)
 //!                      | SIN(offset ampl freq [delay [damp]])
 //!                      | PWL(t1 v1 t2 v2 …)
 //! I<name> n1 n2 <same source syntax>
 //! ```
+//!
+//! `D` and `M` cards produce nonlinear elements; circuits containing
+//! them assemble via `assemble_nonlinear_mna` and solve through the
+//! session layer's Newton path.
 //!
 //! Values accept SPICE suffixes (`f p n u m k meg g t`). Node `0`, `gnd`
 //! and `GND` are ground; other node names are assigned dense indices in
@@ -138,13 +144,16 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
             continue; // other dot-cards ignored
         }
         let tokens = tokenize(line);
-        if tokens.len() < 4 {
+        let kind = tokens[0].chars().next().unwrap().to_ascii_uppercase();
+        // A diode card's parameters are all optional; everything else
+        // needs at least one value (or a third node) after the pair.
+        let min_fields = if kind == 'D' { 3 } else { 4 };
+        if tokens.len() < min_fields {
             return Err(CircuitError::Parse(format!(
                 "line {}: too few fields: '{line}'",
                 lineno + 1
             )));
         }
-        let kind = tokens[0].chars().next().unwrap().to_ascii_uppercase();
         let mut node = |name: &str, circuit: &mut Circuit| -> usize {
             if is_ground(name) {
                 0
@@ -185,6 +194,36 @@ pub fn parse_netlist(text: &str) -> Result<ParsedCircuit, CircuitError> {
                     n2,
                     q: parse_value(&tokens[4])?,
                     alpha: parse_value(&tokens[5])?,
+                }
+            }
+            'D' => Element::Diode {
+                n1,
+                n2,
+                is_sat: match tokens.get(3) {
+                    Some(t) => parse_value(t)?,
+                    None => 1e-14,
+                },
+                vt: match tokens.get(4) {
+                    Some(t) => parse_value(t)?,
+                    None => crate::nonlinear::VT_300K,
+                },
+            },
+            'M' => {
+                // M d g s [kp [vth]] — n1/n2 above already claimed drain
+                // and gate; the source is the third node.
+                let s = node(&tokens[3], &mut circuit);
+                Element::Mosfet {
+                    d: n1,
+                    g: n2,
+                    s,
+                    kp: match tokens.get(4) {
+                        Some(t) => parse_value(t)?,
+                        None => 2e-5,
+                    },
+                    vth: match tokens.get(5) {
+                        Some(t) => parse_value(t)?,
+                        None => 1.0,
+                    },
                 }
             }
             'V' | 'I' => {
@@ -418,6 +457,62 @@ R1 a b 1k
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_diode_and_mosfet_cards() {
+        let text = "\
+V1 in 0 SIN(0 5 1k)
+D1 in out 1e-12 0.05
+R1 out 0 1k
+M1 out g 0 1m 0.7
+Vg g 0 DC 2
+D2 out 0
+.end
+";
+        let parsed = parse_netlist(text).unwrap();
+        assert!(parsed.circuit.has_nonlinear());
+        match &parsed.circuit.elements()[1] {
+            Element::Diode { n1, n2, is_sat, vt } => {
+                assert_eq!((*n1, *n2), (1, 2));
+                assert_eq!(*is_sat, 1e-12);
+                assert_eq!(*vt, 0.05);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &parsed.circuit.elements()[3] {
+            Element::Mosfet { d, g, s, kp, vth } => {
+                assert_eq!((*d, *s), (2, 0));
+                assert_eq!(*g, parsed.node("g").unwrap());
+                assert_eq!(*kp, 1e-3);
+                assert_eq!(*vth, 0.7);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Defaults on the bare diode card.
+        match &parsed.circuit.elements()[5] {
+            Element::Diode { is_sat, vt, .. } => {
+                assert_eq!(*is_sat, 1e-14);
+                assert_eq!(*vt, crate::nonlinear::VT_300K);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonlinear_netlist_assembles() {
+        let parsed = parse_netlist("V1 in 0 DC 5\nR1 in out 1k\nD1 out 0\n").unwrap();
+        let nl = crate::mna::assemble_nonlinear_mna(
+            &parsed.circuit,
+            &[crate::mna::Output::NodeVoltage(parsed.node("out").unwrap())],
+        )
+        .unwrap();
+        assert_eq!(nl.devices.len(), 1);
+        // The linear assembler refuses the same circuit.
+        assert!(matches!(
+            crate::mna::assemble_mna(&parsed.circuit, &[]),
+            Err(CircuitError::Unsupported(_))
+        ));
     }
 
     #[test]

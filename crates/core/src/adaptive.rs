@@ -58,6 +58,7 @@ fn quantize(h: f64) -> f64 {
 /// # Errors
 /// [`OpmError`] on invalid options, singular pencils, or channel
 /// mismatches.
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_linear_adaptive(
     sys: &DescriptorSystem,
     inputs: &InputSet,
@@ -66,7 +67,7 @@ pub fn solve_linear_adaptive(
     opts: AdaptiveOpmOptions,
 ) -> Result<OpmResult, OpmError> {
     let mut factors = FactorCache::new(sys.e(), sys.a());
-    solve_linear_adaptive_with(sys, inputs, t_end, x0, opts, &mut factors)
+    linear_adaptive_with(sys, inputs, t_end, x0, opts, &mut factors)
 }
 
 /// [`solve_linear_adaptive`] with a caller-owned [`FactorCache`]: the
@@ -78,7 +79,22 @@ pub fn solve_linear_adaptive(
 ///
 /// # Errors
 /// As [`solve_linear_adaptive`].
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_linear_adaptive_with(
+    sys: &DescriptorSystem,
+    inputs: &InputSet,
+    t_end: f64,
+    x0: &[f64],
+    opts: AdaptiveOpmOptions,
+    factors: &mut FactorCache,
+) -> Result<OpmResult, OpmError> {
+    linear_adaptive_with(sys, inputs, t_end, x0, opts, factors)
+}
+
+/// The adaptive-step implementation the session layer's
+/// [`crate::SimPlan`] adaptive kind drives (the deprecated one-shot
+/// wrappers above delegate here).
+pub(crate) fn linear_adaptive_with(
     sys: &DescriptorSystem,
     inputs: &InputSet,
     t_end: f64,
@@ -231,6 +247,7 @@ pub fn geometric_grid(t_end: f64, m: usize, ratio: f64) -> Vec<f64> {
 /// # Errors
 /// [`OpmError::ConfluentSteps`] when two steps coincide;
 /// [`OpmError::SingularPencil`] when some column's pencil is singular.
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_fractional_adaptive(
     fsys: &FractionalSystem,
     grid: &AdaptiveBpf,
@@ -380,6 +397,9 @@ pub(crate) fn sweep_step_grid(
 
 #[cfg(test)]
 mod tests {
+    // The strategy's own unit tests exercise the deprecated one-shot
+    // wrappers on purpose: they pin the wrapper-to-plan delegation.
+    #![allow(deprecated)]
     use super::*;
     use opm_fracnum::mittag_leffler::ml_kernel;
     use opm_sparse::{CooMatrix, CsrMatrix};

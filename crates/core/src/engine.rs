@@ -317,6 +317,115 @@ impl PencilFamily {
     pub fn profile(&self) -> FactorProfile {
         self.profile
     }
+
+    /// Books `n` Newton iterations into the profile (the session layer
+    /// calls this once per solve; on the linear delegation path it books
+    /// one iteration per column, matching what a Newton loop would have
+    /// measured).
+    pub fn note_newton_iters(&mut self, n: usize) {
+        self.profile.newton_iters += n;
+    }
+
+    /// Resolves matrix coordinates into value indices of the family's
+    /// union CSC pattern — the positions [`ShiftedPencil::shift_values`]
+    /// writes and [`PencilFamily::factor_stamped`]'s stamp closure
+    /// mutates. Computed once per plan so the per-iteration Newton
+    /// stamping is pure index arithmetic.
+    ///
+    /// # Errors
+    /// [`OpmError::BadArguments`] when a coordinate lies outside the
+    /// union pattern (a device touching a position neither `E` nor `A`
+    /// stores — GMIN planting at assembly is what rules this out).
+    pub fn value_indices(&self, coords: &[(usize, usize)]) -> Result<Vec<usize>, OpmError> {
+        let pat = self.pencil.pattern();
+        let mut bases = Vec::with_capacity(pat.ncols() + 1);
+        let mut base = 0usize;
+        for j in 0..pat.ncols() {
+            bases.push(base);
+            base += pat.col_pattern(j).len();
+        }
+        bases.push(base);
+        coords
+            .iter()
+            .map(|&(i, j)| {
+                if j >= pat.ncols() {
+                    return Err(OpmError::BadArguments(format!(
+                        "stamp column {j} outside {}-column pencil",
+                        pat.ncols()
+                    )));
+                }
+                pat.col_pattern(j)
+                    .binary_search(&i)
+                    .map(|pos| bases[j] + pos)
+                    .map_err(|_| {
+                        OpmError::BadArguments(format!(
+                            "stamp position ({i}, {j}) outside the pencil pattern"
+                        ))
+                    })
+            })
+            .collect()
+    }
+
+    /// Factors `σ·E − A − J` where `J` is applied by `stamp` directly on
+    /// the shifted value buffer (indices from
+    /// [`PencilFamily::value_indices`]) — the Newton iteration matrix.
+    /// Numeric-only refactorization against the family's recorded
+    /// analysis (the pattern is iteration-invariant because GMIN keeps
+    /// every device position stored), with the same pivot-degradation
+    /// fallback as [`PencilFamily::factor`]. Books Newton-specific
+    /// counters so plans can assert "one symbolic analysis, the rest
+    /// numeric" end-to-end.
+    ///
+    /// # Errors
+    /// [`OpmError::SingularPencil`] when the stamped pencil is singular.
+    pub fn factor_stamped(
+        &mut self,
+        sigma: f64,
+        stamp: impl FnOnce(&mut [f64]),
+    ) -> Result<SparseLu, OpmError> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.pencil.shift_values(sigma, &mut scratch);
+        stamp(&mut scratch);
+        let out = self.factor_values(&scratch);
+        self.scratch = scratch;
+        out
+    }
+
+    /// Factors the union pattern with an explicit value buffer (the
+    /// numeric half of [`PencilFamily::factor_stamped`]).
+    fn factor_values(&mut self, values: &[f64]) -> Result<SparseLu, OpmError> {
+        if let Some(sym) = &self.symbolic {
+            match SparseLu::refactor(sym, values) {
+                Ok(lu) => {
+                    self.profile.num_numeric += 1;
+                    self.profile.newton_refactors += 1;
+                    return Ok(lu);
+                }
+                Err(SparseError::PivotDegraded(_)) => { /* fresh factor below */ }
+                Err(e) => return Err(OpmError::SingularPencil(format!("{e}"))),
+            }
+        }
+        let mut csc = self.pencil.pattern().clone();
+        csc.values_mut().copy_from_slice(values);
+        if self.symbolic.is_none() {
+            let (sym, lu) = SymbolicLu::factor_with(&csc, Some(&self.order), LuOptions::default())
+                .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+            self.symbolic = Some(sym);
+            self.profile.num_symbolic += 1;
+            let stats = lu.supernode_stats();
+            self.profile.num_supernodes = stats.num_supernodes;
+            self.profile.supernode_cols = stats.supernode_cols;
+            self.profile.dense_tail_cols = stats.dense_tail_cols;
+            self.profile.factor_cols = stats.num_cols;
+            Ok(lu)
+        } else {
+            let lu = SparseLu::factor(&csc, Some(&self.order))
+                .map_err(|e| OpmError::SingularPencil(format!("{e}")))?;
+            self.profile.num_symbolic += 1;
+            self.profile.newton_fresh_fallbacks += 1;
+            Ok(lu)
+        }
+    }
 }
 
 /// [`factor_pencil`] with the symbolic analysis recorded: the analysis
@@ -1027,6 +1136,7 @@ impl<'a> Problem<'a> {
             m,
             self.t_end,
             self.x0,
+            Vec::new(),
         )?;
         match self.inputs {
             Inputs::Coeffs(u) => plan.solve_coeffs(u),
@@ -1131,7 +1241,12 @@ mod tests {
         let inputs = InputSet::new(vec![Waveform::Dc(1.0)]);
         let m = 64;
         let u = inputs.bpf_matrix(m, 2.0);
-        let direct = crate::linear::solve_linear(&sys, &u, 2.0, &[0.0]).unwrap();
+        let direct = crate::Simulation::from_system(sys.clone())
+            .horizon(2.0)
+            .plan(&SolveOptions::new().resolution(m))
+            .unwrap()
+            .solve_coeffs(&u)
+            .unwrap();
         let via_problem = Problem::linear(&sys)
             .waveforms(&inputs)
             .horizon(2.0)

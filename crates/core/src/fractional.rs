@@ -29,6 +29,7 @@ use opm_system::FractionalSystem;
 /// # Errors
 /// [`OpmError::SingularPencil`] when `ρ₀E − A` is singular;
 /// [`OpmError::BadArguments`] for shape mismatches.
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_fractional(
     fsys: &FractionalSystem,
     u_coeffs: &[Vec<f64>],
@@ -40,6 +41,9 @@ pub fn solve_fractional(
 
 #[cfg(test)]
 mod tests {
+    // The strategy's own unit tests exercise the deprecated one-shot
+    // wrappers on purpose: they pin the wrapper-to-plan delegation.
+    #![allow(deprecated)]
     use super::*;
     use crate::metrics::max_abs_diff;
     use opm_fracnum::mittag_leffler::ml_kernel;

@@ -167,6 +167,9 @@ pub fn kron_solve_fractional(
 
 #[cfg(test)]
 mod tests {
+    // The strategy's own unit tests exercise the deprecated one-shot
+    // wrappers on purpose: they pin the wrapper-to-plan delegation.
+    #![allow(deprecated)]
     use super::*;
     use opm_sparse::{CooMatrix, CsrMatrix};
     use opm_waveform::{InputSet, Waveform};

@@ -42,9 +42,10 @@
 //! # Quickstart
 //!
 //! ```
-//! use opm_core::linear::solve_linear;
+//! use opm_core::{Simulation, SolveOptions};
 //! use opm_sparse::{CooMatrix, CsrMatrix};
 //! use opm_system::DescriptorSystem;
+//! use opm_waveform::{InputSet, Waveform};
 //!
 //! // ẋ = −x + u, step input, zero IC.
 //! let mut a = CooMatrix::new(1, 1);
@@ -53,8 +54,11 @@
 //! b.push(0, 0, 1.0);
 //! let sys = DescriptorSystem::new(CsrMatrix::identity(1), a.to_csr(), b.to_csr(), None).unwrap();
 //! let m = 256;
-//! let u = vec![vec![1.0; m]];     // BPF coefficients of u(t) = 1
-//! let r = solve_linear(&sys, &u, 1.0, &[0.0]).unwrap();
+//! let plan = Simulation::from_system(sys)
+//!     .horizon(1.0)
+//!     .plan(&SolveOptions::new().resolution(m))
+//!     .unwrap();
+//! let r = plan.solve(&InputSet::new(vec![Waveform::Dc(1.0)])).unwrap();
 //! // Midpoint of the last interval ≈ 1 − e^{−t}.
 //! let t = r.midpoints()[m - 1];
 //! let want = 1.0 - (-t as f64).exp();
@@ -74,6 +78,7 @@ pub mod latch;
 pub mod linear;
 pub mod metrics;
 pub mod multiterm;
+mod newton;
 pub mod result;
 pub mod second_order;
 pub mod session;
@@ -85,10 +90,15 @@ pub use engine::{Method, Problem, SolveOptions};
 pub use json::Json;
 pub use metrics::FactorProfile;
 pub use result::OpmResult;
-pub use session::{SimModel, SimPlan, Simulation, WindowBlock, WindowedOptions};
+pub use session::{NewtonOptions, SimModel, SimPlan, Simulation, WindowBlock, WindowedOptions};
 
 /// Errors from OPM solvers.
+///
+/// Marked `#[non_exhaustive]`: downstream `match`es need a wildcard arm,
+/// so future variants (like [`OpmError::Nonconvergence`], added for the
+/// Newton path) are not breaking changes.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum OpmError {
     /// The OPM pencil `d₀·E − A` (or its multi-term analogue) is singular.
     SingularPencil(String),
@@ -102,6 +112,19 @@ pub enum OpmError {
     /// A cooperative solve was cancelled (explicitly, or by an elapsed
     /// [`crate::cancel::CancelToken`] deadline) before completing.
     Cancelled(String),
+    /// Newton iteration failed to converge within
+    /// [`session::NewtonOptions::max_iters`]. Carries the iteration
+    /// count, the final residual norm, and where in the sweep it
+    /// happened. A *request*-level problem (tighten the tolerances, add
+    /// iterations, or refine the window), not a server fault.
+    Nonconvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Final `‖F(x)‖_∞` of the failing column equation.
+        residual: f64,
+        /// Which column/window failed (human-readable).
+        context: String,
+    },
 }
 
 impl std::fmt::Display for OpmError {
@@ -112,6 +135,15 @@ impl std::fmt::Display for OpmError {
             OpmError::ConfluentSteps(s) => write!(f, "confluent adaptive steps: {s}"),
             OpmError::Circuit(e) => write!(f, "circuit assembly: {e}"),
             OpmError::Cancelled(s) => write!(f, "cancelled: {s}"),
+            OpmError::Nonconvergence {
+                iterations,
+                residual,
+                context,
+            } => write!(
+                f,
+                "Newton failed to converge after {iterations} iterations \
+                 (residual {residual:.3e}) at {context}"
+            ),
         }
     }
 }

@@ -42,6 +42,7 @@ use opm_system::DescriptorSystem;
 /// # Errors
 /// [`OpmError::SingularPencil`] when `(2/h)E − A` is singular;
 /// [`OpmError::BadArguments`] for shape mismatches.
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_linear(
     sys: &DescriptorSystem,
     u_coeffs: &[Vec<f64>],
@@ -61,6 +62,7 @@ pub fn solve_linear(
 ///
 /// # Errors
 /// As [`solve_linear`].
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_linear_accumulator(
     sys: &DescriptorSystem,
     u_coeffs: &[Vec<f64>],
@@ -73,6 +75,9 @@ pub fn solve_linear_accumulator(
 
 #[cfg(test)]
 mod tests {
+    // The strategy's own unit tests exercise the deprecated one-shot
+    // wrappers on purpose: they pin the wrapper-to-plan delegation.
+    #![allow(deprecated)]
     use super::*;
     use opm_sparse::{CooMatrix, CsrMatrix};
     use opm_waveform::{InputSet, Waveform};

@@ -40,6 +40,19 @@ pub struct FactorProfile {
     /// Total pivotal columns of the reference factorization (the
     /// denominator for the coverage ratios; 0 when not captured).
     pub factor_cols: usize,
+    /// Newton iterations performed by `solve_newton` /
+    /// `solve_newton_windowed` (one per column on linear netlists —
+    /// those converge in a single iteration by construction).
+    pub newton_iters: usize,
+    /// Numeric-only refactorizations performed *inside* Newton
+    /// iterations (each also counts in [`FactorProfile::num_numeric`]).
+    /// Per-iteration cost staying numeric-refactor-only means
+    /// `num_symbolic` stays at 1 while this grows.
+    pub newton_refactors: usize,
+    /// Newton refactorizations that degraded past the pivot threshold
+    /// and fell back to a fresh pivoted factorization (each also counts
+    /// in [`FactorProfile::num_symbolic`]). 0 on well-scaled circuits.
+    pub newton_fresh_fallbacks: usize,
 }
 
 impl FactorProfile {
@@ -83,6 +96,12 @@ impl FactorProfile {
             ("supernode_cols".into(), int(self.supernode_cols)),
             ("dense_tail_cols".into(), int(self.dense_tail_cols)),
             ("factor_cols".into(), int(self.factor_cols)),
+            ("newton_iters".into(), int(self.newton_iters)),
+            ("newton_refactors".into(), int(self.newton_refactors)),
+            (
+                "newton_fresh_fallbacks".into(),
+                int(self.newton_fresh_fallbacks),
+            ),
         ])
     }
 }

@@ -30,6 +30,7 @@ use opm_system::{DescriptorSystem, MultiTermSystem};
 ///
 /// # Errors
 /// [`OpmError::SingularPencil`] / [`OpmError::BadArguments`].
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_multiterm(
     mt: &MultiTermSystem,
     u_coeffs: &[Vec<f64>],
@@ -44,6 +45,7 @@ pub fn solve_multiterm(
 ///
 /// # Errors
 /// As [`solve_multiterm`]; additionally rejects non-integer orders.
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_multiterm_recurrence(
     mt: &MultiTermSystem,
     u_coeffs: &[Vec<f64>],
@@ -58,6 +60,7 @@ pub fn solve_multiterm_recurrence(
 ///
 /// # Errors
 /// As [`solve_multiterm`].
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_multiterm_convolution(
     mt: &MultiTermSystem,
     u_coeffs: &[Vec<f64>],
@@ -70,17 +73,27 @@ pub fn solve_multiterm_convolution(
 /// Convenience: runs a plain descriptor system through the multi-term
 /// machinery (used by tests to show the K = 1 fast path *is* the linear
 /// solver).
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_descriptor_as_multiterm(
     sys: &DescriptorSystem,
     u_coeffs: &[Vec<f64>],
     t_end: f64,
 ) -> Result<OpmResult, OpmError> {
-    validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
-    solve_multiterm(&MultiTermSystem::from_descriptor(sys), u_coeffs, t_end)
+    let m = validate_coeff_inputs(sys.num_inputs(), u_coeffs)?;
+    SimPlan::for_multiterm(
+        &MultiTermSystem::from_descriptor(sys),
+        m,
+        t_end,
+        &MtSelect::Auto,
+    )?
+    .solve_coeffs(u_coeffs)
 }
 
 #[cfg(test)]
 mod tests {
+    // The strategy's own unit tests exercise the deprecated one-shot
+    // wrappers on purpose: they pin the wrapper-to-plan delegation.
+    #![allow(deprecated)]
     use super::*;
     use opm_sparse::{CooMatrix, CsrMatrix};
     use opm_system::{SecondOrderSystem, Term};

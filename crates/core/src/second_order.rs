@@ -24,6 +24,7 @@ use opm_waveform::InputSet;
 /// [`OpmError`] from the underlying multi-term solve; bad shapes.
 ///
 /// [`opm_circuits::grid::PowerGridSpec::pad_ramp`]: https://docs.rs/opm-circuits
+#[deprecated(note = "use Simulation::plan")]
 pub fn solve_second_order(
     sys: &SecondOrderSystem,
     inputs: &InputSet,
@@ -45,6 +46,9 @@ pub fn solve_second_order(
 
 #[cfg(test)]
 mod tests {
+    // The strategy's own unit tests exercise the deprecated one-shot
+    // wrappers on purpose: they pin the wrapper-to-plan delegation.
+    #![allow(deprecated)]
     use super::*;
     use crate::multiterm::solve_multiterm;
     use opm_circuits::grid::PowerGridSpec;

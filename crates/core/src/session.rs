@@ -47,17 +47,23 @@ use crate::cancel::CancelToken;
 use crate::engine::{
     apply_b_block, factor_pencil_symbolic, validate_coeff_inputs, validate_horizon, validate_x0,
     BlockColumnSweep, BlockOutcome, FactorCache, Method, OutputMap, PencilFamily, SolveOptions,
+    SweepOutcome,
 };
 use crate::kron_solve::{fractional_as_multiterm, kron_prepare, kron_solve_prepared, KronFactors};
 use crate::metrics::FactorProfile;
+use crate::newton::{NewtonSweep, NewtonWindow};
 use crate::result::OpmResult;
 use crate::OpmError;
 use opm_basis::adaptive::AdaptiveBpf;
 use opm_basis::bpf::{endpoint_state, BpfBasis};
+use opm_basis::haar::HaarBasis;
 use opm_basis::series::tustin_frac_coeffs;
 use opm_basis::traits::Basis;
-use opm_circuits::mna::{assemble_fractional_mna, assemble_mna, Output, Unknown};
+use opm_circuits::mna::{
+    assemble_fractional_mna, assemble_mna, assemble_nonlinear_mna, Output, Unknown,
+};
 use opm_circuits::netlist::{Circuit, Element};
+use opm_circuits::nonlinear::DeviceModel;
 use opm_circuits::parser::parse_netlist;
 use opm_fracnum::binomial::binomial_series;
 use opm_fracnum::history::{history_convolution_into, HistoryTail};
@@ -136,6 +142,11 @@ pub struct Simulation {
     x0: Option<Vec<f64>>,
     inputs: Option<InputSet>,
     unknowns: Vec<Unknown>,
+    /// Nonlinear companion devices riding on a linear model (populated
+    /// by [`Simulation::from_circuit`] when the netlist carries diodes
+    /// or MOSFETs); plans built from this session solve through
+    /// [`SimPlan::solve_newton`].
+    devices: Vec<DeviceModel>,
 }
 
 impl Simulation {
@@ -146,6 +157,7 @@ impl Simulation {
             x0: None,
             inputs: None,
             unknowns: Vec::new(),
+            devices: Vec::new(),
         }
     }
 
@@ -206,6 +218,17 @@ impl Simulation {
     /// # Errors
     /// [`OpmError::Circuit`] for assembly failures.
     pub fn from_circuit(ckt: &Circuit, outputs: &[Output]) -> Result<Self, OpmError> {
+        if ckt.has_nonlinear() {
+            // Diodes/MOSFETs: linear part + re-stampable device list.
+            // (Mixing CPEs with nonlinear devices is rejected by the
+            // assembler.)
+            let nl = assemble_nonlinear_mna(ckt, outputs)?;
+            let mut s = Simulation::new(SimModel::Linear(nl.model.system));
+            s.inputs = Some(nl.model.inputs);
+            s.unknowns = nl.model.unknowns;
+            s.devices = nl.devices;
+            return Ok(s);
+        }
         let cpe_alpha = ckt.elements().iter().find_map(|e| match e {
             Element::Cpe { alpha, .. } => Some(*alpha),
             _ => None,
@@ -281,6 +304,18 @@ impl Simulation {
         &self.unknowns
     }
 
+    /// The nonlinear companion devices (empty unless the session was
+    /// assembled from a circuit with diodes/MOSFETs).
+    pub fn devices(&self) -> &[DeviceModel] {
+        &self.devices
+    }
+
+    /// Whether plans built from this session need the Newton path
+    /// ([`SimPlan::solve_newton`]).
+    pub fn has_nonlinear(&self) -> bool {
+        !self.devices.is_empty()
+    }
+
     /// Validates the session against `opts` and performs every
     /// stimulus-independent step once: shape checks, pencil assembly, RCM
     /// ordering, sparse LU factorization, fractional series, recurrence
@@ -306,6 +341,7 @@ impl Simulation {
             m,
             self.t_end,
             self.x0.as_deref(),
+            self.devices.clone(),
         )
     }
 }
@@ -533,6 +569,11 @@ pub struct SimPlan {
     m: usize,
     x0: Vec<f64>,
     kind: PlanKind,
+    /// Nonlinear companion devices (empty for purely linear plans).
+    /// Plans carrying devices solve through [`SimPlan::solve_newton`];
+    /// the linear entry points reject them so a caller can never
+    /// silently drop the nonlinearities.
+    devices: Arc<Vec<DeviceModel>>,
     /// Factorization work done at prepare time (live adaptive plans
     /// report from their lattice cache, linear plans from their pencil
     /// family, instead).
@@ -679,6 +720,139 @@ impl WindowedOptions {
     }
 }
 
+/// Newton-iteration configuration for [`SimPlan::solve_newton`] /
+/// [`SimPlan::solve_newton_windowed`].
+///
+/// ```
+/// use opm_core::session::NewtonOptions;
+/// let opts = NewtonOptions::new().max_iters(30).tolerances(1e-10, 1e-10);
+/// assert_eq!(opts.iteration_budget(), 30);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NewtonOptions {
+    max_iters: usize,
+    abs_tol: f64,
+    rel_tol: f64,
+    max_step: f64,
+    refine: Option<f64>,
+    cancel: Option<CancelToken>,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions::new()
+    }
+}
+
+impl NewtonOptions {
+    /// Defaults: 50 iterations, `abs_tol = 1e-9`, `rel_tol = 1e-9`, no
+    /// step limit, no refinement, no cancel token.
+    pub fn new() -> Self {
+        NewtonOptions {
+            max_iters: 50,
+            abs_tol: 1e-9,
+            rel_tol: 1e-9,
+            max_step: f64::INFINITY,
+            refine: None,
+            cancel: None,
+        }
+    }
+
+    /// Iteration budget per column before
+    /// [`OpmError::Nonconvergence`].
+    #[must_use]
+    pub fn max_iters(mut self, iters: usize) -> Self {
+        self.max_iters = iters.max(1);
+        self
+    }
+
+    /// Residual tolerances: a column converges when
+    /// `‖F(x)‖_∞ ≤ abs_tol + rel_tol·‖rhs‖_∞` with the *exact* device
+    /// currents in `F`.
+    #[must_use]
+    pub fn tolerances(mut self, abs_tol: f64, rel_tol: f64) -> Self {
+        self.abs_tol = abs_tol;
+        self.rel_tol = rel_tol;
+        self
+    }
+
+    /// Damping / step-limit knob: clamps each unknown's per-iteration
+    /// move to `±volts` (junction limiting already tames the diode
+    /// exponential; this bounds everything else). Default: unlimited.
+    #[must_use]
+    pub fn max_step(mut self, volts: f64) -> Self {
+        self.max_step = volts;
+        self
+    }
+
+    /// Opt-in per-window refinement: when a window's Newton iteration
+    /// history spikes (≥ 3 iterations on some column) *and* the Haar
+    /// detail fraction of its solved columns exceeds `threshold`
+    /// (finest-scale energy over total detail energy, requires a
+    /// power-of-two resolution), the window is re-solved at double
+    /// resolution — a numeric-only refactorization, the pattern is
+    /// unchanged — and coarsened back onto the plan's grid. Default:
+    /// off, keeping factorization counts deterministic.
+    #[must_use]
+    pub fn refine_threshold(mut self, threshold: f64) -> Self {
+        self.refine = Some(threshold);
+        self
+    }
+
+    /// Attaches a cooperative [`CancelToken`], polled every Newton
+    /// iteration.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+}
+
+/// Read-side accessors (what the Newton driver consumes).
+impl NewtonOptions {
+    /// The per-column iteration budget.
+    pub fn iteration_budget(&self) -> usize {
+        self.max_iters
+    }
+
+    /// The absolute residual tolerance.
+    pub fn abs_tol(&self) -> f64 {
+        self.abs_tol
+    }
+
+    /// The relative residual tolerance.
+    pub fn rel_tol(&self) -> f64 {
+        self.rel_tol
+    }
+
+    /// The per-iteration step clamp (infinite when unset).
+    pub fn step_limit(&self) -> f64 {
+        self.max_step
+    }
+
+    /// The refinement detail threshold, if refinement is enabled.
+    pub fn refinement(&self) -> Option<f64> {
+        self.refine
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Polls the attached token (no token ⇒ never cancelled).
+    ///
+    /// # Errors
+    /// [`OpmError::Cancelled`] once the token is cancelled or past its
+    /// deadline.
+    pub fn check_cancelled(&self) -> Result<(), OpmError> {
+        match &self.cancel {
+            Some(t) => t.check(),
+            None => Ok(()),
+        }
+    }
+}
+
 /// One window's worth of a streaming solve
 /// ([`SimPlan::solve_streaming`]).
 #[derive(Clone, Debug)]
@@ -716,6 +890,9 @@ const ONE_SYMBOLIC: FactorProfile = FactorProfile {
     supernode_cols: 0,
     dense_tail_cols: 0,
     factor_cols: 0,
+    newton_iters: 0,
+    newton_refactors: 0,
+    newton_fresh_fallbacks: 0,
 };
 
 /// Lanes per worker for a `lanes`-wide batch on `threads` workers,
@@ -729,6 +906,49 @@ fn worker_lane_chunk(lanes: usize, threads: usize) -> usize {
     lanes
         .div_ceil(threads.max(1))
         .next_multiple_of(opm_linalg::panel::LANE_PANEL_WIDTH)
+}
+
+/// Pair-averages a `2m`-column fine window back onto the plan's
+/// `m`-column grid, keeping the fine endpoint. BPF coefficients are
+/// interval means, so the mean over a merged interval is the mean of its
+/// halves — the coarsened columns are exactly the projection of the fine
+/// solve onto the coarse basis.
+fn coarsen_pairs(fine: NewtonWindow, m: usize) -> NewtonWindow {
+    let mut columns = Vec::with_capacity(m);
+    for j in 0..m {
+        let a = &fine.columns[2 * j];
+        let b = &fine.columns[2 * j + 1];
+        columns.push(a.iter().zip(b).map(|(x, y)| 0.5 * (x + y)).collect());
+    }
+    NewtonWindow {
+        columns,
+        end: fine.end,
+        worst_iters: fine.worst_iters,
+    }
+}
+
+/// Fraction of a window's non-DC Haar energy concentrated in the finest
+/// detail level, maximized over states — the sharp-transient signal the
+/// Newton refinement hook reads. Requires `m = 2^k` (callers gate on
+/// `m.is_power_of_two()`).
+fn haar_detail_fraction(columns: &[Vec<f64>], m: usize, width: f64) -> f64 {
+    let n = columns.first().map_or(0, Vec::len);
+    let basis = HaarBasis::new(m, width);
+    let mut worst = 0.0f64;
+    let mut series = vec![0.0; m];
+    for i in 0..n {
+        for (j, col) in columns.iter().enumerate() {
+            series[j] = col[i];
+        }
+        let haar = basis.from_bpf_coeffs(&series);
+        let total: f64 = haar[1..].iter().map(|c| c * c).sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let detail: f64 = haar[m / 2..].iter().map(|c| c * c).sum();
+        worst = worst.max(detail / total);
+    }
+    worst
 }
 
 /// Output projection dispatch without cloning the selector.
@@ -761,8 +981,20 @@ impl SimPlan {
         m: usize,
         t_end: f64,
         x0: Option<&[f64]>,
+        devices: Vec<DeviceModel>,
     ) -> Result<Self, OpmError> {
         validate_options(&model, t_end, opts)?;
+        let devices = Arc::new(devices);
+        let require_linear_kind = |kind: &str| -> Result<(), OpmError> {
+            if devices.is_empty() {
+                Ok(())
+            } else {
+                Err(OpmError::BadArguments(format!(
+                    "nonlinear devices solve through the linear-recurrence Newton path; \
+                     the `{kind}` plan kind cannot restamp the pencil per iteration"
+                )))
+            }
+        };
         let n = model.order();
         let x0 = match x0 {
             Some(v) => {
@@ -781,6 +1013,7 @@ impl SimPlan {
         }
 
         if let Some(aopts) = opts.adaptive {
+            require_linear_kind("adaptive")?;
             let SimModel::Linear(sys) = model.as_ref() else {
                 unreachable!("validate_options admits `adaptive` only on linear models");
             };
@@ -794,11 +1027,13 @@ impl SimPlan {
                 m: 0,
                 x0,
                 kind,
+                devices,
                 profile: FactorProfile::default(),
                 windowed: Mutex::new(WindowState::default()),
             });
         }
         if opts.step_grid.is_some() {
+            require_linear_kind("step-grid")?;
             let SimModel::Fractional(fsys) = model.as_ref() else {
                 unreachable!("validate_options admits `step_grid` only on fractional models");
             };
@@ -814,6 +1049,7 @@ impl SimPlan {
                 m,
                 x0,
                 kind,
+                devices,
                 profile,
                 windowed: Mutex::new(WindowState::default()),
             });
@@ -896,12 +1132,16 @@ impl SimPlan {
                 }
             }
         };
+        if !matches!(kind, PlanKind::Linear { .. }) {
+            require_linear_kind(model.strategy_name())?;
+        }
         Ok(SimPlan {
             model,
             t_end,
             m,
             x0,
             kind,
+            devices,
             profile: ONE_SYMBOLIC,
             windowed: Mutex::new(WindowState::default()),
         })
@@ -926,6 +1166,7 @@ impl SimPlan {
             m,
             x0: x0.to_vec(),
             kind: linear_plan_kind(sys, m, t_end, accumulator)?,
+            devices: Arc::new(Vec::new()),
             profile: ONE_SYMBOLIC,
             windowed: Mutex::new(WindowState::default()),
         })
@@ -944,6 +1185,7 @@ impl SimPlan {
             m,
             x0: vec![0.0; fsys.order()],
             kind: fractional_plan_kind(fsys, m, t_end)?,
+            devices: Arc::new(Vec::new()),
             profile: ONE_SYMBOLIC,
             windowed: Mutex::new(WindowState::default()),
         })
@@ -963,6 +1205,7 @@ impl SimPlan {
             m,
             x0: vec![0.0; mt.order()],
             kind: PlanKind::MultiTerm(mt_plan(mt, m, t_end, select)?),
+            devices: Arc::new(Vec::new()),
             profile: ONE_SYMBOLIC,
             windowed: Mutex::new(WindowState::default()),
         })
@@ -987,6 +1230,7 @@ impl SimPlan {
                 plan,
                 differentiate: true,
             },
+            devices: Arc::new(Vec::new()),
             profile: ONE_SYMBOLIC,
             windowed: Mutex::new(WindowState::default()),
         })
@@ -1065,6 +1309,35 @@ impl SimPlan {
         self.model.strategy_name()
     }
 
+    /// The nonlinear device models the plan carries (empty for linear
+    /// netlists).
+    pub fn devices(&self) -> &[DeviceModel] {
+        &self.devices
+    }
+
+    /// Whether the plan carries nonlinear devices. Such plans solve only
+    /// through [`SimPlan::solve_newton`] /
+    /// [`SimPlan::solve_newton_windowed`]; every linear entry point
+    /// rejects them.
+    pub fn has_nonlinear(&self) -> bool {
+        !self.devices.is_empty()
+    }
+
+    /// Linear entry points refuse plans carrying nonlinear devices —
+    /// solving the linear recurrence would silently drop the device
+    /// currents.
+    fn reject_nonlinear(&self, entry: &str) -> Result<(), OpmError> {
+        if self.devices.is_empty() {
+            Ok(())
+        } else {
+            Err(OpmError::BadArguments(format!(
+                "this plan carries {} nonlinear device(s) and `{entry}` would drop them; \
+                 use SimPlan::solve_newton / SimPlan::solve_newton_windowed",
+                self.devices.len()
+            )))
+        }
+    }
+
     // -- solving ------------------------------------------------------------
 
     /// Solves one stimulus against the cached factorization.
@@ -1107,6 +1380,7 @@ impl SimPlan {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
+        self.reject_nonlinear("solve")?;
         self.check_channels(inputs)?;
         match &self.kind {
             PlanKind::AdaptiveLinear { aopts, cache } => {
@@ -1118,7 +1392,7 @@ impl SimPlan {
                 inputs
                     .iter()
                     .map(|ws| {
-                        adaptive::solve_linear_adaptive_with(
+                        adaptive::linear_adaptive_with(
                             sys,
                             ws,
                             self.t_end,
@@ -1188,6 +1462,7 @@ impl SimPlan {
         if us.is_empty() {
             return Ok(Vec::new());
         }
+        self.reject_nonlinear("solve_coeffs")?;
         match &self.kind {
             PlanKind::AdaptiveLinear { .. } => Err(OpmError::BadArguments(
                 "adaptive stepping needs waveform inputs (exact interval averages)".into(),
@@ -1370,6 +1645,7 @@ impl SimPlan {
         if inputs.is_empty() {
             return Ok(Vec::new());
         }
+        self.reject_nonlinear("solve_windowed")?;
         self.check_channels(inputs)?;
         let kernel = self.window_kernel(windows)?;
         let lanes_per_worker = worker_lane_chunk(inputs.len(), threads);
@@ -1431,6 +1707,7 @@ impl SimPlan {
         mut sink: impl FnMut(WindowBlock),
     ) -> Result<Vec<f64>, OpmError> {
         let windows = opts.windows();
+        self.reject_nonlinear("solve_streaming")?;
         self.check_channels(std::slice::from_ref(inputs))?;
         let kernel = self.window_kernel(windows)?;
         let out = self.output_map();
@@ -1452,6 +1729,170 @@ impl SimPlan {
             .expect("window state poisoned")
             .windows_solved += windows;
         Ok(final_state)
+    }
+
+    /// Newton solve of a (possibly nonlinear) plan over the whole
+    /// horizon as one window: [`SimPlan::solve_newton_windowed`] with
+    /// `windows = 1`.
+    ///
+    /// On a **linear** netlist (no devices) this is *bit-identical* to
+    /// [`SimPlan::solve`] — the full-value Newton iterate of the
+    /// endpoint recurrence reproduces the linear recurrence exactly, so
+    /// the call delegates to the linear sweep and merely books one
+    /// Newton iteration per column into the
+    /// [`FactorProfile`].
+    ///
+    /// # Errors
+    /// As [`SimPlan::solve_newton_windowed`].
+    pub fn solve_newton(
+        &self,
+        inputs: &InputSet,
+        opts: &NewtonOptions,
+    ) -> Result<OpmResult, OpmError> {
+        self.solve_newton_windowed(inputs, 1, opts)
+    }
+
+    /// Windowed Newton solve: the horizon split into `windows` windows
+    /// of `m` columns each, every column solved by SPICE-style
+    /// full-value Newton iteration over the endpoint recurrence
+    /// `(σE − A)·x_j − f(x_j) = σE·e_j + B·u_j`, `e_{j+1} = 2x_j − e_j`.
+    ///
+    /// Cost shape: **one** symbolic analysis for the whole solve (the
+    /// plan's recorded [`opm_sparse::SymbolicLu`]); every Newton
+    /// iteration re-stamps the pencil values and replays the analysis as
+    /// a numeric-only [`opm_sparse::SparseLu::refactor`]. Only a pivot
+    /// degradation falls back to a fresh pivoted factorization — both
+    /// paths are counted in the plan's
+    /// [`factor_profile`](SimPlan::factor_profile) (`newton_iters`,
+    /// `newton_refactors`, `newton_fresh_fallbacks`).
+    ///
+    /// With [`NewtonOptions::refine_threshold`] set, a window whose
+    /// iteration history indicates a sharp transient (some column needed
+    /// ≥ 3 iterations **and** the finest-level Haar detail energy of the
+    /// solved window exceeds the threshold) is re-swept at twice the
+    /// column resolution — still numeric-only refactors, at the doubled
+    /// shift `2σ` — and pair-averaged back onto the plan's grid, keeping
+    /// the fine endpoint.
+    ///
+    /// ```
+    /// use opm_core::{NewtonOptions, Simulation, SolveOptions};
+    ///
+    /// // Half-wave rectifier: source, series resistor, diode to ground.
+    /// let sim = Simulation::from_netlist(
+    ///     "V1 in 0 SIN 0 1 50\nR1 in out 1k\nD1 out 0 1e-14\n.end",
+    ///     &["out"],
+    /// )
+    /// .unwrap()
+    /// .horizon(0.04);
+    /// let plan = sim.plan(&SolveOptions::new().resolution(64)).unwrap();
+    /// let r = plan
+    ///     .solve_newton_windowed(sim.inputs().unwrap(), 4, &NewtonOptions::new())
+    ///     .unwrap();
+    /// assert_eq!(r.num_intervals(), 256);
+    /// // One symbolic analysis total; every iteration numeric-only.
+    /// let p = plan.factor_profile();
+    /// assert_eq!(p.num_symbolic, 1);
+    /// assert_eq!(p.newton_fresh_fallbacks, 0);
+    /// assert_eq!(p.newton_refactors, p.newton_iters);
+    /// ```
+    ///
+    /// # Errors
+    /// [`OpmError::Nonconvergence`] when a column exhausts the iteration
+    /// budget; [`OpmError::Cancelled`] on a tripped
+    /// [`NewtonOptions::cancel_token`]; [`OpmError::BadArguments`] when
+    /// a nonlinear plan is not linear-recurrence-backed, on channel
+    /// mismatches, or for `windows == 0`.
+    pub fn solve_newton_windowed(
+        &self,
+        inputs: &InputSet,
+        windows: usize,
+        opts: &NewtonOptions,
+    ) -> Result<OpmResult, OpmError> {
+        if windows == 0 {
+            return Err(OpmError::BadArguments(
+                "windowed solving needs at least one window".into(),
+            ));
+        }
+        self.check_channels(std::slice::from_ref(inputs))?;
+        if self.devices.is_empty() {
+            // Linear netlist: one full-value iterate of the endpoint
+            // recurrence *is* the linear recurrence, so Newton converges
+            // in exactly one iteration per column — delegate to the
+            // linear sweep (bit-identical, zero added factorizations)
+            // and book the per-column iterations.
+            let result = if windows == 1 {
+                opts.check_cancelled()?;
+                self.solve(inputs)?
+            } else {
+                let mut wopts = WindowedOptions::new(windows);
+                if let Some(tok) = opts.cancel() {
+                    wopts = wopts.cancel_token(tok.clone());
+                }
+                self.solve_windowed_opts(inputs, &wopts)?
+            };
+            if let PlanKind::Linear { family, .. } = &self.kind {
+                family
+                    .lock()
+                    .expect("pencil family poisoned")
+                    .note_newton_iters(result.num_intervals());
+            }
+            return Ok(result);
+        }
+        let PlanKind::Linear { family, .. } = &self.kind else {
+            return Err(OpmError::BadArguments(format!(
+                "nonlinear Newton solving needs a linear-recurrence plan, not `{}`",
+                self.strategy_name()
+            )));
+        };
+        let SimModel::Linear(sys) = self.model.as_ref() else {
+            unreachable!("nonlinear device plans are linear-model-backed by construction");
+        };
+        validate_horizon(self.t_end)?;
+        let m = self.m;
+        // Window width T/W at resolution m ⇒ σ_w = 2·m·W/T.
+        let sigma = 2.0 * (m * windows) as f64 / self.t_end;
+        let width = self.t_end / windows as f64;
+        let mut fam = family.lock().expect("pencil family poisoned");
+        let mut sweep = NewtonSweep::new(sys, &self.devices, &fam)?;
+        let mut e = self.x0.clone();
+        let mut columns = Vec::with_capacity(m * windows);
+        for w in 0..windows {
+            let u = inputs.bpf_matrix_window(m, w as f64 * width, width);
+            let mut win = sweep.window(&mut fam, sigma, m, &u, &e, opts, w)?;
+            if let Some(threshold) = opts.refinement() {
+                if win.worst_iters >= 3 && m >= 2 && m.is_power_of_two() {
+                    let frac = haar_detail_fraction(&win.columns, m, width);
+                    if frac > threshold {
+                        // Sharp transient: re-sweep the window at twice
+                        // the resolution (numeric-only refactors at the
+                        // doubled shift) and pair-average back onto the
+                        // plan's grid, keeping the fine endpoint.
+                        let u2 = inputs.bpf_matrix_window(2 * m, w as f64 * width, width);
+                        let fine = sweep.window(&mut fam, 2.0 * sigma, 2 * m, &u2, &e, opts, w)?;
+                        win = coarsen_pairs(fine, m);
+                    }
+                }
+            }
+            e = win.end;
+            columns.extend(win.columns);
+        }
+        fam.note_newton_iters(sweep.newton_iters);
+        // One factorization per Newton iteration (stamped values change
+        // every iterate), all numeric-only against the one analysis.
+        let num_factorizations = sweep.newton_iters;
+        let num_solves = sweep.num_solves;
+        drop(fam);
+        let result = SweepOutcome {
+            columns,
+            num_solves,
+            num_factorizations,
+        }
+        .uniform_result(&self.output_map(), self.t_end);
+        self.windowed
+            .lock()
+            .expect("window state poisoned")
+            .windows_solved += windows;
+        Ok(result)
     }
 
     /// Resolves (and caches) the window kernel for `windows` windows:
@@ -2559,6 +3000,8 @@ mod tests {
         };
         let na = assemble_na(&spec.build(), &[]).unwrap();
         let (m, t_end) = (32, 5e-9);
+        // Pins the deprecated wrapper's delegation onto this very plan.
+        #[allow(deprecated)]
         let direct =
             crate::second_order::solve_second_order(&na.system, &na.inputs, t_end, m).unwrap();
         let sim = Simulation::from_second_order(na.system).horizon(t_end);

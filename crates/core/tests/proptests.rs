@@ -5,14 +5,48 @@
 //! Randomized cases are drawn from a fixed-seed [`StdRng`] so every CI
 //! run exercises the identical sample set — failures reproduce exactly.
 
-use opm_core::fractional::solve_fractional;
 use opm_core::kron_solve::{kron_solve_fractional, kron_solve_linear};
-use opm_core::linear::{solve_linear, solve_linear_accumulator};
+use opm_core::{Method, OpmResult, Problem, SolveOptions};
 use opm_rng::StdRng;
 use opm_sparse::{CooMatrix, CsrMatrix};
 use opm_system::{DescriptorSystem, FractionalSystem};
 
 const CASES: usize = 24;
+
+/// One-shot linear solve through the engine front door (the randomized
+/// properties below target the strategy the plan layer dispatches to).
+fn solve_linear(sys: &DescriptorSystem, u: &[Vec<f64>], t_end: f64, x0: &[f64]) -> OpmResult {
+    Problem::linear(sys)
+        .coeffs(u)
+        .horizon(t_end)
+        .initial_state(x0)
+        .solve(&SolveOptions::new())
+        .unwrap()
+}
+
+/// As [`solve_linear`], forced onto the paper's literal accumulator path.
+fn solve_linear_accumulator(
+    sys: &DescriptorSystem,
+    u: &[Vec<f64>],
+    t_end: f64,
+    x0: &[f64],
+) -> OpmResult {
+    Problem::linear(sys)
+        .coeffs(u)
+        .horizon(t_end)
+        .initial_state(x0)
+        .solve(&SolveOptions::new().method(Method::Accumulator))
+        .unwrap()
+}
+
+/// One-shot fractional solve through the engine front door.
+fn solve_fractional(fsys: &FractionalSystem, u: &[Vec<f64>], t_end: f64) -> OpmResult {
+    Problem::fractional(fsys)
+        .coeffs(u)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap()
+}
 
 /// Random stable-ish small descriptor system with one input: diagonally
 /// dominant negative diagonal, mild coupling.
@@ -42,7 +76,7 @@ fn linear_matches_kron_oracle() {
     for _ in 0..CASES {
         let sys = small_system(&mut rng, 3);
         let u = inputs(&mut rng, 10);
-        let fast = solve_linear(&sys, &u, 1.0, &[0.0, 0.0, 0.0]).unwrap();
+        let fast = solve_linear(&sys, &u, 1.0, &[0.0, 0.0, 0.0]);
         let oracle = kron_solve_linear(&sys, &u, 1.0).unwrap();
         for j in 0..10 {
             for i in 0..3 {
@@ -63,8 +97,8 @@ fn accumulator_equals_recurrence() {
     for _ in 0..CASES {
         let sys = small_system(&mut rng, 4);
         let u = inputs(&mut rng, 16);
-        let a = solve_linear(&sys, &u, 2.0, &[0.0; 4]).unwrap();
-        let b = solve_linear_accumulator(&sys, &u, 2.0, &[0.0; 4]).unwrap();
+        let a = solve_linear(&sys, &u, 2.0, &[0.0; 4]);
+        let b = solve_linear_accumulator(&sys, &u, 2.0, &[0.0; 4]);
         for j in 0..16 {
             for i in 0..4 {
                 assert!((a.state_coeff(i, j) - b.state_coeff(i, j)).abs() < 1e-8);
@@ -82,7 +116,7 @@ fn fractional_matches_kron_oracle() {
         let u = inputs(&mut rng, 12);
         let alpha = rng.random_range(0.2..1.8);
         let fsys = FractionalSystem::new(alpha, sys).unwrap();
-        let fast = solve_fractional(&fsys, &u, 1.0).unwrap();
+        let fast = solve_fractional(&fsys, &u, 1.0);
         let oracle = kron_solve_fractional(&fsys, &u, 1.0).unwrap();
         for j in 0..12 {
             for i in 0..2 {
@@ -104,9 +138,9 @@ fn superposition() {
         let u1 = inputs(&mut rng, 8);
         let u2 = inputs(&mut rng, 8);
         let sum: Vec<Vec<f64>> = vec![u1[0].iter().zip(&u2[0]).map(|(a, b)| a + b).collect()];
-        let r1 = solve_linear(&sys, &u1, 1.0, &[0.0; 3]).unwrap();
-        let r2 = solve_linear(&sys, &u2, 1.0, &[0.0; 3]).unwrap();
-        let rs = solve_linear(&sys, &sum, 1.0, &[0.0; 3]).unwrap();
+        let r1 = solve_linear(&sys, &u1, 1.0, &[0.0; 3]);
+        let r2 = solve_linear(&sys, &u2, 1.0, &[0.0; 3]);
+        let rs = solve_linear(&sys, &sum, 1.0, &[0.0; 3]);
         for j in 0..8 {
             for i in 0..3 {
                 let lin = r1.state_coeff(i, j) + r2.state_coeff(i, j);
@@ -124,7 +158,7 @@ fn zero_in_zero_out() {
         let sys = small_system(&mut rng, 3);
         let m = rng.random_range(1usize..20);
         let u = vec![vec![0.0; m]];
-        let r = solve_linear(&sys, &u, 1.0, &[0.0; 3]).unwrap();
+        let r = solve_linear(&sys, &u, 1.0, &[0.0; 3]);
         for j in 0..m {
             for i in 0..3 {
                 assert_eq!(r.state_coeff(i, j), 0.0);
@@ -143,7 +177,7 @@ fn dc_gain_reached() {
         let level = rng.random_range(0.5..2.0);
         let m = 600;
         let u = vec![vec![level; m]];
-        let r = solve_linear(&sys, &u, 40.0, &[0.0, 0.0]).unwrap();
+        let r = solve_linear(&sys, &u, 40.0, &[0.0, 0.0]);
         let (_, a, b) = sys.to_dense();
         let rhs = b
             .mul_vec(&opm_linalg::DVector::from_slice(&[level]))

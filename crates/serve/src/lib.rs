@@ -75,7 +75,7 @@ use std::time::{Duration, Instant};
 
 use opm_core::cache::plan_key;
 use opm_core::json::Json;
-use opm_core::{CancelToken, OpmError, PlanCache, SimPlan, WindowedOptions};
+use opm_core::{CancelToken, NewtonOptions, OpmError, PlanCache, SimPlan, WindowedOptions};
 
 use api::{error_json, ApiError, SimRequest};
 use fault::{FaultSpec, FaultStats};
@@ -456,6 +456,17 @@ impl RequestCtx<'_> {
         opts
     }
 
+    /// Newton options for nonlinear solves: library defaults, wired to
+    /// the request's compute-deadline token so a stuck iteration is
+    /// interrupted mid-column rather than only between requests.
+    fn newton_opts(&self) -> NewtonOptions {
+        let mut opts = NewtonOptions::new();
+        if let Some(token) = &self.cancel {
+            opts = opts.cancel_token(token.clone());
+        }
+        opts
+    }
+
     /// Non-windowed solves cannot be interrupted mid-flight; checking
     /// here (after plan build + injected sleeps) still bounds them.
     fn check_deadline(&self) -> Result<(), OpmError> {
@@ -593,6 +604,23 @@ impl From<OpmError> for Reply {
                 retry_after_secs: Some(1),
                 timed_out: true,
             },
+            // The request was well-formed and the solver ran, but the
+            // Newton iteration would not converge on this circuit at
+            // these tolerances — a semantic problem with the submitted
+            // model, not a malformed request and not a server fault
+            // → 422, no retry hint (retrying the same model cannot
+            // help).
+            OpmError::Nonconvergence {
+                iterations,
+                residual,
+                context,
+            } => Reply::new(
+                422,
+                error_json(&format!(
+                    "newton iteration did not converge after {iterations} iterations \
+                     (residual {residual:.3e}, {context})"
+                )),
+            ),
             // Every other solver rejection is the caller's fault (bad
             // model, bad options) → 400.
             e => Reply::new(400, error_json(&e.to_string())),
@@ -654,13 +682,24 @@ fn handle_solve(stream: &mut TcpStream, req: &Request, ctx: &RequestCtx<'_>) -> 
     let (plan, hit) = ctx.plan(&parsed)?;
     ctx.apply_slow_solve();
     ctx.check_deadline()?;
-    let results = match parsed.windows {
-        Some(w) => plan.solve_windowed_batch_opts(
-            &stimuli,
-            &ctx.windowed_opts(w),
-            opm_par::default_threads(),
-        )?,
-        None => plan.solve_batch(&stimuli)?,
+    let results = if plan.has_nonlinear() {
+        // Nonlinear netlists solve per-column Newton over the same plan;
+        // the linear batch entry points reject them by design.
+        let nopts = ctx.newton_opts();
+        let windows = parsed.windows.unwrap_or(1);
+        stimuli
+            .iter()
+            .map(|ws| plan.solve_newton_windowed(ws, windows, &nopts))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        match parsed.windows {
+            Some(w) => plan.solve_windowed_batch_opts(
+                &stimuli,
+                &ctx.windowed_opts(w),
+                opm_par::default_threads(),
+            )?,
+            None => plan.solve_batch(&stimuli)?,
+        }
     };
     let mut doc = plan_header(hit, &plan);
     doc.push((

@@ -11,6 +11,9 @@
 //! - [`mod@reference`] — high-accuracy references: exact matrix-exponential
 //!   stepping for regular ODEs and Richardson-refined trapezoidal for
 //!   DAEs.
+//! - [`newton`] — a dense Newton–backward-Euler stepper for nonlinear
+//!   circuits (`E ẋ = A x + f(x) + B u`), the oracle the OPM Newton
+//!   path is validated against.
 //!
 //! All integrators factor their iteration matrix once (the systems are
 //! LTI and steps are fixed), so per-step cost is one sparse solve — the
@@ -26,6 +29,7 @@ pub mod adaptive;
 pub mod bdf;
 pub mod be;
 pub mod gl;
+pub mod newton;
 pub mod reference;
 pub mod result;
 pub mod trap;
@@ -34,6 +38,7 @@ pub use adaptive::adaptive_trapezoidal;
 pub use bdf::bdf;
 pub use be::backward_euler;
 pub use gl::gl_fractional;
+pub use newton::{newton_backward_euler, newton_be_richardson};
 pub use reference::{expm_reference, fine_reference};
 pub use result::TransientResult;
 pub use trap::trapezoidal;
@@ -46,6 +51,9 @@ pub enum TransientError {
     SingularIteration(String),
     /// Invalid parameters (zero steps, bad order, mismatched lengths).
     BadArguments(String),
+    /// A Newton iteration failed to converge within its budget
+    /// ([`newton`] reference steppers only).
+    Nonconvergence(String),
 }
 
 impl std::fmt::Display for TransientError {
@@ -53,6 +61,7 @@ impl std::fmt::Display for TransientError {
         match self {
             TransientError::SingularIteration(s) => write!(f, "singular iteration matrix: {s}"),
             TransientError::BadArguments(s) => write!(f, "bad arguments: {s}"),
+            TransientError::Nonconvergence(s) => write!(f, "Newton did not converge: {s}"),
         }
     }
 }

@@ -1,0 +1,280 @@
+//! Dense Newton–backward-Euler reference for nonlinear circuits.
+//!
+//! Integrates `E ẋ = A x + f(x) + B u` with backward Euler,
+//!
+//! ```text
+//! (E/h − A)·x_k − f(x_k) = (E/h)·x_{k−1} + B·u(t_k),
+//! ```
+//!
+//! running a full Newton iteration to tight tolerance at every step.
+//! The devices supply the same companion stamps
+//! ([`NonlinearDevice::stamp`]) the OPM Newton sweep uses, but here the
+//! Jacobian is assembled and factored *densely* per iterate — no pattern
+//! tricks, no refactorization economy. That makes this module the slow,
+//! obviously-correct oracle the nonlinear OPM path is validated against,
+//! in the same spirit as [`crate::reference`] for the linear solvers.
+//!
+//! [`newton_be_richardson`] additionally halves the step and Richardson-
+//! extrapolates (`2·x_{h/2} − x_h`), lifting the first-order stepper to
+//! second-order endpoint accuracy so it can resolve the ≤ 1e-6
+//! comparisons the nonlinear acceptance tests demand.
+
+use crate::result::TransientResult;
+use crate::util::{add_b_u, validate};
+use crate::TransientError;
+use opm_circuits::nonlinear::{MnaStamps, NonlinearDevice};
+use opm_linalg::DVector;
+use opm_system::DescriptorSystem;
+use opm_waveform::InputSet;
+
+/// Newton iteration cap per time step; the reference runs tiny systems,
+/// so hitting this means the model (not the budget) is the problem.
+const MAX_ITERS: usize = 100;
+
+/// Residual tolerances: converged when
+/// `‖(E/h − A)x − f(x) − rhs‖∞ ≤ ABS_TOL + REL_TOL·‖rhs‖∞`.
+const ABS_TOL: f64 = 1e-13;
+const REL_TOL: f64 = 1e-12;
+
+/// Integrates `E ẋ = A x + f(x) + B u` with Newton–backward-Euler over
+/// `[0, t_end]` using `m` uniform steps from initial state `x0`.
+///
+/// `sys` is the *linear* part as assembled by
+/// [`opm_circuits::mna::assemble_nonlinear_mna`] (GMIN placeholders
+/// included); `devices` re-stamp the nonlinear part each iterate.
+/// With an empty device list this reduces to [`crate::backward_euler`]
+/// on a dense factorization.
+///
+/// # Errors
+/// [`TransientError`] on bad arguments, a singular Newton matrix, or a
+/// step whose Newton iteration does not converge.
+pub fn newton_backward_euler(
+    sys: &DescriptorSystem,
+    devices: &[impl NonlinearDevice],
+    inputs: &InputSet,
+    t_end: f64,
+    m: usize,
+    x0: &[f64],
+    store_states: bool,
+) -> Result<TransientResult, TransientError> {
+    validate(sys, inputs.len(), t_end, m, x0)?;
+    let n = sys.order();
+    let h = t_end / m as f64;
+    let (e_d, a_d, _) = sys.to_dense();
+    // J0 = E/h − A, the linear Newton matrix every iterate starts from.
+    let j0 = e_d.scale(1.0 / h).sub(&a_d);
+
+    let mut x = DVector::from_slice(x0);
+    let mut stamps = MnaStamps::new();
+    let mut f_dev = vec![0.0; n];
+    let mut num_solves = 0usize;
+    let mut times = Vec::with_capacity(m);
+    let mut outputs: Vec<Vec<f64>> = vec![Vec::with_capacity(m); sys.num_outputs()];
+    let mut states = store_states.then(|| Vec::with_capacity(m));
+
+    for k in 1..=m {
+        let t = k as f64 * h;
+        // rhs_base = (E/h)·x_{k−1} + B·u(t_k).
+        let mut rhs_base = e_d.mul_vec(&x).scale(1.0 / h);
+        let u = inputs.eval(t);
+        add_b_u(sys.b(), 1.0, &u, rhs_base.as_mut_slice());
+        let tol = ABS_TOL + REL_TOL * rhs_base.norm_inf();
+
+        let mut converged = false;
+        for _ in 0..MAX_ITERS {
+            // Companion linearization at the current iterate.
+            stamps.clear();
+            for d in devices {
+                d.stamp(x.as_slice(), &mut stamps);
+            }
+            let mut j = j0.clone();
+            for &(r, c, g) in stamps.entries() {
+                j.add_at(r, c, g);
+            }
+            let mut rhs = rhs_base.clone();
+            for &(r, amps) in stamps.currents() {
+                rhs.as_mut_slice()[r] += amps;
+            }
+            x = j.solve(&rhs).ok_or_else(|| {
+                TransientError::SingularIteration(format!("Newton matrix at step {k}"))
+            })?;
+            num_solves += 1;
+
+            // Residual with the *exact* device currents, not the
+            // linearization: ‖(E/h − A)x − f(x) − rhs_base‖∞.
+            f_dev.iter_mut().for_each(|v| *v = 0.0);
+            for d in devices {
+                d.accumulate_current(x.as_slice(), &mut f_dev);
+            }
+            let resid = j0
+                .mul_vec(&x)
+                .iter()
+                .zip(f_dev.iter().zip(rhs_base.iter()))
+                .map(|(jx, (f, b))| (jx - f - b).abs())
+                .fold(0.0f64, f64::max);
+            if resid <= tol {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(TransientError::Nonconvergence(format!(
+                "step {k} (t = {t:.3e}) after {MAX_ITERS} Newton iterations"
+            )));
+        }
+
+        times.push(t);
+        for (o, val) in sys.output(x.as_slice()).into_iter().enumerate() {
+            outputs[o].push(val);
+        }
+        if let Some(s) = states.as_mut() {
+            s.push(x.as_slice().to_vec());
+        }
+    }
+    Ok(TransientResult {
+        times,
+        outputs,
+        states,
+        num_solves,
+    })
+}
+
+/// Richardson-extrapolated Newton–backward-Euler: runs
+/// [`newton_backward_euler`] at `m` and `2m` steps and returns
+/// `2·x_{h/2} − x_h` on the coarse grid `t_k = k·h` — second-order
+/// accurate endpoints from the first-order stepper. States are always
+/// stored.
+///
+/// # Errors
+/// As [`newton_backward_euler`].
+pub fn newton_be_richardson(
+    sys: &DescriptorSystem,
+    devices: &[impl NonlinearDevice],
+    inputs: &InputSet,
+    t_end: f64,
+    m: usize,
+    x0: &[f64],
+) -> Result<TransientResult, TransientError> {
+    let coarse = newton_backward_euler(sys, devices, inputs, t_end, m, x0, true)?;
+    let fine = newton_backward_euler(sys, devices, inputs, t_end, 2 * m, x0, true)?;
+    let cs = coarse.states.as_ref().expect("states stored");
+    let fs = fine.states.as_ref().expect("states stored");
+    let states: Vec<Vec<f64>> = (0..m)
+        .map(|k| {
+            // fine index 2k+1 lands on the coarse time t_{k+1}.
+            cs[k]
+                .iter()
+                .zip(&fs[2 * k + 1])
+                .map(|(c, f)| 2.0 * f - c)
+                .collect()
+        })
+        .collect();
+    let outputs: Vec<Vec<f64>> = (0..sys.num_outputs())
+        .map(|o| {
+            (0..m)
+                .map(|k| 2.0 * fine.outputs[o][2 * k + 1] - coarse.outputs[o][k])
+                .collect()
+        })
+        .collect();
+    Ok(TransientResult {
+        times: coarse.times,
+        outputs,
+        states: Some(states),
+        num_solves: coarse.num_solves + fine.num_solves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use opm_circuits::nonlinear::{DeviceModel, Diode, VT_300K};
+    use opm_sparse::CooMatrix;
+    use opm_waveform::Waveform;
+
+    fn rc(r: f64, c: f64) -> DescriptorSystem {
+        // Node 1 driven through R from the source, C to ground:
+        // C·v̇ = −v/R + u/R.
+        let mut e = CooMatrix::new(1, 1);
+        e.push(0, 0, c);
+        let mut a = CooMatrix::new(1, 1);
+        a.push(0, 0, -1.0 / r);
+        let mut b = CooMatrix::new(1, 1);
+        b.push(0, 0, 1.0 / r);
+        DescriptorSystem::new(e.to_csr(), a.to_csr(), b.to_csr(), None).unwrap()
+    }
+
+    #[test]
+    fn no_devices_reduces_to_backward_euler() {
+        let sys = rc(1e3, 1e-6);
+        let u = InputSet::new(vec![Waveform::Dc(5.0)]);
+        let devices: Vec<DeviceModel> = Vec::new();
+        let newton = newton_backward_euler(&sys, &devices, &u, 5e-3, 200, &[0.0], false).unwrap();
+        let plain = crate::backward_euler(&sys, &u, 5e-3, 200, &[0.0], false).unwrap();
+        for k in 0..200 {
+            assert!(
+                (newton.outputs[0][k] - plain.outputs[0][k]).abs() < 1e-12,
+                "step {k}"
+            );
+        }
+        // One linear step needs exactly one Newton solve.
+        assert_eq!(newton.num_solves, 200);
+    }
+
+    #[test]
+    fn diode_clamp_converges_to_junction_drop() {
+        // 5 V source through 1 kΩ into a diode to ground: the node
+        // settles at the junction voltage where i_R = i_D.
+        let sys = rc(1e3, 1e-9);
+        let u = InputSet::new(vec![Waveform::Dc(5.0)]);
+        let d = DeviceModel::Diode(Diode {
+            anode: 1,
+            cathode: 0,
+            is_sat: 1e-14,
+            vt: VT_300K,
+        });
+        let r = newton_backward_euler(&sys, std::slice::from_ref(&d), &u, 5e-6, 400, &[0.0], false)
+            .unwrap();
+        let v_end = r.outputs[0][399];
+        assert!((0.5..0.8).contains(&v_end), "junction drop, got {v_end}");
+        // KCL at the settled point: (5 − v)/R = i_D(v).
+        let DeviceModel::Diode(dd) = &d else {
+            unreachable!()
+        };
+        let (i_d, _) = dd.iv(v_end);
+        assert!(((5.0 - v_end) / 1e3 - i_d).abs() < 1e-8);
+    }
+
+    #[test]
+    fn richardson_improves_the_order() {
+        let sys = rc(1e3, 1e-6);
+        let u = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let devices: Vec<DeviceModel> = Vec::new();
+        let tau = 1e-3;
+        let exact = |t: f64| 1.0 - (-t / tau).exp();
+        let err = |m: usize| -> (f64, f64) {
+            let plain = newton_backward_euler(&sys, &devices, &u, 2e-3, m, &[0.0], false).unwrap();
+            let rich = newton_be_richardson(&sys, &devices, &u, 2e-3, m, &[0.0]).unwrap();
+            (
+                (plain.outputs[0][m - 1] - exact(2e-3)).abs(),
+                (rich.outputs[0][m - 1] - exact(2e-3)).abs(),
+            )
+        };
+        let (p1, r1) = err(100);
+        let (p2, r2) = err(200);
+        assert!((p1 / p2).log2() < 1.3, "plain BE is first order");
+        let rich_rate = (r1 / r2).log2();
+        assert!(
+            rich_rate > 1.7,
+            "Richardson is second order, got {rich_rate}"
+        );
+    }
+
+    #[test]
+    fn argument_validation() {
+        let sys = rc(1e3, 1e-6);
+        let u = InputSet::new(vec![Waveform::Dc(1.0)]);
+        let devices: Vec<DeviceModel> = Vec::new();
+        assert!(newton_backward_euler(&sys, &devices, &u, 1.0, 0, &[0.0], false).is_err());
+        assert!(newton_backward_euler(&sys, &devices, &u, 1.0, 5, &[0.0, 1.0], false).is_err());
+    }
+}

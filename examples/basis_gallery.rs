@@ -5,6 +5,9 @@
 //! Run with `cargo run --example basis_gallery`.
 
 use opm::basis::{Basis, BpfBasis, HaarBasis, LegendreBasis, WalshBasis};
+// Non-BPF bases solve through the basis-generic oracle; the plan layer
+// ([`opm::prelude::Simulation`]) is BPF-specialized by design.
+#[allow(deprecated)]
 use opm::core::general_basis::solve_general_basis;
 use opm::sparse::{CooMatrix, CsrMatrix};
 use opm::system::DescriptorSystem;
@@ -34,6 +37,7 @@ fn main() {
 
     let mut errors = Vec::new();
     for (name, basis) in &bases {
+        #[allow(deprecated)]
         let r = solve_general_basis(&sys, basis.as_ref(), &inputs, &[0.0]).unwrap();
         let mut err = 0.0f64;
         for i in 0..400 {

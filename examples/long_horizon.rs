@@ -9,8 +9,7 @@
 //!
 //! Run: `cargo run --example long_horizon`
 
-use opm::waveform::Waveform;
-use opm::{Simulation, SolveOptions, WindowedOptions};
+use opm::prelude::*;
 
 fn main() {
     let tau = 1e-3; // R·C

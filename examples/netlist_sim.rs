@@ -4,7 +4,8 @@
 //!
 //! Run with `cargo run --example netlist_sim`.
 
-use opm::{SimModel, Simulation, SolveOptions};
+use opm::prelude::*;
+use opm::SimModel;
 
 const RC_NETLIST: &str = "\
 * two-section RC low-pass

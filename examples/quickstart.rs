@@ -4,8 +4,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use opm::waveform::{InputSet, Waveform};
-use opm::{Simulation, SolveOptions};
+use opm::prelude::*;
 
 fn main() {
     // 1 kΩ / 1 µF low-pass driven by a 5 V step at t = 0.

@@ -8,8 +8,8 @@ use std::time::Instant;
 
 use opm::circuits::ladder::rc_ladder;
 use opm::circuits::mna::{assemble_mna, Output};
-use opm::waveform::{InputSet, Waveform};
-use opm::{Problem, Simulation, SolveOptions};
+use opm::prelude::*;
+use opm::Problem;
 
 fn main() {
     // A 40-section RC ladder: large enough that factoring dominates a

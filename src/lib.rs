@@ -28,8 +28,7 @@
 //! the column sweep:
 //!
 //! ```
-//! use opm::{SimPlan, Simulation, SolveOptions};
-//! use opm::waveform::{InputSet, Waveform};
+//! use opm::prelude::*;
 //!
 //! // 1 kΩ / 1 µF low-pass; probe the output node by name.
 //! let sim = Simulation::from_netlist(
@@ -90,9 +89,37 @@ pub use opm_transient as transient;
 pub use opm_waveform as waveform;
 
 pub use opm_core::{
-    CacheStats, FactorProfile, Json, Method, OpmResult, PlanCache, Problem, SimModel, SimPlan,
-    Simulation, SolveOptions, WindowBlock, WindowedOptions,
+    CacheStats, FactorProfile, Json, Method, NewtonOptions, OpmResult, PlanCache, Problem,
+    SimModel, SimPlan, Simulation, SolveOptions, WindowBlock, WindowedOptions,
 };
+
+/// The stabilized v1 session surface in one import.
+///
+/// Everything a netlist → plan → solve pipeline needs — the
+/// [`Simulation`] front door, the reusable [`SimPlan`], the option
+/// builders for plain, windowed and Newton solves, the stimulus types
+/// and the error enum:
+///
+/// ```
+/// use opm::prelude::*;
+///
+/// let plan = Simulation::from_netlist(
+///     "V1 in 0 DC 1\nR1 in out 1k\nC1 out 0 1u\n.end",
+///     &["out"],
+/// )
+/// .unwrap()
+/// .horizon(5e-3)
+/// .plan(&SolveOptions::new().resolution(64))
+/// .unwrap();
+/// let r = plan.solve(&InputSet::new(vec![Waveform::Dc(1.0)])).unwrap();
+/// assert!((r.output_row(0)[63] - 1.0).abs() < 0.05);
+/// ```
+pub mod prelude {
+    pub use opm_core::{
+        NewtonOptions, OpmError, OpmResult, SimPlan, Simulation, SolveOptions, WindowedOptions,
+    };
+    pub use opm_waveform::{InputSet, Waveform};
+}
 
 /// The facade-wide error: everything a netlist → plan → solve pipeline
 /// can raise, so application code composes each stage with `?`.

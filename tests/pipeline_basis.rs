@@ -8,10 +8,10 @@ use opm::circuits::ladder::rc_ladder;
 use opm::circuits::mna::{assemble_mna, Output};
 use opm::circuits::na::assemble_na;
 use opm::circuits::tline::FractionalLineSpec;
-use opm::core::adaptive::{geometric_grid, solve_fractional_adaptive};
+use opm::core::adaptive::geometric_grid;
+#[allow(deprecated)] // the general-basis oracle has no plan-layer equivalent
 use opm::core::general_basis::solve_general_basis;
-use opm::core::linear::solve_linear;
-use opm::core::second_order::solve_second_order;
+use opm::core::{Problem, SolveOptions};
 use opm::waveform::Waveform;
 
 /// The Walsh-basis solve of an assembled circuit equals the BPF solve of
@@ -25,10 +25,16 @@ fn walsh_and_bpf_agree_on_assembled_circuit() {
     let x0 = vec![0.0; model.system.order()];
 
     let wb = WalshBasis::new(m, t_end);
+    #[allow(deprecated)] // non-BPF bases solve only through the oracle
     let walsh = solve_general_basis(&model.system, &wb, &model.inputs, &x0).unwrap();
 
     let u = model.inputs.bpf_matrix(m, t_end);
-    let bpf = solve_linear(&model.system, &u, t_end, &x0).unwrap();
+    let bpf = Problem::linear(&model.system)
+        .coeffs(&u)
+        .horizon(t_end)
+        .initial_state(&x0)
+        .solve(&SolveOptions::new())
+        .unwrap();
 
     let out_state = 3; // node 4 voltage
     let walsh_row: Vec<f64> = (0..m).map(|j| walsh.x_coeffs.get(out_state, j)).collect();
@@ -49,12 +55,21 @@ fn adaptive_fractional_on_tline_consistent_with_uniform() {
     let model = FractionalLineSpec::default().assemble();
     let t_end = 2.7e-9;
 
-    let grid = AdaptiveBpf::new(geometric_grid(t_end, 24, 1.12));
-    let adaptive = solve_fractional_adaptive(&model.system, &grid, &model.inputs).unwrap();
+    let steps = geometric_grid(t_end, 24, 1.12);
+    let grid = AdaptiveBpf::new(steps.clone());
+    let adaptive = Problem::fractional(&model.system)
+        .waveforms(&model.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().step_grid(steps))
+        .unwrap();
 
     let m = 256;
     let u = model.inputs.bpf_matrix(m, t_end);
-    let uniform = opm::core::fractional::solve_fractional(&model.system, &u, t_end).unwrap();
+    let uniform = Problem::fractional(&model.system)
+        .coeffs(&u)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap();
 
     let peak = uniform
         .output_row(0)
@@ -94,7 +109,11 @@ fn second_order_frontend_end_to_end() {
     let t_end = 6e-9;
     let m = 192;
 
-    let opm_run = solve_second_order(&na.system, &na.inputs, t_end, m).unwrap();
+    let opm_run = Problem::second_order(&na.system)
+        .waveforms(&na.inputs)
+        .horizon(t_end)
+        .solve(&SolveOptions::new().resolution(m))
+        .unwrap();
     let x0 = vec![0.0; mna.system.order()];
     let trap = opm::transient::trapezoidal(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap();
     for node in 0..spec.num_nodes() {

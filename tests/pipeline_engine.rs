@@ -1,6 +1,7 @@
 //! Integration: the engine front door ([`Problem`] / [`SolveOptions`])
-//! must dispatch every model class to the same numbers as the direct
-//! strategy entry points, end to end through the facade crate.
+//! must dispatch every model class to the same numbers as an explicit
+//! session plan ([`opm::core::Simulation`]), end to end through the
+//! facade crate.
 
 use opm::circuits::grid::PowerGridSpec;
 use opm::circuits::ladder::rc_ladder;
@@ -17,8 +18,12 @@ fn linear_problem_matches_direct_strategy_on_rc_ladder() {
     let model = assemble_mna(&ckt, &[Output::NodeVoltage(5)]).unwrap();
     let (m, t_end) = (128, 2e-6);
     let u = model.inputs.bpf_matrix(m, t_end);
-    let x0 = vec![0.0; model.system.order()];
-    let direct = opm::core::linear::solve_linear(&model.system, &u, t_end, &x0).unwrap();
+    let direct = opm::core::Simulation::from_system(model.system.clone())
+        .horizon(t_end)
+        .plan(&SolveOptions::new().resolution(m))
+        .unwrap()
+        .solve_coeffs(&u)
+        .unwrap();
     let engine = Problem::linear(&model.system)
         .waveforms(&model.inputs)
         .horizon(t_end)
@@ -59,7 +64,12 @@ fn fractional_problem_solves_the_table1_line() {
     let model = FractionalLineSpec::default().assemble();
     let (m, t_end) = (64, 2.7e-9);
     let u = model.inputs.bpf_matrix(m, t_end);
-    let direct = opm::core::fractional::solve_fractional(&model.system, &u, t_end).unwrap();
+    let direct = opm::core::Simulation::from_fractional(model.system.clone())
+        .horizon(t_end)
+        .plan(&SolveOptions::new().resolution(m))
+        .unwrap()
+        .solve_coeffs(&u)
+        .unwrap();
     let engine = Problem::fractional(&model.system)
         .waveforms(&model.inputs)
         .horizon(t_end)
@@ -87,8 +97,12 @@ fn second_order_problem_solves_the_power_grid() {
     };
     let na = assemble_na(&spec.build(), &[]).unwrap();
     let (m, t_end) = (64, 5e-9);
-    let direct =
-        opm::core::second_order::solve_second_order(&na.system, &na.inputs, t_end, m).unwrap();
+    let direct = opm::core::Simulation::from_second_order(na.system.clone())
+        .horizon(t_end)
+        .plan(&SolveOptions::new().resolution(m))
+        .unwrap()
+        .solve(&na.inputs)
+        .unwrap();
     let engine = Problem::second_order(&na.system)
         .waveforms(&na.inputs)
         .horizon(t_end)

@@ -2,8 +2,8 @@
 //! baselines vs Mittag-Leffler oracles.
 
 use opm::circuits::tline::FractionalLineSpec;
-use opm::core::fractional::solve_fractional;
 use opm::core::metrics::{max_abs_diff, relative_error_db_multi};
+use opm::core::{Problem, SolveOptions};
 use opm::fft::FftSimulator;
 use opm::fracnum::mittag_leffler::ml_kernel;
 use opm::sparse::{CooMatrix, CsrMatrix};
@@ -34,7 +34,11 @@ fn three_way_agreement_on_fractional_relaxation() {
     let m = 300;
 
     let u = inputs.bpf_matrix(m, t_end);
-    let opm = solve_fractional(&fsys, &u, t_end).unwrap();
+    let opm = Problem::fractional(&fsys)
+        .coeffs(&u)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap();
     let gl = gl_fractional(&fsys, &inputs, t_end, m, false).unwrap();
 
     let h = t_end / m as f64;
@@ -67,7 +71,11 @@ fn table1_shape_holds_at_test_scale() {
     // OPM at the paper's m = 8 plus a denser reference run.
     let m = 8;
     let u = model.inputs.bpf_matrix(m, t_end);
-    let opm = solve_fractional(&model.system, &u, t_end).unwrap();
+    let opm = Problem::fractional(&model.system)
+        .coeffs(&u)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap();
     let opm_out: Vec<Vec<f64>> = (0..2).map(|o| opm.output_row(o).to_vec()).collect();
 
     let err_of = |n_samples: usize| -> f64 {
@@ -92,7 +100,11 @@ fn table1_shape_holds_at_test_scale() {
     // Independent time-domain check: GL on the same DAE.
     let m_fine = 128;
     let u_fine = model.inputs.bpf_matrix(m_fine, t_end);
-    let opm_fine = solve_fractional(&model.system, &u_fine, t_end).unwrap();
+    let opm_fine = Problem::fractional(&model.system)
+        .coeffs(&u_fine)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap();
     let gl = gl_fractional(&model.system, &model.inputs, t_end, m_fine, false).unwrap();
     let mut gl_mid = vec![0.0; m_fine];
     for j in 0..m_fine {
@@ -117,13 +129,16 @@ fn table1_shape_holds_at_test_scale() {
 /// solver with integer α equals the multi-term fast path.
 #[test]
 fn integer_alpha_equals_multiterm_path() {
-    use opm::core::multiterm::solve_multiterm;
     use opm::system::{MultiTermSystem, Term};
     let fsys = scalar_fractional(2.0, -4.0);
     let m = 64;
     let t_end = 3.0;
     let u = InputSet::new(vec![Waveform::sine(0.0, 1.0, 0.5, 0.0, 0.0)]).bpf_matrix(m, t_end);
-    let frac = solve_fractional(&fsys, &u, t_end).unwrap();
+    let frac = Problem::fractional(&fsys)
+        .coeffs(&u)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap();
     let mt = MultiTermSystem::new(
         vec![
             Term {
@@ -139,7 +154,11 @@ fn integer_alpha_equals_multiterm_path() {
         None,
     )
     .unwrap();
-    let fast = solve_multiterm(&mt, &u, t_end).unwrap();
+    let fast = Problem::multiterm(&mt)
+        .coeffs(&u)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap();
     for j in 0..m {
         assert!(
             (frac.state_coeff(0, j) - fast.state_coeff(0, j)).abs() < 1e-8,

@@ -4,7 +4,7 @@
 use opm::circuits::grid::PowerGridSpec;
 use opm::circuits::mna::assemble_mna;
 use opm::circuits::na::assemble_na;
-use opm::core::multiterm::solve_multiterm;
+use opm::core::{Problem, SolveOptions};
 use opm::transient::{backward_euler, bdf, fine_reference, trapezoidal};
 
 fn small_grid() -> PowerGridSpec {
@@ -30,7 +30,12 @@ fn na_opm_matches_mna_trapezoidal_exactly_in_class() {
     let m = 256;
     let bounds: Vec<f64> = (0..=m).map(|k| k as f64 * t_end / m as f64).collect();
     let u_dot = na.inputs.derivative_averages_on_grid(&bounds);
-    let opm = solve_multiterm(&na.system.to_multiterm(), &u_dot, t_end).unwrap();
+    let mt = na.system.to_multiterm();
+    let opm = Problem::multiterm(&mt)
+        .coeffs(&u_dot)
+        .horizon(t_end)
+        .solve(&SolveOptions::new())
+        .unwrap();
 
     let x0 = vec![0.0; mna.system.order()];
     let trap = trapezoidal(&mna.system, &mna.inputs, t_end, m, &x0, false).unwrap();

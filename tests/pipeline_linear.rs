@@ -4,7 +4,6 @@
 use opm::circuits::ladder::{rc_ladder, rlc_ladder};
 use opm::circuits::mna::{assemble_mna, Output};
 use opm::circuits::parser::parse_netlist;
-use opm::core::linear::solve_linear;
 use opm::core::metrics::max_abs_diff;
 use opm::core::{Problem, SolveOptions};
 use opm::transient::{backward_euler, bdf, fine_reference, trapezoidal};
@@ -26,7 +25,12 @@ fn opm_is_algebraically_trapezoidal_on_rc_ladder() {
     let m = 256;
     let x0 = vec![0.0; model.system.order()];
     let u = model.inputs.bpf_matrix(m, t_end);
-    let opm = solve_linear(&model.system, &u, t_end, &x0).unwrap();
+    let opm = Problem::linear(&model.system)
+        .coeffs(&u)
+        .horizon(t_end)
+        .initial_state(&x0)
+        .solve(&SolveOptions::new())
+        .unwrap();
 
     // Trapezoidal driven by the *same* interval-average inputs: emulate by
     // running the OPM recurrence through endpoint extraction.
@@ -59,7 +63,12 @@ fn all_methods_converge_to_the_same_waveform() {
 
     let reference = fine_reference(&model.system, &model.inputs, t_end, m, 32, &x0).unwrap();
     let u = model.inputs.bpf_matrix(m, t_end);
-    let opm = solve_linear(&model.system, &u, t_end, &x0).unwrap();
+    let opm = Problem::linear(&model.system)
+        .coeffs(&u)
+        .horizon(t_end)
+        .initial_state(&x0)
+        .solve(&SolveOptions::new())
+        .unwrap();
     let be = backward_euler(&model.system, &model.inputs, t_end, m, &x0, false).unwrap();
     let gear = bdf(&model.system, &model.inputs, t_end, m, 2, &x0, false).unwrap();
 
